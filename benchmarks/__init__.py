@@ -1,0 +1,1 @@
+"""Figure-reproduction benchmark suite (run with pytest --benchmark-only)."""

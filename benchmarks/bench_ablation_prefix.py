@@ -1,0 +1,131 @@
+"""Ablation — the geodab bit layout (Figure 3's prefix/suffix split).
+
+Two sweeps probe the layout from both ends:
+
+* *suffix width* (city scale) — fewer suffix bits mean more hash
+  collisions between different k-grams, inflating candidate sets and
+  hurting ranking; this quantifies how much discrimination each suffix
+  bit buys.
+* *prefix width* (world scale) — wider prefixes spread the dictionary
+  over more of the z-order curve, increasing the number of shards that
+  hold data (finer routing) while single-city queries still touch few
+  shards; this quantifies the locality/granularity trade-off of
+  Section VI-E.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.cluster.sharding import ShardingConfig, ShardRouter
+from repro.core.config import GeodabConfig
+from repro.core.geodab import GeodabScheme
+from repro.core.index import GeodabIndex
+from repro.geo.geohash import Geohash
+from repro.ir.metrics import average_precision
+from repro.normalize import standard_normalizer
+from repro.roadnet.world import WorldActivityModel
+
+SUFFIX_BITS = (4, 8, 12, 16)
+PREFIX_BITS = (8, 12, 16)
+
+
+def bench_ablation_layout_suffix(benchmark, retrieval_workload, capsys):
+    """Suffix-width sweep: discrimination vs collisions (city scale)."""
+    normalizer = standard_normalizer()
+    rows = []
+    map_by_suffix = {}
+    for suffix_bits in SUFFIX_BITS:
+        config = GeodabConfig(prefix_bits=16, suffix_bits=suffix_bits)
+        index = GeodabIndex(config, normalizer=normalizer)
+        for record in retrieval_workload.records:
+            index.add(record.trajectory_id, record.points)
+        candidates = 0
+        aps = []
+        for query in retrieval_workload.queries:
+            results, stats = index.query_with_stats(query.points)
+            candidates += stats.candidates
+            aps.append(
+                average_precision(
+                    [r.trajectory_id for r in results], query.relevant_ids
+                )
+            )
+        mean_ap = sum(aps) / len(aps)
+        map_by_suffix[suffix_bits] = mean_ap
+        rows.append(
+            [
+                suffix_bits,
+                index.stats().terms,
+                candidates / len(retrieval_workload.queries),
+                mean_ap,
+            ]
+        )
+
+    with capsys.disabled():
+        print_table(
+            "Ablation: geodab suffix width (prefix fixed at 16 bits)",
+            ["suffix bits", "distinct terms", "candidates/query", "MAP"],
+            rows,
+        )
+
+    # Shrinking the suffix must not *improve* ranking; 16 bits should be
+    # at least as good as 4.
+    assert map_by_suffix[16] >= map_by_suffix[4] - 0.05
+
+    config = GeodabConfig()
+    index = GeodabIndex(config, normalizer=normalizer)
+    for record in retrieval_workload.records:
+        index.add(record.trajectory_id, record.points)
+
+    def query_batch():
+        for query in retrieval_workload.queries:
+            index.query(query.points)
+
+    benchmark.pedantic(query_batch, rounds=3, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def world_cells():
+    return WorldActivityModel(seed=7).trajectories_per_cell(500_000)
+
+
+def bench_ablation_layout_prefix(benchmark, world_cells, capsys):
+    """Prefix-width sweep: shard coverage of a world-scale dictionary."""
+    sharding = ShardingConfig(num_shards=4_096, num_nodes=10)
+    rows = []
+    coverage = {}
+    for prefix_bits in PREFIX_BITS:
+        router = ShardRouter(sharding, prefix_bits, suffix_bits=0)
+        shards_with_data = set()
+        for cell_bits in world_cells:
+            cell = Geohash(cell_bits, 16)
+            shards_with_data.add(router.shard_of_cell(cell))
+        coverage[prefix_bits] = len(shards_with_data)
+        rows.append(
+            [
+                prefix_bits,
+                len(shards_with_data),
+                len(shards_with_data) / sharding.num_shards,
+            ]
+        )
+
+    with capsys.disabled():
+        print_table(
+            "Ablation: prefix width vs shard coverage (4096 shards, world "
+            "dictionary)",
+            ["prefix bits", "shards holding data", "fraction of cluster"],
+            rows,
+        )
+
+    # Wider prefixes route at finer granularity: coverage grows.
+    assert coverage[16] >= coverage[8]
+
+    router = ShardRouter(sharding, 16, suffix_bits=0)
+    cells = [Geohash(bits, 16) for bits in world_cells]
+
+    def route_world():
+        for cell in cells:
+            router.shard_of_cell(cell)
+
+    benchmark.pedantic(route_world, rounds=3, iterations=1)

@@ -1,0 +1,79 @@
+"""Ablation — the winnowing guarantee threshold t (window size w = t-k+1).
+
+The paper notes that "as the dataset densifies, the upper threshold can
+be used to reduce the number of fingerprints extracted from queries in
+order to set the efficiency/effectiveness tradeoff" (Section IV-A).  This
+ablation sweeps t and reports fingerprint density, index size, retrieval
+quality, and query time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.bench.runner import time_callable
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.ir.metrics import average_precision
+from repro.normalize import standard_normalizer
+
+T_VALUES = (6, 9, 12, 18, 24)
+
+
+def bench_ablation_window(benchmark, retrieval_workload, capsys):
+    """Sweep the guarantee threshold t at fixed k = 6."""
+    normalizer = standard_normalizer()
+    rows = []
+    quality_by_t = {}
+    for t in T_VALUES:
+        config = GeodabConfig(k=6, t=t)
+        index = GeodabIndex(config, normalizer=normalizer)
+        for record in retrieval_workload.records:
+            index.add(record.trajectory_id, record.points)
+        stats = index.stats()
+        aps = []
+        for query in retrieval_workload.queries:
+            ranked = [r.trajectory_id for r in index.query(query.points)]
+            aps.append(average_precision(ranked, query.relevant_ids))
+        mean_ap = sum(aps) / len(aps)
+        quality_by_t[t] = mean_ap
+
+        def run_queries():
+            for query in retrieval_workload.queries:
+                index.query(query.points)
+
+        rows.append(
+            [
+                t,
+                config.window,
+                stats.terms,
+                stats.postings,
+                mean_ap,
+                time_callable(run_queries, repeats=2),
+            ]
+        )
+
+    with capsys.disabled():
+        print_table(
+            "Ablation: winnowing upper bound t (k=6)",
+            ["t", "window", "terms", "postings", "MAP", "query ms"],
+            rows,
+        )
+
+    # Larger windows must shrink the index (fewer fingerprints kept).
+    postings = [row[3] for row in rows]
+    assert postings[-1] < postings[0]
+    # The paper's default (t=12) should not be far off the best quality.
+    assert quality_by_t[12] >= max(quality_by_t.values()) - 0.25
+
+    config = GeodabConfig(k=6, t=12)
+    index = GeodabIndex(config, normalizer=normalizer)
+    for record in retrieval_workload.records:
+        index.add(record.trajectory_id, record.points)
+
+    def default_queries():
+        for query in retrieval_workload.queries:
+            index.query(query.points)
+
+    benchmark.pedantic(default_queries, rounds=3, iterations=1)

@@ -1,0 +1,81 @@
+"""Figure 8 — verifying configuration parameters with a PR curve.
+
+The paper sweeps the grid-normalization depth (32/34/36/38/40 bits) and
+plots interpolated precision/recall of the geodab index under each; 36
+bits dominates its neighbours on the London dataset (Section VI-A2).
+This bench regenerates the five curves and benchmarks the query batch at
+the winning depth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.ir.metrics import average_pr_curve, precision_recall_curve
+from repro.normalize import GridNormalizer, MovingAverageSmoother, compose
+
+DEPTHS = (32, 34, 36, 38, 40)
+RECALL_LEVELS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _build_index(dataset, depth: int) -> GeodabIndex:
+    config = GeodabConfig(normalization_depth=depth)
+    normalizer = compose(MovingAverageSmoother(9), GridNormalizer(depth))
+    index = GeodabIndex(config, normalizer=normalizer)
+    for record in dataset.records:
+        index.add(record.trajectory_id, record.points)
+    return index
+
+
+def _pr_curve(index: GeodabIndex, dataset):
+    curves = []
+    for query in dataset.queries:
+        ranked = [r.trajectory_id for r in index.query(query.points)]
+        if ranked:
+            curves.append(precision_recall_curve(ranked, query.relevant_ids))
+    return average_pr_curve(curves, RECALL_LEVELS)
+
+
+@pytest.fixture(scope="module")
+def indexes_by_depth(retrieval_workload):
+    return {depth: _build_index(retrieval_workload, depth) for depth in DEPTHS}
+
+
+def bench_fig08_normalization_pr(
+    benchmark, indexes_by_depth, retrieval_workload, capsys
+):
+    """Regenerate the five PR curves; benchmark queries at 36 bits."""
+    rows = []
+    curves = {}
+    for depth, index in indexes_by_depth.items():
+        curve = _pr_curve(index, retrieval_workload)
+        curves[depth] = curve
+        rows.append([f"{depth} bits"] + [p.precision for p in curve])
+
+    with capsys.disabled():
+        print_table(
+            "Figure 8: interpolated precision at recall levels, by "
+            "normalization depth",
+            ["normalization"] + [f"P@R={level}" for level in RECALL_LEVELS],
+            rows,
+        )
+
+    # The paper's claim: 36 bits beats its up/downstream neighbours on
+    # aggregate precision.
+    def mean_precision(depth):
+        return sum(p.precision for p in curves[depth]) / len(curves[depth])
+
+    assert mean_precision(36) >= mean_precision(32) - 0.05
+    assert mean_precision(36) >= mean_precision(40) - 0.05
+
+    index = indexes_by_depth[36]
+    queries = retrieval_workload.queries
+
+    def run_queries():
+        for query in queries:
+            index.query(query.points)
+
+    benchmark.pedantic(run_queries, rounds=3, iterations=1)

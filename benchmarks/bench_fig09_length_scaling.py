@@ -1,0 +1,108 @@
+"""Figure 9 — distance-computation cost vs trajectory length.
+
+The paper fixes the candidate-set size (10) and grows the trajectory
+length, showing DTW/DFD time rising polynomially while Jaccard over
+geodab fingerprint sets stays flat.  (Note: the captions of Figures 9 and
+10 are swapped relative to the prose in Section VI-B4; we follow the
+prose — Figure 9 sweeps length.)
+
+Default lengths are scaled to 100..500 points so the pure-Python dynamic
+programs finish promptly; the quadratic-vs-flat shape is unaffected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.bench.runner import time_callable
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import Fingerprinter
+from repro.distance.dtw import dtw
+from repro.distance.frechet import discrete_frechet
+from repro.geo.point import Point, destination
+from repro.normalize import standard_normalizer
+from repro.workload.noise import GaussianGpsNoise
+from random import Random
+
+LENGTHS = (100, 200, 300, 400, 500)
+CANDIDATES = 10
+
+
+def _make_trajectory(length: int, seed: int) -> list[Point]:
+    rng = Random(seed)
+    noise = GaussianGpsNoise(20.0, rng)
+    start = Point(51.5074, -0.1278)
+    bearing = 80.0
+    points = [start]
+    for _ in range(length - 1):
+        bearing += rng.uniform(-4.0, 4.0)
+        points.append(destination(points[-1], bearing, 10.0))
+    return noise.apply_all(points)
+
+
+@pytest.fixture(scope="module")
+def trajectory_sets():
+    return {
+        length: [_make_trajectory(length, seed) for seed in range(CANDIDATES + 1)]
+        for length in LENGTHS
+    }
+
+
+def bench_fig09_length_scaling(benchmark, trajectory_sets, capsys):
+    """DTW/DFD vs geodab-Jaccard as trajectory length grows."""
+    fingerprinter = Fingerprinter(GeodabConfig())
+    normalizer = standard_normalizer()
+    rows = []
+    for length in LENGTHS:
+        query, *candidates = trajectory_sets[length]
+
+        def score_dtw():
+            for c in candidates:
+                dtw(query, c)
+
+        def score_dfd():
+            for c in candidates:
+                discrete_frechet(query, c)
+
+        def score_geodabs():
+            fp_query = fingerprinter.fingerprint(normalizer(query))
+            for c in candidates:
+                fp_query.jaccard_distance(
+                    fingerprinter.fingerprint(normalizer(c))
+                )
+
+        rows.append(
+            [
+                length,
+                time_callable(score_dfd, repeats=1),
+                time_callable(score_dtw, repeats=1),
+                time_callable(score_geodabs, repeats=1),
+            ]
+        )
+
+    with capsys.disabled():
+        print_table(
+            f"Figure 9: scoring {CANDIDATES} candidates vs trajectory length (ms)",
+            ["length", "DFD", "DTW", "Geodabs"],
+            rows,
+        )
+
+    # Shape assertions: the DP distances grow superlinearly; geodabs stay
+    # within a small constant factor across the sweep.
+    assert rows[-1][1] > rows[0][1] * 4  # DFD
+    assert rows[-1][2] > rows[0][2] * 4  # DTW
+    assert rows[-1][3] < rows[0][1] + rows[0][3] + 50.0
+
+    # Benchmark the geodab scoring path at the longest length.
+    query, *candidates = trajectory_sets[LENGTHS[-1]]
+    fp_query = fingerprinter.fingerprint(normalizer(query))
+    fp_candidates = [
+        fingerprinter.fingerprint(normalizer(c)) for c in candidates
+    ]
+
+    def score_prefingerprinted():
+        for fp in fp_candidates:
+            fp_query.jaccard_distance(fp)
+
+    benchmark(score_prefingerprinted)

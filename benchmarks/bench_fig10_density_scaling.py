@@ -1,0 +1,86 @@
+"""Figure 10 — distance-computation cost vs candidate-set size.
+
+The paper fixes trajectory length and grows the number of candidates the
+distance must be computed against: DTW/DFD cost rises linearly in the
+candidate count, Jaccard over geodabs stays negligible.  (Captions of
+Figures 9/10 are swapped in the paper; we follow the prose — Figure 10
+sweeps density.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.bench.runner import time_callable
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import Fingerprinter
+from repro.distance.dtw import dtw
+from repro.distance.frechet import discrete_frechet
+from repro.normalize import standard_normalizer
+
+from .bench_fig09_length_scaling import _make_trajectory
+
+DENSITIES = (2, 4, 6, 8, 10)
+LENGTH = 300
+
+
+@pytest.fixture(scope="module")
+def candidate_pool():
+    return [_make_trajectory(LENGTH, seed) for seed in range(max(DENSITIES) + 1)]
+
+
+def bench_fig10_density_scaling(benchmark, candidate_pool, capsys):
+    """DTW/DFD vs geodab-Jaccard as the candidate set densifies."""
+    fingerprinter = Fingerprinter(GeodabConfig())
+    normalizer = standard_normalizer()
+    query, *pool = candidate_pool
+    fp_query = fingerprinter.fingerprint(normalizer(query))
+    fp_pool = [fingerprinter.fingerprint(normalizer(c)) for c in pool]
+
+    rows = []
+    for density in DENSITIES:
+        candidates = pool[:density]
+        fp_candidates = fp_pool[:density]
+
+        def score_dtw():
+            for c in candidates:
+                dtw(query, c)
+
+        def score_dfd():
+            for c in candidates:
+                discrete_frechet(query, c)
+
+        def score_geodabs():
+            for fp in fp_candidates:
+                fp_query.jaccard_distance(fp)
+
+        rows.append(
+            [
+                density,
+                time_callable(score_dfd, repeats=1),
+                time_callable(score_dtw, repeats=1),
+                time_callable(score_geodabs, repeats=2),
+            ]
+        )
+
+    with capsys.disabled():
+        print_table(
+            f"Figure 10: scoring time vs candidate count at length {LENGTH} (ms)",
+            ["candidates", "DFD", "DTW", "Geodabs"],
+            rows,
+        )
+
+    # Shape: DP cost grows ~linearly with density; geodabs remain orders
+    # of magnitude cheaper throughout.
+    assert rows[-1][1] > rows[0][1] * 2.5
+    assert rows[-1][2] > rows[0][2] * 2.5
+    assert all(row[3] < row[1] / 10.0 for row in rows)
+
+    fp_all = fp_pool[: DENSITIES[-1]]
+
+    def score_max_density():
+        for fp in fp_all:
+            fp_query.jaccard_distance(fp)
+
+    benchmark(score_max_density)

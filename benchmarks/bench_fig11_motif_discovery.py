@@ -1,0 +1,84 @@
+"""Figure 11 — motif discovery cost: BTM (exact DFD) vs geodabs.
+
+The paper compares its fingerprint-window motif discovery against the
+bounding-based trajectory motif (BTM) algorithm as the number of
+candidate trajectories grows: BTM's cost explodes (every pair costs many
+DFD evaluations), geodab motif discovery stays cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.btm import btm_motif
+from repro.bench.report import print_table
+from repro.bench.runner import time_callable
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import Fingerprinter
+from repro.core.motif import discover_motif
+from repro.normalize import standard_normalizer
+
+from .bench_fig09_length_scaling import _make_trajectory
+
+DENSITIES = (2, 4, 6, 8, 10)
+LENGTH = 120
+MOTIF_POINTS = 40
+MOTIF_METERS = 400.0
+
+
+@pytest.fixture(scope="module")
+def motif_pool():
+    return [_make_trajectory(LENGTH, seed) for seed in range(max(DENSITIES) + 1)]
+
+
+def bench_fig11_motif_discovery(benchmark, motif_pool, capsys):
+    """Motif discovery against an increasing candidate set."""
+    fingerprinter = Fingerprinter(GeodabConfig(k=3, t=6))
+    normalizer = standard_normalizer()
+    query, *pool = motif_pool
+    fp_query = fingerprinter.fingerprint(normalizer(query))
+    fp_pool = [fingerprinter.fingerprint(normalizer(c)) for c in pool]
+    # Translate the motif length into fingerprints (f = l * a).
+    density_per_m = max(len(fp_query.selections) / (LENGTH * 10.0), 1e-6)
+    window = max(1, round(MOTIF_METERS * density_per_m))
+
+    rows = []
+    for density in DENSITIES:
+        candidates = pool[:density]
+        fp_candidates = fp_pool[:density]
+
+        def run_btm():
+            for candidate in candidates:
+                btm_motif(query, candidate, MOTIF_POINTS)
+
+        def run_geodabs():
+            for fp in fp_candidates:
+                discover_motif(fp_query, fp, window, fingerprinter.config.k)
+
+        rows.append(
+            [
+                density,
+                time_callable(run_btm, repeats=1),
+                time_callable(run_geodabs, repeats=1),
+            ]
+        )
+
+    with capsys.disabled():
+        print_table(
+            f"Figure 11: motif discovery vs candidate count "
+            f"(motif {MOTIF_POINTS} pts / ~{MOTIF_METERS:.0f} m, ms)",
+            ["candidates", "BTM", "Geodabs"],
+            rows,
+        )
+
+    # Shape: BTM cost grows with density and dwarfs the geodab method.
+    assert rows[-1][1] > rows[0][1] * 2.5
+    assert all(row[2] < row[1] for row in rows)
+
+    fp_all = fp_pool[: DENSITIES[-1]]
+
+    def geodab_motifs_max_density():
+        for fp in fp_all:
+            discover_motif(fp_query, fp, window, fingerprinter.config.k)
+
+    benchmark(geodab_motifs_max_density)

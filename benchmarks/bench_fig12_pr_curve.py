@@ -1,0 +1,66 @@
+"""Figure 12 — PR curves: geodab index vs geohash index.
+
+The defining effectiveness result: on a dataset where every route has a
+return path, the geohash index cannot tell directions apart, so its
+precision decays towards 0.5 as recall grows; the geodab index keeps
+precision near 1 for most of the recall range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.bench.runner import build_geodab_index, build_geohash_index
+from repro.ir.metrics import average_pr_curve, precision_recall_curve
+
+RECALL_LEVELS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@pytest.fixture(scope="module")
+def built_indexes(retrieval_workload):
+    return (
+        build_geodab_index(retrieval_workload),
+        build_geohash_index(retrieval_workload),
+    )
+
+
+def _average_curve(index, dataset):
+    curves = []
+    for query in dataset.queries:
+        ranked = [r.trajectory_id for r in index.query(query.points)]
+        if ranked:
+            curves.append(precision_recall_curve(ranked, query.relevant_ids))
+    return average_pr_curve(curves, RECALL_LEVELS)
+
+
+def bench_fig12_pr_curve(benchmark, built_indexes, retrieval_workload, capsys):
+    """Regenerate the two PR curves and assert their relative shape."""
+    geodab_index, geohash_index = built_indexes
+    geodab_curve = _average_curve(geodab_index, retrieval_workload)
+    geohash_curve = _average_curve(geohash_index, retrieval_workload)
+
+    with capsys.disabled():
+        print_table(
+            "Figure 12: interpolated precision at recall levels",
+            ["index"] + [f"R={level:.1f}" for level in RECALL_LEVELS],
+            [
+                ["geodabs"] + [p.precision for p in geodab_curve],
+                ["geohash"] + [p.precision for p in geohash_curve],
+            ],
+        )
+
+    # Paper shape: geodabs dominate; early geodab precision ~1; geohash
+    # sinks towards the 0.5 direction-blindness plateau.
+    assert geodab_curve[0].precision > 0.9
+    for g, h in zip(geodab_curve, geohash_curve):
+        assert g.precision >= h.precision - 0.05
+    assert geohash_curve[-1].precision < 0.75
+
+    queries = retrieval_workload.queries
+
+    def run_query_batch():
+        for query in queries:
+            geodab_index.query(query.points)
+
+    benchmark.pedantic(run_query_batch, rounds=3, iterations=1)

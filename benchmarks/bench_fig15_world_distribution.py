@@ -1,0 +1,69 @@
+"""Figure 15 — distribution of trajectories over 16-bit geohash cells.
+
+The paper plots world-scale trajectory counts per 16-bit geohash prefix:
+sharp peaks at megacities (the tallest around Mexico City) separated by
+oceanic voids.  We regenerate the distribution from the synthetic world
+activity model and report its skew statistics and top peaks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.geo.geohash import Geohash
+from repro.roadnet.world import WorldActivityModel
+
+TOTAL_TRAJECTORIES = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def world_counts():
+    model = WorldActivityModel(seed=7)
+    return model, model.trajectories_per_cell(TOTAL_TRAJECTORIES)
+
+
+def bench_fig15_world_distribution(benchmark, world_counts, capsys):
+    """Regenerate the per-cell distribution and its peak structure."""
+    model, counts = world_counts
+    stats = model.skew_statistics(counts)
+    peaks = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)[:10]
+    peak_rows = []
+    for cell_bits, count in peaks:
+        center = Geohash(cell_bits, 16).center()
+        peak_rows.append(
+            [f"{cell_bits:#06x}", count, f"{center.lat:.1f}", f"{center.lon:.1f}"]
+        )
+
+    with capsys.disabled():
+        print_table(
+            "Figure 15: top-10 cells by trajectory count "
+            f"(total {TOTAL_TRAJECTORIES:,})",
+            ["cell", "trajectories", "lat", "lon"],
+            peak_rows,
+        )
+        print_table(
+            "Figure 15: distribution summary",
+            ["populated cells", "of 2^16", "max/cell", "mean/cell", "gini"],
+            [
+                [
+                    int(stats["cells"]),
+                    1 << 16,
+                    int(stats["max"]),
+                    stats["mean"],
+                    stats["gini"],
+                ]
+            ],
+        )
+
+    # Shape: extreme skew (megacity peaks) and oceanic voids.
+    assert stats["gini"] > 0.5
+    assert stats["max"] > 20 * stats["mean"]
+    assert stats["cells"] < (1 << 16) / 2
+
+    model_for_timing = WorldActivityModel(seed=8)
+
+    def regenerate():
+        model_for_timing.trajectories_per_cell(100_000)
+
+    benchmark.pedantic(regenerate, rounds=3, iterations=1)

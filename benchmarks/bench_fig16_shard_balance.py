@@ -1,0 +1,63 @@
+"""Figure 16 — balancing a 10-node cluster: 100 vs 10'000 shards.
+
+The paper distributes the world-scale index over 10 nodes via the
+two-step placement (curve-preserving shard, locality-breaking modulo
+node).  With 100 shards whole busy regions land on single nodes and the
+cluster is imbalanced; with 10'000 shards the load spreads evenly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.cluster.sharding import ShardingConfig
+from repro.cluster.stats import balance_report, distribute_cell_counts
+from repro.roadnet.world import WorldActivityModel
+
+TOTAL_TRAJECTORIES = 1_000_000
+NUM_NODES = 10
+SHARD_COUNTS = (100, 1_000, 10_000)
+
+
+@pytest.fixture(scope="module")
+def world_counts():
+    return WorldActivityModel(seed=7).trajectories_per_cell(TOTAL_TRAJECTORIES)
+
+
+def bench_fig16_shard_balance(benchmark, world_counts, capsys):
+    """Per-node load under increasing shard counts."""
+    reports = {}
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        sharding = ShardingConfig(num_shards=num_shards, num_nodes=NUM_NODES)
+        _, per_node = distribute_cell_counts(world_counts, 16, sharding)
+        report = balance_report(per_node)
+        reports[num_shards] = report
+        rows.append(
+            [num_shards]
+            + list(report.counts)
+            + [report.coefficient_of_variation, report.max_over_mean]
+        )
+
+    with capsys.disabled():
+        print_table(
+            f"Figure 16: trajectories per node ({NUM_NODES} nodes)",
+            ["shards"]
+            + [chr(ord('A') + i) for i in range(NUM_NODES)]
+            + ["cv", "max/mean"],
+            rows,
+        )
+
+    # Shape: more shards -> better balance (lower cv), as in the paper.
+    assert (
+        reports[10_000].coefficient_of_variation
+        < reports[100].coefficient_of_variation
+    )
+    assert reports[10_000].max_over_mean < reports[100].max_over_mean
+
+    def distribute_at_10k():
+        sharding = ShardingConfig(num_shards=10_000, num_nodes=NUM_NODES)
+        distribute_cell_counts(world_counts, 16, sharding)
+
+    benchmark.pedantic(distribute_at_10k, rounds=3, iterations=1)

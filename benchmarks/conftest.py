@@ -1,0 +1,38 @@
+"""Shared fixtures for the figure-reproduction benchmark suite.
+
+Workloads are cached at session scope (and memoized inside
+:mod:`repro.bench.runner`), so the expensive dataset constructions happen
+once per pytest session regardless of how many figures consume them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import bench_workload
+from repro.core.config import GeodabConfig
+from repro.normalize import standard_normalizer
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> GeodabConfig:
+    """The paper's default pipeline configuration (Section VI-A2)."""
+    return GeodabConfig()
+
+
+@pytest.fixture(scope="session")
+def normalizer():
+    """The evaluation's default normalization (smooth + 36-bit grid)."""
+    return standard_normalizer()
+
+
+@pytest.fixture(scope="session")
+def retrieval_workload():
+    """Dense workload for effectiveness figures: 30 routes x 20, 20 queries."""
+    return bench_workload(num_routes=30, per_direction=10, num_queries=20, seed=0)
+
+
+@pytest.fixture(scope="session")
+def throughput_workload():
+    """Larger workload for the Figure 14 throughput sweep."""
+    return bench_workload(num_routes=50, per_direction=10, num_queries=20, seed=1)

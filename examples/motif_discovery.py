@@ -1,0 +1,109 @@
+"""Discovering common motifs in pairs of trajectories.
+
+Two commuters share a stretch of their daily routes.  This example finds
+that common motif twice — exactly with the BTM baseline (discrete Frechet
+distance over all sub-trajectory pairs, Section VI-C) and approximately
+with geodab fingerprint windows — and compares cost and agreement.
+
+Run with:  python examples/motif_discovery.py
+"""
+
+import time
+
+from repro.baselines import btm_motif
+from repro.core import GeodabConfig, Fingerprinter, find_common_motif
+from repro.geo import Point, destination, path_length
+from repro.normalize import standard_normalizer
+from repro.workload import GaussianGpsNoise
+from random import Random
+
+
+def commuter_trajectories():
+    """Two routes sharing a ~1.2 km middle segment, with GPS noise."""
+    london = Point(51.5074, -0.1278)
+    shared = [london]
+    for _ in range(120):  # ~1.2 km east
+        shared.append(destination(shared[-1], 90.0, 10.0))
+
+    # Commuter A approaches from the south, leaves north.
+    a = [destination(shared[0], 180.0, 600.0)]
+    while a[-1].distance_to(shared[0]) > 12.0:
+        a.append(destination(a[-1], 0.0, 10.0))
+    a += shared
+    tail = [destination(shared[-1], 0.0, 10.0)]
+    for _ in range(59):
+        tail.append(destination(tail[-1], 0.0, 10.0))
+    a += tail
+
+    # Commuter B approaches from the west, leaves south-east.
+    b = [destination(shared[0], 270.0, 500.0)]
+    while b[-1].distance_to(shared[0]) > 12.0:
+        b.append(destination(b[-1], 90.0, 10.0))
+    b += shared
+    tail = [destination(shared[-1], 135.0, 10.0)]
+    for _ in range(49):
+        tail.append(destination(tail[-1], 135.0, 10.0))
+    b += tail
+
+    rng = Random(7)
+    noise = GaussianGpsNoise(8.0, rng)
+    return noise.apply_all(a), noise.apply_all(b)
+
+
+def main() -> None:
+    trajectory_a, trajectory_b = commuter_trajectories()
+    print(
+        f"Commuter A: {len(trajectory_a)} points, "
+        f"{path_length(trajectory_a):,.0f} m"
+    )
+    print(
+        f"Commuter B: {len(trajectory_b)} points, "
+        f"{path_length(trajectory_b):,.0f} m\n"
+    )
+
+    # --- Exact: BTM (bounded DFD search over all window pairs) ----------
+    motif_points = 100  # ~1 km of 10 m steps
+    start = time.perf_counter()
+    exact = btm_motif(trajectory_a, trajectory_b, motif_points)
+    exact_ms = (time.perf_counter() - start) * 1000.0
+    print("BTM (exact, discrete Frechet):")
+    print(
+        f"  motif at A[{exact.start_i}:{exact.start_i + motif_points}] x "
+        f"B[{exact.start_j}:{exact.start_j + motif_points}], "
+        f"DFD = {exact.distance:.0f} m"
+    )
+    print(
+        f"  {exact.evaluated} exact DFD evaluations, {exact.pruned} pruned, "
+        f"{exact_ms:.0f} ms\n"
+    )
+
+    # --- Approximate: geodab fingerprint windows -------------------------
+    config = GeodabConfig(k=3, t=6)
+    normalizer = standard_normalizer(smoothing_window=5)
+    norm_a = normalizer(trajectory_a)
+    norm_b = normalizer(trajectory_b)
+    start = time.perf_counter()
+    approx = find_common_motif(norm_a, norm_b, length_m=1_000.0, fingerprinter=config)
+    approx_ms = (time.perf_counter() - start) * 1000.0
+    assert approx is not None, "no motif found - trajectories too short?"
+    print("Geodabs (approximate, Jaccard over fingerprint windows):")
+    print(
+        f"  motif spans cells A[{approx.span_i[0]}:{approx.span_i[1]}] x "
+        f"B[{approx.span_j[0]}:{approx.span_j[1]}], "
+        f"window jaccard = {approx.jaccard:.2f}"
+    )
+    print(f"  {approx_ms:.0f} ms ({exact_ms / max(approx_ms, 0.001):.0f}x faster)\n")
+
+    # --- Agreement check -------------------------------------------------
+    fingerprinter = Fingerprinter(config)
+    density = len(fingerprinter.fingerprint(norm_a).selections) / path_length(norm_a)
+    print(
+        "Both methods localize the shared segment; the geodab spans are "
+        "expressed over\nnormalized cells "
+        f"(~{1 / max(density, 1e-9):.0f} m per fingerprint), the BTM spans "
+        "over raw points."
+    )
+
+
+if __name__ == "__main__":
+    main()

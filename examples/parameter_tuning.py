@@ -1,0 +1,64 @@
+"""Automated parameter discovery by hill climbing (paper §VI-A2, future work).
+
+The paper tunes the normalization depth and the winnowing bounds by hand
+and suggests a hill-climbing strategy as future work.  This example runs
+that strategy on a small sample dataset: starting from a deliberately
+poor configuration, the search walks the (depth, k, t) space towards the
+paper's hand-tuned optimum, paying one index build per evaluated
+configuration.
+
+Run with:  python examples/parameter_tuning.py   (takes a minute or two)
+"""
+
+from repro.bench.report import print_table
+from repro.core import GeodabConfig
+from repro.roadnet import generate_city_network
+from repro.tuning import hill_climb
+from repro.workload import WorkloadBuilder
+
+
+def main() -> None:
+    print("Building a small tuning sample (10 routes x 8 recordings)...")
+    network = generate_city_network(half_side_m=2_500.0, spacing_m=250.0, seed=21)
+    dataset = WorkloadBuilder(network, seed=22).build(
+        num_routes=10, trajectories_per_direction=4, num_queries=8
+    )
+
+    seed = GeodabConfig(normalization_depth=28, k=3, t=4)
+    print(
+        f"Seed configuration: depth={seed.normalization_depth}, "
+        f"k={seed.k}, t={seed.t}\n"
+    )
+    print("Hill climbing (each evaluation builds and queries an index)...")
+    result = hill_climb(dataset, seed=seed, max_steps=6)
+
+    rows = [
+        [
+            step_number,
+            step.config.normalization_depth,
+            step.config.k,
+            step.config.t,
+            step.score,
+        ]
+        for step_number, step in enumerate(result.steps)
+    ]
+    print_table(
+        "Hill-climbing trajectory (score = mean average precision)",
+        ["step", "depth", "k", "t", "MAP"],
+        rows,
+    )
+    best = result.best.config
+    print(
+        f"Converged after {result.evaluations} index builds to "
+        f"depth={best.normalization_depth}, k={best.k}, t={best.t} "
+        f"(MAP {result.best.score:.3f})."
+    )
+    print(
+        "The paper's hand-tuned configuration is depth=36, k=6, t=12; the\n"
+        "search heads the same way — deeper-than-seed cells and wider noise\n"
+        "thresholds — without any manual sweeps."
+    )
+
+
+if __name__ == "__main__":
+    main()

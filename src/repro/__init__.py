@@ -1,0 +1,53 @@
+"""Geodabs: trajectory indexing meets fingerprinting at scale.
+
+Reproduction of Chapuis & Garbinato (ICDCS 2018).  The public API
+re-exports the pieces a downstream user needs:
+
+* fingerprinting: :class:`GeodabConfig`, :class:`Fingerprinter`
+* indexing: :class:`GeodabIndex` (the paper's method), :class:`GeohashIndex`
+  (the baseline), plus the sharded/distributed index in ``repro.cluster``
+* motif discovery: :func:`find_common_motif` and the exact BTM baseline
+  in ``repro.baselines``
+* data: the synthetic London workload in ``repro.workload``
+* geometry: :class:`Point`, :class:`Geohash`
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from .core import (
+    PAPER_CONFIG,
+    Fingerprinter,
+    FingerprintSet,
+    GeodabConfig,
+    GeodabIndex,
+    GeodabScheme,
+    GeohashIndex,
+    MotifMatch,
+    SearchResult,
+    TrajectoryWinnower,
+    discover_motif,
+    find_common_motif,
+)
+from .geo import BBox, Geohash, Point, haversine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BBox",
+    "Fingerprinter",
+    "FingerprintSet",
+    "GeodabConfig",
+    "GeodabIndex",
+    "GeodabScheme",
+    "Geohash",
+    "GeohashIndex",
+    "MotifMatch",
+    "PAPER_CONFIG",
+    "Point",
+    "SearchResult",
+    "TrajectoryWinnower",
+    "discover_motif",
+    "find_common_motif",
+    "haversine",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Baseline algorithms the paper compares against."""
+
+from .btm import BtmResult, btm_motif, naive_motif
+
+__all__ = ["BtmResult", "btm_motif", "naive_motif"]

@@ -1,0 +1,23 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from .report import format_table, format_value, print_table
+from .runner import (
+    bench_network,
+    bench_scale,
+    bench_workload,
+    build_geodab_index,
+    build_geohash_index,
+    time_callable,
+)
+
+__all__ = [
+    "bench_network",
+    "bench_scale",
+    "bench_workload",
+    "build_geodab_index",
+    "build_geohash_index",
+    "format_table",
+    "format_value",
+    "print_table",
+    "time_callable",
+]

@@ -1,0 +1,60 @@
+"""Plain-text reporting for the benchmark harness.
+
+Every benchmark regenerates a paper figure as a table of rows/series; the
+helpers here print them in a stable, aligned format so bench output can be
+diffed across runs and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats get 4 significant digits, rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int) and abs(value) >= 1000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Format a titled, column-aligned table."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Print a formatted table, framed by blank lines."""
+    print()
+    print(format_table(title, headers, rows))
+    print()

@@ -1,0 +1,116 @@
+"""Shared workload construction for the benchmark suite.
+
+All figure benchmarks draw from the same scaled-down London workload; the
+builders here memoize by parameters so a pytest session constructs each
+workload once.  Scale defaults are chosen so the full benchmark suite
+completes in minutes of pure Python while preserving the paper's
+*density* (trajectories per route), which is what its comparisons hinge
+on; set ``REPRO_BENCH_SCALE`` to grow everything proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+from random import Random
+from typing import Callable
+
+from ..core.baseline import GeohashIndex
+from ..core.config import GeodabConfig
+from ..core.index import GeodabIndex
+from ..normalize import standard_normalizer
+from ..roadnet.generator import generate_city_network
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.router import Route
+from ..workload.dataset import TrajectoryDataset
+from ..workload.trajgen import WorkloadBuilder
+
+__all__ = [
+    "bench_scale",
+    "bench_network",
+    "bench_workload",
+    "build_geodab_index",
+    "build_geohash_index",
+    "time_callable",
+]
+
+
+def bench_scale() -> float:
+    """Global scale factor for benchmark workloads (env REPRO_BENCH_SCALE)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_SCALE={raw!r} is not a number") from exc
+    if scale <= 0:
+        raise ValueError("REPRO_BENCH_SCALE must be positive")
+    return scale
+
+
+@lru_cache(maxsize=4)
+def bench_network(seed: int = 0, half_side_m: float = 4_330.0) -> RoadNetwork:
+    """The benchmark city: ~75 km^2 of perturbed-grid London."""
+    return generate_city_network(
+        half_side_m=half_side_m,
+        spacing_m=250.0,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=16)
+def bench_workload(
+    num_routes: int,
+    per_direction: int = 10,
+    num_queries: int = 0,
+    seed: int = 0,
+) -> TrajectoryDataset:
+    """A cached dense workload of ``num_routes`` x (2 * per_direction)."""
+    builder = WorkloadBuilder(bench_network(seed), seed=seed)
+    return builder.build(
+        num_routes,
+        trajectories_per_direction=per_direction,
+        num_queries=num_queries,
+    )
+
+
+def build_geodab_index(
+    dataset: TrajectoryDataset,
+    config: GeodabConfig | None = None,
+    limit: int | None = None,
+) -> GeodabIndex:
+    """Index a dataset's records (optionally only the first ``limit``)."""
+    cfg = config or GeodabConfig()
+    index = GeodabIndex(cfg, normalizer=standard_normalizer(cfg.normalization_depth))
+    for record in dataset.records[:limit]:
+        index.add(record.trajectory_id, record.points)
+    return index
+
+
+def build_geohash_index(
+    dataset: TrajectoryDataset,
+    depth: int = 36,
+    limit: int | None = None,
+) -> GeohashIndex:
+    """Baseline index over the same records."""
+    index = GeohashIndex(depth=depth, normalizer=standard_normalizer(depth))
+    for record in dataset.records[:limit]:
+        index.add(record.trajectory_id, record.points)
+    return index
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in milliseconds.
+
+    Used for the figure tables, which report per-configuration timings
+    outside the pytest-benchmark fixture (one fixture per test limits a
+    test to a single measured series).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = (time.perf_counter() - start) * 1000.0
+        if elapsed < best:
+            best = elapsed
+    return best

@@ -1,0 +1,22 @@
+"""Roaring bitmap substrate (paper Section IV-A, reference [19])."""
+
+from .containers import (
+    ARRAY_MAX_SIZE,
+    ArrayContainer,
+    BitmapContainer,
+    RunContainer,
+    canonicalize,
+    run_optimize,
+)
+from .roaring import Roaring64Map, RoaringBitmap
+
+__all__ = [
+    "ARRAY_MAX_SIZE",
+    "ArrayContainer",
+    "BitmapContainer",
+    "Roaring64Map",
+    "RoaringBitmap",
+    "RunContainer",
+    "canonicalize",
+    "run_optimize",
+]

@@ -1,0 +1,470 @@
+"""Containers of the roaring bitmap (Lemire et al., cited as [19] in the paper).
+
+A roaring bitmap partitions the 32-bit universe into 2^16 chunks keyed by
+the high 16 bits of each value.  Every chunk holding at least one value is
+materialized as one of three containers storing the low 16 bits:
+
+* :class:`ArrayContainer` — a sorted array, used while the chunk holds at
+  most ``ARRAY_MAX_SIZE`` (4096) values;
+* :class:`BitmapContainer` — a fixed 2^16-bit bitset (1024 x 64-bit words),
+  used for denser chunks;
+* :class:`RunContainer` — sorted ``(start, length)`` runs, chosen by
+  ``run_optimize`` when it is the most compact encoding.
+
+Binary operations dispatch on the pair of container types and always
+return a container in its canonical form: an array when the cardinality is
+at most 4096, a bitmap otherwise.  Run containers are storage-only: they
+convert to the equivalent array/bitmap on entry to a binary operation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, Union
+
+import numpy as np
+
+#: Maximum cardinality of an array container.
+ARRAY_MAX_SIZE = 4096
+
+#: Number of 64-bit words in a bitmap container.
+BITMAP_WORDS = 1024
+
+#: Size of the low-bits universe covered by one container.
+CONTAINER_SIZE = 1 << 16
+
+Container = Union["ArrayContainer", "BitmapContainer", "RunContainer"]
+
+
+def _as_uint16_array(values: np.ndarray) -> np.ndarray:
+    """View/convert an integer array as uint16 without copying when possible."""
+    if values.dtype == np.uint16:
+        return values
+    return values.astype(np.uint16)
+
+
+class ArrayContainer:
+    """Sorted array of distinct low-16-bit values."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: np.ndarray | None = None) -> None:
+        if values is None:
+            values = np.empty(0, dtype=np.uint16)
+        self.values = _as_uint16_array(values)
+
+    @classmethod
+    def from_sorted(cls, values: np.ndarray) -> "ArrayContainer":
+        """Wrap an already-sorted, duplicate-free array."""
+        return cls(values)
+
+    @classmethod
+    def from_unsorted(cls, values: np.ndarray) -> "ArrayContainer":
+        """Build from arbitrary values (sorts and deduplicates)."""
+        return cls(np.unique(_as_uint16_array(np.asarray(values))))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of stored values."""
+        return int(self.values.size)
+
+    def contains(self, low: int) -> bool:
+        """Membership test for a low-bits value."""
+        i = int(np.searchsorted(self.values, low))
+        return i < self.values.size and int(self.values[i]) == low
+
+    def add(self, low: int) -> "Container":
+        """Return a container with ``low`` inserted (self if already present)."""
+        i = int(np.searchsorted(self.values, low))
+        if i < self.values.size and int(self.values[i]) == low:
+            return self
+        values = np.insert(self.values, i, low)
+        if values.size > ARRAY_MAX_SIZE:
+            return BitmapContainer.from_array_values(values)
+        return ArrayContainer(values)
+
+    def discard(self, low: int) -> "ArrayContainer":
+        """Return a container with ``low`` removed (self if absent)."""
+        i = int(np.searchsorted(self.values, low))
+        if i < self.values.size and int(self.values[i]) == low:
+            return ArrayContainer(np.delete(self.values, i))
+        return self
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values.tolist())
+
+    def min(self) -> int:
+        """Smallest stored value."""
+        return int(self.values[0])
+
+    def max(self) -> int:
+        """Largest stored value."""
+        return int(self.values[-1])
+
+    def rank(self, low: int) -> int:
+        """Number of stored values <= ``low``."""
+        return int(np.searchsorted(self.values, low, side="right"))
+
+    def select(self, i: int) -> int:
+        """The i-th smallest stored value (0-based)."""
+        return int(self.values[i])
+
+    def to_bitmap(self) -> "BitmapContainer":
+        """Convert to a bitmap container."""
+        return BitmapContainer.from_array_values(self.values)
+
+    def copy(self) -> "ArrayContainer":
+        """Deep copy."""
+        return ArrayContainer(self.values.copy())
+
+    def byte_size(self) -> int:
+        """Approximate in-memory payload size in bytes."""
+        return 2 * self.cardinality
+
+
+class BitmapContainer:
+    """Fixed-size 2^16-bit bitset with cached cardinality."""
+
+    __slots__ = ("words", "_cardinality")
+
+    def __init__(self, words: np.ndarray, cardinality: int | None = None) -> None:
+        if words.shape != (BITMAP_WORDS,) or words.dtype != np.uint64:
+            raise ValueError("bitmap container requires 1024 uint64 words")
+        self.words = words
+        if cardinality is None:
+            cardinality = int(np.bitwise_count(words).sum())
+        self._cardinality = cardinality
+
+    @classmethod
+    def empty(cls) -> "BitmapContainer":
+        """A bitmap with no bits set."""
+        return cls(np.zeros(BITMAP_WORDS, dtype=np.uint64), 0)
+
+    @classmethod
+    def from_array_values(cls, values: np.ndarray) -> "BitmapContainer":
+        """Build from an array of distinct low-bits values."""
+        words = np.zeros(BITMAP_WORDS, dtype=np.uint64)
+        v = values.astype(np.uint32)
+        np.bitwise_or.at(words, v >> 6, np.uint64(1) << (v & 63).astype(np.uint64))
+        return cls(words, int(len(values)))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of set bits."""
+        return self._cardinality
+
+    def contains(self, low: int) -> bool:
+        """Membership test for a low-bits value."""
+        return bool((int(self.words[low >> 6]) >> (low & 63)) & 1)
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership test; returns a boolean array."""
+        v = values.astype(np.uint32)
+        return ((self.words[v >> 6] >> (v & 63).astype(np.uint64)) & np.uint64(1)).astype(
+            bool
+        )
+
+    def add(self, low: int) -> "BitmapContainer":
+        """Return a container with ``low`` inserted."""
+        if self.contains(low):
+            return self
+        words = self.words.copy()
+        words[low >> 6] |= np.uint64(1) << np.uint64(low & 63)
+        return BitmapContainer(words, self._cardinality + 1)
+
+    def discard(self, low: int) -> "Container":
+        """Return a container with ``low`` removed (demotes to array if sparse)."""
+        if not self.contains(low):
+            return self
+        words = self.words.copy()
+        words[low >> 6] &= ~(np.uint64(1) << np.uint64(low & 63))
+        result = BitmapContainer(words, self._cardinality - 1)
+        if result.cardinality <= ARRAY_MAX_SIZE:
+            return result.to_array()
+        return result
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_numpy().tolist())
+
+    def to_numpy(self) -> np.ndarray:
+        """All set positions as a sorted uint16 array."""
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits).astype(np.uint16)
+
+    def min(self) -> int:
+        """Smallest set bit."""
+        nz = np.flatnonzero(self.words)
+        if nz.size == 0:
+            raise ValueError("min of empty container")
+        w = int(nz[0])
+        word = int(self.words[w])
+        return (w << 6) + ((word & -word).bit_length() - 1)
+
+    def max(self) -> int:
+        """Largest set bit."""
+        nz = np.flatnonzero(self.words)
+        if nz.size == 0:
+            raise ValueError("max of empty container")
+        w = int(nz[-1])
+        word = int(self.words[w])
+        return (w << 6) + (word.bit_length() - 1)
+
+    def rank(self, low: int) -> int:
+        """Number of set bits <= ``low``."""
+        w = low >> 6
+        full = int(np.bitwise_count(self.words[:w]).sum()) if w else 0
+        mask = (1 << ((low & 63) + 1)) - 1
+        return full + int(np.bitwise_count(np.uint64(int(self.words[w]) & mask)))
+
+    def select(self, i: int) -> int:
+        """The i-th smallest set bit (0-based)."""
+        if not 0 <= i < self._cardinality:
+            raise IndexError(f"select({i}) on container of size {self._cardinality}")
+        counts = np.bitwise_count(self.words).astype(np.int64)
+        cumulative = np.cumsum(counts)
+        w = int(np.searchsorted(cumulative, i + 1))
+        before = int(cumulative[w - 1]) if w else 0
+        word = int(self.words[w])
+        remaining = i - before
+        for bit in range(64):
+            if (word >> bit) & 1:
+                if remaining == 0:
+                    return (w << 6) + bit
+                remaining -= 1
+        raise AssertionError("cardinality bookkeeping violated")
+
+    def to_array(self) -> ArrayContainer:
+        """Convert to an array container."""
+        return ArrayContainer(self.to_numpy())
+
+    def copy(self) -> "BitmapContainer":
+        """Deep copy."""
+        return BitmapContainer(self.words.copy(), self._cardinality)
+
+    def byte_size(self) -> int:
+        """Approximate in-memory payload size in bytes."""
+        return BITMAP_WORDS * 8
+
+
+class RunContainer:
+    """Sorted, non-overlapping, non-adjacent ``(start, length)`` runs.
+
+    ``(start, length)`` encodes the values ``start .. start + length - 1``.
+    Run containers are produced by ``run_optimize`` for chunks dominated by
+    long consecutive ranges; they convert to array/bitmap form when they
+    participate in binary operations.
+    """
+
+    __slots__ = ("starts", "lengths")
+
+    def __init__(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        self.starts = starts.astype(np.uint16)
+        self.lengths = lengths.astype(np.uint32)
+
+    @classmethod
+    def from_sorted_values(cls, values: np.ndarray) -> "RunContainer":
+        """Build runs from a sorted array of distinct values."""
+        if len(values) == 0:
+            return cls(np.empty(0, dtype=np.uint16), np.empty(0, dtype=np.uint32))
+        v = values.astype(np.int64)
+        breaks = np.flatnonzero(np.diff(v) != 1)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [len(v) - 1]))
+        return cls(v[starts].astype(np.uint16), (ends - starts + 1).astype(np.uint32))
+
+    @property
+    def num_runs(self) -> int:
+        """Number of runs."""
+        return int(self.starts.size)
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of encoded values."""
+        return int(self.lengths.sum())
+
+    def contains(self, low: int) -> bool:
+        """Membership test for a low-bits value."""
+        i = bisect_right(self.starts.tolist(), low) - 1
+        if i < 0:
+            return False
+        return low < int(self.starts[i]) + int(self.lengths[i])
+
+    def __iter__(self) -> Iterator[int]:
+        for start, length in zip(self.starts.tolist(), self.lengths.tolist()):
+            yield from range(start, start + length)
+
+    def min(self) -> int:
+        """Smallest encoded value."""
+        return int(self.starts[0])
+
+    def max(self) -> int:
+        """Largest encoded value."""
+        return int(self.starts[-1]) + int(self.lengths[-1]) - 1
+
+    def to_numpy(self) -> np.ndarray:
+        """All encoded values as a sorted uint16 array."""
+        if self.num_runs == 0:
+            return np.empty(0, dtype=np.uint16)
+        pieces = [
+            np.arange(start, start + length, dtype=np.uint32)
+            for start, length in zip(self.starts.tolist(), self.lengths.tolist())
+        ]
+        return np.concatenate(pieces).astype(np.uint16)
+
+    def to_array_or_bitmap(self) -> Container:
+        """Canonical array/bitmap form, selected by cardinality."""
+        values = self.to_numpy()
+        if values.size <= ARRAY_MAX_SIZE:
+            return ArrayContainer(values)
+        return BitmapContainer.from_array_values(values)
+
+    def add(self, low: int) -> Container:
+        """Return a container with ``low`` inserted (leaves run form)."""
+        if self.contains(low):
+            return self
+        return canonicalize(self.to_array_or_bitmap().add(low))
+
+    def discard(self, low: int) -> Container:
+        """Return a container with ``low`` removed (leaves run form)."""
+        if not self.contains(low):
+            return self
+        return canonicalize(self.to_array_or_bitmap().discard(low))
+
+    def copy(self) -> "RunContainer":
+        """Deep copy."""
+        return RunContainer(self.starts.copy(), self.lengths.copy())
+
+    def byte_size(self) -> int:
+        """Approximate in-memory payload size in bytes."""
+        return 4 * self.num_runs
+
+
+def canonicalize(container: Container) -> Container:
+    """Normalize to array (<= 4096 values) or bitmap (> 4096 values) form."""
+    if isinstance(container, RunContainer):
+        container = container.to_array_or_bitmap()
+    if isinstance(container, ArrayContainer) and container.cardinality > ARRAY_MAX_SIZE:
+        return container.to_bitmap()
+    if (
+        isinstance(container, BitmapContainer)
+        and container.cardinality <= ARRAY_MAX_SIZE
+    ):
+        return container.to_array()
+    return container
+
+
+def run_optimize(container: Container) -> Container:
+    """Pick the most compact of run/array/bitmap encodings for a container."""
+    if isinstance(container, RunContainer):
+        values = container.to_numpy()
+        run = container
+    elif isinstance(container, ArrayContainer):
+        values = container.values
+        run = RunContainer.from_sorted_values(values)
+    else:
+        values = container.to_numpy()
+        run = RunContainer.from_sorted_values(values)
+    run_bytes = 4 * run.num_runs
+    array_bytes = 2 * len(values)
+    bitmap_bytes = BITMAP_WORDS * 8
+    best = min(run_bytes, array_bytes, bitmap_bytes)
+    if best == run_bytes:
+        return run
+    if best == array_bytes:
+        return ArrayContainer(values)
+    return BitmapContainer.from_array_values(values)
+
+
+def _materialize(container: Container) -> Container:
+    """Resolve run containers to array/bitmap before a binary operation."""
+    if isinstance(container, RunContainer):
+        return container.to_array_or_bitmap()
+    return container
+
+
+def container_and(a: Container, b: Container) -> Container:
+    """Intersection of two containers (canonical result)."""
+    a = _materialize(a)
+    b = _materialize(b)
+    if isinstance(a, ArrayContainer) and isinstance(b, ArrayContainer):
+        return ArrayContainer(np.intersect1d(a.values, b.values))
+    if isinstance(a, ArrayContainer) and isinstance(b, BitmapContainer):
+        return ArrayContainer(a.values[b.contains_many(a.values)])
+    if isinstance(a, BitmapContainer) and isinstance(b, ArrayContainer):
+        return ArrayContainer(b.values[a.contains_many(b.values)])
+    assert isinstance(a, BitmapContainer) and isinstance(b, BitmapContainer)
+    return canonicalize(BitmapContainer(a.words & b.words))
+
+
+def container_or(a: Container, b: Container) -> Container:
+    """Union of two containers (canonical result)."""
+    a = _materialize(a)
+    b = _materialize(b)
+    if isinstance(a, ArrayContainer) and isinstance(b, ArrayContainer):
+        return canonicalize(ArrayContainer(np.union1d(a.values, b.values)))
+    if isinstance(a, ArrayContainer) and isinstance(b, BitmapContainer):
+        a, b = b, a
+    if isinstance(a, BitmapContainer) and isinstance(b, ArrayContainer):
+        words = a.words.copy()
+        v = b.values.astype(np.uint32)
+        np.bitwise_or.at(words, v >> 6, np.uint64(1) << (v & 63).astype(np.uint64))
+        return BitmapContainer(words)
+    assert isinstance(a, BitmapContainer) and isinstance(b, BitmapContainer)
+    return BitmapContainer(a.words | b.words)
+
+
+def container_andnot(a: Container, b: Container) -> Container:
+    """Difference ``a - b`` (canonical result)."""
+    a = _materialize(a)
+    b = _materialize(b)
+    if isinstance(a, ArrayContainer) and isinstance(b, ArrayContainer):
+        return ArrayContainer(np.setdiff1d(a.values, b.values, assume_unique=True))
+    if isinstance(a, ArrayContainer) and isinstance(b, BitmapContainer):
+        return ArrayContainer(a.values[~b.contains_many(a.values)])
+    if isinstance(a, BitmapContainer) and isinstance(b, ArrayContainer):
+        words = a.words.copy()
+        v = b.values.astype(np.uint32)
+        np.bitwise_and.at(
+            words, v >> 6, ~(np.uint64(1) << (v & 63).astype(np.uint64))
+        )
+        return canonicalize(BitmapContainer(words))
+    assert isinstance(a, BitmapContainer) and isinstance(b, BitmapContainer)
+    return canonicalize(BitmapContainer(a.words & ~b.words))
+
+
+def container_xor(a: Container, b: Container) -> Container:
+    """Symmetric difference (canonical result)."""
+    a = _materialize(a)
+    b = _materialize(b)
+    if isinstance(a, ArrayContainer) and isinstance(b, ArrayContainer):
+        return canonicalize(ArrayContainer(np.setxor1d(a.values, b.values)))
+    if isinstance(a, ArrayContainer) and isinstance(b, BitmapContainer):
+        a, b = b, a
+    if isinstance(a, BitmapContainer) and isinstance(b, ArrayContainer):
+        words = a.words.copy()
+        v = b.values.astype(np.uint32)
+        np.bitwise_xor.at(words, v >> 6, np.uint64(1) << (v & 63).astype(np.uint64))
+        return canonicalize(BitmapContainer(words))
+    assert isinstance(a, BitmapContainer) and isinstance(b, BitmapContainer)
+    return canonicalize(BitmapContainer(a.words ^ b.words))
+
+
+def container_and_cardinality(a: Container, b: Container) -> int:
+    """Cardinality of the intersection without materializing it fully."""
+    a = _materialize(a)
+    b = _materialize(b)
+    if isinstance(a, BitmapContainer) and isinstance(b, BitmapContainer):
+        return int(np.bitwise_count(a.words & b.words).sum())
+    if isinstance(a, ArrayContainer) and isinstance(b, BitmapContainer):
+        return int(b.contains_many(a.values).sum())
+    if isinstance(a, BitmapContainer) and isinstance(b, ArrayContainer):
+        return int(a.contains_many(b.values).sum())
+    assert isinstance(a, ArrayContainer) and isinstance(b, ArrayContainer)
+    return int(np.intersect1d(a.values, b.values).size)
+
+
+def container_values(container: Container) -> np.ndarray:
+    """All values of a container as a sorted uint16 numpy array."""
+    if isinstance(container, ArrayContainer):
+        return container.values
+    return container.to_numpy()

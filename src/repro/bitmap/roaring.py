@@ -1,0 +1,481 @@
+"""Roaring bitmaps over the 32-bit (and, via a wrapper, 64-bit) universe.
+
+The paper stores each trajectory's fingerprint set as a roaring bitmap and
+ranks query results by comparing bitmaps with bitwise operations (Section
+IV-A).  This is a from-scratch reproduction of the data structure: values
+are split into a 16-bit *key* (high bits) selecting a container and a
+16-bit *low* part stored inside the container (see
+:mod:`repro.bitmap.containers`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .containers import (
+    ARRAY_MAX_SIZE,
+    ArrayContainer,
+    BitmapContainer,
+    Container,
+    RunContainer,
+    canonicalize,
+    container_and,
+    container_and_cardinality,
+    container_andnot,
+    container_or,
+    container_values,
+    container_xor,
+    run_optimize,
+)
+
+_MAX_VALUE_32 = (1 << 32) - 1
+
+
+def _check_value(value: int) -> None:
+    if not 0 <= value <= _MAX_VALUE_32:
+        raise ValueError(f"value {value} outside the 32-bit universe")
+
+
+class RoaringBitmap:
+    """A compressed set of 32-bit unsigned integers.
+
+    Supports the full set algebra (``| & - ^``), cardinality queries,
+    Jaccard similarity, rank/select, and a simple binary serialization.
+    Instances behave like immutable values for binary operators but offer
+    in-place mutation through :meth:`add` and :meth:`discard`.
+    """
+
+    __slots__ = ("_containers",)
+
+    def __init__(self) -> None:
+        self._containers: dict[int, Container] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_iterable(cls, values: Iterable[int]) -> "RoaringBitmap":
+        """Build a bitmap from arbitrary integers (vectorized)."""
+        array = np.fromiter((int(v) for v in values), dtype=np.int64, count=-1)
+        return cls.from_numpy(array)
+
+    @classmethod
+    def from_numpy(cls, values: np.ndarray) -> "RoaringBitmap":
+        """Build a bitmap from a numpy integer array."""
+        bitmap = cls()
+        if values.size == 0:
+            return bitmap
+        v = np.asarray(values)
+        if v.min() < 0 or v.max() > _MAX_VALUE_32:
+            raise ValueError("values outside the 32-bit universe")
+        v = np.unique(v.astype(np.uint32))
+        keys = v >> 16
+        lows = (v & 0xFFFF).astype(np.uint16)
+        boundaries = np.flatnonzero(np.diff(keys)) + 1
+        for chunk_lows, key in zip(
+            np.split(lows, boundaries), np.split(keys, boundaries)
+        ):
+            container: Container = ArrayContainer(chunk_lows)
+            bitmap._containers[int(key[0])] = canonicalize(container)
+        return bitmap
+
+    def copy(self) -> "RoaringBitmap":
+        """Deep copy."""
+        out = RoaringBitmap()
+        out._containers = {k: c.copy() for k, c in self._containers.items()}
+        return out
+
+    # ------------------------------------------------------------------
+    # Point queries and mutation
+    # ------------------------------------------------------------------
+
+    def add(self, value: int) -> None:
+        """Insert a value."""
+        _check_value(value)
+        key, low = value >> 16, value & 0xFFFF
+        container = self._containers.get(key)
+        if container is None:
+            self._containers[key] = ArrayContainer(np.array([low], dtype=np.uint16))
+        else:
+            self._containers[key] = container.add(low)
+
+    def discard(self, value: int) -> None:
+        """Remove a value if present."""
+        _check_value(value)
+        key, low = value >> 16, value & 0xFFFF
+        container = self._containers.get(key)
+        if container is None:
+            return
+        updated = container.discard(low)
+        if updated.cardinality == 0:
+            del self._containers[key]
+        else:
+            self._containers[key] = updated
+
+    def remove(self, value: int) -> None:
+        """Remove a value; raise ``KeyError`` if absent."""
+        if value not in self:
+            raise KeyError(value)
+        self.discard(value)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, int) or not 0 <= value <= _MAX_VALUE_32:
+            return False
+        container = self._containers.get(value >> 16)
+        return container is not None and container.contains(value & 0xFFFF)
+
+    # ------------------------------------------------------------------
+    # Size and iteration
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(c.cardinality for c in self._containers.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._containers)
+
+    def __iter__(self) -> Iterator[int]:
+        for key in sorted(self._containers):
+            base = key << 16
+            for low in self._containers[key]:
+                yield base | int(low)
+
+    def to_numpy(self) -> np.ndarray:
+        """All values as a sorted uint32 array."""
+        if not self._containers:
+            return np.empty(0, dtype=np.uint32)
+        pieces = []
+        for key in sorted(self._containers):
+            values = container_values(self._containers[key]).astype(np.uint32)
+            pieces.append(values + np.uint32(key << 16))
+        return np.concatenate(pieces)
+
+    def min(self) -> int:
+        """Smallest value."""
+        if not self._containers:
+            raise ValueError("min of empty bitmap")
+        key = min(self._containers)
+        return (key << 16) | self._containers[key].min()
+
+    def max(self) -> int:
+        """Largest value."""
+        if not self._containers:
+            raise ValueError("max of empty bitmap")
+        key = max(self._containers)
+        return (key << 16) | self._containers[key].max()
+
+    def rank(self, value: int) -> int:
+        """Number of stored values <= ``value``."""
+        _check_value(value)
+        key, low = value >> 16, value & 0xFFFF
+        total = 0
+        for k in sorted(self._containers):
+            if k < key:
+                total += self._containers[k].cardinality
+            elif k == key:
+                container = self._containers[k]
+                if isinstance(container, RunContainer):
+                    container = container.to_array_or_bitmap()
+                total += container.rank(low)
+            else:
+                break
+        return total
+
+    def select(self, i: int) -> int:
+        """The i-th smallest value (0-based)."""
+        if i < 0:
+            raise IndexError(i)
+        remaining = i
+        for key in sorted(self._containers):
+            container = self._containers[key]
+            if remaining < container.cardinality:
+                if isinstance(container, RunContainer):
+                    container = container.to_array_or_bitmap()
+                return (key << 16) | container.select(remaining)
+            remaining -= container.cardinality
+        raise IndexError(i)
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def _binary(
+        self, other: "RoaringBitmap", op: str
+    ) -> "RoaringBitmap":
+        out = RoaringBitmap()
+        keys_self = set(self._containers)
+        keys_other = set(other._containers)
+        if op == "and":
+            for key in keys_self & keys_other:
+                c = container_and(self._containers[key], other._containers[key])
+                if c.cardinality:
+                    out._containers[key] = c
+        elif op == "or":
+            for key in keys_self | keys_other:
+                a = self._containers.get(key)
+                b = other._containers.get(key)
+                if a is not None and b is not None:
+                    out._containers[key] = container_or(a, b)
+                elif a is not None:
+                    out._containers[key] = a.copy()
+                else:
+                    assert b is not None
+                    out._containers[key] = b.copy()
+        elif op == "andnot":
+            for key in keys_self:
+                a = self._containers[key]
+                b = other._containers.get(key)
+                if b is None:
+                    out._containers[key] = a.copy()
+                else:
+                    c = container_andnot(a, b)
+                    if c.cardinality:
+                        out._containers[key] = c
+        elif op == "xor":
+            for key in keys_self | keys_other:
+                a = self._containers.get(key)
+                b = other._containers.get(key)
+                if a is not None and b is not None:
+                    c = container_xor(a, b)
+                    if c.cardinality:
+                        out._containers[key] = c
+                elif a is not None:
+                    out._containers[key] = a.copy()
+                else:
+                    assert b is not None
+                    out._containers[key] = b.copy()
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(op)
+        return out
+
+    def __and__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        return self._binary(other, "and")
+
+    def __or__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        return self._binary(other, "or")
+
+    def __sub__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        return self._binary(other, "andnot")
+
+    def __xor__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        return self._binary(other, "xor")
+
+    def intersection_cardinality(self, other: "RoaringBitmap") -> int:
+        """``|self & other|`` without materializing the intersection."""
+        total = 0
+        small, large = (
+            (self, other) if len(self._containers) <= len(other._containers) else (other, self)
+        )
+        for key, a in small._containers.items():
+            b = large._containers.get(key)
+            if b is not None:
+                total += container_and_cardinality(a, b)
+        return total
+
+    def union_cardinality(self, other: "RoaringBitmap") -> int:
+        """``|self | other|`` via inclusion-exclusion."""
+        return len(self) + len(other) - self.intersection_cardinality(other)
+
+    def jaccard(self, other: "RoaringBitmap") -> float:
+        """Jaccard coefficient ``|A & B| / |A | B|`` (1.0 for two empty sets)."""
+        inter = self.intersection_cardinality(other)
+        union = len(self) + len(other) - inter
+        if union == 0:
+            return 1.0
+        return inter / union
+
+    def jaccard_distance(self, other: "RoaringBitmap") -> float:
+        """Jaccard distance ``1 - jaccard`` (paper Equation 1)."""
+        return 1.0 - self.jaccard(other)
+
+    def isdisjoint(self, other: "RoaringBitmap") -> bool:
+        """Whether the two bitmaps share no value."""
+        return self.intersection_cardinality(other) == 0
+
+    def issubset(self, other: "RoaringBitmap") -> bool:
+        """Whether every value of self is in other."""
+        return self.intersection_cardinality(other) == len(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoaringBitmap):
+            return NotImplemented
+        if set(self._containers) != set(other._containers):
+            return False
+        for key, a in self._containers.items():
+            b = other._containers[key]
+            if a.cardinality != b.cardinality:
+                return False
+            if not np.array_equal(container_values(a), container_values(b)):
+                return False
+        return True
+
+    def __hash__(self) -> int:  # bitmaps are mutable; hash by identity
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Maintenance and storage
+    # ------------------------------------------------------------------
+
+    def run_optimize(self) -> None:
+        """Re-encode containers with runs where that is the smallest form."""
+        for key, container in list(self._containers.items()):
+            self._containers[key] = run_optimize(container)
+
+    def byte_size(self) -> int:
+        """Approximate in-memory payload size in bytes."""
+        return sum(c.byte_size() for c in self._containers.values()) + 4 * len(
+            self._containers
+        )
+
+    def container_stats(self) -> dict[str, int]:
+        """Number of containers per kind (for the bitmap ablation bench)."""
+        stats = {"array": 0, "bitmap": 0, "run": 0}
+        for container in self._containers.values():
+            if isinstance(container, ArrayContainer):
+                stats["array"] += 1
+            elif isinstance(container, BitmapContainer):
+                stats["bitmap"] += 1
+            else:
+                stats["run"] += 1
+        return stats
+
+    def serialize(self) -> bytes:
+        """Serialize to a compact binary blob (library-private format)."""
+        parts = [struct.pack("<I", len(self._containers))]
+        for key in sorted(self._containers):
+            container = self._containers[key]
+            values = container_values(container)
+            parts.append(struct.pack("<HI", key, len(values)))
+            parts.append(values.astype("<u2").tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "RoaringBitmap":
+        """Inverse of :meth:`serialize`."""
+        bitmap = cls()
+        (count,) = struct.unpack_from("<I", blob, 0)
+        offset = 4
+        for _ in range(count):
+            key, size = struct.unpack_from("<HI", blob, offset)
+            offset += 6
+            values = np.frombuffer(blob, dtype="<u2", count=size, offset=offset)
+            offset += 2 * size
+            bitmap._containers[key] = canonicalize(
+                ArrayContainer(values.astype(np.uint16))
+            )
+        return bitmap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = len(self)
+        if n <= 8:
+            return f"RoaringBitmap({list(self)})"
+        return f"RoaringBitmap(<{n} values>)"
+
+
+class Roaring64Map:
+    """A set of 64-bit unsigned integers backed by 32-bit roaring bitmaps.
+
+    Keys on the high 32 bits.  Only the operations the library needs for
+    wide geodabs are provided (add/contains/len/iter, union, intersection,
+    Jaccard); narrow (32-bit) fingerprints should use
+    :class:`RoaringBitmap` directly.
+    """
+
+    __slots__ = ("_maps",)
+
+    _MAX_VALUE_64 = (1 << 64) - 1
+
+    def __init__(self) -> None:
+        self._maps: dict[int, RoaringBitmap] = {}
+
+    @classmethod
+    def from_iterable(cls, values: Iterable[int]) -> "Roaring64Map":
+        """Build from arbitrary 64-bit integers."""
+        out = cls()
+        for v in values:
+            out.add(v)
+        return out
+
+    def add(self, value: int) -> None:
+        """Insert a value."""
+        if not 0 <= value <= self._MAX_VALUE_64:
+            raise ValueError(f"value {value} outside the 64-bit universe")
+        high, low = value >> 32, value & 0xFFFFFFFF
+        self._maps.setdefault(high, RoaringBitmap()).add(low)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, int) or not 0 <= value <= self._MAX_VALUE_64:
+            return False
+        bitmap = self._maps.get(value >> 32)
+        return bitmap is not None and (value & 0xFFFFFFFF) in bitmap
+
+    def __len__(self) -> int:
+        return sum(len(m) for m in self._maps.values())
+
+    def __iter__(self) -> Iterator[int]:
+        for high in sorted(self._maps):
+            base = high << 32
+            for low in self._maps[high]:
+                yield base | low
+
+    def __or__(self, other: "Roaring64Map") -> "Roaring64Map":
+        out = Roaring64Map()
+        for high in set(self._maps) | set(other._maps):
+            a = self._maps.get(high)
+            b = other._maps.get(high)
+            if a is not None and b is not None:
+                out._maps[high] = a | b
+            elif a is not None:
+                out._maps[high] = a.copy()
+            else:
+                assert b is not None
+                out._maps[high] = b.copy()
+        return out
+
+    def __and__(self, other: "Roaring64Map") -> "Roaring64Map":
+        out = Roaring64Map()
+        for high in set(self._maps) & set(other._maps):
+            c = self._maps[high] & other._maps[high]
+            if c:
+                out._maps[high] = c
+        return out
+
+    def intersection_cardinality(self, other: "Roaring64Map") -> int:
+        """``|self & other|`` without materializing the intersection."""
+        total = 0
+        for high, a in self._maps.items():
+            b = other._maps.get(high)
+            if b is not None:
+                total += a.intersection_cardinality(b)
+        return total
+
+    def jaccard(self, other: "Roaring64Map") -> float:
+        """Jaccard coefficient (1.0 for two empty maps)."""
+        inter = self.intersection_cardinality(other)
+        union = len(self) + len(other) - inter
+        if union == 0:
+            return 1.0
+        return inter / union
+
+    def jaccard_distance(self, other: "Roaring64Map") -> float:
+        """Jaccard distance ``1 - jaccard``."""
+        return 1.0 - self.jaccard(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Roaring64Map):
+            return NotImplemented
+        keys = {k for k, m in self._maps.items() if len(m)}
+        other_keys = {k for k, m in other._maps.items() if len(m)}
+        if keys != other_keys:
+            return False
+        return all(self._maps[k] == other._maps[k] for k in keys)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Roaring64Map(<{len(self)} values>)"

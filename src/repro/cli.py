@@ -1,0 +1,192 @@
+"""Command-line interface for the geodab reproduction.
+
+Three subcommands cover the end-to-end workflow:
+
+* ``repro generate`` — synthesize a dense London-style dataset with
+  queries and ground truth, saved as JSON lines;
+* ``repro evaluate`` — index a saved dataset (geodabs and the geohash
+  baseline) and print retrieval-quality tables;
+* ``repro query`` — run one saved query against a chosen index and show
+  the ranked results against the gold labels.
+
+Example::
+
+    repro generate --routes 10 --queries 5 --out /tmp/ds.jsonl
+    repro evaluate --dataset /tmp/ds.jsonl
+    repro query --dataset /tmp/ds.jsonl --query-id q0000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench.report import print_table
+from .core.baseline import GeohashIndex
+from .core.config import GeodabConfig
+from .core.index import GeodabIndex
+from .ir.metrics import auc, average_precision, roc_curve
+from .normalize import standard_normalizer
+from .roadnet.generator import generate_city_network
+from .workload.dataset import TrajectoryDataset
+from .workload.trajgen import WorkloadBuilder
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Geodabs: trajectory indexing meets fingerprinting at scale",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a dense trajectory dataset"
+    )
+    generate.add_argument("--routes", type=int, default=10)
+    generate.add_argument("--per-direction", type=int, default=10)
+    generate.add_argument("--queries", type=int, default=5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--half-side-m", type=float, default=3_000.0)
+    generate.add_argument("--spacing-m", type=float, default=250.0)
+    generate.add_argument("--noise-m", type=float, default=20.0)
+    generate.add_argument("--out", required=True)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="index a dataset and report retrieval quality"
+    )
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--depth", type=int, default=36)
+    evaluate.add_argument("--k", type=int, default=6)
+    evaluate.add_argument("--t", type=int, default=12)
+
+    query = commands.add_parser(
+        "query", help="run one saved query against an index"
+    )
+    query.add_argument("--dataset", required=True)
+    query.add_argument("--query-id", required=True)
+    query.add_argument(
+        "--index", choices=("geodabs", "geohash"), default="geodabs"
+    )
+    query.add_argument("--limit", type=int, default=10)
+    query.add_argument("--depth", type=int, default=36)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    network = generate_city_network(
+        half_side_m=args.half_side_m, spacing_m=args.spacing_m, seed=args.seed
+    )
+    builder = WorkloadBuilder(
+        network, seed=args.seed, noise_sigma_m=args.noise_m
+    )
+    dataset = builder.build(
+        args.routes,
+        trajectories_per_direction=args.per_direction,
+        num_queries=args.queries,
+    )
+    dataset.save(args.out)
+    print(
+        f"wrote {len(dataset)} trajectories "
+        f"({dataset.total_points():,} points) and "
+        f"{len(dataset.queries)} queries to {args.out}"
+    )
+    return 0
+
+
+def _build_indexes(dataset: TrajectoryDataset, depth: int, k: int, t: int):
+    normalizer = standard_normalizer(depth)
+    geodab = GeodabIndex(
+        GeodabConfig(normalization_depth=depth, k=k, t=t), normalizer=normalizer
+    )
+    geohash = GeohashIndex(depth, normalizer=normalizer)
+    for record in dataset.records:
+        geodab.add(record.trajectory_id, record.points)
+        geohash.add(record.trajectory_id, record.points)
+    return geodab, geohash
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = TrajectoryDataset.load(args.dataset)
+    if not dataset.queries:
+        print("dataset has no queries; regenerate with --queries", file=sys.stderr)
+        return 1
+    geodab, geohash = _build_indexes(dataset, args.depth, args.k, args.t)
+    rows = []
+    for name, index in (("geodabs", geodab), ("geohash", geohash)):
+        maps, aucs, candidates = [], [], 0
+        for query in dataset.queries:
+            results, stats = index.query_with_stats(query.points)
+            ranked = [r.trajectory_id for r in results]
+            candidates += stats.candidates
+            if ranked:
+                maps.append(average_precision(ranked, query.relevant_ids))
+                fpr, tpr = roc_curve(ranked, query.relevant_ids, len(dataset))
+                aucs.append(auc(fpr, tpr))
+        rows.append(
+            [
+                name,
+                sum(maps) / max(1, len(maps)),
+                sum(aucs) / max(1, len(aucs)),
+                candidates / len(dataset.queries),
+            ]
+        )
+    print_table(
+        f"Retrieval quality on {args.dataset} "
+        f"(depth={args.depth}, k={args.k}, t={args.t})",
+        ["index", "MAP", "AUC", "candidates/query"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = TrajectoryDataset.load(args.dataset)
+    matches = [q for q in dataset.queries if q.query_id == args.query_id]
+    if not matches:
+        known = ", ".join(q.query_id for q in dataset.queries[:10])
+        print(
+            f"unknown query {args.query_id!r}; available: {known}",
+            file=sys.stderr,
+        )
+        return 1
+    query = matches[0]
+    geodab, geohash = _build_indexes(dataset, args.depth, 6, 12)
+    index = geodab if args.index == "geodabs" else geohash
+    results = index.query(query.points, limit=args.limit)
+    rows = [
+        [
+            rank,
+            result.trajectory_id,
+            result.distance,
+            "yes" if result.trajectory_id in query.relevant_ids else "",
+        ]
+        for rank, result in enumerate(results, start=1)
+    ]
+    print_table(
+        f"{args.index} results for {query.query_id} "
+        f"(route {query.route_id}, {query.direction})",
+        ["rank", "trajectory", "distance", "relevant"],
+        rows,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

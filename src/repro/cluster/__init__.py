@@ -1,0 +1,16 @@
+"""Distributed/sharded geodab index (paper Section VI-E)."""
+
+from .cluster import FanoutStats, ShardedGeodabIndex, ShardState
+from .sharding import ShardingConfig, ShardRouter
+from .stats import BalanceReport, balance_report, distribute_cell_counts
+
+__all__ = [
+    "BalanceReport",
+    "FanoutStats",
+    "ShardRouter",
+    "ShardState",
+    "ShardedGeodabIndex",
+    "ShardingConfig",
+    "balance_report",
+    "distribute_cell_counts",
+]

@@ -1,0 +1,190 @@
+"""Simulated sharded geodab index over a multi-node cluster.
+
+An in-process model of the distributed index of Section VI-E: every shard
+owns the postings of the geodab terms routed to it; shards are placed on
+nodes round-robin.  Queries are planned against the router (contacting
+only the shards their terms map to), partial results are merged at the
+coordinator, and ranking uses the trajectory fingerprint bitmaps exactly
+like the single-node index — so a sharded index returns *identical*
+results, which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from ..core.config import GeodabConfig
+from ..core.fingerprint import Fingerprinter
+from ..core.index import Normalizer, SearchResult
+from ..geo.point import Trajectory
+from .sharding import ShardingConfig, ShardRouter
+
+__all__ = ["FanoutStats", "ShardState", "ShardedGeodabIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class FanoutStats:
+    """Distribution work performed by one query (Section VI-E's concern)."""
+
+    query_terms: int
+    shards_contacted: int
+    nodes_contacted: int
+    candidates: int
+
+
+@dataclass
+class ShardState:
+    """One shard: a postings dictionary plus load counters."""
+
+    shard_id: int
+    node_id: int
+    postings: dict[int, list[int]]
+
+    @property
+    def num_terms(self) -> int:
+        """Distinct terms held by this shard."""
+        return len(self.postings)
+
+    @property
+    def num_postings(self) -> int:
+        """Total postings entries held by this shard."""
+        return sum(len(p) for p in self.postings.values())
+
+    def trajectories(self) -> set[int]:
+        """Distinct (internal) trajectory ids referenced by this shard."""
+        out: set[int] = set()
+        for posting in self.postings.values():
+            out.update(posting)
+        return out
+
+
+class ShardedGeodabIndex:
+    """Geodab inverted index sharded across simulated cluster nodes."""
+
+    def __init__(
+        self,
+        config: GeodabConfig | None = None,
+        sharding: ShardingConfig | None = None,
+        normalizer: Normalizer | None = None,
+    ) -> None:
+        self.fingerprinter = Fingerprinter(config)
+        cfg = self.fingerprinter.config
+        self.sharding = sharding or ShardingConfig()
+        self.router = ShardRouter(self.sharding, cfg.prefix_bits, cfg.suffix_bits)
+        self.normalizer = normalizer
+        self.shards: list[ShardState] = [
+            ShardState(s, self.router.node_of_shard(s), {})
+            for s in range(self.sharding.num_shards)
+        ]
+        self._ids: list[Hashable] = []
+        self._id_to_internal: dict[Hashable, int] = {}
+        self._bitmaps: list[RoaringBitmap | Roaring64Map] = []
+
+    @property
+    def config(self) -> GeodabConfig:
+        """Fingerprinting configuration."""
+        return self.fingerprinter.config
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self, points: Trajectory):
+        if self.normalizer is not None:
+            points = self.normalizer(points)
+        return self.fingerprinter.fingerprint(points)
+
+    def add(self, trajectory_id: Hashable, points: Trajectory) -> None:
+        """Index a trajectory, routing each term to its shard."""
+        if trajectory_id in self._id_to_internal:
+            raise KeyError(f"trajectory {trajectory_id!r} already indexed")
+        fingerprint_set = self._fingerprint(points)
+        internal = len(self._ids)
+        self._ids.append(trajectory_id)
+        self._id_to_internal[trajectory_id] = internal
+        self._bitmaps.append(fingerprint_set.bitmap)
+        for term in sorted(set(fingerprint_set.values)):
+            shard = self.shards[self.router.shard_of_term(term)]
+            shard.postings.setdefault(term, []).append(internal)
+
+    def add_many(self, items: Iterable[tuple[Hashable, Trajectory]]) -> None:
+        """Index a batch of ``(trajectory_id, points)`` pairs."""
+        for trajectory_id, points in items:
+            self.add(trajectory_id, points)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        points: Trajectory,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> list[SearchResult]:
+        """Ranked retrieval across the cluster (same contract as single-node)."""
+        results, _ = self.query_with_stats(points, limit, max_distance)
+        return results
+
+    def query_with_stats(
+        self,
+        points: Trajectory,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], FanoutStats]:
+        """Query and report fan-out statistics."""
+        fingerprint_set = self._fingerprint(points)
+        terms = sorted(set(fingerprint_set.values))
+        plan = self.router.plan(terms)
+        matches: Counter[int] = Counter()
+        nodes: set[int] = set()
+        for shard_id, shard_terms in plan.items():
+            shard = self.shards[shard_id]
+            nodes.add(shard.node_id)
+            for term in shard_terms:
+                posting = shard.postings.get(term)
+                if posting is not None:
+                    matches.update(posting)
+        scored: list[SearchResult] = []
+        query_bitmap = fingerprint_set.bitmap
+        for internal, shared in matches.items():
+            distance = query_bitmap.jaccard_distance(self._bitmaps[internal])  # type: ignore[arg-type]
+            if distance <= max_distance:
+                scored.append(SearchResult(self._ids[internal], distance, shared))
+        scored.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+        returned = scored if limit is None else scored[:limit]
+        stats = FanoutStats(
+            query_terms=len(terms),
+            shards_contacted=len(plan),
+            nodes_contacted=len(nodes),
+            candidates=len(matches),
+        )
+        return returned, stats
+
+    # ------------------------------------------------------------------
+    # Load accounting (Figures 15-16 territory)
+    # ------------------------------------------------------------------
+
+    def shard_postings_counts(self) -> list[int]:
+        """Postings entries per shard."""
+        return [shard.num_postings for shard in self.shards]
+
+    def node_postings_counts(self) -> list[int]:
+        """Postings entries per node."""
+        counts = [0] * self.sharding.num_nodes
+        for shard in self.shards:
+            counts[shard.node_id] += shard.num_postings
+        return counts
+
+    def node_trajectory_counts(self) -> list[int]:
+        """Distinct trajectories referenced per node (paper Figure 16)."""
+        per_node: list[set[int]] = [set() for _ in range(self.sharding.num_nodes)]
+        for shard in self.shards:
+            per_node[shard.node_id] |= shard.trajectories()
+        return [len(s) for s in per_node]

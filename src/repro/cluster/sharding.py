@@ -1,0 +1,111 @@
+"""Shard and node routing for geodab terms (paper Figure 2c, Section VI-E).
+
+Two-step placement:
+
+1. ``shard = floor(prefix / 2^prefix_bits * num_shards)`` — geodabs whose
+   geohash prefixes are adjacent on the z-order curve land on the same
+   shard, preserving locality so queries touch few shards;
+2. ``node = shard mod num_nodes`` — shards round-robin onto nodes,
+   deliberately breaking locality so hot regions spread across the
+   cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo.geohash import Geohash
+
+__all__ = ["ShardingConfig", "ShardRouter"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardingConfig:
+    """Cluster geometry: how many shards over how many nodes."""
+
+    num_shards: int = 128
+    num_nodes: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        if self.num_shards < self.num_nodes:
+            raise ValueError("need at least one shard per node")
+
+
+class ShardRouter:
+    """Routes geodab terms (and geohash cells) to shards and nodes."""
+
+    __slots__ = ("config", "prefix_bits", "suffix_bits", "_prefix_cells")
+
+    def __init__(
+        self, config: ShardingConfig, prefix_bits: int, suffix_bits: int
+    ) -> None:
+        if prefix_bits < 1:
+            raise ValueError("prefix_bits must be positive")
+        if suffix_bits < 0:
+            raise ValueError("suffix_bits must be non-negative")
+        self.config = config
+        self.prefix_bits = prefix_bits
+        self.suffix_bits = suffix_bits
+        self._prefix_cells = 1 << prefix_bits
+
+    # ------------------------------------------------------------------
+    # Term routing
+    # ------------------------------------------------------------------
+
+    def prefix_of_term(self, term: int) -> int:
+        """Geohash prefix embedded in a geodab term."""
+        return term >> self.suffix_bits
+
+    def shard_of_prefix(self, prefix: int) -> int:
+        """Locality-preserving shard of a geohash prefix."""
+        if not 0 <= prefix < self._prefix_cells:
+            raise ValueError(
+                f"prefix {prefix} outside [0, 2^{self.prefix_bits})"
+            )
+        shard = prefix * self.config.num_shards // self._prefix_cells
+        return min(shard, self.config.num_shards - 1)
+
+    def shard_of_term(self, term: int) -> int:
+        """Shard of a geodab term."""
+        return self.shard_of_prefix(self.prefix_of_term(term))
+
+    def shard_of_cell(self, cell: Geohash) -> int:
+        """Shard of a geohash cell (aligned to the prefix depth)."""
+        if cell.depth >= self.prefix_bits:
+            prefix = cell.bits >> (cell.depth - self.prefix_bits)
+        else:
+            prefix = cell.bits << (self.prefix_bits - cell.depth)
+        return self.shard_of_prefix(prefix)
+
+    def node_of_shard(self, shard: int) -> int:
+        """Locality-breaking node of a shard."""
+        if not 0 <= shard < self.config.num_shards:
+            raise ValueError(f"shard {shard} outside [0, {self.config.num_shards})")
+        return shard % self.config.num_nodes
+
+    def node_of_term(self, term: int) -> int:
+        """Node holding a geodab term's postings."""
+        return self.node_of_shard(self.shard_of_term(term))
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(self, terms: list[int]) -> dict[int, list[int]]:
+        """Group query terms by the shard that must serve them."""
+        out: dict[int, list[int]] = {}
+        for term in terms:
+            out.setdefault(self.shard_of_term(term), []).append(term)
+        return out
+
+    def shards_of_node(self, node: int) -> list[int]:
+        """All shards assigned to a node."""
+        if not 0 <= node < self.config.num_nodes:
+            raise ValueError(f"node {node} outside [0, {self.config.num_nodes})")
+        return list(
+            range(node, self.config.num_shards, self.config.num_nodes)
+        )

@@ -1,0 +1,82 @@
+"""Cluster balance metrics (paper Figures 15-16).
+
+Given per-cell trajectory counts (from the world model or a real dataset)
+and a cluster geometry, computes how the load spreads over shards and
+nodes, and summarizes the balance — the quantity Figure 16 contrasts
+between 100 and 10'000 shards on a 10-node cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geo.geohash import Geohash
+from .sharding import ShardingConfig, ShardRouter
+
+__all__ = ["BalanceReport", "balance_report", "distribute_cell_counts"]
+
+
+@dataclass(frozen=True, slots=True)
+class BalanceReport:
+    """Summary of a load distribution across cluster nodes."""
+
+    counts: tuple[int, ...]
+    total: int
+    mean: float
+    minimum: int
+    maximum: int
+    coefficient_of_variation: float
+
+    @property
+    def max_over_mean(self) -> float:
+        """Peak-to-average ratio: 1.0 is perfectly balanced."""
+        if self.mean == 0:
+            return 0.0
+        return self.maximum / self.mean
+
+
+def balance_report(counts: list[int]) -> BalanceReport:
+    """Summarize a per-node load vector."""
+    if not counts:
+        raise ValueError("balance report of empty counts")
+    total = sum(counts)
+    mean = total / len(counts)
+    if mean > 0:
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        cv = math.sqrt(variance) / mean
+    else:
+        cv = 0.0
+    return BalanceReport(
+        counts=tuple(counts),
+        total=total,
+        mean=mean,
+        minimum=min(counts),
+        maximum=max(counts),
+        coefficient_of_variation=cv,
+    )
+
+
+def distribute_cell_counts(
+    cell_counts: dict[int, int],
+    prefix_bits: int,
+    sharding: ShardingConfig,
+) -> tuple[list[int], list[int]]:
+    """Spread per-geohash-cell trajectory counts over shards and nodes.
+
+    ``cell_counts`` maps geohash cells at depth ``prefix_bits`` (e.g. the
+    16-bit cells of Figure 15) to trajectory counts.  Returns
+    ``(per_shard, per_node)`` load vectors under the two-step placement of
+    Figure 2c.
+    """
+    router = ShardRouter(sharding, prefix_bits, suffix_bits=0)
+    per_shard = [0] * sharding.num_shards
+    for cell_bits, count in cell_counts.items():
+        if count < 0:
+            raise ValueError("cell counts must be non-negative")
+        shard = router.shard_of_cell(Geohash(cell_bits, prefix_bits))
+        per_shard[shard] += count
+    per_node = [0] * sharding.num_nodes
+    for shard, count in enumerate(per_shard):
+        per_node[router.node_of_shard(shard)] += count
+    return per_shard, per_node

@@ -1,0 +1,45 @@
+"""Core contribution: geodab fingerprinting and trajectory indexing."""
+
+from .baseline import GeohashIndex
+from .config import PAPER_CONFIG, GeodabConfig
+from .fastpath import FastTrajectoryWinnower
+from .fingerprint import Fingerprinter, FingerprintSet
+from .geodab import GeodabScheme
+from .index import (
+    GeodabIndex,
+    IndexStats,
+    QueryStats,
+    SearchResult,
+    TrajectoryInvertedIndex,
+)
+from .motif import MotifMatch, discover_motif, find_common_motif
+from .persistence import load_index, save_index
+from .subsearch import SubMatch, containment_search, ordered_containment_search
+from .winnowing import Selection, TrajectoryWinnower, winnow, winnow_positions
+
+__all__ = [
+    "FastTrajectoryWinnower",
+    "Fingerprinter",
+    "FingerprintSet",
+    "GeodabConfig",
+    "GeodabIndex",
+    "GeodabScheme",
+    "GeohashIndex",
+    "IndexStats",
+    "MotifMatch",
+    "PAPER_CONFIG",
+    "QueryStats",
+    "SearchResult",
+    "Selection",
+    "SubMatch",
+    "TrajectoryInvertedIndex",
+    "TrajectoryWinnower",
+    "discover_motif",
+    "find_common_motif",
+    "containment_search",
+    "load_index",
+    "ordered_containment_search",
+    "save_index",
+    "winnow",
+    "winnow_positions",
+]

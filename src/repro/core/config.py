@@ -1,0 +1,120 @@
+"""Configuration of the geodab fingerprinting pipeline.
+
+Bundles the parameters the paper tunes in Section VI-A2: the geohash
+normalization depth, the winnowing bounds ``k`` (noise threshold) and
+``t`` (guarantee threshold), and the geodab bit layout (prefix/suffix
+widths, Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geo.geohash import MAX_DEPTH, cell_dimensions
+
+
+@dataclass(frozen=True, slots=True)
+class GeodabConfig:
+    """Parameters of the geodab fingerprinting pipeline.
+
+    Attributes
+    ----------
+    normalization_depth:
+        Geohash depth (in bits) of the grid normalization; the paper finds
+        36 bits optimal for its London dataset (Figure 8).
+    k:
+        Winnowing lower bound: common sub-sequences shorter than ``k``
+        normalized cells are treated as noise.
+    t:
+        Winnowing upper bound: any common sub-sequence of at least ``t``
+        cells is guaranteed to share a fingerprint.  The window size is
+        ``w = t - k + 1``.
+    prefix_bits:
+        Width of the geohash prefix embedded in each geodab; determines the
+        sharding granularity (the paper uses 16).
+    suffix_bits:
+        Width of the order-sensitive hash suffix (the paper uses 16, for
+        32-bit geodabs).
+    cover_depth:
+        Depth at which k-gram points are encoded before computing their
+        covering cell; anything comfortably deeper than ``prefix_bits``
+        works, and it must not exceed :data:`~repro.geo.geohash.MAX_DEPTH`.
+    hash_seed:
+        Seed of the order-sensitive suffix hash; lets tests build
+        independent fingerprint universes.
+    suffix_hash:
+        Suffix hash family: ``"chain"`` (splitmix accumulator, default) or
+        ``"polynomial"`` (rolling-capable; required by the O(n) fast-path
+        winnower of :mod:`repro.core.fastpath`).
+    """
+
+    normalization_depth: int = 36
+    k: int = 6
+    t: int = 12
+    prefix_bits: int = 16
+    suffix_bits: int = 16
+    cover_depth: int = 48
+    hash_seed: int = 0
+    suffix_hash: str = "chain"
+
+    def __post_init__(self) -> None:
+        if self.suffix_hash not in ("chain", "polynomial"):
+            raise ValueError(
+                f"suffix_hash must be 'chain' or 'polynomial', "
+                f"got {self.suffix_hash!r}"
+            )
+        if not 1 <= self.normalization_depth <= MAX_DEPTH:
+            raise ValueError(
+                f"normalization_depth {self.normalization_depth} outside "
+                f"[1, {MAX_DEPTH}]"
+            )
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.t < self.k:
+            raise ValueError(f"t ({self.t}) must be >= k ({self.k})")
+        if not 1 <= self.prefix_bits <= 32:
+            raise ValueError("prefix_bits must be in [1, 32]")
+        if not 1 <= self.suffix_bits <= 32:
+            raise ValueError("suffix_bits must be in [1, 32]")
+        if not self.prefix_bits <= self.cover_depth <= MAX_DEPTH:
+            raise ValueError(
+                f"cover_depth must be in [prefix_bits, {MAX_DEPTH}]"
+            )
+
+    @property
+    def window(self) -> int:
+        """Winnowing window size ``w = t - k + 1`` (Section IV-A)."""
+        return self.t - self.k + 1
+
+    @property
+    def geodab_bits(self) -> int:
+        """Total width of a geodab fingerprint."""
+        return self.prefix_bits + self.suffix_bits
+
+    @property
+    def fits_in_32_bits(self) -> bool:
+        """Whether fingerprints fit the 32-bit roaring bitmap universe."""
+        return self.geodab_bits <= 32
+
+    def cell_size_m(self, latitude: float) -> tuple[float, float]:
+        """(width, height) in meters of a normalization cell at ``latitude``."""
+        return cell_dimensions(self.normalization_depth, latitude)
+
+    def noise_threshold_m(self, latitude: float) -> float:
+        """Approximate ground length below which matches are noise.
+
+        The paper translates ``k`` cells into meters by assuming an average
+        move of ~(width + height)/2 between consecutive cells (Section
+        VI-A2: 6 moves of ~85 m -> ~510 m in London).
+        """
+        width, height = self.cell_size_m(latitude)
+        return self.k * (width + height) / 2.0
+
+    def guarantee_threshold_m(self, latitude: float) -> float:
+        """Approximate ground length above which a match is guaranteed."""
+        width, height = self.cell_size_m(latitude)
+        return self.t * (width + height) / 2.0
+
+
+#: The configuration the paper's evaluation settles on (Section VI-A2).
+PAPER_CONFIG = GeodabConfig()

@@ -1,0 +1,122 @@
+"""O(n) streaming winnower using rolling hashes and circular buffers.
+
+Section IV-A of the paper: "An optimised version of this algorithm relies
+on circular buffers and rolling hash functions for iterating over k-grams
+of points and windows of hashes" — the authors drop it because normalized
+trajectories are short.  This module implements that optimised version:
+
+* the k-gram *suffix* rolls via a polynomial hash
+  (:class:`~repro.hashing.rolling.PolynomialRollingHash`);
+* the k-gram *prefix* (covering geohash) is maintained by a two-stack
+  sliding-window aggregate over the associative longest-common-prefix
+  operation (:mod:`repro.hashing.window`);
+* winnowing selects window minima with a monotonic deque
+  (:class:`~repro.hashing.rolling.MinQueue`).
+
+Under ``GeodabConfig(suffix_hash="polynomial")`` the output is *bit-for-
+bit identical* to :class:`~repro.core.winnowing.TrajectoryWinnower`,
+which the test suite asserts; the whole pipeline is a single pass.
+"""
+
+from __future__ import annotations
+
+from ..geo.point import Trajectory
+from ..hashing.rolling import MinQueue, PolynomialRollingHash
+from ..hashing.window import SlidingWindowAggregate, common_prefix_op
+from .config import GeodabConfig
+from .geodab import GeodabScheme
+from .winnowing import Selection
+
+__all__ = ["FastTrajectoryWinnower"]
+
+
+class FastTrajectoryWinnower:
+    """Single-pass trajectory winnower (the paper's dropped optimisation).
+
+    Requires ``suffix_hash="polynomial"`` — the chained splitmix suffix of
+    the default configuration cannot be rolled.
+    """
+
+    __slots__ = ("scheme",)
+
+    def __init__(self, scheme: GeodabScheme | GeodabConfig | None = None) -> None:
+        if scheme is None:
+            scheme = GeodabScheme(GeodabConfig(suffix_hash="polynomial"))
+        elif isinstance(scheme, GeodabConfig):
+            scheme = GeodabScheme(scheme)
+        if scheme.config.suffix_hash != "polynomial":
+            raise ValueError(
+                "FastTrajectoryWinnower requires suffix_hash='polynomial'"
+            )
+        self.scheme = scheme
+
+    @property
+    def config(self) -> GeodabConfig:
+        """The underlying pipeline configuration."""
+        return self.scheme.config
+
+    def select(self, points: Trajectory) -> list[Selection]:
+        """Winnowed geodab selections, computed in one streaming pass."""
+        scheme = self.scheme
+        config = scheme.config
+        k = config.k
+        window = config.window
+        suffix_bits = config.suffix_bits
+        cover_depth = config.cover_depth
+
+        suffix_roller = PolynomialRollingHash(k)
+        prefix_window: SlidingWindowAggregate[tuple[int, int]] = (
+            SlidingWindowAggregate(k, common_prefix_op(cover_depth))
+        )
+        min_queue = MinQueue(window)
+
+        selections: list[Selection] = []
+        last_selected = -1
+        previous_cell: int | None = None
+        grams = 0
+        # Fallback bookkeeping for streams shorter than the winnow window:
+        # track the rightmost minimum seen so far.
+        best_value: int | None = None
+        best_index = -1
+
+        for p in points:
+            deep = scheme.deep_encode(p)
+            cell = scheme.cell_of_deep(deep)
+            if cell == previous_cell:
+                continue
+            previous_cell = cell
+            raw_suffix = suffix_roller.push(cell)
+            cover = prefix_window.push((deep, cover_depth))
+            if raw_suffix is None or cover is None:
+                continue
+            # Assemble the geodab exactly as GeodabScheme does.
+            cover_bits, common = cover
+            prefix_bits = config.prefix_bits
+            if common >= prefix_bits:
+                prefix = cover_bits >> (common - prefix_bits)
+            else:
+                prefix = cover_bits << (prefix_bits - common)
+            geodab = (prefix << suffix_bits) | scheme.finish_polynomial_suffix(
+                raw_suffix
+            )
+            index = grams
+            grams += 1
+            if best_value is None or geodab <= best_value:
+                best_value = geodab
+                best_index = index
+            min_queue.push(geodab)
+            if min_queue.ready:
+                value, position = min_queue.minimum()
+                if position != last_selected:
+                    selections.append(Selection(value, position))
+                    last_selected = position
+        if grams == 0:
+            return []
+        if grams < window:
+            assert best_value is not None
+            return [Selection(best_value, best_index)]
+        return selections
+
+    def fingerprints(self, points: Trajectory) -> list[int]:
+        """Winnowed geodabs in selection order."""
+        return [s.fingerprint for s in self.select(points)]

@@ -1,0 +1,115 @@
+"""Fingerprint sets: the ``F = W(S)`` objects compared with Jaccard.
+
+A :class:`FingerprintSet` owns both the *ordered* winnowing selections
+(needed by motif discovery, which slides windows over them) and a roaring
+bitmap of the distinct fingerprint values (needed for fast Jaccard
+scoring, paper Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from ..geo.point import Trajectory
+from .config import GeodabConfig
+from .geodab import GeodabScheme
+from .winnowing import Selection, TrajectoryWinnower
+
+__all__ = ["FingerprintSet", "Fingerprinter"]
+
+
+@dataclass(frozen=True, slots=True)
+class FingerprintSet:
+    """Winnowed fingerprints of one trajectory.
+
+    ``selections`` preserves winnowing order and k-gram positions;
+    ``bitmap`` holds the distinct values for set algebra.  The bitmap type
+    follows the geodab width: 32-bit layouts use
+    :class:`~repro.bitmap.roaring.RoaringBitmap`, wider layouts use
+    :class:`~repro.bitmap.roaring.Roaring64Map`.
+    """
+
+    selections: tuple[Selection, ...]
+    bitmap: RoaringBitmap | Roaring64Map
+
+    @classmethod
+    def from_selections(
+        cls, selections: Sequence[Selection], wide: bool
+    ) -> "FingerprintSet":
+        """Build from winnowing selections."""
+        values = [s.fingerprint for s in selections]
+        if wide:
+            bitmap: RoaringBitmap | Roaring64Map = Roaring64Map.from_iterable(values)
+        else:
+            bitmap = RoaringBitmap.from_iterable(values)
+        return cls(tuple(selections), bitmap)
+
+    def __len__(self) -> int:
+        """Number of distinct fingerprint values."""
+        return len(self.bitmap)
+
+    @property
+    def values(self) -> list[int]:
+        """Fingerprint values in selection order (with positional repeats)."""
+        return [s.fingerprint for s in self.selections]
+
+    @property
+    def positions(self) -> list[int]:
+        """K-gram positions of the selections, in order."""
+        return [s.position for s in self.selections]
+
+    def jaccard(self, other: "FingerprintSet") -> float:
+        """Jaccard coefficient with another fingerprint set."""
+        return self.bitmap.jaccard(other.bitmap)  # type: ignore[arg-type]
+
+    def jaccard_distance(self, other: "FingerprintSet") -> float:
+        """Jaccard distance (paper Equation 1) with another set."""
+        return self.bitmap.jaccard_distance(other.bitmap)  # type: ignore[arg-type]
+
+    def intersection_cardinality(self, other: "FingerprintSet") -> int:
+        """Number of shared fingerprint values."""
+        return self.bitmap.intersection_cardinality(other.bitmap)  # type: ignore[arg-type]
+
+    def __contains__(self, fingerprint: int) -> bool:
+        return fingerprint in self.bitmap
+
+
+class Fingerprinter:
+    """Facade turning trajectories into :class:`FingerprintSet`s.
+
+    This is the function ``W`` of the paper (Section III-B): it hides the
+    winnower and chooses the bitmap width implied by the configuration.
+    """
+
+    __slots__ = ("winnower", "_wide")
+
+    def __init__(self, config: GeodabConfig | GeodabScheme | None = None) -> None:
+        if isinstance(config, GeodabScheme):
+            self.winnower = TrajectoryWinnower(config)
+        else:
+            self.winnower = TrajectoryWinnower(GeodabScheme(config))
+        self._wide = not self.winnower.config.fits_in_32_bits
+
+    @property
+    def config(self) -> GeodabConfig:
+        """The pipeline configuration."""
+        return self.winnower.config
+
+    @property
+    def scheme(self) -> GeodabScheme:
+        """The geodab construction scheme."""
+        return self.winnower.scheme
+
+    def fingerprint(self, points: Trajectory) -> FingerprintSet:
+        """Compute ``W(S)`` for a (normalized) trajectory."""
+        return FingerprintSet.from_selections(
+            self.winnower.select(points), wide=self._wide
+        )
+
+    def fingerprint_many(
+        self, trajectories: Iterable[Trajectory]
+    ) -> list[FingerprintSet]:
+        """Fingerprint a batch of trajectories."""
+        return [self.fingerprint(t) for t in trajectories]

@@ -1,0 +1,153 @@
+"""The geodab construction (paper Section IV, Figure 3).
+
+A geodab fingerprints a k-gram of trajectory points by concatenating
+
+* a *geohash prefix*: the finest geohash cell overlapping all k points,
+  truncated (or curve-aligned-extended) to ``prefix_bits`` — this places
+  the fingerprint on the z-order curve near its geography, enabling
+  locality-preserving sharding; and
+* an *order-sensitive hash suffix* over the sequence of normalized cells —
+  this discriminates k-grams "according to their path and their ordering",
+  so the same street walked in opposite directions yields different
+  fingerprints.
+
+``geodab = prefix << suffix_bits | suffix``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..geo.geohash import Geohash, encode, truncate
+from ..geo.point import Point, Trajectory
+from ..hashing.rolling import direct_window_hash
+from ..hashing.stable import mix64, splitmix64, hash_int_sequence_64
+from .config import GeodabConfig
+
+
+class GeodabScheme:
+    """Derives geodabs from point k-grams under a fixed configuration.
+
+    The scheme pre-computes the bit arithmetic implied by the
+    :class:`~repro.core.config.GeodabConfig` so the winnowing inner loop
+    stays cheap.  All methods are deterministic across processes.
+    """
+
+    __slots__ = (
+        "config",
+        "_suffix_mask",
+        "_cell_shift",
+        "_seed",
+    )
+
+    def __init__(self, config: GeodabConfig | None = None) -> None:
+        self.config = config or GeodabConfig()
+        self._suffix_mask = (1 << self.config.suffix_bits) - 1
+        # Cells at normalization depth are derived from the deep encoding
+        # by dropping this many trailing bits.
+        self._cell_shift = self.config.cover_depth - min(
+            self.config.cover_depth, self.config.normalization_depth
+        )
+        self._seed = self.config.hash_seed
+
+    # ------------------------------------------------------------------
+    # Point-level encodings
+    # ------------------------------------------------------------------
+
+    def deep_encode(self, point: Point) -> int:
+        """Geohash bits of a point at ``cover_depth``."""
+        return encode(point, self.config.cover_depth)
+
+    def cell_of_deep(self, deep_bits: int) -> int:
+        """Normalization cell id derived from a deep encoding.
+
+        When ``normalization_depth > cover_depth`` the deep encoding *is*
+        the shallower of the two, so the cell id equals the deep bits.
+        """
+        return deep_bits >> self._cell_shift
+
+    def cell_of(self, point: Point) -> int:
+        """Normalization cell id of a point."""
+        if self.config.normalization_depth >= self.config.cover_depth:
+            return encode(point, self.config.normalization_depth)
+        return self.cell_of_deep(self.deep_encode(point))
+
+    # ------------------------------------------------------------------
+    # Geodab construction
+    # ------------------------------------------------------------------
+
+    def prefix_from_deep(self, deep_encodings: Sequence[int]) -> int:
+        """Geohash prefix of a k-gram, from the points' deep encodings.
+
+        Computes the longest common prefix of the encodings (the covering
+        cell of Figure 3a) and aligns it to ``prefix_bits``: deeper covers
+        are truncated; shallower covers (points straddling a coarse
+        bisection boundary) are extended with zeros, i.e. mapped to the
+        start of their subtree on the z-order curve.
+        """
+        first = deep_encodings[0]
+        diff = 0
+        for bits in deep_encodings:
+            diff |= first ^ bits
+        cover_depth = self.config.cover_depth - diff.bit_length()
+        prefix_bits = self.config.prefix_bits
+        if cover_depth >= prefix_bits:
+            return first >> (self.config.cover_depth - prefix_bits)
+        cover = first >> (self.config.cover_depth - cover_depth) if cover_depth else 0
+        return cover << (prefix_bits - cover_depth)
+
+    def suffix_from_cells(self, cells: Sequence[int]) -> int:
+        """Order-sensitive hash suffix over normalized cell ids.
+
+        With ``suffix_hash="polynomial"`` the raw k-gram hash is the
+        rolling-capable polynomial hash finished by one avalanche mix; the
+        fast-path winnower relies on reproducing exactly this value from
+        its rolling state.
+        """
+        if self.config.suffix_hash == "polynomial":
+            raw = direct_window_hash(cells)
+            return mix64(raw ^ splitmix64(self._seed)) & self._suffix_mask
+        return hash_int_sequence_64(cells, self._seed) & self._suffix_mask
+
+    def finish_polynomial_suffix(self, raw_window_hash: int) -> int:
+        """Suffix from an already-rolled polynomial window hash."""
+        return mix64(raw_window_hash ^ splitmix64(self._seed)) & self._suffix_mask
+
+    def geodab_from_parts(self, deep_encodings: Sequence[int], cells: Sequence[int]) -> int:
+        """Assemble a geodab from precomputed per-point encodings."""
+        prefix = self.prefix_from_deep(deep_encodings)
+        suffix = self.suffix_from_cells(cells)
+        return (prefix << self.config.suffix_bits) | suffix
+
+    def geodab(self, points: Trajectory) -> int:
+        """Geodab of a k-gram of points (the full Figure 3 construction)."""
+        if not points:
+            raise ValueError("geodab of empty k-gram")
+        deep = [self.deep_encode(p) for p in points]
+        cells = [d >> self._cell_shift for d in deep]
+        if self.config.normalization_depth > self.config.cover_depth:
+            cells = [self.cell_of(p) for p in points]
+        return self.geodab_from_parts(deep, cells)
+
+    # ------------------------------------------------------------------
+    # Decomposition (used by sharding and diagnostics)
+    # ------------------------------------------------------------------
+
+    def prefix_of(self, geodab: int) -> int:
+        """Extract the geohash prefix bits from a geodab."""
+        return geodab >> self.config.suffix_bits
+
+    def suffix_of(self, geodab: int) -> int:
+        """Extract the hash suffix bits from a geodab."""
+        return geodab & self._suffix_mask
+
+    def prefix_cell(self, geodab: int) -> Geohash:
+        """The geohash cell named by a geodab's prefix."""
+        return Geohash(self.prefix_of(geodab), self.config.prefix_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        c = self.config
+        return (
+            f"GeodabScheme(depth={c.normalization_depth}, k={c.k}, t={c.t}, "
+            f"layout={c.prefix_bits}+{c.suffix_bits})"
+        )

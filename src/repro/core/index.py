@@ -1,0 +1,335 @@
+"""Inverted indexes over trajectory terms, with ranked retrieval.
+
+This is the retrieval machinery of Sections II-B and III-A: terms map to
+postings lists of trajectory identifiers; a query extracts its own terms,
+collects the union of their postings as candidates, and ranks candidates
+by Jaccard distance between term sets (Equation 1).
+
+Two concrete indexes share the machinery:
+
+* :class:`GeodabIndex` — terms are winnowed geodabs (the paper's method);
+* :class:`~repro.core.baseline.GeohashIndex` — terms are the normalized
+  geohash cells themselves (the comparator of Figures 12-14).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from ..geo.point import Point, Trajectory
+from .config import GeodabConfig
+from .fingerprint import Fingerprinter, FingerprintSet
+from .geodab import GeodabScheme
+
+__all__ = [
+    "SearchResult",
+    "QueryStats",
+    "IndexStats",
+    "TrajectoryInvertedIndex",
+    "GeodabIndex",
+]
+
+#: Normalizer signature: maps a raw trajectory to a normalized one.
+Normalizer = Callable[[Trajectory], list[Point]]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """One ranked retrieval hit."""
+
+    trajectory_id: Hashable
+    distance: float
+    shared_terms: int
+
+    @property
+    def jaccard(self) -> float:
+        """Jaccard coefficient (complement of the reported distance)."""
+        return 1.0 - self.distance
+
+
+@dataclass(frozen=True, slots=True)
+class QueryStats:
+    """Work accounting for one query — the quantities behind Figure 14."""
+
+    query_terms: int
+    candidates: int
+    scored: int
+    returned: int
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Shape of an index."""
+
+    trajectories: int
+    terms: int
+    postings: int
+
+    @property
+    def mean_postings_length(self) -> float:
+        """Average postings-list length."""
+        if self.terms == 0:
+            return 0.0
+        return self.postings / self.terms
+
+
+class TrajectoryInvertedIndex:
+    """Shared core of the geodab and geohash inverted indexes.
+
+    Subclasses define how a trajectory is turned into terms by overriding
+    :meth:`_extract`.  Trajectories are referenced externally by arbitrary
+    hashable identifiers and internally by dense integers.
+    """
+
+    def __init__(self, store_points: bool = False) -> None:
+        self._postings: dict[int, list[int]] = {}
+        self._ids: list[Hashable] = []
+        self._id_to_internal: dict[Hashable, int] = {}
+        self._term_sets: list[RoaringBitmap | Roaring64Map] = []
+        self._points: list[list[Point] | None] = []
+        self._store_points = store_points
+
+    # ------------------------------------------------------------------
+    # Term extraction (subclass responsibility)
+    # ------------------------------------------------------------------
+
+    def _extract(self, points: Trajectory) -> tuple[
+        list[int], RoaringBitmap | Roaring64Map
+    ]:
+        """Return (distinct terms, term bitmap) for a trajectory."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def add(self, trajectory_id: Hashable, points: Trajectory) -> None:
+        """Index a trajectory under ``trajectory_id``.
+
+        Re-adding an existing identifier raises: updates should go through
+        :meth:`remove` first, mirroring the immutable-segment behaviour of
+        real search engines.
+        """
+        if trajectory_id in self._id_to_internal:
+            raise KeyError(f"trajectory {trajectory_id!r} already indexed")
+        terms, bitmap = self._extract(points)
+        internal = len(self._ids)
+        self._ids.append(trajectory_id)
+        self._id_to_internal[trajectory_id] = internal
+        self._term_sets.append(bitmap)
+        self._points.append(list(points) if self._store_points else None)
+        for term in terms:
+            postings = self._postings.get(term)
+            if postings is None:
+                self._postings[term] = [internal]
+            else:
+                postings.append(internal)
+
+    def add_many(
+        self, items: Iterable[tuple[Hashable, Trajectory]]
+    ) -> None:
+        """Index a batch of ``(trajectory_id, points)`` pairs."""
+        for trajectory_id, points in items:
+            self.add(trajectory_id, points)
+
+    def remove(self, trajectory_id: Hashable) -> None:
+        """Remove a trajectory from the index."""
+        internal = self._id_to_internal.pop(trajectory_id, None)
+        if internal is None:
+            raise KeyError(f"trajectory {trajectory_id!r} not indexed")
+        for term in self._term_sets[internal]:
+            postings = self._postings.get(int(term))
+            if postings is None:
+                continue
+            try:
+                postings.remove(internal)
+            except ValueError:
+                pass
+            if not postings:
+                del self._postings[int(term)]
+        # Keep internal slots stable; tombstone the removed document.
+        self._term_sets[internal] = type(self._term_sets[internal])()
+        self._points[internal] = None
+        self._ids[internal] = None
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        points: Trajectory,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> list[SearchResult]:
+        """Ranked retrieval: trajectories within ``max_distance``, sorted.
+
+        Implements the problem statement of Section II-B1: results are
+        ordered by increasing Jaccard distance to the query; ties break by
+        identifier for determinism.
+        """
+        results, _ = self.query_with_stats(points, limit, max_distance)
+        return results
+
+    def query_with_stats(
+        self,
+        points: Trajectory,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], QueryStats]:
+        """Like :meth:`query` but also reports the work performed."""
+        terms, query_bitmap = self._extract(points)
+        matches: Counter[int] = Counter()
+        for term in terms:
+            postings = self._postings.get(term)
+            if postings is not None:
+                matches.update(postings)
+        scored: list[SearchResult] = []
+        for internal, shared in matches.items():
+            distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
+            if distance <= max_distance:
+                scored.append(
+                    SearchResult(self._ids[internal], distance, shared)
+                )
+        scored.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+        returned = scored if limit is None else scored[:limit]
+        stats = QueryStats(
+            query_terms=len(terms),
+            candidates=len(matches),
+            scored=len(matches),
+            returned=len(returned),
+        )
+        return returned, stats
+
+    def candidates(self, points: Trajectory) -> set[Hashable]:
+        """Identifiers sharing at least one term with the query.
+
+        This is the raw Step-1 candidate set a spatial index would hand to
+        the expensive Step-2 distance computation; Figure 14 measures how
+        its size differs between geodab and geohash terms.
+        """
+        terms, _ = self._extract(points)
+        out: set[Hashable] = set()
+        for term in terms:
+            postings = self._postings.get(term)
+            if postings is not None:
+                out.update(self._ids[i] for i in postings)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._id_to_internal)
+
+    def __contains__(self, trajectory_id: Hashable) -> bool:
+        return trajectory_id in self._id_to_internal
+
+    def term_set(self, trajectory_id: Hashable) -> RoaringBitmap | Roaring64Map:
+        """Stored term bitmap of an indexed trajectory."""
+        return self._term_sets[self._id_to_internal[trajectory_id]]
+
+    def points_of(self, trajectory_id: Hashable) -> list[Point]:
+        """Stored raw points (requires ``store_points=True``)."""
+        if not self._store_points:
+            raise RuntimeError("index was built with store_points=False")
+        points = self._points[self._id_to_internal[trajectory_id]]
+        assert points is not None
+        return points
+
+    def stats(self) -> IndexStats:
+        """Index shape statistics."""
+        return IndexStats(
+            trajectories=len(self._id_to_internal),
+            terms=len(self._postings),
+            postings=sum(len(p) for p in self._postings.values()),
+        )
+
+    def postings_for(self, term: int) -> list[Hashable]:
+        """Identifiers in a term's postings list (diagnostics)."""
+        return [self._ids[i] for i in self._postings.get(term, [])]
+
+    def iter_terms(self) -> Iterable[int]:
+        """All distinct terms of the dictionary."""
+        return iter(self._postings)
+
+
+class GeodabIndex(TrajectoryInvertedIndex):
+    """The paper's trajectory index: winnowed geodabs as terms.
+
+    An optional ``normalizer`` is applied to every trajectory (both at
+    indexing and at query time), keeping the normalization choice local to
+    the index as Section V prescribes.
+    """
+
+    def __init__(
+        self,
+        config: GeodabConfig | GeodabScheme | Fingerprinter | None = None,
+        normalizer: Normalizer | None = None,
+        store_points: bool = False,
+    ) -> None:
+        super().__init__(store_points=store_points)
+        if isinstance(config, Fingerprinter):
+            self.fingerprinter = config
+        else:
+            self.fingerprinter = Fingerprinter(config)
+        self.normalizer = normalizer
+        self._fingerprint_sets: dict[Hashable, FingerprintSet] = {}
+
+    @property
+    def config(self) -> GeodabConfig:
+        """The fingerprinting configuration."""
+        return self.fingerprinter.config
+
+    def _extract(self, points: Trajectory) -> tuple[
+        list[int], RoaringBitmap | Roaring64Map
+    ]:
+        if self.normalizer is not None:
+            points = self.normalizer(points)
+        fingerprint_set = self.fingerprinter.fingerprint(points)
+        self._last_fingerprint_set = fingerprint_set
+        terms = sorted(set(fingerprint_set.values))
+        return terms, fingerprint_set.bitmap
+
+    def add(self, trajectory_id: Hashable, points: Trajectory) -> None:
+        super().add(trajectory_id, points)
+        # _extract ran inside add; retain the full selection order for
+        # motif discovery over indexed trajectories.
+        self._fingerprint_sets[trajectory_id] = self._last_fingerprint_set
+
+    def remove(self, trajectory_id: Hashable) -> None:
+        super().remove(trajectory_id)
+        self._fingerprint_sets.pop(trajectory_id, None)
+
+    def fingerprint_set(self, trajectory_id: Hashable) -> FingerprintSet:
+        """Ordered fingerprint set of an indexed trajectory."""
+        return self._fingerprint_sets[trajectory_id]
+
+    def _restore_document(
+        self, trajectory_id: Hashable, fingerprint_set: FingerprintSet
+    ) -> None:
+        """Insert a document from persisted fingerprints (no raw points).
+
+        Used by :mod:`repro.core.persistence` to rebuild an index without
+        re-normalizing and re-winnowing the original trajectories.
+        """
+        if trajectory_id in self._id_to_internal:
+            raise KeyError(f"trajectory {trajectory_id!r} already indexed")
+        internal = len(self._ids)
+        self._ids.append(trajectory_id)
+        self._id_to_internal[trajectory_id] = internal
+        self._term_sets.append(fingerprint_set.bitmap)
+        self._points.append(None)
+        for term in sorted(set(fingerprint_set.values)):
+            self._postings.setdefault(term, []).append(internal)
+        self._fingerprint_sets[trajectory_id] = fingerprint_set
+
+    def fingerprint_query(self, points: Trajectory) -> FingerprintSet:
+        """Fingerprints of a query under this index's normalization."""
+        if self.normalizer is not None:
+            points = self.normalizer(points)
+        return self.fingerprinter.fingerprint(points)

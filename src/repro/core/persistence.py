@@ -1,0 +1,86 @@
+"""Saving and loading geodab indexes.
+
+A :class:`~repro.core.index.GeodabIndex` is fully determined by its
+configuration and the winnowing selections of every indexed trajectory —
+postings and bitmaps are derivable — so the on-disk format stores exactly
+that, as JSON.  Normalizers are arbitrary callables and are *not*
+persisted; pass the same normalizer to :func:`load_index` that the
+original index was built with (queries must be normalized identically).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from .config import GeodabConfig
+from .fingerprint import FingerprintSet
+from .index import GeodabIndex, Normalizer
+from .winnowing import Selection
+
+__all__ = ["save_index", "load_index"]
+
+#: Format identifier written into every file.
+FORMAT = "repro-geodab-index"
+VERSION = 1
+
+
+def save_index(index: GeodabIndex, path: str | Path) -> None:
+    """Write an index to ``path`` (JSON).
+
+    Raises ``ValueError`` for indexes holding trajectories with
+    non-string identifiers, which JSON cannot round-trip faithfully.
+    """
+    documents = []
+    for trajectory_id, fingerprint_set in index._fingerprint_sets.items():
+        if not isinstance(trajectory_id, str):
+            raise ValueError(
+                "only string trajectory ids can be persisted; got "
+                f"{trajectory_id!r}"
+            )
+        documents.append(
+            {
+                "id": trajectory_id,
+                "selections": [
+                    [s.fingerprint, s.position]
+                    for s in fingerprint_set.selections
+                ],
+            }
+        )
+    payload = {
+        "format": FORMAT,
+        "version": VERSION,
+        "config": asdict(index.config),
+        "documents": documents,
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_index(
+    path: str | Path, normalizer: Normalizer | None = None
+) -> GeodabIndex:
+    """Read an index written by :func:`save_index`.
+
+    The returned index answers queries identically to the original
+    (given the same ``normalizer``); raw trajectory points are not
+    persisted, so ``points_of`` is unavailable.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a geodab index file")
+    if payload.get("version") != VERSION:
+        raise ValueError(
+            f"unsupported index version {payload.get('version')!r}"
+        )
+    config = GeodabConfig(**payload["config"])
+    index = GeodabIndex(config, normalizer=normalizer)
+    wide = not config.fits_in_32_bits
+    for document in payload["documents"]:
+        selections = [
+            Selection(int(value), int(position))
+            for value, position in document["selections"]
+        ]
+        fingerprint_set = FingerprintSet.from_selections(selections, wide=wide)
+        index._restore_document(document["id"], fingerprint_set)
+    return index

@@ -1,0 +1,135 @@
+"""Sub-trajectory (motif containment) search over a geodab index.
+
+Section III-A1 of the paper motivates fingerprinting with the failure of
+positional word indexes at sub-sequence search; the geodab index makes
+that search cheap because each trajectory's winnowed fingerprints are
+stored *in order*.  Two query modes build on that:
+
+* :func:`containment_search` — rank indexed trajectories by Broder
+  containment ``|Q & T| / |Q|``: the fraction of the query's fingerprints
+  the trajectory covers, regardless of order.  High containment means
+  "the query occurs somewhere inside this trajectory".
+* :func:`ordered_containment_search` — additionally require the shared
+  fingerprints to appear *in the query's order* inside the candidate
+  (via longest common subsequence over the selection sequences), which
+  suppresses accidental matches from re-visited areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..geo.point import Trajectory
+from .index import GeodabIndex
+
+__all__ = ["SubMatch", "containment_search", "ordered_containment_search"]
+
+
+@dataclass(frozen=True, slots=True)
+class SubMatch:
+    """One sub-trajectory search hit.
+
+    ``containment`` is the set-based score; ``ordered_containment`` the
+    order-respecting score (equal to ``containment`` for unordered
+    search).
+    """
+
+    trajectory_id: Hashable
+    containment: float
+    ordered_containment: float
+    shared_fingerprints: int
+
+
+def _lcs_length(query: Sequence[int], target: Sequence[int]) -> int:
+    """Length of the longest common subsequence of two value sequences.
+
+    Classic O(|query| * |target|) dynamic program over two rolling rows;
+    fingerprint sequences are short (tens of selections), so this stays
+    cheap even across many candidates.
+    """
+    if not query or not target:
+        return 0
+    previous = [0] * (len(target) + 1)
+    current = [0] * (len(target) + 1)
+    for q_value in query:
+        for j, t_value in enumerate(target, start=1):
+            if q_value == t_value:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous, current = current, previous
+    return previous[len(target)]
+
+
+def _candidates_with_queryfp(index: GeodabIndex, points: Trajectory):
+    query_fp = index.fingerprint_query(points)
+    query_values = query_fp.values
+    seen: set[Hashable] = set()
+    for term in set(query_values):
+        for trajectory_id in index.postings_for(term):
+            seen.add(trajectory_id)
+    return query_fp, query_values, seen
+
+
+def containment_search(
+    index: GeodabIndex,
+    points: Trajectory,
+    limit: int | None = None,
+    min_containment: float = 0.0,
+) -> list[SubMatch]:
+    """Trajectories ranked by how much of the query they contain.
+
+    Returns matches with ``containment >= min_containment``, best first;
+    ties break by identifier.  An empty-fingerprint query matches
+    nothing.
+    """
+    if not 0.0 <= min_containment <= 1.0:
+        raise ValueError("min_containment must be in [0, 1]")
+    query_fp, query_values, candidates = _candidates_with_queryfp(index, points)
+    if len(query_fp) == 0:
+        return []
+    out: list[SubMatch] = []
+    for trajectory_id in candidates:
+        target_fp = index.fingerprint_set(trajectory_id)
+        shared = query_fp.intersection_cardinality(target_fp)
+        containment = shared / len(query_fp)
+        if containment >= min_containment and shared > 0:
+            out.append(
+                SubMatch(trajectory_id, containment, containment, shared)
+            )
+    out.sort(key=lambda m: (-m.containment, str(m.trajectory_id)))
+    return out if limit is None else out[:limit]
+
+
+def ordered_containment_search(
+    index: GeodabIndex,
+    points: Trajectory,
+    limit: int | None = None,
+    min_containment: float = 0.0,
+) -> list[SubMatch]:
+    """Like :func:`containment_search`, but order-sensitive.
+
+    The ordered score is ``LCS(query, target) / |query selections|``: the
+    longest run of query fingerprints appearing in the same order inside
+    the target.  A trajectory that covers the query's cells in a
+    different order (e.g. a detour revisiting them) scores lower than a
+    true containment.
+    """
+    if not 0.0 <= min_containment <= 1.0:
+        raise ValueError("min_containment must be in [0, 1]")
+    query_fp, query_values, candidates = _candidates_with_queryfp(index, points)
+    if not query_values:
+        return []
+    out: list[SubMatch] = []
+    for trajectory_id in candidates:
+        target_fp = index.fingerprint_set(trajectory_id)
+        shared = query_fp.intersection_cardinality(target_fp)
+        if shared == 0:
+            continue
+        containment = shared / len(query_fp)
+        ordered = _lcs_length(query_values, target_fp.values) / len(query_values)
+        if ordered >= min_containment:
+            out.append(SubMatch(trajectory_id, containment, ordered, shared))
+    out.sort(key=lambda m: (-m.ordered_containment, str(m.trajectory_id)))
+    return out if limit is None else out[:limit]

@@ -1,0 +1,145 @@
+"""Trajectory winnowing (paper Algorithm 1, adapting Schleimer et al. 2003).
+
+Winnowing samples the stream of k-gram fingerprints with two guarantees:
+
+1. *Noise threshold*: no match shorter than ``k`` normalized cells is ever
+   detected, because only k-grams are hashed.
+2. *Guarantee threshold*: any common cell sub-sequence of length at least
+   ``t`` shares at least one selected fingerprint, because each window of
+   ``w = t - k + 1`` consecutive k-gram hashes contributes its (rightmost)
+   minimum.
+
+Selecting the rightmost minimum per window and deduplicating consecutive
+re-selections is exactly the behaviour of Algorithm 1 (its set union makes
+repeated selections idempotent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geo.point import Point, Trajectory
+from ..hashing.rolling import windowed_minima
+from .config import GeodabConfig
+from .geodab import GeodabScheme
+
+__all__ = ["Selection", "winnow", "winnow_positions", "TrajectoryWinnower"]
+
+
+@dataclass(frozen=True, slots=True)
+class Selection:
+    """A winnowed fingerprint together with the k-gram index it came from.
+
+    ``position`` indexes the k-gram stream: the fingerprint covers input
+    elements ``position .. position + k - 1``.
+    """
+
+    fingerprint: int
+    position: int
+
+
+def winnow(hashes: Sequence[int], window: int) -> list[Selection]:
+    """Select the rightmost minimum of every ``window``-sized window.
+
+    Consecutive windows frequently re-select the same element; duplicates
+    (same value at the same position) are collapsed, matching the set
+    semantics of Algorithm 1 while preserving selection order.
+
+    Sequences shorter than ``window`` yield their single minimum — the
+    boundary behaviour of a winnow whose only window is the whole
+    sequence — so short (but >= 1 k-gram) trajectories still fingerprint.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = len(hashes)
+    if n == 0:
+        return []
+    if n < window:
+        best_value = hashes[0]
+        best_index = 0
+        for i in range(1, n):
+            if hashes[i] <= best_value:
+                best_value = hashes[i]
+                best_index = i
+        return [Selection(best_value, best_index)]
+    out: list[Selection] = []
+    last_index = -1
+    for value, index in windowed_minima(hashes, window):
+        if index != last_index:
+            out.append(Selection(value, index))
+            last_index = index
+    return out
+
+
+def winnow_positions(hashes: Sequence[int], window: int) -> list[int]:
+    """Indices selected by :func:`winnow` (used by density diagnostics)."""
+    return [s.position for s in winnow(hashes, window)]
+
+
+class TrajectoryWinnower:
+    """End-to-end trajectory fingerprinting: points -> winnowed geodabs.
+
+    Combines the geodab construction with winnowing.  The input trajectory
+    is expected to be *normalized already* (see :mod:`repro.normalize`);
+    the winnower maps points to normalization cells, removes consecutive
+    duplicate cells (re-normalizing is harmless and guards against callers
+    skipping normalization), derives one geodab per k-gram of cells, and
+    winnows the geodab stream.
+    """
+
+    __slots__ = ("scheme",)
+
+    def __init__(self, scheme: GeodabScheme | GeodabConfig | None = None) -> None:
+        if scheme is None:
+            scheme = GeodabScheme()
+        elif isinstance(scheme, GeodabConfig):
+            scheme = GeodabScheme(scheme)
+        self.scheme = scheme
+
+    @property
+    def config(self) -> GeodabConfig:
+        """The underlying pipeline configuration."""
+        return self.scheme.config
+
+    def kgram_geodabs(self, points: Trajectory) -> list[int]:
+        """Geodab of every k-gram of the (deduplicated) cell sequence.
+
+        Returns the candidate stream ``C`` of Algorithm 1, in order.
+        Trajectories spanning fewer than ``k`` distinct cells produce an
+        empty stream — they are below the noise threshold by definition.
+        """
+        scheme = self.scheme
+        k = scheme.config.k
+        deep: list[int] = []
+        cells: list[int] = []
+        previous_cell: int | None = None
+        for p in points:
+            d = scheme.deep_encode(p)
+            cell = scheme.cell_of_deep(d)
+            if cell != previous_cell:
+                deep.append(d)
+                cells.append(cell)
+                previous_cell = cell
+        if len(cells) < k:
+            return []
+        out: list[int] = []
+        for i in range(len(cells) - k + 1):
+            out.append(scheme.geodab_from_parts(deep[i : i + k], cells[i : i + k]))
+        return out
+
+    def select(self, points: Trajectory) -> list[Selection]:
+        """Winnowed geodab selections (fingerprint, k-gram position)."""
+        return winnow(self.kgram_geodabs(points), self.config.window)
+
+    def fingerprints(self, points: Trajectory) -> list[int]:
+        """Winnowed geodabs in selection order (may contain repeats of a
+        value selected at different positions)."""
+        return [s.fingerprint for s in self.select(points)]
+
+    def fingerprint_density(self, points: Trajectory, length_m: float) -> float:
+        """Fingerprints per meter — the ``a`` of the motif translation
+        ``f = l * a`` (Section VI-C).  Zero for degenerate inputs."""
+        if length_m <= 0.0:
+            return 0.0
+        return len(self.select(points)) / length_m

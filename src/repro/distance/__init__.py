@@ -1,0 +1,34 @@
+"""Distance measures: haversine, DTW, discrete Frechet, Jaccard."""
+
+from .dtw import dtw, dtw_banded, dtw_reference
+from .frechet import (
+    discrete_frechet,
+    discrete_frechet_matrix,
+    frechet_reference,
+    greedy_frechet_upper_bound,
+)
+from .haversine import (
+    haversine,
+    haversine_coords,
+    pairwise_ground_distance,
+    trajectory_to_radians,
+)
+from .jaccard import containment, jaccard, jaccard_distance, overlap_coefficient
+
+__all__ = [
+    "containment",
+    "discrete_frechet",
+    "discrete_frechet_matrix",
+    "dtw",
+    "dtw_banded",
+    "dtw_reference",
+    "frechet_reference",
+    "greedy_frechet_upper_bound",
+    "haversine",
+    "haversine_coords",
+    "jaccard",
+    "jaccard_distance",
+    "overlap_coefficient",
+    "pairwise_ground_distance",
+    "trajectory_to_radians",
+]

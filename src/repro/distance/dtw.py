@@ -1,0 +1,115 @@
+"""Dynamic Time Warping distance between trajectories (paper Equation 3).
+
+DTW aligns two sequences by warping their time axes and sums the ground
+distances of the aligned pairs.  Computing it for a pair of trajectories of
+cumulated length n costs O(n^2) — the expense the paper's fingerprinting
+approach is designed to avoid (Section VI-B).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from ..geo.point import Point, Trajectory, haversine
+from .haversine import pairwise_ground_distance
+
+__all__ = ["dtw", "dtw_banded", "dtw_reference"]
+
+
+def dtw(p: Trajectory, q: Trajectory) -> float:
+    """DTW distance between two non-empty trajectories, in meters.
+
+    Iterative O(|p| * |q|) dynamic program over the pairwise ground-distance
+    matrix, using two rolling rows.
+    """
+    if not p or not q:
+        raise ValueError("DTW of empty trajectory")
+    dist = pairwise_ground_distance(p, q)
+    n, m = dist.shape
+    inf = math.inf
+    previous = [inf] * (m + 1)
+    previous[0] = 0.0
+    current = [inf] * (m + 1)
+    for i in range(1, n + 1):
+        row = dist[i - 1]
+        current[0] = inf
+        for j in range(1, m + 1):
+            best = previous[j]
+            diag = previous[j - 1]
+            if diag < best:
+                best = diag
+            left = current[j - 1]
+            if left < best:
+                best = left
+            current[j] = row[j - 1] + best
+        previous, current = current, previous
+    return previous[m]
+
+
+def dtw_banded(p: Trajectory, q: Trajectory, band: int) -> float:
+    """DTW constrained to a Sakoe-Chiba band of half-width ``band``.
+
+    A classical speed/quality trade-off: alignments may only deviate
+    ``band`` steps from the diagonal.  With ``band >= max(|p|, |q|)`` this
+    equals :func:`dtw`.  Returns ``inf`` when no in-band alignment exists
+    (cannot happen for band >= |len(p) - len(q)|).
+    """
+    if not p or not q:
+        raise ValueError("DTW of empty trajectory")
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    dist = pairwise_ground_distance(p, q)
+    n, m = dist.shape
+    inf = math.inf
+    previous = [inf] * (m + 1)
+    previous[0] = 0.0
+    current = [inf] * (m + 1)
+    for i in range(1, n + 1):
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        if lo > hi:
+            # The band misses this row entirely: no alignment exists.
+            return inf
+        row = dist[i - 1]
+        current[lo - 1] = inf
+        if lo == 1:
+            current[0] = inf
+        for j in range(lo, hi + 1):
+            best = previous[j]
+            diag = previous[j - 1]
+            if diag < best:
+                best = diag
+            left = current[j - 1]
+            if left < best:
+                best = left
+            current[j] = row[j - 1] + best
+        for j in range(hi + 1, m + 1):
+            current[j] = inf
+        previous, current = current, previous
+    return previous[m]
+
+
+def dtw_reference(p: Trajectory, q: Trajectory) -> float:
+    """Direct transcription of the paper's recursive Equation 3.
+
+    Exponential without memoization, so it is memoized; still only suitable
+    for small inputs.  Tests use it as the ground truth for :func:`dtw`.
+    """
+    if not p or not q:
+        raise ValueError("DTW of empty trajectory")
+
+    @lru_cache(maxsize=None)
+    def rec(i: int, j: int) -> float:
+        if i == 0 and j == 0:
+            return 0.0
+        if i == 0 or j == 0:
+            return math.inf
+        return haversine(p[i - 1], q[j - 1]) + min(
+            rec(i - 1, j), rec(i, j - 1), rec(i - 1, j - 1)
+        )
+
+    try:
+        return rec(len(p), len(q))
+    finally:
+        rec.cache_clear()

@@ -1,0 +1,43 @@
+"""Ground distance (paper Equation 2) in scalar and vectorized forms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geo.point import EARTH_RADIUS_M, Point, Trajectory, haversine, haversine_coords
+
+__all__ = [
+    "haversine",
+    "haversine_coords",
+    "pairwise_ground_distance",
+    "trajectory_to_radians",
+]
+
+
+def trajectory_to_radians(points: Trajectory) -> np.ndarray:
+    """Pack a trajectory into an ``(n, 2)`` array of radians (lat, lon)."""
+    out = np.empty((len(points), 2), dtype=np.float64)
+    for i, p in enumerate(points):
+        out[i, 0] = p.lat
+        out[i, 1] = p.lon
+    return np.radians(out)
+
+
+def pairwise_ground_distance(p: Trajectory, q: Trajectory) -> np.ndarray:
+    """All-pairs haversine distances between two trajectories, in meters.
+
+    Returns an ``(len(p), len(q))`` matrix.  This is the distance kernel
+    shared by the DTW and discrete-Frechet dynamic programs.
+    """
+    a = trajectory_to_radians(p)
+    b = trajectory_to_radians(q)
+    lat_a = a[:, 0][:, None]
+    lat_b = b[:, 0][None, :]
+    d_lat = lat_b - lat_a
+    d_lon = b[:, 1][None, :] - a[:, 1][:, None]
+    h = (
+        np.sin(d_lat / 2.0) ** 2
+        + np.cos(lat_a) * np.cos(lat_b) * np.sin(d_lon / 2.0) ** 2
+    )
+    np.clip(h, 0.0, 1.0, out=h)
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(h))

@@ -1,0 +1,75 @@
+"""Jaccard coefficient and distance (paper Equation 1).
+
+The Jaccard distance ``d_J(F, G) = 1 - |F & G| / |F | G|`` is a true metric
+(it obeys the triangle inequality, Kosub 2016 — reference [17] of the
+paper), which is why the paper uses it as the ranking distance ``delta``
+over fingerprint sets.  The functions here accept plain Python sets,
+frozensets, and :class:`~repro.bitmap.roaring.RoaringBitmap` /
+:class:`~repro.bitmap.roaring.Roaring64Map` instances.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Union
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+
+FingerprintSet = Union[AbstractSet[int], RoaringBitmap, Roaring64Map]
+
+__all__ = ["jaccard", "jaccard_distance", "overlap_coefficient", "containment"]
+
+
+def _intersection_and_union(a: FingerprintSet, b: FingerprintSet) -> tuple[int, int]:
+    if isinstance(a, (RoaringBitmap, Roaring64Map)) and isinstance(
+        b, (RoaringBitmap, Roaring64Map)
+    ):
+        if type(a) is not type(b):
+            raise TypeError("cannot mix 32-bit and 64-bit fingerprint sets")
+        inter = a.intersection_cardinality(b)  # type: ignore[arg-type]
+        return inter, len(a) + len(b) - inter
+    if isinstance(a, (RoaringBitmap, Roaring64Map)) or isinstance(
+        b, (RoaringBitmap, Roaring64Map)
+    ):
+        a = set(a)
+        b = set(b)
+    inter = len(a & b)  # type: ignore[operator]
+    return inter, len(a) + len(b) - inter
+
+
+def jaccard(a: FingerprintSet, b: FingerprintSet) -> float:
+    """Jaccard coefficient ``|A & B| / |A | B|``; 1.0 for two empty sets."""
+    inter, union = _intersection_and_union(a, b)
+    if union == 0:
+        return 1.0
+    return inter / union
+
+
+def jaccard_distance(a: FingerprintSet, b: FingerprintSet) -> float:
+    """Jaccard distance ``1 - jaccard(a, b)`` — the paper's Equation 1."""
+    return 1.0 - jaccard(a, b)
+
+
+def overlap_coefficient(a: FingerprintSet, b: FingerprintSet) -> float:
+    """Szymkiewicz-Simpson overlap ``|A & B| / min(|A|, |B|)``.
+
+    Useful when one trajectory is a motif (sub-trajectory) of the other:
+    the Jaccard coefficient penalizes the length difference, the overlap
+    coefficient does not.  Returns 1.0 when either set is empty.
+    """
+    inter, _ = _intersection_and_union(a, b)
+    smaller = min(len(a), len(b))
+    if smaller == 0:
+        return 1.0
+    return inter / smaller
+
+
+def containment(query: FingerprintSet, target: FingerprintSet) -> float:
+    """Broder containment ``|Q & T| / |Q|``: fraction of the query covered.
+
+    Asymmetric by design — this is the measure used to detect that a
+    query motif occurs somewhere inside a longer trajectory.
+    """
+    inter, _ = _intersection_and_union(query, target)
+    if len(query) == 0:
+        return 1.0
+    return inter / len(query)

@@ -1,0 +1,211 @@
+"""Axis-aligned geographic bounding boxes.
+
+Bounding boxes appear in three places in the reproduction: geohash cells
+decode to boxes, the spatial-index baselines (quadtree, r-tree) organise
+boxes, and the BTM motif baseline prunes sub-trajectory pairs with
+box-to-box distance lower bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from .point import (
+    EARTH_RADIUS_M,
+    Point,
+    Trajectory,
+    haversine,
+    haversine_coords,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """A latitude/longitude axis-aligned box ``[south, north] x [west, east]``.
+
+    Boxes never wrap the antimeridian; the geohash decomposition used in this
+    library never produces wrapping cells.
+    """
+
+    south: float
+    west: float
+    north: float
+    east: float
+
+    def __post_init__(self) -> None:
+        if self.south > self.north:
+            raise ValueError(f"south {self.south} > north {self.north}")
+        if self.west > self.east:
+            raise ValueError(f"west {self.west} > east {self.east}")
+
+    @property
+    def center(self) -> Point:
+        """Center point of the box."""
+        return Point((self.south + self.north) / 2.0, (self.west + self.east) / 2.0)
+
+    @property
+    def width_m(self) -> float:
+        """Ground width of the box (measured along its central latitude)."""
+        mid_lat = (self.south + self.north) / 2.0
+        return haversine_coords(mid_lat, self.west, mid_lat, self.east)
+
+    @property
+    def height_m(self) -> float:
+        """Ground height of the box."""
+        return haversine_coords(self.south, self.west, self.north, self.west)
+
+    def contains(self, p: Point) -> bool:
+        """Whether the point lies inside the box (boundaries inclusive)."""
+        return self.south <= p.lat <= self.north and self.west <= p.lon <= self.east
+
+    def contains_box(self, other: "BBox") -> bool:
+        """Whether ``other`` is fully inside this box."""
+        return (
+            self.south <= other.south
+            and self.north >= other.north
+            and self.west <= other.west
+            and self.east >= other.east
+        )
+
+    def intersects(self, other: "BBox") -> bool:
+        """Whether the two boxes overlap (touching edges count)."""
+        return not (
+            other.west > self.east
+            or other.east < self.west
+            or other.south > self.north
+            or other.north < self.south
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest box containing both boxes."""
+        return BBox(
+            min(self.south, other.south),
+            min(self.west, other.west),
+            max(self.north, other.north),
+            max(self.east, other.east),
+        )
+
+    def expand(self, p: Point) -> "BBox":
+        """Smallest box containing this box and the point."""
+        return BBox(
+            min(self.south, p.lat),
+            min(self.west, p.lon),
+            max(self.north, p.lat),
+            max(self.east, p.lon),
+        )
+
+    def buffer_degrees(self, d_lat: float, d_lon: float) -> "BBox":
+        """Box grown by the given margins (clamped to valid coordinates)."""
+        return BBox(
+            max(-90.0, self.south - d_lat),
+            max(-180.0, self.west - d_lon),
+            min(90.0, self.north + d_lat),
+            min(180.0, self.east + d_lon),
+        )
+
+    def area_deg2(self) -> float:
+        """Area in square degrees (useful for split heuristics, not geodesy)."""
+        return (self.north - self.south) * (self.east - self.west)
+
+    def min_distance_to(self, other: "BBox") -> float:
+        """Lower bound on the ground distance between any two points of the boxes.
+
+        Zero when the boxes intersect.  This is the pruning bound used by
+        the BTM motif baseline, so it must be *sound*: never exceed the
+        true distance between any pair of member points.  Two sound bounds
+        are combined with ``max``:
+
+        * the meridian bound — the central angle between two points is at
+          least their latitude difference, so the latitude gap converts
+          directly to meters;
+        * the parallel bound — for points whose absolute latitude is at
+          most ``phi_m``, crossing a longitude gap ``d_lon`` costs at
+          least ``2 R asin(cos(phi_m) sin(d_lon / 2))`` (equal-latitude
+          haversine at the latitude furthest from the equator; soundness
+          follows from ``1 - cos(phi_1 - phi_2) >= 0``).
+        """
+        if self.intersects(other):
+            return 0.0
+        d_lat = max(0.0, max(other.south - self.north, self.south - other.north))
+        d_lon = max(0.0, max(other.west - self.east, self.west - other.east))
+        meridian_bound = EARTH_RADIUS_M * math.radians(d_lat)
+        phi_m = math.radians(
+            max(abs(self.south), abs(self.north), abs(other.south), abs(other.north))
+        )
+        sin_half = math.cos(phi_m) * math.sin(math.radians(d_lon) / 2.0)
+        parallel_bound = 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, sin_half))
+        return max(meridian_bound, parallel_bound)
+
+    def max_distance_to(self, other: "BBox") -> float:
+        """Upper bound on the ground distance between points of the two boxes."""
+        corners_a = self.corners()
+        corners_b = other.corners()
+        return max(haversine(a, b) for a in corners_a for b in corners_b)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corner points (SW, SE, NW, NE)."""
+        return (
+            Point(self.south, self.west),
+            Point(self.south, self.east),
+            Point(self.north, self.west),
+            Point(self.north, self.east),
+        )
+
+    def diagonal_m(self) -> float:
+        """Ground length of the box diagonal."""
+        return haversine_coords(self.south, self.west, self.north, self.east)
+
+
+#: The whole latitude/longitude domain (depth-0 geohash cell).
+WORLD = BBox(-90.0, -180.0, 90.0, 180.0)
+
+
+def bbox_of(points: Trajectory) -> BBox:
+    """Minimum bounding box of a non-empty point sequence."""
+    if not points:
+        raise ValueError("bounding box of empty point sequence")
+    south = north = points[0].lat
+    west = east = points[0].lon
+    for p in points[1:]:
+        if p.lat < south:
+            south = p.lat
+        elif p.lat > north:
+            north = p.lat
+        if p.lon < west:
+            west = p.lon
+        elif p.lon > east:
+            east = p.lon
+    return BBox(south, west, north, east)
+
+
+def bbox_union(boxes: Iterable[BBox]) -> BBox:
+    """Smallest box containing all given boxes."""
+    it = iter(boxes)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("bbox_union of empty iterable") from None
+    for box in it:
+        acc = acc.union(box)
+    return acc
+
+
+def square_around(center: Point, half_side_m: float) -> BBox:
+    """Axis-aligned box of roughly ``2 * half_side_m`` meters per side.
+
+    Used by the workload generator to carve the dense ~300 km^2 area around
+    the London centre that the paper's dataset covers.
+    """
+    if half_side_m <= 0.0:
+        raise ValueError("half_side_m must be positive")
+    d_lat = math.degrees(half_side_m / EARTH_RADIUS_M)
+    cos_lat = max(1e-12, math.cos(math.radians(center.lat)))
+    d_lon = math.degrees(half_side_m / (EARTH_RADIUS_M * cos_lat))
+    return BBox(
+        max(-90.0, center.lat - d_lat),
+        max(-180.0, center.lon - d_lon),
+        min(90.0, center.lat + d_lat),
+        min(180.0, center.lon + d_lon),
+    )

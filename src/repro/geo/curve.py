@@ -1,0 +1,107 @@
+"""Z-order space-filling-curve arithmetic.
+
+The geodab sharding strategy (paper Figure 2c) maps geohash prefixes to
+shards *in a locality-preserving way* — cells adjacent on the z-order curve
+land on the same shard — and then maps shards to nodes with a modulo that
+deliberately breaks locality to balance the cluster.  This module hosts the
+curve arithmetic both steps rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .geohash import MAX_DEPTH, Geohash, _spread_bits, _squash_bits
+
+
+def interleave(x: int, y: int) -> int:
+    """Interleave two 32-bit integers; bits of ``x`` occupy odd positions."""
+    return (_spread_bits(x) << 1) | _spread_bits(y)
+
+
+def deinterleave(z: int) -> tuple[int, int]:
+    """Inverse of :func:`interleave`: return ``(x, y)``."""
+    return _squash_bits(z >> 1), _squash_bits(z)
+
+
+def curve_index(cell: Geohash, depth: int) -> int:
+    """Index of a cell's lower corner on the z-order curve at ``depth``.
+
+    Cells shallower than ``depth`` map to the first position of their
+    subtree, so ordering by curve index equals ordering by bit prefix.
+    """
+    if depth < cell.depth:
+        raise ValueError(
+            f"curve depth {depth} shallower than cell depth {cell.depth}"
+        )
+    return cell.bits << (depth - cell.depth)
+
+
+def curve_range(cell: Geohash, depth: int) -> tuple[int, int]:
+    """Half-open ``[start, end)`` range a cell spans on the curve at ``depth``."""
+    start = curve_index(cell, depth)
+    return start, start + (1 << (depth - cell.depth))
+
+
+def fraction_of_curve(cell: Geohash) -> float:
+    """Position of a cell on the curve normalized to ``[0, 1)``.
+
+    ``shard = floor(fraction * n_shards)`` is exactly the paper's
+    ``shard = floor(geohash / 2^depth * n_shards)`` mapping.
+    """
+    if cell.depth == 0:
+        return 0.0
+    return cell.bits / float(1 << cell.depth)
+
+
+def shard_of(cell: Geohash, num_shards: int) -> int:
+    """Locality-preserving shard assignment (paper Figure 2c, first step)."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    shard = int(fraction_of_curve(cell) * num_shards)
+    # Guard against floating-point edge at fraction -> 1.0.
+    return min(shard, num_shards - 1)
+
+
+def node_of(shard: int, num_nodes: int) -> int:
+    """Locality-breaking node assignment (paper Figure 2c, second step)."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    return shard % num_nodes
+
+
+def shards_in_curve_range(
+    start: int, end: int, depth: int, num_shards: int
+) -> list[int]:
+    """Distinct shards intersecting a half-open curve range at ``depth``.
+
+    Query planning uses this to find the minimal set of shards that must be
+    contacted to answer a spatially-bounded query.
+    """
+    if start > end:
+        raise ValueError("start must not exceed end")
+    total = 1 << depth
+    if not 0 <= start <= total or not 0 <= end <= total:
+        raise ValueError("curve range outside the curve domain")
+    if start == end:
+        return []
+    first = min(int(start / total * num_shards), num_shards - 1)
+    last = min(int((end - 1) / total * num_shards), num_shards - 1)
+    return list(range(first, last + 1))
+
+
+def sort_by_curve(cells: Iterable[Geohash], depth: int = MAX_DEPTH) -> list[Geohash]:
+    """Sort cells by their z-order curve position at a common depth."""
+    return sorted(cells, key=lambda c: (curve_index(c, depth), c.depth))
+
+
+def walk_cells(depth: int) -> Iterator[Geohash]:
+    """Iterate all cells of a depth in z-order (small depths only).
+
+    Useful for exhaustive tests and for plotting curve traversals like the
+    paper's Figure 2b.
+    """
+    if depth > 24:
+        raise ValueError("walk_cells is intended for small depths (<= 24)")
+    for bits in range(1 << depth):
+        yield Geohash(bits, depth)

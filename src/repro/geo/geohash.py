@@ -1,0 +1,330 @@
+"""Bit-level geohash codec (Niemeyer, 2008) at arbitrary depth.
+
+A geohash maps a point to a sequence of bits that repeatedly bisect the
+latitude/longitude space up to a desired depth ``d`` (paper Section III-C).
+The first bisection splits the longitude axis, the second the latitude
+axis, and so on, alternating.  The resulting bit string, read as an
+integer, is the cell's position on a z-order space-filling curve, which is
+the property the geodab sharding strategy relies on (Figure 2).
+
+This module represents a geohash as a ``(bits, depth)`` pair wrapped in the
+immutable :class:`Geohash` value type.  Unlike string-based geohash
+libraries, depth is *not* restricted to multiples of 5; the paper's
+configuration uses 36-bit normalization cells and 16-bit shard prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .bbox import BBox
+from .point import Point, Trajectory
+
+#: Maximum supported depth.  60 bits keeps lon/lat quantizations within
+#: 30 bits each and yields sub-centimeter cells, far beyond GPS accuracy.
+MAX_DEPTH = 60
+
+#: Standard geohash base32 alphabet (no a, i, l, o).
+BASE32_ALPHABET = "0123456789bcdefghjkmnpqrstuvwxyz"
+_BASE32_INDEX = {c: i for i, c in enumerate(BASE32_ALPHABET)}
+
+_MASK_64 = (1 << 64) - 1
+
+
+def _spread_bits(x: int) -> int:
+    """Spread the low 32 bits of ``x`` so bit ``i`` moves to bit ``2i``."""
+    x &= 0xFFFFFFFF
+    x = (x | (x << 16)) & 0x0000FFFF0000FFFF
+    x = (x | (x << 8)) & 0x00FF00FF00FF00FF
+    x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x << 2)) & 0x3333333333333333
+    x = (x | (x << 1)) & 0x5555555555555555
+    return x
+
+
+def _squash_bits(x: int) -> int:
+    """Inverse of :func:`_spread_bits`: collect bits at even positions."""
+    x &= 0x5555555555555555
+    x = (x | (x >> 1)) & 0x3333333333333333
+    x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x >> 4)) & 0x00FF00FF00FF00FF
+    x = (x | (x >> 8)) & 0x0000FFFF0000FFFF
+    x = (x | (x >> 16)) & 0x00000000FFFFFFFF
+    return x
+
+
+def _split_depth(depth: int) -> tuple[int, int]:
+    """Number of (longitude, latitude) bits for a given total depth."""
+    lon_bits = (depth + 1) // 2
+    lat_bits = depth // 2
+    return lon_bits, lat_bits
+
+
+def _check_depth(depth: int) -> None:
+    if not 0 <= depth <= MAX_DEPTH:
+        raise ValueError(f"depth {depth} outside [0, {MAX_DEPTH}]")
+
+
+def _quantize(value: float, low: float, high: float, bits: int) -> int:
+    """Map ``value`` in ``[low, high]`` to an integer cell in ``[0, 2^bits)``."""
+    if bits == 0:
+        return 0
+    span = high - low
+    cells = 1 << bits
+    cell = int((value - low) / span * cells)
+    # The upper domain boundary belongs to the last cell.
+    if cell >= cells:
+        cell = cells - 1
+    if cell < 0:
+        cell = 0
+    return cell
+
+
+def encode(point: Point, depth: int) -> int:
+    """Encode a point as a ``depth``-bit geohash integer.
+
+    The most significant bit of the result is the first (longitude)
+    bisection decision.
+    """
+    _check_depth(depth)
+    lon_bits, lat_bits = _split_depth(depth)
+    lon_cell = _quantize(point.lon, -180.0, 180.0, lon_bits)
+    lat_cell = _quantize(point.lat, -90.0, 90.0, lat_bits)
+    if depth % 2 == 0:
+        # Even depth: longitude decisions occupy the odd bit positions.
+        return (_spread_bits(lon_cell) << 1) | _spread_bits(lat_cell)
+    # Odd depth: the extra (first) longitude decision lands on an even
+    # position, so longitude occupies the even positions.
+    return _spread_bits(lon_cell) | (_spread_bits(lat_cell) << 1)
+
+
+def decode(bits: int, depth: int) -> BBox:
+    """Decode a geohash integer into the bounding box of its cell."""
+    _check_depth(depth)
+    if depth > 0 and bits >> depth:
+        raise ValueError(f"geohash value {bits:#x} does not fit in {depth} bits")
+    if depth == 0:
+        if bits != 0:
+            raise ValueError("depth-0 geohash must have value 0")
+        return BBox(-90.0, -180.0, 90.0, 180.0)
+    lon_bits, lat_bits = _split_depth(depth)
+    if depth % 2 == 0:
+        lon_cell = _squash_bits(bits >> 1)
+        lat_cell = _squash_bits(bits)
+    else:
+        lon_cell = _squash_bits(bits)
+        lat_cell = _squash_bits(bits >> 1)
+    lon_span = 360.0 / (1 << lon_bits)
+    lat_span = 180.0 / (1 << lat_bits) if lat_bits else 180.0
+    west = -180.0 + lon_cell * lon_span
+    south = -90.0 + lat_cell * lat_span
+    return BBox(south, west, south + lat_span, west + lon_span)
+
+
+def decode_center(bits: int, depth: int) -> Point:
+    """Decode a geohash integer to the center point of its cell."""
+    return decode(bits, depth).center
+
+
+def cover(points: Trajectory, max_depth: int = MAX_DEPTH) -> "Geohash":
+    """Highest-precision geohash overlapping a whole point set.
+
+    This is the paper's ``geohash({p1, ..., pn}) = b`` operator (Section
+    III-C): the longest common prefix of the points' geohash encodings,
+    capped at ``max_depth``.  Points straddling a bisection boundary yield
+    shallow (possibly depth-0) covers, which is expected behaviour.
+    """
+    if not points:
+        raise ValueError("cover of empty point sequence")
+    _check_depth(max_depth)
+    first = encode(points[0], max_depth)
+    diff = 0
+    for p in points[1:]:
+        diff |= first ^ encode(p, max_depth)
+    common = max_depth - diff.bit_length()
+    return Geohash(first >> (max_depth - common), common)
+
+
+def truncate(bits: int, depth: int, new_depth: int) -> int:
+    """Keep only the first ``new_depth`` bits of a geohash (its ancestor cell)."""
+    if new_depth > depth:
+        raise ValueError(f"cannot truncate depth {depth} to deeper {new_depth}")
+    _check_depth(new_depth)
+    return bits >> (depth - new_depth)
+
+
+def to_base32(bits: int, depth: int) -> str:
+    """Render a geohash as the classic base32 string (depth must divide by 5)."""
+    if depth % 5 != 0:
+        raise ValueError(f"base32 requires depth multiple of 5, got {depth}")
+    chars = []
+    for i in range(depth // 5):
+        shift = depth - 5 * (i + 1)
+        chars.append(BASE32_ALPHABET[(bits >> shift) & 0x1F])
+    return "".join(chars)
+
+
+def from_base32(text: str) -> "Geohash":
+    """Parse a classic base32 geohash string."""
+    bits = 0
+    for c in text.lower():
+        if c not in _BASE32_INDEX:
+            raise ValueError(f"invalid geohash character {c!r}")
+        bits = (bits << 5) | _BASE32_INDEX[c]
+    return Geohash(bits, 5 * len(text))
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Geohash:
+    """An immutable geohash cell: ``depth`` leading bits of the z-order curve.
+
+    Ordering compares ``(bits, depth)`` lexicographically, which matches the
+    z-order curve position for equal depths.
+    """
+
+    bits: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        _check_depth(self.depth)
+        if self.bits < 0:
+            raise ValueError("geohash bits must be non-negative")
+        if self.depth < MAX_DEPTH and self.bits >> self.depth:
+            raise ValueError(
+                f"geohash value {self.bits:#x} does not fit in {self.depth} bits"
+            )
+
+    @classmethod
+    def of(cls, point: Point, depth: int) -> "Geohash":
+        """Geohash cell of ``point`` at the given depth."""
+        return cls(encode(point, depth), depth)
+
+    @classmethod
+    def covering(cls, points: Trajectory, max_depth: int = MAX_DEPTH) -> "Geohash":
+        """Highest-precision cell overlapping all points (see :func:`cover`)."""
+        return cover(points, max_depth)
+
+    def bbox(self) -> BBox:
+        """Bounding box of the cell."""
+        return decode(self.bits, self.depth)
+
+    def center(self) -> Point:
+        """Center point of the cell."""
+        return decode_center(self.bits, self.depth)
+
+    def parent(self) -> "Geohash":
+        """The cell one bisection shallower."""
+        if self.depth == 0:
+            raise ValueError("the root cell has no parent")
+        return Geohash(self.bits >> 1, self.depth - 1)
+
+    def children(self) -> tuple["Geohash", "Geohash"]:
+        """The two cells one bisection deeper."""
+        if self.depth >= MAX_DEPTH:
+            raise ValueError(f"cannot subdivide beyond depth {MAX_DEPTH}")
+        return (
+            Geohash(self.bits << 1, self.depth + 1),
+            Geohash((self.bits << 1) | 1, self.depth + 1),
+        )
+
+    def ancestor(self, depth: int) -> "Geohash":
+        """The containing cell at a shallower depth."""
+        return Geohash(truncate(self.bits, self.depth, depth), depth)
+
+    def contains(self, other: "Geohash") -> bool:
+        """Whether ``other`` is this cell or one of its descendants."""
+        if other.depth < self.depth:
+            return False
+        return (other.bits >> (other.depth - self.depth)) == self.bits
+
+    def contains_point(self, point: Point) -> bool:
+        """Whether the point falls inside this cell."""
+        return encode(point, self.depth) == self.bits
+
+    def base32(self) -> str:
+        """Classic base32 rendering (depth must be a multiple of 5)."""
+        return to_base32(self.bits, self.depth)
+
+    def curve_position(self, at_depth: int = MAX_DEPTH) -> int:
+        """Position of the cell's lower boundary on the z-order curve.
+
+        Normalizing to a common depth makes positions of cells of different
+        depths comparable; sharding uses this (Figure 2c).
+        """
+        if at_depth < self.depth:
+            raise ValueError("normalization depth shallower than cell depth")
+        return self.bits << (at_depth - self.depth)
+
+    def neighbors(self) -> list["Geohash"]:
+        """The up-to-8 adjacent cells at the same depth.
+
+        Cells at the latitude extremes have fewer neighbours; longitude
+        wraps around the antimeridian.
+        """
+        box = self.bbox()
+        lat_step = box.north - box.south
+        lon_step = box.east - box.west
+        center = box.center
+        out = []
+        for d_lat in (-lat_step, 0.0, lat_step):
+            for d_lon in (-lon_step, 0.0, lon_step):
+                if d_lat == 0.0 and d_lon == 0.0:
+                    continue
+                lat = center.lat + d_lat
+                if not -90.0 <= lat <= 90.0:
+                    continue
+                lon = center.lon + d_lon
+                lon = (lon + 540.0) % 360.0 - 180.0
+                cell = Geohash.of(Point(lat, lon), self.depth)
+                if cell != self:
+                    out.append(cell)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.depth % 5 == 0 and self.depth > 0:
+            return f"Geohash({self.base32()!r})"
+        return f"Geohash({self.bits:0{max(1, self.depth)}b}, depth={self.depth})"
+
+
+def cell_dimensions(depth: int, latitude: float = 0.0) -> tuple[float, float]:
+    """Approximate ``(width_m, height_m)`` of cells at ``depth`` and ``latitude``.
+
+    The paper notes that a 36-bit geohash near London is roughly 95 m wide
+    and 76 m tall (Section VI-A2); this helper reproduces that arithmetic.
+    """
+    probe = Geohash.of(Point(latitude, 0.0), depth)
+    box = probe.bbox()
+    return box.width_m, box.height_m
+
+
+def encode_many(points: Iterable[Point], depth: int) -> Iterator[int]:
+    """Encode a stream of points at a fixed depth."""
+    for p in points:
+        yield encode(p, depth)
+
+
+def common_prefix(a: "Geohash", b: "Geohash") -> "Geohash":
+    """Deepest cell containing both cells."""
+    depth = min(a.depth, b.depth)
+    bits_a = truncate(a.bits, a.depth, depth)
+    bits_b = truncate(b.bits, b.depth, depth)
+    diff = bits_a ^ bits_b
+    common = depth - diff.bit_length()
+    return Geohash(bits_a >> (depth - common), common)
+
+
+def cells_along(points: Sequence[Point], depth: int) -> list[Geohash]:
+    """Cells visited by a polyline, with consecutive duplicates removed.
+
+    This is the first half of the paper's grid normalization (Section V-A):
+    map every point to its cell, then clean consecutive duplicates.
+    """
+    out: list[Geohash] = []
+    previous_bits: int | None = None
+    for p in points:
+        bits = encode(p, depth)
+        if bits != previous_bits:
+            out.append(Geohash(bits, depth))
+            previous_bits = bits
+    return out

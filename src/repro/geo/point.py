@@ -1,0 +1,245 @@
+"""Geodesy primitives: points on the WGS84 sphere and operations on them.
+
+The paper models a trajectory as a sequence of latitude/longitude points
+``S = <s1, ..., sn>`` (Section II-A).  This module provides the ``Point``
+value type used throughout the library together with the spherical geometry
+helpers (haversine distance, bearings, interpolation, destination points)
+needed by the road-network generator, the trajectory sampler and the
+distance measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+#: Mean earth radius in meters, the ``R`` of the paper's Equation 2.
+EARTH_RADIUS_M = 6_371_000.0
+
+#: Valid coordinate ranges.
+MIN_LATITUDE = -90.0
+MAX_LATITUDE = 90.0
+MIN_LONGITUDE = -180.0
+MAX_LONGITUDE = 180.0
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A latitude/longitude point ``p = (phi, lambda)`` in degrees.
+
+    Instances are immutable and hashable so they can be used as dictionary
+    keys (e.g. road-network node positions) and in sets.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not (MIN_LATITUDE <= self.lat <= MAX_LATITUDE):
+            raise ValueError(f"latitude {self.lat} outside [-90, 90]")
+        if not (MIN_LONGITUDE <= self.lon <= MAX_LONGITUDE):
+            raise ValueError(f"longitude {self.lon} outside [-180, 180]")
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(lat, lon)`` as a plain tuple."""
+        return (self.lat, self.lon)
+
+    def distance_to(self, other: "Point") -> float:
+        """Great-circle distance to ``other`` in meters (haversine)."""
+        return haversine(self, other)
+
+    def bearing_to(self, other: "Point") -> float:
+        """Initial great-circle bearing towards ``other`` in degrees [0, 360)."""
+        return initial_bearing(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point({self.lat:.6f}, {self.lon:.6f})"
+
+
+#: A trajectory is simply an ordered sequence of points.
+Trajectory = Sequence[Point]
+
+
+def haversine(p: Point, q: Point) -> float:
+    """Ground distance between two points in meters (paper Equation 2).
+
+    ``2 R asin(sqrt(sin^2(dphi/2) + cos(phi_k) cos(phi_l) sin^2(dlambda/2)))``
+    """
+    phi_l = math.radians(p.lat)
+    phi_k = math.radians(q.lat)
+    d_phi = phi_k - phi_l
+    d_lambda = math.radians(q.lon - p.lon)
+    a = (
+        math.sin(d_phi / 2.0) ** 2
+        + math.cos(phi_l) * math.cos(phi_k) * math.sin(d_lambda / 2.0) ** 2
+    )
+    # Clamp to guard against floating-point drift slightly above 1.0.
+    a = min(1.0, max(0.0, a))
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(a))
+
+
+def haversine_coords(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Haversine distance from bare coordinates, avoiding Point construction.
+
+    Hot paths (DTW/DFD inner loops, map matching) use this variant.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    d_phi = phi2 - phi1
+    d_lambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(d_phi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(d_lambda / 2.0) ** 2
+    )
+    a = min(1.0, max(0.0, a))
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(a))
+
+
+def initial_bearing(p: Point, q: Point) -> float:
+    """Initial bearing of the great circle from ``p`` to ``q`` in degrees.
+
+    Returns a value in ``[0, 360)`` measured clockwise from true north.
+    """
+    phi1 = math.radians(p.lat)
+    phi2 = math.radians(q.lat)
+    d_lambda = math.radians(q.lon - p.lon)
+    y = math.sin(d_lambda) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(
+        d_lambda
+    )
+    return (math.degrees(math.atan2(y, x)) + 360.0) % 360.0
+
+
+def destination(p: Point, bearing_deg: float, distance_m: float) -> Point:
+    """Point reached from ``p`` along ``bearing_deg`` after ``distance_m`` meters."""
+    delta = distance_m / EARTH_RADIUS_M
+    theta = math.radians(bearing_deg)
+    phi1 = math.radians(p.lat)
+    lambda1 = math.radians(p.lon)
+    phi2 = math.asin(
+        math.sin(phi1) * math.cos(delta)
+        + math.cos(phi1) * math.sin(delta) * math.cos(theta)
+    )
+    lambda2 = lambda1 + math.atan2(
+        math.sin(theta) * math.sin(delta) * math.cos(phi1),
+        math.cos(delta) - math.sin(phi1) * math.sin(phi2),
+    )
+    lat = math.degrees(phi2)
+    lon = math.degrees(lambda2)
+    # Normalize longitude into [-180, 180].
+    lon = (lon + 540.0) % 360.0 - 180.0
+    lat = min(MAX_LATITUDE, max(MIN_LATITUDE, lat))
+    return Point(lat, lon)
+
+
+def interpolate(p: Point, q: Point, fraction: float) -> Point:
+    """Point at ``fraction`` of the way from ``p`` to ``q``.
+
+    For the short segments handled by this library (road edges of tens to
+    hundreds of meters), linear interpolation in coordinate space is
+    indistinguishable from great-circle interpolation; we still route
+    through the great-circle formulation to stay exact near the poles and
+    the antimeridian.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    if fraction == 0.0:
+        return p
+    if fraction == 1.0:
+        return q
+    total = haversine(p, q)
+    if total == 0.0:
+        return p
+    return destination(p, initial_bearing(p, q), total * fraction)
+
+
+def path_length(points: Trajectory) -> float:
+    """Cumulative ground length of a polyline in meters."""
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        total += haversine(a, b)
+    return total
+
+
+def cumulative_lengths(points: Trajectory) -> list[float]:
+    """Cumulative distance at every vertex of a polyline; starts at 0.0."""
+    if not points:
+        return []
+    out = [0.0]
+    for a, b in zip(points, points[1:]):
+        out.append(out[-1] + haversine(a, b))
+    return out
+
+
+def walk(points: Trajectory, distance_m: float) -> Point:
+    """Point reached after walking ``distance_m`` meters along a polyline.
+
+    Distances beyond the end of the polyline clamp to the final vertex,
+    negative distances clamp to the first vertex.
+    """
+    if not points:
+        raise ValueError("cannot walk an empty polyline")
+    if distance_m <= 0.0:
+        return points[0]
+    remaining = distance_m
+    for a, b in zip(points, points[1:]):
+        seg = haversine(a, b)
+        if seg >= remaining and seg > 0.0:
+            return interpolate(a, b, remaining / seg)
+        remaining -= seg
+    return points[-1]
+
+
+def resample_by_distance(points: Trajectory, step_m: float) -> list[Point]:
+    """Resample a polyline at a constant ground-distance step.
+
+    Always includes the first point; includes the last point if it is not
+    already within ``step_m / 2`` of the previous sample, so that short
+    tails are not silently dropped.
+    """
+    if step_m <= 0.0:
+        raise ValueError("step_m must be positive")
+    if not points:
+        return []
+    if len(points) == 1:
+        return [points[0]]
+    total = path_length(points)
+    samples = [points[0]]
+    offset = step_m
+    while offset < total:
+        samples.append(walk(points, offset))
+        offset += step_m
+    if haversine(samples[-1], points[-1]) > step_m / 2.0:
+        samples.append(points[-1])
+    return samples
+
+
+def centroid(points: Trajectory) -> Point:
+    """Arithmetic centroid of a set of points.
+
+    Adequate for the small (city-scale) extents this library works with;
+    not meaningful across the antimeridian.
+    """
+    if not points:
+        raise ValueError("centroid of empty point set")
+    lat = sum(p.lat for p in points) / len(points)
+    lon = sum(p.lon for p in points) / len(points)
+    return Point(lat, lon)
+
+
+def iter_pairs(points: Trajectory) -> Iterator[tuple[Point, Point]]:
+    """Iterate over consecutive point pairs of a trajectory."""
+    return zip(points, points[1:])
+
+
+def ensure_points(raw: Iterable[tuple[float, float] | Point]) -> list[Point]:
+    """Coerce an iterable of ``(lat, lon)`` tuples or ``Point``s to points."""
+    out: list[Point] = []
+    for item in raw:
+        if isinstance(item, Point):
+            out.append(item)
+        else:
+            lat, lon = item
+            out.append(Point(lat, lon))
+    return out

@@ -1,0 +1,42 @@
+"""Deterministic hashing substrate: stable scalar hashes and rolling hashes."""
+
+from .rolling import (
+    DEFAULT_BASE,
+    MinQueue,
+    PolynomialRollingHash,
+    direct_window_hash,
+    rolling_hashes,
+    windowed_minima,
+)
+from .window import SlidingWindowAggregate, common_prefix_op
+from .stable import (
+    fnv1a_32,
+    fnv1a_64,
+    hash_bytes,
+    hash_int_sequence_32,
+    hash_int_sequence_64,
+    mix32,
+    mix64,
+    splitmix64,
+    truncate_hash,
+)
+
+__all__ = [
+    "DEFAULT_BASE",
+    "MinQueue",
+    "PolynomialRollingHash",
+    "SlidingWindowAggregate",
+    "common_prefix_op",
+    "direct_window_hash",
+    "fnv1a_32",
+    "fnv1a_64",
+    "hash_bytes",
+    "hash_int_sequence_32",
+    "hash_int_sequence_64",
+    "mix32",
+    "mix64",
+    "rolling_hashes",
+    "splitmix64",
+    "truncate_hash",
+    "windowed_minima",
+]

@@ -1,0 +1,154 @@
+"""Rolling hashes over sliding windows of integer sequences.
+
+The winnowing paper (Schleimer et al., SIGMOD'03) recommends rolling
+hashes so that the hash of k-gram ``i+1`` is derived from the hash of
+k-gram ``i`` in O(1).  The geodabs paper notes that normalized trajectories
+are short enough that the optimization is not strictly necessary
+(Section IV-A), but we provide it anyway: it is used by the ablation
+benchmarks and by the property tests that cross-validate the direct
+sequence hash.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+#: Default multiplier: an odd constant with good spectral behaviour
+#: (the golden-ratio multiplier used by Fibonacci hashing).
+DEFAULT_BASE = 0x9E3779B97F4A7C15
+
+
+class PolynomialRollingHash:
+    """Order-sensitive polynomial hash over a fixed-size window.
+
+    The hash of a window ``(v_0, ..., v_{k-1})`` is
+    ``sum(v_i * base^(k-1-i)) mod 2^64``.  Pushing a new value and evicting
+    the oldest one are both O(1) because ``base^(k-1)`` is precomputed.
+    """
+
+    def __init__(self, window: int, base: int = DEFAULT_BASE) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if base % 2 == 0:
+            raise ValueError("base must be odd to be invertible mod 2^64")
+        self._window = window
+        self._base = base & _MASK_64
+        self._top_power = pow(self._base, window - 1, 1 << 64)
+        self._values: deque[int] = deque()
+        self._hash = 0
+
+    @property
+    def window(self) -> int:
+        """Configured window size."""
+        return self._window
+
+    @property
+    def full(self) -> bool:
+        """Whether the window has been filled."""
+        return len(self._values) == self._window
+
+    @property
+    def value(self) -> int:
+        """Current hash value (only meaningful when :attr:`full`)."""
+        return self._hash
+
+    def push(self, value: int) -> int | None:
+        """Add a value, evicting the oldest if the window is full.
+
+        Returns the window hash when the window is full, else ``None``.
+        """
+        value &= _MASK_64
+        if len(self._values) == self._window:
+            oldest = self._values.popleft()
+            self._hash = (self._hash - oldest * self._top_power) & _MASK_64
+        self._values.append(value)
+        self._hash = (self._hash * self._base + value) & _MASK_64
+        if len(self._values) == self._window:
+            return self._hash
+        return None
+
+    def reset(self) -> None:
+        """Clear the window."""
+        self._values.clear()
+        self._hash = 0
+
+
+def rolling_hashes(
+    values: Sequence[int], window: int, base: int = DEFAULT_BASE
+) -> Iterator[int]:
+    """Yield the polynomial hash of every length-``window`` k-gram in order.
+
+    Produces ``len(values) - window + 1`` hashes; nothing for sequences
+    shorter than the window.
+    """
+    roller = PolynomialRollingHash(window, base)
+    for v in values:
+        h = roller.push(v)
+        if h is not None:
+            yield h
+
+
+def direct_window_hash(
+    values: Sequence[int], base: int = DEFAULT_BASE
+) -> int:
+    """Non-incremental reference implementation of the window hash.
+
+    Used by tests to validate :class:`PolynomialRollingHash`.
+    """
+    h = 0
+    for v in values:
+        h = (h * base + (v & _MASK_64)) & _MASK_64
+    return h
+
+
+class MinQueue:
+    """Sliding-window minimum in amortized O(1) per operation.
+
+    Implements the monotonic-deque trick.  Winnowing needs the *rightmost*
+    minimum of each window, so ties evict the older element: the deque
+    front is always the rightmost occurrence of the window minimum.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._window = window
+        # Entries are (value, index); values increase from front to back.
+        self._deque: deque[tuple[int, int]] = deque()
+        self._next_index = 0
+
+    def push(self, value: int) -> None:
+        """Append the next value of the stream."""
+        index = self._next_index
+        self._next_index += 1
+        # Evict from the back everything >= value: they can never again be
+        # a window minimum, and on ties the newer (rightmost) value wins.
+        while self._deque and self._deque[-1][0] >= value:
+            self._deque.pop()
+        self._deque.append((value, index))
+        # Drop the front if it slid out of the window.
+        if self._deque[0][1] <= index - self._window:
+            self._deque.popleft()
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one full window has been observed."""
+        return self._next_index >= self._window
+
+    def minimum(self) -> tuple[int, int]:
+        """Rightmost minimum of the current window as ``(value, index)``."""
+        if not self._deque:
+            raise ValueError("minimum of empty window")
+        return self._deque[0]
+
+
+def windowed_minima(values: Iterable[int], window: int) -> Iterator[tuple[int, int]]:
+    """Yield the rightmost minimum ``(value, index)`` of every full window."""
+    queue = MinQueue(window)
+    for v in values:
+        queue.push(v)
+        if queue.ready:
+            yield queue.minimum()

@@ -1,0 +1,101 @@
+"""Deterministic scalar hash functions.
+
+Fingerprints must be stable across processes and machines: the inverted
+index is sharded by fingerprint value, so every node of the cluster has to
+derive the same geodab from the same k-gram.  Python's built-in ``hash`` is
+salted per process (``PYTHONHASHSEED``), so this module provides explicit,
+well-known integer hash functions instead: FNV-1a, splitmix64, and the
+murmur3/xxhash finalizers used as cheap avalanche mixers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_MASK_32 = 0xFFFFFFFF
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+FNV32_OFFSET = 0x811C9DC5
+FNV32_PRIME = 0x01000193
+FNV64_OFFSET = 0xCBF29CE484222325
+FNV64_PRIME = 0x00000100000001B3
+
+
+def fnv1a_32(data: bytes, seed: int = FNV32_OFFSET) -> int:
+    """32-bit FNV-1a hash of a byte string."""
+    h = seed & _MASK_32
+    for byte in data:
+        h ^= byte
+        h = (h * FNV32_PRIME) & _MASK_32
+    return h
+
+
+def fnv1a_64(data: bytes, seed: int = FNV64_OFFSET) -> int:
+    """64-bit FNV-1a hash of a byte string."""
+    h = seed & _MASK_64
+    for byte in data:
+        h ^= byte
+        h = (h * FNV64_PRIME) & _MASK_64
+    return h
+
+
+def splitmix64(x: int) -> int:
+    """Splitmix64 mixing step: a fast, high-quality 64-bit integer mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK_64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK_64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK_64
+    return x ^ (x >> 31)
+
+
+def mix64(x: int) -> int:
+    """xxhash/murmur-style 64-bit avalanche finalizer."""
+    x &= _MASK_64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK_64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _MASK_64
+    return x ^ (x >> 33)
+
+
+def mix32(x: int) -> int:
+    """murmur3 32-bit avalanche finalizer."""
+    x &= _MASK_32
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & _MASK_32
+    x ^= x >> 13
+    x = (x * 0xC2B2AE35) & _MASK_32
+    return x ^ (x >> 16)
+
+
+def hash_int_sequence_64(values: Iterable[int], seed: int = 0) -> int:
+    """Order-sensitive 64-bit hash of an integer sequence.
+
+    This is the ``hash(points)`` building block of the geodab construction
+    (paper Figure 3b): the hash must discriminate sequences "according to
+    their path and their ordering", so each element is mixed into an
+    accumulator that depends on everything seen so far.
+    """
+    h = splitmix64(seed ^ 0x9E3779B97F4A7C15)
+    for v in values:
+        h = splitmix64(h ^ (v & _MASK_64))
+    return h
+
+
+def hash_int_sequence_32(values: Iterable[int], seed: int = 0) -> int:
+    """Order-sensitive 32-bit hash of an integer sequence."""
+    return hash_int_sequence_64(values, seed) & _MASK_32
+
+
+def hash_bytes(data: bytes, bits: int = 64, seed: int = 0) -> int:
+    """Hash a byte string to a value of the requested width (<= 64 bits)."""
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits {bits} outside [1, 64]")
+    h = fnv1a_64(data, FNV64_OFFSET ^ (splitmix64(seed) if seed else 0))
+    return mix64(h) >> (64 - bits)
+
+
+def truncate_hash(h: int, bits: int) -> int:
+    """Keep the top ``bits`` of a 64-bit hash (better-mixed than the bottom)."""
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits {bits} outside [1, 64]")
+    return (h & _MASK_64) >> (64 - bits)

@@ -1,0 +1,107 @@
+"""Sliding-window aggregation over an associative operation.
+
+The optimized winnowing pipeline (paper Section IV-A sketches it before
+dropping it for simplicity) needs, besides the rolling suffix hash, the
+*covering geohash* of each k-gram — the longest common bit prefix of the
+window's deep encodings.  Longest-common-prefix is associative, so the
+classic two-stack trick evaluates it over a sliding window in amortized
+O(1) per step for any semigroup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["SlidingWindowAggregate", "common_prefix_op"]
+
+
+class SlidingWindowAggregate(Generic[T]):
+    """Amortized-O(1) aggregate of the last ``window`` pushed values.
+
+    Implements the two-stack (front/back) folding technique: the back
+    stack accumulates raw values, the front stack holds suffix-aggregates
+    and is rebuilt (reversing the back stack) only when it empties.  The
+    operation must be associative; no identity element is required.
+    """
+
+    __slots__ = ("_op", "_window", "_front", "_front_aggregates", "_back", "_back_aggregate")
+
+    def __init__(self, window: int, op: Callable[[T, T], T]) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._op = op
+        self._window = window
+        self._front: list[T] = []
+        self._front_aggregates: list[T] = []
+        self._back: list[T] = []
+        self._back_aggregate: T | None = None
+
+    def __len__(self) -> int:
+        return len(self._front) + len(self._back)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window holds ``window`` values."""
+        return len(self) == self._window
+
+    def push(self, value: T) -> T | None:
+        """Push the next value; returns the window aggregate once full."""
+        if len(self) == self._window:
+            self._pop()
+        self._back.append(value)
+        if self._back_aggregate is None:
+            self._back_aggregate = value
+        else:
+            self._back_aggregate = self._op(self._back_aggregate, value)
+        if len(self) == self._window:
+            return self.aggregate()
+        return None
+
+    def _pop(self) -> None:
+        if not self._front:
+            # Move the back stack over, building suffix aggregates.
+            aggregate: T | None = None
+            while self._back:
+                value = self._back.pop()
+                aggregate = value if aggregate is None else self._op(value, aggregate)
+                self._front.append(value)
+                self._front_aggregates.append(aggregate)
+            self._back_aggregate = None
+        self._front.pop()
+        self._front_aggregates.pop()
+
+    def aggregate(self) -> T:
+        """Aggregate of the current window contents."""
+        if not self._front and not self._back:
+            raise ValueError("aggregate of empty window")
+        if self._front and self._back:
+            assert self._back_aggregate is not None
+            return self._op(self._front_aggregates[-1], self._back_aggregate)
+        if self._front:
+            return self._front_aggregates[-1]
+        assert self._back_aggregate is not None
+        return self._back_aggregate
+
+
+def common_prefix_op(width: int) -> Callable[[tuple[int, int], tuple[int, int]], tuple[int, int]]:
+    """Associative LCP operation over ``(bits, depth)`` pairs.
+
+    Values are bit strings of at most ``width`` bits represented as
+    integers with an explicit depth; the operation returns their longest
+    common prefix.  Feeding ``(encoding, width)`` leaves per point yields
+    the covering geohash of the window.
+    """
+
+    def op(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+        bits_a, depth_a = a
+        bits_b, depth_b = b
+        depth = min(depth_a, depth_b)
+        bits_a >>= depth_a - depth
+        bits_b >>= depth_b - depth
+        diff = bits_a ^ bits_b
+        common = depth - diff.bit_length()
+        return (bits_a >> (depth - common), common)
+
+    return op

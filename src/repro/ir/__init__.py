@@ -1,0 +1,29 @@
+"""Information-retrieval evaluation metrics."""
+
+from .metrics import (
+    ELEVEN_POINTS,
+    PRPoint,
+    auc,
+    average_pr_curve,
+    average_precision,
+    interpolated_precision_at,
+    precision_at,
+    precision_recall_curve,
+    r_precision,
+    recall_at,
+    roc_curve,
+)
+
+__all__ = [
+    "ELEVEN_POINTS",
+    "PRPoint",
+    "auc",
+    "average_pr_curve",
+    "average_precision",
+    "interpolated_precision_at",
+    "precision_at",
+    "precision_recall_curve",
+    "r_precision",
+    "recall_at",
+    "roc_curve",
+]

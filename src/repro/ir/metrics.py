@@ -1,0 +1,196 @@
+"""Information-retrieval effectiveness metrics (paper Sections V-C, VI-D1).
+
+Implements the measures the paper evaluates indexes with:
+
+* precision / recall and full PR curves over ranked result lists
+  (Figures 8 and 12);
+* ROC curves — sensitivity vs. 1 - specificity — and the area under them
+  (Figure 13), which require knowing the corpus size so true negatives
+  can be counted;
+* interpolated PR curves averaged over query sets, the standard way to
+  aggregate per-query curves (Manning et al., reference [21]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PRPoint",
+    "precision_recall_curve",
+    "interpolated_precision_at",
+    "average_pr_curve",
+    "roc_curve",
+    "auc",
+    "average_precision",
+    "precision_at",
+    "recall_at",
+    "r_precision",
+]
+
+#: Standard 11-point recall levels.
+ELEVEN_POINTS = tuple(i / 10.0 for i in range(11))
+
+
+@dataclass(frozen=True, slots=True)
+class PRPoint:
+    """One precision/recall operating point."""
+
+    recall: float
+    precision: float
+
+
+def _check_ranking(ranked: Sequence[Hashable]) -> None:
+    if len(set(ranked)) != len(ranked):
+        raise ValueError("ranked list contains duplicates")
+
+
+def precision_recall_curve(
+    ranked: Sequence[Hashable], relevant: set[Hashable] | frozenset[Hashable]
+) -> list[PRPoint]:
+    """Precision/recall after each rank of a result list.
+
+    Only defined for queries with at least one relevant item.
+    """
+    _check_ranking(ranked)
+    if not relevant:
+        raise ValueError("relevant set must not be empty")
+    out: list[PRPoint] = []
+    hits = 0
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+        out.append(PRPoint(hits / len(relevant), hits / rank))
+    return out
+
+
+def interpolated_precision_at(
+    curve: Sequence[PRPoint], recall_level: float
+) -> float:
+    """Interpolated precision: max precision at recall >= ``recall_level``.
+
+    The standard interpolation for PR curves; 0.0 when the ranking never
+    reaches the recall level.
+    """
+    if not 0.0 <= recall_level <= 1.0:
+        raise ValueError("recall_level must be in [0, 1]")
+    best = 0.0
+    for point in curve:
+        if point.recall >= recall_level and point.precision > best:
+            best = point.precision
+    return best
+
+
+def average_pr_curve(
+    curves: Sequence[Sequence[PRPoint]],
+    recall_levels: Sequence[float] = ELEVEN_POINTS,
+) -> list[PRPoint]:
+    """Macro-averaged interpolated PR curve over multiple queries."""
+    if not curves:
+        raise ValueError("no curves to average")
+    out: list[PRPoint] = []
+    for level in recall_levels:
+        precisions = [interpolated_precision_at(c, level) for c in curves]
+        out.append(PRPoint(level, sum(precisions) / len(precisions)))
+    return out
+
+
+def roc_curve(
+    ranked: Sequence[Hashable],
+    relevant: set[Hashable] | frozenset[Hashable],
+    corpus_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """ROC curve of a ranking over a corpus of ``corpus_size`` items.
+
+    Items absent from the ranking are treated as never retrieved (they
+    sit below every rank).  Returns ``(fpr, tpr)`` arrays starting at
+    (0, 0) and ending at (1, 1); sensitivity is recall, specificity is
+    ``tn / (fp + tn)`` as in Section VI-D1.
+    """
+    _check_ranking(ranked)
+    if not relevant:
+        raise ValueError("relevant set must not be empty")
+    positives = len(relevant)
+    negatives = corpus_size - positives
+    if negatives < 0:
+        raise ValueError("corpus_size smaller than the relevant set")
+    fpr = [0.0]
+    tpr = [0.0]
+    tp = fp = 0
+    for item in ranked:
+        if item in relevant:
+            tp += 1
+        else:
+            fp += 1
+        tpr.append(tp / positives)
+        fpr.append(fp / negatives if negatives else 0.0)
+    # Everything never retrieved: jump to (1, 1).
+    if tpr[-1] < 1.0 or fpr[-1] < 1.0:
+        tpr.append(1.0)
+        fpr.append(1.0)
+    return np.asarray(fpr), np.asarray(tpr)
+
+
+def auc(x: np.ndarray, y: np.ndarray) -> float:
+    """Area under a curve by trapezoidal rule (x must be non-decreasing)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError("x and y must be 1-d arrays of equal length >= 2")
+    if np.any(np.diff(x) < 0):
+        raise ValueError("x must be non-decreasing")
+    return float(np.trapezoid(y, x))
+
+
+def average_precision(
+    ranked: Sequence[Hashable], relevant: set[Hashable] | frozenset[Hashable]
+) -> float:
+    """Mean of precision at each relevant hit (AP), 0.0 if none retrieved."""
+    _check_ranking(ranked)
+    if not relevant:
+        raise ValueError("relevant set must not be empty")
+    hits = 0
+    total = 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def precision_at(
+    ranked: Sequence[Hashable],
+    relevant: set[Hashable] | frozenset[Hashable],
+    k: int,
+) -> float:
+    """Precision of the top-``k`` results."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    top = ranked[:k]
+    return sum(1 for item in top if item in relevant) / k
+
+
+def recall_at(
+    ranked: Sequence[Hashable],
+    relevant: set[Hashable] | frozenset[Hashable],
+    k: int,
+) -> float:
+    """Recall of the top-``k`` results."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not relevant:
+        raise ValueError("relevant set must not be empty")
+    top = ranked[:k]
+    return sum(1 for item in top if item in relevant) / len(relevant)
+
+
+def r_precision(
+    ranked: Sequence[Hashable], relevant: set[Hashable] | frozenset[Hashable]
+) -> float:
+    """Precision at rank ``|relevant|`` (the break-even point)."""
+    if not relevant:
+        raise ValueError("relevant set must not be empty")
+    return precision_at(ranked, relevant, len(relevant))

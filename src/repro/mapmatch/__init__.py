@@ -1,0 +1,5 @@
+"""HMM map matching (normalization method N3 of Section V-B)."""
+
+from .hmm import MapMatcher, MatchResult
+
+__all__ = ["MapMatcher", "MatchResult"]

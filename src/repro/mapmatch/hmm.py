@@ -1,0 +1,218 @@
+"""HMM map matching (Newson & Krumm 2009; paper Section V-B).
+
+Map matching snaps a noisy GPS trajectory onto the road network — the
+paper's second (heavier) normalization method, N3.  The hidden states of
+point ``i`` are the network nodes within ``radius_m``; emission
+probability decays with the GPS offset (Gaussian, ``sigma_m``), and
+transition probability decays with the difference between route distance
+and great-circle distance (exponential, ``beta_m``) — vehicles rarely take
+detours between consecutive one-second samples.  The Viterbi algorithm
+recovers the most probable node sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..geo.point import Point, Trajectory, haversine
+from ..roadnet.graph import NodeLocator, RoadNetwork
+from ..roadnet.router import bounded_dijkstra, shortest_path
+
+__all__ = ["MatchResult", "MapMatcher"]
+
+
+@dataclass(frozen=True, slots=True)
+class MatchResult:
+    """Outcome of matching one trajectory.
+
+    ``nodes`` is the matched node sequence with consecutive duplicates
+    removed; ``points`` are their positions (the normalized trajectory);
+    ``matched_ratio`` is the fraction of input points that had at least
+    one candidate within the search radius.
+    """
+
+    nodes: tuple[Hashable, ...]
+    points: tuple[Point, ...]
+    log_probability: float
+    matched_ratio: float
+
+
+class MapMatcher:
+    """Viterbi map matcher over a road network.
+
+    Parameters
+    ----------
+    network:
+        The road network to match onto.
+    sigma_m:
+        GPS noise scale of the emission model (the paper's dataset uses
+        20 m of Gaussian noise).
+    beta_m:
+        Scale of the exponential transition penalty on
+        ``|route_distance - great_circle_distance|``.
+    radius_m:
+        Candidate search radius around each observation.
+    max_candidates:
+        Cap on candidates per observation (closest first).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        sigma_m: float = 20.0,
+        beta_m: float = 50.0,
+        radius_m: float = 120.0,
+        max_candidates: int = 6,
+    ) -> None:
+        if sigma_m <= 0 or beta_m <= 0 or radius_m <= 0:
+            raise ValueError("sigma_m, beta_m and radius_m must be positive")
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be positive")
+        self.network = network
+        self.sigma_m = sigma_m
+        self.beta_m = beta_m
+        self.radius_m = radius_m
+        self.max_candidates = max_candidates
+        self._locator = NodeLocator(network)
+
+    # ------------------------------------------------------------------
+    # Model components
+    # ------------------------------------------------------------------
+
+    def _emission_logp(self, offset_m: float) -> float:
+        return -0.5 * (offset_m / self.sigma_m) ** 2
+
+    def _transition_logp(self, route_m: float, straight_m: float) -> float:
+        return -abs(route_m - straight_m) / self.beta_m
+
+    def _candidates(self, point: Point) -> list[tuple[Hashable, float]]:
+        hits = self._locator.nearby(point, self.radius_m)
+        return hits[: self.max_candidates]
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def match(self, trajectory: Trajectory) -> MatchResult:
+        """Match a trajectory; returns an empty result if nothing matches."""
+        observations: list[tuple[Point, list[tuple[Hashable, float]]]] = []
+        matched_points = 0
+        for point in trajectory:
+            candidates = self._candidates(point)
+            if candidates:
+                observations.append((point, candidates))
+                matched_points += 1
+        if not observations:
+            return MatchResult((), (), -math.inf, 0.0)
+        ratio = matched_points / len(trajectory) if trajectory else 0.0
+
+        # Viterbi over the candidate lattice.
+        first_point, first_candidates = observations[0]
+        scores: dict[Hashable, float] = {
+            node: self._emission_logp(offset)
+            for node, offset in first_candidates
+        }
+        backpointers: list[dict[Hashable, Hashable]] = []
+        for step in range(1, len(observations)):
+            previous_point = observations[step - 1][0]
+            point, candidates = observations[step]
+            new_scores: dict[Hashable, float] = {}
+            pointers: dict[Hashable, Hashable] = {}
+            # Route distances from every previous state, bounded by a
+            # generous multiple of the largest plausible move.
+            move = haversine(previous_point, point)
+            reach_bound = 3.0 * max(move, self.radius_m) + 4.0 * self.radius_m
+            reachable: dict[Hashable, dict[Hashable, float]] = {}
+            for previous_node in scores:
+                reachable[previous_node] = bounded_dijkstra(
+                    self.network, previous_node, reach_bound, weight="length"
+                )
+            for node, offset in candidates:
+                emission = self._emission_logp(offset)
+                best_score = -math.inf
+                best_previous: Hashable | None = None
+                for previous_node, previous_score in scores.items():
+                    route_m = reachable[previous_node].get(node)
+                    if route_m is None:
+                        continue
+                    straight_m = haversine(
+                        self.network.point_of(previous_node),
+                        self.network.point_of(node),
+                    )
+                    score = (
+                        previous_score
+                        + self._transition_logp(route_m, straight_m)
+                        + emission
+                    )
+                    if score > best_score:
+                        best_score = score
+                        best_previous = previous_node
+                if best_previous is not None:
+                    new_scores[node] = best_score
+                    pointers[node] = best_previous
+            if not new_scores:
+                # Broken lattice (e.g. a gap in the network): restart the
+                # chain from this observation, keeping the better half.
+                new_scores = {
+                    node: self._emission_logp(offset)
+                    for node, offset in candidates
+                }
+                pointers = {}
+            scores = new_scores
+            backpointers.append(pointers)
+
+        # Backtrack.
+        final_node = max(scores, key=lambda n: scores[n])
+        final_score = scores[final_node]
+        sequence = [final_node]
+        node = final_node
+        for pointers in reversed(backpointers):
+            previous = pointers.get(node)
+            if previous is None:
+                break
+            sequence.append(previous)
+            node = previous
+        sequence.reverse()
+
+        # Collapse consecutive duplicates; stitch gaps with road paths so
+        # the normalized polyline stays on the network.
+        collapsed: list[Hashable] = []
+        for node in sequence:
+            if not collapsed or collapsed[-1] != node:
+                collapsed.append(node)
+        stitched = self._stitch(collapsed)
+        points = tuple(self.network.point_of(n) for n in stitched)
+        return MatchResult(tuple(stitched), points, final_score, ratio)
+
+    def _stitch(self, nodes: Sequence[Hashable]) -> list[Hashable]:
+        """Insert intermediate road nodes between non-adjacent matches."""
+        if len(nodes) < 2:
+            return list(nodes)
+        out: list[Hashable] = [nodes[0]]
+        for previous, current in zip(nodes, nodes[1:]):
+            adjacent = any(
+                edge.target == current
+                for edge in self.network.edges_from(previous)
+            )
+            if adjacent:
+                out.append(current)
+                continue
+            route = shortest_path(self.network, previous, current, weight="length")
+            if route is None:
+                out.append(current)
+            else:
+                out.extend(route.nodes[1:])
+        return out
+
+    def normalize(self, trajectory: Trajectory) -> list[Point]:
+        """Normalizer interface: trajectory in, matched polyline out.
+
+        Falls back to the raw trajectory when matching fails completely,
+        so indexing pipelines never lose documents.
+        """
+        result = self.match(trajectory)
+        if not result.points:
+            return list(trajectory)
+        return list(result.points)

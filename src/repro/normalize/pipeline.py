@@ -1,0 +1,57 @@
+"""Composable normalization pipelines.
+
+Normalization is "a function N(S) = S'" (paper Section III-A3).  Any
+callable from a trajectory to a list of points qualifies; this module
+provides composition and the map-matching adapter so pipelines like
+``resample -> map-match -> grid`` read naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..geo.point import Point, Trajectory
+from ..mapmatch.hmm import MapMatcher
+
+__all__ = ["Normalizer", "compose", "MapMatchNormalizer", "identity"]
+
+#: The normalization function type ``N(S) = S'``.
+Normalizer = Callable[[Trajectory], list[Point]]
+
+
+def identity(points: Trajectory) -> list[Point]:
+    """The no-op normalization (the raw index of Figure 5a)."""
+    return list(points)
+
+
+def compose(*normalizers: Normalizer) -> Normalizer:
+    """Chain normalizers left to right: ``compose(f, g)(S) == g(f(S))``."""
+    if not normalizers:
+        return identity
+
+    def chained(points: Trajectory) -> list[Point]:
+        current = list(points)
+        for normalize in normalizers:
+            current = normalize(current)
+        return current
+
+    return chained
+
+
+class MapMatchNormalizer:
+    """Callable normalizer backed by HMM map matching (method N3).
+
+    Thin adapter over :class:`~repro.mapmatch.hmm.MapMatcher` so a matcher
+    can be dropped wherever a normalization function is expected.
+    """
+
+    __slots__ = ("matcher",)
+
+    def __init__(self, matcher: MapMatcher) -> None:
+        self.matcher = matcher
+
+    def __call__(self, points: Trajectory) -> list[Point]:
+        return self.matcher.normalize(points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MapMatchNormalizer({self.matcher.network.num_nodes} nodes)"

@@ -1,0 +1,56 @@
+"""Resampling normalizers: uniform spacing and decimation.
+
+Raw GPS traces "can showcase different sampling rates" (paper Figure 4a);
+resampling to a constant ground-distance step removes that variation
+before gridding or map matching.
+"""
+
+from __future__ import annotations
+
+from ..geo.point import Point, Trajectory, resample_by_distance
+
+__all__ = ["UniformResampler", "Decimator"]
+
+
+class UniformResampler:
+    """Callable normalizer: resample at a constant ground-distance step."""
+
+    __slots__ = ("step_m",)
+
+    def __init__(self, step_m: float) -> None:
+        if step_m <= 0:
+            raise ValueError("step_m must be positive")
+        self.step_m = step_m
+
+    def __call__(self, points: Trajectory) -> list[Point]:
+        return resample_by_distance(points, self.step_m)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformResampler(step_m={self.step_m})"
+
+
+class Decimator:
+    """Callable normalizer: keep every ``factor``-th point (plus the last).
+
+    A cheap stand-in for sampling-rate reduction; used by robustness tests
+    to check that fingerprint similarity degrades gracefully as the
+    sampling rate drops.
+    """
+
+    __slots__ = ("factor",)
+
+    def __init__(self, factor: int) -> None:
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.factor = factor
+
+    def __call__(self, points: Trajectory) -> list[Point]:
+        if not points:
+            return []
+        kept = list(points[:: self.factor])
+        if kept[-1] != points[-1]:
+            kept.append(points[-1])
+        return kept
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Decimator(factor={self.factor})"

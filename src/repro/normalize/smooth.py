@@ -1,0 +1,103 @@
+"""Noise-suppression smoothers applied before gridding.
+
+At urban speeds a 1 Hz GPS trace moves ~10 m between samples while the
+paper's dataset carries 20 m Gaussian noise per point: the raw cell
+sequence at 36-bit depth is dominated by boundary "flapping", which
+destroys k-gram agreement between recordings of the same route.  A short
+sliding-window filter restores convergence — it plays the same role
+spelling normalization plays for text (Section V's equivalence classes)
+and its window is tuned exactly like the grid depth, by watching the PR
+curve (Section V-C).
+"""
+
+from __future__ import annotations
+
+from ..geo.point import Point, Trajectory
+
+__all__ = ["MovingAverageSmoother", "MedianSmoother"]
+
+
+class MovingAverageSmoother:
+    """Callable normalizer: centered moving average over ``window`` samples.
+
+    Endpoints use the available one-sided context, so trajectory length is
+    preserved and the ends are not clipped.
+    """
+
+    __slots__ = ("window",)
+
+    def __init__(self, window: int = 9) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def __call__(self, points: Trajectory) -> list[Point]:
+        n = len(points)
+        if n < 3 or self.window == 1:
+            return list(points)
+        half = self.window // 2
+        # Prefix sums make the pass O(n) regardless of window size.
+        lat_prefix = [0.0]
+        lon_prefix = [0.0]
+        for p in points:
+            lat_prefix.append(lat_prefix[-1] + p.lat)
+            lon_prefix.append(lon_prefix[-1] + p.lon)
+        out: list[Point] = []
+        for i in range(n):
+            lo = max(0, i - half)
+            hi = min(n, i + half + 1)
+            count = hi - lo
+            out.append(
+                Point(
+                    (lat_prefix[hi] - lat_prefix[lo]) / count,
+                    (lon_prefix[hi] - lon_prefix[lo]) / count,
+                )
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MovingAverageSmoother(window={self.window})"
+
+
+class MedianSmoother:
+    """Callable normalizer: centered sliding median over ``window`` samples.
+
+    More robust than the mean against isolated multipath outliers; often
+    composed before a :class:`MovingAverageSmoother`.
+    """
+
+    __slots__ = ("window",)
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    @staticmethod
+    def _median(values: list[float]) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def __call__(self, points: Trajectory) -> list[Point]:
+        n = len(points)
+        if n < 3 or self.window == 1:
+            return list(points)
+        half = self.window // 2
+        out: list[Point] = []
+        for i in range(n):
+            lo = max(0, i - half)
+            hi = min(n, i + half + 1)
+            window = points[lo:hi]
+            out.append(
+                Point(
+                    self._median([p.lat for p in window]),
+                    self._median([p.lon for p in window]),
+                )
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MedianSmoother(window={self.window})"

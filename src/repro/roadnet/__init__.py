@@ -1,0 +1,22 @@
+"""Road networks, routing, and the synthetic world activity model."""
+
+from .generator import LONDON_CENTER, generate_city_network, london_network
+from .graph import NodeLocator, RoadClass, RoadEdge, RoadNetwork
+from .router import Route, bounded_dijkstra, random_routes, shortest_path
+from .world import City, WorldActivityModel
+
+__all__ = [
+    "City",
+    "LONDON_CENTER",
+    "NodeLocator",
+    "RoadClass",
+    "RoadEdge",
+    "RoadNetwork",
+    "Route",
+    "WorldActivityModel",
+    "bounded_dijkstra",
+    "generate_city_network",
+    "london_network",
+    "random_routes",
+    "shortest_path",
+]

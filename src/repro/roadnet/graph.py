@@ -1,0 +1,252 @@
+"""Road-network graph model.
+
+A minimal routable road network: nodes are positioned on the sphere and
+directed edges carry ground length, speed and road class.  This is the
+substrate standing in for the GraphHopper/OpenStreetMap stack the paper
+uses to generate its routes (Section VI-A1); see DESIGN.md for the
+substitution argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..geo.bbox import BBox, bbox_of
+from ..geo.geohash import Geohash, encode
+from ..geo.point import Point, haversine
+
+__all__ = ["RoadClass", "RoadEdge", "RoadNetwork", "NodeLocator"]
+
+
+class RoadClass:
+    """Road classes with default free-flow speeds (m/s)."""
+
+    MOTORWAY = "motorway"
+    PRIMARY = "primary"
+    RESIDENTIAL = "residential"
+
+    #: Default speeds: 100 km/h, 50 km/h, 30 km/h.
+    DEFAULT_SPEEDS = {
+        MOTORWAY: 27.8,
+        PRIMARY: 13.9,
+        RESIDENTIAL: 8.3,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class RoadEdge:
+    """A directed edge of the road network."""
+
+    source: Hashable
+    target: Hashable
+    length_m: float
+    speed_mps: float
+    road_class: str
+
+    @property
+    def travel_time_s(self) -> float:
+        """Free-flow traversal time in seconds."""
+        return self.length_m / self.speed_mps
+
+
+class RoadNetwork:
+    """A directed road graph with spherical node positions.
+
+    Edges added with ``bidirectional=True`` (the default, matching
+    two-way streets) create both directions.
+    """
+
+    def __init__(self) -> None:
+        self._points: dict[Hashable, Point] = {}
+        self._adjacency: dict[Hashable, list[RoadEdge]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id: Hashable, point: Point) -> None:
+        """Add (or reposition) a node."""
+        self._points[node_id] = point
+        self._adjacency.setdefault(node_id, [])
+
+    def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        speed_mps: float | None = None,
+        road_class: str = RoadClass.RESIDENTIAL,
+        bidirectional: bool = True,
+    ) -> None:
+        """Connect two existing nodes; length derives from their positions."""
+        if source not in self._points or target not in self._points:
+            raise KeyError("both endpoints must be added before the edge")
+        if source == target:
+            raise ValueError("self-loops are not allowed")
+        if speed_mps is None:
+            speed_mps = RoadClass.DEFAULT_SPEEDS[road_class]
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        length = haversine(self._points[source], self._points[target])
+        self._adjacency[source].append(
+            RoadEdge(source, target, length, speed_mps, road_class)
+        )
+        if bidirectional:
+            self._adjacency[target].append(
+                RoadEdge(target, source, length, speed_mps, road_class)
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._points)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return sum(len(edges) for edges in self._adjacency.values())
+
+    def nodes(self) -> Iterator[Hashable]:
+        """Iterate node identifiers."""
+        return iter(self._points)
+
+    def point_of(self, node_id: Hashable) -> Point:
+        """Position of a node."""
+        return self._points[node_id]
+
+    def edges_from(self, node_id: Hashable) -> list[RoadEdge]:
+        """Outgoing edges of a node."""
+        return self._adjacency[node_id]
+
+    def edges(self) -> Iterator[RoadEdge]:
+        """Iterate all directed edges."""
+        for edges in self._adjacency.values():
+            yield from edges
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self._points
+
+    def bbox(self) -> BBox:
+        """Bounding box of all nodes."""
+        return bbox_of(list(self._points.values()))
+
+    # ------------------------------------------------------------------
+    # Topology utilities
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> list[set[Hashable]]:
+        """Weakly connected components (BFS over undirected view)."""
+        undirected: dict[Hashable, set[Hashable]] = {
+            node: set() for node in self._points
+        }
+        for edges in self._adjacency.values():
+            for edge in edges:
+                undirected[edge.source].add(edge.target)
+                undirected[edge.target].add(edge.source)
+        seen: set[Hashable] = set()
+        components: list[set[Hashable]] = []
+        for start in self._points:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in undirected[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            seen |= component
+            components.append(component)
+        components.sort(key=len, reverse=True)
+        return components
+
+    def subgraph(self, keep: set[Hashable]) -> "RoadNetwork":
+        """Copy of the network restricted to the given nodes."""
+        out = RoadNetwork()
+        for node_id in keep:
+            out.add_node(node_id, self._points[node_id])
+        for edges in self._adjacency.values():
+            for edge in edges:
+                if edge.source in keep and edge.target in keep:
+                    out._adjacency[edge.source].append(edge)
+        return out
+
+    def largest_component(self) -> "RoadNetwork":
+        """Restriction to the largest weakly connected component."""
+        components = self.connected_components()
+        if not components:
+            return RoadNetwork()
+        return self.subgraph(components[0])
+
+
+class NodeLocator:
+    """Radius queries over network nodes via geohash buckets.
+
+    Buckets nodes by geohash cell at ``depth``; a radius query scans the
+    rings of cells needed to cover the radius around the probe point.
+    This is the candidate-retrieval step of HMM map matching (Section V-B:
+    "retrieve a set of matching nodes on a road network within a certain
+    radius").
+    """
+
+    def __init__(self, network: RoadNetwork, depth: int = 32) -> None:
+        if depth < 2 or depth % 2 != 0:
+            raise ValueError("depth must be an even integer >= 2")
+        self.network = network
+        self.depth = depth
+        self._buckets: dict[int, list[Hashable]] = {}
+        for node_id in network.nodes():
+            cell = encode(network.point_of(node_id), depth)
+            self._buckets.setdefault(cell, []).append(node_id)
+
+    def nearby(self, point: Point, radius_m: float) -> list[tuple[Hashable, float]]:
+        """Nodes within ``radius_m`` of ``point`` as ``(node_id, distance)``.
+
+        Sorted by increasing distance.
+        """
+        if radius_m <= 0:
+            raise ValueError("radius_m must be positive")
+        probe = Geohash.of(point, self.depth)
+        box = probe.bbox()
+        cell_min = min(box.width_m, box.height_m)
+        rings = max(1, int(radius_m / cell_min) + 1)
+        lat_step = box.north - box.south
+        lon_step = box.east - box.west
+        center = box.center
+        out: list[tuple[Hashable, float]] = []
+        seen_cells: set[int] = set()
+        for dy in range(-rings, rings + 1):
+            lat = center.lat + dy * lat_step
+            if not -90.0 <= lat <= 90.0:
+                continue
+            for dx in range(-rings, rings + 1):
+                lon = (center.lon + dx * lon_step + 540.0) % 360.0 - 180.0
+                cell = encode(Point(lat, lon), self.depth)
+                if cell in seen_cells:
+                    continue
+                seen_cells.add(cell)
+                for node_id in self._buckets.get(cell, ()):
+                    distance = haversine(point, self.network.point_of(node_id))
+                    if distance <= radius_m:
+                        out.append((node_id, distance))
+        out.sort(key=lambda item: item[1])
+        return out
+
+    def nearest(self, point: Point, search_radius_m: float = 500.0) -> Hashable | None:
+        """Closest node within ``search_radius_m``, or ``None``.
+
+        Doubles the radius until a hit or until the radius exceeds 64x the
+        initial value.
+        """
+        radius = search_radius_m
+        for _ in range(7):
+            hits = self.nearby(point, radius)
+            if hits:
+                return hits[0][0]
+            radius *= 2.0
+        return None

@@ -1,0 +1,192 @@
+"""Routing over road networks: Dijkstra shortest paths and route objects.
+
+Replaces the GraphHopper routing library the paper uses to build its 5000
+London routes (Section VI-A1).  Routes carry the polyline and the travel
+duration, from which the trajectory sampler derives the moving speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Hashable
+
+from ..geo.point import Point, path_length
+from .graph import RoadEdge, RoadNetwork
+
+__all__ = ["Route", "shortest_path", "bounded_dijkstra", "random_routes"]
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A routed path through the network."""
+
+    nodes: tuple[Hashable, ...]
+    points: tuple[Point, ...]
+    length_m: float
+    duration_s: float
+
+    @property
+    def mean_speed_mps(self) -> float:
+        """Average speed implied by length and duration."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.length_m / self.duration_s
+
+    def reversed(self) -> "Route":
+        """The same route traversed in the opposite direction.
+
+        Duration is preserved — the synthetic dataset gives both directions
+        the same speed profile.
+        """
+        return Route(
+            tuple(reversed(self.nodes)),
+            tuple(reversed(self.points)),
+            self.length_m,
+            self.duration_s,
+        )
+
+
+def _edge_time(edge: RoadEdge) -> float:
+    return edge.travel_time_s
+
+
+def _edge_length(edge: RoadEdge) -> float:
+    return edge.length_m
+
+
+def _weight_function(weight: str) -> Callable[[RoadEdge], float]:
+    if weight == "time":
+        return _edge_time
+    if weight == "length":
+        return _edge_length
+    raise ValueError(f"unknown weight {weight!r}; use 'time' or 'length'")
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: Hashable,
+    target: Hashable,
+    weight: str = "time",
+) -> Route | None:
+    """Dijkstra shortest path; ``None`` when the target is unreachable.
+
+    ``weight`` selects fastest (``"time"``) or shortest (``"length"``)
+    routing.  The returned route's duration always reflects travel time
+    and its length always reflects ground meters, regardless of the
+    optimization criterion.
+    """
+    if source not in network or target not in network:
+        raise KeyError("source and target must exist in the network")
+    weigh = _weight_function(weight)
+    best: dict[Hashable, float] = {source: 0.0}
+    parents: dict[Hashable, RoadEdge] = {}
+    heap: list[tuple[float, int, Hashable]] = [(0.0, 0, source)]
+    counter = 1
+    visited: set[Hashable] = set()
+    while heap:
+        cost, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        if node == target:
+            break
+        visited.add(node)
+        for edge in network.edges_from(node):
+            if edge.target in visited:
+                continue
+            candidate = cost + weigh(edge)
+            if candidate < best.get(edge.target, float("inf")):
+                best[edge.target] = candidate
+                parents[edge.target] = edge
+                heapq.heappush(heap, (candidate, counter, edge.target))
+                counter += 1
+    if target not in best:
+        return None
+    nodes: list[Hashable] = [target]
+    length = 0.0
+    duration = 0.0
+    node = target
+    while node != source:
+        edge = parents[node]
+        length += edge.length_m
+        duration += edge.travel_time_s
+        node = edge.source
+        nodes.append(node)
+    nodes.reverse()
+    points = tuple(network.point_of(n) for n in nodes)
+    return Route(tuple(nodes), points, length, duration)
+
+
+def bounded_dijkstra(
+    network: RoadNetwork,
+    source: Hashable,
+    max_cost: float,
+    weight: str = "length",
+) -> dict[Hashable, float]:
+    """All nodes reachable within ``max_cost``, with their costs.
+
+    The HMM map matcher uses this with ``weight="length"`` to compute
+    route distances between candidate nodes without exploring the whole
+    network.
+    """
+    if source not in network:
+        raise KeyError(f"unknown node {source!r}")
+    weigh = _weight_function(weight)
+    best: dict[Hashable, float] = {source: 0.0}
+    heap: list[tuple[float, int, Hashable]] = [(0.0, 0, source)]
+    counter = 1
+    done: dict[Hashable, float] = {}
+    while heap:
+        cost, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done[node] = cost
+        for edge in network.edges_from(node):
+            candidate = cost + weigh(edge)
+            if candidate <= max_cost and candidate < best.get(
+                edge.target, float("inf")
+            ):
+                best[edge.target] = candidate
+                heapq.heappush(heap, (candidate, counter, edge.target))
+                counter += 1
+    return done
+
+
+def random_routes(
+    network: RoadNetwork,
+    count: int,
+    rng: Random,
+    min_length_m: float = 2_000.0,
+    max_attempts_per_route: int = 50,
+    weight: str = "time",
+) -> list[Route]:
+    """Sample distinct random routes of at least ``min_length_m``.
+
+    Mirrors the paper's dataset construction: unique routes between random
+    locations, constrained to the road network.  Raises ``RuntimeError``
+    when the network cannot supply enough long routes.
+    """
+    if count <= 0:
+        return []
+    node_ids = list(network.nodes())
+    if len(node_ids) < 2:
+        raise ValueError("network too small for routing")
+    routes: list[Route] = []
+    seen_endpoints: set[tuple[Hashable, Hashable]] = set()
+    attempts_left = count * max_attempts_per_route
+    while len(routes) < count and attempts_left > 0:
+        attempts_left -= 1
+        source, target = rng.sample(node_ids, 2)
+        if (source, target) in seen_endpoints:
+            continue
+        seen_endpoints.add((source, target))
+        route = shortest_path(network, source, target, weight=weight)
+        if route is not None and route.length_m >= min_length_m:
+            routes.append(route)
+    if len(routes) < count:
+        raise RuntimeError(
+            f"could only sample {len(routes)}/{count} routes of "
+            f">= {min_length_m} m; grow the network or relax the minimum"
+        )
+    return routes

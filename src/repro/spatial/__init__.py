@@ -1,0 +1,6 @@
+"""Classic spatial-index baselines (quadtree, r-tree)."""
+
+from .quadtree import QuadTree
+from .rtree import RTree
+
+__all__ = ["QuadTree", "RTree"]

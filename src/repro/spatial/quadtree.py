@@ -1,0 +1,156 @@
+"""Region quadtree over trajectory bounding boxes (Finkel & Bentley 1974).
+
+One of the classic space-partitioning structures the paper's introduction
+argues against for dense trajectory data: bounding-interval queries select
+every trajectory whose box intersects the query region, which for long or
+overlapping trajectories yields many irrelevant candidates.  The spatial
+ablation benchmark quantifies that effect against the inverted indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..geo.bbox import WORLD, BBox, bbox_of
+from ..geo.point import Trajectory
+
+__all__ = ["QuadTree"]
+
+
+@dataclass(slots=True)
+class _Entry:
+    key: Hashable
+    box: BBox
+
+
+class _Node:
+    __slots__ = ("box", "entries", "children", "depth")
+
+    def __init__(self, box: BBox, depth: int) -> None:
+        self.box = box
+        self.entries: list[_Entry] = []
+        self.children: list["_Node"] | None = None
+        self.depth = depth
+
+    def quadrants(self) -> list[BBox]:
+        mid_lat = (self.box.south + self.box.north) / 2.0
+        mid_lon = (self.box.west + self.box.east) / 2.0
+        return [
+            BBox(self.box.south, self.box.west, mid_lat, mid_lon),
+            BBox(self.box.south, mid_lon, mid_lat, self.box.east),
+            BBox(mid_lat, self.box.west, self.box.north, mid_lon),
+            BBox(mid_lat, mid_lon, self.box.north, self.box.east),
+        ]
+
+
+class QuadTree:
+    """A quadtree of ``(key, bbox)`` entries with region queries.
+
+    Entries live in the deepest node whose quadrant fully contains their
+    box; a node splits once it holds more than ``node_capacity`` entries
+    (up to ``max_depth``).  This is the textbook variant adequate for the
+    candidate-selection role measured by the ablation bench.
+    """
+
+    def __init__(
+        self,
+        bounds: BBox = WORLD,
+        node_capacity: int = 16,
+        max_depth: int = 24,
+    ) -> None:
+        if node_capacity < 1:
+            raise ValueError("node_capacity must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self._root = _Node(bounds, 0)
+        self._capacity = node_capacity
+        self._max_depth = max_depth
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: Hashable, box: BBox) -> None:
+        """Insert an entry; boxes outside the tree bounds raise."""
+        if not self._root.box.contains_box(box):
+            raise ValueError(f"box {box} outside tree bounds {self._root.box}")
+        self._insert(self._root, _Entry(key, box))
+        self._size += 1
+
+    def insert_trajectory(self, key: Hashable, points: Trajectory) -> None:
+        """Insert a trajectory under its minimum bounding box."""
+        self.insert(key, bbox_of(points))
+
+    def _insert(self, node: _Node, entry: _Entry) -> None:
+        while True:
+            if node.children is not None:
+                placed = False
+                for child in node.children:
+                    if child.box.contains_box(entry.box):
+                        node = child
+                        placed = True
+                        break
+                if placed:
+                    continue
+                node.entries.append(entry)
+                return
+            node.entries.append(entry)
+            if (
+                len(node.entries) > self._capacity
+                and node.depth < self._max_depth
+            ):
+                self._split(node)
+            return
+
+    def _split(self, node: _Node) -> None:
+        node.children = [
+            _Node(box, node.depth + 1) for box in node.quadrants()
+        ]
+        remaining: list[_Entry] = []
+        for entry in node.entries:
+            placed = False
+            for child in node.children:
+                if child.box.contains_box(entry.box):
+                    child.entries.append(entry)
+                    placed = True
+                    break
+            if not placed:
+                remaining.append(entry)
+        node.entries = remaining
+
+    def query(self, region: BBox) -> list[Hashable]:
+        """Keys of all entries whose box intersects the region."""
+        out: list[Hashable] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(region):
+                continue
+            for entry in node.entries:
+                if entry.box.intersects(region):
+                    out.append(entry.key)
+            if node.children is not None:
+                stack.extend(node.children)
+        return out
+
+    def __iter__(self) -> Iterator[tuple[Hashable, BBox]]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                yield entry.key, entry.box
+            if node.children is not None:
+                stack.extend(node.children)
+
+    def depth(self) -> int:
+        """Deepest populated level (diagnostics)."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.entries and node.depth > best:
+                best = node.depth
+            if node.children is not None:
+                stack.extend(node.children)
+        return best

@@ -1,0 +1,199 @@
+"""R-tree with quadratic splits (Guttman 1984).
+
+The second classic spatial-index baseline from the paper's introduction.
+Stores ``(key, bbox)`` entries; used by the spatial ablation benchmark to
+measure candidate-set inflation on dense trajectory data, and by the map
+matcher's road-segment lookups in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..geo.bbox import BBox, bbox_of, bbox_union
+from ..geo.point import Trajectory
+
+__all__ = ["RTree"]
+
+
+@dataclass(slots=True)
+class _Leaf:
+    key: Hashable
+    box: BBox
+
+
+class _Node:
+    __slots__ = ("box", "children", "entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.children: list["_Node"] = []
+        self.entries: list[_Leaf] = []
+        self.box: BBox | None = None
+
+    def items(self) -> list:
+        return self.entries if self.is_leaf else self.children
+
+    def recompute_box(self) -> None:
+        items = self.items()
+        self.box = bbox_union(item.box for item in items) if items else None
+
+
+def _enlargement(box: BBox, extra: BBox) -> float:
+    """Area growth of ``box`` if it had to absorb ``extra``."""
+    return box.union(extra).area_deg2() - box.area_deg2()
+
+
+class RTree:
+    """An R-tree of ``(key, bbox)`` entries with intersection queries."""
+
+    def __init__(self, max_entries: int = 16, min_entries: int | None = None) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self._max = max_entries
+        self._min = min_entries if min_entries is not None else max_entries // 2
+        if not 1 <= self._min <= self._max // 2:
+            raise ValueError("min_entries must be in [1, max_entries / 2]")
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: Hashable, box: BBox) -> None:
+        """Insert an entry."""
+        split = self._insert(self._root, _Leaf(key, box))
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(is_leaf=False)
+            self._root.children = [old_root, split]
+            self._root.recompute_box()
+        self._size += 1
+
+    def insert_trajectory(self, key: Hashable, points: Trajectory) -> None:
+        """Insert a trajectory under its minimum bounding box."""
+        self.insert(key, bbox_of(points))
+
+    def _choose_child(self, node: _Node, box: BBox) -> _Node:
+        best = None
+        best_growth = float("inf")
+        best_area = float("inf")
+        for child in node.children:
+            assert child.box is not None
+            growth = _enlargement(child.box, box)
+            area = child.box.area_deg2()
+            if growth < best_growth or (growth == best_growth and area < best_area):
+                best = child
+                best_growth = growth
+                best_area = area
+        assert best is not None
+        return best
+
+    def _insert(self, node: _Node, leaf: _Leaf) -> _Node | None:
+        if node.is_leaf:
+            node.entries.append(leaf)
+            node.box = leaf.box if node.box is None else node.box.union(leaf.box)
+            if len(node.entries) > self._max:
+                return self._split(node)
+            return None
+        child = self._choose_child(node, leaf.box)
+        split = self._insert(child, leaf)
+        node.box = leaf.box if node.box is None else node.box.union(leaf.box)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self._max:
+                return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: seeds are the pair wasting the most area."""
+        items = node.items()
+        best_pair = (0, 1)
+        worst_waste = -float("inf")
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                waste = (
+                    items[i].box.union(items[j].box).area_deg2()
+                    - items[i].box.area_deg2()
+                    - items[j].box.area_deg2()
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    best_pair = (i, j)
+        seed_a = items[best_pair[0]]
+        seed_b = items[best_pair[1]]
+        rest = [
+            item
+            for idx, item in enumerate(items)
+            if idx not in best_pair
+        ]
+        group_a = [seed_a]
+        group_b = [seed_b]
+        box_a = seed_a.box
+        box_b = seed_b.box
+        for item in rest:
+            # Honor the minimum fill requirement first.
+            if len(group_a) + (len(rest) - len(group_a) - len(group_b) + 1) <= self._min:
+                group_a.append(item)
+                box_a = box_a.union(item.box)
+                continue
+            if len(group_b) + (len(rest) - len(group_a) - len(group_b) + 1) <= self._min:
+                group_b.append(item)
+                box_b = box_b.union(item.box)
+                continue
+            growth_a = _enlargement(box_a, item.box)
+            growth_b = _enlargement(box_b, item.box)
+            if growth_a < growth_b or (
+                growth_a == growth_b and box_a.area_deg2() <= box_b.area_deg2()
+            ):
+                group_a.append(item)
+                box_a = box_a.union(item.box)
+            else:
+                group_b.append(item)
+                box_b = box_b.union(item.box)
+        sibling = _Node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            node.entries = group_a
+            sibling.entries = group_b
+        else:
+            node.children = group_a
+            sibling.children = group_b
+        node.recompute_box()
+        sibling.recompute_box()
+        return sibling
+
+    def query(self, region: BBox) -> list[Hashable]:
+        """Keys of all entries whose box intersects the region."""
+        out: list[Hashable] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.box is None or not node.box.intersects(region):
+                continue
+            if node.is_leaf:
+                out.extend(
+                    entry.key for entry in node.entries if entry.box.intersects(region)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def __iter__(self) -> Iterator[tuple[Hashable, BBox]]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.key, entry.box
+            else:
+                stack.extend(node.children)
+
+    def height(self) -> int:
+        """Tree height (diagnostics)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height

@@ -1,0 +1,5 @@
+"""Automated configuration search (the paper's stated future work)."""
+
+from .hillclimb import EvaluatedConfig, HillClimbResult, evaluate_config, hill_climb
+
+__all__ = ["EvaluatedConfig", "HillClimbResult", "evaluate_config", "hill_climb"]

@@ -1,0 +1,145 @@
+"""Hill-climbing configuration search (paper Section VI-A2, future work).
+
+The paper tunes the normalization depth, ``k`` and ``t`` by hand and
+notes: "Automating the discovery of the appropriate parameters is a
+difficult task ... A hill-climbing strategy could probably be used to
+address this problem, and this might be part of our future work."
+
+This module implements that strategy: starting from a seed
+configuration, it evaluates neighbouring configurations (depth +-2,
+k +-1, t +-2 — the quantization of the paper's own sweeps) on a sample
+workload, moves to the best neighbour while it improves, and stops at a
+local optimum.  Each evaluation builds a throwaway index and scores the
+sample queries with mean average precision, exactly the "build and query
+an index per configuration" cost the paper warns about — which is why
+the sample dataset should be small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..core.config import GeodabConfig
+from ..core.index import GeodabIndex
+from ..geo.geohash import MAX_DEPTH
+from ..ir.metrics import average_precision
+from ..normalize import MovingAverageSmoother, GridNormalizer, compose
+from ..workload.dataset import TrajectoryDataset
+
+__all__ = ["EvaluatedConfig", "HillClimbResult", "evaluate_config", "hill_climb"]
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluatedConfig:
+    """A configuration with its measured retrieval quality."""
+
+    config: GeodabConfig
+    score: float
+
+
+@dataclass(slots=True)
+class HillClimbResult:
+    """Outcome of a hill-climbing search."""
+
+    best: EvaluatedConfig
+    steps: list[EvaluatedConfig] = field(default_factory=list)
+    evaluations: int = 0
+
+    @property
+    def improved(self) -> bool:
+        """Whether the search moved away from the seed configuration."""
+        return len(self.steps) > 1
+
+
+def evaluate_config(
+    config: GeodabConfig,
+    dataset: TrajectoryDataset,
+    smoothing_window: int = 9,
+) -> float:
+    """Mean average precision of a configuration on a sample dataset.
+
+    Builds a fresh index under the configuration's own normalization
+    depth (the depth being tuned *is* the grid depth) and scores every
+    query of the dataset.
+    """
+    if not dataset.queries:
+        raise ValueError("dataset has no queries to evaluate against")
+    normalizer = compose(
+        MovingAverageSmoother(smoothing_window),
+        GridNormalizer(config.normalization_depth),
+    )
+    index = GeodabIndex(config, normalizer=normalizer)
+    for record in dataset.records:
+        index.add(record.trajectory_id, record.points)
+    scores = []
+    for query in dataset.queries:
+        ranked = [r.trajectory_id for r in index.query(query.points)]
+        scores.append(average_precision(ranked, query.relevant_ids))
+    return sum(scores) / len(scores)
+
+
+def _neighbours(config: GeodabConfig) -> list[GeodabConfig]:
+    """Legal one-step moves in the (depth, k, t) space."""
+    out = []
+    for d_depth, d_k, d_t in (
+        (-2, 0, 0),
+        (2, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -2),
+        (0, 0, 2),
+    ):
+        depth = config.normalization_depth + d_depth
+        k = config.k + d_k
+        t = config.t + d_t
+        if not 8 <= depth <= min(52, MAX_DEPTH):
+            continue
+        if k < 2 or t < k:
+            continue
+        out.append(replace(config, normalization_depth=depth, k=k, t=t))
+    return out
+
+
+def hill_climb(
+    dataset: TrajectoryDataset,
+    seed: GeodabConfig | None = None,
+    max_steps: int = 20,
+    evaluator: Callable[[GeodabConfig, TrajectoryDataset], float] | None = None,
+) -> HillClimbResult:
+    """Greedy hill climbing over (normalization_depth, k, t).
+
+    Moves to the best-scoring neighbour while it strictly improves on the
+    current configuration; every distinct configuration is evaluated at
+    most once.  ``evaluator`` may replace the MAP-based default (e.g. to
+    optimize PR-AUC, or to inject a cheap surrogate in tests).
+    """
+    if max_steps < 1:
+        raise ValueError("max_steps must be positive")
+    score_fn = evaluator or evaluate_config
+    current = seed or GeodabConfig()
+    cache: dict[GeodabConfig, float] = {}
+
+    def score(config: GeodabConfig) -> float:
+        if config not in cache:
+            cache[config] = score_fn(config, dataset)
+        return cache[config]
+
+    result = HillClimbResult(
+        best=EvaluatedConfig(current, score(current)),
+    )
+    result.steps.append(result.best)
+    for _ in range(max_steps):
+        candidates = [
+            EvaluatedConfig(neighbour, score(neighbour))
+            for neighbour in _neighbours(result.best.config)
+        ]
+        if not candidates:
+            break
+        best_neighbour = max(candidates, key=lambda e: e.score)
+        if best_neighbour.score <= result.best.score:
+            break
+        result.best = best_neighbour
+        result.steps.append(best_neighbour)
+    result.evaluations = len(cache)
+    return result

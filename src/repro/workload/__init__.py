@@ -1,0 +1,28 @@
+"""Synthetic workload generation (paper Section VI-A1)."""
+
+from .dataset import (
+    FORWARD,
+    REVERSE,
+    QueryCase,
+    TrajectoryDataset,
+    TrajectoryRecord,
+)
+from .geolife import iter_plt_files, load_geolife, parse_plt
+from .noise import DropoutNoise, GaussianGpsNoise
+from .trajgen import PolylineWalker, WorkloadBuilder, sample_route_trajectory
+
+__all__ = [
+    "DropoutNoise",
+    "FORWARD",
+    "GaussianGpsNoise",
+    "iter_plt_files",
+    "load_geolife",
+    "parse_plt",
+    "PolylineWalker",
+    "QueryCase",
+    "REVERSE",
+    "TrajectoryDataset",
+    "TrajectoryRecord",
+    "WorkloadBuilder",
+    "sample_route_trajectory",
+]

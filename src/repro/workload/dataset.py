@@ -1,0 +1,157 @@
+"""Trajectory dataset containers: records, queries, and ground truth.
+
+The paper's evaluation needs three things traditional trajectory datasets
+lack (Section VI-A1): density (many partially overlapping recordings),
+query trajectories, and the associated ground truth.  A
+:class:`TrajectoryDataset` carries all three: every record remembers the
+route (and direction) it was generated from, so the relevant set of a
+query is exactly the records sharing its route and direction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from ..geo.point import Point
+
+__all__ = ["TrajectoryRecord", "QueryCase", "TrajectoryDataset"]
+
+#: Direction labels of a route traversal.
+FORWARD = "forward"
+REVERSE = "reverse"
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryRecord:
+    """One synthetic GPS recording."""
+
+    trajectory_id: str
+    route_id: int
+    direction: str
+    points: tuple[Point, ...]
+
+    @property
+    def group(self) -> tuple[int, str]:
+        """Ground-truth equivalence class: (route, direction)."""
+        return (self.route_id, self.direction)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryCase:
+    """A query trajectory with its ground truth."""
+
+    query_id: str
+    route_id: int
+    direction: str
+    points: tuple[Point, ...]
+    relevant_ids: frozenset[str]
+
+
+@dataclass
+class TrajectoryDataset:
+    """A dense synthetic trajectory dataset with queries and gold labels."""
+
+    records: list[TrajectoryRecord] = field(default_factory=list)
+    queries: list[QueryCase] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TrajectoryRecord]:
+        return iter(self.records)
+
+    def record_by_id(self, trajectory_id: str) -> TrajectoryRecord:
+        """Lookup a record by identifier (linear; datasets are in-memory)."""
+        for record in self.records:
+            if record.trajectory_id == trajectory_id:
+                return record
+        raise KeyError(trajectory_id)
+
+    def relevant_ids(self, route_id: int, direction: str) -> frozenset[str]:
+        """Identifiers of records sharing a route and direction."""
+        return frozenset(
+            r.trajectory_id
+            for r in self.records
+            if r.route_id == route_id and r.direction == direction
+        )
+
+    def groups(self) -> dict[tuple[int, str], list[TrajectoryRecord]]:
+        """Records bucketed by (route, direction)."""
+        out: dict[tuple[int, str], list[TrajectoryRecord]] = {}
+        for record in self.records:
+            out.setdefault(record.group, []).append(record)
+        return out
+
+    def total_points(self) -> int:
+        """Number of GPS points across all records."""
+        return sum(len(r.points) for r in self.records)
+
+    # ------------------------------------------------------------------
+    # Persistence (JSON lines; adequate for example scripts)
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the dataset as JSON lines (records then queries)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "record",
+                            "id": record.trajectory_id,
+                            "route": record.route_id,
+                            "direction": record.direction,
+                            "points": [[p.lat, p.lon] for p in record.points],
+                        }
+                    )
+                    + "\n"
+                )
+            for query in self.queries:
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "query",
+                            "id": query.query_id,
+                            "route": query.route_id,
+                            "direction": query.direction,
+                            "points": [[p.lat, p.lon] for p in query.points],
+                            "relevant": sorted(query.relevant_ids),
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrajectoryDataset":
+        """Inverse of :meth:`save`."""
+        dataset = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                points = tuple(Point(lat, lon) for lat, lon in data["points"])
+                if data["kind"] == "record":
+                    dataset.records.append(
+                        TrajectoryRecord(
+                            data["id"], data["route"], data["direction"], points
+                        )
+                    )
+                elif data["kind"] == "query":
+                    dataset.queries.append(
+                        QueryCase(
+                            data["id"],
+                            data["route"],
+                            data["direction"],
+                            points,
+                            frozenset(data["relevant"]),
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown row kind {data['kind']!r}")
+        return dataset

@@ -1,0 +1,78 @@
+"""GPS error models for the synthetic workload.
+
+The paper's dataset adds "20 meters of random Gaussian noise to every
+sampled point" (Section VI-A1).  Besides that Gaussian model, a dropout
+model is provided for robustness tests (real receivers lose fixes in
+urban canyons).
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+from ..geo.point import EARTH_RADIUS_M, Point, Trajectory
+
+__all__ = ["GaussianGpsNoise", "DropoutNoise"]
+
+
+class GaussianGpsNoise:
+    """Isotropic Gaussian position noise of scale ``sigma_m`` meters.
+
+    Each point is displaced by independent N(0, sigma) meters along the
+    north and east axes.
+    """
+
+    __slots__ = ("sigma_m", "_rng")
+
+    def __init__(self, sigma_m: float = 20.0, rng: Random | None = None) -> None:
+        if sigma_m < 0:
+            raise ValueError("sigma_m must be non-negative")
+        self.sigma_m = sigma_m
+        self._rng = rng if rng is not None else Random(0)
+
+    def apply(self, point: Point) -> Point:
+        """One noisy observation of a true position."""
+        if self.sigma_m == 0.0:
+            return point
+        d_north = self._rng.gauss(0.0, self.sigma_m)
+        d_east = self._rng.gauss(0.0, self.sigma_m)
+        d_lat = math.degrees(d_north / EARTH_RADIUS_M)
+        cos_lat = max(1e-12, math.cos(math.radians(point.lat)))
+        d_lon = math.degrees(d_east / (EARTH_RADIUS_M * cos_lat))
+        lat = min(90.0, max(-90.0, point.lat + d_lat))
+        lon = (point.lon + d_lon + 540.0) % 360.0 - 180.0
+        return Point(lat, lon)
+
+    def apply_all(self, points: Trajectory) -> list[Point]:
+        """Noisy observation of every point of a trajectory."""
+        return [self.apply(p) for p in points]
+
+
+class DropoutNoise:
+    """Randomly drops points with probability ``drop_probability``.
+
+    The first and last points always survive so the trajectory keeps its
+    endpoints.
+    """
+
+    __slots__ = ("drop_probability", "_rng")
+
+    def __init__(self, drop_probability: float, rng: Random | None = None) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        self.drop_probability = drop_probability
+        self._rng = rng if rng is not None else Random(0)
+
+    def apply_all(self, points: Trajectory) -> list[Point]:
+        """Trajectory with points randomly removed."""
+        if len(points) <= 2:
+            return list(points)
+        kept = [points[0]]
+        kept.extend(
+            p
+            for p in points[1:-1]
+            if self._rng.random() >= self.drop_probability
+        )
+        kept.append(points[-1])
+        return kept

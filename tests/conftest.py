@@ -1,0 +1,74 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.roadnet.generator import generate_city_network
+from repro.workload.trajgen import WorkloadBuilder
+
+# Keep hypothesis fast and deterministic across the suite.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+def latitudes() -> st.SearchStrategy[float]:
+    """Finite latitudes across the valid domain."""
+    return st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+
+
+def longitudes() -> st.SearchStrategy[float]:
+    """Finite longitudes across the valid domain."""
+    return st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+
+
+def points() -> st.SearchStrategy[Point]:
+    """Arbitrary valid points."""
+    return st.builds(Point, latitudes(), longitudes())
+
+
+def city_points() -> st.SearchStrategy[Point]:
+    """Points confined to a London-sized neighbourhood (evaluation area)."""
+    return st.builds(
+        Point,
+        st.floats(min_value=51.40, max_value=51.62, allow_nan=False),
+        st.floats(min_value=-0.30, max_value=0.05, allow_nan=False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A small deterministic city network shared across tests."""
+    return generate_city_network(half_side_m=2_000.0, spacing_m=250.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_network):
+    """A small dense dataset with queries (4 routes x 2x3 recordings)."""
+    builder = WorkloadBuilder(small_network, seed=5)
+    return builder.build(num_routes=4, trajectories_per_direction=3, num_queries=4)
+
+
+@pytest.fixture()
+def rng() -> Random:
+    """A fresh deterministic RNG per test."""
+    return Random(1234)

@@ -1,0 +1,96 @@
+"""Tests for repro.baselines.btm: exact bounding-based motif discovery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.btm import btm_motif, naive_motif
+from repro.distance.frechet import discrete_frechet
+from repro.geo.point import Point, destination
+
+from .conftest import city_points
+
+LONDON = Point(51.5074, -0.1278)
+
+
+def walk_points(n, bearing=90.0, start=LONDON, step_m=50.0):
+    out = [start]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, step_m))
+    return out
+
+
+class TestExactness:
+    @given(
+        st.lists(city_points(), min_size=4, max_size=9),
+        st.lists(city_points(), min_size=4, max_size=9),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_btm_matches_naive(self, p, q, length):
+        if len(p) < length or len(q) < length:
+            return
+        fast = btm_motif(p, q, length)
+        slow = naive_motif(p, q, length)
+        assert fast.distance == pytest.approx(slow.distance, rel=1e-9, abs=1e-6)
+
+    def test_btm_result_is_true_dfd(self):
+        p = walk_points(12)
+        q = walk_points(10, bearing=85.0, start=destination(LONDON, 0.0, 40.0))
+        result = btm_motif(p, q, 5)
+        window_p = p[result.start_i : result.start_i + 5]
+        window_q = q[result.start_j : result.start_j + 5]
+        assert result.distance == pytest.approx(
+            discrete_frechet(window_p, window_q), rel=1e-9
+        )
+
+    def test_identical_trajectories_find_zero_motif(self):
+        p = walk_points(10)
+        result = btm_motif(p, list(p), 4)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        assert result.start_i == result.start_j
+
+    def test_shared_segment_located(self):
+        # Trajectory q contains p's middle segment exactly.
+        p = walk_points(15)
+        q = p[5:12]
+        result = btm_motif(p, q, 5)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        assert result.start_i == 5 + result.start_j
+
+
+class TestValidation:
+    def test_length_too_large(self):
+        with pytest.raises(ValueError):
+            btm_motif(walk_points(4), walk_points(10), 5)
+        with pytest.raises(ValueError):
+            naive_motif(walk_points(10), walk_points(4), 5)
+
+    def test_length_not_positive(self):
+        with pytest.raises(ValueError):
+            btm_motif(walk_points(4), walk_points(4), 0)
+
+    def test_motif_equals_full_length(self):
+        p = walk_points(6)
+        q = walk_points(6, bearing=88.0)
+        result = btm_motif(p, q, 6)
+        assert result.start_i == 0 and result.start_j == 0
+        assert result.distance == pytest.approx(discrete_frechet(p, q), rel=1e-9)
+
+
+class TestPruning:
+    def test_pruning_saves_work(self):
+        # Two far-apart bundles: most window pairs prune via bounds.
+        p = walk_points(30)
+        q = walk_points(30, start=destination(LONDON, 0.0, 30.0), bearing=89.0)
+        result = btm_motif(p, q, 8)
+        total_pairs = (30 - 8 + 1) ** 2
+        assert result.evaluated + result.pruned == total_pairs
+        assert result.evaluated < total_pairs
+
+    def test_accounting_consistent(self):
+        p = walk_points(12)
+        q = walk_points(12, bearing=91.0)
+        result = btm_motif(p, q, 4)
+        assert result.evaluated >= 1
+        assert result.pruned >= 0
+        assert result.evaluated + result.pruned == (12 - 4 + 1) ** 2

@@ -1,0 +1,70 @@
+"""Tests for repro.bench: table formatting and workload caching."""
+
+import pytest
+
+from repro.bench.report import format_table, format_value, print_table
+
+# Aliased so the ``bench_*`` collection pattern does not pick the
+# imported helpers up as benchmark functions.
+from repro.bench.runner import bench_scale as scale_from_env
+from repro.bench.runner import time_callable
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(3.0) == "3"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_numbers_comma_separated(self):
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(12345.6) == "12,346"
+
+    def test_strings_and_bools(self):
+        assert format_value("abc") == "abc"
+        assert format_value(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            "Title", ["col_a", "b"], [[1, "x"], [22, "yy"]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "col_a" in lines[2]
+        # All data rows share the same width.
+        assert len(lines[4]) == len(lines[5])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table("t", ["a", "b"], [[1]])
+
+    def test_print_table_smoke(self, capsys):
+        print_table("T", ["x"], [[1]])
+        out = capsys.readouterr().out
+        assert "T" in out and "1" in out
+
+
+class TestRunner:
+    def test_bench_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert scale_from_env() == 1.0
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert scale_from_env() == 2.5
+
+    def test_bench_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "abc")
+        with pytest.raises(ValueError):
+            scale_from_env()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+    def test_time_callable_returns_positive_ms(self):
+        assert time_callable(lambda: sum(range(1000)), repeats=2) >= 0.0

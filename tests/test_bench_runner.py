@@ -1,0 +1,36 @@
+"""Tests for repro.bench.runner: cached workload builders."""
+
+# Aliased so the ``bench_*`` collection pattern does not pick the
+# imported helpers up as benchmark functions.
+from repro.bench.runner import bench_network as make_network
+from repro.bench.runner import bench_workload as make_workload
+from repro.bench.runner import build_geodab_index, build_geohash_index
+
+
+class TestCachedBuilders:
+    def test_network_is_cached(self):
+        assert make_network(seed=42, half_side_m=1_500.0) is make_network(
+            seed=42, half_side_m=1_500.0
+        )
+
+    def test_workload_is_cached(self):
+        a = make_workload(num_routes=2, per_direction=2, num_queries=1, seed=3)
+        b = make_workload(num_routes=2, per_direction=2, num_queries=1, seed=3)
+        assert a is b
+
+    def test_workload_shape(self):
+        dataset = make_workload(num_routes=2, per_direction=2, num_queries=1, seed=3)
+        assert len(dataset) == 2 * 2 * 2
+        assert len(dataset.queries) == 1
+
+    def test_index_builders_cover_all_records(self):
+        dataset = make_workload(num_routes=2, per_direction=2, num_queries=1, seed=3)
+        geodab = build_geodab_index(dataset)
+        geohash = build_geohash_index(dataset)
+        assert len(geodab) == len(dataset)
+        assert len(geohash) == len(dataset)
+
+    def test_index_builder_limit(self):
+        dataset = make_workload(num_routes=2, per_direction=2, num_queries=1, seed=3)
+        partial = build_geodab_index(dataset, limit=3)
+        assert len(partial) == 3

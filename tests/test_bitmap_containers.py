@@ -1,0 +1,235 @@
+"""Tests for repro.bitmap.containers: the roaring container zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmap.containers import (
+    ARRAY_MAX_SIZE,
+    ArrayContainer,
+    BitmapContainer,
+    RunContainer,
+    canonicalize,
+    container_and,
+    container_and_cardinality,
+    container_andnot,
+    container_or,
+    container_values,
+    container_xor,
+    run_optimize,
+)
+
+
+def lows():
+    return st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def low_sets(max_size=300):
+    return st.sets(lows(), max_size=max_size)
+
+
+def _array(values) -> ArrayContainer:
+    return ArrayContainer(np.array(sorted(values), dtype=np.uint16))
+
+
+def _bitmap(values) -> BitmapContainer:
+    return BitmapContainer.from_array_values(np.array(sorted(values), dtype=np.uint16))
+
+
+def _run(values) -> RunContainer:
+    return RunContainer.from_sorted_values(np.array(sorted(values), dtype=np.uint16))
+
+
+MAKERS = {"array": _array, "bitmap": _bitmap, "run": _run}
+
+
+class TestArrayContainer:
+    def test_empty(self):
+        c = ArrayContainer()
+        assert c.cardinality == 0
+        assert not c.contains(0)
+
+    def test_add_and_contains(self):
+        c = ArrayContainer()
+        c = c.add(5)
+        c = c.add(3)
+        c = c.add(5)  # duplicate
+        assert c.cardinality == 2
+        assert c.contains(3) and c.contains(5)
+        assert list(c) == [3, 5]
+
+    def test_discard(self):
+        c = _array([1, 2, 3])
+        c = c.discard(2)
+        assert list(c) == [1, 3]
+        # Discarding a missing value is a no-op.
+        assert list(c.discard(9)) == [1, 3]
+
+    def test_promotes_to_bitmap_beyond_threshold(self):
+        c = _array(range(ARRAY_MAX_SIZE))
+        promoted = c.add(60_000)
+        assert isinstance(promoted, BitmapContainer)
+        assert promoted.cardinality == ARRAY_MAX_SIZE + 1
+
+    def test_min_max_rank_select(self):
+        c = _array([10, 20, 30])
+        assert c.min() == 10
+        assert c.max() == 30
+        assert c.rank(20) == 2
+        assert c.rank(9) == 0
+        assert c.select(1) == 20
+
+    def test_from_unsorted(self):
+        c = ArrayContainer.from_unsorted(np.array([5, 1, 5, 3]))
+        assert list(c) == [1, 3, 5]
+
+
+class TestBitmapContainer:
+    def test_from_values_roundtrip(self):
+        values = [0, 63, 64, 65_535]
+        c = _bitmap(values)
+        assert c.cardinality == 4
+        assert list(c) == values
+
+    def test_add_discard(self):
+        c = BitmapContainer.empty()
+        c = c.add(100)
+        assert c.contains(100)
+        c2 = c.add(100)
+        assert c2.cardinality == 1
+        shrunk = c.discard(100)
+        assert shrunk.cardinality == 0
+
+    def test_discard_demotes_to_array(self):
+        c = _bitmap(range(ARRAY_MAX_SIZE + 1))
+        out = c.discard(0)
+        assert isinstance(out, ArrayContainer)
+        assert out.cardinality == ARRAY_MAX_SIZE
+
+    def test_min_max(self):
+        c = _bitmap([7, 130, 999])
+        assert c.min() == 7
+        assert c.max() == 999
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            BitmapContainer.empty().min()
+
+    def test_rank_select_consistency(self):
+        values = [3, 64, 65, 128, 40_000]
+        c = _bitmap(values)
+        for i, v in enumerate(values):
+            assert c.select(i) == v
+            assert c.rank(v) == i + 1
+
+    def test_select_out_of_range(self):
+        with pytest.raises(IndexError):
+            _bitmap([1]).select(1)
+
+    def test_contains_many(self):
+        c = _bitmap([2, 4, 6])
+        probe = np.array([1, 2, 3, 4, 5, 6], dtype=np.uint16)
+        assert c.contains_many(probe).tolist() == [False, True, False, True, False, True]
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            BitmapContainer(np.zeros(10, dtype=np.uint64))
+
+
+class TestRunContainer:
+    def test_from_sorted_values(self):
+        c = _run([1, 2, 3, 7, 8, 42])
+        assert c.num_runs == 3
+        assert c.cardinality == 6
+        assert list(c) == [1, 2, 3, 7, 8, 42]
+
+    def test_contains(self):
+        c = _run([5, 6, 7, 100])
+        assert c.contains(6)
+        assert c.contains(100)
+        assert not c.contains(8)
+        assert not c.contains(0)
+
+    def test_empty(self):
+        c = _run([])
+        assert c.num_runs == 0
+        assert c.cardinality == 0
+        assert list(c.to_numpy()) == []
+
+    def test_min_max(self):
+        c = _run([10, 11, 12, 50])
+        assert c.min() == 10
+        assert c.max() == 50
+
+    def test_add_leaves_run_form(self):
+        c = _run([1, 2, 3])
+        out = c.add(10)
+        assert out.contains(10)
+        assert sorted(out) == [1, 2, 3, 10]
+
+    def test_full_domain_run(self):
+        values = np.arange(0, 2**16, dtype=np.uint32)
+        c = RunContainer.from_sorted_values(values)
+        assert c.num_runs == 1
+        assert c.cardinality == 2**16
+        assert c.contains(0) and c.contains(2**16 - 1)
+
+
+class TestCanonicalizeAndOptimize:
+    def test_canonicalize_demotes_sparse_bitmap(self):
+        c = _bitmap([1, 2, 3])
+        assert isinstance(canonicalize(c), ArrayContainer)
+
+    def test_canonicalize_promotes_large_array(self):
+        c = _array(range(ARRAY_MAX_SIZE + 5))
+        assert isinstance(canonicalize(c), BitmapContainer)
+
+    def test_run_optimize_picks_run_for_ranges(self):
+        c = _array(range(1000))
+        assert isinstance(run_optimize(c), RunContainer)
+
+    def test_run_optimize_picks_array_for_scattered(self):
+        c = _array(range(0, 1000, 7))
+        assert isinstance(run_optimize(c), ArrayContainer)
+
+    def test_run_optimize_preserves_values(self):
+        values = sorted({1, 2, 3, 9, 10, 500})
+        for maker in MAKERS.values():
+            optimized = run_optimize(maker(values))
+            assert sorted(container_values(optimized).tolist()) == values
+
+
+class TestBinaryOps:
+    @given(low_sets(), low_sets())
+    def test_ops_match_set_semantics(self, a, b):
+        for kind_a, make_a in MAKERS.items():
+            for kind_b, make_b in MAKERS.items():
+                ca, cb = make_a(a), make_b(b)
+                label = f"{kind_a}x{kind_b}"
+                assert set(container_values(container_and(ca, cb)).tolist()) == (
+                    a & b
+                ), label
+                assert set(container_values(container_or(ca, cb)).tolist()) == (
+                    a | b
+                ), label
+                assert set(container_values(container_andnot(ca, cb)).tolist()) == (
+                    a - b
+                ), label
+                assert set(container_values(container_xor(ca, cb)).tolist()) == (
+                    a ^ b
+                ), label
+                assert container_and_cardinality(ca, cb) == len(a & b), label
+
+    def test_large_dense_ops_promote(self):
+        a = set(range(0, 20_000))
+        b = set(range(10_000, 30_000))
+        ca, cb = _array(a), _array(b)
+        # canonicalize promotes these before ops in RoaringBitmap; here we
+        # exercise the bitmap x bitmap paths directly.
+        ca, cb = canonicalize(ca), canonicalize(cb)
+        assert isinstance(ca, BitmapContainer)
+        union = container_or(ca, cb)
+        assert union.cardinality == len(a | b)
+        inter = container_and(ca, cb)
+        assert inter.cardinality == len(a & b)

@@ -1,0 +1,279 @@
+"""Tests for repro.bitmap.roaring: RoaringBitmap and Roaring64Map."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmap.roaring import Roaring64Map, RoaringBitmap
+
+
+def value_sets(max_size=200):
+    """Sets spanning several containers, mixing dense and sparse regions."""
+    return st.sets(
+        st.one_of(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=0, max_value=300),
+            st.integers(min_value=2**16 - 50, max_value=2**16 + 50),
+        ),
+        max_size=max_size,
+    )
+
+
+class TestBasics:
+    def test_empty(self):
+        rb = RoaringBitmap()
+        assert len(rb) == 0
+        assert not rb
+        assert 0 not in rb
+        assert list(rb) == []
+
+    def test_add_contains_len(self):
+        rb = RoaringBitmap()
+        rb.add(0)
+        rb.add(2**32 - 1)
+        rb.add(65_536)
+        rb.add(0)  # duplicate
+        assert len(rb) == 3
+        assert 0 in rb and 65_536 in rb and 2**32 - 1 in rb
+        assert 1 not in rb
+
+    def test_out_of_universe_rejected(self):
+        rb = RoaringBitmap()
+        with pytest.raises(ValueError):
+            rb.add(-1)
+        with pytest.raises(ValueError):
+            rb.add(2**32)
+
+    def test_contains_non_int(self):
+        rb = RoaringBitmap.from_iterable([1])
+        assert "1" not in rb
+        assert -5 not in rb
+
+    def test_discard_and_remove(self):
+        rb = RoaringBitmap.from_iterable([1, 2, 3])
+        rb.discard(2)
+        assert 2 not in rb
+        rb.discard(99)  # absent: no error
+        with pytest.raises(KeyError):
+            rb.remove(99)
+        rb.remove(1)
+        assert len(rb) == 1
+
+    def test_discard_drops_empty_container(self):
+        rb = RoaringBitmap.from_iterable([70_000])
+        rb.discard(70_000)
+        assert len(rb) == 0
+        assert list(rb) == []
+
+    def test_iteration_sorted(self):
+        values = [5, 2**20, 3, 2**31, 100]
+        rb = RoaringBitmap.from_iterable(values)
+        assert list(rb) == sorted(values)
+
+    def test_from_numpy(self):
+        arr = np.array([9, 1, 9, 2**17], dtype=np.int64)
+        rb = RoaringBitmap.from_numpy(arr)
+        assert list(rb) == [1, 9, 2**17]
+
+    def test_from_numpy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RoaringBitmap.from_numpy(np.array([-1]))
+
+    def test_to_numpy_roundtrip(self):
+        values = sorted({1, 2, 70_000, 2**31 + 5})
+        rb = RoaringBitmap.from_iterable(values)
+        assert rb.to_numpy().tolist() == values
+
+    def test_copy_is_independent(self):
+        rb = RoaringBitmap.from_iterable([1, 2])
+        clone = rb.copy()
+        clone.add(3)
+        assert 3 not in rb
+        assert 3 in clone
+
+
+class TestOrderStatistics:
+    def test_min_max(self):
+        rb = RoaringBitmap.from_iterable([42, 7, 2**30])
+        assert rb.min() == 7
+        assert rb.max() == 2**30
+
+    def test_min_empty_raises(self):
+        with pytest.raises(ValueError):
+            RoaringBitmap().min()
+
+    def test_rank(self):
+        rb = RoaringBitmap.from_iterable([10, 20, 70_000])
+        assert rb.rank(9) == 0
+        assert rb.rank(10) == 1
+        assert rb.rank(69_999) == 2
+        assert rb.rank(2**32 - 1) == 3
+
+    def test_select(self):
+        values = sorted({10, 20, 70_000, 2**25})
+        rb = RoaringBitmap.from_iterable(values)
+        for i, v in enumerate(values):
+            assert rb.select(i) == v
+
+    def test_select_out_of_range(self):
+        rb = RoaringBitmap.from_iterable([1])
+        with pytest.raises(IndexError):
+            rb.select(1)
+        with pytest.raises(IndexError):
+            rb.select(-1)
+
+    @given(value_sets(max_size=80))
+    def test_rank_select_inverse(self, values):
+        rb = RoaringBitmap.from_iterable(values)
+        for i in range(len(values)):
+            assert rb.rank(rb.select(i)) == i + 1
+
+
+class TestSetAlgebra:
+    @given(value_sets(), value_sets())
+    def test_matches_python_sets(self, a, b):
+        ra = RoaringBitmap.from_iterable(a)
+        rb = RoaringBitmap.from_iterable(b)
+        assert set(ra | rb) == a | b
+        assert set(ra & rb) == a & b
+        assert set(ra - rb) == a - b
+        assert set(ra ^ rb) == a ^ b
+        assert ra.intersection_cardinality(rb) == len(a & b)
+        assert ra.union_cardinality(rb) == len(a | b)
+        assert ra.isdisjoint(rb) == a.isdisjoint(b)
+        assert ra.issubset(rb) == (a <= b)
+
+    @given(value_sets())
+    def test_self_operations(self, a):
+        ra = RoaringBitmap.from_iterable(a)
+        assert set(ra & ra) == a
+        assert set(ra | ra) == a
+        assert len(ra - ra) == 0
+        assert len(ra ^ ra) == 0
+
+    def test_equality(self):
+        a = RoaringBitmap.from_iterable([1, 2, 70_000])
+        b = RoaringBitmap.from_iterable([70_000, 2, 1])
+        assert a == b
+        b.add(5)
+        assert a != b
+        assert a != "not a bitmap"
+
+    def test_dense_promotion_equality(self):
+        # Same logical set in array vs bitmap container forms.
+        a = RoaringBitmap.from_iterable(range(5000))
+        b = RoaringBitmap()
+        for v in range(5000):
+            b.add(v)
+        assert a == b
+
+
+class TestJaccard:
+    def test_identical(self):
+        a = RoaringBitmap.from_iterable([1, 2, 3])
+        assert a.jaccard(a) == 1.0
+        assert a.jaccard_distance(a) == 0.0
+
+    def test_disjoint(self):
+        a = RoaringBitmap.from_iterable([1])
+        b = RoaringBitmap.from_iterable([2])
+        assert a.jaccard(b) == 0.0
+        assert a.jaccard_distance(b) == 1.0
+
+    def test_both_empty(self):
+        assert RoaringBitmap().jaccard(RoaringBitmap()) == 1.0
+
+    def test_half_overlap(self):
+        a = RoaringBitmap.from_iterable([1, 2])
+        b = RoaringBitmap.from_iterable([2, 3])
+        assert a.jaccard(b) == pytest.approx(1 / 3)
+
+    @given(value_sets(max_size=60), value_sets(max_size=60), value_sets(max_size=60))
+    def test_jaccard_distance_triangle_inequality(self, a, b, c):
+        # Equation 1 obeys the triangle inequality (Kosub 2016).
+        ra = RoaringBitmap.from_iterable(a)
+        rb = RoaringBitmap.from_iterable(b)
+        rc = RoaringBitmap.from_iterable(c)
+        dab = ra.jaccard_distance(rb)
+        dbc = rb.jaccard_distance(rc)
+        dac = ra.jaccard_distance(rc)
+        assert dac <= dab + dbc + 1e-12
+
+
+class TestMaintenance:
+    def test_serialize_roundtrip(self):
+        values = set(range(0, 10_000, 3)) | {2**31, 2**32 - 1}
+        rb = RoaringBitmap.from_iterable(values)
+        blob = rb.serialize()
+        assert RoaringBitmap.deserialize(blob) == rb
+
+    def test_serialize_empty(self):
+        assert RoaringBitmap.deserialize(RoaringBitmap().serialize()) == RoaringBitmap()
+
+    def test_run_optimize_preserves_contents(self):
+        rb = RoaringBitmap.from_iterable(range(100_000, 140_000))
+        before = rb.to_numpy().tolist()
+        rb.run_optimize()
+        assert rb.to_numpy().tolist() == before
+        stats = rb.container_stats()
+        assert stats["run"] >= 1
+
+    def test_byte_size_reflects_compression(self):
+        dense_run = RoaringBitmap.from_iterable(range(60_000))
+        dense_run.run_optimize()
+        scattered = RoaringBitmap.from_iterable(range(0, 60_000 * 16, 16))
+        assert dense_run.byte_size() < scattered.byte_size()
+
+    def test_container_stats_kinds(self):
+        rb = RoaringBitmap.from_iterable(list(range(5000)) + [2**20])
+        stats = rb.container_stats()
+        assert stats["bitmap"] == 1
+        assert stats["array"] == 1
+
+
+class TestRoaring64:
+    def test_add_contains(self):
+        m = Roaring64Map.from_iterable([1, 2**40, 2**63])
+        assert 1 in m
+        assert 2**40 in m
+        assert 2**63 in m
+        assert 2**41 not in m
+        assert len(m) == 3
+
+    def test_out_of_universe(self):
+        m = Roaring64Map()
+        with pytest.raises(ValueError):
+            m.add(2**64)
+        with pytest.raises(ValueError):
+            m.add(-1)
+
+    def test_iteration_sorted(self):
+        values = [2**40, 5, 2**33, 6]
+        m = Roaring64Map.from_iterable(values)
+        assert list(m) == sorted(values)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=2**64 - 1), max_size=80),
+        st.sets(st.integers(min_value=0, max_value=2**64 - 1), max_size=80),
+    )
+    def test_algebra_matches_sets(self, a, b):
+        ma = Roaring64Map.from_iterable(a)
+        mb = Roaring64Map.from_iterable(b)
+        assert set(ma | mb) == a | b
+        assert set(ma & mb) == a & b
+        assert ma.intersection_cardinality(mb) == len(a & b)
+
+    def test_jaccard(self):
+        a = Roaring64Map.from_iterable([1, 2**40])
+        b = Roaring64Map.from_iterable([2**40, 7])
+        assert a.jaccard(b) == pytest.approx(1 / 3)
+        assert a.jaccard_distance(b) == pytest.approx(2 / 3)
+        assert Roaring64Map().jaccard(Roaring64Map()) == 1.0
+
+    def test_equality(self):
+        a = Roaring64Map.from_iterable([1, 2**50])
+        b = Roaring64Map.from_iterable([2**50, 1])
+        assert a == b
+        b.add(3)
+        assert a != b

@@ -1,0 +1,121 @@
+"""Tests for repro.cli: the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workload.dataset import TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "dataset.jsonl"
+    code = main(
+        [
+            "generate",
+            "--routes",
+            "3",
+            "--per-direction",
+            "3",
+            "--queries",
+            "2",
+            "--half-side-m",
+            "2000",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x.jsonl"])
+        assert args.routes == 10
+        assert args.noise_m == 20.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_loadable_dataset(self, dataset_path, capsys):
+        dataset = TrajectoryDataset.load(dataset_path)
+        assert len(dataset) == 3 * 3 * 2
+        assert len(dataset.queries) == 2
+
+    def test_output_mentions_counts(self, tmp_path, capsys):
+        out = tmp_path / "d.jsonl"
+        main(
+            [
+                "generate",
+                "--routes",
+                "2",
+                "--per-direction",
+                "2",
+                "--queries",
+                "1",
+                "--half-side-m",
+                "2000",
+                "--out",
+                str(out),
+            ]
+        )
+        stdout = capsys.readouterr().out
+        assert "8 trajectories" in stdout
+
+
+class TestEvaluate:
+    def test_prints_quality_table(self, dataset_path, capsys):
+        code = main(["evaluate", "--dataset", str(dataset_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geodabs" in out
+        assert "geohash" in out
+        assert "MAP" in out
+
+    def test_requires_queries(self, tmp_path, capsys):
+        empty = TrajectoryDataset()
+        path = tmp_path / "empty.jsonl"
+        empty.save(path)
+        code = main(["evaluate", "--dataset", str(path)])
+        assert code == 1
+
+
+class TestQuery:
+    def test_known_query(self, dataset_path, capsys):
+        code = main(
+            ["query", "--dataset", str(dataset_path), "--query-id", "q0000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q0000" in out
+        assert "rank" in out
+
+    def test_geohash_index_choice(self, dataset_path, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                str(dataset_path),
+                "--query-id",
+                "q0001",
+                "--index",
+                "geohash",
+                "--limit",
+                "3",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_query_id(self, dataset_path, capsys):
+        code = main(
+            ["query", "--dataset", str(dataset_path), "--query-id", "nope"]
+        )
+        assert code == 1
+        assert "unknown query" in capsys.readouterr().err

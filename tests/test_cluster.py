@@ -1,0 +1,215 @@
+"""Tests for repro.cluster: sharding, the sharded index, balance stats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig, ShardRouter
+from repro.cluster.stats import balance_report, distribute_cell_counts
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.geo.geohash import Geohash
+
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+class TestShardingConfig:
+    def test_defaults(self):
+        cfg = ShardingConfig()
+        assert cfg.num_shards >= cfg.num_nodes
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_shards": 0},
+            {"num_nodes": 0},
+            {"num_shards": 5, "num_nodes": 10},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardingConfig(**kwargs)
+
+
+class TestShardRouter:
+    ROUTER = ShardRouter(ShardingConfig(num_shards=64, num_nodes=8), 16, 16)
+
+    def test_prefix_extraction(self):
+        term = (0xABCD << 16) | 0x1234
+        assert self.ROUTER.prefix_of_term(term) == 0xABCD
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_every_term_routes(self, term):
+        shard = self.ROUTER.shard_of_term(term)
+        assert 0 <= shard < 64
+        node = self.ROUTER.node_of_shard(shard)
+        assert 0 <= node < 8
+
+    @given(st.integers(min_value=0, max_value=2**16 - 2))
+    def test_curve_locality(self, prefix):
+        # Adjacent prefixes map to the same or adjacent shard.
+        a = self.ROUTER.shard_of_prefix(prefix)
+        b = self.ROUTER.shard_of_prefix(prefix + 1)
+        assert 0 <= b - a <= 1
+
+    def test_shard_of_prefix_monotone(self):
+        shards = [self.ROUTER.shard_of_prefix(p) for p in range(0, 2**16, 127)]
+        assert shards == sorted(shards)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.ROUTER.shard_of_prefix(2**16)
+
+    def test_shard_of_cell_alignment(self):
+        deep = Geohash(0b1010_1010_1010_1010_1010, 20)
+        shallow = deep.ancestor(16)
+        assert self.ROUTER.shard_of_cell(deep) == self.ROUTER.shard_of_cell(shallow)
+
+    def test_shard_of_shallow_cell(self):
+        cell = Geohash(0b1, 1)  # eastern hemisphere
+        shard = self.ROUTER.shard_of_cell(cell)
+        assert shard == 32  # second half of the curve -> second half of shards
+
+    def test_node_of_shard_modulo(self):
+        assert self.ROUTER.node_of_shard(13) == 5
+
+    def test_node_of_shard_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.ROUTER.node_of_shard(64)
+
+    def test_plan_groups_by_shard(self):
+        terms = [(p << 16) | 7 for p in (0, 1, 2**15, 2**16 - 1)]
+        plan = self.ROUTER.plan(terms)
+        assert sum(len(v) for v in plan.values()) == len(terms)
+        for shard, shard_terms in plan.items():
+            for term in shard_terms:
+                assert self.ROUTER.shard_of_term(term) == shard
+
+    def test_shards_of_node_partition(self):
+        seen = set()
+        for node in range(8):
+            shards = self.ROUTER.shards_of_node(node)
+            assert all(self.ROUTER.node_of_shard(s) == node for s in shards)
+            seen.update(shards)
+        assert seen == set(range(64))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ShardRouter(ShardingConfig(), 0, 16)
+        with pytest.raises(ValueError):
+            ShardRouter(ShardingConfig(), 16, -1)
+
+
+class TestShardedIndex:
+    def _records(self, small_dataset):
+        return [(r.trajectory_id, r.points) for r in small_dataset.records]
+
+    def test_results_identical_to_single_node(self, small_dataset):
+        from repro.normalize import standard_normalizer
+
+        norm = standard_normalizer()
+        single = GeodabIndex(CONFIG, normalizer=norm)
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=32, num_nodes=4), normalizer=norm
+        )
+        for trajectory_id, points in self._records(small_dataset):
+            single.add(trajectory_id, points)
+            sharded.add(trajectory_id, points)
+        for query in small_dataset.queries:
+            expected = single.query(query.points)
+            actual = sharded.query(query.points)
+            assert [r.trajectory_id for r in actual] == [
+                r.trajectory_id for r in expected
+            ]
+            for a, b in zip(actual, expected):
+                assert a.distance == pytest.approx(b.distance)
+
+    def test_fanout_is_bounded_by_query_locality(self, small_dataset):
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=128, num_nodes=8)
+        )
+        sharded.add_many(self._records(small_dataset))
+        query = small_dataset.queries[0]
+        _, stats = sharded.query_with_stats(query.points)
+        # A city-scale query touches a handful of curve-adjacent shards,
+        # not the whole cluster (the point of Figure 2c).
+        assert 1 <= stats.shards_contacted <= 8
+        assert stats.nodes_contacted <= stats.shards_contacted
+
+    def test_duplicate_add_rejected(self, small_dataset):
+        sharded = ShardedGeodabIndex(CONFIG)
+        record = small_dataset.records[0]
+        sharded.add(record.trajectory_id, record.points)
+        with pytest.raises(KeyError):
+            sharded.add(record.trajectory_id, record.points)
+
+    def test_load_accounting(self, small_dataset):
+        sharding = ShardingConfig(num_shards=32, num_nodes=4)
+        sharded = ShardedGeodabIndex(CONFIG, sharding)
+        sharded.add_many(self._records(small_dataset))
+        assert len(sharded) == len(small_dataset)
+        shard_counts = sharded.shard_postings_counts()
+        node_counts = sharded.node_postings_counts()
+        assert len(shard_counts) == 32
+        assert len(node_counts) == 4
+        assert sum(shard_counts) == sum(node_counts)
+        trajectory_counts = sharded.node_trajectory_counts()
+        assert all(c <= len(small_dataset) for c in trajectory_counts)
+
+    def test_empty_index_query(self):
+        sharded = ShardedGeodabIndex(CONFIG)
+        from repro.geo.point import Point
+
+        assert sharded.query([Point(51.5, -0.1), Point(51.51, -0.1)]) == []
+
+
+class TestBalanceStats:
+    def test_balance_report_uniform(self):
+        report = balance_report([100, 100, 100, 100])
+        assert report.coefficient_of_variation == 0.0
+        assert report.max_over_mean == 1.0
+        assert report.total == 400
+
+    def test_balance_report_skewed(self):
+        report = balance_report([400, 0, 0, 0])
+        assert report.coefficient_of_variation > 1.0
+        assert report.max_over_mean == 4.0
+
+    def test_balance_report_empty_raises(self):
+        with pytest.raises(ValueError):
+            balance_report([])
+
+    def test_balance_report_zeros(self):
+        report = balance_report([0, 0])
+        assert report.coefficient_of_variation == 0.0
+        assert report.max_over_mean == 0.0
+
+    def test_distribute_cell_counts_conserves_total(self):
+        counts = {0: 100, 1: 50, 2**15: 25, 2**16 - 1: 10}
+        per_shard, per_node = distribute_cell_counts(
+            counts, 16, ShardingConfig(num_shards=100, num_nodes=10)
+        )
+        assert sum(per_shard) == 185
+        assert sum(per_node) == 185
+
+    def test_distribute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            distribute_cell_counts(
+                {0: -1}, 16, ShardingConfig(num_shards=10, num_nodes=2)
+            )
+
+    def test_more_shards_balance_better(self):
+        # A clustered distribution: hot cells adjacent on the curve.
+        counts = {cell: 1_000 for cell in range(500, 560)}
+        counts.update({cell: 10 for cell in range(40_000, 40_200)})
+        few = distribute_cell_counts(
+            counts, 16, ShardingConfig(num_shards=10, num_nodes=10)
+        )[1]
+        many = distribute_cell_counts(
+            counts, 16, ShardingConfig(num_shards=10_000, num_nodes=10)
+        )[1]
+        assert (
+            balance_report(many).coefficient_of_variation
+            < balance_report(few).coefficient_of_variation
+        )

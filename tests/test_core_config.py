@@ -1,0 +1,74 @@
+"""Tests for repro.core.config: pipeline configuration."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, GeodabConfig
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_configuration(self):
+        cfg = GeodabConfig()
+        assert cfg.normalization_depth == 36
+        assert cfg.k == 6
+        assert cfg.t == 12
+        assert cfg.prefix_bits == 16
+        assert cfg.suffix_bits == 16
+        assert cfg == PAPER_CONFIG
+
+    def test_window_formula(self):
+        # w = t - k + 1 (Section IV-A).
+        assert GeodabConfig(k=6, t=12).window == 7
+        assert GeodabConfig(k=3, t=3).window == 1
+
+    def test_geodab_bits(self):
+        assert GeodabConfig(prefix_bits=16, suffix_bits=16).geodab_bits == 32
+        assert GeodabConfig(prefix_bits=20, suffix_bits=20).geodab_bits == 40
+
+    def test_fits_in_32_bits(self):
+        assert GeodabConfig().fits_in_32_bits
+        assert not GeodabConfig(prefix_bits=20, suffix_bits=16).fits_in_32_bits
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"normalization_depth": 0},
+            {"normalization_depth": 61},
+            {"k": 0},
+            {"k": 10, "t": 9},
+            {"prefix_bits": 0},
+            {"prefix_bits": 33},
+            {"suffix_bits": 0},
+            {"suffix_bits": 33},
+            {"cover_depth": 8},  # below prefix_bits
+            {"cover_depth": 64},
+        ],
+    )
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(ValueError):
+            GeodabConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = GeodabConfig()
+        with pytest.raises(AttributeError):
+            cfg.k = 3  # type: ignore[misc]
+
+
+class TestThresholdTranslation:
+    def test_cell_size_london(self):
+        width, height = GeodabConfig().cell_size_m(51.5)
+        assert width == pytest.approx(95.0, abs=5.0)
+        assert height == pytest.approx(76.0, abs=5.0)
+
+    def test_noise_threshold_matches_paper(self):
+        # Section VI-A2: k=6 at ~85 m per move -> ~510 m.
+        cfg = GeodabConfig()
+        assert cfg.noise_threshold_m(51.5) == pytest.approx(510.0, rel=0.05)
+
+    def test_guarantee_threshold_matches_paper(self):
+        # Section VI-A2: t=12 -> ~1020 m.
+        cfg = GeodabConfig()
+        assert cfg.guarantee_threshold_m(51.5) == pytest.approx(1020.0, rel=0.05)
+
+    def test_guarantee_at_least_noise_threshold(self):
+        cfg = GeodabConfig(k=4, t=9)
+        assert cfg.guarantee_threshold_m(40.0) >= cfg.noise_threshold_m(40.0)

@@ -1,0 +1,105 @@
+"""Tests for repro.core.fastpath: the O(n) streaming winnower."""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GeodabConfig
+from repro.core.fastpath import FastTrajectoryWinnower
+from repro.core.winnowing import TrajectoryWinnower
+from repro.geo.point import Point, destination
+
+LONDON = Point(51.5074, -0.1278)
+
+
+def random_walk(n, seed, step_lo=10.0, step_hi=200.0):
+    rng = Random(seed)
+    points = [LONDON]
+    bearing = rng.uniform(0.0, 360.0)
+    for _ in range(n):
+        bearing += rng.uniform(-45.0, 45.0)
+        points.append(destination(points[-1], bearing % 360.0, rng.uniform(step_lo, step_hi)))
+    return points
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k,t", [(2, 2), (3, 5), (4, 9), (6, 12)])
+    def test_identical_to_reference(self, k, t):
+        config = GeodabConfig(k=k, t=t, suffix_hash="polynomial")
+        slow = TrajectoryWinnower(config)
+        fast = FastTrajectoryWinnower(config)
+        for seed in range(20):
+            points = random_walk(50, seed)
+            assert fast.select(points) == slow.select(points), (k, t, seed)
+
+    @given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40)
+    def test_identical_on_random_walks(self, n, seed):
+        config = GeodabConfig(k=3, t=6, suffix_hash="polynomial")
+        slow = TrajectoryWinnower(config)
+        fast = FastTrajectoryWinnower(config)
+        points = random_walk(n, seed)
+        assert fast.select(points) == slow.select(points)
+
+    def test_fingerprints_helper(self):
+        config = GeodabConfig(k=3, t=6, suffix_hash="polynomial")
+        fast = FastTrajectoryWinnower(config)
+        points = random_walk(40, 1)
+        assert fast.fingerprints(points) == [
+            s.fingerprint for s in fast.select(points)
+        ]
+
+
+class TestEdgeCases:
+    CONFIG = GeodabConfig(k=3, t=6, suffix_hash="polynomial")
+
+    def test_empty(self):
+        assert FastTrajectoryWinnower(self.CONFIG).select([]) == []
+
+    def test_below_noise_threshold(self):
+        fast = FastTrajectoryWinnower(self.CONFIG)
+        assert fast.select(random_walk(1, 0)) == []
+
+    def test_duplicate_points_collapse(self):
+        fast = FastTrajectoryWinnower(self.CONFIG)
+        points = random_walk(30, 2)
+        doubled = [p for p in points for _ in range(2)]
+        assert fast.select(points) == fast.select(doubled)
+
+    def test_short_stream_single_selection(self):
+        # More than k cells but fewer k-grams than the winnow window.
+        config = GeodabConfig(k=3, t=20, suffix_hash="polynomial")
+        slow = TrajectoryWinnower(config)
+        fast = FastTrajectoryWinnower(config)
+        points = random_walk(6, 3, step_lo=150.0, step_hi=250.0)
+        assert fast.select(points) == slow.select(points)
+        assert len(fast.select(points)) <= 1
+
+    def test_requires_polynomial_suffix(self):
+        with pytest.raises(ValueError):
+            FastTrajectoryWinnower(GeodabConfig(suffix_hash="chain"))
+
+    def test_default_construction(self):
+        fast = FastTrajectoryWinnower()
+        assert fast.config.suffix_hash == "polynomial"
+
+
+class TestSuffixFamilies:
+    def test_chain_and_polynomial_differ(self):
+        points = random_walk(40, 5)
+        chain = TrajectoryWinnower(GeodabConfig(k=3, t=6, suffix_hash="chain"))
+        poly = TrajectoryWinnower(GeodabConfig(k=3, t=6, suffix_hash="polynomial"))
+        assert chain.fingerprints(points) != poly.fingerprints(points)
+
+    def test_polynomial_suffix_is_order_sensitive(self):
+        poly = TrajectoryWinnower(GeodabConfig(k=3, t=6, suffix_hash="polynomial"))
+        points = random_walk(40, 6)
+        forward = set(poly.fingerprints(points))
+        backward = set(poly.fingerprints(list(reversed(points))))
+        assert forward and not (forward & backward)
+
+    def test_invalid_family_rejected(self):
+        with pytest.raises(ValueError):
+            GeodabConfig(suffix_hash="md5")

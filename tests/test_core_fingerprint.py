@@ -1,0 +1,88 @@
+"""Tests for repro.core.fingerprint: FingerprintSet and Fingerprinter."""
+
+import pytest
+
+from repro.bitmap.roaring import Roaring64Map, RoaringBitmap
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import Fingerprinter, FingerprintSet
+from repro.core.winnowing import Selection
+from repro.geo.point import Point, destination
+
+LONDON = Point(51.5074, -0.1278)
+
+
+def walk_points(n, step_m=90.0, bearing=45.0):
+    out = [LONDON]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, step_m))
+    return out
+
+
+class TestFingerprintSet:
+    def test_from_selections_narrow(self):
+        selections = [Selection(5, 0), Selection(9, 3), Selection(5, 7)]
+        fs = FingerprintSet.from_selections(selections, wide=False)
+        assert isinstance(fs.bitmap, RoaringBitmap)
+        assert len(fs) == 2  # distinct values
+        assert fs.values == [5, 9, 5]
+        assert fs.positions == [0, 3, 7]
+        assert 5 in fs and 9 in fs and 7 not in fs
+
+    def test_from_selections_wide(self):
+        selections = [Selection(2**40, 0)]
+        fs = FingerprintSet.from_selections(selections, wide=True)
+        assert isinstance(fs.bitmap, Roaring64Map)
+        assert 2**40 in fs
+
+    def test_jaccard_between_sets(self):
+        a = FingerprintSet.from_selections(
+            [Selection(1, 0), Selection(2, 1)], wide=False
+        )
+        b = FingerprintSet.from_selections(
+            [Selection(2, 0), Selection(3, 1)], wide=False
+        )
+        assert a.jaccard(b) == pytest.approx(1 / 3)
+        assert a.jaccard_distance(b) == pytest.approx(2 / 3)
+        assert a.intersection_cardinality(b) == 1
+
+    def test_empty_set(self):
+        fs = FingerprintSet.from_selections([], wide=False)
+        assert len(fs) == 0
+        assert fs.values == []
+
+
+class TestFingerprinter:
+    def test_default_config_is_narrow(self):
+        fp = Fingerprinter()
+        out = fp.fingerprint(walk_points(30))
+        assert isinstance(out.bitmap, RoaringBitmap)
+        assert len(out) > 0
+
+    def test_wide_layout_uses_64_bit_bitmap(self):
+        fp = Fingerprinter(GeodabConfig(prefix_bits=20, suffix_bits=20))
+        out = fp.fingerprint(walk_points(30))
+        assert isinstance(out.bitmap, Roaring64Map)
+
+    def test_same_trajectory_same_fingerprints(self):
+        fp = Fingerprinter(GeodabConfig(k=3, t=5))
+        points = walk_points(25)
+        assert fp.fingerprint(points).values == fp.fingerprint(points).values
+
+    def test_fingerprint_many(self):
+        fp = Fingerprinter(GeodabConfig(k=3, t=5))
+        batch = fp.fingerprint_many([walk_points(20), walk_points(25)])
+        assert len(batch) == 2
+        assert all(len(b) > 0 for b in batch)
+
+    def test_scheme_passthrough(self):
+        from repro.core.geodab import GeodabScheme
+
+        scheme = GeodabScheme(GeodabConfig(k=3, t=4))
+        fp = Fingerprinter(scheme)
+        assert fp.scheme is scheme
+        assert fp.config.k == 3
+
+    def test_short_trajectory_empty_fingerprints(self):
+        fp = Fingerprinter()
+        out = fp.fingerprint([LONDON])
+        assert len(out) == 0

@@ -1,0 +1,126 @@
+"""Tests for repro.core.geodab: the geodab construction (paper Figure 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import GeodabConfig
+from repro.core.geodab import GeodabScheme
+from repro.geo.geohash import Geohash, encode
+from repro.geo.point import Point, destination
+
+from .conftest import city_points
+
+LONDON = Point(51.5074, -0.1278)
+
+
+def kgram(n=6, step_m=90.0, bearing=45.0, start=LONDON):
+    """A k-gram of points walking in a fixed direction."""
+    out = [start]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, step_m))
+    return out
+
+
+class TestConstruction:
+    def test_geodab_width(self):
+        scheme = GeodabScheme(GeodabConfig())
+        g = scheme.geodab(kgram())
+        assert 0 <= g < (1 << 32)
+
+    def test_deterministic(self):
+        scheme = GeodabScheme()
+        points = kgram()
+        assert scheme.geodab(points) == scheme.geodab(points)
+
+    def test_empty_kgram_raises(self):
+        with pytest.raises(ValueError):
+            GeodabScheme().geodab([])
+
+    def test_prefix_matches_cover(self):
+        scheme = GeodabScheme()
+        points = kgram(step_m=30.0)
+        g = scheme.geodab(points)
+        prefix = scheme.prefix_of(g)
+        # Every point must be inside (or on the boundary cell of) the
+        # 16-bit prefix cell.
+        cell = Geohash(prefix, 16)
+        assert all(cell.contains_point(p) for p in points)
+
+    def test_direction_sensitivity(self):
+        # The core geodab property: a path and its reverse differ.
+        scheme = GeodabScheme()
+        points = kgram()
+        forward = scheme.geodab(points)
+        backward = scheme.geodab(list(reversed(points)))
+        assert forward != backward
+        # But they share the geohash prefix (same covered area).
+        assert scheme.prefix_of(forward) == scheme.prefix_of(backward)
+
+    def test_path_sensitivity(self):
+        # Same endpoints, different middle -> different geodab.
+        scheme = GeodabScheme()
+        a = kgram()
+        b = list(a)
+        b[2] = destination(a[2], 90.0, 500.0)
+        assert scheme.geodab(a) != scheme.geodab(b)
+
+    def test_seed_changes_suffix_not_prefix(self):
+        points = kgram()
+        s0 = GeodabScheme(GeodabConfig(hash_seed=0))
+        s1 = GeodabScheme(GeodabConfig(hash_seed=1))
+        g0, g1 = s0.geodab(points), s1.geodab(points)
+        assert s0.prefix_of(g0) == s1.prefix_of(g1)
+        assert s0.suffix_of(g0) != s1.suffix_of(g1)
+
+
+class TestDecomposition:
+    def test_prefix_suffix_recompose(self):
+        cfg = GeodabConfig(prefix_bits=12, suffix_bits=20)
+        scheme = GeodabScheme(cfg)
+        g = scheme.geodab(kgram())
+        assert (scheme.prefix_of(g) << 20) | scheme.suffix_of(g) == g
+        assert 0 <= scheme.prefix_of(g) < (1 << 12)
+        assert 0 <= scheme.suffix_of(g) < (1 << 20)
+
+    def test_prefix_cell_depth(self):
+        scheme = GeodabScheme()
+        cell = scheme.prefix_cell(scheme.geodab(kgram()))
+        assert cell.depth == 16
+
+    @given(st.lists(city_points(), min_size=2, max_size=8))
+    def test_prefix_is_cover_aligned(self, points):
+        scheme = GeodabScheme()
+        g = scheme.geodab(points)
+        prefix = scheme.prefix_of(g)
+        deep = [encode(p, scheme.config.cover_depth) for p in points]
+        diff = 0
+        for d in deep:
+            diff |= d ^ deep[0]
+        cover_depth = scheme.config.cover_depth - diff.bit_length()
+        if cover_depth >= 16:
+            assert prefix == deep[0] >> (scheme.config.cover_depth - 16)
+        else:
+            # Shallow covers extend with zeros to the subtree start.
+            cover = deep[0] >> (scheme.config.cover_depth - cover_depth) if cover_depth else 0
+            assert prefix == cover << (16 - cover_depth)
+
+
+class TestCells:
+    def test_cell_of_matches_direct_encoding(self):
+        scheme = GeodabScheme()
+        assert scheme.cell_of(LONDON) == encode(LONDON, 36)
+
+    def test_cell_of_deep_consistency(self):
+        scheme = GeodabScheme()
+        deep = scheme.deep_encode(LONDON)
+        assert scheme.cell_of_deep(deep) == encode(LONDON, 36)
+
+    def test_normalization_deeper_than_cover(self):
+        # Degenerate but legal: normalization below cover depth.
+        cfg = GeodabConfig(normalization_depth=50, cover_depth=48)
+        scheme = GeodabScheme(cfg)
+        assert scheme.cell_of(LONDON) == encode(LONDON, 50)
+        # The geodab still assembles without error.
+        g = scheme.geodab(kgram())
+        assert g >= 0

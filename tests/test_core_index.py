@@ -1,0 +1,205 @@
+"""Tests for repro.core.index: inverted indexing and ranked retrieval."""
+
+import pytest
+
+from repro.core.baseline import GeohashIndex
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex, SearchResult
+from repro.geo.point import Point, destination
+from repro.normalize import GridNormalizer
+
+LONDON = Point(51.5074, -0.1278)
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+def walk_points(n, step_m=90.0, bearing=45.0, start=LONDON):
+    out = [start]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, step_m))
+    return out
+
+
+@pytest.fixture()
+def index():
+    idx = GeodabIndex(CONFIG)
+    idx.add("east", walk_points(30, bearing=90.0))
+    idx.add("west", list(reversed(walk_points(30, bearing=90.0))))
+    idx.add("north", walk_points(30, bearing=0.0))
+    return idx
+
+
+class TestIndexing:
+    def test_len_and_contains(self, index):
+        assert len(index) == 3
+        assert "east" in index
+        assert "missing" not in index
+
+    def test_duplicate_id_rejected(self, index):
+        with pytest.raises(KeyError):
+            index.add("east", walk_points(10))
+
+    def test_add_many(self):
+        idx = GeodabIndex(CONFIG)
+        idx.add_many(
+            [("a", walk_points(20)), ("b", walk_points(20, bearing=135.0))]
+        )
+        assert len(idx) == 2
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats.trajectories == 3
+        assert stats.terms > 0
+        assert stats.postings >= stats.terms
+        assert stats.mean_postings_length >= 1.0
+
+    def test_remove(self, index):
+        index.remove("east")
+        assert len(index) == 2
+        assert "east" not in index
+        results = index.query(walk_points(30, bearing=90.0))
+        assert all(r.trajectory_id != "east" for r in results)
+
+    def test_remove_missing_raises(self, index):
+        with pytest.raises(KeyError):
+            index.remove("missing")
+
+    def test_fingerprint_set_access(self, index):
+        fs = index.fingerprint_set("east")
+        assert len(fs) > 0
+
+    def test_store_points(self):
+        idx = GeodabIndex(CONFIG, store_points=True)
+        points = walk_points(10)
+        idx.add("a", points)
+        assert idx.points_of("a") == points
+
+    def test_points_of_requires_flag(self, index):
+        with pytest.raises(RuntimeError):
+            index.points_of("east")
+
+
+class TestQuerying:
+    def test_exact_match_is_top_with_zero_distance(self, index):
+        results = index.query(walk_points(30, bearing=90.0))
+        assert results[0].trajectory_id == "east"
+        assert results[0].distance == pytest.approx(0.0)
+        assert results[0].jaccard == pytest.approx(1.0)
+
+    def test_reverse_is_not_a_candidate(self, index):
+        # Direction discrimination: the reversed trajectory shares no
+        # geodab with the query, so it is not even retrieved.
+        results = index.query(walk_points(30, bearing=90.0))
+        ids = [r.trajectory_id for r in results]
+        assert "west" not in ids
+
+    def test_results_sorted_by_distance(self, index):
+        results = index.query(walk_points(30, bearing=90.0))
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_limit(self, index):
+        results = index.query(walk_points(30, bearing=90.0), limit=1)
+        assert len(results) == 1
+
+    def test_max_distance_filter(self, index):
+        all_results = index.query(walk_points(30, bearing=90.0))
+        strict = index.query(walk_points(30, bearing=90.0), max_distance=0.0)
+        assert len(strict) <= len(all_results)
+        assert all(r.distance == 0.0 for r in strict)
+
+    def test_no_match_returns_empty(self, index):
+        far = walk_points(30, start=Point(40.0, 2.0))
+        assert index.query(far) == []
+
+    def test_query_with_stats(self, index):
+        results, stats = index.query_with_stats(walk_points(30, bearing=90.0))
+        assert stats.query_terms > 0
+        assert stats.candidates >= len(results)
+        assert stats.returned == len(results)
+
+    def test_candidates(self, index):
+        candidates = index.candidates(walk_points(30, bearing=90.0))
+        assert "east" in candidates
+        assert "west" not in candidates
+
+    def test_normalizer_applied_to_both_sides(self):
+        norm = GridNormalizer(36)
+        idx = GeodabIndex(CONFIG, normalizer=norm)
+        points = walk_points(30)
+        idx.add("a", points)
+        # Jittered query (sub-cell): normalization folds it to the same
+        # cell sequence, so the match is exact.
+        jittered = [destination(p, 10.0, 3.0) for p in points]
+        results = idx.query(jittered)
+        assert results and results[0].trajectory_id == "a"
+
+    def test_deterministic_tie_break(self):
+        idx = GeodabIndex(CONFIG)
+        points = walk_points(25)
+        idx.add("b", points)
+        idx.add("a", points)
+        results = idx.query(points)
+        assert [r.trajectory_id for r in results] == ["a", "b"]
+
+    def test_fingerprint_query_helper(self, index):
+        fs = index.fingerprint_query(walk_points(30, bearing=90.0))
+        assert len(fs) > 0
+
+
+class TestSearchResult:
+    def test_jaccard_complement(self):
+        r = SearchResult("x", 0.25, 3)
+        assert r.jaccard == pytest.approx(0.75)
+
+
+class TestGeohashBaseline:
+    def test_reverse_is_indistinguishable(self):
+        # The baseline's defining failure (Figures 12-13): a trajectory
+        # and its reverse have identical cell sets.
+        idx = GeohashIndex(depth=36)
+        points = walk_points(30, bearing=90.0)
+        idx.add("fwd", points)
+        idx.add("rev", list(reversed(points)))
+        results = idx.query(points)
+        assert len(results) == 2
+        assert results[0].distance == pytest.approx(results[1].distance)
+
+    def test_exact_match_zero_distance(self):
+        idx = GeohashIndex(depth=36)
+        points = walk_points(20)
+        idx.add("a", points)
+        assert idx.query(points)[0].distance == pytest.approx(0.0)
+
+    def test_depth_controls_discrimination(self):
+        # At a very coarse depth everything collapses into few cells.
+        coarse = GeohashIndex(depth=8)
+        fine = GeohashIndex(depth=36)
+        a = walk_points(20, bearing=90.0)
+        b = walk_points(20, bearing=0.0)
+        for idx in (coarse, fine):
+            idx.add("a", a)
+            idx.add("b", b)
+        coarse_results = coarse.query(a)
+        fine_results = fine.query(a)
+        coarse_b = [r for r in coarse_results if r.trajectory_id == "b"]
+        fine_b = [r for r in fine_results if r.trajectory_id == "b"]
+        if coarse_b and fine_b:
+            assert coarse_b[0].distance <= fine_b[0].distance
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            GeohashIndex(depth=0)
+
+    def test_narrow_depth_uses_32_bit_bitmaps(self):
+        idx = GeohashIndex(depth=30)
+        idx.add("a", walk_points(10))
+        from repro.bitmap.roaring import RoaringBitmap
+
+        assert isinstance(idx.term_set("a"), RoaringBitmap)
+
+    def test_wide_depth_uses_64_bit_bitmaps(self):
+        idx = GeohashIndex(depth=36)
+        idx.add("a", walk_points(10))
+        from repro.bitmap.roaring import Roaring64Map
+
+        assert isinstance(idx.term_set("a"), Roaring64Map)

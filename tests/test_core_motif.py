@@ -1,0 +1,112 @@
+"""Tests for repro.core.motif: fingerprint-window motif discovery."""
+
+import pytest
+
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import Fingerprinter
+from repro.core.motif import MotifMatch, discover_motif, find_common_motif
+from repro.core.winnowing import Selection
+from repro.core.fingerprint import FingerprintSet
+from repro.geo.point import Point, destination
+
+LONDON = Point(51.5074, -0.1278)
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+def walk_points(n, bearing=90.0, start=LONDON, step_m=90.0):
+    out = [start]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, step_m))
+    return out
+
+
+def _fingerprint_set(values_positions):
+    selections = [Selection(v, p) for v, p in values_positions]
+    return FingerprintSet.from_selections(selections, wide=False)
+
+
+class TestDiscoverMotif:
+    def test_identical_windows_zero_distance(self):
+        fp = _fingerprint_set([(10, 0), (20, 3), (30, 6)])
+        match = discover_motif(fp, fp, num_fingerprints=2, k=3)
+        assert match is not None
+        assert match.distance == pytest.approx(0.0)
+        assert match.jaccard == pytest.approx(1.0)
+
+    def test_finds_embedded_common_window(self):
+        a = _fingerprint_set([(1, 0), (2, 2), (3, 4), (4, 6)])
+        b = _fingerprint_set([(9, 0), (2, 1), (3, 3), (8, 5)])
+        match = discover_motif(a, b, num_fingerprints=2, k=3)
+        assert match is not None
+        # Best shared window is {2, 3}: positions 2..4 in a, 1..3 in b.
+        assert match.distance == pytest.approx(0.0)
+        assert match.window_i == (1, 3)
+        assert match.window_j == (1, 3)
+
+    def test_spans_cover_kgram_extent(self):
+        a = _fingerprint_set([(1, 0), (2, 5), (3, 9)])
+        match = discover_motif(a, a, num_fingerprints=3, k=4)
+        assert match is not None
+        # Span: first selection position to last position + k.
+        assert match.span_i == (0, 13)
+
+    def test_too_few_selections_returns_none(self):
+        a = _fingerprint_set([(1, 0)])
+        b = _fingerprint_set([(1, 0), (2, 1), (3, 2)])
+        assert discover_motif(a, b, num_fingerprints=2, k=3) is None
+
+    def test_invalid_window_raises(self):
+        a = _fingerprint_set([(1, 0)])
+        with pytest.raises(ValueError):
+            discover_motif(a, a, num_fingerprints=0, k=3)
+
+    def test_disjoint_sets_distance_one(self):
+        a = _fingerprint_set([(1, 0), (2, 1)])
+        b = _fingerprint_set([(8, 0), (9, 1)])
+        match = discover_motif(a, b, num_fingerprints=2, k=3)
+        assert match is not None
+        assert match.distance == pytest.approx(1.0)
+
+    def test_earliest_tie_wins(self):
+        a = _fingerprint_set([(1, 0), (1, 1), (1, 2)])
+        match = discover_motif(a, a, num_fingerprints=1, k=3)
+        assert match is not None
+        assert match.window_i == (0, 1)
+        assert match.window_j == (0, 1)
+
+
+class TestFindCommonMotif:
+    def test_shared_segment_is_found(self):
+        # Two L-shaped trajectories sharing a long east-west leg.
+        shared = walk_points(25, bearing=90.0)
+        a = walk_points(10, bearing=0.0, start=shared[0])[::-1] + shared
+        b = shared + walk_points(10, bearing=180.0, start=shared[-1])
+        match = find_common_motif(a, b, length_m=900.0, fingerprinter=CONFIG)
+        assert match is not None
+        assert match.distance < 1.0  # some overlap found
+        assert match.jaccard > 0.0
+
+    def test_no_fingerprints_returns_none(self):
+        a = [LONDON]
+        b = walk_points(30)
+        assert find_common_motif(a, b, length_m=500.0, fingerprinter=CONFIG) is None
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            find_common_motif(walk_points(5), walk_points(5), length_m=0.0)
+
+    def test_accepts_fingerprinter_instance(self):
+        fp = Fingerprinter(CONFIG)
+        shared = walk_points(20)
+        match = find_common_motif(shared, shared, length_m=600.0, fingerprinter=fp)
+        assert match is not None
+        assert match.distance == pytest.approx(0.0)
+
+    def test_window_scales_with_length(self):
+        shared = walk_points(40)
+        short = find_common_motif(shared, shared, length_m=400.0, fingerprinter=CONFIG)
+        long = find_common_motif(shared, shared, length_m=2_000.0, fingerprinter=CONFIG)
+        assert short is not None and long is not None
+        short_width = short.window_i[1] - short.window_i[0]
+        long_width = long.window_i[1] - long.window_i[0]
+        assert long_width >= short_width

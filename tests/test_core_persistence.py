@@ -1,0 +1,106 @@
+"""Tests for repro.core.persistence: index save/load."""
+
+import json
+
+import pytest
+
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.persistence import load_index, save_index
+from repro.geo.point import Point, destination
+from repro.normalize import standard_normalizer
+
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+def walk_points(n, bearing=90.0):
+    out = [Point(51.5074, -0.1278)]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, 90.0))
+    return out
+
+
+@pytest.fixture()
+def populated_index():
+    index = GeodabIndex(CONFIG)
+    index.add("east", walk_points(30, bearing=90.0))
+    index.add("north", walk_points(30, bearing=0.0))
+    index.add("diag", walk_points(30, bearing=45.0))
+    return index
+
+
+class TestRoundTrip:
+    def test_query_results_identical(self, populated_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(populated_index, path)
+        loaded = load_index(path)
+        for bearing in (90.0, 0.0, 45.0):
+            query = walk_points(30, bearing=bearing)
+            original = populated_index.query(query)
+            restored = loaded.query(query)
+            assert [(r.trajectory_id, r.distance) for r in original] == [
+                (r.trajectory_id, r.distance) for r in restored
+            ]
+
+    def test_config_round_trips(self, populated_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(populated_index, path)
+        loaded = load_index(path)
+        assert loaded.config == CONFIG
+
+    def test_fingerprint_sets_survive(self, populated_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(populated_index, path)
+        loaded = load_index(path)
+        original = populated_index.fingerprint_set("east")
+        restored = loaded.fingerprint_set("east")
+        assert original.selections == restored.selections
+
+    def test_stats_preserved(self, populated_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(populated_index, path)
+        loaded = load_index(path)
+        assert loaded.stats() == populated_index.stats()
+
+    def test_normalizer_reattached(self, tmp_path):
+        norm = standard_normalizer()
+        index = GeodabIndex(GeodabConfig(), normalizer=norm)
+        points = walk_points(100)
+        index.add("a", points)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path, normalizer=norm)
+        jittered = [destination(p, 10.0, 3.0) for p in points]
+        results = loaded.query(jittered)
+        assert results and results[0].trajectory_id == "a"
+
+    def test_empty_index(self, tmp_path):
+        index = GeodabIndex(CONFIG)
+        path = tmp_path / "empty.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == 0
+
+
+class TestValidation:
+    def test_non_string_ids_rejected(self, tmp_path):
+        index = GeodabIndex(CONFIG)
+        index.add(42, walk_points(20))
+        with pytest.raises(ValueError):
+            save_index(index, tmp_path / "bad.json")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_index(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "versioned.json"
+        path.write_text(
+            json.dumps(
+                {"format": "repro-geodab-index", "version": 999, "documents": []}
+            )
+        )
+        with pytest.raises(ValueError):
+            load_index(path)

@@ -1,0 +1,136 @@
+"""Tests for repro.core.subsearch: containment / sub-trajectory search."""
+
+import pytest
+
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.subsearch import (
+    _lcs_length,
+    containment_search,
+    ordered_containment_search,
+)
+from repro.geo.point import Point, destination
+
+CONFIG = GeodabConfig(k=3, t=5)
+LONDON = Point(51.5074, -0.1278)
+
+
+def walk(start, bearing, n, step_m=90.0):
+    points = [start]
+    for _ in range(n - 1):
+        points.append(destination(points[-1], bearing, step_m))
+    return points
+
+
+@pytest.fixture()
+def index():
+    idx = GeodabIndex(CONFIG)
+    long_east = walk(LONDON, 90.0, 60)
+    idx.add("long-east", long_east)
+    idx.add("long-west", list(reversed(long_east)))
+    idx.add("north", walk(LONDON, 0.0, 60))
+    # A trajectory visiting the query's middle region via a detour: it
+    # passes the same cells but interleaved with a northern excursion.
+    detour = long_east[:20] + walk(long_east[20], 0.0, 15) + long_east[20:40]
+    idx.add("detour", detour)
+    return idx
+
+
+class TestLcs:
+    def test_empty(self):
+        assert _lcs_length([], [1, 2]) == 0
+        assert _lcs_length([1], []) == 0
+
+    def test_identical(self):
+        assert _lcs_length([1, 2, 3], [1, 2, 3]) == 3
+
+    def test_subsequence(self):
+        assert _lcs_length([2, 4], [1, 2, 3, 4, 5]) == 2
+
+    def test_reversal(self):
+        assert _lcs_length([1, 2, 3, 4], [4, 3, 2, 1]) == 1
+
+    def test_classic_case(self):
+        assert _lcs_length(list("AGCAT"), list("GAC")) == 2
+
+
+class TestContainmentSearch:
+    def test_sub_trajectory_fully_contained(self, index):
+        # The middle third of the long eastbound trajectory.  Both
+        # "long-east" and "detour" genuinely contain it (the detour ends
+        # with the same segment).
+        query = walk(LONDON, 90.0, 60)[20:40]
+        matches = containment_search(index, query)
+        assert matches
+        by_id = {m.trajectory_id: m for m in matches}
+        assert by_id["long-east"].containment > 0.7
+        assert matches[0].trajectory_id in ("long-east", "detour")
+
+    def test_whole_trajectory_query(self, index):
+        query = walk(LONDON, 90.0, 60)
+        matches = containment_search(index, query)
+        assert matches[0].trajectory_id == "long-east"
+        assert matches[0].containment == pytest.approx(1.0)
+
+    def test_direction_matters(self, index):
+        query = walk(LONDON, 90.0, 60)[20:40]
+        matches = containment_search(index, query)
+        ids = [m.trajectory_id for m in matches]
+        assert "long-west" not in ids
+
+    def test_min_containment_filters(self, index):
+        query = walk(LONDON, 90.0, 60)[20:40]
+        all_matches = containment_search(index, query)
+        strict = containment_search(index, query, min_containment=0.9)
+        assert len(strict) <= len(all_matches)
+        assert all(m.containment >= 0.9 for m in strict)
+
+    def test_limit(self, index):
+        query = walk(LONDON, 90.0, 60)
+        assert len(containment_search(index, query, limit=1)) == 1
+
+    def test_empty_query(self, index):
+        assert containment_search(index, []) == []
+
+    def test_invalid_threshold(self, index):
+        with pytest.raises(ValueError):
+            containment_search(index, [], min_containment=1.5)
+
+    def test_unrelated_query(self, index):
+        query = walk(Point(48.85, 2.35), 90.0, 30)
+        assert containment_search(index, query) == []
+
+
+class TestOrderedContainmentSearch:
+    def test_contained_query_scores_high(self, index):
+        query = walk(LONDON, 90.0, 60)[20:40]
+        matches = ordered_containment_search(index, query)
+        by_id = {m.trajectory_id: m for m in matches}
+        assert by_id["long-east"].ordered_containment > 0.7
+        assert matches[0].trajectory_id in ("long-east", "detour")
+
+    def test_ordered_score_never_exceeds_containment(self, index):
+        query = walk(LONDON, 90.0, 60)[10:50]
+        for match in ordered_containment_search(index, query):
+            assert match.ordered_containment <= match.containment + 1e-9
+
+    def test_detour_ranks_below_true_containment(self, index):
+        query = walk(LONDON, 90.0, 60)[5:40]
+        matches = ordered_containment_search(index, query)
+        by_id = {m.trajectory_id: m for m in matches}
+        assert "long-east" in by_id
+        if "detour" in by_id:
+            assert (
+                by_id["long-east"].ordered_containment
+                >= by_id["detour"].ordered_containment
+            )
+
+    def test_results_sorted(self, index):
+        query = walk(LONDON, 90.0, 60)
+        matches = ordered_containment_search(index, query)
+        scores = [m.ordered_containment for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_threshold(self, index):
+        with pytest.raises(ValueError):
+            ordered_containment_search(index, [], min_containment=-0.1)

@@ -1,0 +1,152 @@
+"""Tests for repro.core.winnowing: Algorithm 1 and its guarantees."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import GeodabConfig
+from repro.core.winnowing import Selection, TrajectoryWinnower, winnow, winnow_positions
+from repro.geo.point import Point, destination
+
+LONDON = Point(51.5074, -0.1278)
+
+
+def walk_points(n, step_m=90.0, bearing=45.0, start=LONDON):
+    out = [start]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, step_m))
+    return out
+
+
+class TestWinnow:
+    def test_empty(self):
+        assert winnow([], 4) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            winnow([1, 2], 0)
+
+    def test_shorter_than_window_selects_single_minimum(self):
+        out = winnow([5, 1, 3], 7)
+        assert out == [Selection(1, 1)]
+
+    def test_shorter_than_window_rightmost_tie(self):
+        out = winnow([2, 2], 7)
+        assert out == [Selection(2, 1)]
+
+    def test_basic_selection(self):
+        # Windows of 3 over [9, 4, 7, 5, 3, 8]:
+        # [9,4,7]->4@1, [4,7,5]->4@1, [7,5,3]->3@4, [5,3,8]->3@4.
+        out = winnow([9, 4, 7, 5, 3, 8], 3)
+        assert out == [Selection(4, 1), Selection(3, 4)]
+
+    def test_rightmost_minimum_on_ties(self):
+        # All equal: each window selects its rightmost element.
+        out = winnow([7, 7, 7, 7], 2)
+        assert [s.position for s in out] == [1, 2, 3]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_every_window_is_covered(self, hashes, window):
+        # Winnowing guarantee: each full window contains >= 1 selection.
+        selections = winnow(hashes, window)
+        positions = sorted(s.position for s in selections)
+        if len(hashes) < window:
+            assert len(selections) == 1
+            return
+        for start in range(len(hashes) - window + 1):
+            assert any(start <= p < start + window for p in positions)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_selections_are_window_minima(self, hashes, window):
+        for s in winnow(hashes, window):
+            assert hashes[s.position] == s.fingerprint
+            if len(hashes) < window:
+                assert s.fingerprint == min(hashes)
+                continue
+            # The selection must be the minimum of at least one window
+            # that contains its position.
+            starts = range(
+                max(0, s.position - window + 1),
+                min(s.position, len(hashes) - window) + 1,
+            )
+            assert any(
+                s.fingerprint == min(hashes[w : w + window]) for w in starts
+            )
+
+    def test_positions_helper(self):
+        assert winnow_positions([9, 4, 7, 5, 3, 8], 3) == [1, 4]
+
+
+class TestTrajectoryWinnower:
+    CONFIG = GeodabConfig(k=3, t=5)
+
+    def test_kgram_count(self):
+        w = TrajectoryWinnower(self.CONFIG)
+        points = walk_points(12)
+        cells = len(points)  # 90 m steps at 45 degrees: one cell per point
+        grams = w.kgram_geodabs(points)
+        # Number of k-grams = distinct cells - k + 1 (cells may merge).
+        assert 1 <= len(grams) <= cells - self.CONFIG.k + 1
+
+    def test_below_noise_threshold_no_fingerprints(self):
+        w = TrajectoryWinnower(self.CONFIG)
+        assert w.kgram_geodabs(walk_points(2)) == []
+        assert w.select(walk_points(2)) == []
+        assert w.fingerprints([]) == []
+
+    def test_duplicate_cells_are_collapsed(self):
+        w = TrajectoryWinnower(self.CONFIG)
+        points = walk_points(10)
+        doubled = [p for p in points for _ in range(3)]
+        assert w.kgram_geodabs(points) == w.kgram_geodabs(doubled)
+
+    def test_winnowing_guarantee_on_shared_subpath(self):
+        # Two trajectories sharing a long sub-path (longer than t cells)
+        # must share at least one fingerprint.
+        w = TrajectoryWinnower(self.CONFIG)
+        shared = walk_points(20, bearing=90.0)
+        a = walk_points(4, bearing=0.0, start=shared[0])[::-1] + shared
+        b = shared + walk_points(4, bearing=180.0, start=shared[-1])
+        fp_a = set(w.fingerprints(a))
+        fp_b = set(w.fingerprints(b))
+        assert fp_a & fp_b
+
+    def test_direction_discrimination(self):
+        w = TrajectoryWinnower(self.CONFIG)
+        points = walk_points(20)
+        forward = set(w.fingerprints(points))
+        backward = set(w.fingerprints(list(reversed(points))))
+        assert forward and backward
+        assert not (forward & backward)
+
+    def test_selection_positions_increasing(self):
+        w = TrajectoryWinnower(self.CONFIG)
+        selections = w.select(walk_points(30))
+        positions = [s.position for s in selections]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_fingerprint_density(self):
+        w = TrajectoryWinnower(self.CONFIG)
+        points = walk_points(30)
+        density = w.fingerprint_density(points, 2_000.0)
+        assert density > 0.0
+        assert w.fingerprint_density(points, 0.0) == 0.0
+
+    def test_accepts_config_or_scheme(self):
+        from repro.core.geodab import GeodabScheme
+
+        by_config = TrajectoryWinnower(self.CONFIG)
+        by_scheme = TrajectoryWinnower(GeodabScheme(self.CONFIG))
+        points = walk_points(15)
+        assert by_config.fingerprints(points) == by_scheme.fingerprints(points)
+
+    def test_default_construction(self):
+        w = TrajectoryWinnower()
+        assert w.config.k == 6

@@ -1,0 +1,101 @@
+"""Tests for repro.distance.dtw: dynamic time warping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.dtw import dtw, dtw_banded, dtw_reference
+from repro.geo.point import Point, haversine
+
+from .conftest import city_points
+
+
+def short_trajectories(min_size=1, max_size=6):
+    return st.lists(city_points(), min_size=min_size, max_size=max_size)
+
+
+def _line(n, lat0=51.50, lon=-0.12, step=1e-4):
+    return [Point(lat0 + i * step, lon) for i in range(n)]
+
+
+class TestDtw:
+    def test_identical_trajectories_zero(self):
+        t = _line(10)
+        assert dtw(t, t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_points(self):
+        p = [Point(51.5, -0.12)]
+        q = [Point(51.6, -0.12)]
+        assert dtw(p, q) == pytest.approx(haversine(p[0], q[0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dtw([], _line(3))
+        with pytest.raises(ValueError):
+            dtw(_line(3), [])
+
+    def test_known_parallel_lines(self):
+        # Two parallel 3-point lines offset by a constant: DTW aligns
+        # 1:1 and sums the three per-pair offsets.
+        p = _line(3)
+        q = [Point(pt.lat, pt.lon + 1e-4) for pt in p]
+        expected = sum(haversine(a, b) for a, b in zip(p, q))
+        assert dtw(p, q) == pytest.approx(expected, rel=1e-4)
+
+    def test_time_shift_tolerance(self):
+        # DTW absorbs a resampling difference cheaply, unlike a lockstep
+        # sum of distances.
+        p = _line(10)
+        q = _line(19, step=5e-5)  # same path, double sampling rate
+        assert dtw(p, q) < dtw(p, _line(10, lon=-0.119))
+
+    @given(short_trajectories(), short_trajectories())
+    def test_matches_reference_recursion(self, p, q):
+        assert dtw(p, q) == pytest.approx(dtw_reference(p, q), rel=1e-9, abs=1e-6)
+
+    @given(short_trajectories(max_size=5), short_trajectories(max_size=5))
+    def test_symmetry(self, p, q):
+        assert dtw(p, q) == pytest.approx(dtw(q, p), rel=1e-9, abs=1e-6)
+
+    @given(short_trajectories())
+    def test_self_distance_zero(self, p):
+        assert dtw(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    def test_non_negative(self):
+        assert dtw(_line(5), _line(7, lon=-0.13)) >= 0.0
+
+
+class TestDtwBanded:
+    def test_full_band_equals_dtw(self):
+        p = _line(8)
+        q = _line(10, lon=-0.121)
+        assert dtw_banded(p, q, band=10) == pytest.approx(dtw(p, q))
+
+    def test_band_zero_is_diagonal(self):
+        p = _line(5)
+        q = [Point(pt.lat, pt.lon + 1e-4) for pt in p]
+        expected = sum(haversine(a, b) for a, b in zip(p, q))
+        assert dtw_banded(p, q, band=0) == pytest.approx(expected, rel=1e-9)
+
+    def test_band_is_upper_bounded_by_unconstrained(self):
+        p = _line(12)
+        q = _line(9, lon=-0.1205)
+        assert dtw_banded(p, q, band=2) >= dtw(p, q) - 1e-9
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ValueError):
+            dtw_banded(_line(3), _line(3), band=-1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dtw_banded([], _line(3), band=1)
+
+    @given(
+        short_trajectories(min_size=2, max_size=6),
+        short_trajectories(min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_band_monotonically_improves(self, p, q, band):
+        wide = dtw_banded(p, q, band=band + 2)
+        narrow = dtw_banded(p, q, band=band)
+        assert wide <= narrow + 1e-9

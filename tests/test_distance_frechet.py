@@ -1,0 +1,116 @@
+"""Tests for repro.distance.frechet: discrete Frechet distance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.frechet import (
+    discrete_frechet,
+    discrete_frechet_matrix,
+    frechet_reference,
+    greedy_frechet_upper_bound,
+)
+from repro.distance.haversine import pairwise_ground_distance
+from repro.geo.point import Point, haversine
+
+from .conftest import city_points
+
+
+def short_trajectories(min_size=1, max_size=6):
+    return st.lists(city_points(), min_size=min_size, max_size=max_size)
+
+
+def _line(n, lat0=51.50, lon=-0.12, step=1e-4):
+    return [Point(lat0 + i * step, lon) for i in range(n)]
+
+
+class TestDiscreteFrechet:
+    def test_identical_is_zero(self):
+        t = _line(8)
+        assert discrete_frechet(t, t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_points(self):
+        p = [Point(51.5, -0.12)]
+        q = [Point(51.55, -0.12)]
+        assert discrete_frechet(p, q) == pytest.approx(haversine(p[0], q[0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            discrete_frechet([], _line(3))
+        with pytest.raises(ValueError):
+            discrete_frechet(_line(3), [])
+
+    def test_parallel_lines_is_offset(self):
+        # DFD of two parallel lines is the constant offset (the leash
+        # never needs to stretch further).
+        p = _line(6)
+        q = [Point(pt.lat, pt.lon + 2e-4) for pt in p]
+        assert discrete_frechet(p, q) == pytest.approx(
+            haversine(p[0], q[0]), rel=1e-6
+        )
+
+    def test_endpoint_anchoring(self):
+        # DFD couples endpoints, so a reversed trajectory is far.
+        p = _line(10)
+        assert discrete_frechet(p, list(reversed(p))) == pytest.approx(
+            haversine(p[0], p[-1]), rel=1e-6
+        )
+
+    @given(short_trajectories(), short_trajectories())
+    def test_matches_reference_recursion(self, p, q):
+        assert discrete_frechet(p, q) == pytest.approx(
+            frechet_reference(p, q), rel=1e-9, abs=1e-6
+        )
+
+    @given(short_trajectories(max_size=5), short_trajectories(max_size=5))
+    def test_symmetry(self, p, q):
+        assert discrete_frechet(p, q) == pytest.approx(
+            discrete_frechet(q, p), rel=1e-9, abs=1e-6
+        )
+
+    @given(short_trajectories(min_size=2), short_trajectories(min_size=2))
+    def test_at_least_endpoint_distances(self, p, q):
+        # The coupled first and last pairs lower-bound the DFD (the bound
+        # the BTM baseline prunes with).
+        d = discrete_frechet(p, q)
+        assert d >= haversine(p[0], q[0]) - 1e-6
+        assert d >= haversine(p[-1], q[-1]) - 1e-6
+
+    @given(short_trajectories(max_size=5), short_trajectories(max_size=5))
+    def test_dfd_bounded_by_max_pairwise(self, p, q):
+        dist = pairwise_ground_distance(p, q)
+        assert discrete_frechet(p, q) <= dist.max() + 1e-6
+
+    def test_matrix_variant_matches(self):
+        p = _line(7)
+        q = _line(9, lon=-0.1205)
+        dist = pairwise_ground_distance(p, q)
+        assert discrete_frechet_matrix(dist) == pytest.approx(
+            discrete_frechet(p, q)
+        )
+
+    def test_submatrix_motif_usage(self):
+        # BTM slices one big matrix; slicing must equal recomputation.
+        p = _line(10)
+        q = _line(10, lon=-0.1203)
+        dist = pairwise_ground_distance(p, q)
+        window = discrete_frechet_matrix(dist[2:7, 3:8])
+        direct = discrete_frechet(p[2:7], q[3:8])
+        assert window == pytest.approx(direct)
+
+
+class TestGreedyUpperBound:
+    @given(short_trajectories(min_size=1), short_trajectories(min_size=1))
+    def test_is_an_upper_bound(self, p, q):
+        assert greedy_frechet_upper_bound(p, q) >= discrete_frechet(p, q) - 1e-6
+
+    def test_tight_for_parallel_lines(self):
+        p = _line(5)
+        q = [Point(pt.lat, pt.lon + 1e-4) for pt in p]
+        assert greedy_frechet_upper_bound(p, q) == pytest.approx(
+            discrete_frechet(p, q), rel=1e-6
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            greedy_frechet_upper_bound([], _line(2))

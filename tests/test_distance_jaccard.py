@@ -1,0 +1,108 @@
+"""Tests for repro.distance.jaccard and repro.distance.haversine helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmap.roaring import Roaring64Map, RoaringBitmap
+from repro.distance.haversine import pairwise_ground_distance, trajectory_to_radians
+from repro.distance.jaccard import (
+    containment,
+    jaccard,
+    jaccard_distance,
+    overlap_coefficient,
+)
+from repro.geo.point import Point, haversine
+
+from .conftest import city_points
+
+
+def int_sets(max_size=60):
+    return st.sets(st.integers(min_value=0, max_value=10_000), max_size=max_size)
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+        assert jaccard_distance({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({1}, set()) == 0.0
+
+    @given(int_sets(), int_sets())
+    def test_matches_definition(self, a, b):
+        expected = 1.0 if not (a | b) else len(a & b) / len(a | b)
+        assert jaccard(a, b) == pytest.approx(expected)
+
+    @given(int_sets(), int_sets())
+    def test_bitmap_matches_set(self, a, b):
+        ra = RoaringBitmap.from_iterable(a)
+        rb = RoaringBitmap.from_iterable(b)
+        assert jaccard(ra, rb) == pytest.approx(jaccard(a, b))
+
+    @given(int_sets(max_size=30), int_sets(max_size=30))
+    def test_wide_bitmap_matches_set(self, a, b):
+        ma = Roaring64Map.from_iterable(a)
+        mb = Roaring64Map.from_iterable(b)
+        assert jaccard(ma, mb) == pytest.approx(jaccard(a, b))
+
+    def test_mixed_bitmap_types_rejected(self):
+        with pytest.raises(TypeError):
+            jaccard(RoaringBitmap(), Roaring64Map())
+
+    def test_mixed_set_and_bitmap(self):
+        rb = RoaringBitmap.from_iterable([1, 2])
+        assert jaccard({2, 3}, rb) == pytest.approx(1 / 3)
+
+    @given(int_sets(max_size=25), int_sets(max_size=25), int_sets(max_size=25))
+    def test_triangle_inequality(self, a, b, c):
+        assert jaccard_distance(a, c) <= (
+            jaccard_distance(a, b) + jaccard_distance(b, c) + 1e-12
+        )
+
+
+class TestOtherCoefficients:
+    def test_overlap_for_subset_is_one(self):
+        assert overlap_coefficient({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_overlap_empty(self):
+        assert overlap_coefficient(set(), {1}) == 1.0
+
+    def test_containment_asymmetric(self):
+        query = {1, 2, 3, 4}
+        target = {3, 4, 5}
+        assert containment(query, target) == pytest.approx(0.5)
+        assert containment(target, query) == pytest.approx(2 / 3)
+
+    def test_containment_empty_query(self):
+        assert containment(set(), {1}) == 1.0
+
+    @given(int_sets(), int_sets())
+    def test_overlap_at_least_jaccard(self, a, b):
+        assert overlap_coefficient(a, b) >= jaccard(a, b) - 1e-12
+
+
+class TestPairwiseGroundDistance:
+    def test_shape(self):
+        p = [Point(51.5, -0.12), Point(51.6, -0.11)]
+        q = [Point(51.5, -0.12)] * 3
+        assert pairwise_ground_distance(p, q).shape == (2, 3)
+
+    @given(
+        st.lists(city_points(), min_size=1, max_size=5),
+        st.lists(city_points(), min_size=1, max_size=5),
+    )
+    def test_matches_scalar_haversine(self, p, q):
+        matrix = pairwise_ground_distance(p, q)
+        for i, a in enumerate(p):
+            for j, b in enumerate(q):
+                assert matrix[i, j] == pytest.approx(haversine(a, b), abs=1e-6)
+
+    def test_radians_packing(self):
+        pts = [Point(45.0, 90.0)]
+        arr = trajectory_to_radians(pts)
+        assert arr.shape == (1, 2)
+        assert arr[0, 0] == pytest.approx(np.pi / 4)
+        assert arr[0, 1] == pytest.approx(np.pi / 2)

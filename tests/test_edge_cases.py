@@ -1,0 +1,192 @@
+"""Failure injection and geographic edge cases across the pipeline.
+
+Degenerate trajectories (empty, single point, all-duplicate), coordinates
+at the antimeridian and the poles, and adversarial query patterns must
+flow through normalization, fingerprinting, indexing, and motif discovery
+without crashing — returning empty results where nothing meaningful
+exists.
+"""
+
+import pytest
+
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import Fingerprinter
+from repro.core.index import GeodabIndex
+from repro.core.baseline import GeohashIndex
+from repro.core.motif import find_common_motif
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.geo.geohash import Geohash, cover, encode
+from repro.geo.point import Point, destination
+from repro.normalize import (
+    GridNormalizer,
+    MovingAverageSmoother,
+    standard_normalizer,
+)
+
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+def walk(start, bearing, n, step_m=90.0):
+    points = [start]
+    for _ in range(n - 1):
+        points.append(destination(points[-1], bearing, step_m))
+    return points
+
+
+class TestDegenerateTrajectories:
+    @pytest.fixture()
+    def index(self):
+        idx = GeodabIndex(CONFIG, normalizer=standard_normalizer())
+        idx.add("real", walk(Point(51.5, -0.12), 90.0, 40))
+        return idx
+
+    def test_empty_trajectory_indexable(self, index):
+        index.add("empty", [])
+        assert "empty" in index
+        # An empty document matches nothing but breaks nothing.
+        results = index.query(walk(Point(51.5, -0.12), 90.0, 40))
+        assert all(r.trajectory_id != "empty" for r in results)
+
+    def test_single_point_trajectory(self, index):
+        index.add("point", [Point(51.5, -0.12)])
+        assert len(index.query([Point(51.5, -0.12)])) == 0
+
+    def test_all_duplicate_points(self, index):
+        index.add("stuck", [Point(51.5, -0.12)] * 500)
+        results = index.query([Point(51.5, -0.12)] * 500)
+        assert results == []
+
+    def test_empty_query(self, index):
+        assert index.query([]) == []
+
+    def test_two_point_trajectory_below_noise_threshold(self, index):
+        short = walk(Point(51.5, -0.12), 90.0, 2)
+        index.add("short", short)
+        assert index.query(short) == []
+
+    def test_zigzag_between_two_cells(self, index):
+        # Pathological flapping: alternate between two far points.
+        a = Point(51.5, -0.12)
+        b = destination(a, 90.0, 500.0)
+        zigzag = [a, b] * 30
+        index.add("zigzag", zigzag)
+        results = index.query(zigzag)
+        assert results and results[0].trajectory_id == "zigzag"
+
+
+class TestAntimeridian:
+    def test_encode_both_sides(self):
+        west = Point(0.0, 179.99)
+        east = Point(0.0, -179.99)
+        # The two sides of the antimeridian land in different cells at
+        # any depth >= 1 (the z-order curve splits there).
+        assert encode(west, 16) != encode(east, 16)
+
+    def test_cover_straddling_is_shallow(self):
+        g = cover([Point(0.0, 179.9), Point(0.0, -179.9)])
+        assert g.depth == 0
+
+    def test_trajectory_crossing_antimeridian_indexes(self):
+        # A trajectory walking east across the antimeridian.
+        points = walk(Point(10.0, 179.97), 90.0, 60, step_m=200.0)
+        idx = GeodabIndex(CONFIG)
+        idx.add("crossing", points)
+        results = idx.query(points)
+        assert results and results[0].trajectory_id == "crossing"
+        assert results[0].distance == pytest.approx(0.0)
+
+    def test_smoother_near_antimeridian(self):
+        # The moving average operates on raw longitudes; verify it does
+        # not produce invalid coordinates for same-side input.
+        points = walk(Point(10.0, 179.5), 0.0, 30)
+        smoothed = MovingAverageSmoother(5)(points)
+        assert all(-180.0 <= p.lon <= 180.0 for p in smoothed)
+
+
+class TestPoles:
+    def test_encode_at_poles(self):
+        for lat in (90.0, -90.0):
+            bits = encode(Point(lat, 0.0), 36)
+            assert bits >= 0
+
+    def test_trajectory_near_pole(self):
+        points = walk(Point(89.5, 0.0), 90.0, 40, step_m=50.0)
+        idx = GeodabIndex(CONFIG)
+        idx.add("polar", points)
+        results = idx.query(points)
+        assert results and results[0].trajectory_id == "polar"
+
+    def test_grid_normalizer_near_pole(self):
+        points = walk(Point(89.9, 10.0), 180.0, 20, step_m=100.0)
+        normalized = GridNormalizer(36)(points)
+        assert normalized
+        assert all(-90.0 <= p.lat <= 90.0 for p in normalized)
+
+
+class TestShardedEdgeCases:
+    def test_sharded_index_with_degenerate_documents(self):
+        cluster = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=16, num_nodes=4)
+        )
+        cluster.add("empty", [])
+        cluster.add("real", walk(Point(51.5, -0.12), 90.0, 40))
+        results, stats = cluster.query_with_stats(
+            walk(Point(51.5, -0.12), 90.0, 40)
+        )
+        assert results[0].trajectory_id == "real"
+        assert stats.shards_contacted >= 1
+
+    def test_query_far_from_all_data(self):
+        cluster = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=16, num_nodes=4)
+        )
+        cluster.add("real", walk(Point(51.5, -0.12), 90.0, 40))
+        results, stats = cluster.query_with_stats(
+            walk(Point(-33.9, 151.2), 90.0, 40)
+        )
+        assert results == []
+        assert stats.candidates == 0
+
+
+class TestMotifEdgeCases:
+    def test_motif_between_disjoint_trajectories(self):
+        a = walk(Point(51.5, -0.12), 90.0, 30)
+        b = walk(Point(48.85, 2.35), 90.0, 30)
+        match = find_common_motif(a, b, length_m=500.0, fingerprinter=CONFIG)
+        # A best pair exists (brute force always returns one) but shares
+        # nothing.
+        assert match is None or match.distance == pytest.approx(1.0)
+
+    def test_motif_with_empty_trajectory(self):
+        a = walk(Point(51.5, -0.12), 90.0, 30)
+        assert find_common_motif([], a, length_m=500.0, fingerprinter=CONFIG) is None
+
+    def test_motif_length_longer_than_trajectories(self):
+        a = walk(Point(51.5, -0.12), 90.0, 20)
+        match = find_common_motif(a, a, length_m=10_000.0, fingerprinter=CONFIG)
+        # Window exceeds available fingerprints: no match.
+        assert match is None
+
+
+class TestBaselineEdgeCases:
+    def test_geohash_index_degenerate_documents(self):
+        idx = GeohashIndex(36)
+        idx.add("empty", [])
+        idx.add("point", [Point(51.5, -0.12)])
+        results = idx.query([Point(51.5, -0.12)])
+        assert [r.trajectory_id for r in results] == ["point"]
+
+    def test_fingerprinter_is_pure(self):
+        # Repeated fingerprinting of the same input gives identical sets
+        # even interleaved with other inputs (no hidden state).
+        fingerprinter = Fingerprinter(CONFIG)
+        a = walk(Point(51.5, -0.12), 90.0, 40)
+        b = walk(Point(51.6, -0.10), 0.0, 40)
+        first = fingerprinter.fingerprint(a).values
+        fingerprinter.fingerprint(b)
+        assert fingerprinter.fingerprint(a).values == first
+
+    def test_geohash_cell_identity_preserved_by_roundtrip(self):
+        cell = Geohash.of(Point(51.5, -0.12), 36)
+        assert Geohash.of(cell.center(), 36) == cell

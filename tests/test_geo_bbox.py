@@ -1,0 +1,173 @@
+"""Tests for repro.geo.bbox: bounding boxes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.bbox import WORLD, BBox, bbox_of, bbox_union, square_around
+from repro.geo.point import Point, haversine
+
+from .conftest import points
+
+
+def boxes():
+    """Strategy producing valid (non-wrapping) boxes."""
+    return st.builds(
+        lambda a, b, c, d: BBox(min(a, b), min(c, d), max(a, b), max(c, d)),
+        st.floats(min_value=-90, max_value=90, allow_nan=False),
+        st.floats(min_value=-90, max_value=90, allow_nan=False),
+        st.floats(min_value=-180, max_value=180, allow_nan=False),
+        st.floats(min_value=-180, max_value=180, allow_nan=False),
+    )
+
+
+class TestConstruction:
+    def test_invalid_latitude_order(self):
+        with pytest.raises(ValueError):
+            BBox(10.0, 0.0, 5.0, 1.0)
+
+    def test_invalid_longitude_order(self):
+        with pytest.raises(ValueError):
+            BBox(0.0, 10.0, 1.0, 5.0)
+
+    def test_degenerate_box_allowed(self):
+        box = BBox(1.0, 2.0, 1.0, 2.0)
+        assert box.contains(Point(1.0, 2.0))
+
+    def test_world(self):
+        assert WORLD.contains(Point(90.0, 180.0))
+        assert WORLD.contains(Point(-90.0, -180.0))
+
+
+class TestPredicates:
+    BOX = BBox(0.0, 0.0, 10.0, 10.0)
+
+    def test_contains_interior(self):
+        assert self.BOX.contains(Point(5.0, 5.0))
+
+    def test_contains_boundary(self):
+        assert self.BOX.contains(Point(0.0, 0.0))
+        assert self.BOX.contains(Point(10.0, 10.0))
+
+    def test_not_contains(self):
+        assert not self.BOX.contains(Point(-0.1, 5.0))
+        assert not self.BOX.contains(Point(5.0, 10.1))
+
+    def test_intersects_overlap(self):
+        assert self.BOX.intersects(BBox(5.0, 5.0, 15.0, 15.0))
+
+    def test_intersects_touching_edge(self):
+        assert self.BOX.intersects(BBox(10.0, 0.0, 20.0, 10.0))
+
+    def test_not_intersects(self):
+        assert not self.BOX.intersects(BBox(11.0, 11.0, 12.0, 12.0))
+
+    def test_contains_box(self):
+        assert self.BOX.contains_box(BBox(1.0, 1.0, 9.0, 9.0))
+        assert not self.BOX.contains_box(BBox(1.0, 1.0, 11.0, 9.0))
+
+    @given(boxes(), boxes())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_box(a)
+        assert u.contains_box(b)
+
+
+class TestGeometry:
+    def test_center(self):
+        assert BBox(0.0, 0.0, 10.0, 20.0).center == Point(5.0, 10.0)
+
+    def test_expand(self):
+        box = BBox(0.0, 0.0, 1.0, 1.0).expand(Point(5.0, -3.0))
+        assert box.contains(Point(5.0, -3.0))
+        assert box.contains(Point(0.5, 0.5))
+
+    def test_buffer_clamps_at_domain(self):
+        box = BBox(89.0, 179.0, 90.0, 180.0).buffer_degrees(5.0, 5.0)
+        assert box.north == 90.0
+        assert box.east == 180.0
+
+    def test_width_and_height_positive(self):
+        box = BBox(51.0, -1.0, 52.0, 0.0)
+        assert box.width_m > 0
+        assert box.height_m > 0
+        # At 51 degrees north a degree of longitude is shorter than one
+        # of latitude.
+        assert box.width_m < box.height_m
+
+    def test_corners(self):
+        sw, se, nw, ne = BBox(0.0, 0.0, 1.0, 2.0).corners()
+        assert sw == Point(0.0, 0.0)
+        assert ne == Point(1.0, 2.0)
+
+    def test_area(self):
+        assert BBox(0.0, 0.0, 2.0, 3.0).area_deg2() == pytest.approx(6.0)
+
+    def test_diagonal(self):
+        box = BBox(0.0, 0.0, 1.0, 1.0)
+        assert box.diagonal_m() == pytest.approx(
+            haversine(Point(0.0, 0.0), Point(1.0, 1.0))
+        )
+
+
+class TestDistances:
+    def test_min_distance_intersecting_is_zero(self):
+        a = BBox(0.0, 0.0, 2.0, 2.0)
+        b = BBox(1.0, 1.0, 3.0, 3.0)
+        assert a.min_distance_to(b) == 0.0
+
+    def test_min_distance_is_lower_bound(self):
+        a = BBox(0.0, 0.0, 1.0, 1.0)
+        b = BBox(3.0, 3.0, 4.0, 4.0)
+        lower = a.min_distance_to(b)
+        # Distance between the closest corners must be >= the bound.
+        actual = haversine(Point(1.0, 1.0), Point(3.0, 3.0))
+        assert 0.0 < lower <= actual + 1e-6
+
+    @given(boxes(), boxes(), points(), points())
+    def test_min_distance_never_exceeds_member_distance(self, a, b, p, q):
+        if not (a.contains(p) and b.contains(q)):
+            return
+        assert a.min_distance_to(b) <= haversine(p, q) + 1e-6
+
+    def test_max_distance_upper_bounds_corners(self):
+        a = BBox(0.0, 0.0, 1.0, 1.0)
+        b = BBox(2.0, 2.0, 3.0, 3.0)
+        assert a.max_distance_to(b) >= haversine(Point(0.0, 0.0), Point(3.0, 3.0)) - 1e-6
+
+
+class TestHelpers:
+    def test_bbox_of(self):
+        pts = [Point(1.0, 5.0), Point(-2.0, 7.0), Point(0.5, 6.0)]
+        box = bbox_of(pts)
+        assert box == BBox(-2.0, 5.0, 1.0, 7.0)
+
+    def test_bbox_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            bbox_of([])
+
+    @given(st.lists(points(), min_size=1, max_size=20))
+    def test_bbox_of_contains_all(self, pts):
+        box = bbox_of(pts)
+        assert all(box.contains(p) for p in pts)
+
+    def test_bbox_union(self):
+        u = bbox_union([BBox(0, 0, 1, 1), BBox(5, 5, 6, 6)])
+        assert u == BBox(0, 0, 6, 6)
+
+    def test_bbox_union_empty_raises(self):
+        with pytest.raises(ValueError):
+            bbox_union([])
+
+    def test_square_around_dimensions(self):
+        box = square_around(Point(51.5, -0.12), 5_000.0)
+        assert box.width_m == pytest.approx(10_000.0, rel=0.01)
+        assert box.height_m == pytest.approx(10_000.0, rel=0.01)
+
+    def test_square_around_bad_radius(self):
+        with pytest.raises(ValueError):
+            square_around(Point(0, 0), -1.0)

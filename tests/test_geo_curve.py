@@ -1,0 +1,162 @@
+"""Tests for repro.geo.curve: z-order curve arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.curve import (
+    curve_index,
+    curve_range,
+    deinterleave,
+    fraction_of_curve,
+    interleave,
+    node_of,
+    shard_of,
+    shards_in_curve_range,
+    sort_by_curve,
+    walk_cells,
+)
+from repro.geo.geohash import Geohash
+
+
+class TestInterleave:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_roundtrip(self, x, y):
+        assert deinterleave(interleave(x, y)) == (x, y)
+
+    def test_known_pattern(self):
+        # x=0b11 (odd positions), y=0b00 -> 0b1010.
+        assert interleave(0b11, 0b00) == 0b1010
+        assert interleave(0b00, 0b11) == 0b0101
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_x_monotonic(self, x, y):
+        # Increasing x increases the interleaving for fixed y.
+        if x < 2**32 - 1:
+            assert interleave(x, y) < interleave(x + 1, y)
+
+
+class TestCurveIndex:
+    def test_leaf_cell(self):
+        cell = Geohash(0b101, 3)
+        assert curve_index(cell, 3) == 0b101
+
+    def test_shallow_cell_maps_to_subtree_start(self):
+        cell = Geohash(0b10, 2)
+        assert curve_index(cell, 4) == 0b1000
+
+    def test_too_shallow_depth_raises(self):
+        with pytest.raises(ValueError):
+            curve_index(Geohash(0b101, 3), 2)
+
+    def test_curve_range_span(self):
+        cell = Geohash(0b1, 1)
+        start, end = curve_range(cell, 4)
+        assert (start, end) == (8, 16)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_ranges_partition_at_same_depth(self, bits):
+        cell = Geohash(bits, 8)
+        start, end = curve_range(cell, 8)
+        assert end - start == 1
+        assert start == bits
+
+
+class TestFractionAndSharding:
+    def test_fraction_of_root(self):
+        assert fraction_of_curve(Geohash(0, 0)) == 0.0
+
+    def test_fraction_of_last_cell(self):
+        assert fraction_of_curve(Geohash(0b1111, 4)) == pytest.approx(15 / 16)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_shard_of_within_range(self, bits):
+        cell = Geohash(bits, 16)
+        shard = shard_of(cell, 100)
+        assert 0 <= shard < 100
+
+    def test_shard_of_is_monotonic_on_curve(self):
+        shards = [shard_of(Geohash(b, 8), 16) for b in range(256)]
+        assert shards == sorted(shards)
+
+    def test_shard_of_even_split(self):
+        # 4 cells, 2 shards: first two cells on shard 0.
+        assert shard_of(Geohash(0, 2), 2) == 0
+        assert shard_of(Geohash(1, 2), 2) == 0
+        assert shard_of(Geohash(2, 2), 2) == 1
+        assert shard_of(Geohash(3, 2), 2) == 1
+
+    def test_shard_of_invalid(self):
+        with pytest.raises(ValueError):
+            shard_of(Geohash(0, 4), 0)
+
+    def test_node_of_modulo(self):
+        assert node_of(13, 10) == 3
+
+    def test_node_of_invalid(self):
+        with pytest.raises(ValueError):
+            node_of(1, 0)
+
+
+class TestShardsInRange:
+    def test_full_range_touches_all(self):
+        assert shards_in_curve_range(0, 256, 8, 4) == [0, 1, 2, 3]
+
+    def test_empty_range(self):
+        assert shards_in_curve_range(5, 5, 8, 4) == []
+
+    def test_single_cell(self):
+        assert shards_in_curve_range(0, 1, 8, 4) == [0]
+        assert shards_in_curve_range(255, 256, 8, 4) == [3]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            shards_in_curve_range(5, 2, 8, 4)
+
+    def test_out_of_domain(self):
+        with pytest.raises(ValueError):
+            shards_in_curve_range(0, 1 << 9, 8, 4)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_contiguity(self, a, b):
+        lo, hi = min(a, b), max(a, b) + 1
+        shards = shards_in_curve_range(lo, hi, 8, 16)
+        assert shards == list(range(shards[0], shards[-1] + 1))
+
+
+class TestTraversal:
+    def test_sort_by_curve(self):
+        cells = [Geohash(3, 4), Geohash(0, 2), Geohash(1, 4)]
+        ordered = sort_by_curve(cells)
+        positions = [c.curve_position(8) for c in ordered]
+        assert positions == sorted(positions)
+
+    def test_walk_cells_count(self):
+        assert len(list(walk_cells(4))) == 16
+
+    def test_walk_cells_in_order(self):
+        cells = list(walk_cells(3))
+        assert [c.bits for c in cells] == list(range(8))
+
+    def test_walk_cells_depth_guard(self):
+        with pytest.raises(ValueError):
+            list(walk_cells(30))
+
+    def test_walk_cells_locality(self):
+        # Consecutive cells on the curve are geographically adjacent at
+        # least half the time (z-order locality is good but not perfect).
+        cells = list(walk_cells(8))
+        adjacent = 0
+        for a, b in zip(cells, cells[1:]):
+            if a.bbox().buffer_degrees(1e-9, 1e-9).intersects(b.bbox()):
+                adjacent += 1
+        assert adjacent / (len(cells) - 1) > 0.5

@@ -1,0 +1,275 @@
+"""Tests for repro.geo.geohash: the bit-level geohash codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.geohash import (
+    MAX_DEPTH,
+    Geohash,
+    cell_dimensions,
+    cells_along,
+    common_prefix,
+    cover,
+    decode,
+    decode_center,
+    encode,
+    from_base32,
+    to_base32,
+    truncate,
+)
+from repro.geo.point import Point
+
+from .conftest import points
+
+LONDON = Point(51.5074, -0.1278)
+
+
+class TestEncodeDecode:
+    @given(points(), st.integers(min_value=1, max_value=MAX_DEPTH))
+    def test_roundtrip_containment(self, p, depth):
+        bits = encode(p, depth)
+        # Points within one float ULP of a bisection boundary may land in
+        # the adjacent cell; a hair of tolerance absorbs that.
+        assert decode(bits, depth).buffer_degrees(1e-9, 1e-9).contains(p)
+
+    @given(points(), st.integers(min_value=2, max_value=MAX_DEPTH))
+    def test_prefix_is_parent_cell(self, p, depth):
+        bits = encode(p, depth)
+        parent_bits = encode(p, depth - 1)
+        assert bits >> 1 == parent_bits
+
+    def test_depth_zero_is_world(self):
+        assert encode(LONDON, 0) == 0
+        box = decode(0, 0)
+        assert box.contains(Point(90.0, 180.0))
+        assert box.contains(Point(-90.0, -180.0))
+
+    def test_first_bit_is_longitude_split(self):
+        # Eastern hemisphere -> first bit 1; western -> 0.
+        assert encode(Point(0.0, 10.0), 1) == 1
+        assert encode(Point(0.0, -10.0), 1) == 0
+
+    def test_second_bit_is_latitude_split(self):
+        # North-east quadrant -> bits 11.
+        assert encode(Point(45.0, 90.0), 2) == 0b11
+        # South-east quadrant -> bits 10.
+        assert encode(Point(-45.0, 90.0), 2) == 0b10
+
+    def test_known_london_base32(self):
+        # Central London's well-known geohash prefix.
+        bits = encode(LONDON, 40)
+        assert to_base32(bits, 40).startswith("gcpvj0d")
+
+    def test_decode_rejects_oversized_bits(self):
+        with pytest.raises(ValueError):
+            decode(1 << 10, 10)
+
+    def test_decode_depth_zero_nonzero_bits(self):
+        with pytest.raises(ValueError):
+            decode(1, 0)
+
+    def test_encode_invalid_depth(self):
+        with pytest.raises(ValueError):
+            encode(LONDON, MAX_DEPTH + 1)
+        with pytest.raises(ValueError):
+            encode(LONDON, -1)
+
+    def test_domain_boundary_points(self):
+        for p in (
+            Point(90.0, 180.0),
+            Point(-90.0, -180.0),
+            Point(90.0, -180.0),
+            Point(-90.0, 180.0),
+        ):
+            bits = encode(p, 36)
+            assert decode(bits, 36).contains(p)
+
+    @given(points(), st.integers(min_value=1, max_value=MAX_DEPTH))
+    def test_decode_center_reencodes_to_same_cell(self, p, depth):
+        bits = encode(p, depth)
+        assert encode(decode_center(bits, depth), depth) == bits
+
+
+class TestCover:
+    def test_cover_single_point_is_max_depth(self):
+        g = cover([LONDON])
+        assert g.depth == MAX_DEPTH
+
+    def test_cover_contains_all_points(self):
+        pts = [LONDON, Point(51.51, -0.13), Point(51.52, -0.12)]
+        g = cover(pts)
+        assert all(g.contains_point(p) for p in pts)
+
+    def test_cover_empty_raises(self):
+        with pytest.raises(ValueError):
+            cover([])
+
+    def test_cover_of_hemisphere_straddle_is_shallow(self):
+        g = cover([Point(0.0, -10.0), Point(0.0, 10.0)])
+        assert g.depth == 0
+
+    @given(st.lists(points(), min_size=1, max_size=10))
+    def test_cover_is_deepest_common_cell(self, pts):
+        g = cover(pts)
+        if g.depth < MAX_DEPTH:
+            # One level deeper must exclude at least one point.
+            deeper_cells = {encode(p, g.depth + 1) for p in pts}
+            assert len(deeper_cells) > 1
+
+    def test_cover_respects_max_depth(self):
+        g = cover([LONDON], max_depth=20)
+        assert g.depth == 20
+
+
+class TestGeohashType:
+    def test_of_and_bbox(self):
+        g = Geohash.of(LONDON, 36)
+        assert g.bbox().contains(LONDON)
+        assert g.depth == 36
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Geohash(8, 3)  # 8 needs 4 bits
+        with pytest.raises(ValueError):
+            Geohash(-1, 3)
+
+    def test_parent_child_roundtrip(self):
+        g = Geohash.of(LONDON, 30)
+        left, right = g.parent().children()
+        assert g in (left, right)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            Geohash(0, 0).parent()
+
+    def test_children_at_max_depth_raise(self):
+        g = Geohash.of(LONDON, MAX_DEPTH)
+        with pytest.raises(ValueError):
+            g.children()
+
+    def test_ancestor(self):
+        g = Geohash.of(LONDON, 36)
+        a = g.ancestor(16)
+        assert a.depth == 16
+        assert a.contains(g)
+
+    def test_contains_self(self):
+        g = Geohash.of(LONDON, 20)
+        assert g.contains(g)
+
+    def test_contains_descendant_only(self):
+        g = Geohash.of(LONDON, 16)
+        deep = Geohash.of(LONDON, 36)
+        assert g.contains(deep)
+        assert not deep.contains(g)
+
+    def test_contains_point_matches_bbox(self):
+        g = Geohash.of(LONDON, 24)
+        assert g.contains_point(LONDON)
+        assert not g.contains_point(Point(-51.0, 100.0))
+
+    def test_curve_position_ordering_matches_bits(self):
+        a = Geohash(0b0101, 4)
+        b = Geohash(0b0110, 4)
+        assert a.curve_position(10) < b.curve_position(10)
+
+    def test_curve_position_too_shallow_raises(self):
+        with pytest.raises(ValueError):
+            Geohash(0b0101, 4).curve_position(2)
+
+    def test_ordering(self):
+        assert Geohash(1, 4) < Geohash(2, 4)
+
+    def test_neighbors_are_adjacent_and_distinct(self):
+        g = Geohash.of(LONDON, 20)
+        neighbors = g.neighbors()
+        assert 3 <= len(neighbors) <= 8
+        assert g not in neighbors
+        assert len(set(neighbors)) == len(neighbors)
+        box = g.bbox()
+        for n in neighbors:
+            nbox = n.bbox()
+            # Neighbouring boxes touch or slightly overlap the original.
+            assert nbox.buffer_degrees(1e-9, 1e-9).intersects(box)
+
+    def test_neighbors_at_pole_fewer(self):
+        g = Geohash.of(Point(89.99, 0.0), 10)
+        assert len(g.neighbors()) < 8
+
+
+class TestBase32:
+    @given(points())
+    def test_roundtrip(self, p):
+        bits = encode(p, 40)
+        text = to_base32(bits, 40)
+        parsed = from_base32(text)
+        assert parsed.bits == bits
+        assert parsed.depth == 40
+
+    def test_known_value(self):
+        # "ezs42" is the canonical example geohash (57.64911, 10.40744
+        # belongs to "u4pru"; use a simpler well-known one: base32 of 0 is
+        # '0').
+        assert to_base32(0, 5) == "0"
+        assert from_base32("0") == Geohash(0, 5)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            to_base32(0, 7)
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            from_base32("ab!")
+
+    def test_case_insensitive(self):
+        assert from_base32("GCPVJ") == from_base32("gcpvj")
+
+
+class TestHelpers:
+    def test_truncate(self):
+        assert truncate(0b110101, 6, 3) == 0b110
+
+    def test_truncate_deeper_raises(self):
+        with pytest.raises(ValueError):
+            truncate(0b1, 1, 2)
+
+    def test_common_prefix(self):
+        a = Geohash(0b1100, 4)
+        b = Geohash(0b1101, 4)
+        g = common_prefix(a, b)
+        assert g == Geohash(0b110, 3)
+
+    def test_common_prefix_disjoint(self):
+        a = Geohash(0b0, 1)
+        b = Geohash(0b1, 1)
+        assert common_prefix(a, b) == Geohash(0, 0)
+
+    @given(points(), points())
+    def test_common_prefix_contains_both(self, p, q):
+        a = Geohash.of(p, 30)
+        b = Geohash.of(q, 30)
+        g = common_prefix(a, b)
+        assert g.contains(a)
+        assert g.contains(b)
+
+    def test_cell_dimensions_london_36_bits(self):
+        # Paper Section VI-A2: ~95 m x ~76 m at London's latitude.
+        width, height = cell_dimensions(36, LONDON.lat)
+        assert width == pytest.approx(95.0, abs=5.0)
+        assert height == pytest.approx(76.0, abs=5.0)
+
+    def test_cell_dimensions_shrink_toward_pole(self):
+        width_equator, _ = cell_dimensions(36, 0.0)
+        width_high, _ = cell_dimensions(36, 70.0)
+        assert width_high < width_equator
+
+    def test_cells_along_dedupes_consecutive(self):
+        pts = [LONDON, LONDON, Point(52.5, -0.1278), LONDON]
+        cells = cells_along(pts, 36)
+        # Consecutive duplicates merge, non-consecutive repeats survive.
+        assert len(cells) == 3
+        assert cells[0] == cells[2]
+
+    def test_cells_along_empty(self):
+        assert cells_along([], 20) == []

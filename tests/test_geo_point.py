@@ -1,0 +1,233 @@
+"""Tests for repro.geo.point: geodesy primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.point import (
+    EARTH_RADIUS_M,
+    Point,
+    centroid,
+    cumulative_lengths,
+    destination,
+    ensure_points,
+    haversine,
+    haversine_coords,
+    initial_bearing,
+    interpolate,
+    path_length,
+    resample_by_distance,
+    walk,
+)
+
+from .conftest import points
+
+LONDON = Point(51.5074, -0.1278)
+PARIS = Point(48.8566, 2.3522)
+
+
+class TestPoint:
+    def test_valid_construction(self):
+        p = Point(10.5, -20.25)
+        assert p.lat == 10.5
+        assert p.lon == -20.25
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    @pytest.mark.parametrize("lat", [-90.01, 90.01, 180.0])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(ValueError):
+            Point(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.01, 180.01, 360.0])
+    def test_longitude_out_of_range(self, lon):
+        with pytest.raises(ValueError):
+            Point(0.0, lon)
+
+    def test_boundary_coordinates_accepted(self):
+        Point(90.0, 180.0)
+        Point(-90.0, -180.0)
+
+    def test_hashable_and_equal(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+    def test_immutable(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lat = 5.0  # type: ignore[misc]
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine(LONDON, LONDON) == 0.0
+
+    def test_london_paris_known_distance(self):
+        # Reference value ~343.5 km.
+        d = haversine(LONDON, PARIS)
+        assert 340_000 < d < 347_000
+
+    def test_symmetry(self):
+        assert haversine(LONDON, PARIS) == pytest.approx(haversine(PARIS, LONDON))
+
+    def test_antipodal_distance_is_half_circumference(self):
+        a = Point(0.0, 0.0)
+        b = Point(0.0, 180.0)
+        assert haversine(a, b) == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-9)
+
+    def test_coords_variant_matches(self):
+        assert haversine_coords(
+            LONDON.lat, LONDON.lon, PARIS.lat, PARIS.lon
+        ) == pytest.approx(haversine(LONDON, PARIS))
+
+    def test_one_degree_latitude(self):
+        # 1 degree of latitude is ~111.2 km everywhere.
+        d = haversine(Point(10.0, 5.0), Point(11.0, 5.0))
+        assert d == pytest.approx(111_195, rel=1e-3)
+
+    @given(points(), points())
+    def test_non_negative_and_symmetric(self, p, q):
+        d = haversine(p, q)
+        assert d >= 0.0
+        assert d == pytest.approx(haversine(q, p), abs=1e-6)
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine(a, c) <= haversine(a, b) + haversine(b, c) + 1e-6
+
+
+class TestBearingAndDestination:
+    def test_bearing_north(self):
+        assert initial_bearing(Point(0.0, 0.0), Point(1.0, 0.0)) == pytest.approx(0.0)
+
+    def test_bearing_east(self):
+        assert initial_bearing(Point(0.0, 0.0), Point(0.0, 1.0)) == pytest.approx(90.0)
+
+    def test_bearing_south(self):
+        assert initial_bearing(Point(1.0, 0.0), Point(0.0, 0.0)) == pytest.approx(180.0)
+
+    def test_bearing_west(self):
+        assert initial_bearing(Point(0.0, 1.0), Point(0.0, 0.0)) == pytest.approx(270.0)
+
+    def test_destination_roundtrip(self):
+        target = destination(LONDON, 45.0, 10_000.0)
+        assert haversine(LONDON, target) == pytest.approx(10_000.0, rel=1e-6)
+
+    @given(
+        points(),
+        st.floats(min_value=0.0, max_value=359.99),
+        st.floats(min_value=1.0, max_value=1_000_000.0),
+    )
+    def test_destination_distance_is_preserved(self, p, bearing, dist):
+        target = destination(p, bearing, dist)
+        # Distance holds except when clamped at the poles.
+        if abs(target.lat) < 89.9:
+            assert haversine(p, target) == pytest.approx(dist, rel=1e-4)
+
+    def test_destination_wraps_longitude(self):
+        p = Point(0.0, 179.9)
+        target = destination(p, 90.0, 50_000.0)
+        assert -180.0 <= target.lon <= 180.0
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        assert interpolate(LONDON, PARIS, 0.0) == LONDON
+        assert interpolate(LONDON, PARIS, 1.0) == PARIS
+
+    def test_midpoint_equidistant(self):
+        mid = interpolate(LONDON, PARIS, 0.5)
+        assert haversine(LONDON, mid) == pytest.approx(
+            haversine(mid, PARIS), rel=1e-6
+        )
+
+    def test_identical_points(self):
+        assert interpolate(LONDON, LONDON, 0.5) == LONDON
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            interpolate(LONDON, PARIS, 1.5)
+
+    def test_quarter_distance(self):
+        q = interpolate(LONDON, PARIS, 0.25)
+        total = haversine(LONDON, PARIS)
+        assert haversine(LONDON, q) == pytest.approx(total / 4.0, rel=1e-6)
+
+
+class TestPolylines:
+    def _line(self):
+        return [
+            Point(51.50, -0.12),
+            Point(51.51, -0.12),
+            Point(51.51, -0.11),
+        ]
+
+    def test_path_length_sums_segments(self):
+        line = self._line()
+        expected = haversine(line[0], line[1]) + haversine(line[1], line[2])
+        assert path_length(line) == pytest.approx(expected)
+
+    def test_path_length_trivial(self):
+        assert path_length([]) == 0.0
+        assert path_length([LONDON]) == 0.0
+
+    def test_cumulative_lengths(self):
+        line = self._line()
+        cum = cumulative_lengths(line)
+        assert cum[0] == 0.0
+        assert len(cum) == 3
+        assert cum[-1] == pytest.approx(path_length(line))
+        assert cum == sorted(cum)
+
+    def test_cumulative_lengths_empty(self):
+        assert cumulative_lengths([]) == []
+
+    def test_walk_clamps(self):
+        line = self._line()
+        assert walk(line, -5.0) == line[0]
+        assert walk(line, 10**9) == line[-1]
+
+    def test_walk_half_first_segment(self):
+        line = self._line()
+        seg = haversine(line[0], line[1])
+        midpoint = walk(line, seg / 2.0)
+        assert haversine(line[0], midpoint) == pytest.approx(seg / 2.0, rel=1e-6)
+
+    def test_walk_empty_raises(self):
+        with pytest.raises(ValueError):
+            walk([], 10.0)
+
+    def test_resample_spacing(self):
+        line = [Point(51.50, -0.12), Point(51.52, -0.12)]
+        samples = resample_by_distance(line, 200.0)
+        assert samples[0] == line[0]
+        for a, b in zip(samples, samples[1:]):
+            assert haversine(a, b) <= 210.0
+        # Total coverage reaches the end.
+        assert haversine(samples[-1], line[-1]) <= 100.0
+
+    def test_resample_single_point(self):
+        assert resample_by_distance([LONDON], 10.0) == [LONDON]
+
+    def test_resample_empty(self):
+        assert resample_by_distance([], 10.0) == []
+
+    def test_resample_bad_step(self):
+        with pytest.raises(ValueError):
+            resample_by_distance([LONDON], 0.0)
+
+    def test_centroid(self):
+        c = centroid([Point(0.0, 0.0), Point(2.0, 2.0)])
+        assert c == Point(1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_ensure_points_mixed(self):
+        out = ensure_points([LONDON, (48.8566, 2.3522)])
+        assert out == [LONDON, PARIS]

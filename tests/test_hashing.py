@@ -1,0 +1,186 @@
+"""Tests for repro.hashing: stable hashes, rolling hashes, window minima."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.rolling import (
+    MinQueue,
+    PolynomialRollingHash,
+    direct_window_hash,
+    rolling_hashes,
+    windowed_minima,
+)
+from repro.hashing.stable import (
+    fnv1a_32,
+    fnv1a_64,
+    hash_bytes,
+    hash_int_sequence_32,
+    hash_int_sequence_64,
+    mix32,
+    mix64,
+    splitmix64,
+    truncate_hash,
+)
+
+
+class TestStableHashes:
+    def test_fnv1a_32_known_vectors(self):
+        # Published FNV-1a test vectors.
+        assert fnv1a_32(b"") == 0x811C9DC5
+        assert fnv1a_32(b"a") == 0xE40C292C
+        assert fnv1a_32(b"foobar") == 0xBF9CF968
+
+    def test_fnv1a_64_known_vectors(self):
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+    def test_splitmix64_known_sequence(self):
+        # First outputs of splitmix64 seeded with 0 feed-forward.
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_mix64_stays_in_64_bits(self, x):
+        assert 0 <= mix64(x) < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_mix32_stays_in_32_bits(self, x):
+        assert 0 <= mix32(x) < 2**32
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_mix64_bijective_sample(self, x):
+        # Distinct inputs give distinct outputs for a sample pair.
+        if x > 0:
+            assert mix64(x) != mix64(x - 1)
+
+    def test_hash_bytes_width(self):
+        for bits in (1, 8, 16, 32, 63, 64):
+            assert 0 <= hash_bytes(b"payload", bits) < (1 << bits)
+
+    def test_hash_bytes_invalid_width(self):
+        with pytest.raises(ValueError):
+            hash_bytes(b"x", 0)
+        with pytest.raises(ValueError):
+            hash_bytes(b"x", 65)
+
+    def test_hash_bytes_seed_changes_value(self):
+        assert hash_bytes(b"x", 64, seed=1) != hash_bytes(b"x", 64, seed=2)
+
+    def test_truncate_hash(self):
+        assert truncate_hash(0xFFFF_FFFF_FFFF_FFFF, 8) == 0xFF
+        with pytest.raises(ValueError):
+            truncate_hash(1, 0)
+
+
+class TestSequenceHash:
+    def test_deterministic(self):
+        assert hash_int_sequence_64([1, 2, 3]) == hash_int_sequence_64([1, 2, 3])
+
+    def test_order_sensitive(self):
+        assert hash_int_sequence_64([1, 2, 3]) != hash_int_sequence_64([3, 2, 1])
+
+    def test_reverse_differs(self):
+        # The geodab property: a path and its reverse get different hashes.
+        cells = [10, 20, 30, 40, 50, 60]
+        assert hash_int_sequence_64(cells) != hash_int_sequence_64(cells[::-1])
+
+    def test_seed_changes_value(self):
+        assert hash_int_sequence_64([1], seed=0) != hash_int_sequence_64([1], seed=1)
+
+    def test_32_bit_is_truncation_domain(self):
+        assert 0 <= hash_int_sequence_32([5, 6, 7]) < 2**32
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=12))
+    def test_extension_changes_hash(self, values):
+        # Appending an element must change the hash (prefix-freeness in
+        # practice for a mixing accumulator).
+        assert hash_int_sequence_64(values) != hash_int_sequence_64(values + [0])
+
+    def test_empty_sequence_is_seed_dependent_constant(self):
+        assert hash_int_sequence_64([]) == hash_int_sequence_64([])
+
+
+class TestRollingHash:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_direct_computation(self, values, window):
+        rolled = list(rolling_hashes(values, window))
+        expected = [
+            direct_window_hash(values[i : i + window])
+            for i in range(len(values) - window + 1)
+        ]
+        assert rolled == expected
+
+    def test_short_sequence_yields_nothing(self):
+        assert list(rolling_hashes([1, 2], 3)) == []
+
+    def test_push_protocol(self):
+        roller = PolynomialRollingHash(window=2)
+        assert roller.push(1) is None
+        assert not roller.full
+        first = roller.push(2)
+        assert first is not None
+        assert roller.full
+        second = roller.push(3)
+        assert second == direct_window_hash([2, 3])
+
+    def test_reset(self):
+        roller = PolynomialRollingHash(window=2)
+        roller.push(1)
+        roller.push(2)
+        roller.reset()
+        assert not roller.full
+        assert roller.push(9) is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PolynomialRollingHash(0)
+
+    def test_even_base_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialRollingHash(4, base=2)
+
+
+class TestWindowMinima:
+    def test_basic(self):
+        values = [5, 3, 8, 3, 9, 1]
+        minima = list(windowed_minima(values, 3))
+        # Windows: [5,3,8] [3,8,3] [8,3,9] [3,9,1]
+        assert minima == [(3, 1), (3, 3), (3, 3), (1, 5)]
+
+    def test_rightmost_tie_break(self):
+        # Equal values: the rightmost index wins (winnowing requirement).
+        minima = list(windowed_minima([7, 7, 7], 2))
+        assert minima == [(7, 1), (7, 2)]
+
+    def test_window_one(self):
+        assert list(windowed_minima([4, 2, 6], 1)) == [(4, 0), (2, 1), (6, 2)]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_matches_naive(self, values, window):
+        if len(values) < window:
+            assert list(windowed_minima(values, window)) == []
+            return
+        naive = []
+        for i in range(len(values) - window + 1):
+            chunk = values[i : i + window]
+            m = min(chunk)
+            # Rightmost occurrence of the minimum.
+            j = max(k for k, v in enumerate(chunk) if v == m)
+            naive.append((m, i + j))
+        assert list(windowed_minima(values, window)) == naive
+
+    def test_minqueue_empty_minimum_raises(self):
+        q = MinQueue(2)
+        with pytest.raises(ValueError):
+            q.minimum()
+
+    def test_minqueue_invalid_window(self):
+        with pytest.raises(ValueError):
+            MinQueue(0)

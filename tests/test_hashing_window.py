@@ -1,0 +1,101 @@
+"""Tests for repro.hashing.window: two-stack sliding-window aggregation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.window import SlidingWindowAggregate, common_prefix_op
+
+
+class TestSlidingWindowAggregate:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAggregate(0, min)
+
+    def test_fills_then_reports(self):
+        agg = SlidingWindowAggregate(3, min)
+        assert agg.push(5) is None
+        assert agg.push(2) is None
+        assert agg.push(7) == 2
+        assert agg.full
+
+    def test_eviction(self):
+        agg = SlidingWindowAggregate(2, min)
+        agg.push(1)
+        agg.push(9)
+        # Window is now [9, 9] after pushing another 9: the 1 evicted.
+        assert agg.push(9) == 9
+
+    def test_aggregate_of_empty_raises(self):
+        agg = SlidingWindowAggregate(2, min)
+        with pytest.raises(ValueError):
+            agg.aggregate()
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=80),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_matches_naive_min(self, values, window):
+        agg = SlidingWindowAggregate(window, min)
+        produced = []
+        for v in values:
+            result = agg.push(v)
+            if result is not None:
+                produced.append(result)
+        expected = [
+            min(values[i : i + window])
+            for i in range(max(0, len(values) - window + 1))
+        ]
+        assert produced == expected
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**30), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_naive_concatenation_semigroup(self, values, window):
+        # Tuple concatenation: associative but non-commutative, so it
+        # detects any ordering mistake in the two-stack folding.
+        op = lambda a, b: a + b  # noqa: E731
+        agg = SlidingWindowAggregate(window, op)
+        produced = []
+        for v in values:
+            result = agg.push((v,))
+            if result is not None:
+                produced.append(result)
+        expected = [
+            tuple(values[i : i + window])
+            for i in range(max(0, len(values) - window + 1))
+        ]
+        assert produced == expected
+
+
+class TestCommonPrefixOp:
+    OP = staticmethod(common_prefix_op(8))
+
+    def test_identical(self):
+        assert self.OP((0b1010, 4), (0b1010, 4)) == (0b1010, 4)
+
+    def test_partial_prefix(self):
+        assert self.OP((0b1010, 4), (0b1001, 4)) == (0b10, 2)
+
+    def test_disjoint(self):
+        assert self.OP((0b0, 1), (0b1, 1)) == (0, 0)
+
+    def test_mixed_depths(self):
+        # (0b101, 3) vs (0b10, 2): compare at depth 2.
+        assert self.OP((0b101, 3), (0b10, 2)) == (0b10, 2)
+
+    def test_associativity_spot_check(self):
+        a, b, c = (0b1100, 4), (0b1101, 4), (0b1000, 4)
+        left = self.OP(self.OP(a, b), c)
+        right = self.OP(a, self.OP(b, c))
+        assert left == right
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_associativity(self, x, y, z):
+        a, b, c = (x, 8), (y, 8), (z, 8)
+        assert self.OP(self.OP(a, b), c) == self.OP(a, self.OP(b, c))

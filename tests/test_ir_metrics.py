@@ -1,0 +1,160 @@
+"""Tests for repro.ir.metrics: precision/recall, ROC, AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.metrics import (
+    PRPoint,
+    auc,
+    average_pr_curve,
+    average_precision,
+    interpolated_precision_at,
+    precision_at,
+    precision_recall_curve,
+    r_precision,
+    recall_at,
+    roc_curve,
+)
+
+
+class TestPRCurve:
+    def test_perfect_ranking(self):
+        curve = precision_recall_curve(["a", "b", "x"], {"a", "b"})
+        assert curve[0] == PRPoint(0.5, 1.0)
+        assert curve[1] == PRPoint(1.0, 1.0)
+        assert curve[2].precision == pytest.approx(2 / 3)
+
+    def test_worst_ranking(self):
+        curve = precision_recall_curve(["x", "y", "a"], {"a"})
+        assert curve[0].precision == 0.0
+        assert curve[-1] == PRPoint(1.0, 1 / 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(["a", "a"], {"a"})
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(["a"], set())
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+    def test_recall_monotone(self, relevant_count, noise_count):
+        relevant = {f"r{i}" for i in range(relevant_count)}
+        ranked = [f"r{i}" for i in range(relevant_count)] + [
+            f"n{i}" for i in range(noise_count)
+        ]
+        curve = precision_recall_curve(ranked, relevant)
+        recalls = [p.recall for p in curve]
+        assert recalls == sorted(recalls)
+        assert recalls[-1] == 1.0
+
+
+class TestInterpolation:
+    CURVE = [PRPoint(0.25, 1.0), PRPoint(0.5, 0.6), PRPoint(1.0, 0.7)]
+
+    def test_max_at_or_beyond_level(self):
+        assert interpolated_precision_at(self.CURVE, 0.0) == 1.0
+        assert interpolated_precision_at(self.CURVE, 0.3) == 0.7
+        assert interpolated_precision_at(self.CURVE, 1.0) == 0.7
+
+    def test_beyond_reachable_recall(self):
+        curve = [PRPoint(0.5, 1.0)]
+        assert interpolated_precision_at(curve, 0.9) == 0.0
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            interpolated_precision_at(self.CURVE, 1.5)
+
+    def test_average_pr_curve(self):
+        a = precision_recall_curve(["r", "x"], {"r"})
+        b = precision_recall_curve(["x", "r"], {"r"})
+        avg = average_pr_curve([a, b])
+        assert len(avg) == 11
+        assert avg[0].precision == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_average_pr_curve_empty(self):
+        with pytest.raises(ValueError):
+            average_pr_curve([])
+
+
+class TestRoc:
+    def test_perfect_ranking_auc_one(self):
+        ranked = ["a", "b"] + [f"n{i}" for i in range(8)]
+        fpr, tpr = roc_curve(ranked, {"a", "b"}, corpus_size=10)
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_random_ranking_auc_half(self):
+        # Alternating relevant/irrelevant gives AUC ~ 0.5.
+        ranked = []
+        relevant = set()
+        for i in range(50):
+            ranked.append(f"r{i}")
+            relevant.add(f"r{i}")
+            ranked.append(f"n{i}")
+        fpr, tpr = roc_curve(ranked, relevant, corpus_size=100)
+        assert auc(fpr, tpr) == pytest.approx(0.5, abs=0.02)
+
+    def test_unretrieved_items_complete_the_curve(self):
+        fpr, tpr = roc_curve(["a"], {"a", "b"}, corpus_size=10)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_corpus_smaller_than_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(["a"], {"a", "b", "c"}, corpus_size=2)
+
+    def test_monotone_axes(self):
+        ranked = ["a", "x", "b", "y", "z"]
+        fpr, tpr = roc_curve(ranked, {"a", "b"}, corpus_size=20)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+
+class TestAuc:
+    def test_unit_square(self):
+        assert auc(np.array([0.0, 1.0]), np.array([1.0, 1.0])) == 1.0
+
+    def test_triangle(self):
+        assert auc(np.array([0.0, 1.0]), np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_decreasing_x_rejected(self):
+        with pytest.raises(ValueError):
+            auc(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.0, 1.0]), np.array([1.0]))
+
+
+class TestPointMetrics:
+    RANKED = ["a", "x", "b", "y"]
+    RELEVANT = {"a", "b"}
+
+    def test_average_precision(self):
+        # Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert average_precision(self.RANKED, self.RELEVANT) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_average_precision_no_hits(self):
+        assert average_precision(["x", "y"], {"a"}) == 0.0
+
+    def test_precision_at(self):
+        assert precision_at(self.RANKED, self.RELEVANT, 1) == 1.0
+        assert precision_at(self.RANKED, self.RELEVANT, 2) == 0.5
+        assert precision_at(self.RANKED, self.RELEVANT, 4) == 0.5
+
+    def test_recall_at(self):
+        assert recall_at(self.RANKED, self.RELEVANT, 1) == 0.5
+        assert recall_at(self.RANKED, self.RELEVANT, 3) == 1.0
+
+    def test_r_precision(self):
+        assert r_precision(self.RANKED, self.RELEVANT) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at(self.RANKED, self.RELEVANT, 0)
+        with pytest.raises(ValueError):
+            recall_at(self.RANKED, self.RELEVANT, 0)

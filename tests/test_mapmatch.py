@@ -1,0 +1,110 @@
+"""Tests for repro.mapmatch: HMM/Viterbi map matching."""
+
+from random import Random
+
+import pytest
+
+from repro.geo.point import Point, haversine
+from repro.mapmatch.hmm import MapMatcher
+from repro.roadnet.router import shortest_path
+from repro.workload.noise import GaussianGpsNoise
+from repro.workload.trajgen import sample_route_trajectory
+
+
+@pytest.fixture(scope="module")
+def matcher(request):
+    small_network = request.getfixturevalue("small_network")
+    return MapMatcher(small_network, sigma_m=20.0, radius_m=150.0)
+
+
+@pytest.fixture(scope="module")
+def route(request):
+    small_network = request.getfixturevalue("small_network")
+    nodes = list(small_network.nodes())
+    rng = Random(9)
+    for _ in range(100):
+        a, b = rng.sample(nodes, 2)
+        r = shortest_path(small_network, a, b)
+        if r is not None and r.length_m > 1_500.0:
+            return r
+    raise RuntimeError("no suitable route in the test network")
+
+
+class TestMatching:
+    def test_clean_trace_recovers_route_nodes(self, matcher, route):
+        trace = sample_route_trajectory(route, noise=None)
+        result = matcher.match(trace)
+        # Mid-edge samples can sit farther than the search radius from any
+        # node, so a few points may lack candidates even without noise.
+        assert result.matched_ratio > 0.9
+        # The matched node set should largely coincide with the route.
+        route_set = set(route.nodes)
+        matched_set = set(result.nodes)
+        overlap = len(route_set & matched_set) / len(route_set)
+        assert overlap > 0.8
+
+    def test_noisy_trace_stays_near_route(self, matcher, route):
+        noise = GaussianGpsNoise(20.0, Random(3))
+        trace = sample_route_trajectory(route, noise=noise)
+        result = matcher.match(trace)
+        assert result.matched_ratio > 0.9
+        # Every matched point lies within a generous corridor of the route.
+        for p in result.points:
+            nearest = min(haversine(p, q) for q in route.points)
+            assert nearest < 400.0
+
+    def test_matched_sequence_has_no_consecutive_duplicates(self, matcher, route):
+        trace = sample_route_trajectory(route, noise=None)
+        result = matcher.match(trace)
+        for a, b in zip(result.nodes, result.nodes[1:]):
+            assert a != b
+
+    def test_matched_nodes_form_connected_path(self, matcher, route, small_network):
+        trace = sample_route_trajectory(route, noise=None)
+        result = matcher.match(trace)
+        for a, b in zip(result.nodes, result.nodes[1:]):
+            neighbors = {e.target for e in small_network.edges_from(a)}
+            assert b in neighbors
+
+    def test_empty_trajectory(self, matcher):
+        result = matcher.match([])
+        assert result.nodes == ()
+        assert result.matched_ratio == 0.0
+
+    def test_far_away_trajectory_matches_nothing(self, matcher):
+        trace = [Point(40.0, 2.0), Point(40.001, 2.0)]
+        result = matcher.match(trace)
+        assert result.nodes == ()
+
+    def test_normalize_falls_back_to_raw(self, matcher):
+        trace = [Point(40.0, 2.0), Point(40.001, 2.0)]
+        assert matcher.normalize(trace) == trace
+
+    def test_normalize_returns_network_points(self, matcher, route, small_network):
+        trace = sample_route_trajectory(route, noise=None)
+        normalized = matcher.normalize(trace)
+        network_points = {small_network.point_of(n) for n in small_network.nodes()}
+        assert all(p in network_points for p in normalized)
+
+    def test_normalization_makes_noisy_traces_converge(self, matcher, route):
+        traces = [
+            sample_route_trajectory(route, noise=GaussianGpsNoise(20.0, Random(s)))
+            for s in (1, 2)
+        ]
+        matched = [tuple(matcher.normalize(t)) for t in traces]
+        # Two noisy recordings of the same route map to highly similar
+        # node sequences.
+        a, b = set(matched[0]), set(matched[1])
+        assert len(a & b) / len(a | b) > 0.7
+
+
+class TestValidation:
+    def test_invalid_parameters(self, small_network):
+        with pytest.raises(ValueError):
+            MapMatcher(small_network, sigma_m=0.0)
+        with pytest.raises(ValueError):
+            MapMatcher(small_network, beta_m=-1.0)
+        with pytest.raises(ValueError):
+            MapMatcher(small_network, radius_m=0.0)
+        with pytest.raises(ValueError):
+            MapMatcher(small_network, max_candidates=0)

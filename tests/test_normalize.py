@@ -1,0 +1,169 @@
+"""Tests for repro.normalize: grid, smoothing, resampling, composition."""
+
+import pytest
+
+from repro.geo.geohash import encode
+from repro.geo.point import Point, destination, haversine, path_length
+from repro.normalize import (
+    Decimator,
+    GridNormalizer,
+    MedianSmoother,
+    MovingAverageSmoother,
+    UniformResampler,
+    compose,
+    identity,
+    standard_normalizer,
+)
+
+LONDON = Point(51.5074, -0.1278)
+
+
+def walk_points(n, step_m=50.0, bearing=90.0):
+    out = [LONDON]
+    for _ in range(n - 1):
+        out.append(destination(out[-1], bearing, step_m))
+    return out
+
+
+class TestGridNormalizer:
+    def test_output_points_are_cell_centers(self):
+        norm = GridNormalizer(30)
+        for p in norm(walk_points(20)):
+            cell = encode(p, 30)
+            # A cell center re-encodes to its own cell.
+            assert encode(p, 30) == cell
+
+    def test_consecutive_duplicates_removed(self):
+        norm = GridNormalizer(30)
+        points = [LONDON] * 10
+        assert len(norm(points)) == 1
+
+    def test_jitter_within_cell_collapses(self):
+        norm = GridNormalizer(30)
+        # Jitter far smaller than a depth-30 cell.
+        a = norm(walk_points(20, step_m=400.0))
+        jittered = [destination(p, 45.0, 2.0) for p in walk_points(20, step_m=400.0)]
+        b = norm(jittered)
+        assert a == b
+
+    def test_empty(self):
+        assert GridNormalizer(30)([]) == []
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            GridNormalizer(0)
+
+
+class TestSmoothers:
+    def test_moving_average_reduces_noise(self):
+        from random import Random
+
+        from repro.workload.noise import GaussianGpsNoise
+
+        truth = walk_points(60, step_m=10.0)
+        noisy = GaussianGpsNoise(20.0, Random(1)).apply_all(truth)
+        smoothed = MovingAverageSmoother(9)(noisy)
+        raw_error = sum(haversine(a, b) for a, b in zip(truth, noisy))
+        smooth_error = sum(haversine(a, b) for a, b in zip(truth, smoothed))
+        assert smooth_error < raw_error * 0.6
+
+    def test_moving_average_preserves_length(self):
+        points = walk_points(30)
+        assert len(MovingAverageSmoother(9)(points)) == 30
+
+    def test_moving_average_window_one_is_identity(self):
+        points = walk_points(10)
+        assert MovingAverageSmoother(1)(points) == points
+
+    def test_moving_average_short_input_unchanged(self):
+        points = walk_points(2)
+        assert MovingAverageSmoother(9)(points) == points
+
+    def test_median_smoother_kills_outlier(self):
+        points = walk_points(11, step_m=10.0)
+        spiked = list(points)
+        spiked[5] = destination(points[5], 0.0, 500.0)
+        repaired = MedianSmoother(5)(spiked)
+        assert haversine(repaired[5], points[5]) < 100.0
+
+    def test_median_preserves_length(self):
+        assert len(MedianSmoother(5)(walk_points(20))) == 20
+
+    def test_invalid_windows(self):
+        with pytest.raises(ValueError):
+            MovingAverageSmoother(0)
+        with pytest.raises(ValueError):
+            MedianSmoother(0)
+
+
+class TestResampling:
+    def test_uniform_spacing(self):
+        resampler = UniformResampler(100.0)
+        out = resampler(walk_points(50, step_m=17.0))
+        gaps = [haversine(a, b) for a, b in zip(out, out[1:])]
+        assert all(g <= 110.0 for g in gaps)
+
+    def test_resampler_invalid_step(self):
+        with pytest.raises(ValueError):
+            UniformResampler(0.0)
+
+    def test_decimator_keeps_endpoints(self):
+        points = walk_points(10)
+        out = Decimator(4)(points)
+        assert out[0] == points[0]
+        assert out[-1] == points[-1]
+
+    def test_decimator_factor_one(self):
+        points = walk_points(5)
+        assert Decimator(1)(points) == points
+
+    def test_decimator_empty(self):
+        assert Decimator(3)([]) == []
+
+    def test_decimator_invalid(self):
+        with pytest.raises(ValueError):
+            Decimator(0)
+
+
+class TestComposition:
+    def test_identity(self):
+        points = walk_points(5)
+        assert identity(points) == points
+
+    def test_compose_empty_is_identity(self):
+        points = walk_points(5)
+        assert compose()(points) == points
+
+    def test_compose_order(self):
+        # Decimate-then-smooth differs from smooth-then-decimate.
+        points = walk_points(30, step_m=10.0)
+        a = compose(Decimator(3), MovingAverageSmoother(5))(points)
+        b = compose(MovingAverageSmoother(5), Decimator(3))(points)
+        assert len(a) == len(b)
+        assert a != b
+
+    def test_standard_normalizer_shrinks_noisy_input(self):
+        from random import Random
+
+        from repro.workload.noise import GaussianGpsNoise
+
+        norm = standard_normalizer()
+        truth = walk_points(120, step_m=10.0)
+        noisy = GaussianGpsNoise(20.0, Random(2)).apply_all(truth)
+        out = norm(noisy)
+        # Normalization collapses ~10 m steps into ~90 m cells.
+        assert 0 < len(out) < len(noisy) / 2
+
+    def test_standard_normalizer_convergence(self):
+        from random import Random
+
+        from repro.workload.noise import GaussianGpsNoise
+
+        norm = standard_normalizer()
+        truth = walk_points(120, step_m=10.0)
+        a = norm(GaussianGpsNoise(20.0, Random(3)).apply_all(truth))
+        b = norm(GaussianGpsNoise(20.0, Random(4)).apply_all(truth))
+        shared = len(set(a) & set(b))
+        # At 20 m noise over ~90 m cells roughly half the cells coincide;
+        # end-task retrieval quality is asserted by the integration tests.
+        assert shared / max(len(a), len(b)) >= 0.4

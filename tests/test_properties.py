@@ -1,0 +1,157 @@
+"""Cross-cutting property-based tests over the whole pipeline.
+
+These tie together invariants that individual module tests cannot see:
+self-retrieval, sharded/single-node equivalence, persistence round-trips,
+and the public API surface.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.persistence import load_index, save_index
+from repro.geo.point import Point, destination
+
+CONFIG = GeodabConfig(k=3, t=6)
+
+
+@st.composite
+def random_walks(draw, min_len=5, max_len=40):
+    """A deterministic random-walk trajectory strategy."""
+    n = draw(st.integers(min_value=min_len, max_value=max_len))
+    lat = draw(st.floats(min_value=51.3, max_value=51.7, allow_nan=False))
+    lon = draw(st.floats(min_value=-0.3, max_value=0.1, allow_nan=False))
+    bearings = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=360.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    steps = draw(
+        st.lists(
+            st.floats(min_value=20.0, max_value=300.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    points = [Point(lat, lon)]
+    for bearing, step in zip(bearings, steps):
+        points.append(destination(points[-1], bearing, step))
+    return points
+
+
+class TestSelfRetrieval:
+    @given(random_walks())
+    @settings(max_examples=30)
+    def test_indexed_trajectory_retrieves_itself_first(self, points):
+        index = GeodabIndex(CONFIG)
+        index.add("self", points)
+        if len(index.fingerprint_set("self")) == 0:
+            # Below the noise threshold: legitimately unfindable.
+            assert index.query(points) == []
+            return
+        results = index.query(points)
+        assert results[0].trajectory_id == "self"
+        assert results[0].distance == pytest.approx(0.0)
+
+    @given(random_walks(), random_walks())
+    @settings(max_examples=20)
+    def test_ranking_is_a_permutation_of_candidates(self, a, b):
+        index = GeodabIndex(CONFIG)
+        index.add("a", a)
+        index.add("b", b)
+        results = index.query(a)
+        ids = [r.trajectory_id for r in results]
+        assert len(ids) == len(set(ids))
+        assert set(ids) <= {"a", "b"}
+
+
+class TestShardedEquivalence:
+    @given(
+        st.lists(random_walks(), min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=15)
+    def test_sharded_equals_single_node(self, walks, num_shards, num_nodes):
+        if num_shards < num_nodes:
+            num_shards = num_nodes
+        single = GeodabIndex(CONFIG)
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=num_shards, num_nodes=num_nodes)
+        )
+        for i, walk in enumerate(walks):
+            single.add(f"t{i}", walk)
+            sharded.add(f"t{i}", walk)
+        for walk in walks:
+            expected = [
+                (r.trajectory_id, round(r.distance, 12))
+                for r in single.query(walk)
+            ]
+            actual = [
+                (r.trajectory_id, round(r.distance, 12))
+                for r in sharded.query(walk)
+            ]
+            assert actual == expected
+
+
+class TestPersistenceRoundTrip:
+    @given(st.lists(random_walks(), min_size=1, max_size=5))
+    @settings(max_examples=15)
+    def test_round_trip_preserves_rankings(self, walks):
+        import tempfile
+        from pathlib import Path
+
+        index = GeodabIndex(CONFIG)
+        for i, walk in enumerate(walks):
+            index.add(f"t{i}", walk)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "index.json"
+            save_index(index, path)
+            loaded = load_index(path)
+            for walk in walks:
+                assert [r.trajectory_id for r in loaded.query(walk)] == [
+                    r.trajectory_id for r in index.query(walk)
+                ]
+
+
+class TestPublicApi:
+    def test_top_level_exports_exist(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_exist(self):
+        import importlib
+
+        for module_name in (
+            "repro.geo",
+            "repro.hashing",
+            "repro.bitmap",
+            "repro.distance",
+            "repro.core",
+            "repro.baselines",
+            "repro.spatial",
+            "repro.roadnet",
+            "repro.mapmatch",
+            "repro.normalize",
+            "repro.workload",
+            "repro.cluster",
+            "repro.ir",
+            "repro.bench",
+            "repro.tuning",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

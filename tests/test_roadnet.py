@@ -1,0 +1,311 @@
+"""Tests for repro.roadnet: graphs, routing, generation, world model."""
+
+from random import Random
+
+import pytest
+
+from repro.geo.point import Point, haversine, path_length
+from repro.roadnet.generator import LONDON_CENTER, generate_city_network
+from repro.roadnet.graph import NodeLocator, RoadClass, RoadNetwork
+from repro.roadnet.router import bounded_dijkstra, random_routes, shortest_path
+from repro.roadnet.world import WorldActivityModel
+
+
+def tiny_network():
+    """A 2x3 grid with known shortest paths.
+
+    a--b--c
+    |  |  |
+    d--e--f
+    """
+    net = RoadNetwork()
+    coords = {
+        "a": Point(51.500, -0.100),
+        "b": Point(51.500, -0.098),
+        "c": Point(51.500, -0.096),
+        "d": Point(51.498, -0.100),
+        "e": Point(51.498, -0.098),
+        "f": Point(51.498, -0.096),
+    }
+    for node, point in coords.items():
+        net.add_node(node, point)
+    for u, v in [("a", "b"), ("b", "c"), ("d", "e"), ("e", "f"), ("a", "d"), ("b", "e"), ("c", "f")]:
+        net.add_edge(u, v)
+    return net
+
+
+class TestRoadNetwork:
+    def test_counts(self):
+        net = tiny_network()
+        assert net.num_nodes == 6
+        assert net.num_edges == 14  # 7 bidirectional streets
+
+    def test_edge_requires_nodes(self):
+        net = RoadNetwork()
+        net.add_node("a", Point(0, 0))
+        with pytest.raises(KeyError):
+            net.add_edge("a", "missing")
+
+    def test_self_loop_rejected(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            net.add_edge("a", "a")
+
+    def test_edge_length_is_ground_distance(self):
+        net = tiny_network()
+        edge = next(e for e in net.edges_from("a") if e.target == "b")
+        assert edge.length_m == pytest.approx(
+            haversine(net.point_of("a"), net.point_of("b"))
+        )
+
+    def test_travel_time(self):
+        net = tiny_network()
+        edge = net.edges_from("a")[0]
+        assert edge.travel_time_s == pytest.approx(edge.length_m / edge.speed_mps)
+
+    def test_default_speed_by_class(self):
+        net = RoadNetwork()
+        net.add_node("x", Point(0, 0))
+        net.add_node("y", Point(0, 0.01))
+        net.add_edge("x", "y", road_class=RoadClass.MOTORWAY)
+        assert net.edges_from("x")[0].speed_mps == pytest.approx(27.8)
+
+    def test_invalid_speed(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            net.add_edge("a", "f", speed_mps=0.0)
+
+    def test_connected_components(self):
+        net = tiny_network()
+        net.add_node("island", Point(51.6, -0.2))
+        components = net.connected_components()
+        assert len(components) == 2
+        assert len(components[0]) == 6
+
+    def test_largest_component(self):
+        net = tiny_network()
+        net.add_node("island", Point(51.6, -0.2))
+        largest = net.largest_component()
+        assert largest.num_nodes == 6
+        assert "island" not in largest
+
+    def test_bbox_contains_all_nodes(self):
+        net = tiny_network()
+        box = net.bbox()
+        for node in net.nodes():
+            assert box.contains(net.point_of(node))
+
+
+class TestRouting:
+    def test_shortest_path_straight_line(self):
+        net = tiny_network()
+        route = shortest_path(net, "a", "c")
+        assert route is not None
+        assert route.nodes == ("a", "b", "c")
+        assert route.length_m == pytest.approx(
+            path_length([net.point_of(n) for n in route.nodes])
+        )
+
+    def test_route_duration_positive(self):
+        net = tiny_network()
+        route = shortest_path(net, "a", "f")
+        assert route is not None
+        assert route.duration_s > 0
+        assert route.mean_speed_mps > 0
+
+    def test_unreachable_returns_none(self):
+        net = tiny_network()
+        net.add_node("island", Point(51.6, -0.2))
+        assert shortest_path(net, "a", "island") is None
+
+    def test_unknown_node_raises(self):
+        net = tiny_network()
+        with pytest.raises(KeyError):
+            shortest_path(net, "a", "nope")
+
+    def test_weight_time_prefers_fast_roads(self):
+        # Build a triangle where the longer way is much faster.
+        net = RoadNetwork()
+        net.add_node("s", Point(51.5, -0.10))
+        net.add_node("m", Point(51.52, -0.08))
+        net.add_node("t", Point(51.5, -0.06))
+        net.add_edge("s", "t", road_class=RoadClass.RESIDENTIAL)
+        net.add_edge("s", "m", road_class=RoadClass.MOTORWAY)
+        net.add_edge("m", "t", road_class=RoadClass.MOTORWAY)
+        by_time = shortest_path(net, "s", "t", weight="time")
+        by_length = shortest_path(net, "s", "t", weight="length")
+        assert by_time is not None and by_length is not None
+        assert by_time.nodes == ("s", "m", "t")
+        assert by_length.nodes == ("s", "t")
+
+    def test_invalid_weight(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            shortest_path(net, "a", "b", weight="bananas")
+
+    def test_reversed_route(self):
+        net = tiny_network()
+        route = shortest_path(net, "a", "c")
+        assert route is not None
+        rev = route.reversed()
+        assert rev.nodes == ("c", "b", "a")
+        assert rev.length_m == route.length_m
+        assert rev.duration_s == route.duration_s
+
+    def test_bounded_dijkstra_radius(self):
+        net = tiny_network()
+        reach = bounded_dijkstra(net, "a", max_cost=200.0, weight="length")
+        assert reach["a"] == 0.0
+        assert all(d <= 200.0 for d in reach.values())
+        full = bounded_dijkstra(net, "a", max_cost=10_000.0, weight="length")
+        assert set(full) == {"a", "b", "c", "d", "e", "f"}
+
+    def test_bounded_dijkstra_costs_match_shortest_path(self):
+        net = tiny_network()
+        reach = bounded_dijkstra(net, "a", max_cost=10_000.0, weight="length")
+        for target in ("b", "c", "f"):
+            route = shortest_path(net, "a", target, weight="length")
+            assert route is not None
+            assert reach[target] == pytest.approx(route.length_m)
+
+    def test_random_routes(self, small_network):
+        routes = random_routes(small_network, 5, Random(3), min_length_m=1_000.0)
+        assert len(routes) == 5
+        assert all(r.length_m >= 1_000.0 for r in routes)
+
+    def test_random_routes_impossible_minimum(self, small_network):
+        with pytest.raises(RuntimeError):
+            random_routes(
+                small_network, 3, Random(3), min_length_m=10**7,
+                max_attempts_per_route=3,
+            )
+
+    def test_random_routes_empty_request(self, small_network):
+        assert random_routes(small_network, 0, Random(1)) == []
+
+
+class TestGenerator:
+    def test_network_is_connected(self):
+        net = generate_city_network(half_side_m=1_500.0, spacing_m=300.0, seed=3)
+        assert len(net.connected_components()) == 1
+
+    def test_network_covers_requested_area(self):
+        net = generate_city_network(half_side_m=2_000.0, spacing_m=250.0, seed=3)
+        box = net.bbox()
+        assert box.width_m == pytest.approx(4_000.0, rel=0.15)
+        assert box.height_m == pytest.approx(4_000.0, rel=0.15)
+
+    def test_deterministic(self):
+        a = generate_city_network(half_side_m=1_000.0, seed=9)
+        b = generate_city_network(half_side_m=1_000.0, seed=9)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+
+    def test_seed_changes_layout(self):
+        a = generate_city_network(half_side_m=1_000.0, seed=1)
+        b = generate_city_network(half_side_m=1_000.0, seed=2)
+        pa = [a.point_of(n) for n in list(a.nodes())[:5]]
+        pb = [b.point_of(n) for n in list(b.nodes())[:5]]
+        assert pa != pb
+
+    def test_primary_roads_exist(self):
+        net = generate_city_network(half_side_m=1_500.0, seed=3)
+        classes = {e.road_class for e in net.edges()}
+        assert RoadClass.PRIMARY in classes
+        assert RoadClass.RESIDENTIAL in classes
+
+    def test_centered_on_london(self):
+        net = generate_city_network(half_side_m=1_000.0, seed=0)
+        center = net.bbox().center
+        assert haversine(center, LONDON_CENTER) < 1_500.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_city_network(half_side_m=0.0)
+        with pytest.raises(ValueError):
+            generate_city_network(removal_probability=0.9)
+
+
+class TestNodeLocator:
+    def test_nearby_radius(self, small_network):
+        locator = NodeLocator(small_network)
+        some_node = next(iter(small_network.nodes()))
+        probe = small_network.point_of(some_node)
+        hits = locator.nearby(probe, 300.0)
+        assert hits
+        assert hits[0][0] == some_node
+        assert all(d <= 300.0 for _, d in hits)
+        # Sorted by distance.
+        distances = [d for _, d in hits]
+        assert distances == sorted(distances)
+
+    def test_nearby_matches_brute_force(self, small_network):
+        locator = NodeLocator(small_network)
+        probe = Point(51.505, -0.125)
+        radius = 400.0
+        expected = sorted(
+            node
+            for node in small_network.nodes()
+            if haversine(probe, small_network.point_of(node)) <= radius
+        )
+        hits = sorted(node for node, _ in locator.nearby(probe, radius))
+        assert hits == expected
+
+    def test_nearest_expands_radius(self, small_network):
+        locator = NodeLocator(small_network)
+        probe = Point(51.53, -0.10)  # outside the small network
+        assert locator.nearest(probe, search_radius_m=50.0) is not None
+
+    def test_invalid_arguments(self, small_network):
+        locator = NodeLocator(small_network)
+        with pytest.raises(ValueError):
+            locator.nearby(Point(0, 0), -1.0)
+        with pytest.raises(ValueError):
+            NodeLocator(small_network, depth=3)
+
+
+class TestWorldModel:
+    def test_deterministic(self):
+        a = WorldActivityModel(num_cities=50, seed=4).trajectories_per_cell(10_000)
+        b = WorldActivityModel(num_cities=50, seed=4).trajectories_per_cell(10_000)
+        assert a == b
+
+    def test_total_roughly_preserved(self):
+        model = WorldActivityModel(num_cities=100, seed=4)
+        counts = model.trajectories_per_cell(100_000)
+        assert sum(counts.values()) == pytest.approx(100_000, rel=0.05)
+
+    def test_cells_within_domain(self):
+        model = WorldActivityModel(num_cities=30, seed=5)
+        counts = model.trajectories_per_cell(10_000)
+        assert all(0 <= cell < 2**16 for cell in counts)
+
+    def test_distribution_is_skewed(self):
+        model = WorldActivityModel(seed=6)
+        counts = model.trajectories_per_cell(500_000)
+        stats = model.skew_statistics(counts)
+        # Figure 15 territory: sharp peaks over a long tail.
+        assert stats["gini"] > 0.5
+        assert stats["max"] > 20 * stats["mean"]
+
+    def test_voids_exist(self):
+        model = WorldActivityModel(seed=6)
+        counts = model.trajectories_per_cell(500_000)
+        # Oceans: most of the 2^16 cells are empty.
+        assert len(counts) < 2**15
+
+    def test_sample_locations(self):
+        model = WorldActivityModel(num_cities=20, seed=8)
+        locations = model.sample_locations(50)
+        assert len(locations) == 50
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            WorldActivityModel(num_cities=0)
+        with pytest.raises(ValueError):
+            WorldActivityModel(num_cities=5).trajectories_per_cell(0)
+
+    def test_skew_statistics_empty(self):
+        model = WorldActivityModel(num_cities=5)
+        stats = model.skew_statistics({})
+        assert stats["cells"] == 0

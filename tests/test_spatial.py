@@ -1,0 +1,146 @@
+"""Tests for repro.spatial: quadtree and r-tree baselines."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.bbox import WORLD, BBox
+from repro.geo.point import Point
+from repro.spatial.quadtree import QuadTree
+from repro.spatial.rtree import RTree
+
+
+def small_boxes(n=40, seed=7):
+    """Deterministic list of small boxes scattered over a city area."""
+    from random import Random
+
+    rng = Random(seed)
+    out = []
+    for i in range(n):
+        lat = rng.uniform(51.3, 51.7)
+        lon = rng.uniform(-0.4, 0.1)
+        d_lat = rng.uniform(0.001, 0.02)
+        d_lon = rng.uniform(0.001, 0.02)
+        out.append((i, BBox(lat, lon, lat + d_lat, lon + d_lon)))
+    return out
+
+
+def brute_force_query(entries, region):
+    return sorted(k for k, box in entries if box.intersects(region))
+
+
+REGIONS = [
+    BBox(51.3, -0.4, 51.7, 0.1),
+    BBox(51.4, -0.2, 51.5, -0.1),
+    BBox(51.69, 0.05, 51.7, 0.1),
+    BBox(0.0, 10.0, 1.0, 11.0),  # far away: empty
+]
+
+
+class TestQuadTree:
+    def test_empty_query(self):
+        tree = QuadTree()
+        assert tree.query(WORLD) == []
+        assert len(tree) == 0
+
+    def test_insert_and_query_all(self):
+        tree = QuadTree(node_capacity=4)
+        entries = small_boxes()
+        for key, box in entries:
+            tree.insert(key, box)
+        assert len(tree) == len(entries)
+        assert sorted(tree.query(WORLD)) == sorted(k for k, _ in entries)
+
+    @pytest.mark.parametrize("region", REGIONS)
+    def test_query_matches_brute_force(self, region):
+        tree = QuadTree(node_capacity=4)
+        entries = small_boxes()
+        for key, box in entries:
+            tree.insert(key, box)
+        assert sorted(tree.query(region)) == brute_force_query(entries, region)
+
+    def test_out_of_bounds_insert_rejected(self):
+        tree = QuadTree(bounds=BBox(0.0, 0.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            tree.insert("x", BBox(2.0, 2.0, 3.0, 3.0))
+
+    def test_split_grows_depth(self):
+        tree = QuadTree(node_capacity=2)
+        for key, box in small_boxes(50):
+            tree.insert(key, box)
+        assert tree.depth() >= 1
+
+    def test_insert_trajectory(self):
+        tree = QuadTree()
+        tree.insert_trajectory("t", [Point(51.5, -0.1), Point(51.6, -0.2)])
+        assert tree.query(BBox(51.55, -0.15, 51.56, -0.14)) == ["t"]
+
+    def test_iteration(self):
+        tree = QuadTree(node_capacity=4)
+        entries = small_boxes(10)
+        for key, box in entries:
+            tree.insert(key, box)
+        assert sorted(k for k, _ in tree) == sorted(k for k, _ in entries)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuadTree(node_capacity=0)
+        with pytest.raises(ValueError):
+            QuadTree(max_depth=0)
+
+
+class TestRTree:
+    def test_empty_query(self):
+        tree = RTree()
+        assert tree.query(WORLD) == []
+        assert len(tree) == 0
+
+    def test_insert_and_query_all(self):
+        tree = RTree(max_entries=4)
+        entries = small_boxes()
+        for key, box in entries:
+            tree.insert(key, box)
+        assert len(tree) == len(entries)
+        assert sorted(tree.query(WORLD)) == sorted(k for k, _ in entries)
+
+    @pytest.mark.parametrize("region", REGIONS)
+    def test_query_matches_brute_force(self, region):
+        tree = RTree(max_entries=4)
+        entries = small_boxes()
+        for key, box in entries:
+            tree.insert(key, box)
+        assert sorted(tree.query(region)) == brute_force_query(entries, region)
+
+    @given(st.integers(min_value=1, max_value=120))
+    def test_height_grows_logarithmically(self, n):
+        tree = RTree(max_entries=4)
+        for key, box in small_boxes(n, seed=n):
+            tree.insert(key, box)
+        assert len(tree) == n
+        # Height bounded by log_2(n) + constant for max_entries=4.
+        assert tree.height() <= max(2, n.bit_length() + 1)
+
+    def test_insert_trajectory(self):
+        tree = RTree()
+        tree.insert_trajectory("t", [Point(51.5, -0.1), Point(51.6, -0.2)])
+        assert tree.query(BBox(51.55, -0.15, 51.56, -0.14)) == ["t"]
+
+    def test_iteration(self):
+        tree = RTree(max_entries=5)
+        entries = small_boxes(25)
+        for key, box in entries:
+            tree.insert(key, box)
+        assert sorted(k for k, _ in tree) == sorted(k for k, _ in entries)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_duplicate_boxes_supported(self):
+        tree = RTree(max_entries=4)
+        box = BBox(51.5, -0.1, 51.51, -0.09)
+        for i in range(10):
+            tree.insert(i, box)
+        assert sorted(tree.query(box)) == list(range(10))

@@ -1,0 +1,120 @@
+"""Tests for repro.tuning: hill-climbing configuration search."""
+
+import pytest
+
+from repro.core.config import GeodabConfig
+from repro.tuning.hillclimb import (
+    EvaluatedConfig,
+    _neighbours,
+    evaluate_config,
+    hill_climb,
+)
+
+
+class TestNeighbours:
+    def test_six_moves_in_the_interior(self):
+        config = GeodabConfig(normalization_depth=36, k=6, t=12)
+        moves = _neighbours(config)
+        assert len(moves) == 6
+        assert all(isinstance(m, GeodabConfig) for m in moves)
+
+    def test_constraints_respected(self):
+        # k cannot drop below 2; t cannot drop below k.
+        config = GeodabConfig(normalization_depth=36, k=2, t=2)
+        moves = _neighbours(config)
+        assert all(m.k >= 2 and m.t >= m.k for m in moves)
+
+    def test_depth_bounds(self):
+        config = GeodabConfig(normalization_depth=8, k=6, t=12)
+        moves = _neighbours(config)
+        assert all(m.normalization_depth >= 8 for m in moves)
+
+
+class TestHillClimbWithSurrogate:
+    """Drive the search with a synthetic objective to test the mechanics."""
+
+    @staticmethod
+    def _surrogate(optimum_depth=36, optimum_k=6, optimum_t=12):
+        def score(config, dataset):
+            return -(
+                abs(config.normalization_depth - optimum_depth)
+                + 2 * abs(config.k - optimum_k)
+                + abs(config.t - optimum_t)
+            )
+
+        return score
+
+    def test_converges_to_optimum(self, small_dataset):
+        seed = GeodabConfig(normalization_depth=30, k=4, t=8)
+        result = hill_climb(
+            small_dataset, seed=seed, evaluator=self._surrogate()
+        )
+        assert result.best.config.normalization_depth == 36
+        assert result.best.config.k == 6
+        assert result.best.config.t == 12
+        assert result.improved
+
+    def test_already_optimal_stops_immediately(self, small_dataset):
+        seed = GeodabConfig(normalization_depth=36, k=6, t=12)
+        result = hill_climb(
+            small_dataset, seed=seed, evaluator=self._surrogate()
+        )
+        assert not result.improved
+        assert result.best.config == seed
+
+    def test_max_steps_bounds_search(self, small_dataset):
+        seed = GeodabConfig(normalization_depth=20, k=3, t=6)
+        result = hill_climb(
+            small_dataset, seed=seed, max_steps=2, evaluator=self._surrogate()
+        )
+        assert len(result.steps) <= 3  # seed + at most 2 moves
+
+    def test_evaluations_are_cached(self, small_dataset):
+        calls = []
+
+        def counting(config, dataset):
+            calls.append(config)
+            return self._surrogate()(config, dataset)
+
+        hill_climb(
+            small_dataset,
+            seed=GeodabConfig(normalization_depth=34, k=6, t=12),
+            evaluator=counting,
+        )
+        assert len(calls) == len(set(calls))
+
+    def test_invalid_max_steps(self, small_dataset):
+        with pytest.raises(ValueError):
+            hill_climb(small_dataset, max_steps=0)
+
+    def test_steps_scores_monotone(self, small_dataset):
+        result = hill_climb(
+            small_dataset,
+            seed=GeodabConfig(normalization_depth=28, k=4, t=10),
+            evaluator=self._surrogate(),
+        )
+        scores = [step.score for step in result.steps]
+        assert scores == sorted(scores)
+
+
+class TestRealEvaluation:
+    def test_evaluate_config_returns_map(self, small_dataset):
+        score = evaluate_config(GeodabConfig(k=3, t=6), small_dataset)
+        assert 0.0 <= score <= 1.0
+
+    def test_evaluate_requires_queries(self, small_dataset):
+        import dataclasses
+
+        from repro.workload.dataset import TrajectoryDataset
+
+        empty = TrajectoryDataset(records=list(small_dataset.records), queries=[])
+        with pytest.raises(ValueError):
+            evaluate_config(GeodabConfig(), empty)
+
+    def test_real_hill_climb_one_step(self, small_dataset):
+        # One bounded step with the true MAP objective: must not crash and
+        # must never return something worse than the seed.
+        seed = GeodabConfig(normalization_depth=36, k=3, t=6)
+        result = hill_climb(small_dataset, seed=seed, max_steps=1)
+        seed_score = [s for s in result.steps if s.config == seed][0].score
+        assert result.best.score >= seed_score

@@ -1,0 +1,217 @@
+"""Tests for repro.workload: noise, sampling, dataset construction."""
+
+from random import Random
+
+import pytest
+
+from repro.geo.point import Point, haversine, path_length
+from repro.roadnet.router import shortest_path
+from repro.workload.dataset import FORWARD, REVERSE, TrajectoryDataset, TrajectoryRecord
+from repro.workload.noise import DropoutNoise, GaussianGpsNoise
+from repro.workload.trajgen import (
+    PolylineWalker,
+    WorkloadBuilder,
+    sample_route_trajectory,
+)
+
+LONDON = Point(51.5074, -0.1278)
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_identity(self):
+        noise = GaussianGpsNoise(0.0, Random(1))
+        assert noise.apply(LONDON) == LONDON
+
+    def test_displacement_scale(self):
+        noise = GaussianGpsNoise(20.0, Random(2))
+        offsets = [haversine(LONDON, noise.apply(LONDON)) for _ in range(500)]
+        mean_offset = sum(offsets) / len(offsets)
+        # Rayleigh mean = sigma * sqrt(pi/2) ~ 25 m for sigma 20.
+        assert 18.0 < mean_offset < 33.0
+
+    def test_deterministic_with_seeded_rng(self):
+        a = GaussianGpsNoise(20.0, Random(3)).apply(LONDON)
+        b = GaussianGpsNoise(20.0, Random(3)).apply(LONDON)
+        assert a == b
+
+    def test_apply_all_length(self):
+        noise = GaussianGpsNoise(20.0, Random(4))
+        points = [LONDON] * 7
+        assert len(noise.apply_all(points)) == 7
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianGpsNoise(-1.0)
+
+
+class TestDropoutNoise:
+    def test_keeps_endpoints(self):
+        noise = DropoutNoise(0.9, Random(1))
+        points = [Point(51.5, -0.1 + i * 1e-3) for i in range(20)]
+        out = noise.apply_all(points)
+        assert out[0] == points[0]
+        assert out[-1] == points[-1]
+
+    def test_drop_probability_zero(self):
+        noise = DropoutNoise(0.0, Random(1))
+        points = [Point(51.5, -0.1 + i * 1e-3) for i in range(5)]
+        assert noise.apply_all(points) == points
+
+    def test_short_input_untouched(self):
+        noise = DropoutNoise(0.5, Random(1))
+        points = [LONDON, LONDON]
+        assert noise.apply_all(points) == points
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DropoutNoise(1.0)
+
+
+class TestPolylineWalker:
+    def test_endpoints(self):
+        points = [Point(51.5, -0.12), Point(51.51, -0.12), Point(51.51, -0.11)]
+        walker = PolylineWalker(points)
+        assert walker.at(0.0) == points[0]
+        assert walker.at(walker.total_m) == points[-1]
+        assert walker.at(10**9) == points[-1]
+
+    def test_interior_distance(self):
+        points = [Point(51.5, -0.12), Point(51.52, -0.12)]
+        walker = PolylineWalker(points)
+        probe = walker.at(walker.total_m / 2.0)
+        assert haversine(points[0], probe) == pytest.approx(
+            walker.total_m / 2.0, rel=1e-6
+        )
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            PolylineWalker([LONDON])
+
+
+class TestSampling:
+    def test_sample_rate_controls_spacing(self, small_network):
+        route = self._route(small_network)
+        slow = sample_route_trajectory(route, sample_rate_hz=1.0)
+        fast = sample_route_trajectory(route, sample_rate_hz=2.0)
+        assert len(fast) == pytest.approx(2 * len(slow), rel=0.1)
+
+    def test_samples_follow_route(self, small_network):
+        route = self._route(small_network)
+        trace = sample_route_trajectory(route)
+        for p in trace:
+            nearest = min(haversine(p, q) for q in route.points)
+            assert nearest < 260.0  # within one block of the polyline
+
+    def test_noise_perturbs(self, small_network):
+        route = self._route(small_network)
+        clean = sample_route_trajectory(route)
+        noisy = sample_route_trajectory(
+            route, noise=GaussianGpsNoise(20.0, Random(5))
+        )
+        assert clean != noisy
+        assert len(clean) == len(noisy)
+
+    def test_speed_factor_changes_sample_count(self, small_network):
+        route = self._route(small_network)
+        normal = sample_route_trajectory(route, speed_factor=1.0)
+        fast = sample_route_trajectory(route, speed_factor=2.0)
+        assert len(fast) < len(normal)
+
+    def test_invalid_arguments(self, small_network):
+        route = self._route(small_network)
+        with pytest.raises(ValueError):
+            sample_route_trajectory(route, sample_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            sample_route_trajectory(route, speed_factor=0.0)
+
+    @staticmethod
+    def _route(network):
+        nodes = list(network.nodes())
+        rng = Random(2)
+        for _ in range(100):
+            a, b = rng.sample(nodes, 2)
+            route = shortest_path(network, a, b)
+            if route is not None and route.length_m > 1_200.0:
+                return route
+        raise RuntimeError("no route found")
+
+
+class TestWorkloadBuilder:
+    def test_dataset_shape(self, small_dataset):
+        # 4 routes x 2 directions x 3 recordings.
+        assert len(small_dataset) == 24
+        groups = small_dataset.groups()
+        assert len(groups) == 8
+        assert all(len(records) == 3 for records in groups.values())
+
+    def test_queries_have_ground_truth(self, small_dataset):
+        assert len(small_dataset.queries) == 4
+        for query in small_dataset.queries:
+            assert len(query.relevant_ids) == 3
+            for rid in query.relevant_ids:
+                record = small_dataset.record_by_id(rid)
+                assert record.route_id == query.route_id
+                assert record.direction == query.direction
+
+    def test_query_not_in_dataset(self, small_dataset):
+        record_ids = {r.trajectory_id for r in small_dataset.records}
+        for query in small_dataset.queries:
+            assert query.query_id not in record_ids
+
+    def test_directions_are_reversed_routes(self, small_dataset):
+        groups = small_dataset.groups()
+        forward = groups[(0, FORWARD)][0]
+        reverse = groups[(0, REVERSE)][0]
+        # Start of one is near the end of the other.
+        assert haversine(forward.points[0], reverse.points[-1]) < 300.0
+
+    def test_sampling_rate_one_hz(self, small_dataset):
+        record = small_dataset.records[0]
+        # ~1 point per second at urban speed: consecutive spacing well
+        # below 30 m (max speed + jitter + noise).
+        gaps = [
+            haversine(a, b)
+            for a, b in zip(record.points, record.points[1:])
+        ]
+        assert sum(gaps) / len(gaps) < 60.0
+
+    def test_deterministic(self, small_network):
+        a = WorkloadBuilder(small_network, seed=5).build(2, 2, num_queries=1)
+        b = WorkloadBuilder(small_network, seed=5).build(2, 2, num_queries=1)
+        assert [r.trajectory_id for r in a.records] == [
+            r.trajectory_id for r in b.records
+        ]
+        assert a.records[0].points == b.records[0].points
+
+    def test_invalid_parameters(self, small_network):
+        builder = WorkloadBuilder(small_network)
+        with pytest.raises(ValueError):
+            builder.build(1, trajectories_per_direction=0)
+        with pytest.raises(ValueError):
+            WorkloadBuilder(small_network, speed_jitter=1.5)
+
+    def test_total_points(self, small_dataset):
+        assert small_dataset.total_points() == sum(
+            len(r.points) for r in small_dataset.records
+        )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.jsonl"
+        small_dataset.save(path)
+        loaded = TrajectoryDataset.load(path)
+        assert len(loaded) == len(small_dataset)
+        assert len(loaded.queries) == len(small_dataset.queries)
+        assert loaded.records[0].trajectory_id == small_dataset.records[0].trajectory_id
+        assert loaded.records[0].points == small_dataset.records[0].points
+        assert loaded.queries[0].relevant_ids == small_dataset.queries[0].relevant_ids
+
+    def test_record_by_id_missing(self, small_dataset):
+        with pytest.raises(KeyError):
+            small_dataset.record_by_id("nope")
+
+    def test_relevant_ids(self, small_dataset):
+        ids = small_dataset.relevant_ids(0, FORWARD)
+        assert len(ids) == 3
+        assert all("r00000-f" in i for i in ids)

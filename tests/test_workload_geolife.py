@@ -1,0 +1,120 @@
+"""Tests for repro.workload.geolife: GeoLife .plt loading."""
+
+import pytest
+
+from repro.workload.geolife import iter_plt_files, load_geolife, parse_plt
+
+PLT_HEADER = (
+    "Geolife trajectory\n"
+    "WGS 84\n"
+    "Altitude is in Feet\n"
+    "Reserved 3\n"
+    "0,2,255,My Track,0,0,2,8421376\n"
+    "0\n"
+)
+
+
+def write_plt(path, rows):
+    lines = [PLT_HEADER]
+    for lat, lon in rows:
+        lines.append(f"{lat},{lon},0,492,39744.245,2008-10-23,05:53:05\n")
+    path.write_text("".join(lines), encoding="utf-8")
+
+
+@pytest.fixture()
+def geolife_tree(tmp_path):
+    """A miniature GeoLife directory: two users, three trajectories."""
+    for user, files in {
+        "000": {
+            "20081023055305": [(39.984, 116.318), (39.985, 116.319), (39.986, 116.320)],
+            "20081024020959": [(39.99, 116.32), (39.991, 116.321)],
+        },
+        "001": {
+            "20081101000000": [(31.23, 121.47), (31.231, 121.471), (31.232, 121.472)],
+        },
+    }.items():
+        trajectory_dir = tmp_path / user / "Trajectory"
+        trajectory_dir.mkdir(parents=True)
+        for stem, rows in files.items():
+            write_plt(trajectory_dir / f"{stem}.plt", rows)
+    # A stray user directory without a Trajectory folder must be skipped.
+    (tmp_path / "999").mkdir()
+    return tmp_path
+
+
+class TestParsePlt:
+    def test_parses_points_in_order(self, geolife_tree):
+        path = geolife_tree / "000" / "Trajectory" / "20081023055305.plt"
+        points = parse_plt(path)
+        assert len(points) == 3
+        assert points[0].lat == pytest.approx(39.984)
+        assert points[0].lon == pytest.approx(116.318)
+
+    def test_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.plt"
+        path.write_text(
+            PLT_HEADER
+            + "39.9,116.3,0,492,39744.2,2008-10-23,05:53:05\n"
+            + "garbage line\n"
+            + "not,a,number\n"
+            + "40.0,116.4,0,492,39744.3,2008-10-23,05:53:06\n"
+        )
+        points = parse_plt(path)
+        assert len(points) == 2
+
+    def test_skips_out_of_range_and_zero_glitches(self, tmp_path):
+        path = tmp_path / "glitch.plt"
+        path.write_text(
+            PLT_HEADER
+            + "0.0,0.0,0,0,0,2008-10-23,05:53:05\n"
+            + "400.0,116.3,0,0,0,2008-10-23,05:53:06\n"
+            + "39.9,200.0,0,0,0,2008-10-23,05:53:07\n"
+            + "39.9,116.3,0,0,0,2008-10-23,05:53:08\n"
+        )
+        assert len(parse_plt(path)) == 1
+
+
+class TestIterPltFiles:
+    def test_yields_sorted_pairs(self, geolife_tree):
+        pairs = list(iter_plt_files(geolife_tree))
+        assert [user for user, _ in pairs] == ["000", "000", "001"]
+        assert pairs[0][1].name == "20081023055305.plt"
+
+    def test_missing_root(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_plt_files(tmp_path / "nope"))
+
+
+class TestLoadGeolife:
+    def test_loads_dataset(self, geolife_tree):
+        dataset = load_geolife(geolife_tree, min_points=2)
+        assert len(dataset) == 3
+        ids = [r.trajectory_id for r in dataset.records]
+        assert "000/20081023055305" in ids
+        assert "001/20081101000000" in ids
+
+    def test_route_ids_group_users(self, geolife_tree):
+        dataset = load_geolife(geolife_tree, min_points=2)
+        routes = {r.trajectory_id.split("/")[0]: r.route_id for r in dataset.records}
+        assert routes["000"] != routes["001"]
+
+    def test_min_points_filter(self, geolife_tree):
+        dataset = load_geolife(geolife_tree, min_points=3)
+        assert len(dataset) == 2  # the 2-point trajectory is dropped
+
+    def test_max_trajectories_cap(self, geolife_tree):
+        dataset = load_geolife(geolife_tree, min_points=1, max_trajectories=1)
+        assert len(dataset) == 1
+
+    def test_invalid_min_points(self, geolife_tree):
+        with pytest.raises(ValueError):
+            load_geolife(geolife_tree, min_points=-1)
+
+    def test_loaded_records_are_indexable(self, geolife_tree):
+        from repro.core import GeodabConfig, GeodabIndex
+
+        dataset = load_geolife(geolife_tree, min_points=2)
+        index = GeodabIndex(GeodabConfig(k=2, t=3))
+        for record in dataset.records:
+            index.add(record.trajectory_id, record.points)
+        assert len(index) == 3
