@@ -10,6 +10,8 @@ re-exports the pieces a downstream user needs:
   in ``repro.baselines``
 * data: the synthetic London workload in ``repro.workload``
 * geometry: :class:`Point`, :class:`Geohash`
+* serving: :class:`IndexService` and the HTTP API in ``repro.service``
+  (``geodabs serve``)
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
@@ -29,6 +31,7 @@ from .core import (
     find_common_motif,
 )
 from .geo import BBox, Geohash, Point, haversine
+from .service import IndexService, QueryExecutor, start_server
 
 __version__ = "1.0.0"
 
@@ -41,11 +44,14 @@ __all__ = [
     "GeodabScheme",
     "Geohash",
     "GeohashIndex",
+    "IndexService",
     "MotifMatch",
     "PAPER_CONFIG",
     "Point",
+    "QueryExecutor",
     "SearchResult",
     "TrajectoryWinnower",
+    "start_server",
     "discover_motif",
     "find_common_motif",
     "haversine",

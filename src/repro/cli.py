@@ -1,19 +1,22 @@
 """Command-line interface for the geodab reproduction.
 
-Three subcommands cover the end-to-end workflow:
+Four subcommands cover the end-to-end workflow:
 
 * ``repro generate`` — synthesize a dense London-style dataset with
   queries and ground truth, saved as JSON lines;
 * ``repro evaluate`` — index a saved dataset (geodabs and the geohash
   baseline) and print retrieval-quality tables;
 * ``repro query`` — run one saved query against a chosen index and show
-  the ranked results against the gold labels.
+  the ranked results against the gold labels;
+* ``repro serve`` — run the concurrent query-serving HTTP API over a
+  (optionally sharded) geodab index.
 
 Example::
 
     repro generate --routes 10 --queries 5 --out /tmp/ds.jsonl
     repro evaluate --dataset /tmp/ds.jsonl
     repro query --dataset /tmp/ds.jsonl --query-id q0000
+    repro serve --dataset /tmp/ds.jsonl --port 8008 --shards 8
 """
 
 from __future__ import annotations
@@ -73,6 +76,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--limit", type=int, default=10)
     query.add_argument("--depth", type=int, default=36)
+
+    serve = commands.add_parser(
+        "serve", help="run the concurrent query-serving HTTP API"
+    )
+    serve.add_argument("--dataset", help="JSONL dataset to pre-ingest")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8008)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard the index (0 = single-node GeodabIndex)",
+    )
+    serve.add_argument("--nodes", type=int, default=None)
+    serve.add_argument(
+        "--placement",
+        choices=("range", "hash"),
+        default=None,
+        help="term->shard placement: 'range' preserves z-order locality "
+        "(world-scale), 'hash' spreads a single region over all shards "
+        "(default: hash)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard fan-out worker pool size, default 8 "
+        "(0 = sequential fan-out)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        help="micro-batch window for concurrent queries (0 = off)",
+    )
+    serve.add_argument(
+        "--rpc-latency-ms",
+        type=float,
+        default=0.0,
+        help="simulated per-shard contact latency",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="result/fingerprint cache capacity (0 disables caching)",
+    )
+    serve.add_argument("--depth", type=int, default=36)
+    serve.add_argument("--k", type=int, default=6)
+    serve.add_argument("--t", type=int, default=12)
+    serve.add_argument("--verbose", action="store_true")
 
     return parser
 
@@ -176,6 +230,102 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .cluster import ShardedGeodabIndex, ShardingConfig
+    from .service import IndexService, QueryExecutor, ServiceHTTPServer
+
+    config = GeodabConfig(normalization_depth=args.depth, k=args.k, t=args.t)
+    normalizer = standard_normalizer(args.depth)
+    executor = None
+    if args.shards == 0:
+        sharding_only = {
+            "--rpc-latency-ms": args.rpc_latency_ms > 0,
+            "--batch-window-ms": args.batch_window_ms > 0,
+            "--workers": args.workers is not None,
+            "--nodes": args.nodes is not None,
+            "--placement": args.placement is not None,
+        }
+        misused = [flag for flag, used in sharding_only.items() if used]
+        if misused:
+            print(
+                f"error: {'/'.join(misused)} require a sharded index "
+                "(pass --shards N)",
+                file=sys.stderr,
+            )
+            return 2
+        index = GeodabIndex(config, normalizer=normalizer)
+        workers = 0
+    else:
+        workers = 8 if args.workers is None else args.workers
+        if args.nodes is not None:
+            nodes = args.nodes
+        else:
+            nodes = min(2, args.shards)  # a 1-shard cluster gets 1 node
+        try:
+            sharding = ShardingConfig(
+                num_shards=args.shards,
+                num_nodes=nodes,
+                placement=args.placement or "hash",
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        index = ShardedGeodabIndex(config, sharding, normalizer=normalizer)
+        # Always route sharded queries through the executor so the
+        # latency/batching knobs apply to --workers 0 (sequential
+        # fan-out) too, not just the pooled configurations.
+        try:
+            executor = QueryExecutor(
+                index,
+                pool_size=workers,
+                rpc_latency_s=args.rpc_latency_ms / 1000.0,
+                batch_window_s=args.batch_window_ms / 1000.0,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        service = IndexService(
+            index,
+            executor=executor,
+            result_cache_size=args.cache_size,
+            fingerprint_cache_size=args.cache_size,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Bind before the (potentially long) dataset ingest so an occupied
+    # port fails fast and cleanly.
+    try:
+        server = ServiceHTTPServer(
+            (args.host, args.port), service, verbose=args.verbose
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    if args.dataset:
+        dataset = TrajectoryDataset.load(args.dataset)
+        count, _ = service.ingest(
+            (record.trajectory_id, record.points) for record in dataset.records
+        )
+        print(f"ingested {count} trajectories from {args.dataset}")
+    shape = "single-node" if args.shards == 0 else (
+        f"{args.shards} shards / {index.sharding.num_nodes} nodes, "
+        f"{workers} fan-out workers"
+    )
+    print(f"serving geodab index ({shape}) at {server.url}")
+    print("endpoints: POST /trajectories, DELETE /trajectories/{id}, "
+          "POST /query, GET /stats, GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -185,6 +335,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,12 +1,13 @@
 """Distributed/sharded geodab index (paper Section VI-E)."""
 
-from .cluster import FanoutStats, ShardedGeodabIndex, ShardState
+from .cluster import FanoutStats, PreparedQuery, ShardedGeodabIndex, ShardState
 from .sharding import ShardingConfig, ShardRouter
 from .stats import BalanceReport, balance_report, distribute_cell_counts
 
 __all__ = [
     "BalanceReport",
     "FanoutStats",
+    "PreparedQuery",
     "ShardRouter",
     "ShardState",
     "ShardedGeodabIndex",

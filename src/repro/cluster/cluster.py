@@ -13,16 +13,21 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from ..core.config import GeodabConfig
-from ..core.fingerprint import Fingerprinter
-from ..core.index import Normalizer, SearchResult
+from ..core.fingerprint import Fingerprinter, FingerprintSet
+from ..core.index import Normalizer, SearchResult, _TOMBSTONE
 from ..geo.point import Trajectory
 from .sharding import ShardingConfig, ShardRouter
 
-__all__ = ["FanoutStats", "ShardState", "ShardedGeodabIndex"]
+__all__ = [
+    "FanoutStats",
+    "PreparedQuery",
+    "ShardState",
+    "ShardedGeodabIndex",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +38,26 @@ class FanoutStats:
     shards_contacted: int
     nodes_contacted: int
     candidates: int
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedQuery:
+    """A query after fingerprinting and routing, before shard contact.
+
+    Splitting preparation from execution lets the serving tier fan the
+    per-shard lookups out over a worker pool (and batch the lookups of
+    concurrent queries) while reusing exactly the routing and ranking of
+    the sequential path.
+    """
+
+    fingerprint_set: FingerprintSet
+    terms: tuple[int, ...]
+    plan: dict[int, list[int]]
+
+    @property
+    def query_bitmap(self) -> RoaringBitmap | Roaring64Map:
+        """Bitmap of the query's distinct terms (for Jaccard ranking)."""
+        return self.fingerprint_set.bitmap
 
 
 @dataclass
@@ -82,6 +107,7 @@ class ShardedGeodabIndex:
         self._ids: list[Hashable] = []
         self._id_to_internal: dict[Hashable, int] = {}
         self._bitmaps: list[RoaringBitmap | Roaring64Map] = []
+        self._free_slots: list[int] = []
 
     @property
     def config(self) -> GeodabConfig:
@@ -99,13 +125,48 @@ class ShardedGeodabIndex:
 
     def add(self, trajectory_id: Hashable, points: Trajectory) -> None:
         """Index a trajectory, routing each term to its shard."""
+        self.add_fingerprints(trajectory_id, self._fingerprint(points))
+
+    def fingerprint_query(self, points: Trajectory) -> FingerprintSet:
+        """Fingerprints of a trajectory under this index's normalization."""
+        return self._fingerprint(points)
+
+    def _allocate(
+        self, trajectory_id: Hashable, bitmap: RoaringBitmap | Roaring64Map
+    ) -> int:
+        """Claim an internal slot, reusing ones freed by :meth:`remove`.
+
+        Mirrors ``TrajectoryInvertedIndex._allocate`` (the sharded index
+        keeps bitmaps but no raw points): recycling keeps a long-running
+        service at constant memory under delete/re-add churn.
+        """
+        if self._free_slots:
+            internal = self._free_slots.pop()
+            self._ids[internal] = trajectory_id
+            self._bitmaps[internal] = bitmap
+        else:
+            internal = len(self._ids)
+            self._ids.append(trajectory_id)
+            self._bitmaps.append(bitmap)
+        self._id_to_internal[trajectory_id] = internal
+        return internal
+
+    def add_fingerprints(
+        self,
+        trajectory_id: Hashable,
+        fingerprint_set: FingerprintSet,
+        points: Trajectory | None = None,
+    ) -> None:
+        """Insert a document from precomputed fingerprints.
+
+        Lets the serving tier fingerprint outside its write lock; only
+        the postings insertion here needs exclusivity.  ``points`` is
+        accepted for signature parity with the single-node index but
+        ignored — the sharded model never stores raw points.
+        """
         if trajectory_id in self._id_to_internal:
             raise KeyError(f"trajectory {trajectory_id!r} already indexed")
-        fingerprint_set = self._fingerprint(points)
-        internal = len(self._ids)
-        self._ids.append(trajectory_id)
-        self._id_to_internal[trajectory_id] = internal
-        self._bitmaps.append(fingerprint_set.bitmap)
+        internal = self._allocate(trajectory_id, fingerprint_set.bitmap)
         for term in sorted(set(fingerprint_set.values)):
             shard = self.shards[self.router.shard_of_term(term)]
             shard.postings.setdefault(term, []).append(internal)
@@ -115,8 +176,32 @@ class ShardedGeodabIndex:
         for trajectory_id, points in items:
             self.add(trajectory_id, points)
 
+    def remove(self, trajectory_id: Hashable) -> None:
+        """Remove a trajectory from every shard holding its terms."""
+        internal = self._id_to_internal.pop(trajectory_id, None)
+        if internal is None:
+            raise KeyError(f"trajectory {trajectory_id!r} not indexed")
+        for term in self._bitmaps[internal]:
+            shard = self.shards[self.router.shard_of_term(int(term))]
+            posting = shard.postings.get(int(term))
+            if posting is None:
+                continue
+            try:
+                posting.remove(internal)
+            except ValueError:
+                pass
+            if not posting:
+                del shard.postings[int(term)]
+        # Tombstone the slot and recycle it for a future add.
+        self._bitmaps[internal] = type(self._bitmaps[internal])()
+        self._ids[internal] = _TOMBSTONE
+        self._free_slots.append(internal)
+
     def __len__(self) -> int:
-        return len(self._ids)
+        return len(self._id_to_internal)
+
+    def __contains__(self, trajectory_id: Hashable) -> bool:
+        return trajectory_id in self._id_to_internal
 
     # ------------------------------------------------------------------
     # Querying
@@ -139,33 +224,95 @@ class ShardedGeodabIndex:
         max_distance: float = 1.0,
     ) -> tuple[list[SearchResult], FanoutStats]:
         """Query and report fan-out statistics."""
+        return self.query_prepared(self.prepare_query(points), limit, max_distance)
+
+    def prepare_query(self, points: Trajectory) -> PreparedQuery:
+        """Fingerprint a query and plan its shard contacts."""
         fingerprint_set = self._fingerprint(points)
-        terms = sorted(set(fingerprint_set.values))
-        plan = self.router.plan(terms)
+        terms = tuple(sorted(set(fingerprint_set.values)))
+        return PreparedQuery(fingerprint_set, terms, self.router.plan(list(terms)))
+
+    def query_prepared(
+        self,
+        prepared: PreparedQuery,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], FanoutStats]:
+        """Sequential execution of a prepared query (one shard at a time).
+
+        The pooled path in :mod:`repro.service.executor` runs the same
+        :meth:`shard_partial` lookups concurrently and merges with the
+        same :meth:`score_matches`, so both paths return identical results.
+        """
         matches: Counter[int] = Counter()
-        nodes: set[int] = set()
-        for shard_id, shard_terms in plan.items():
-            shard = self.shards[shard_id]
-            nodes.add(shard.node_id)
-            for term in shard_terms:
-                posting = shard.postings.get(term)
-                if posting is not None:
-                    matches.update(posting)
-        scored: list[SearchResult] = []
-        query_bitmap = fingerprint_set.bitmap
+        for shard_id, shard_terms in prepared.plan.items():
+            matches.update(self.shard_partial(shard_id, shard_terms))
+        returned = self.score_matches(prepared, matches, limit, max_distance)
+        return returned, self.fanout_stats(prepared, matches)
+
+    # ------------------------------------------------------------------
+    # Per-shard partial lookups (the serving tier's fan-out unit)
+    # ------------------------------------------------------------------
+
+    def shard_partial(
+        self, shard_id: int, terms: Sequence[int]
+    ) -> Counter[int]:
+        """One shard's partial result: internal id -> shared-term count."""
+        shard = self.shards[shard_id]
+        matches: Counter[int] = Counter()
+        for term in terms:
+            posting = shard.postings.get(term)
+            if posting is not None:
+                matches.update(posting)
+        return matches
+
+    def shard_postings(
+        self, shard_id: int, terms: Sequence[int]
+    ) -> dict[int, tuple[int, ...]]:
+        """One shard's raw postings for ``terms`` (term -> internal ids).
+
+        Used by the micro-batching executor: a single fetch over the
+        union of several queries' terms is split back into per-query
+        partials at the coordinator.
+        """
+        shard = self.shards[shard_id]
+        out: dict[int, tuple[int, ...]] = {}
+        for term in terms:
+            posting = shard.postings.get(term)
+            if posting is not None:
+                out[term] = tuple(posting)
+        return out
+
+    def score_matches(
+        self,
+        prepared: PreparedQuery,
+        matches: Mapping[int, int],
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> list[SearchResult]:
+        """Rank merged candidates exactly like the single-node index."""
+        kept: list[SearchResult] = []
+        query_bitmap = prepared.query_bitmap
         for internal, shared in matches.items():
+            if self._ids[internal] is _TOMBSTONE:
+                continue
             distance = query_bitmap.jaccard_distance(self._bitmaps[internal])  # type: ignore[arg-type]
             if distance <= max_distance:
-                scored.append(SearchResult(self._ids[internal], distance, shared))
-        scored.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
-        returned = scored if limit is None else scored[:limit]
-        stats = FanoutStats(
-            query_terms=len(terms),
-            shards_contacted=len(plan),
+                kept.append(SearchResult(self._ids[internal], distance, shared))
+        kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+        return kept if limit is None else kept[:limit]
+
+    def fanout_stats(
+        self, prepared: PreparedQuery, matches: Mapping[int, int]
+    ) -> FanoutStats:
+        """Fan-out accounting for an executed prepared query."""
+        nodes = {self.shards[s].node_id for s in prepared.plan}
+        return FanoutStats(
+            query_terms=len(prepared.terms),
+            shards_contacted=len(prepared.plan),
             nodes_contacted=len(nodes),
             candidates=len(matches),
         )
-        return returned, stats
 
     # ------------------------------------------------------------------
     # Load accounting (Figures 15-16 territory)

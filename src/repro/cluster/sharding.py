@@ -8,6 +8,14 @@ Two-step placement:
 2. ``node = shard mod num_nodes`` — shards round-robin onto nodes,
    deliberately breaking locality so hot regions spread across the
    cluster.
+
+Step 1 has an alternative ``"hash"`` placement: whole terms are spread
+over shards by a mixing hash instead of their z-order position.  A world-scale
+deployment wants ``"range"`` (queries touch few shards); a single-region
+deployment on a small cluster wants ``"hash"``, because the whole region
+occupies one sliver of the z-order curve and range placement would pile
+every posting onto one shard.  The serving tier's fan-out benchmark runs
+hash placement for exactly that reason.
 """
 
 from __future__ import annotations
@@ -15,16 +23,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..geo.geohash import Geohash
+from ..hashing.stable import splitmix64
 
 __all__ = ["ShardingConfig", "ShardRouter"]
+
+#: Term→shard placement strategies.
+PLACEMENTS = ("range", "hash")
 
 
 @dataclass(frozen=True, slots=True)
 class ShardingConfig:
-    """Cluster geometry: how many shards over how many nodes."""
+    """Cluster geometry plus the prefix→shard placement strategy."""
 
     num_shards: int = 128
     num_nodes: int = 10
+    placement: str = "range"
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -33,6 +46,10 @@ class ShardingConfig:
             raise ValueError("num_nodes must be positive")
         if self.num_shards < self.num_nodes:
             raise ValueError("need at least one shard per node")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
 
 
 class ShardRouter:
@@ -61,7 +78,19 @@ class ShardRouter:
         return term >> self.suffix_bits
 
     def shard_of_prefix(self, prefix: int) -> int:
-        """Locality-preserving shard of a geohash prefix."""
+        """Locality-preserving shard of a geohash prefix (range placement).
+
+        Undefined under hash placement: terms are hashed *whole*, so the
+        geodabs of one cell deliberately scatter across every shard and
+        no single shard can stand for a prefix.  Raising here keeps the
+        cell-level balance reports honest — they describe range-placed
+        clusters only.
+        """
+        if self.config.placement == "hash":
+            raise ValueError(
+                "prefix/cell placement is undefined under hash placement: "
+                "terms are hashed whole, so one cell's terms span shards"
+            )
         if not 0 <= prefix < self._prefix_cells:
             raise ValueError(
                 f"prefix {prefix} outside [0, 2^{self.prefix_bits})"
@@ -70,7 +99,14 @@ class ShardRouter:
         return min(shard, self.config.num_shards - 1)
 
     def shard_of_term(self, term: int) -> int:
-        """Shard of a geodab term."""
+        """Shard of a geodab term.
+
+        Range placement routes by the term's geohash prefix (locality on
+        the z-order curve); hash placement mixes the *whole* term, since
+        a single region's terms can all share one prefix.
+        """
+        if self.config.placement == "hash":
+            return splitmix64(term) % self.config.num_shards
         return self.shard_of_prefix(self.prefix_of_term(term))
 
     def shard_of_cell(self, cell: Geohash) -> int:

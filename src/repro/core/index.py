@@ -35,6 +35,10 @@ __all__ = [
 #: Normalizer signature: maps a raw trajectory to a normalized one.
 Normalizer = Callable[[Trajectory], list[Point]]
 
+#: Marks an internal slot freed by remove(); distinct from any user id
+#: (shared with the sharded index so both tombstone identically).
+_TOMBSTONE = object()
+
 
 @dataclass(frozen=True, slots=True)
 class SearchResult:
@@ -52,7 +56,13 @@ class SearchResult:
 
 @dataclass(frozen=True, slots=True)
 class QueryStats:
-    """Work accounting for one query — the quantities behind Figure 14."""
+    """Work accounting for one query — the quantities behind Figure 14.
+
+    ``candidates`` counts every trajectory pulled from the postings lists;
+    ``scored`` counts only those whose Jaccard distance survived the
+    ``max_distance`` filter (the results actually ranked); ``returned``
+    is what the ``limit`` cut left over.
+    """
 
     query_terms: int
     candidates: int
@@ -91,6 +101,31 @@ class TrajectoryInvertedIndex:
         self._term_sets: list[RoaringBitmap | Roaring64Map] = []
         self._points: list[list[Point] | None] = []
         self._store_points = store_points
+        self._free_slots: list[int] = []
+
+    def _allocate(
+        self,
+        trajectory_id: Hashable,
+        bitmap: RoaringBitmap | Roaring64Map,
+        points: list[Point] | None,
+    ) -> int:
+        """Claim an internal slot, reusing ones freed by :meth:`remove`.
+
+        Reuse keeps a long-running service at constant memory under
+        delete/re-add churn instead of growing one tombstone per update.
+        """
+        if self._free_slots:
+            internal = self._free_slots.pop()
+            self._ids[internal] = trajectory_id
+            self._term_sets[internal] = bitmap
+            self._points[internal] = points
+        else:
+            internal = len(self._ids)
+            self._ids.append(trajectory_id)
+            self._term_sets.append(bitmap)
+            self._points.append(points)
+        self._id_to_internal[trajectory_id] = internal
+        return internal
 
     # ------------------------------------------------------------------
     # Term extraction (subclass responsibility)
@@ -116,11 +151,9 @@ class TrajectoryInvertedIndex:
         if trajectory_id in self._id_to_internal:
             raise KeyError(f"trajectory {trajectory_id!r} already indexed")
         terms, bitmap = self._extract(points)
-        internal = len(self._ids)
-        self._ids.append(trajectory_id)
-        self._id_to_internal[trajectory_id] = internal
-        self._term_sets.append(bitmap)
-        self._points.append(list(points) if self._store_points else None)
+        internal = self._allocate(
+            trajectory_id, bitmap, list(points) if self._store_points else None
+        )
         for term in terms:
             postings = self._postings.get(term)
             if postings is None:
@@ -150,10 +183,11 @@ class TrajectoryInvertedIndex:
                 pass
             if not postings:
                 del self._postings[int(term)]
-        # Keep internal slots stable; tombstone the removed document.
+        # Tombstone the slot and recycle it for a future add.
         self._term_sets[internal] = type(self._term_sets[internal])()
         self._points[internal] = None
-        self._ids[internal] = None
+        self._ids[internal] = _TOMBSTONE
+        self._free_slots.append(internal)
 
     # ------------------------------------------------------------------
     # Querying
@@ -182,24 +216,38 @@ class TrajectoryInvertedIndex:
     ) -> tuple[list[SearchResult], QueryStats]:
         """Like :meth:`query` but also reports the work performed."""
         terms, query_bitmap = self._extract(points)
+        return self.query_terms(terms, query_bitmap, limit, max_distance)
+
+    def query_terms(
+        self,
+        terms: Sequence[int],
+        query_bitmap: RoaringBitmap | Roaring64Map,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], QueryStats]:
+        """Ranked retrieval from already-extracted query terms.
+
+        The serving tier caches extracted fingerprints and calls this
+        directly so a cached query skips re-normalization and winnowing.
+        """
         matches: Counter[int] = Counter()
         for term in terms:
             postings = self._postings.get(term)
             if postings is not None:
                 matches.update(postings)
-        scored: list[SearchResult] = []
+        kept: list[SearchResult] = []
         for internal, shared in matches.items():
             distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
             if distance <= max_distance:
-                scored.append(
+                kept.append(
                     SearchResult(self._ids[internal], distance, shared)
                 )
-        scored.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
-        returned = scored if limit is None else scored[:limit]
+        kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+        returned = kept if limit is None else kept[:limit]
         stats = QueryStats(
             query_terms=len(terms),
             candidates=len(matches),
-            scored=len(matches),
+            scored=len(kept),
             returned=len(returned),
         )
         return returned, stats
@@ -309,24 +357,30 @@ class GeodabIndex(TrajectoryInvertedIndex):
         """Ordered fingerprint set of an indexed trajectory."""
         return self._fingerprint_sets[trajectory_id]
 
-    def _restore_document(
-        self, trajectory_id: Hashable, fingerprint_set: FingerprintSet
+    def add_fingerprints(
+        self,
+        trajectory_id: Hashable,
+        fingerprint_set: FingerprintSet,
+        points: Trajectory | None = None,
     ) -> None:
-        """Insert a document from persisted fingerprints (no raw points).
+        """Insert a document from precomputed fingerprints.
 
         Used by :mod:`repro.core.persistence` to rebuild an index without
-        re-normalizing and re-winnowing the original trajectories.
+        re-normalizing and re-winnowing, and by the serving tier to keep
+        fingerprinting (pure CPU, config-only) outside its write lock.
+        Raw ``points`` are stored only when given *and* the index was
+        built with ``store_points=True``.
         """
         if trajectory_id in self._id_to_internal:
             raise KeyError(f"trajectory {trajectory_id!r} already indexed")
-        internal = len(self._ids)
-        self._ids.append(trajectory_id)
-        self._id_to_internal[trajectory_id] = internal
-        self._term_sets.append(fingerprint_set.bitmap)
-        self._points.append(None)
+        stored = list(points) if self._store_points and points is not None else None
+        internal = self._allocate(trajectory_id, fingerprint_set.bitmap, stored)
         for term in sorted(set(fingerprint_set.values)):
             self._postings.setdefault(term, []).append(internal)
         self._fingerprint_sets[trajectory_id] = fingerprint_set
+
+    # Backwards-compatible name used by repro.core.persistence.
+    _restore_document = add_fingerprints
 
     def fingerprint_query(self, points: Trajectory) -> FingerprintSet:
         """Fingerprints of a query under this index's normalization."""

@@ -1,0 +1,38 @@
+"""The concurrent query-serving subsystem (the repo's serving tier).
+
+Layers, bottom up:
+
+* :mod:`repro.service.locks` — reader/writer locking;
+* :mod:`repro.service.cache` — generation-invalidated LRU caches;
+* :mod:`repro.service.executor` — worker-pool shard fan-out with
+  micro-batching over the sharded index;
+* :mod:`repro.service.metrics` — qps / latency-quantile / hit-rate
+  registry;
+* :mod:`repro.service.service` — the :class:`IndexService` facade tying
+  the above together;
+* :mod:`repro.service.http` — the stdlib JSON HTTP API
+  (``repro.cli serve``).
+"""
+
+from .cache import CacheStats, LRUCache, digest_points, digest_terms
+from .executor import ExecutionStats, QueryExecutor
+from .http import ServiceHTTPServer, start_server
+from .locks import ReadWriteLock
+from .metrics import MetricsSnapshot, ServiceMetrics
+from .service import IndexService, QueryResponse
+
+__all__ = [
+    "CacheStats",
+    "ExecutionStats",
+    "IndexService",
+    "LRUCache",
+    "MetricsSnapshot",
+    "QueryExecutor",
+    "QueryResponse",
+    "ReadWriteLock",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
+    "digest_points",
+    "digest_terms",
+    "start_server",
+]

@@ -1,0 +1,166 @@
+"""Thread-safe LRU caching with generation-counter invalidation.
+
+The serving tier keeps two caches:
+
+* a *result cache* keyed by ``(terms digest, limit, max_distance)`` whose
+  entries are tagged with the index generation they were computed at.
+  The service purges this cache eagerly (:meth:`LRUCache.invalidate_all`)
+  whenever a write bumps the generation; the per-entry tags are
+  defense-in-depth for embedders that mutate the index directly — a
+  stale entry still misses (and is dropped) on its next lookup;
+* a *fingerprint cache* keyed by a digest of the raw query points, which
+  needs no invalidation because fingerprints depend only on the pipeline
+  configuration, never on index contents.
+
+Both are instances of the same :class:`LRUCache`; the generation tag is
+simply unused (``None``) for fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Sequence
+
+from ..geo.point import Point
+
+__all__ = ["CacheStats", "LRUCache", "digest_points", "digest_terms", "MISS"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+MISS: Any = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Counters of one cache's lifetime behaviour."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class LRUCache:
+    """A bounded, thread-safe LRU map with optional generation tags.
+
+    ``put`` stores a value tagged with a generation; ``get`` with a
+    different generation treats the entry as invalidated — it is removed
+    and counted separately from capacity evictions, so the ``/stats``
+    endpoint can distinguish churn caused by writes from churn caused by
+    a too-small cache.  ``capacity=0`` disables the cache entirely
+    (every ``get`` misses, ``put`` is a no-op).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative (0 disables)")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[object, Any]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: Hashable, generation: object = None) -> Any:
+        """Value for ``key`` at ``generation``, or :data:`MISS`."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return MISS
+            stored_generation, value = entry
+            if stored_generation != generation:
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any, generation: object = None) -> None:
+        """Store ``value`` under ``key`` tagged with ``generation``."""
+        if self.capacity == 0:  # caching disabled
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (generation, value)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def invalidate_all(self) -> None:
+        """Drop every entry, counting each as an invalidation.
+
+        Called by the service when a write bumps the generation: every
+        entry is unreturnable from that moment, so purging eagerly frees
+        the memory instead of leaving dead entries to be discovered one
+        probe at a time.
+        """
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+
+def digest_points(points: Sequence[Point]) -> bytes:
+    """Stable digest of a raw query trajectory (fingerprint-cache key)."""
+    hasher = hashlib.blake2b(digest_size=16)
+    for point in points:
+        hasher.update(struct.pack("<dd", point.lat, point.lon))
+    return hasher.digest()
+
+
+def digest_terms(terms: Iterable[int]) -> bytes:
+    """Stable digest of a query's normalized term set (result-cache key).
+
+    Terms are hashed sorted and deduplicated, so two queries with the
+    same term *set* share a cache slot regardless of selection order.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for term in sorted(set(terms)):
+        hasher.update(struct.pack("<Q", term & 0xFFFFFFFFFFFFFFFF))
+    return hasher.digest()

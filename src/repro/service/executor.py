@@ -1,0 +1,284 @@
+"""Concurrent shard fan-out for the sharded geodab index.
+
+The sequential path in :meth:`ShardedGeodabIndex.query_prepared` contacts
+shards one at a time; under a serving workload each shard contact is an
+RPC, so a query's latency is the *sum* of its shard round-trips.  The
+:class:`QueryExecutor` fans the per-shard lookups out over a
+``ThreadPoolExecutor`` so a query costs roughly the *slowest* shard
+instead, and optionally micro-batches concurrent queries: queries that
+arrive within a small window share one postings fetch per shard over the
+union of their terms, so popular terms are read once per batch rather
+than once per query.
+
+Merging and ranking reuse :meth:`ShardedGeodabIndex.score_matches`
+verbatim, so pooled, batched, and sequential execution return identical
+results (asserted by the test suite).
+
+The in-process shard lookups here stand in for network RPCs; the
+``rpc_latency_s`` knob injects a per-contact delay so benchmarks can
+reproduce the latency-bound regime the paper's Section VI-E cluster
+actually operates in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cluster.cluster import PreparedQuery, ShardedGeodabIndex
+from ..core.index import SearchResult
+
+__all__ = ["ExecutionStats", "QueryExecutor"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionStats:
+    """How one query was executed by the serving tier."""
+
+    query_terms: int
+    shards_contacted: int
+    nodes_contacted: int
+    candidates: int
+    fanout_width: int
+    batch_size: int
+    pooled: bool
+
+
+class _Pending:
+    """One query waiting inside a micro-batch window."""
+
+    __slots__ = ("prepared", "limit", "max_distance", "event", "results",
+                 "stats", "error")
+
+    def __init__(
+        self, prepared: PreparedQuery, limit: int | None, max_distance: float
+    ) -> None:
+        self.prepared = prepared
+        self.limit = limit
+        self.max_distance = max_distance
+        self.event = threading.Event()
+        self.results: list[SearchResult] | None = None
+        self.stats: ExecutionStats | None = None
+        self.error: BaseException | None = None
+
+
+class QueryExecutor:
+    """Drives a :class:`ShardedGeodabIndex`'s shards from a worker pool.
+
+    ``pool_size=0`` disables the pool (sequential shard loop, still one
+    simulated RPC per shard) — the baseline the throughput benchmark
+    compares against.  ``batch_window_s > 0`` enables micro-batching:
+    the first query to arrive becomes the batch leader, waits out the
+    window collecting followers, and executes one shared fan-out.
+    """
+
+    def __init__(
+        self,
+        index: ShardedGeodabIndex,
+        pool_size: int = 8,
+        rpc_latency_s: float = 0.0,
+        batch_window_s: float = 0.0,
+    ) -> None:
+        if pool_size < 0:
+            raise ValueError("pool_size must be non-negative")
+        if rpc_latency_s < 0:
+            raise ValueError("rpc_latency_s must be non-negative")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        self.index = index
+        self.pool_size = pool_size
+        self.rpc_latency_s = rpc_latency_s
+        self.batch_window_s = batch_window_s
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="geodab-shard"
+        ) if pool_size else None
+        self._batch_lock = threading.Lock()
+        self._batch: list[_Pending] = []
+        self._leader_active = False
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        points,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], ExecutionStats]:
+        """Fingerprint, fan out, merge, rank."""
+        return self.execute_prepared(
+            self.index.prepare_query(points), limit, max_distance
+        )
+
+    def execute_prepared(
+        self,
+        prepared: PreparedQuery,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], ExecutionStats]:
+        """Execute an already-prepared query (cached fingerprints reuse)."""
+        if self.batch_window_s > 0:
+            return self._execute_batched(prepared, limit, max_distance)
+        matches = self._fanout_single(prepared)
+        results = self.index.score_matches(prepared, matches, limit, max_distance)
+        return results, self._stats(prepared, matches, batch_size=1)
+
+    def close(self) -> None:
+        """Shut the worker pool down."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Single-query fan-out
+    # ------------------------------------------------------------------
+
+    def _contact_shard(
+        self, shard_id: int, terms: Sequence[int]
+    ) -> Counter[int]:
+        if self.rpc_latency_s:
+            time.sleep(self.rpc_latency_s)
+        return self.index.shard_partial(shard_id, terms)
+
+    def _fanout_single(self, prepared: PreparedQuery) -> Counter[int]:
+        matches: Counter[int] = Counter()
+        if self._pool is None or len(prepared.plan) <= 1:
+            for shard_id, shard_terms in prepared.plan.items():
+                matches.update(self._contact_shard(shard_id, shard_terms))
+            return matches
+        futures = [
+            self._pool.submit(self._contact_shard, shard_id, shard_terms)
+            for shard_id, shard_terms in prepared.plan.items()
+        ]
+        for future in futures:
+            matches.update(future.result())
+        return matches
+
+    # ------------------------------------------------------------------
+    # Micro-batched fan-out
+    # ------------------------------------------------------------------
+
+    def _execute_batched(
+        self,
+        prepared: PreparedQuery,
+        limit: int | None,
+        max_distance: float,
+    ) -> tuple[list[SearchResult], ExecutionStats]:
+        pending = _Pending(prepared, limit, max_distance)
+        with self._batch_lock:
+            self._batch.append(pending)
+            leader = not self._leader_active
+            if leader:
+                self._leader_active = True
+        if leader:
+            batch: list[_Pending] = []
+            try:
+                try:
+                    time.sleep(self.batch_window_s)
+                finally:
+                    # Even if the window sleep is interrupted, drain the
+                    # batch and surrender leadership — otherwise every
+                    # follower (and all future queries) waits forever.
+                    with self._batch_lock:
+                        batch, self._batch = self._batch, []
+                        self._leader_active = False
+                self._run_batch(batch)
+            finally:
+                for item in batch:
+                    if item.results is None and item.error is None:
+                        item.error = RuntimeError("batch execution failed")
+                    item.event.set()
+        else:
+            pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.results is not None and pending.stats is not None
+        return pending.results, pending.stats
+
+    def _fetch_shard(
+        self, shard_id: int, terms: Sequence[int]
+    ) -> dict[int, tuple[int, ...]]:
+        if self.rpc_latency_s:
+            time.sleep(self.rpc_latency_s)
+        return self.index.shard_postings(shard_id, terms)
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        # One fetch per shard over the union of the batch's terms.
+        union_plan: dict[int, set[int]] = {}
+        for item in batch:
+            for shard_id, shard_terms in item.prepared.plan.items():
+                union_plan.setdefault(shard_id, set()).update(shard_terms)
+        try:
+            if self._pool is None:
+                fetched = {
+                    shard_id: self._fetch_shard(shard_id, sorted(terms))
+                    for shard_id, terms in union_plan.items()
+                }
+            else:
+                futures = {
+                    shard_id: self._pool.submit(
+                        self._fetch_shard, shard_id, sorted(terms)
+                    )
+                    for shard_id, terms in union_plan.items()
+                }
+                fetched = {
+                    shard_id: future.result()
+                    for shard_id, future in futures.items()
+                }
+        except BaseException as exc:  # pragma: no cover - defensive
+            for item in batch:
+                item.error = exc
+            return
+        # Split the shared fetch back into per-query partials and rank.
+        for item in batch:
+            try:
+                matches: Counter[int] = Counter()
+                for shard_id, shard_terms in item.prepared.plan.items():
+                    postings = fetched[shard_id]
+                    for term in shard_terms:
+                        posting = postings.get(term)
+                        if posting is not None:
+                            matches.update(posting)
+                item.results = self.index.score_matches(
+                    item.prepared, matches, item.limit, item.max_distance
+                )
+                item.stats = self._stats(
+                    item.prepared, matches, batch_size=len(batch)
+                )
+            except BaseException as exc:
+                item.error = exc
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _stats(
+        self,
+        prepared: PreparedQuery,
+        matches: Counter[int],
+        batch_size: int,
+    ) -> ExecutionStats:
+        fanout = self.index.fanout_stats(prepared, matches)
+        pooled = self._pool is not None
+        return ExecutionStats(
+            query_terms=fanout.query_terms,
+            shards_contacted=fanout.shards_contacted,
+            nodes_contacted=fanout.nodes_contacted,
+            candidates=fanout.candidates,
+            fanout_width=(
+                min(self.pool_size, fanout.shards_contacted)
+                if pooled else 1
+            ),
+            batch_size=batch_size,
+            pooled=pooled,
+        )

@@ -1,0 +1,308 @@
+"""Stdlib JSON-over-HTTP front end for the :class:`IndexService`.
+
+Endpoints (all JSON):
+
+* ``POST /trajectories`` — bulk ingest: ``{"trajectories": [{"id": ...,
+  "points": [[lat, lon], ...]}, ...]}`` (a single ``{"id", "points"}``
+  object also works).  409 on duplicate identifiers.
+* ``DELETE /trajectories/{id}`` — remove one trajectory; 404 if absent.
+* ``POST /query`` — ``{"points": [[lat, lon], ...], "limit": 10,
+  "max_distance": 1.0}`` → ranked results with serving metadata.
+* ``GET /stats`` — index shape, cache counters, qps/latency quantiles.
+* ``GET /healthz`` — liveness plus the current write generation.
+
+``ThreadingHTTPServer`` gives one thread per in-flight request; actual
+index concurrency control lives in the service's reader/writer lock, so
+the HTTP layer stays a thin translation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote, urlparse
+
+from ..geo.point import Point
+from .service import IndexService
+
+__all__ = ["MAX_BODY_BYTES", "ServiceHTTPServer", "start_server"]
+
+#: Largest request body the server will buffer (the biggest legitimate
+#: payload is a bulk ingest; 64 MiB of JSON points is far beyond it).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _BadRequest(ValueError):
+    """Client payload failed validation (becomes a 400)."""
+
+
+class _Conflict(Exception):
+    """Write conflicts with existing state (becomes a 409)."""
+
+
+class _PayloadTooLarge(Exception):
+    """Declared body exceeds MAX_BODY_BYTES (becomes a 413)."""
+
+
+def _is_number(value: object) -> bool:
+    """True for JSON numbers only (bool is an int subclass — reject it)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _parse_points(raw: object) -> list[Point]:
+    if not isinstance(raw, list) or not raw:
+        raise _BadRequest("'points' must be a non-empty list of [lat, lon]")
+    points = []
+    for entry in raw:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise _BadRequest(f"malformed point {entry!r}")
+        lat, lon = entry
+        if not _is_number(lat) or not _is_number(lon):
+            raise _BadRequest(f"non-numeric point {entry!r}")
+        try:
+            points.append(Point(float(lat), float(lon)))
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from exc
+    return points
+
+
+def _parse_trajectories(payload: object) -> list[tuple[str, list[Point]]]:
+    if isinstance(payload, dict) and "trajectories" in payload:
+        entries = payload["trajectories"]
+        if not isinstance(entries, list):
+            raise _BadRequest("'trajectories' must be a list")
+    elif isinstance(payload, dict):
+        entries = [payload]
+    else:
+        raise _BadRequest("body must be a JSON object")
+    out = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "id" not in entry or "points" not in entry:
+            raise _BadRequest("each trajectory needs 'id' and 'points'")
+        trajectory_id = entry["id"]
+        if not isinstance(trajectory_id, str) or not trajectory_id:
+            raise _BadRequest("trajectory 'id' must be a non-empty string")
+        out.append((trajectory_id, _parse_points(entry["points"])))
+    return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the service; every response is JSON."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a client that stalls mid-body (or mid-request)
+    #: releases its server thread instead of pinning it forever.
+    timeout = 30.0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch(self._route_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch(self._route_delete)
+
+    def _dispatch(self, route) -> None:
+        """Run a route, translating every failure into a JSON response.
+
+        Without the catch-all, an unexpected exception would drop the
+        connection with no response and never reach the error metric.
+        """
+        try:
+            route(urlparse(self.path).path)
+        except _BadRequest as exc:
+            self.server.service.metrics.record_error()
+            self._send(400, {"error": str(exc)})
+        except _Conflict as exc:
+            self.server.service.metrics.record_error()
+            self._send(409, {"error": str(exc)})
+        except _PayloadTooLarge as exc:
+            self.server.service.metrics.record_error()
+            self.close_connection = True  # body was not drained
+            self._send(413, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self.server.service.metrics.record_error()
+            # After an unexpected failure (e.g. a timeout mid-body) the
+            # request stream state is unknown; don't reuse the connection.
+            self.close_connection = True
+            self._send(500, {"error": f"internal error: {exc}"})
+
+    def _route_get(self, path: str) -> None:
+        if path == "/healthz":
+            service = self.server.service
+            self._send(200, {
+                "status": "ok",
+                "generation": service.generation,
+                "trajectories": len(service),
+            })
+        elif path == "/stats":
+            self._send(200, self.server.service.stats())
+        else:
+            self._send(404, {"error": f"unknown path {path!r}"})
+
+    def _route_post(self, path: str) -> None:
+        if path == "/trajectories":
+            self._handle_ingest()
+        elif path == "/query":
+            self._handle_query()
+        else:
+            self._send(404, {"error": f"unknown path {path!r}"})
+
+    def _route_delete(self, path: str) -> None:
+        prefix = "/trajectories/"
+        if not path.startswith(prefix) or path == prefix:
+            self._send(404, {"error": f"unknown path {path!r}"})
+            return
+        trajectory_id = unquote(path[len(prefix):])
+        try:
+            generation = self.server.service.delete(trajectory_id)
+        except KeyError:
+            self.server.service.metrics.record_error()
+            self._send(404, {"error": f"trajectory {trajectory_id!r} not indexed"})
+            return
+        self._send(200, {"deleted": trajectory_id, "generation": generation})
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _handle_ingest(self) -> None:
+        items = _parse_trajectories(self._read_json())
+        try:
+            count, generation = self.server.service.ingest(items)
+        except KeyError as exc:
+            # Duplicate trajectory id — the only KeyError ingest raises.
+            raise _Conflict(str(exc.args[0]) if exc.args else "conflict") from exc
+        self._send(200, {"ingested": count, "generation": generation})
+
+    def _handle_query(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        points = _parse_points(payload.get("points"))
+        limit = payload.get("limit")
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit < 1
+        ):
+            raise _BadRequest("'limit' must be a positive integer")
+        max_distance = payload.get("max_distance", 1.0)
+        if not _is_number(max_distance) or not 0 <= max_distance <= 1:
+            raise _BadRequest("'max_distance' must be in [0, 1]")
+        response = self.server.service.query(points, limit, float(max_distance))
+        self._send(200, response.as_dict())
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _content_length(self) -> int:
+        """Declared body length; -1 if the header is malformed."""
+        try:
+            return int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return -1
+
+    def _read_json(self) -> object:
+        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+            # The stdlib handler does not de-chunk; without a length we
+            # cannot drain the frames, so refuse and drop the connection
+            # rather than desync the keep-alive stream.
+            self.close_connection = True
+            raise _BadRequest(
+                "chunked transfer encoding unsupported; send Content-Length"
+            )
+        length = self._content_length()
+        self._body_consumed = True
+        if length < 0:
+            raise _BadRequest("malformed Content-Length header")
+        if length == 0:
+            raise _BadRequest("request body required")
+        if length > MAX_BODY_BYTES:
+            raise _PayloadTooLarge(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON: {exc}") from exc
+
+    def _send(self, status: int, payload: dict) -> None:
+        # Keep-alive hygiene: a request rejected before its body was
+        # read (e.g. 404 on an unrouted POST) must still drain it, or
+        # the leftover bytes desync the next request on the connection.
+        length = self._content_length()
+        if 0 < length <= MAX_BODY_BYTES and not getattr(
+            self, "_body_consumed", False
+        ):
+            # Discard in small chunks — no point buffering megabytes of
+            # a rejected request just to throw them away.
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+        elif length < 0 or length > MAX_BODY_BYTES:
+            # Undeclarable or unreasonably large body: give up on
+            # connection reuse rather than buffer or desync the stream.
+            self.close_connection = True
+        self._body_consumed = False
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One thread per request; daemonized so Ctrl-C exits promptly."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: IndexService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (useful with port 0)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_server(
+    service: IndexService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind and serve in a daemon thread; returns the running server.
+
+    Pass ``port=0`` to bind an ephemeral port (tests);
+    ``server.shutdown()`` stops the serving loop.
+    """
+    server = ServiceHTTPServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="geodab-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,167 @@
+"""Service-level observability: qps, latency quantiles, cache hit rate.
+
+A single :class:`ServiceMetrics` registry is threaded through the
+:class:`~repro.service.service.IndexService` and surfaced verbatim by the
+HTTP ``GET /stats`` endpoint.  Latencies are kept in a bounded reservoir
+(most recent observations win), qps over a sliding window, and fan-out
+widths as a running mean — all under one lock, since every operation is a
+handful of deque appends.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["MetricsSnapshot", "ServiceMetrics", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-quantile (0 < q <= 1) of ``values`` by nearest-rank."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """One consistent reading of the registry."""
+
+    queries: int
+    ingested: int
+    deleted: int
+    errors: int
+    qps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    mean_fanout_width: float
+    mean_batch_size: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-ready representation (the ``/stats`` payload)."""
+        return {
+            "queries": self.queries,
+            "ingested": self.ingested,
+            "deleted": self.deleted,
+            "errors": self.errors,
+            "qps": round(self.qps, 3),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "mean_fanout_width": round(self.mean_fanout_width, 3),
+            "mean_batch_size": round(self.mean_batch_size, 3),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe registry of the serving tier's vital signs."""
+
+    def __init__(
+        self,
+        reservoir_size: int = 4096,
+        qps_window_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self._qps_window_s = qps_window_s
+        self._latencies: deque[float] = deque(maxlen=reservoir_size)
+        self._query_times: deque[float] = deque()
+        self._fanout_widths: deque[int] = deque(maxlen=reservoir_size)
+        self._batch_sizes: deque[int] = deque(maxlen=reservoir_size)
+        self._queries = 0
+        self._ingested = 0
+        self._deleted = 0
+        self._errors = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_query(
+        self,
+        latency_s: float,
+        cached: bool,
+        fanout_width: int = 0,
+        batch_size: int = 1,
+    ) -> None:
+        """Account one served query."""
+        now = self._clock()
+        with self._lock:
+            self._queries += 1
+            self._latencies.append(latency_s)
+            self._query_times.append(now)
+            self._prune(now)
+            if cached:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+                self._fanout_widths.append(fanout_width)
+                self._batch_sizes.append(batch_size)
+
+    def record_ingest(self, count: int) -> None:
+        """Account an ingest of ``count`` trajectories."""
+        with self._lock:
+            self._ingested += count
+
+    def record_delete(self) -> None:
+        """Account one deletion."""
+        with self._lock:
+            self._deleted += 1
+
+    def record_error(self) -> None:
+        """Account one failed request."""
+        with self._lock:
+            self._errors += 1
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self._qps_window_s
+        while self._query_times and self._query_times[0] < horizon:
+            self._query_times.popleft()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A consistent reading of every gauge and counter."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            # Early in the service's life the sliding window is mostly
+            # empty; dividing by the elapsed time keeps qps honest.
+            window = min(self._qps_window_s, max(now - self._started, 1e-9))
+            latencies = list(self._latencies)
+            lookups = self._cache_hits + self._cache_misses
+            widths = list(self._fanout_widths)
+            batches = list(self._batch_sizes)
+            return MetricsSnapshot(
+                queries=self._queries,
+                ingested=self._ingested,
+                deleted=self._deleted,
+                errors=self._errors,
+                qps=len(self._query_times) / window,
+                latency_p50_ms=percentile(latencies, 0.50) * 1000.0,
+                latency_p95_ms=percentile(latencies, 0.95) * 1000.0,
+                latency_p99_ms=percentile(latencies, 0.99) * 1000.0,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                cache_hit_rate=self._cache_hits / lookups if lookups else 0.0,
+                mean_fanout_width=sum(widths) / len(widths) if widths else 0.0,
+                mean_batch_size=sum(batches) / len(batches) if batches else 0.0,
+            )

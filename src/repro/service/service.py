@@ -1,0 +1,326 @@
+"""The thread-safe serving facade over a geodab index.
+
+:class:`IndexService` is what the HTTP layer (and any embedding
+application) talks to.  It owns:
+
+* a :class:`~repro.service.locks.ReadWriteLock` so concurrent queries
+  share the index while writes get exclusive access — a query always
+  sees a fully-applied generation, never a half-ingested batch;
+* a monotonically increasing *generation counter*, bumped by every
+  write, which tags (and therefore invalidates) cached query results;
+* an :class:`~repro.service.cache.LRUCache` of query results keyed by
+  ``(terms digest, limit, max_distance)`` plus a second cache of query
+  fingerprints keyed by the raw points, so repeated queries skip both
+  winnowing and shard fan-out;
+* a :class:`~repro.service.executor.QueryExecutor` (sharded indexes
+  only) that fans shard lookups out over a worker pool;
+* a :class:`~repro.service.metrics.ServiceMetrics` registry surfaced by
+  ``GET /stats``.
+
+The same facade serves a single-node :class:`~repro.core.index.GeodabIndex`
+and a :class:`~repro.cluster.cluster.ShardedGeodabIndex`; results are
+identical between the two (and between sequential and pooled fan-out),
+which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Hashable, Iterable, Sequence
+
+from ..cluster.cluster import ShardedGeodabIndex
+from ..core.index import GeodabIndex, SearchResult
+from ..geo.point import Point, Trajectory
+from .cache import LRUCache, MISS, digest_points, digest_terms
+from .executor import QueryExecutor
+from .locks import ReadWriteLock
+from .metrics import ServiceMetrics
+
+__all__ = ["QueryResponse", "IndexService"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResponse:
+    """What the serving tier returns for one query."""
+
+    results: tuple[SearchResult, ...]
+    generation: int
+    cached: bool
+    candidates: int
+    shards_contacted: int
+    latency_s: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the ``POST /query`` payload)."""
+        return {
+            "results": [
+                {
+                    "id": r.trajectory_id,
+                    "distance": r.distance,
+                    "shared_terms": r.shared_terms,
+                }
+                for r in self.results
+            ],
+            "generation": self.generation,
+            "cached": self.cached,
+            "candidates": self.candidates,
+            "shards_contacted": self.shards_contacted,
+            "latency_ms": round(self.latency_s * 1000.0, 3),
+        }
+
+
+class IndexService:
+    """Concurrent query serving over a geodab index."""
+
+    def __init__(
+        self,
+        index: GeodabIndex | ShardedGeodabIndex,
+        executor: QueryExecutor | None = None,
+        result_cache_size: int = 4096,
+        fingerprint_cache_size: int = 4096,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if executor is not None and executor.index is not index:
+            raise ValueError("executor must wrap the served index")
+        self.index = index
+        self.sharded = isinstance(index, ShardedGeodabIndex)
+        if executor is not None and not self.sharded:
+            raise ValueError("executor requires a sharded index")
+        self.executor = executor
+        self.metrics = metrics or ServiceMetrics()
+        self.result_cache = LRUCache(result_cache_size)
+        self.fingerprint_cache = LRUCache(fingerprint_cache_size)
+        self._lock = ReadWriteLock()
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # Writes (exclusive; every write bumps the generation)
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Current write generation (reads are cheap and racy-safe)."""
+        return self._generation
+
+    def ingest(
+        self, items: Iterable[tuple[Hashable, Trajectory]]
+    ) -> tuple[int, int]:
+        """Bulk-index ``(trajectory_id, points)`` pairs atomically.
+
+        The whole batch is validated against the live index before any
+        mutation, applied under one write lock, and costs one generation
+        bump — so queries see either none or all of it.
+
+        Returns ``(count, generation_after)``.
+        """
+        # Fingerprinting is the expensive part of an add and depends
+        # only on the pipeline configuration — do it all before taking
+        # the write lock so concurrent queries are stalled only for the
+        # cheap postings insertions (and malformed input fails before
+        # anything is mutated).
+        batch = [
+            (trajectory_id, self.index.fingerprint_query(points), points)
+            for trajectory_id, points in items
+        ]
+        with self._lock.write_locked():
+            seen: set[Hashable] = set()
+            for trajectory_id, _, _ in batch:
+                if trajectory_id in self.index or trajectory_id in seen:
+                    raise KeyError(
+                        f"trajectory {trajectory_id!r} already indexed"
+                    )
+                seen.add(trajectory_id)
+            applied: list[Hashable] = []
+            in_flight: Hashable | None = None
+            try:
+                for trajectory_id, fingerprint_set, points in batch:
+                    in_flight = trajectory_id
+                    self.index.add_fingerprints(
+                        trajectory_id, fingerprint_set, points
+                    )
+                    applied.append(trajectory_id)
+                    in_flight = None
+            except BaseException:
+                # Roll the partial batch back so the atomicity promise
+                # holds even if an insertion fails mid-batch — including
+                # the half-inserted item the exception landed in.
+                if in_flight is not None and in_flight in self.index:
+                    self.index.remove(in_flight)
+                for trajectory_id in reversed(applied):
+                    self.index.remove(trajectory_id)
+                raise
+            if batch:
+                self._generation += 1
+                self.result_cache.invalidate_all()
+            generation = self._generation
+        self.metrics.record_ingest(len(batch))
+        return len(batch), generation
+
+    def add(self, trajectory_id: Hashable, points: Trajectory) -> int:
+        """Index one trajectory; returns the new generation."""
+        _, generation = self.ingest([(trajectory_id, points)])
+        return generation
+
+    def delete(self, trajectory_id: Hashable) -> int:
+        """Remove one trajectory; returns the new generation."""
+        with self._lock.write_locked():
+            self.index.remove(trajectory_id)
+            self._generation += 1
+            self.result_cache.invalidate_all()
+            generation = self._generation
+        self.metrics.record_delete()
+        return generation
+
+    # ------------------------------------------------------------------
+    # Queries (shared; cached; optionally pooled)
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        points: Sequence[Point],
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> QueryResponse:
+        """Serve one similarity query."""
+        start = perf_counter()
+        # Fingerprints depend only on the pipeline configuration, never
+        # on index contents, so this cache needs no generation tag and
+        # no lock over the index.  Skip digesting entirely when a cache
+        # is disabled (capacity 0) — hashing every point would be pure
+        # overhead.
+        if self.fingerprint_cache.capacity > 0:
+            points_key = digest_points(points)
+            prepared = self.fingerprint_cache.get(points_key)
+            if prepared is MISS:
+                prepared = self._prepare(points)
+                self.fingerprint_cache.put(points_key, prepared)
+        else:
+            prepared = self._prepare(points)
+        terms = self._terms_of(prepared)
+        caching = self.result_cache.capacity > 0
+        cache_key = (
+            (digest_terms(terms), limit, max_distance) if caching else None
+        )
+        with self._lock.read_locked():
+            generation = self._generation
+            if caching:
+                hit = self.result_cache.get(cache_key, generation)
+                if hit is not MISS:
+                    results, candidates, shards = hit
+                    latency = perf_counter() - start
+                    self.metrics.record_query(latency, cached=True)
+                    return QueryResponse(
+                        results, generation, True, candidates, shards, latency
+                    )
+            results, candidates, shards, width, batch = self._execute(
+                prepared, terms, limit, max_distance
+            )
+            if caching:
+                self.result_cache.put(
+                    cache_key, (results, candidates, shards), generation
+                )
+        latency = perf_counter() - start
+        self.metrics.record_query(
+            latency, cached=False, fanout_width=width, batch_size=batch
+        )
+        return QueryResponse(
+            results, generation, False, candidates, shards, latency
+        )
+
+    def _prepare(self, points: Sequence[Point]):
+        if self.sharded:
+            return self.index.prepare_query(points)
+        return self.index.fingerprint_query(points)
+
+    def _terms_of(self, prepared) -> tuple[int, ...]:
+        if self.sharded:  # cluster PreparedQuery
+            return prepared.terms
+        return tuple(sorted(set(prepared.values)))  # core FingerprintSet
+
+    def _execute(self, prepared, terms, limit, max_distance):
+        if self.sharded:
+            if self.executor is not None:
+                results, stats = self.executor.execute_prepared(
+                    prepared, limit, max_distance
+                )
+                return (
+                    tuple(results),
+                    stats.candidates,
+                    stats.shards_contacted,
+                    stats.fanout_width,
+                    stats.batch_size,
+                )
+            results, fanout = self.index.query_prepared(
+                prepared, limit, max_distance
+            )
+            return (
+                tuple(results),
+                fanout.candidates,
+                fanout.shards_contacted,
+                1,
+                1,
+            )
+        results, stats = self.index.query_terms(
+            terms, prepared.bitmap, limit, max_distance
+        )
+        return tuple(results), stats.candidates, 1, 1, 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, trajectory_id: Hashable) -> bool:
+        with self._lock.read_locked():
+            return trajectory_id in self.index
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload: index shape + service vitals."""
+        with self._lock.read_locked():
+            generation = self._generation
+            trajectories = len(self.index)
+            if self.sharded:
+                index_stats = {
+                    "kind": "sharded",
+                    "trajectories": trajectories,
+                    "shards": self.index.sharding.num_shards,
+                    "nodes": self.index.sharding.num_nodes,
+                    "postings": sum(self.index.shard_postings_counts()),
+                }
+            else:
+                shape = self.index.stats()
+                index_stats = {
+                    "kind": "single",
+                    "trajectories": shape.trajectories,
+                    "terms": shape.terms,
+                    "postings": shape.postings,
+                }
+        result_stats = self.result_cache.stats()
+        fingerprint_stats = self.fingerprint_cache.stats()
+        return {
+            "generation": generation,
+            "index": index_stats,
+            "metrics": self.metrics.snapshot().as_dict(),
+            "result_cache": {
+                "size": result_stats.size,
+                "capacity": result_stats.capacity,
+                "hits": result_stats.hits,
+                "misses": result_stats.misses,
+                "evictions": result_stats.evictions,
+                "invalidations": result_stats.invalidations,
+                "hit_rate": round(result_stats.hit_rate, 4),
+            },
+            "fingerprint_cache": {
+                "size": fingerprint_stats.size,
+                "capacity": fingerprint_stats.capacity,
+                "hit_rate": round(fingerprint_stats.hit_rate, 4),
+            },
+        }
+
+    def close(self) -> None:
+        """Release executor resources."""
+        if self.executor is not None:
+            self.executor.close()

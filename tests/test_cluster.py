@@ -25,6 +25,7 @@ class TestShardingConfig:
             {"num_shards": 0},
             {"num_nodes": 0},
             {"num_shards": 5, "num_nodes": 10},
+            {"placement": "zorder"},
         ],
     )
     def test_invalid(self, kwargs):
@@ -162,6 +163,106 @@ class TestShardedIndex:
         from repro.geo.point import Point
 
         assert sharded.query([Point(51.5, -0.1), Point(51.51, -0.1)]) == []
+
+    def test_remove(self, small_dataset):
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=16, num_nodes=2)
+        )
+        sharded.add_many(self._records(small_dataset))
+        query = small_dataset.queries[0]
+        victim = sharded.query(query.points)[0].trajectory_id
+        sharded.remove(victim)
+        assert victim not in sharded
+        assert len(sharded) == len(small_dataset) - 1
+        assert all(
+            r.trajectory_id != victim for r in sharded.query(query.points)
+        )
+        with pytest.raises(KeyError):
+            sharded.remove(victim)
+
+    def test_tombstone_distinct_from_live_none_id(self, small_dataset):
+        # remove() tombstones with a private sentinel, so a trajectory
+        # legitimately indexed under id None still comes back.
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=16, num_nodes=2)
+        )
+        record = small_dataset.records[0]
+        sharded.add(None, record.points)
+        results = sharded.query(record.points, limit=1)
+        assert results and results[0].trajectory_id is None
+        sharded.remove(None)
+        assert sharded.query(record.points, limit=1) == []
+
+    def test_remove_purges_postings(self, small_dataset):
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=16, num_nodes=2)
+        )
+        sharded.add_many(self._records(small_dataset))
+        for trajectory_id, _ in self._records(small_dataset):
+            sharded.remove(trajectory_id)
+        assert len(sharded) == 0
+        assert sum(sharded.shard_postings_counts()) == 0
+
+    def test_remove_recycles_slots(self, small_dataset):
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=16, num_nodes=2)
+        )
+        records = self._records(small_dataset)
+        sharded.add_many(records)
+        baseline = len(sharded._ids)
+        for trajectory_id, points in records[:5]:
+            sharded.remove(trajectory_id)
+            sharded.add(trajectory_id, points)
+        assert len(sharded._ids) == baseline
+        query = small_dataset.queries[0]
+        single = GeodabIndex(CONFIG)
+        single.add_many(records)
+        assert sharded.query(query.points) == single.query(query.points)
+
+
+class TestHashPlacement:
+    def _build(self, small_dataset, placement):
+        sharded = ShardedGeodabIndex(
+            CONFIG,
+            ShardingConfig(num_shards=8, num_nodes=2, placement=placement),
+        )
+        sharded.add_many(
+            (r.trajectory_id, r.points) for r in small_dataset.records
+        )
+        return sharded
+
+    def test_results_identical_to_range_placement(self, small_dataset):
+        ranged = self._build(small_dataset, "range")
+        hashed = self._build(small_dataset, "hash")
+        for query in small_dataset.queries:
+            assert hashed.query(query.points) == ranged.query(query.points)
+
+    def test_hash_spreads_a_single_city_over_all_shards(self, small_dataset):
+        ranged = self._build(small_dataset, "range")
+        hashed = self._build(small_dataset, "hash")
+        # A city occupies one sliver of the z-order curve: range
+        # placement piles everything onto few shards of a small cluster,
+        # hash placement populates all of them.
+        assert sum(1 for c in hashed.shard_postings_counts() if c > 0) == 8
+        assert sum(1 for c in ranged.shard_postings_counts() if c > 0) <= 2
+        assert sum(hashed.shard_postings_counts()) == sum(
+            ranged.shard_postings_counts()
+        )
+
+    def test_hash_fanout_is_wide(self, small_dataset):
+        hashed = self._build(small_dataset, "hash")
+        _, stats = hashed.query_with_stats(small_dataset.queries[0].points)
+        assert stats.shards_contacted >= 4
+
+    def test_cell_placement_undefined_under_hash(self):
+        router = ShardRouter(
+            ShardingConfig(num_shards=8, num_nodes=2, placement="hash"), 16, 16
+        )
+        assert 0 <= router.shard_of_term(12345) < 8
+        # One cell's terms deliberately span shards, so asking for "the"
+        # shard of a prefix/cell must refuse rather than mislead.
+        with pytest.raises(ValueError):
+            router.shard_of_prefix(3)
 
 
 class TestBalanceStats:

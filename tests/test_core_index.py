@@ -59,6 +59,18 @@ class TestIndexing:
         results = index.query(walk_points(30, bearing=90.0))
         assert all(r.trajectory_id != "east" for r in results)
 
+    def test_remove_recycles_internal_slots(self, index):
+        # A long-running service deletes and re-ingests constantly; the
+        # index must stay at constant memory, not grow a tombstone per
+        # update cycle.
+        baseline = len(index._ids)
+        for _ in range(5):
+            index.remove("east")
+            index.add("east", walk_points(30, bearing=90.0))
+        assert len(index._ids) == baseline
+        results = index.query(walk_points(30, bearing=90.0))
+        assert results and results[0].trajectory_id == "east"
+
     def test_remove_missing_raises(self, index):
         with pytest.raises(KeyError):
             index.remove("missing")
@@ -116,6 +128,46 @@ class TestQuerying:
         assert stats.query_terms > 0
         assert stats.candidates >= len(results)
         assert stats.returned == len(results)
+
+    def test_stats_scored_counts_kept_results_not_candidates(self):
+        # Regression: ``scored`` used to report the raw candidate count
+        # even when max_distance filtered candidates out, inflating
+        # Figure-14-style work accounting.
+        idx = GeodabIndex(CONFIG)
+        points = walk_points(30)
+        # "forked" shares the first half of the walk then diverges: it
+        # is a candidate (shared terms) but at a nonzero distance.
+        forked = walk_points(15) + [
+            destination(walk_points(15)[-1], 0.0, 90.0 * (i + 1))
+            for i in range(15)
+        ]
+        idx.add("same", points)
+        idx.add("forked", forked)
+        _, loose = idx.query_with_stats(points, max_distance=1.0)
+        assert loose.candidates == 2
+        assert loose.scored == loose.candidates  # nothing filtered
+        results, strict = idx.query_with_stats(points, max_distance=0.0)
+        assert strict.candidates == 2
+        assert strict.scored == len(results) == 1
+        assert strict.scored < strict.candidates
+
+    def test_stats_scored_unaffected_by_limit(self, index):
+        _, unlimited = index.query_with_stats(walk_points(30, bearing=90.0))
+        limited_results, limited = index.query_with_stats(
+            walk_points(30, bearing=90.0), limit=1
+        )
+        assert limited.scored == unlimited.scored
+        assert limited.returned == len(limited_results) == 1
+
+    def test_query_terms_reuses_extracted_fingerprints(self, index):
+        fs = index.fingerprint_query(walk_points(30, bearing=90.0))
+        terms = sorted(set(fs.values))
+        direct, direct_stats = index.query_with_stats(
+            walk_points(30, bearing=90.0)
+        )
+        via_terms, term_stats = index.query_terms(terms, fs.bitmap)
+        assert via_terms == direct
+        assert term_stats == direct_stats
 
     def test_candidates(self, index):
         candidates = index.candidates(walk_points(30, bearing=90.0))

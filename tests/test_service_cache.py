@@ -1,0 +1,122 @@
+"""Tests for repro.service.cache: LRU behaviour, generation invalidation."""
+
+import pytest
+
+from repro.geo.point import Point
+from repro.service.cache import LRUCache, MISS, digest_points, digest_terms
+
+
+class TestLRUBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("a") is MISS
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+        assert "a" in cache
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", None)
+        assert cache.get("a") is None
+
+    def test_overwrite(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=-1)
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+        assert cache.stats().evictions == 0
+
+    def test_clear(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is MISS
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_eviction_counter(self):
+        cache = LRUCache(capacity=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats().evictions == 1
+        assert cache.stats().size == 1
+
+
+class TestGenerationInvalidation:
+    def test_stale_generation_misses_and_drops(self):
+        cache = LRUCache(capacity=4)
+        cache.put("key", "result", generation=1)
+        assert cache.get("key", generation=1) == "result"
+        assert cache.get("key", generation=2) is MISS
+        # The stale entry was dropped, not just bypassed.
+        assert len(cache) == 0
+        assert cache.stats().invalidations == 1
+
+    def test_invalidate_all_purges_and_counts(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1, generation=1)
+        cache.put("b", 2, generation=1)
+        cache.invalidate_all()
+        assert len(cache) == 0
+        assert cache.get("a", generation=1) is MISS
+        assert cache.stats().invalidations == 2
+        assert cache.stats().evictions == 0
+
+    def test_untagged_entries_ignore_generations(self):
+        cache = LRUCache(capacity=4)
+        cache.put("fp", "fingerprints")
+        assert cache.get("fp") == "fingerprints"
+        assert cache.stats().invalidations == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate(self):
+        assert LRUCache(capacity=4).stats().hit_rate == 0.0
+
+
+class TestDigests:
+    def test_points_digest_sensitive_to_order_and_value(self):
+        a = [Point(51.5, -0.1), Point(51.6, -0.2)]
+        b = list(reversed(a))
+        c = [Point(51.5, -0.1), Point(51.6, -0.2000001)]
+        assert digest_points(a) == digest_points(list(a))
+        assert digest_points(a) != digest_points(b)
+        assert digest_points(a) != digest_points(c)
+
+    def test_terms_digest_is_set_semantics(self):
+        assert digest_terms([3, 1, 2]) == digest_terms([1, 2, 3, 3])
+        assert digest_terms([1, 2, 3]) != digest_terms([1, 2, 4])
+        assert digest_terms([]) == digest_terms([])

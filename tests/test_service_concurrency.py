@@ -1,0 +1,219 @@
+"""Tests for the serving tier's concurrency story.
+
+The invariant under test: a query served while a writer is ingesting
+always reflects a *consistent generation* — the set of trajectories it
+ranks is exactly the corpus after some whole write, never a half-applied
+batch.  Writes here are applied one trajectory per generation, so every
+valid answer set is a prefix of the ingest order.
+"""
+
+import threading
+
+import pytest
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.service import IndexService, QueryExecutor, ReadWriteLock
+
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # all three readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        observed = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_locked():
+                observed.append("read")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=0.1)
+        assert observed == []  # reader blocked behind the writer
+        lock.release_write()
+        thread.join(timeout=5)
+        assert observed == ["read"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_done = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_done.set()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        # Give the writer time to queue up, then try a new reader: it
+        # must wait behind the announced writer.
+        late = []
+
+        def late_reader():
+            with lock.read_locked():
+                late.append(True)
+
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        reader_thread.join(timeout=0.1)
+        assert late == [] and not writer_done.is_set()
+        lock.release_read()
+        writer_thread.join(timeout=5)
+        reader_thread.join(timeout=5)
+        assert writer_done.is_set() and late == [True]
+
+
+@pytest.mark.parametrize("make_index", [
+    lambda: GeodabIndex(CONFIG),
+    lambda: ShardedGeodabIndex(CONFIG, ShardingConfig(num_shards=8, num_nodes=2)),
+], ids=["single", "sharded"])
+def test_queries_see_only_whole_generations(small_dataset, make_index):
+    records = small_dataset.records
+    ingest_order = [r.trajectory_id for r in records]
+    prefixes = [
+        frozenset(ingest_order[:i]) for i in range(len(ingest_order) + 1)
+    ]
+    query = small_dataset.queries[0]
+
+    index = make_index()
+    service = IndexService(index, result_cache_size=8)
+    stop = threading.Event()
+    violations = []
+
+    def read_loop():
+        while not stop.is_set():
+            response = service.query(query.points, max_distance=1.0)
+            returned = frozenset(r.trajectory_id for r in response.results)
+            # Every candidate the query can see must belong to exactly
+            # the corpus of some completed generation (a prefix).
+            expected = prefixes[response.generation]
+            if not returned <= expected:
+                violations.append((response.generation, returned - expected))
+
+    readers = [threading.Thread(target=read_loop) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    for record in records:
+        service.add(record.trajectory_id, record.points)
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=10)
+    assert not violations
+    # After the writer finishes, the query sees the full corpus answer.
+    final = service.query(query.points, max_distance=1.0)
+    assert final.generation == len(records)
+
+
+def test_concurrent_readers_with_pooled_executor(small_dataset):
+    index = ShardedGeodabIndex(CONFIG, ShardingConfig(num_shards=8, num_nodes=2))
+    reference = GeodabIndex(CONFIG)
+    for record in small_dataset.records:
+        reference.add(record.trajectory_id, record.points)
+    with QueryExecutor(index, pool_size=4) as executor:
+        service = IndexService(index, executor=executor)
+        service.ingest(
+            (r.trajectory_id, r.points) for r in small_dataset.records
+        )
+        expected = {
+            q.query_id: reference.query(q.points, limit=10)
+            for q in small_dataset.queries
+        }
+        mismatches = []
+
+        def worker(query):
+            for _ in range(5):
+                response = service.query(query.points, limit=10)
+                if list(response.results) != expected[query.query_id]:
+                    mismatches.append(query.query_id)
+
+        threads = [
+            threading.Thread(target=worker, args=(q,))
+            for q in small_dataset.queries
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not mismatches
+
+
+def test_bulk_ingest_is_one_generation(small_dataset):
+    service = IndexService(GeodabIndex(CONFIG))
+    count, generation = service.ingest(
+        (r.trajectory_id, r.points) for r in small_dataset.records
+    )
+    assert count == len(small_dataset.records)
+    assert generation == 1
+
+
+def test_failed_bulk_ingest_leaves_no_partial_state(small_dataset):
+    service = IndexService(GeodabIndex(CONFIG))
+    records = small_dataset.records
+    service.add(records[2].trajectory_id, records[2].points)
+    with pytest.raises(KeyError):
+        service.ingest((r.trajectory_id, r.points) for r in records)
+    # Nothing from the failed batch landed; generation unchanged.
+    assert len(service) == 1
+    assert service.generation == 1
+
+
+def test_mid_batch_failure_rolls_back_applied_items(small_dataset):
+    # A failure past the duplicate pre-check (e.g. malformed points on
+    # the third item) must undo the items already applied.
+    service = IndexService(GeodabIndex(CONFIG))
+    records = small_dataset.records
+    with pytest.raises(Exception):
+        service.ingest([
+            (records[0].trajectory_id, records[0].points),
+            (records[1].trajectory_id, records[1].points),
+            ("malformed", None),
+        ])
+    assert len(service) == 0
+    assert records[0].trajectory_id not in service
+    assert service.generation == 0
+
+
+def test_ingest_preserves_stored_points(small_dataset):
+    # Regression: the out-of-lock fingerprinting path must still hand
+    # raw points to an index built with store_points=True.
+    index = GeodabIndex(CONFIG, store_points=True)
+    service = IndexService(index)
+    record = small_dataset.records[0]
+    service.add(record.trajectory_id, record.points)
+    assert index.points_of(record.trajectory_id) == list(record.points)
+
+
+def test_delete_bumps_generation_and_invalidates(small_dataset):
+    service = IndexService(GeodabIndex(CONFIG))
+    service.ingest((r.trajectory_id, r.points) for r in small_dataset.records)
+    query = small_dataset.queries[0]
+    first = service.query(query.points, limit=5)
+    assert first.cached is False
+    assert service.query(query.points, limit=5).cached is True
+    victim = first.results[0].trajectory_id
+    assert service.delete(victim) == 2
+    # The write purged every cached result eagerly, not just lazily.
+    assert len(service.result_cache) == 0
+    after = service.query(query.points, limit=5)
+    assert after.cached is False
+    assert all(r.trajectory_id != victim for r in after.results)
+    assert service.result_cache.stats().invalidations >= 1

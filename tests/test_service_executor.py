@@ -1,0 +1,143 @@
+"""Tests for repro.service.executor: pooled fan-out equals sequential."""
+
+import threading
+
+import pytest
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.service.executor import QueryExecutor
+
+CONFIG = GeodabConfig(k=3, t=5)
+SHARDING = ShardingConfig(num_shards=8, num_nodes=2)
+
+
+@pytest.fixture(scope="module")
+def corpus(small_dataset):
+    return [(r.trajectory_id, r.points) for r in small_dataset.records]
+
+
+@pytest.fixture(scope="module")
+def single(corpus):
+    index = GeodabIndex(CONFIG)
+    index.add_many(corpus)
+    return index
+
+
+@pytest.fixture(scope="module")
+def sharded(corpus):
+    index = ShardedGeodabIndex(CONFIG, SHARDING)
+    index.add_many(corpus)
+    return index
+
+
+class TestShardPartialAPI:
+    def test_sequential_decomposition_matches_monolithic_query(
+        self, sharded, single, small_dataset
+    ):
+        for query in small_dataset.queries:
+            assert sharded.query(query.points, limit=10) == single.query(
+                query.points, limit=10
+            )
+
+    def test_partials_cover_the_plan(self, sharded, small_dataset):
+        prepared = sharded.prepare_query(small_dataset.queries[0].points)
+        merged: dict[int, int] = {}
+        for shard_id, terms in prepared.plan.items():
+            for internal, shared in sharded.shard_partial(shard_id, terms).items():
+                merged[internal] = merged.get(internal, 0) + shared
+        _, stats = sharded.query_prepared(prepared)
+        assert len(merged) == stats.candidates
+
+    def test_shard_postings_is_the_raw_form_of_shard_partial(self, sharded):
+        shard_id = next(
+            s.shard_id for s in sharded.shards if s.postings
+        )
+        terms = list(sharded.shards[shard_id].postings)[:5]
+        postings = sharded.shard_postings(shard_id, terms)
+        rebuilt: dict[int, int] = {}
+        for posting in postings.values():
+            for internal in posting:
+                rebuilt[internal] = rebuilt.get(internal, 0) + 1
+        assert rebuilt == dict(sharded.shard_partial(shard_id, terms))
+
+
+class TestPooledEquality:
+    @pytest.mark.parametrize("pool_size", [0, 2, 8])
+    def test_pooled_matches_sequential(
+        self, sharded, single, small_dataset, pool_size
+    ):
+        with QueryExecutor(sharded, pool_size=pool_size) as executor:
+            for query in small_dataset.queries:
+                results, stats = executor.execute(query.points, limit=10)
+                assert results == single.query(query.points, limit=10)
+                assert stats.pooled == (pool_size > 0)
+                assert stats.batch_size == 1
+
+    def test_limit_and_max_distance_respected(self, sharded, small_dataset):
+        query = small_dataset.queries[0]
+        with QueryExecutor(sharded, pool_size=4) as executor:
+            results, _ = executor.execute(query.points, limit=2, max_distance=0.95)
+            assert len(results) <= 2
+            assert all(r.distance <= 0.95 for r in results)
+
+    def test_rpc_latency_does_not_change_results(
+        self, sharded, single, small_dataset
+    ):
+        query = small_dataset.queries[0]
+        with QueryExecutor(sharded, pool_size=4, rpc_latency_s=0.001) as executor:
+            results, _ = executor.execute(query.points, limit=10)
+        assert results == single.query(query.points, limit=10)
+
+    def test_invalid_parameters(self, sharded):
+        with pytest.raises(ValueError):
+            QueryExecutor(sharded, pool_size=-1)
+        with pytest.raises(ValueError):
+            QueryExecutor(sharded, pool_size=1, rpc_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            QueryExecutor(sharded, pool_size=1, batch_window_s=-1.0)
+
+
+class TestMicroBatching:
+    def test_concurrent_queries_share_a_batch(
+        self, sharded, single, small_dataset
+    ):
+        queries = small_dataset.queries
+        with QueryExecutor(
+            sharded, pool_size=4, batch_window_s=0.05
+        ) as executor:
+            barrier = threading.Barrier(len(queries))
+            outcomes: dict[int, tuple] = {}
+
+            def run(i, query):
+                barrier.wait()
+                outcomes[i] = executor.execute(query.points, limit=10)
+
+            threads = [
+                threading.Thread(target=run, args=(i, q))
+                for i, q in enumerate(queries)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        batch_sizes = set()
+        for i, query in enumerate(queries):
+            results, stats = outcomes[i]
+            assert results == single.query(query.points, limit=10)
+            batch_sizes.add(stats.batch_size)
+        # All queries released together within one window: at least one
+        # multi-query batch formed.
+        assert max(batch_sizes) >= 2
+
+    def test_lone_query_still_served(self, sharded, single, small_dataset):
+        query = small_dataset.queries[0]
+        with QueryExecutor(
+            sharded, pool_size=2, batch_window_s=0.01
+        ) as executor:
+            results, stats = executor.execute(query.points, limit=10)
+        assert results == single.query(query.points, limit=10)
+        assert stats.batch_size == 1

@@ -1,0 +1,303 @@
+"""Tests for repro.service.http: JSON round-trips of every endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.service import IndexService, start_server
+
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+def call(base, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def as_wire(points):
+    return [[p.lat, p.lon] for p in points]
+
+
+@pytest.fixture()
+def server(small_dataset):
+    service = IndexService(GeodabIndex(CONFIG))
+    server = start_server(service)
+    yield server
+    server.shutdown()
+    service.close()
+
+
+@pytest.fixture()
+def loaded_server(server, small_dataset):
+    body = {
+        "trajectories": [
+            {"id": r.trajectory_id, "points": as_wire(r.points)}
+            for r in small_dataset.records
+        ]
+    }
+    status, _ = call(server.url, "POST", "/trajectories", body)
+    assert status == 200
+    return server
+
+
+class TestHealthz:
+    def test_empty_service(self, server):
+        status, payload = call(server.url, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "generation": 0, "trajectories": 0}
+
+    def test_after_ingest(self, loaded_server, small_dataset):
+        _, payload = call(loaded_server.url, "GET", "/healthz")
+        assert payload["generation"] == 1
+        assert payload["trajectories"] == len(small_dataset.records)
+
+
+class TestIngest:
+    def test_bulk_ingest(self, server, small_dataset):
+        body = {
+            "trajectories": [
+                {"id": r.trajectory_id, "points": as_wire(r.points)}
+                for r in small_dataset.records[:3]
+            ]
+        }
+        status, payload = call(server.url, "POST", "/trajectories", body)
+        assert status == 200
+        assert payload == {"ingested": 3, "generation": 1}
+
+    def test_single_object_form(self, server, small_dataset):
+        record = small_dataset.records[0]
+        status, payload = call(
+            server.url, "POST", "/trajectories",
+            {"id": record.trajectory_id, "points": as_wire(record.points)},
+        )
+        assert status == 200
+        assert payload["ingested"] == 1
+
+    def test_duplicate_is_conflict(self, loaded_server, small_dataset):
+        record = small_dataset.records[0]
+        status, payload = call(
+            loaded_server.url, "POST", "/trajectories",
+            {"id": record.trajectory_id, "points": as_wire(record.points)},
+        )
+        assert status == 409
+        assert "error" in payload
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"id": "x"},
+            {"points": [[51.5, -0.1]]},
+            {"id": "", "points": [[51.5, -0.1]]},
+            {"id": "x", "points": []},
+            {"id": "x", "points": [[999.0, 0.0]]},
+            {"id": "x", "points": [["a", "b"]]},
+            {"trajectories": "nope"},
+        ],
+    )
+    def test_malformed_is_bad_request(self, server, body):
+        status, payload = call(server.url, "POST", "/trajectories", body)
+        assert status == 400
+        assert "error" in payload
+
+
+class TestQuery:
+    def test_results_identical_to_direct_index_query(
+        self, loaded_server, small_dataset
+    ):
+        reference = GeodabIndex(CONFIG)
+        reference.add_many(
+            (r.trajectory_id, r.points) for r in small_dataset.records
+        )
+        for query in small_dataset.queries:
+            status, payload = call(
+                loaded_server.url, "POST", "/query",
+                {"points": as_wire(query.points), "limit": 10},
+            )
+            assert status == 200
+            direct = reference.query(query.points, limit=10)
+            assert [
+                (r["id"], r["distance"], r["shared_terms"])
+                for r in payload["results"]
+            ] == [
+                (r.trajectory_id, r.distance, r.shared_terms) for r in direct
+            ]
+
+    def test_repeat_is_cache_hit_with_same_results(
+        self, loaded_server, small_dataset
+    ):
+        payload = {"points": as_wire(small_dataset.queries[0].points), "limit": 5}
+        _, first = call(loaded_server.url, "POST", "/query", payload)
+        _, second = call(loaded_server.url, "POST", "/query", payload)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["results"] == first["results"]
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"points": []},
+            {"points": [[51.5, -0.1]], "limit": 0},
+            {"points": [[51.5, -0.1]], "limit": "ten"},
+            {"points": [[51.5, -0.1]], "max_distance": 2.0},
+            # JSON booleans are int subclasses in Python; they must not
+            # silently coerce to numbers.
+            {"points": [[51.5, -0.1]], "limit": True},
+            {"points": [[51.5, -0.1]], "max_distance": False},
+            {"points": [[True, False]]},
+        ],
+    )
+    def test_malformed_is_bad_request(self, loaded_server, body):
+        status, payload = call(loaded_server.url, "POST", "/query", body)
+        assert status == 400
+        assert "error" in payload
+
+
+class TestDelete:
+    def test_delete_removes_from_results(self, loaded_server, small_dataset):
+        query = small_dataset.queries[0]
+        _, before = call(
+            loaded_server.url, "POST", "/query",
+            {"points": as_wire(query.points), "limit": 5},
+        )
+        victim = before["results"][0]["id"]
+        status, payload = call(
+            loaded_server.url, "DELETE", f"/trajectories/{victim}"
+        )
+        assert status == 200
+        assert payload["deleted"] == victim
+        assert payload["generation"] == 2
+        _, after = call(
+            loaded_server.url, "POST", "/query",
+            {"points": as_wire(query.points), "limit": 5},
+        )
+        assert after["cached"] is False  # the write invalidated the cache
+        assert all(r["id"] != victim for r in after["results"])
+
+    def test_unknown_is_404(self, loaded_server):
+        status, _ = call(loaded_server.url, "DELETE", "/trajectories/nope")
+        assert status == 404
+
+    def test_bare_collection_is_404(self, loaded_server):
+        status, _ = call(loaded_server.url, "DELETE", "/trajectories/")
+        assert status == 404
+
+
+class TestStats:
+    def test_stats_shape(self, loaded_server, small_dataset):
+        call(
+            loaded_server.url, "POST", "/query",
+            {"points": as_wire(small_dataset.queries[0].points)},
+        )
+        status, payload = call(loaded_server.url, "GET", "/stats")
+        assert status == 200
+        assert payload["generation"] == 1
+        assert payload["index"]["kind"] == "single"
+        assert payload["index"]["trajectories"] == len(small_dataset.records)
+        metrics = payload["metrics"]
+        assert metrics["queries"] >= 1
+        assert metrics["latency_p50_ms"] >= 0.0
+        assert 0.0 <= metrics["cache_hit_rate"] <= 1.0
+        assert payload["result_cache"]["capacity"] > 0
+
+    def test_unknown_path_is_404(self, server):
+        assert call(server.url, "GET", "/nope")[0] == 404
+        assert call(server.url, "POST", "/nope")[0] == 404
+
+
+class TestBodyLimits:
+    def test_oversized_declared_body_is_413(self, server):
+        import http.client
+
+        from repro.service.http import MAX_BODY_BYTES
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.putrequest("POST", "/query")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            # Response arrives without the body ever being sent.
+            response = connection.getresponse()
+            assert response.status == 413
+            assert "error" in json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_chunked_transfer_is_rejected(self, server):
+        import socket
+
+        host, port = server.server_address[:2]
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                b"4\r\n{\"x\"\r\n0\r\n\r\n"
+            )
+            # The server closes the connection (it cannot drain chunked
+            # frames), so read until EOF to get the full response.
+            chunks = []
+            while True:
+                data = sock.recv(4096)
+                if not data:
+                    break
+                chunks.append(data)
+            response = b"".join(chunks).decode()
+        finally:
+            sock.close()
+        assert response.startswith("HTTP/1.1 400")
+        assert "chunked" in response
+
+
+class TestMalformedContentLength:
+    def test_bad_header_gets_json_400_not_dropped_socket(self, server):
+        import socket
+
+        host, port = server.server_address[:2]
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            response = sock.recv(4096).decode()
+        finally:
+            sock.close()
+        assert response.startswith("HTTP/1.1 400")
+        assert "Content-Length" in response
+
+
+class TestKeepAlive:
+    def test_rejected_post_body_is_drained(self, server):
+        # Regression: a 404 on an unrouted POST must still consume the
+        # request body, or its bytes desync the next request on the
+        # same persistent connection.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/nope", body=json.dumps({"x": 1}),
+                headers={"Content-Type": "application/json"},
+            )
+            assert connection.getresponse().read() and True
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
