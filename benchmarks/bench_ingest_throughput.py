@@ -1,0 +1,170 @@
+"""Bulk-ingest throughput: per-trajectory adds vs the batch pipeline.
+
+The paper benchmarks index construction at scale (Figures 9-10); this
+benchmark measures what PR 2 made of it.  A synthetic corpus of random
+walks is ingested twice per backend:
+
+* **sequential** — one ``add()`` per trajectory, i.e. one scalar
+  normalize → geohash → k-gram hash → winnow pass each (the pre-PR-2
+  code path);
+* **batch** — one ``add_many()`` call, which fingerprints the whole
+  corpus through the numpy-vectorized
+  :class:`~repro.pipeline.BatchFingerprinter` and inserts postings in
+  one grouped pass (per shard, for the sharded index).
+
+Both paths produce identical indexes (the property tests assert
+bit-identical fingerprints; this script cross-checks the index shapes).
+The acceptance bar for PR 2 is batch >= 3x sequential on a >= 2k
+trajectory corpus; ``--min-speedup`` turns the bar into an exit code so
+CI can enforce it.
+
+Run with:  python benchmarks/bench_ingest_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.bench.report import print_table
+from repro.cluster import ShardedGeodabIndex, ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.geo.point import Point
+
+NUM_SHARDS = 8
+NUM_NODES = 2
+
+
+def synthetic_corpus(
+    num_trajectories: int, seed: int = 0
+) -> list[tuple[str, list[Point]]]:
+    """Random-walk trajectories over a London-sized area.
+
+    Walks use ~100 m steps so consecutive points usually change
+    normalization cell — the same regime as the paper's GPS recordings.
+    """
+    rng = random.Random(seed)
+    corpus = []
+    for index in range(num_trajectories):
+        length = rng.randint(40, 120)
+        lat = 51.5 + rng.uniform(-0.1, 0.1)
+        lon = -0.12 + rng.uniform(-0.15, 0.15)
+        points = []
+        for _ in range(length):
+            lat += rng.uniform(-1e-3, 1e-3)
+            lon += rng.uniform(-1.6e-3, 1.6e-3)
+            points.append(Point(lat, lon))
+        corpus.append((f"t{index:05d}", points))
+    return corpus
+
+
+def build_single() -> GeodabIndex:
+    return GeodabIndex(GeodabConfig())
+
+
+def build_sharded() -> ShardedGeodabIndex:
+    # Hash placement for the same reason as the serving benchmark: a
+    # single-city corpus occupies one sliver of the z-order curve.
+    return ShardedGeodabIndex(
+        GeodabConfig(),
+        ShardingConfig(
+            num_shards=NUM_SHARDS, num_nodes=NUM_NODES, placement="hash"
+        ),
+    )
+
+
+def ingest_sequential(index, corpus) -> float:
+    start = time.perf_counter()
+    for trajectory_id, points in corpus:
+        index.add(trajectory_id, points)
+    return time.perf_counter() - start
+
+
+def ingest_batch(index, corpus) -> float:
+    start = time.perf_counter()
+    index.add_many(corpus)
+    return time.perf_counter() - start
+
+
+def shape_of(index) -> tuple:
+    if isinstance(index, ShardedGeodabIndex):
+        return (len(index), tuple(index.shard_postings_counts()))
+    stats = index.stats()
+    return (stats.trajectories, stats.terms, stats.postings)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectories",
+        type=int,
+        default=2000,
+        help="corpus size (the acceptance bar is measured at >= 2000)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero unless every batch/sequential speedup "
+        "reaches this factor (0 = report only)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    corpus = synthetic_corpus(args.trajectories, seed=args.seed)
+    points_total = sum(len(points) for _, points in corpus)
+    print(
+        f"corpus: {len(corpus)} trajectories, {points_total:,} points "
+        f"(seed {args.seed})"
+    )
+
+    rows = []
+    speedups = []
+    for name, builder in (("single", build_single), ("sharded", build_sharded)):
+        sequential_index = builder()
+        sequential_s = ingest_sequential(sequential_index, corpus)
+        batch_index = builder()
+        batch_s = ingest_batch(batch_index, corpus)
+        if shape_of(sequential_index) != shape_of(batch_index):
+            raise AssertionError(
+                f"{name}: batch ingest built a different index than "
+                "sequential ingest"
+            )
+        speedup = sequential_s / batch_s if batch_s > 0 else float("inf")
+        speedups.append(speedup)
+        rows.append(
+            [
+                name,
+                len(corpus) / sequential_s,
+                len(corpus) / batch_s,
+                sequential_s,
+                batch_s,
+                speedup,
+            ]
+        )
+    print_table(
+        f"Bulk ingest: per-trajectory add() vs batch add_many() "
+        f"({len(corpus)} trajectories)",
+        [
+            "index",
+            "seq traj/s",
+            "batch traj/s",
+            "seq s",
+            "batch s",
+            "speedup",
+        ],
+        rows,
+    )
+    if args.min_speedup > 0 and min(speedups) < args.min_speedup:
+        print(
+            f"FAIL: minimum speedup {min(speedups):.2f}x below the "
+            f"{args.min_speedup:.2f}x bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -400,6 +400,33 @@ class Roaring64Map:
             out.add(v)
         return out
 
+    @classmethod
+    def from_numpy(cls, values: np.ndarray) -> "Roaring64Map":
+        """Build from a numpy integer array (vectorized).
+
+        The batch fingerprinting pipeline hands whole selection arrays
+        over; grouping by high word keeps the per-value Python loop of
+        :meth:`from_iterable` off the bulk-ingest path.
+        """
+        out = cls()
+        if values.size == 0:
+            return out
+        v = np.asarray(values)
+        if v.dtype != np.uint64 and v.min() < 0:
+            raise ValueError("values outside the 64-bit universe")
+        # Sort + dedupe once, then split at high-word changes (the same
+        # idiom as RoaringBitmap.from_numpy) — one pass regardless of
+        # how many distinct high words the values span.
+        v = np.unique(v.astype(np.uint64, copy=False))
+        highs = v >> np.uint64(32)
+        lows = (v & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        boundaries = np.flatnonzero(np.diff(highs)) + 1
+        for chunk_lows, chunk_highs in zip(
+            np.split(lows, boundaries), np.split(highs, boundaries)
+        ):
+            out._maps[int(chunk_highs[0])] = RoaringBitmap.from_numpy(chunk_lows)
+        return out
+
     def add(self, value: int) -> None:
         """Insert a value."""
         if not 0 <= value <= self._MAX_VALUE_64:

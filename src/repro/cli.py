@@ -89,7 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="shard the index (0 = single-node GeodabIndex)",
     )
-    serve.add_argument("--nodes", type=int, default=None)
+    serve.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="simulated cluster nodes (default: one node per 8 shards, "
+        "so large --shards counts spread instead of piling onto 2 nodes)",
+    )
     serve.add_argument(
         "--placement",
         choices=("range", "hash"),
@@ -158,9 +164,11 @@ def _build_indexes(dataset: TrajectoryDataset, depth: int, k: int, t: int):
         GeodabConfig(normalization_depth=depth, k=k, t=t), normalizer=normalizer
     )
     geohash = GeohashIndex(depth, normalizer=normalizer)
-    for record in dataset.records:
-        geodab.add(record.trajectory_id, record.points)
-        geohash.add(record.trajectory_id, record.points)
+    records = [(r.trajectory_id, r.points) for r in dataset.records]
+    # Bulk insert: the geodab index fingerprints the whole dataset
+    # through the vectorized batch pipeline.
+    geodab.add_many(records)
+    geohash.add_many(records)
     return geodab, geohash
 
 
@@ -260,7 +268,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.nodes is not None:
             nodes = args.nodes
         else:
-            nodes = min(2, args.shards)  # a 1-shard cluster gets 1 node
+            # One node per 8 shards (clamped to [1, shards]): small
+            # clusters stay compact while --shards 128 gets 16 nodes
+            # instead of piling every shard onto 2.
+            nodes = max(1, min(args.shards, -(-args.shards // 8)))
         try:
             sharding = ShardingConfig(
                 num_shards=args.shards,

@@ -16,9 +16,12 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping, Sequence
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from ..core.arena import TOMBSTONE as _TOMBSTONE
+from ..core.arena import SlotArena
 from ..core.config import GeodabConfig
 from ..core.fingerprint import Fingerprinter, FingerprintSet
-from ..core.index import Normalizer, SearchResult, _TOMBSTONE
+from ..core.index import Normalizer, SearchResult
+from ..core.query import FanoutStats, PreparedQuery
 from ..geo.point import Trajectory
 from .sharding import ShardingConfig, ShardRouter
 
@@ -28,36 +31,6 @@ __all__ = [
     "ShardState",
     "ShardedGeodabIndex",
 ]
-
-
-@dataclass(frozen=True, slots=True)
-class FanoutStats:
-    """Distribution work performed by one query (Section VI-E's concern)."""
-
-    query_terms: int
-    shards_contacted: int
-    nodes_contacted: int
-    candidates: int
-
-
-@dataclass(frozen=True, slots=True)
-class PreparedQuery:
-    """A query after fingerprinting and routing, before shard contact.
-
-    Splitting preparation from execution lets the serving tier fan the
-    per-shard lookups out over a worker pool (and batch the lookups of
-    concurrent queries) while reusing exactly the routing and ranking of
-    the sequential path.
-    """
-
-    fingerprint_set: FingerprintSet
-    terms: tuple[int, ...]
-    plan: dict[int, list[int]]
-
-    @property
-    def query_bitmap(self) -> RoaringBitmap | Roaring64Map:
-        """Bitmap of the query's distinct terms (for Jaccard ranking)."""
-        return self.fingerprint_set.bitmap
 
 
 @dataclass
@@ -104,10 +77,12 @@ class ShardedGeodabIndex:
             ShardState(s, self.router.node_of_shard(s), {})
             for s in range(self.sharding.num_shards)
         ]
-        self._ids: list[Hashable] = []
-        self._id_to_internal: dict[Hashable, int] = {}
-        self._bitmaps: list[RoaringBitmap | Roaring64Map] = []
-        self._free_slots: list[int] = []
+        # Slot recycling is shared with the single-node index via the
+        # arena; the aliases index straight into its lists.
+        self._arena = SlotArena(num_columns=1)
+        self._ids = self._arena.ids
+        self._id_to_internal = self._arena.id_to_internal
+        self._bitmaps: list[RoaringBitmap | Roaring64Map] = self._arena.columns[0]
 
     @property
     def config(self) -> GeodabConfig:
@@ -134,22 +109,8 @@ class ShardedGeodabIndex:
     def _allocate(
         self, trajectory_id: Hashable, bitmap: RoaringBitmap | Roaring64Map
     ) -> int:
-        """Claim an internal slot, reusing ones freed by :meth:`remove`.
-
-        Mirrors ``TrajectoryInvertedIndex._allocate`` (the sharded index
-        keeps bitmaps but no raw points): recycling keeps a long-running
-        service at constant memory under delete/re-add churn.
-        """
-        if self._free_slots:
-            internal = self._free_slots.pop()
-            self._ids[internal] = trajectory_id
-            self._bitmaps[internal] = bitmap
-        else:
-            internal = len(self._ids)
-            self._ids.append(trajectory_id)
-            self._bitmaps.append(bitmap)
-        self._id_to_internal[trajectory_id] = internal
-        return internal
+        """Claim an internal slot, reusing ones freed by :meth:`remove`."""
+        return self._arena.allocate(trajectory_id, bitmap)
 
     def add_fingerprints(
         self,
@@ -171,14 +132,91 @@ class ShardedGeodabIndex:
             shard = self.shards[self.router.shard_of_term(term)]
             shard.postings.setdefault(term, []).append(internal)
 
+    def add_fingerprints_many(
+        self,
+        entries: Iterable[
+            tuple[Hashable, FingerprintSet, Trajectory | None]
+        ],
+    ) -> None:
+        """Bulk insert from precomputed fingerprints, all-or-nothing.
+
+        Identifiers are validated (against the index and within the
+        batch) before any mutation; postings are then grouped by shard
+        across the whole batch and each shard is touched in one pass,
+        with term routing computed once per distinct term.
+        """
+        entries = list(entries)
+        if not entries:
+            return
+        self._arena.check_new_ids(
+            trajectory_id for trajectory_id, _, _ in entries
+        )
+        # Route every term before the first allocation: term extraction
+        # and routing are the only steps that can raise (e.g. a prefix
+        # outside the router's universe), and raising after a slot is
+        # claimed would leave a posting-less ghost document behind.
+        shard_of: dict[int, int] = {}
+        routed: list[list[int]] = []
+        for _, fingerprint_set, _ in entries:
+            terms = sorted(set(fingerprint_set.values))
+            for term in terms:
+                if term not in shard_of:
+                    shard_of[term] = self.router.shard_of_term(term)
+            routed.append(terms)
+        grouped: dict[int, dict[int, list[int]]] = {}
+        for (trajectory_id, fingerprint_set, _), terms in zip(entries, routed):
+            internal = self._allocate(trajectory_id, fingerprint_set.bitmap)
+            for term in terms:
+                bucket = grouped.setdefault(shard_of[term], {})
+                internals = bucket.get(term)
+                if internals is None:
+                    bucket[term] = [internal]
+                else:
+                    internals.append(internal)
+        for shard_id, term_map in grouped.items():
+            postings = self.shards[shard_id].postings
+            for term, internals in term_map.items():
+                existing = postings.get(term)
+                if existing is None:
+                    postings[term] = internals
+                else:
+                    existing.extend(internals)
+
+    def fingerprint_many(
+        self, trajectories: Iterable[Trajectory]
+    ) -> list[FingerprintSet]:
+        """Fingerprints of a batch under this index's normalization.
+
+        Normalization runs per trajectory; fingerprinting runs through
+        the vectorized batch pipeline.
+        """
+        batch = list(trajectories)
+        if self.normalizer is not None:
+            batch = [self.normalizer(points) for points in batch]
+        return self.fingerprinter.fingerprint_many(batch)
+
     def add_many(self, items: Iterable[tuple[Hashable, Trajectory]]) -> None:
-        """Index a batch of ``(trajectory_id, points)`` pairs."""
-        for trajectory_id, points in items:
-            self.add(trajectory_id, points)
+        """Bulk-index ``(trajectory_id, points)`` pairs.
+
+        The whole batch is fingerprinted by the vectorized pipeline
+        before any mutation, then routed shard-by-shard in one pass.
+        """
+        items = list(items)
+        if not items:
+            return
+        fingerprint_sets = self.fingerprint_many(
+            points for _, points in items
+        )
+        self.add_fingerprints_many(
+            (trajectory_id, fingerprint_set, None)
+            for (trajectory_id, _), fingerprint_set in zip(
+                items, fingerprint_sets
+            )
+        )
 
     def remove(self, trajectory_id: Hashable) -> None:
         """Remove a trajectory from every shard holding its terms."""
-        internal = self._id_to_internal.pop(trajectory_id, None)
+        internal = self._id_to_internal.get(trajectory_id)
         if internal is None:
             raise KeyError(f"trajectory {trajectory_id!r} not indexed")
         for term in self._bitmaps[internal]:
@@ -193,9 +231,7 @@ class ShardedGeodabIndex:
             if not posting:
                 del shard.postings[int(term)]
         # Tombstone the slot and recycle it for a future add.
-        self._bitmaps[internal] = type(self._bitmaps[internal])()
-        self._ids[internal] = _TOMBSTONE
-        self._free_slots.append(internal)
+        self._arena.release(trajectory_id, type(self._bitmaps[internal])())
 
     def __len__(self) -> int:
         return len(self._id_to_internal)
@@ -317,6 +353,16 @@ class ShardedGeodabIndex:
     # ------------------------------------------------------------------
     # Load accounting (Figures 15-16 territory)
     # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Backend-agnostic shape summary (the ``GET /stats`` payload)."""
+        return {
+            "kind": "sharded",
+            "trajectories": len(self),
+            "shards": self.sharding.num_shards,
+            "nodes": self.sharding.num_nodes,
+            "postings": sum(self.shard_postings_counts()),
+        }
 
     def shard_postings_counts(self) -> list[int]:
         """Postings entries per shard."""

@@ -1,5 +1,6 @@
 """Core contribution: geodab fingerprinting and trajectory indexing."""
 
+from .arena import SlotArena
 from .baseline import GeohashIndex
 from .config import PAPER_CONFIG, GeodabConfig
 from .fastpath import FastTrajectoryWinnower
@@ -14,10 +15,12 @@ from .index import (
 )
 from .motif import MotifMatch, discover_motif, find_common_motif
 from .persistence import load_index, save_index
+from .query import FanoutStats, PreparedQuery
 from .subsearch import SubMatch, containment_search, ordered_containment_search
 from .winnowing import Selection, TrajectoryWinnower, winnow, winnow_positions
 
 __all__ = [
+    "FanoutStats",
     "FastTrajectoryWinnower",
     "Fingerprinter",
     "FingerprintSet",
@@ -28,9 +31,11 @@ __all__ = [
     "IndexStats",
     "MotifMatch",
     "PAPER_CONFIG",
+    "PreparedQuery",
     "QueryStats",
     "SearchResult",
     "Selection",
+    "SlotArena",
     "SubMatch",
     "TrajectoryInvertedIndex",
     "TrajectoryWinnower",

@@ -1,0 +1,112 @@
+"""Dense document-slot arena shared by the inverted-index backends.
+
+Both :class:`~repro.core.index.TrajectoryInvertedIndex` and
+:class:`~repro.cluster.cluster.ShardedGeodabIndex` reference trajectories
+externally by arbitrary hashable identifiers and internally by dense
+integers, and both recycle slots freed by ``remove()`` so a long-running
+service stays at constant memory under delete/re-add churn.  This module
+owns that bookkeeping once: parallel payload *columns* indexed by the
+internal id, the id <-> internal mapping, and the free-slot recycling
+with tombstones.
+
+Callers keep direct references to ``ids`` and the column lists (the
+query hot paths index into them), so the arena mutates those lists in
+place and never replaces them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["SlotArena", "TOMBSTONE"]
+
+#: Marks an internal slot freed by ``release()``; distinct from any user
+#: id, and shared by every backend so all of them tombstone identically.
+TOMBSTONE: Hashable = object()
+
+
+class SlotArena:
+    """Internal-slot allocator with tombstone recycling.
+
+    ``columns`` payload lists grow in lockstep with ``ids``; slot ``i``
+    of every column belongs to the document ``ids[i]``.  Released slots
+    are tombstoned and handed back by the next :meth:`allocate`.
+    """
+
+    __slots__ = ("ids", "id_to_internal", "columns", "_free_slots")
+
+    def __init__(self, num_columns: int) -> None:
+        if num_columns < 1:
+            raise ValueError("arena needs at least one payload column")
+        self.ids: list[Hashable] = []
+        self.id_to_internal: dict[Hashable, int] = {}
+        self.columns: tuple[list, ...] = tuple([] for _ in range(num_columns))
+        self._free_slots: list[int] = []
+
+    def __len__(self) -> int:
+        """Number of live (non-tombstoned) documents."""
+        return len(self.id_to_internal)
+
+    def __contains__(self, external_id: Hashable) -> bool:
+        return external_id in self.id_to_internal
+
+    def check_new_ids(self, external_ids: Iterable[Hashable]) -> None:
+        """Reject identifiers already live or duplicated within a batch.
+
+        Bulk inserts call this before mutating anything, so a rejected
+        batch leaves no partial state.
+        """
+        seen: set[Hashable] = set()
+        for external_id in external_ids:
+            if external_id in self.id_to_internal or external_id in seen:
+                raise KeyError(f"trajectory {external_id!r} already indexed")
+            seen.add(external_id)
+
+    def allocate(self, external_id: Hashable, *values) -> int:
+        """Claim a slot for ``external_id`` holding one value per column.
+
+        Reuses slots freed by :meth:`release`, keeping memory constant
+        under delete/re-add churn instead of growing one tombstone per
+        update.
+        """
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} column values, got {len(values)}"
+            )
+        if self._free_slots:
+            internal = self._free_slots.pop()
+            self.ids[internal] = external_id
+            for column, value in zip(self.columns, values):
+                column[internal] = value
+        else:
+            internal = len(self.ids)
+            self.ids.append(external_id)
+            for column, value in zip(self.columns, values):
+                column.append(value)
+        self.id_to_internal[external_id] = internal
+        return internal
+
+    def release(self, external_id: Hashable, *tombstone_values) -> int:
+        """Free a document's slot, overwriting columns with tombstones.
+
+        Returns the freed internal id; raises ``KeyError`` for unknown
+        identifiers.  Callers needing the old payload (e.g. to unlink
+        postings) must read it *before* releasing.
+        """
+        internal = self.id_to_internal.pop(external_id, None)
+        if internal is None:
+            raise KeyError(f"trajectory {external_id!r} not indexed")
+        if len(tombstone_values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} tombstone values, "
+                f"got {len(tombstone_values)}"
+            )
+        self.ids[internal] = TOMBSTONE
+        for column, value in zip(self.columns, tombstone_values):
+            column[internal] = value
+        self._free_slots.append(internal)
+        return internal
+
+    def internal_of(self, external_id: Hashable) -> int:
+        """Internal slot of a live document (raises ``KeyError`` if absent)."""
+        return self.id_to_internal[external_id]

@@ -83,7 +83,7 @@ class Fingerprinter:
     winnower and chooses the bitmap width implied by the configuration.
     """
 
-    __slots__ = ("winnower", "_wide")
+    __slots__ = ("winnower", "_wide", "_batch")
 
     def __init__(self, config: GeodabConfig | GeodabScheme | None = None) -> None:
         if isinstance(config, GeodabScheme):
@@ -91,6 +91,7 @@ class Fingerprinter:
         else:
             self.winnower = TrajectoryWinnower(GeodabScheme(config))
         self._wide = not self.winnower.config.fits_in_32_bits
+        self._batch = None
 
     @property
     def config(self) -> GeodabConfig:
@@ -111,5 +112,16 @@ class Fingerprinter:
     def fingerprint_many(
         self, trajectories: Iterable[Trajectory]
     ) -> list[FingerprintSet]:
-        """Fingerprint a batch of trajectories."""
-        return [self.fingerprint(t) for t in trajectories]
+        """Fingerprint a batch of trajectories.
+
+        Delegates to the numpy-vectorized
+        :class:`~repro.pipeline.BatchFingerprinter`, which produces
+        bit-identical results to per-trajectory :meth:`fingerprint` but
+        evaluates the whole batch columnar-style (the import is lazy —
+        the pipeline package builds on this module).
+        """
+        if self._batch is None:
+            from ..pipeline import BatchFingerprinter
+
+            self._batch = BatchFingerprinter(self.scheme)
+        return self._batch.fingerprint_many(trajectories)

@@ -15,14 +15,16 @@ Two concrete indexes share the machinery:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from ..geo.point import Point, Trajectory
+from .arena import TOMBSTONE, SlotArena
 from .config import GeodabConfig
 from .fingerprint import Fingerprinter, FingerprintSet
 from .geodab import GeodabScheme
+from .query import FanoutStats, PreparedQuery
 
 __all__ = [
     "SearchResult",
@@ -35,9 +37,8 @@ __all__ = [
 #: Normalizer signature: maps a raw trajectory to a normalized one.
 Normalizer = Callable[[Trajectory], list[Point]]
 
-#: Marks an internal slot freed by remove(); distinct from any user id
-#: (shared with the sharded index so both tombstone identically).
-_TOMBSTONE = object()
+#: Backwards-compatible alias (the tombstone now lives with the arena).
+_TOMBSTONE = TOMBSTONE
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,12 +97,14 @@ class TrajectoryInvertedIndex:
 
     def __init__(self, store_points: bool = False) -> None:
         self._postings: dict[int, list[int]] = {}
-        self._ids: list[Hashable] = []
-        self._id_to_internal: dict[Hashable, int] = {}
-        self._term_sets: list[RoaringBitmap | Roaring64Map] = []
-        self._points: list[list[Point] | None] = []
+        # The arena owns slot recycling; the aliases below share its
+        # lists so the query hot paths index them directly.
+        self._arena = SlotArena(num_columns=2)
+        self._ids = self._arena.ids
+        self._id_to_internal = self._arena.id_to_internal
+        self._term_sets: list[RoaringBitmap | Roaring64Map] = self._arena.columns[0]
+        self._points: list[list[Point] | None] = self._arena.columns[1]
         self._store_points = store_points
-        self._free_slots: list[int] = []
 
     def _allocate(
         self,
@@ -109,23 +112,8 @@ class TrajectoryInvertedIndex:
         bitmap: RoaringBitmap | Roaring64Map,
         points: list[Point] | None,
     ) -> int:
-        """Claim an internal slot, reusing ones freed by :meth:`remove`.
-
-        Reuse keeps a long-running service at constant memory under
-        delete/re-add churn instead of growing one tombstone per update.
-        """
-        if self._free_slots:
-            internal = self._free_slots.pop()
-            self._ids[internal] = trajectory_id
-            self._term_sets[internal] = bitmap
-            self._points[internal] = points
-        else:
-            internal = len(self._ids)
-            self._ids.append(trajectory_id)
-            self._term_sets.append(bitmap)
-            self._points.append(points)
-        self._id_to_internal[trajectory_id] = internal
-        return internal
+        """Claim an internal slot, reusing ones freed by :meth:`remove`."""
+        return self._arena.allocate(trajectory_id, bitmap, points)
 
     # ------------------------------------------------------------------
     # Term extraction (subclass responsibility)
@@ -136,6 +124,12 @@ class TrajectoryInvertedIndex:
     ]:
         """Return (distinct terms, term bitmap) for a trajectory."""
         raise NotImplementedError
+
+    def _extract_many(
+        self, batch: Sequence[Trajectory]
+    ) -> list[tuple[list[int], RoaringBitmap | Roaring64Map]]:
+        """Batch term extraction; subclasses may vectorize this."""
+        return [self._extract(points) for points in batch]
 
     # ------------------------------------------------------------------
     # Indexing
@@ -161,16 +155,73 @@ class TrajectoryInvertedIndex:
             else:
                 postings.append(internal)
 
+    def _bulk_insert(
+        self,
+        rows: Sequence[
+            tuple[
+                Hashable,
+                Sequence[int],
+                RoaringBitmap | Roaring64Map,
+                list[Point] | None,
+            ]
+        ],
+    ) -> None:
+        """Allocate slots and insert postings for pre-extracted documents.
+
+        Postings are grouped per term across the whole batch first, so a
+        term shared by many documents costs one dictionary probe instead
+        of one per document.  Callers validate identifiers beforehand
+        (``SlotArena.check_new_ids``); insertion itself cannot fail partway.
+        """
+        grouped: dict[int, list[int]] = {}
+        for trajectory_id, terms, bitmap, points in rows:
+            internal = self._arena.allocate(trajectory_id, bitmap, points)
+            for term in terms:
+                bucket = grouped.get(term)
+                if bucket is None:
+                    grouped[term] = [internal]
+                else:
+                    bucket.append(internal)
+        postings = self._postings
+        for term, internals in grouped.items():
+            existing = postings.get(term)
+            if existing is None:
+                postings[term] = internals
+            else:
+                existing.extend(internals)
+
     def add_many(
         self, items: Iterable[tuple[Hashable, Trajectory]]
     ) -> None:
-        """Index a batch of ``(trajectory_id, points)`` pairs."""
-        for trajectory_id, points in items:
-            self.add(trajectory_id, points)
+        """Index a batch of ``(trajectory_id, points)`` pairs.
+
+        Terms are extracted for the whole batch up front (vectorized by
+        the geodab subclass), identifiers are validated against the live
+        index *and* within the batch before any mutation, and postings
+        are inserted in one grouped pass.
+        """
+        items = list(items)
+        if not items:
+            return
+        self._arena.check_new_ids(trajectory_id for trajectory_id, _ in items)
+        extracted = self._extract_many([points for _, points in items])
+        self._bulk_insert(
+            [
+                (
+                    trajectory_id,
+                    terms,
+                    bitmap,
+                    list(points) if self._store_points else None,
+                )
+                for (trajectory_id, points), (terms, bitmap) in zip(
+                    items, extracted
+                )
+            ]
+        )
 
     def remove(self, trajectory_id: Hashable) -> None:
         """Remove a trajectory from the index."""
-        internal = self._id_to_internal.pop(trajectory_id, None)
+        internal = self._id_to_internal.get(trajectory_id)
         if internal is None:
             raise KeyError(f"trajectory {trajectory_id!r} not indexed")
         for term in self._term_sets[internal]:
@@ -184,10 +235,9 @@ class TrajectoryInvertedIndex:
             if not postings:
                 del self._postings[int(term)]
         # Tombstone the slot and recycle it for a future add.
-        self._term_sets[internal] = type(self._term_sets[internal])()
-        self._points[internal] = None
-        self._ids[internal] = _TOMBSTONE
-        self._free_slots.append(internal)
+        self._arena.release(
+            trajectory_id, type(self._term_sets[internal])(), None
+        )
 
     # ------------------------------------------------------------------
     # Querying
@@ -252,6 +302,89 @@ class TrajectoryInvertedIndex:
         )
         return returned, stats
 
+    # ------------------------------------------------------------------
+    # Prepared-query surface (the serving tier's fan-out protocol)
+    #
+    # A single-node index is a cluster with one logical shard: ``plan``
+    # routes every term to shard 0, and the shard_partial/score_matches
+    # decomposition matches ShardedGeodabIndex exactly, so IndexService
+    # and QueryExecutor serve both backends through one code path.
+    # ------------------------------------------------------------------
+
+    def query_prepared(
+        self,
+        prepared: PreparedQuery,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], FanoutStats]:
+        """Execute a prepared query (same contract as the sharded index)."""
+        matches: Counter[int] = Counter()
+        for shard_id, shard_terms in prepared.plan.items():
+            matches.update(self.shard_partial(shard_id, shard_terms))
+        returned = self.score_matches(prepared, matches, limit, max_distance)
+        return returned, self.fanout_stats(prepared, matches)
+
+    def shard_partial(
+        self, shard_id: int, terms: Sequence[int]
+    ) -> Counter[int]:
+        """The single shard's partial result: internal id -> shared terms."""
+        if shard_id != 0:
+            raise ValueError(f"single-node index has only shard 0, got {shard_id}")
+        matches: Counter[int] = Counter()
+        for term in terms:
+            postings = self._postings.get(term)
+            if postings is not None:
+                matches.update(postings)
+        return matches
+
+    def shard_postings(
+        self, shard_id: int, terms: Sequence[int]
+    ) -> dict[int, tuple[int, ...]]:
+        """Raw postings for ``terms`` (term -> internal ids).
+
+        Serves the micro-batching executor, which fetches the union of a
+        batch's terms once and splits per-query partials back out.
+        """
+        if shard_id != 0:
+            raise ValueError(f"single-node index has only shard 0, got {shard_id}")
+        out: dict[int, tuple[int, ...]] = {}
+        for term in terms:
+            postings = self._postings.get(term)
+            if postings is not None:
+                out[term] = tuple(postings)
+        return out
+
+    def score_matches(
+        self,
+        prepared: PreparedQuery,
+        matches: Mapping[int, int],
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> list[SearchResult]:
+        """Rank merged candidates by Jaccard distance."""
+        kept: list[SearchResult] = []
+        query_bitmap = prepared.query_bitmap
+        for internal, shared in matches.items():
+            if self._ids[internal] is TOMBSTONE:
+                continue
+            distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
+            if distance <= max_distance:
+                kept.append(SearchResult(self._ids[internal], distance, shared))
+        kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+        return kept if limit is None else kept[:limit]
+
+    def fanout_stats(
+        self, prepared: PreparedQuery, matches: Mapping[int, int]
+    ) -> FanoutStats:
+        """Fan-out accounting (one shard on one node, when contacted)."""
+        contacted = len(prepared.plan)
+        return FanoutStats(
+            query_terms=len(prepared.terms),
+            shards_contacted=contacted,
+            nodes_contacted=min(contacted, 1),
+            candidates=len(matches),
+        )
+
     def candidates(self, points: Trajectory) -> set[Hashable]:
         """Identifiers sharing at least one term with the query.
 
@@ -296,6 +429,16 @@ class TrajectoryInvertedIndex:
             terms=len(self._postings),
             postings=sum(len(p) for p in self._postings.values()),
         )
+
+    def describe(self) -> dict:
+        """Backend-agnostic shape summary (the ``GET /stats`` payload)."""
+        shape = self.stats()
+        return {
+            "kind": "single",
+            "trajectories": shape.trajectories,
+            "terms": shape.terms,
+            "postings": shape.postings,
+        }
 
     def postings_for(self, term: int) -> list[Hashable]:
         """Identifiers in a term's postings list (diagnostics)."""
@@ -349,6 +492,41 @@ class GeodabIndex(TrajectoryInvertedIndex):
         # motif discovery over indexed trajectories.
         self._fingerprint_sets[trajectory_id] = self._last_fingerprint_set
 
+    def fingerprint_many(
+        self, trajectories: Iterable[Trajectory]
+    ) -> list[FingerprintSet]:
+        """Fingerprints of a batch under this index's normalization.
+
+        Normalization runs per trajectory (normalizers are arbitrary
+        callables); fingerprinting runs through the vectorized batch
+        pipeline.
+        """
+        batch = list(trajectories)
+        if self.normalizer is not None:
+            batch = [self.normalizer(points) for points in batch]
+        return self.fingerprinter.fingerprint_many(batch)
+
+    def add_many(
+        self, items: Iterable[tuple[Hashable, Trajectory]]
+    ) -> None:
+        """Bulk-index ``(trajectory_id, points)`` pairs.
+
+        The whole batch is fingerprinted by the vectorized pipeline
+        before any mutation, then inserted in one grouped pass.
+        """
+        items = list(items)
+        if not items:
+            return
+        fingerprint_sets = self.fingerprint_many(
+            points for _, points in items
+        )
+        self.add_fingerprints_many(
+            (trajectory_id, fingerprint_set, points)
+            for (trajectory_id, points), fingerprint_set in zip(
+                items, fingerprint_sets
+            )
+        )
+
     def remove(self, trajectory_id: Hashable) -> None:
         super().remove(trajectory_id)
         self._fingerprint_sets.pop(trajectory_id, None)
@@ -379,6 +557,41 @@ class GeodabIndex(TrajectoryInvertedIndex):
             self._postings.setdefault(term, []).append(internal)
         self._fingerprint_sets[trajectory_id] = fingerprint_set
 
+    def add_fingerprints_many(
+        self,
+        entries: Iterable[
+            tuple[Hashable, FingerprintSet, Trajectory | None]
+        ],
+    ) -> None:
+        """Bulk insert from precomputed fingerprints, all-or-nothing.
+
+        The serving tier fingerprints whole batches outside its write
+        lock and applies them here under one acquisition; identifiers
+        are validated (against the index and within the batch) before
+        any mutation, so a rejected batch leaves no partial state.
+        """
+        entries = list(entries)
+        if not entries:
+            return
+        self._arena.check_new_ids(
+            trajectory_id for trajectory_id, _, _ in entries
+        )
+        self._bulk_insert(
+            [
+                (
+                    trajectory_id,
+                    sorted(set(fingerprint_set.values)),
+                    fingerprint_set.bitmap,
+                    list(points)
+                    if self._store_points and points is not None
+                    else None,
+                )
+                for trajectory_id, fingerprint_set, points in entries
+            ]
+        )
+        for trajectory_id, fingerprint_set, _ in entries:
+            self._fingerprint_sets[trajectory_id] = fingerprint_set
+
     # Backwards-compatible name used by repro.core.persistence.
     _restore_document = add_fingerprints
 
@@ -387,3 +600,10 @@ class GeodabIndex(TrajectoryInvertedIndex):
         if self.normalizer is not None:
             points = self.normalizer(points)
         return self.fingerprinter.fingerprint(points)
+
+    def prepare_query(self, points: Trajectory) -> PreparedQuery:
+        """Fingerprint a query and plan its (single-shard) contact."""
+        fingerprint_set = self.fingerprint_query(points)
+        terms = tuple(sorted(set(fingerprint_set.values)))
+        plan = {0: list(terms)} if terms else {}
+        return PreparedQuery(fingerprint_set, terms, plan)

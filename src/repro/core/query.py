@@ -1,0 +1,50 @@
+"""Prepared-query and fan-out types shared by every index backend.
+
+PR 1 gave the sharded index a ``prepare_query`` / ``query_prepared``
+decomposition so the serving tier could fan shard lookups out over a
+worker pool.  This module hosts the types of that decomposition so the
+single-node :class:`~repro.core.index.GeodabIndex` can expose the *same*
+surface — a single-node index is simply a cluster with one logical shard
+(shard 0) — and the service/executor layers serve either backend through
+one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from .fingerprint import FingerprintSet
+
+__all__ = ["FanoutStats", "PreparedQuery"]
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedQuery:
+    """A query after fingerprinting and routing, before shard contact.
+
+    Splitting preparation from execution lets the serving tier fan the
+    per-shard lookups out over a worker pool (and batch the lookups of
+    concurrent queries) while reusing exactly the routing and ranking of
+    the sequential path.  ``plan`` maps shard id to the terms that shard
+    must serve; a single-node index plans everything onto shard 0.
+    """
+
+    fingerprint_set: FingerprintSet
+    terms: tuple[int, ...]
+    plan: dict[int, list[int]]
+
+    @property
+    def query_bitmap(self) -> RoaringBitmap | Roaring64Map:
+        """Bitmap of the query's distinct terms (for Jaccard ranking)."""
+        return self.fingerprint_set.bitmap
+
+
+@dataclass(frozen=True, slots=True)
+class FanoutStats:
+    """Distribution work performed by one query (Section VI-E's concern)."""
+
+    query_terms: int
+    shards_contacted: int
+    nodes_contacted: int
+    candidates: int

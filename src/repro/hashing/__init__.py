@@ -1,5 +1,12 @@
 """Deterministic hashing substrate: stable scalar hashes and rolling hashes."""
 
+from .batch import (
+    chain_kgram_hashes,
+    mix64_batch,
+    polynomial_kgram_hashes,
+    sliding_rightmost_minima,
+    splitmix64_batch,
+)
 from .rolling import (
     DEFAULT_BASE,
     MinQueue,
@@ -26,8 +33,13 @@ __all__ = [
     "MinQueue",
     "PolynomialRollingHash",
     "SlidingWindowAggregate",
+    "chain_kgram_hashes",
     "common_prefix_op",
     "direct_window_hash",
+    "mix64_batch",
+    "polynomial_kgram_hashes",
+    "sliding_rightmost_minima",
+    "splitmix64_batch",
     "fnv1a_32",
     "fnv1a_64",
     "hash_bytes",

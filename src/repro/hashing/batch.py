@@ -1,0 +1,123 @@
+"""Vectorized counterparts of the scalar hashing primitives.
+
+The fingerprinting hot path evaluates three kernels per trajectory: an
+order-sensitive hash of every k-gram of cells, the covering-prefix fold,
+and the sliding-window minimum selection of winnowing.  This module
+re-expresses the hash and minima kernels over numpy arrays so a batch of
+trajectories is processed with ``k`` (respectively ``w``) vector passes
+instead of a Python loop per element.
+
+Everything here is *bit-identical* to the scalar implementations in
+:mod:`repro.hashing.rolling` and :mod:`repro.hashing.stable` — ``uint64``
+arithmetic wraps mod 2^64 exactly like the explicitly-masked Python
+integers — which the property tests assert across randomized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rolling import DEFAULT_BASE
+from .stable import splitmix64
+
+__all__ = [
+    "chain_kgram_hashes",
+    "mix64_batch",
+    "polynomial_kgram_hashes",
+    "sliding_rightmost_minima",
+    "splitmix64_batch",
+]
+
+_U = np.uint64
+
+
+def splitmix64_batch(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.hashing.stable.splitmix64`."""
+    with np.errstate(over="ignore"):
+        x = x + _U(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> _U(30))) * _U(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> _U(27))) * _U(0x94D049BB133111EB)
+        return x ^ (x >> _U(31))
+
+
+def mix64_batch(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.hashing.stable.mix64`."""
+    with np.errstate(over="ignore"):
+        x = x ^ (x >> _U(33))
+        x = x * _U(0xFF51AFD7ED558CCD)
+        x = x ^ (x >> _U(33))
+        x = x * _U(0xC4CEB9FE1A85EC53)
+        return x ^ (x >> _U(33))
+
+
+def polynomial_kgram_hashes(
+    values: np.ndarray, window: int, base: int = DEFAULT_BASE
+) -> np.ndarray:
+    """Polynomial hash of every length-``window`` k-gram of ``values``.
+
+    Horner evaluation, one fused vector pass per window position:
+    ``window`` multiply-adds produce all ``len(values) - window + 1``
+    hashes at once.  Bit-identical to
+    :func:`repro.hashing.rolling.rolling_hashes` mod 2^64.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    values = values.astype(np.uint64, copy=False)
+    grams = len(values) - window + 1
+    if grams <= 0:
+        return np.empty(0, dtype=np.uint64)
+    hashes = np.zeros(grams, dtype=np.uint64)
+    multiplier = _U(base & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        for offset in range(window):
+            hashes = hashes * multiplier + values[offset : offset + grams]
+    return hashes
+
+
+def chain_kgram_hashes(
+    values: np.ndarray, window: int, seed: int = 0
+) -> np.ndarray:
+    """Splitmix-chained hash of every length-``window`` k-gram.
+
+    Bit-identical to :func:`repro.hashing.stable.hash_int_sequence_64`
+    applied to each window.  The chain is inherently sequential in the
+    window dimension, but every step vectorizes across all windows.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    values = values.astype(np.uint64, copy=False)
+    grams = len(values) - window + 1
+    if grams <= 0:
+        return np.empty(0, dtype=np.uint64)
+    hashes = np.full(
+        grams, splitmix64(seed ^ 0x9E3779B97F4A7C15), dtype=np.uint64
+    )
+    for offset in range(window):
+        hashes = splitmix64_batch(hashes ^ values[offset : offset + grams])
+    return hashes
+
+
+def sliding_rightmost_minima(
+    values: np.ndarray, window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rightmost minimum ``(values, indices)`` of every full window.
+
+    Vectorized :func:`repro.hashing.rolling.windowed_minima` built on
+    stride tricks: a zero-copy ``sliding_window_view`` gives every window
+    as a row, ``min`` reduces the rows, and the rightmost occurrence is
+    recovered by arg-maxing the reversed equality mask (ties select the
+    newest element, as winnowing requires).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = len(values)
+    if n < window:
+        return np.empty(0, dtype=values.dtype), np.empty(0, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(values, window)
+    minima = windows.min(axis=1)
+    # argmax of the reversed equality mask finds the *last* occurrence.
+    offsets = (window - 1) - np.argmax(
+        windows[:, ::-1] == minima[:, None], axis=1
+    )
+    indices = np.arange(n - window + 1, dtype=np.int64) + offsets
+    return minima, indices

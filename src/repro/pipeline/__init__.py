@@ -1,0 +1,14 @@
+"""Batch-first vectorized fingerprinting pipeline.
+
+Composes the array-based stages — batch geohash encoding
+(:mod:`repro.geo.batch`), vectorized k-gram hashing and sliding-window
+minima (:mod:`repro.hashing.batch`) — into the
+:class:`BatchFingerprinter` engine that every layer above shares:
+``Fingerprinter.fingerprint_many`` delegates here, the indexes'
+``add_many`` bulk inserts build on it, and ``IndexService.ingest``
+fingerprints whole batches through it before taking its write lock.
+"""
+
+from .batch import BatchFingerprinter, winnow_array
+
+__all__ = ["BatchFingerprinter", "winnow_array"]

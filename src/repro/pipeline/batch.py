@@ -1,0 +1,285 @@
+"""Batch-first, numpy-vectorized fingerprinting engine.
+
+The scalar pipeline (normalize -> geohash -> k-gram hash -> winnow,
+paper Sections III-IV) runs pure-Python loops per point; bulk ingest and
+index rebuilds fingerprint thousands of trajectories, so this module
+evaluates the same pipeline columnar-style over one concatenated point
+array:
+
+1. every point of the batch is geohash-encoded in one vector pass
+   (:func:`repro.geo.batch.encode_batch`);
+2. consecutive duplicate cells are removed with one boolean mask,
+   re-pinning each trajectory's first point so runs never merge across
+   trajectory boundaries;
+3. k-gram suffix hashes and covering prefixes are computed for *all*
+   window positions of the concatenated cell stream in ``k`` vector
+   passes (:mod:`repro.hashing.batch`); windows straddling a trajectory
+   boundary are simply never read back, because each trajectory's gram
+   span is sliced out by offset;
+4. winnowing selects rightmost window minima per trajectory via stride
+   tricks (:func:`winnow_array`).
+
+The output is *bit-identical* to the scalar
+:class:`~repro.core.fingerprint.Fingerprinter` — same
+:class:`~repro.core.winnowing.Selection` streams, same bitmaps — which
+the property tests assert across randomized trajectories, both suffix
+hash families, and the empty/short edge cases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from ..core.config import GeodabConfig
+from ..core.fingerprint import FingerprintSet
+from ..core.geodab import GeodabScheme
+from ..core.winnowing import Selection
+from ..geo.batch import bit_length_u64, encode_batch
+from ..geo.point import Trajectory
+from ..hashing.batch import (
+    chain_kgram_hashes,
+    mix64_batch,
+    polynomial_kgram_hashes,
+    sliding_rightmost_minima,
+)
+from ..hashing.stable import splitmix64
+
+__all__ = ["BatchFingerprinter", "winnow_array"]
+
+_U = np.uint64
+
+
+def winnow_array(hashes: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`repro.core.winnowing.winnow`.
+
+    Returns ``(values, positions)`` of the winnowed selections, with the
+    same consecutive-duplicate collapsing and the same short-stream
+    boundary behaviour (a sequence shorter than the window yields its
+    rightmost minimum).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = len(hashes)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    if n < window:
+        # Rightmost minimum of the whole (short) stream: scan reversed so
+        # ties resolve to the highest index, as the scalar loop's ``<=``
+        # comparison does.
+        index = n - 1 - int(np.argmin(hashes[::-1]))
+        return hashes[index : index + 1], np.array([index], dtype=np.int64)
+    minima, positions = sliding_rightmost_minima(hashes, window)
+    keep = np.empty(len(positions), dtype=bool)
+    keep[0] = True
+    np.not_equal(positions[1:], positions[:-1], out=keep[1:])
+    return minima[keep], positions[keep]
+
+
+class BatchFingerprinter:
+    """Array-based ``W(S)`` over whole batches of trajectories.
+
+    Mirrors the :class:`~repro.core.fingerprint.Fingerprinter` facade
+    (same constructor, same configuration handling) but evaluates the
+    pipeline columnar-style; :meth:`fingerprint_many` is the fast path
+    that ``Fingerprinter.fingerprint_many`` delegates to.
+    """
+
+    __slots__ = ("scheme", "_wide")
+
+    def __init__(self, config: GeodabConfig | GeodabScheme | None = None) -> None:
+        if isinstance(config, GeodabScheme):
+            self.scheme = config
+        else:
+            self.scheme = GeodabScheme(config)
+        self._wide = not self.scheme.config.fits_in_32_bits
+
+    @property
+    def config(self) -> GeodabConfig:
+        """The pipeline configuration."""
+        return self.scheme.config
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def _deduped_cells(
+        self, trajectories: Sequence[Trajectory]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode and de-duplicate the whole batch in one pass.
+
+        Returns the concatenated deep encodings and cell ids with
+        consecutive duplicate cells removed per trajectory, plus the
+        per-trajectory start offsets into the filtered arrays (length
+        ``len(trajectories) + 1``; trajectory ``i`` owns the half-open
+        slice ``starts[i]:starts[i+1]``).
+        """
+        config = self.scheme.config
+        counts = np.fromiter(
+            (len(t) for t in trajectories), dtype=np.int64,
+            count=len(trajectories),
+        )
+        total = int(counts.sum())
+        bounds = np.zeros(len(trajectories) + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        if total == 0:
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty, bounds
+        lats = np.fromiter(
+            (p.lat for t in trajectories for p in t),
+            dtype=np.float64, count=total,
+        )
+        lons = np.fromiter(
+            (p.lon for t in trajectories for p in t),
+            dtype=np.float64, count=total,
+        )
+        deep = encode_batch(lats, lons, config.cover_depth)
+        cell_shift = config.cover_depth - min(
+            config.cover_depth, config.normalization_depth
+        )
+        cells = deep >> _U(cell_shift)
+        keep = np.empty(total, dtype=bool)
+        keep[0] = True
+        np.not_equal(cells[1:], cells[:-1], out=keep[1:])
+        # A trajectory's first point always survives, so equal-cell runs
+        # never merge across the boundary with the previous trajectory.
+        keep[bounds[:-1][counts > 0]] = True
+        kept_before = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(keep, out=kept_before[1:])
+        return deep[keep], cells[keep], kept_before[bounds]
+
+    def _kgram_geodabs(
+        self, deep: np.ndarray, cells: np.ndarray
+    ) -> np.ndarray:
+        """Geodab of every k-gram position of the concatenated stream.
+
+        Positions whose window straddles a trajectory boundary are
+        computed like any other (vector lanes are cheaper than masking)
+        and discarded by the caller's per-trajectory slicing.
+        """
+        config = self.scheme.config
+        k = config.k
+        grams = len(cells) - k + 1
+        if grams <= 0:
+            return np.empty(0, dtype=np.uint64)
+        # Covering prefix: longest common bit prefix of the window's deep
+        # encodings, aligned to prefix_bits (truncate deeper covers,
+        # zero-extend shallower ones) exactly like prefix_from_deep.
+        first = deep[:grams]
+        diff = np.zeros(grams, dtype=np.uint64)
+        for offset in range(1, k):
+            diff |= first ^ deep[offset : offset + grams]
+        cover_depth = _U(config.cover_depth)
+        prefix_bits = _U(config.prefix_bits)
+        common = np.minimum(cover_depth - bit_length_u64(diff), prefix_bits)
+        prefix = (first >> (cover_depth - common)) << (prefix_bits - common)
+        # Order-sensitive suffix over the window's cells.
+        if config.suffix_hash == "polynomial":
+            raw = polynomial_kgram_hashes(cells, k)
+            suffix = mix64_batch(raw ^ _U(splitmix64(config.hash_seed)))
+        else:
+            suffix = chain_kgram_hashes(cells, k, config.hash_seed)
+        suffix &= _U((1 << config.suffix_bits) - 1)
+        return (prefix << _U(config.suffix_bits)) | suffix
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    def kgram_geodabs(self, points: Trajectory) -> list[int]:
+        """Vectorized ``TrajectoryWinnower.kgram_geodabs`` (candidate
+        stream ``C`` of Algorithm 1, in order)."""
+        deep, cells, bounds = self._deduped_cells([list(points)])
+        if bounds[1] < self.scheme.config.k:
+            return []
+        return [int(g) for g in self._kgram_geodabs(deep, cells)]
+
+    def fingerprint(self, points: Trajectory) -> FingerprintSet:
+        """Compute ``W(S)`` for one (normalized) trajectory."""
+        return self.fingerprint_many([points])[0]
+
+    def _make_set(
+        self, selections: list[Selection], values: np.ndarray
+    ) -> FingerprintSet:
+        """Assemble a fingerprint set from winnowed numpy values."""
+        if self._wide:
+            bitmap: Roaring64Map | RoaringBitmap = Roaring64Map.from_numpy(values)
+        else:
+            bitmap = RoaringBitmap.from_numpy(values)
+        return FingerprintSet(tuple(selections), bitmap)
+
+    def fingerprint_many(
+        self, trajectories: Iterable[Trajectory]
+    ) -> list[FingerprintSet]:
+        """Fingerprint a batch of (normalized) trajectories.
+
+        One vectorized sweep computes every k-gram geodab of the batch;
+        a second global sweep winnows every full window of the
+        concatenated gram stream, and per-trajectory results are sliced
+        out by offset (windows straddling a trajectory boundary are
+        masked away, never read).
+        """
+        batch = [t if isinstance(t, list) else list(t) for t in trajectories]
+        deep, cells, bounds = self._deduped_cells(batch)
+        geodabs = self._kgram_geodabs(deep, cells)
+        config = self.scheme.config
+        k = config.k
+        window = config.window
+        lens = np.diff(bounds)
+        grams = np.maximum(lens - (k - 1), 0)
+        out: list[FingerprintSet | None] = [None] * len(batch)
+
+        # Trajectories with at least one full winnow window share one
+        # global rightmost-minima pass.  Their window-start spans are
+        # disjoint (consecutive gram streams are k-1 positions apart), so
+        # a mask built from span boundaries separates them again.
+        long = grams >= window
+        if long.any():
+            minima, positions = sliding_rightmost_minima(geodabs, window)
+            keep = np.empty(len(positions), dtype=bool)
+            keep[0] = True
+            np.not_equal(positions[1:], positions[:-1], out=keep[1:])
+            span_starts = bounds[:-1][long]
+            span_ends = span_starts + (grams[long] - window + 1)
+            # The consecutive-duplicate collapse resets per trajectory.
+            keep[span_starts] = True
+            marks = np.zeros(len(positions) + 1, dtype=np.int32)
+            np.add.at(marks, span_starts, 1)
+            np.subtract.at(marks, span_ends, 1)
+            keep &= np.cumsum(marks[:-1]) > 0
+            selected = np.flatnonzero(keep)
+            values = minima[selected]
+            absolute = positions[selected]
+            lows = np.searchsorted(selected, span_starts)
+            highs = np.searchsorted(selected, span_ends)
+            for index, low, high, base in zip(
+                np.flatnonzero(long), lows, highs, span_starts
+            ):
+                chunk = values[low:high]
+                out[index] = self._make_set(
+                    [
+                        Selection(int(value), int(position - base))
+                        for value, position in zip(chunk, absolute[low:high])
+                    ],
+                    chunk,
+                )
+
+        # Gram streams shorter than the window contribute their single
+        # rightmost minimum (the whole stream is the only window).
+        for index in np.flatnonzero((grams > 0) & ~long):
+            start = bounds[index]
+            chunk = geodabs[start : start + grams[index]]
+            at = len(chunk) - 1 - int(np.argmin(chunk[::-1]))
+            out[index] = self._make_set(
+                [Selection(int(chunk[at]), at)], chunk[at : at + 1]
+            )
+
+        # Fresh empty sets per trajectory: bitmaps are mutable objects
+        # and must not be shared between documents.
+        return [
+            fps if fps is not None
+            else FingerprintSet.from_selections([], wide=self._wide)
+            for fps in out
+        ]

@@ -1,8 +1,8 @@
-"""Concurrent shard fan-out for the sharded geodab index.
+"""Concurrent shard fan-out over any index with the prepared-query surface.
 
-The sequential path in :meth:`ShardedGeodabIndex.query_prepared` contacts
-shards one at a time; under a serving workload each shard contact is an
-RPC, so a query's latency is the *sum* of its shard round-trips.  The
+The sequential path in ``query_prepared`` contacts shards one at a
+time; under a serving workload each shard contact is an RPC, so a
+query's latency is the *sum* of its shard round-trips.  The
 :class:`QueryExecutor` fans the per-shard lookups out over a
 ``ThreadPoolExecutor`` so a query costs roughly the *slowest* shard
 instead, and optionally micro-batches concurrent queries: queries that
@@ -10,9 +10,14 @@ arrive within a small window share one postings fetch per shard over the
 union of their terms, so popular terms are read once per batch rather
 than once per query.
 
-Merging and ranking reuse :meth:`ShardedGeodabIndex.score_matches`
-verbatim, so pooled, batched, and sequential execution return identical
-results (asserted by the test suite).
+Both backends speak the same protocol — ``prepare_query`` /
+``shard_partial`` / ``shard_postings`` / ``score_matches`` /
+``fanout_stats`` — so the executor drives a
+:class:`~repro.cluster.cluster.ShardedGeodabIndex` and a single-node
+:class:`~repro.core.index.GeodabIndex` (one logical shard, where the
+pool degenerates to a direct call) identically.  Merging and ranking
+reuse ``score_matches`` verbatim, so pooled, batched, and sequential
+execution return identical results (asserted by the test suite).
 
 The in-process shard lookups here stand in for network RPCs; the
 ``rpc_latency_s`` knob injects a per-contact delay so benchmarks can
@@ -29,8 +34,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..cluster.cluster import PreparedQuery, ShardedGeodabIndex
-from ..core.index import SearchResult
+from ..cluster.cluster import ShardedGeodabIndex
+from ..core.index import GeodabIndex, SearchResult
+from ..core.query import PreparedQuery
 
 __all__ = ["ExecutionStats", "QueryExecutor"]
 
@@ -67,7 +73,7 @@ class _Pending:
 
 
 class QueryExecutor:
-    """Drives a :class:`ShardedGeodabIndex`'s shards from a worker pool.
+    """Drives an index's shards from a worker pool.
 
     ``pool_size=0`` disables the pool (sequential shard loop, still one
     simulated RPC per shard) — the baseline the throughput benchmark
@@ -78,7 +84,7 @@ class QueryExecutor:
 
     def __init__(
         self,
-        index: ShardedGeodabIndex,
+        index: ShardedGeodabIndex | GeodabIndex,
         pool_size: int = 8,
         rpc_latency_s: float = 0.0,
         batch_window_s: float = 0.0,

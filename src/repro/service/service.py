@@ -12,15 +12,18 @@ application) talks to.  It owns:
   ``(terms digest, limit, max_distance)`` plus a second cache of query
   fingerprints keyed by the raw points, so repeated queries skip both
   winnowing and shard fan-out;
-* a :class:`~repro.service.executor.QueryExecutor` (sharded indexes
-  only) that fans shard lookups out over a worker pool;
+* an optional :class:`~repro.service.executor.QueryExecutor` that fans
+  shard lookups out over a worker pool;
 * a :class:`~repro.service.metrics.ServiceMetrics` registry surfaced by
   ``GET /stats``.
 
 The same facade serves a single-node :class:`~repro.core.index.GeodabIndex`
-and a :class:`~repro.cluster.cluster.ShardedGeodabIndex`; results are
-identical between the two (and between sequential and pooled fan-out),
-which the integration tests assert.
+and a :class:`~repro.cluster.cluster.ShardedGeodabIndex` through one
+code path: both expose the ``prepare_query`` / ``query_prepared``
+decomposition (a single-node index plans onto one logical shard), both
+ingest batches via ``fingerprint_many`` + ``add_fingerprints_many``, and
+results are identical between the two (and between sequential and
+pooled fan-out), which the integration tests assert.
 """
 
 from __future__ import annotations
@@ -84,9 +87,6 @@ class IndexService:
         if executor is not None and executor.index is not index:
             raise ValueError("executor must wrap the served index")
         self.index = index
-        self.sharded = isinstance(index, ShardedGeodabIndex)
-        if executor is not None and not self.sharded:
-            raise ValueError("executor requires a sharded index")
         self.executor = executor
         self.metrics = metrics or ServiceMetrics()
         self.result_cache = LRUCache(result_cache_size)
@@ -115,41 +115,26 @@ class IndexService:
         Returns ``(count, generation_after)``.
         """
         # Fingerprinting is the expensive part of an add and depends
-        # only on the pipeline configuration — do it all before taking
-        # the write lock so concurrent queries are stalled only for the
-        # cheap postings insertions (and malformed input fails before
-        # anything is mutated).
+        # only on the pipeline configuration — the whole batch runs
+        # through the vectorized pipeline before taking the write lock,
+        # so concurrent queries are stalled only for the grouped
+        # postings insertion (and malformed input fails before anything
+        # is mutated).
+        items = list(items)
+        fingerprint_sets = self.index.fingerprint_many(
+            points for _, points in items
+        )
         batch = [
-            (trajectory_id, self.index.fingerprint_query(points), points)
-            for trajectory_id, points in items
+            (trajectory_id, fingerprint_set, points)
+            for (trajectory_id, points), fingerprint_set in zip(
+                items, fingerprint_sets
+            )
         ]
         with self._lock.write_locked():
-            seen: set[Hashable] = set()
-            for trajectory_id, _, _ in batch:
-                if trajectory_id in self.index or trajectory_id in seen:
-                    raise KeyError(
-                        f"trajectory {trajectory_id!r} already indexed"
-                    )
-                seen.add(trajectory_id)
-            applied: list[Hashable] = []
-            in_flight: Hashable | None = None
-            try:
-                for trajectory_id, fingerprint_set, points in batch:
-                    in_flight = trajectory_id
-                    self.index.add_fingerprints(
-                        trajectory_id, fingerprint_set, points
-                    )
-                    applied.append(trajectory_id)
-                    in_flight = None
-            except BaseException:
-                # Roll the partial batch back so the atomicity promise
-                # holds even if an insertion fails mid-batch — including
-                # the half-inserted item the exception landed in.
-                if in_flight is not None and in_flight in self.index:
-                    self.index.remove(in_flight)
-                for trajectory_id in reversed(applied):
-                    self.index.remove(trajectory_id)
-                raise
+            # add_fingerprints_many validates the whole batch (against
+            # the live index and within the batch) before mutating, so
+            # a rejected batch leaves no partial state.
+            self.index.add_fingerprints_many(batch)
             if batch:
                 self._generation += 1
                 self.result_cache.invalidate_all()
@@ -193,33 +178,39 @@ class IndexService:
             points_key = digest_points(points)
             prepared = self.fingerprint_cache.get(points_key)
             if prepared is MISS:
-                prepared = self._prepare(points)
+                prepared = self.index.prepare_query(points)
                 self.fingerprint_cache.put(points_key, prepared)
         else:
-            prepared = self._prepare(points)
-        terms = self._terms_of(prepared)
+            prepared = self.index.prepare_query(points)
         caching = self.result_cache.capacity > 0
         cache_key = (
-            (digest_terms(terms), limit, max_distance) if caching else None
+            (digest_terms(prepared.terms), limit, max_distance)
+            if caching
+            else None
         )
+        hit = MISS
         with self._lock.read_locked():
             generation = self._generation
             if caching:
                 hit = self.result_cache.get(cache_key, generation)
-                if hit is not MISS:
-                    results, candidates, shards = hit
-                    latency = perf_counter() - start
-                    self.metrics.record_query(latency, cached=True)
-                    return QueryResponse(
-                        results, generation, True, candidates, shards, latency
-                    )
-            results, candidates, shards, width, batch = self._execute(
-                prepared, terms, limit, max_distance
-            )
-            if caching:
-                self.result_cache.put(
-                    cache_key, (results, candidates, shards), generation
+            if hit is MISS:
+                results, candidates, shards, width, batch = self._execute(
+                    prepared, limit, max_distance
                 )
+                if caching:
+                    self.result_cache.put(
+                        cache_key, (results, candidates, shards), generation
+                    )
+        # Metrics recording takes the registry's own lock; keep it (and
+        # the latency arithmetic) off the index read lock so a slow
+        # metrics consumer never extends reader critical sections.
+        if hit is not MISS:
+            results, candidates, shards = hit
+            latency = perf_counter() - start
+            self.metrics.record_query(latency, cached=True)
+            return QueryResponse(
+                results, generation, True, candidates, shards, latency
+            )
         latency = perf_counter() - start
         self.metrics.record_query(
             latency, cached=False, fanout_width=width, batch_size=batch
@@ -228,43 +219,29 @@ class IndexService:
             results, generation, False, candidates, shards, latency
         )
 
-    def _prepare(self, points: Sequence[Point]):
-        if self.sharded:
-            return self.index.prepare_query(points)
-        return self.index.fingerprint_query(points)
-
-    def _terms_of(self, prepared) -> tuple[int, ...]:
-        if self.sharded:  # cluster PreparedQuery
-            return prepared.terms
-        return tuple(sorted(set(prepared.values)))  # core FingerprintSet
-
-    def _execute(self, prepared, terms, limit, max_distance):
-        if self.sharded:
-            if self.executor is not None:
-                results, stats = self.executor.execute_prepared(
-                    prepared, limit, max_distance
-                )
-                return (
-                    tuple(results),
-                    stats.candidates,
-                    stats.shards_contacted,
-                    stats.fanout_width,
-                    stats.batch_size,
-                )
-            results, fanout = self.index.query_prepared(
+    def _execute(self, prepared, limit, max_distance):
+        """One backend-agnostic execution of a prepared query."""
+        if self.executor is not None:
+            results, stats = self.executor.execute_prepared(
                 prepared, limit, max_distance
             )
             return (
                 tuple(results),
-                fanout.candidates,
-                fanout.shards_contacted,
-                1,
-                1,
+                stats.candidates,
+                stats.shards_contacted,
+                stats.fanout_width,
+                stats.batch_size,
             )
-        results, stats = self.index.query_terms(
-            terms, prepared.bitmap, limit, max_distance
+        results, fanout = self.index.query_prepared(
+            prepared, limit, max_distance
         )
-        return tuple(results), stats.candidates, 1, 1, 1
+        return (
+            tuple(results),
+            fanout.candidates,
+            fanout.shards_contacted,
+            1,
+            1,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -281,23 +258,7 @@ class IndexService:
         """The ``GET /stats`` payload: index shape + service vitals."""
         with self._lock.read_locked():
             generation = self._generation
-            trajectories = len(self.index)
-            if self.sharded:
-                index_stats = {
-                    "kind": "sharded",
-                    "trajectories": trajectories,
-                    "shards": self.index.sharding.num_shards,
-                    "nodes": self.index.sharding.num_nodes,
-                    "postings": sum(self.index.shard_postings_counts()),
-                }
-            else:
-                shape = self.index.stats()
-                index_stats = {
-                    "kind": "single",
-                    "trajectories": shape.trajectories,
-                    "terms": shape.terms,
-                    "postings": shape.postings,
-                }
+            index_stats = self.index.describe()
         result_stats = self.result_cache.stats()
         fingerprint_stats = self.fingerprint_cache.stats()
         return {

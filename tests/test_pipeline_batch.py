@@ -1,0 +1,277 @@
+"""Property tests: the vectorized pipeline is bit-identical to the scalar one.
+
+Every stage of the batch engine — geohash encoding, k-gram hashing
+(both suffix families), sliding-window minima, winnowing — and the
+composed :class:`~repro.pipeline.BatchFingerprinter` are cross-validated
+against their scalar reference implementations over randomized inputs,
+including the empty/short/single-point edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import Fingerprinter
+from repro.core.winnowing import winnow
+from repro.geo.batch import bit_length_u64, encode_batch
+from repro.geo.geohash import encode
+from repro.geo.point import Point
+from repro.hashing.batch import (
+    chain_kgram_hashes,
+    polynomial_kgram_hashes,
+    sliding_rightmost_minima,
+)
+from repro.hashing.rolling import rolling_hashes, windowed_minima
+from repro.hashing.stable import hash_int_sequence_64
+from repro.pipeline import BatchFingerprinter, winnow_array
+
+from .conftest import latitudes, longitudes
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+#: Pipeline configurations covering both suffix families, both bitmap
+#: widths, degenerate winnowing bounds, and normalization deeper than
+#: the cover depth (where cells equal the deep encodings).
+CONFIGS = [
+    GeodabConfig(),
+    GeodabConfig(suffix_hash="polynomial"),
+    GeodabConfig(k=1, t=1),
+    GeodabConfig(k=2, t=2, prefix_bits=8, suffix_bits=8),
+    GeodabConfig(normalization_depth=50, cover_depth=48),
+    GeodabConfig(prefix_bits=32, suffix_bits=32, cover_depth=60, hash_seed=7),
+]
+
+
+def uint64s() -> st.SearchStrategy[int]:
+    return st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def point_lists(min_size: int = 0, max_size: int = 40):
+    return st.lists(
+        st.builds(Point, latitudes(), longitudes()),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def city_walks() -> st.SearchStrategy[list[Point]]:
+    """Random walks dense enough to produce k-grams at depth 36."""
+
+    @st.composite
+    def walk(draw):
+        n = draw(st.integers(min_value=0, max_value=60))
+        lat = draw(st.floats(min_value=51.40, max_value=51.62))
+        lon = draw(st.floats(min_value=-0.30, max_value=0.05))
+        steps = draw(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=-2e-3, max_value=2e-3),
+                    st.floats(min_value=-2e-3, max_value=2e-3),
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        points = []
+        for d_lat, d_lon in steps:
+            lat = min(90.0, max(-90.0, lat + d_lat))
+            lon = min(180.0, max(-180.0, lon + d_lon))
+            points.append(Point(lat, lon))
+        return points
+
+    return walk()
+
+
+# ----------------------------------------------------------------------
+# Stage identities
+# ----------------------------------------------------------------------
+
+
+class TestEncodeBatch:
+    @given(point_lists(), st.integers(min_value=0, max_value=60))
+    def test_matches_scalar_encode(self, points, depth):
+        lats = np.array([p.lat for p in points], dtype=np.float64)
+        lons = np.array([p.lon for p in points], dtype=np.float64)
+        batch = encode_batch(lats, lons, depth)
+        assert [int(b) for b in batch] == [encode(p, depth) for p in points]
+
+    @given(st.lists(uint64s(), max_size=50))
+    def test_bit_length(self, values):
+        array = np.array(values, dtype=np.uint64)
+        assert [int(b) for b in bit_length_u64(array)] == [
+            v.bit_length() for v in values
+        ]
+
+
+class TestKgramHashes:
+    @given(
+        st.lists(uint64s(), max_size=60),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_polynomial_matches_rolling(self, values, window):
+        array = np.array(values, dtype=np.uint64)
+        assert [int(h) for h in polynomial_kgram_hashes(array, window)] == list(
+            rolling_hashes(values, window)
+        )
+
+    @given(
+        st.lists(uint64s(), max_size=60),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_chain_matches_sequence_hash(self, values, window, seed):
+        array = np.array(values, dtype=np.uint64)
+        expected = [
+            hash_int_sequence_64(values[i : i + window], seed)
+            for i in range(len(values) - window + 1)
+        ]
+        assert [
+            int(h) for h in chain_kgram_hashes(array, window, seed)
+        ] == expected
+
+
+class TestWindowMinima:
+    @given(
+        st.lists(uint64s(), max_size=80),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_matches_windowed_minima(self, values, window):
+        array = np.array(values, dtype=np.uint64)
+        minima, indices = sliding_rightmost_minima(array, window)
+        assert [
+            (int(v), int(i)) for v, i in zip(minima, indices)
+        ] == list(windowed_minima(values, window))
+
+    @given(
+        st.lists(uint64s(), max_size=80),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_winnow_array_matches_winnow(self, values, window):
+        array = np.array(values, dtype=np.uint64)
+        got_values, got_positions = winnow_array(array, window)
+        expected = winnow(values, window)
+        assert [int(v) for v in got_values] == [s.fingerprint for s in expected]
+        assert [int(p) for p in got_positions] == [s.position for s in expected]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            winnow_array(np.empty(0, dtype=np.uint64), 0)
+        with pytest.raises(ValueError):
+            sliding_rightmost_minima(np.empty(0, dtype=np.uint64), 0)
+
+
+# ----------------------------------------------------------------------
+# Composed pipeline identity
+# ----------------------------------------------------------------------
+
+
+def assert_same_fingerprints(config, trajectories):
+    scalar = Fingerprinter(config)
+    batch = BatchFingerprinter(config)
+    expected = [scalar.fingerprint(t) for t in trajectories]
+    got = batch.fingerprint_many(trajectories)
+    assert len(got) == len(expected)
+    for exp, act in zip(expected, got):
+        assert act.selections == exp.selections
+        assert act.bitmap == exp.bitmap
+
+
+class TestBatchFingerprinter:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: repr(c)[:60])
+    @given(batch=st.lists(city_walks(), max_size=6))
+    def test_bit_identical_to_scalar(self, config, batch):
+        assert_same_fingerprints(config, batch)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: repr(c)[:60])
+    def test_edge_cases(self, config):
+        home = Point(51.5, -0.12)
+        assert_same_fingerprints(
+            config,
+            [
+                [],                               # empty trajectory
+                [home],                           # single point
+                [home, home],                     # duplicate point
+                [home] * 10,                      # one cell only
+                [Point(0.0, 0.0)],                # bisection boundary
+                [Point(-90.0, -180.0), Point(90.0, 180.0)],  # domain corners
+            ],
+        )
+
+    @given(batch=st.lists(point_lists(max_size=12), max_size=4))
+    def test_world_scale_points(self, batch):
+        # Arbitrary world coordinates (antimeridian, poles, straddling
+        # coarse bisection boundaries → shallow covers).
+        assert_same_fingerprints(GeodabConfig(), batch)
+
+    @given(trajectory=city_walks())
+    def test_kgram_stream_matches_winnower(self, trajectory):
+        scalar = Fingerprinter()
+        batch = BatchFingerprinter()
+        assert batch.kgram_geodabs(trajectory) == scalar.winnower.kgram_geodabs(
+            trajectory
+        )
+
+    def test_fingerprint_many_delegates_to_batch_engine(self, rng):
+        # The facade's batch API must agree with its scalar API.
+        fingerprinter = Fingerprinter()
+        trajectories = []
+        for _ in range(5):
+            lat, lon = 51.5, -0.12
+            points = []
+            for _ in range(rng.randint(0, 50)):
+                lat += rng.uniform(-1e-3, 1e-3)
+                lon += rng.uniform(-1e-3, 1e-3)
+                points.append(Point(lat, lon))
+            trajectories.append(points)
+        batched = fingerprinter.fingerprint_many(trajectories)
+        for points, fingerprint_set in zip(trajectories, batched):
+            single = fingerprinter.fingerprint(points)
+            assert fingerprint_set.selections == single.selections
+            assert fingerprint_set.bitmap == single.bitmap
+
+
+class TestBulkIndexEquivalence:
+    def test_add_many_equals_sequential_adds(self, small_dataset):
+        from repro.core.index import GeodabIndex
+        from repro.normalize import standard_normalizer
+
+        records = [(r.trajectory_id, r.points) for r in small_dataset.records]
+        sequential = GeodabIndex(
+            GeodabConfig(), normalizer=standard_normalizer()
+        )
+        for trajectory_id, points in records:
+            sequential.add(trajectory_id, points)
+        bulk = GeodabIndex(GeodabConfig(), normalizer=standard_normalizer())
+        bulk.add_many(records)
+        assert bulk.stats() == sequential.stats()
+        for query in small_dataset.queries:
+            assert bulk.query(query.points, limit=10) == sequential.query(
+                query.points, limit=10
+            )
+
+    def test_sharded_add_many_equals_sequential_adds(self, small_dataset):
+        from repro.cluster import ShardedGeodabIndex, ShardingConfig
+        from repro.normalize import standard_normalizer
+
+        records = [(r.trajectory_id, r.points) for r in small_dataset.records]
+        sharding = ShardingConfig(num_shards=8, num_nodes=2, placement="hash")
+        sequential = ShardedGeodabIndex(
+            GeodabConfig(), sharding, normalizer=standard_normalizer()
+        )
+        for trajectory_id, points in records:
+            sequential.add(trajectory_id, points)
+        bulk = ShardedGeodabIndex(
+            GeodabConfig(), sharding, normalizer=standard_normalizer()
+        )
+        bulk.add_many(records)
+        assert bulk.shard_postings_counts() == sequential.shard_postings_counts()
+        for query in small_dataset.queries:
+            assert bulk.query(query.points, limit=10) == sequential.query(
+                query.points, limit=10
+            )
