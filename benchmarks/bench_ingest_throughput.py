@@ -24,6 +24,7 @@ Run with:  python benchmarks/bench_ingest_throughput.py
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import time
 
@@ -110,6 +111,10 @@ def main() -> int:
         help="exit non-zero unless every batch/sequential speedup "
         "reaches this factor (0 = report only)",
     )
+    parser.add_argument(
+        "--json-out",
+        help="write the results as JSON (the CI benchmark artifact)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
@@ -121,6 +126,7 @@ def main() -> int:
     )
 
     rows = []
+    report = []
     speedups = []
     for name, builder in (("single", build_single), ("sharded", build_sharded)):
         sequential_index = builder()
@@ -144,6 +150,16 @@ def main() -> int:
                 speedup,
             ]
         )
+        report.append(
+            {
+                "index": name,
+                "sequential_tps": len(corpus) / sequential_s,
+                "batch_tps": len(corpus) / batch_s,
+                "sequential_s": sequential_s,
+                "batch_s": batch_s,
+                "speedup": speedup,
+            }
+        )
     print_table(
         f"Bulk ingest: per-trajectory add() vs batch add_many() "
         f"({len(corpus)} trajectories)",
@@ -157,6 +173,18 @@ def main() -> int:
         ],
         rows,
     )
+    if args.json_out:
+        payload = {
+            "benchmark": "ingest_throughput",
+            "trajectories": len(corpus),
+            "seed": args.seed,
+            "results": report,
+            "min_speedup_bar": args.min_speedup,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
     if args.min_speedup > 0 and min(speedups) < args.min_speedup:
         print(
             f"FAIL: minimum speedup {min(speedups):.2f}x below the "

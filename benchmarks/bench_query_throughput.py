@@ -1,0 +1,229 @@
+"""Query throughput: per-query scalar preparation vs the columnar batch.
+
+The paper's core claim is that fingerprint indexing stays fast at scale
+on *both* sides of the index; PR 2 made ingest columnar, and this
+benchmark measures what the columnar read path (this PR) makes of the
+query side.  A synthetic corpus is indexed once per backend, then a
+burst of noisy re-recordings is served twice:
+
+* **scalar** — one ``prepare_query()`` per query (scalar normalize →
+  geohash → k-gram hash → winnow) followed by ``query_prepared()``;
+* **batched** — one ``prepare_query_many()`` call (the whole burst is
+  normalized and fingerprinted as numpy sweeps over one concatenated
+  point array) followed by the same columnar ``query_prepared()``
+  merges.
+
+Both paths return identical rankings (cross-checked every run).  The
+acceptance bar for this PR is batched >= 2x scalar on a >= 2k-trajectory
+corpus locally; CI runs a smaller corpus with a conservative 1.3x bar
+via ``--min-speedup``, and ``--json-out`` records the run for the
+benchmark-artifact trail.
+
+Run with:  python benchmarks/bench_query_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from repro.bench.report import print_table
+from repro.cluster import ShardedGeodabIndex, ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.geo.point import Point
+from repro.normalize import standard_normalizer
+
+NUM_SHARDS = 8
+NUM_NODES = 2
+DEPTH = 36
+
+
+def synthetic_corpus(
+    num_trajectories: int, seed: int = 0
+) -> list[tuple[str, list[Point]]]:
+    """Random-walk trajectories over a London-sized area (PR 2's corpus)."""
+    rng = random.Random(seed)
+    corpus = []
+    for index in range(num_trajectories):
+        length = rng.randint(40, 120)
+        lat = 51.5 + rng.uniform(-0.1, 0.1)
+        lon = -0.12 + rng.uniform(-0.15, 0.15)
+        points = []
+        for _ in range(length):
+            lat += rng.uniform(-1e-3, 1e-3)
+            lon += rng.uniform(-1.6e-3, 1.6e-3)
+            points.append(Point(lat, lon))
+        corpus.append((f"t{index:05d}", points))
+    return corpus
+
+
+def noisy_queries(
+    corpus: list[tuple[str, list[Point]]], num_queries: int, seed: int = 1
+) -> list[list[Point]]:
+    """Noisy re-recordings of corpus trajectories (queries with real hits)."""
+    rng = random.Random(seed)
+    queries = []
+    for index in range(num_queries):
+        _, points = corpus[index % len(corpus)]
+        sigma = 1.5e-4  # ~17 m of per-point GPS noise
+        queries.append(
+            [
+                Point(
+                    max(-90.0, min(90.0, p.lat + rng.gauss(0.0, sigma))),
+                    max(-180.0, min(180.0, p.lon + rng.gauss(0.0, sigma))),
+                )
+                for p in points
+            ]
+        )
+    return queries
+
+
+def build_single() -> GeodabIndex:
+    return GeodabIndex(GeodabConfig(), normalizer=standard_normalizer(DEPTH))
+
+
+def build_sharded() -> ShardedGeodabIndex:
+    return ShardedGeodabIndex(
+        GeodabConfig(),
+        ShardingConfig(
+            num_shards=NUM_SHARDS, num_nodes=NUM_NODES, placement="hash"
+        ),
+        normalizer=standard_normalizer(DEPTH),
+    )
+
+
+def serve_scalar(index, queries, limit) -> tuple[float, list]:
+    start = time.perf_counter()
+    results = []
+    for points in queries:
+        prepared = index.prepare_query(points)
+        ranked, _ = index.query_prepared(prepared, limit)
+        results.append(ranked)
+    return time.perf_counter() - start, results
+
+
+def serve_batched(index, queries, limit) -> tuple[float, list]:
+    start = time.perf_counter()
+    prepared_list = index.prepare_query_many(queries)
+    results = []
+    for prepared in prepared_list:
+        ranked, _ = index.query_prepared(prepared, limit)
+        results.append(ranked)
+    return time.perf_counter() - start, results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectories",
+        type=int,
+        default=2000,
+        help="corpus size (the acceptance bar is measured at >= 2000)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=500,
+        help="size of the query burst",
+    )
+    parser.add_argument("--limit", type=int, default=10)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero unless every batched/scalar speedup reaches "
+        "this factor (0 = report only)",
+    )
+    parser.add_argument(
+        "--json-out",
+        help="write the results as JSON (the CI benchmark artifact)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    corpus = synthetic_corpus(args.trajectories, seed=args.seed)
+    queries = noisy_queries(corpus, args.queries, seed=args.seed + 1)
+    points_total = sum(len(points) for _, points in corpus)
+    print(
+        f"corpus: {len(corpus)} trajectories, {points_total:,} points; "
+        f"burst of {len(queries)} queries (seed {args.seed})"
+    )
+
+    rows = []
+    report = []
+    speedups = []
+    for name, builder in (("single", build_single), ("sharded", build_sharded)):
+        index = builder()
+        index.add_many(corpus)
+        # Warm-up: one full untimed pass per path.  The batched pass
+        # folds every queried term's append buffer into its sorted
+        # postings array (lazy compaction after add_many), so neither
+        # timed pass carries one-time compaction or lazy pipeline
+        # construction the other skips.
+        serve_scalar(index, queries[:1], args.limit)
+        serve_batched(index, queries, args.limit)
+        scalar_s, scalar_results = serve_scalar(index, queries, args.limit)
+        batched_s, batched_results = serve_batched(index, queries, args.limit)
+        if scalar_results != batched_results:
+            raise AssertionError(
+                f"{name}: batched preparation returned different rankings "
+                "than the per-query path"
+            )
+        speedup = scalar_s / batched_s if batched_s > 0 else float("inf")
+        speedups.append(speedup)
+        rows.append(
+            [
+                name,
+                len(queries) / scalar_s,
+                len(queries) / batched_s,
+                scalar_s,
+                batched_s,
+                speedup,
+            ]
+        )
+        report.append(
+            {
+                "index": name,
+                "scalar_qps": len(queries) / scalar_s,
+                "batched_qps": len(queries) / batched_s,
+                "scalar_s": scalar_s,
+                "batched_s": batched_s,
+                "speedup": speedup,
+            }
+        )
+    print_table(
+        f"Query burst: per-query prepare_query() vs batched "
+        f"prepare_query_many() ({len(queries)} queries, "
+        f"{len(corpus)}-trajectory corpus)",
+        ["index", "scalar q/s", "batched q/s", "scalar s", "batched s",
+         "speedup"],
+        rows,
+    )
+    if args.json_out:
+        payload = {
+            "benchmark": "query_throughput",
+            "trajectories": len(corpus),
+            "queries": len(queries),
+            "limit": args.limit,
+            "seed": args.seed,
+            "results": report,
+            "min_speedup_bar": args.min_speedup,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.min_speedup > 0 and min(speedups) < args.min_speedup:
+        print(
+            f"FAIL: minimum speedup {min(speedups):.2f}x below the "
+            f"{args.min_speedup:.2f}x bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -326,7 +326,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"serving geodab index ({shape}) at {server.url}")
     print("endpoints: POST /trajectories, DELETE /trajectories/{id}, "
-          "POST /query, GET /stats, GET /healthz")
+          "POST /query, POST /query/batch, GET /stats, GET /healthz")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -11,9 +11,10 @@ results, which the integration tests assert.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from ..core.arena import TOMBSTONE as _TOMBSTONE
@@ -21,7 +22,8 @@ from ..core.arena import SlotArena
 from ..core.config import GeodabConfig
 from ..core.fingerprint import Fingerprinter, FingerprintSet
 from ..core.index import Normalizer, SearchResult
-from ..core.query import FanoutStats, PreparedQuery
+from ..core.postings import PostingsStore, merge_hits
+from ..core.query import FanoutStats, MatchCounts, PreparedQuery
 from ..geo.point import Trajectory
 from .sharding import ShardingConfig, ShardRouter
 
@@ -35,11 +37,11 @@ __all__ = [
 
 @dataclass
 class ShardState:
-    """One shard: a postings dictionary plus load counters."""
+    """One shard: a columnar postings store plus load counters."""
 
     shard_id: int
     node_id: int
-    postings: dict[int, list[int]]
+    postings: PostingsStore = field(default_factory=PostingsStore)
 
     @property
     def num_terms(self) -> int:
@@ -49,14 +51,11 @@ class ShardState:
     @property
     def num_postings(self) -> int:
         """Total postings entries held by this shard."""
-        return sum(len(p) for p in self.postings.values())
+        return self.postings.num_postings
 
     def trajectories(self) -> set[int]:
         """Distinct (internal) trajectory ids referenced by this shard."""
-        out: set[int] = set()
-        for posting in self.postings.values():
-            out.update(posting)
-        return out
+        return self.postings.distinct_internals()
 
 
 class ShardedGeodabIndex:
@@ -74,7 +73,7 @@ class ShardedGeodabIndex:
         self.router = ShardRouter(self.sharding, cfg.prefix_bits, cfg.suffix_bits)
         self.normalizer = normalizer
         self.shards: list[ShardState] = [
-            ShardState(s, self.router.node_of_shard(s), {})
+            ShardState(s, self.router.node_of_shard(s))
             for s in range(self.sharding.num_shards)
         ]
         # Slot recycling is shared with the single-node index via the
@@ -130,7 +129,7 @@ class ShardedGeodabIndex:
         internal = self._allocate(trajectory_id, fingerprint_set.bitmap)
         for term in sorted(set(fingerprint_set.values)):
             shard = self.shards[self.router.shard_of_term(term)]
-            shard.postings.setdefault(term, []).append(internal)
+            shard.postings.append(term, internal)
 
     def add_fingerprints_many(
         self,
@@ -174,26 +173,21 @@ class ShardedGeodabIndex:
                 else:
                     internals.append(internal)
         for shard_id, term_map in grouped.items():
-            postings = self.shards[shard_id].postings
-            for term, internals in term_map.items():
-                existing = postings.get(term)
-                if existing is None:
-                    postings[term] = internals
-                else:
-                    existing.extend(internals)
+            self.shards[shard_id].postings.extend_grouped(term_map)
 
     def fingerprint_many(
         self, trajectories: Iterable[Trajectory]
     ) -> list[FingerprintSet]:
         """Fingerprints of a batch under this index's normalization.
 
-        Normalization runs per trajectory; fingerprinting runs through
-        the vectorized batch pipeline.
+        Vectorizable normalizers run as numpy sweeps over the whole
+        concatenated batch (see :mod:`repro.normalize.batch`); arbitrary
+        callables fall back to per-trajectory normalization before the
+        vectorized fingerprint pipeline.
         """
-        batch = list(trajectories)
-        if self.normalizer is not None:
-            batch = [self.normalizer(points) for points in batch]
-        return self.fingerprinter.fingerprint_many(batch)
+        return self.fingerprinter.fingerprint_normalized_many(
+            self.normalizer, trajectories
+        )
 
     def add_many(self, items: Iterable[tuple[Hashable, Trajectory]]) -> None:
         """Bulk-index ``(trajectory_id, points)`` pairs.
@@ -221,15 +215,7 @@ class ShardedGeodabIndex:
             raise KeyError(f"trajectory {trajectory_id!r} not indexed")
         for term in self._bitmaps[internal]:
             shard = self.shards[self.router.shard_of_term(int(term))]
-            posting = shard.postings.get(int(term))
-            if posting is None:
-                continue
-            try:
-                posting.remove(internal)
-            except ValueError:
-                pass
-            if not posting:
-                del shard.postings[int(term)]
+            shard.postings.discard(int(term), internal)
         # Tombstone the slot and recycle it for a future add.
         self._arena.release(trajectory_id, type(self._bitmaps[internal])())
 
@@ -262,11 +248,28 @@ class ShardedGeodabIndex:
         """Query and report fan-out statistics."""
         return self.query_prepared(self.prepare_query(points), limit, max_distance)
 
-    def prepare_query(self, points: Trajectory) -> PreparedQuery:
-        """Fingerprint a query and plan its shard contacts."""
-        fingerprint_set = self._fingerprint(points)
+    def _plan_query(self, fingerprint_set: FingerprintSet) -> PreparedQuery:
+        """Plan a fingerprinted query's shard contacts."""
         terms = tuple(sorted(set(fingerprint_set.values)))
         return PreparedQuery(fingerprint_set, terms, self.router.plan(list(terms)))
+
+    def prepare_query(self, points: Trajectory) -> PreparedQuery:
+        """Fingerprint a query and plan its shard contacts."""
+        return self._plan_query(self._fingerprint(points))
+
+    def prepare_query_many(
+        self, queries: Sequence[Trajectory]
+    ) -> list[PreparedQuery]:
+        """Prepare a burst of queries in one columnar pass.
+
+        One vectorized normalize+fingerprint sweep over the concatenated
+        burst, then per-query routing — interchangeable with calling
+        :meth:`prepare_query` once per query (property-test asserted).
+        """
+        return [
+            self._plan_query(fingerprint_set)
+            for fingerprint_set in self.fingerprint_many(queries)
+        ]
 
     def query_prepared(
         self,
@@ -280,9 +283,10 @@ class ShardedGeodabIndex:
         :meth:`shard_partial` lookups concurrently and merges with the
         same :meth:`score_matches`, so both paths return identical results.
         """
-        matches: Counter[int] = Counter()
-        for shard_id, shard_terms in prepared.plan.items():
-            matches.update(self.shard_partial(shard_id, shard_terms))
+        matches = merge_hits(
+            self.shard_partial(shard_id, shard_terms)
+            for shard_id, shard_terms in prepared.plan.items()
+        )
         returned = self.score_matches(prepared, matches, limit, max_distance)
         return returned, self.fanout_stats(prepared, matches)
 
@@ -292,44 +296,40 @@ class ShardedGeodabIndex:
 
     def shard_partial(
         self, shard_id: int, terms: Sequence[int]
-    ) -> Counter[int]:
-        """One shard's partial result: internal id -> shared-term count."""
-        shard = self.shards[shard_id]
-        matches: Counter[int] = Counter()
-        for term in terms:
-            posting = shard.postings.get(term)
-            if posting is not None:
-                matches.update(posting)
-        return matches
+    ) -> np.ndarray:
+        """One shard's partial result: the raw hit stream.
+
+        One internal id per (query term, posting) pairing — a single
+        ``np.concatenate`` over the shard's term arrays.  The
+        coordinator merges hit streams and recovers shared-term counts
+        with :func:`repro.core.postings.merge_hits` instead of looping
+        per element.
+        """
+        return self.shards[shard_id].postings.hits(terms)
 
     def shard_postings(
         self, shard_id: int, terms: Sequence[int]
-    ) -> dict[int, tuple[int, ...]]:
-        """One shard's raw postings for ``terms`` (term -> internal ids).
+    ) -> dict[int, np.ndarray]:
+        """One shard's raw postings for ``terms`` (term -> id array).
 
         Used by the micro-batching executor: a single fetch over the
         union of several queries' terms is split back into per-query
-        partials at the coordinator.
+        partials at the coordinator.  Arrays are read-only views.
         """
-        shard = self.shards[shard_id]
-        out: dict[int, tuple[int, ...]] = {}
-        for term in terms:
-            posting = shard.postings.get(term)
-            if posting is not None:
-                out[term] = tuple(posting)
-        return out
+        return self.shards[shard_id].postings.postings_map(terms)
 
     def score_matches(
         self,
         prepared: PreparedQuery,
-        matches: Mapping[int, int],
+        matches: MatchCounts,
         limit: int | None = None,
         max_distance: float = 1.0,
     ) -> list[SearchResult]:
         """Rank merged candidates exactly like the single-node index."""
         kept: list[SearchResult] = []
         query_bitmap = prepared.query_bitmap
-        for internal, shared in matches.items():
+        internals, counts = matches
+        for internal, shared in zip(internals.tolist(), counts.tolist()):
             if self._ids[internal] is _TOMBSTONE:
                 continue
             distance = query_bitmap.jaccard_distance(self._bitmaps[internal])  # type: ignore[arg-type]
@@ -339,7 +339,7 @@ class ShardedGeodabIndex:
         return kept if limit is None else kept[:limit]
 
     def fanout_stats(
-        self, prepared: PreparedQuery, matches: Mapping[int, int]
+        self, prepared: PreparedQuery, matches: MatchCounts
     ) -> FanoutStats:
         """Fan-out accounting for an executed prepared query."""
         nodes = {self.shards[s].node_id for s in prepared.plan}
@@ -347,7 +347,7 @@ class ShardedGeodabIndex:
             query_terms=len(prepared.terms),
             shards_contacted=len(prepared.plan),
             nodes_contacted=len(nodes),
-            candidates=len(matches),
+            candidates=len(matches[0]),
         )
 
     # ------------------------------------------------------------------

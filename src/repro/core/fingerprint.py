@@ -120,8 +120,42 @@ class Fingerprinter:
         evaluates the whole batch columnar-style (the import is lazy —
         the pipeline package builds on this module).
         """
+        return self._batch_fingerprinter().fingerprint_many(trajectories)
+
+    def fingerprint_batch(self, batch) -> list[FingerprintSet]:
+        """Fingerprint an already-columnar :class:`PointBatch`.
+
+        The zero-conversion fast path: batch normalizers hand their
+        coordinate arrays straight to the vectorized pipeline.
+        """
+        return self._batch_fingerprinter().fingerprint_batch(batch)
+
+    def fingerprint_normalized_many(
+        self, normalizer, trajectories: Iterable[Trajectory]
+    ) -> list[FingerprintSet]:
+        """Normalize and fingerprint a batch, columnar when possible.
+
+        The shared bulk path of both index backends: normalizers with a
+        vectorized counterpart (including ``None``) run as numpy sweeps
+        over one concatenated point array straight into
+        :meth:`fingerprint_batch`; arbitrary callables fall back to
+        per-trajectory normalization before the vectorized fingerprint
+        pipeline.
+        """
+        from ..normalize.batch import normalize_point_batch
+
+        batch = list(trajectories)
+        point_batch = normalize_point_batch(normalizer, batch)
+        if point_batch is not None:
+            return self.fingerprint_batch(point_batch)
+        assert normalizer is not None  # None always vectorizes
+        return self.fingerprint_many(
+            [normalizer(points) for points in batch]
+        )
+
+    def _batch_fingerprinter(self):
         if self._batch is None:
             from ..pipeline import BatchFingerprinter
 
             self._batch = BatchFingerprinter(self.scheme)
-        return self._batch.fingerprint_many(trajectories)
+        return self._batch

@@ -14,9 +14,10 @@ Two concrete indexes share the machinery:
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Mapping, Sequence
+from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from ..geo.point import Point, Trajectory
@@ -24,7 +25,8 @@ from .arena import TOMBSTONE, SlotArena
 from .config import GeodabConfig
 from .fingerprint import Fingerprinter, FingerprintSet
 from .geodab import GeodabScheme
-from .query import FanoutStats, PreparedQuery
+from .postings import PostingsStore, merge_hits
+from .query import FanoutStats, MatchCounts, PreparedQuery
 
 __all__ = [
     "SearchResult",
@@ -96,7 +98,8 @@ class TrajectoryInvertedIndex:
     """
 
     def __init__(self, store_points: bool = False) -> None:
-        self._postings: dict[int, list[int]] = {}
+        # Columnar postings: term -> sorted int64 array + append buffer.
+        self._postings = PostingsStore()
         # The arena owns slot recycling; the aliases below share its
         # lists so the query hot paths index them directly.
         self._arena = SlotArena(num_columns=2)
@@ -149,11 +152,7 @@ class TrajectoryInvertedIndex:
             trajectory_id, bitmap, list(points) if self._store_points else None
         )
         for term in terms:
-            postings = self._postings.get(term)
-            if postings is None:
-                self._postings[term] = [internal]
-            else:
-                postings.append(internal)
+            self._postings.append(term, internal)
 
     def _bulk_insert(
         self,
@@ -182,13 +181,7 @@ class TrajectoryInvertedIndex:
                     grouped[term] = [internal]
                 else:
                     bucket.append(internal)
-        postings = self._postings
-        for term, internals in grouped.items():
-            existing = postings.get(term)
-            if existing is None:
-                postings[term] = internals
-            else:
-                existing.extend(internals)
+        self._postings.extend_grouped(grouped)
 
     def add_many(
         self, items: Iterable[tuple[Hashable, Trajectory]]
@@ -225,15 +218,7 @@ class TrajectoryInvertedIndex:
         if internal is None:
             raise KeyError(f"trajectory {trajectory_id!r} not indexed")
         for term in self._term_sets[internal]:
-            postings = self._postings.get(int(term))
-            if postings is None:
-                continue
-            try:
-                postings.remove(internal)
-            except ValueError:
-                pass
-            if not postings:
-                del self._postings[int(term)]
+            self._postings.discard(int(term), internal)
         # Tombstone the slot and recycle it for a future add.
         self._arena.release(
             trajectory_id, type(self._term_sets[internal])(), None
@@ -279,14 +264,12 @@ class TrajectoryInvertedIndex:
 
         The serving tier caches extracted fingerprints and calls this
         directly so a cached query skips re-normalization and winnowing.
+        Candidate collection is columnar: one concatenated hit stream,
+        one ``np.unique`` for the shared-term counts.
         """
-        matches: Counter[int] = Counter()
-        for term in terms:
-            postings = self._postings.get(term)
-            if postings is not None:
-                matches.update(postings)
+        internals, counts = merge_hits([self._postings.hits(terms)])
         kept: list[SearchResult] = []
-        for internal, shared in matches.items():
+        for internal, shared in zip(internals.tolist(), counts.tolist()):
             distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
             if distance <= max_distance:
                 kept.append(
@@ -296,7 +279,7 @@ class TrajectoryInvertedIndex:
         returned = kept if limit is None else kept[:limit]
         stats = QueryStats(
             query_terms=len(terms),
-            candidates=len(matches),
+            candidates=len(internals),
             scored=len(kept),
             returned=len(returned),
         )
@@ -318,53 +301,51 @@ class TrajectoryInvertedIndex:
         max_distance: float = 1.0,
     ) -> tuple[list[SearchResult], FanoutStats]:
         """Execute a prepared query (same contract as the sharded index)."""
-        matches: Counter[int] = Counter()
-        for shard_id, shard_terms in prepared.plan.items():
-            matches.update(self.shard_partial(shard_id, shard_terms))
+        matches = merge_hits(
+            self.shard_partial(shard_id, shard_terms)
+            for shard_id, shard_terms in prepared.plan.items()
+        )
         returned = self.score_matches(prepared, matches, limit, max_distance)
         return returned, self.fanout_stats(prepared, matches)
 
     def shard_partial(
         self, shard_id: int, terms: Sequence[int]
-    ) -> Counter[int]:
-        """The single shard's partial result: internal id -> shared terms."""
-        if shard_id != 0:
-            raise ValueError(f"single-node index has only shard 0, got {shard_id}")
-        matches: Counter[int] = Counter()
-        for term in terms:
-            postings = self._postings.get(term)
-            if postings is not None:
-                matches.update(postings)
-        return matches
+    ) -> np.ndarray:
+        """The single shard's partial result: the raw hit stream.
 
-    def shard_postings(
-        self, shard_id: int, terms: Sequence[int]
-    ) -> dict[int, tuple[int, ...]]:
-        """Raw postings for ``terms`` (term -> internal ids).
-
-        Serves the micro-batching executor, which fetches the union of a
-        batch's terms once and splits per-query partials back out.
+        One internal id per (query term, posting) pairing, produced by
+        concatenating the term postings arrays; the coordinator turns
+        multiplicity into shared-term counts via :func:`merge_hits`.
         """
         if shard_id != 0:
             raise ValueError(f"single-node index has only shard 0, got {shard_id}")
-        out: dict[int, tuple[int, ...]] = {}
-        for term in terms:
-            postings = self._postings.get(term)
-            if postings is not None:
-                out[term] = tuple(postings)
-        return out
+        return self._postings.hits(terms)
+
+    def shard_postings(
+        self, shard_id: int, terms: Sequence[int]
+    ) -> dict[int, np.ndarray]:
+        """Raw postings for ``terms`` (term -> sorted internal-id array).
+
+        Serves the micro-batching executor, which fetches the union of a
+        batch's terms once and splits per-query partials back out.  The
+        arrays are read-only views of index state.
+        """
+        if shard_id != 0:
+            raise ValueError(f"single-node index has only shard 0, got {shard_id}")
+        return self._postings.postings_map(terms)
 
     def score_matches(
         self,
         prepared: PreparedQuery,
-        matches: Mapping[int, int],
+        matches: MatchCounts,
         limit: int | None = None,
         max_distance: float = 1.0,
     ) -> list[SearchResult]:
         """Rank merged candidates by Jaccard distance."""
         kept: list[SearchResult] = []
         query_bitmap = prepared.query_bitmap
-        for internal, shared in matches.items():
+        internals, counts = matches
+        for internal, shared in zip(internals.tolist(), counts.tolist()):
             if self._ids[internal] is TOMBSTONE:
                 continue
             distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
@@ -374,7 +355,7 @@ class TrajectoryInvertedIndex:
         return kept if limit is None else kept[:limit]
 
     def fanout_stats(
-        self, prepared: PreparedQuery, matches: Mapping[int, int]
+        self, prepared: PreparedQuery, matches: MatchCounts
     ) -> FanoutStats:
         """Fan-out accounting (one shard on one node, when contacted)."""
         contacted = len(prepared.plan)
@@ -382,7 +363,7 @@ class TrajectoryInvertedIndex:
             query_terms=len(prepared.terms),
             shards_contacted=contacted,
             nodes_contacted=min(contacted, 1),
-            candidates=len(matches),
+            candidates=len(matches[0]),
         )
 
     def candidates(self, points: Trajectory) -> set[Hashable]:
@@ -393,12 +374,8 @@ class TrajectoryInvertedIndex:
         its size differs between geodab and geohash terms.
         """
         terms, _ = self._extract(points)
-        out: set[Hashable] = set()
-        for term in terms:
-            postings = self._postings.get(term)
-            if postings is not None:
-                out.update(self._ids[i] for i in postings)
-        return out
+        internals, _ = merge_hits([self._postings.hits(terms)])
+        return {self._ids[i] for i in internals.tolist()}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -427,7 +404,7 @@ class TrajectoryInvertedIndex:
         return IndexStats(
             trajectories=len(self._id_to_internal),
             terms=len(self._postings),
-            postings=sum(len(p) for p in self._postings.values()),
+            postings=self._postings.num_postings,
         )
 
     def describe(self) -> dict:
@@ -442,7 +419,10 @@ class TrajectoryInvertedIndex:
 
     def postings_for(self, term: int) -> list[Hashable]:
         """Identifiers in a term's postings list (diagnostics)."""
-        return [self._ids[i] for i in self._postings.get(term, [])]
+        postings = self._postings.get(term)
+        if postings is None:
+            return []
+        return [self._ids[i] for i in postings.tolist()]
 
     def iter_terms(self) -> Iterable[int]:
         """All distinct terms of the dictionary."""
@@ -497,14 +477,16 @@ class GeodabIndex(TrajectoryInvertedIndex):
     ) -> list[FingerprintSet]:
         """Fingerprints of a batch under this index's normalization.
 
-        Normalization runs per trajectory (normalizers are arbitrary
-        callables); fingerprinting runs through the vectorized batch
-        pipeline.
+        When the configured normalizer has a vectorized counterpart
+        (grid snap, smoothing, decimation, and compositions thereof) the
+        whole batch is normalized *and* fingerprinted as numpy sweeps
+        over one concatenated point array; arbitrary callables fall back
+        to per-trajectory normalization before the vectorized
+        fingerprint pipeline.
         """
-        batch = list(trajectories)
-        if self.normalizer is not None:
-            batch = [self.normalizer(points) for points in batch]
-        return self.fingerprinter.fingerprint_many(batch)
+        return self.fingerprinter.fingerprint_normalized_many(
+            self.normalizer, trajectories
+        )
 
     def add_many(
         self, items: Iterable[tuple[Hashable, Trajectory]]
@@ -554,7 +536,7 @@ class GeodabIndex(TrajectoryInvertedIndex):
         stored = list(points) if self._store_points and points is not None else None
         internal = self._allocate(trajectory_id, fingerprint_set.bitmap, stored)
         for term in sorted(set(fingerprint_set.values)):
-            self._postings.setdefault(term, []).append(internal)
+            self._postings.append(term, internal)
         self._fingerprint_sets[trajectory_id] = fingerprint_set
 
     def add_fingerprints_many(
@@ -601,9 +583,29 @@ class GeodabIndex(TrajectoryInvertedIndex):
             points = self.normalizer(points)
         return self.fingerprinter.fingerprint(points)
 
-    def prepare_query(self, points: Trajectory) -> PreparedQuery:
-        """Fingerprint a query and plan its (single-shard) contact."""
-        fingerprint_set = self.fingerprint_query(points)
+    def _plan_query(self, fingerprint_set: FingerprintSet) -> PreparedQuery:
+        """Plan a fingerprinted query's (single-shard) contact."""
         terms = tuple(sorted(set(fingerprint_set.values)))
         plan = {0: list(terms)} if terms else {}
         return PreparedQuery(fingerprint_set, terms, plan)
+
+    def prepare_query(self, points: Trajectory) -> PreparedQuery:
+        """Fingerprint a query and plan its (single-shard) contact."""
+        return self._plan_query(self.fingerprint_query(points))
+
+    def prepare_query_many(
+        self, queries: Sequence[Trajectory]
+    ) -> list[PreparedQuery]:
+        """Prepare a burst of queries in one columnar pass.
+
+        The whole burst is normalized and fingerprinted by the
+        vectorized batch pipeline (one concatenated numpy sweep instead
+        of one scalar pipeline run per query) and each result is planned
+        exactly like :meth:`prepare_query` — the prepared queries are
+        interchangeable with the per-query path, which the property
+        tests assert.
+        """
+        return [
+            self._plan_query(fingerprint_set)
+            for fingerprint_set in self.fingerprint_many(queries)
+        ]

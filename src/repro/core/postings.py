@@ -1,0 +1,254 @@
+"""Columnar postings storage for the inverted-index backends.
+
+PR 2 left postings as Python ``list[int]`` per term, merged element by
+element through ``collections.Counter`` — fine for ingest, but the read
+path pays for it on every query: each candidate id is touched once per
+Python bytecode step.  This module stores each term's postings as a
+*sorted* ``int64`` numpy array plus a small append buffer, so that
+
+* a shard partial is one ``np.concatenate`` over term arrays (the "hit
+  stream": every posting of every query term, with multiplicity);
+* merging partials across shards is another concatenate, and the
+  per-candidate shared-term counts fall out of one ``np.unique`` pass
+  (:func:`merge_hits`) instead of a Python loop per posting;
+* freshly ingested documents land in a per-term append buffer that is
+  folded into the sorted array lazily on first read, keeping bulk
+  ingest O(appends) and reads amortized.
+
+The arrays returned by :meth:`PostingsStore.get` and
+:meth:`PostingsStore.hits` are views of internal state — callers must
+treat them as read-only.
+
+Concurrency contract: *writes* (``append``/``extend``/``discard``)
+require external exclusion — the serving tier performs them under its
+exclusive write lock — but *reads* may run concurrently with each
+other.  Because reading lazily folds append buffers into the sorted
+arrays, the fold itself is guarded by an internal lock (with a
+lock-free fast path once a term is compacted) so concurrent readers
+can never observe a half-folded term and drop freshly ingested
+postings.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["PostingsStore", "merge_hits", "EMPTY_HITS"]
+
+#: The empty hit stream (shared; treat as read-only).
+EMPTY_HITS: np.ndarray = np.empty(0, dtype=np.int64)
+
+
+def merge_hits(
+    hit_streams: Iterable[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard hit streams into ``(internal_ids, counts)``.
+
+    Each input array is a concatenation of postings lists (one internal
+    id per term occurrence); the output pairs every distinct internal id
+    with the number of query terms it shared — the quantity Jaccard
+    ranking needs — computed in one vectorized ``np.unique`` pass.
+    """
+    chunks = [hits for hits in hit_streams if len(hits)]
+    if not chunks:
+        return EMPTY_HITS, EMPTY_HITS
+    merged = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    return np.unique(merged, return_counts=True)
+
+
+class PostingsStore:
+    """Term -> sorted ``int64`` postings array, with an append buffer.
+
+    Writes append to a per-term Python list (cheap, no re-sorting);
+    reads fold the buffer into the term's sorted array once and serve
+    numpy arrays from then on.  Sortedness is what makes removal a
+    ``searchsorted`` instead of a scan and keeps merged hit streams
+    cache-friendly for ``np.unique``.
+    """
+
+    __slots__ = ("_arrays", "_buffers", "_postings", "_fold_lock")
+
+    def __init__(self) -> None:
+        self._arrays: dict[int, np.ndarray] = {}
+        self._buffers: dict[int, list[int]] = {}
+        self._postings = 0
+        # Serializes lazy buffer folds between concurrent readers; see
+        # the module docstring for the full concurrency contract.
+        self._fold_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def append(self, term: int, internal: int) -> None:
+        """Add one posting (buffered; folded in on next read)."""
+        buffer = self._buffers.get(term)
+        if buffer is None:
+            self._buffers[term] = [internal]
+        else:
+            buffer.append(internal)
+        self._postings += 1
+
+    def extend(self, term: int, internals: Sequence[int]) -> None:
+        """Add many postings for one term."""
+        if not internals:
+            return
+        buffer = self._buffers.get(term)
+        if buffer is None:
+            self._buffers[term] = list(internals)
+        else:
+            buffer.extend(internals)
+        self._postings += len(internals)
+
+    def extend_grouped(self, grouped: dict[int, list[int]]) -> None:
+        """Add postings grouped by term (the bulk-ingest fast path)."""
+        for term, internals in grouped.items():
+            self.extend(term, internals)
+
+    def discard(self, term: int, internal: int) -> bool:
+        """Remove one posting; returns whether it was present.
+
+        Drops the term entirely once its last posting is gone, so the
+        dictionary never accumulates empty terms.
+        """
+        buffer = self._buffers.get(term)
+        if buffer is not None:
+            try:
+                buffer.remove(internal)
+            except ValueError:
+                pass
+            else:
+                if not buffer:
+                    del self._buffers[term]
+                self._postings -= 1
+                self._drop_if_empty(term)
+                return True
+        array = self._arrays.get(term)
+        if array is not None and len(array):
+            at = int(np.searchsorted(array, internal))
+            if at < len(array) and array[at] == internal:
+                self._arrays[term] = np.delete(array, at)
+                self._postings -= 1
+                self._drop_if_empty(term)
+                return True
+        return False
+
+    def _drop_if_empty(self, term: int) -> None:
+        array = self._arrays.get(term)
+        if array is not None and not len(array):
+            del self._arrays[term]
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _compact(self, term: int) -> np.ndarray | None:
+        """Fold the term's buffer into its sorted array, if any.
+
+        Reads race with each other (the serving tier's lock admits many
+        readers at once), so the fold is double-checked under the store
+        lock and publishes the merged array *before* dropping the
+        buffer: a concurrent lock-free reader either still sees the
+        buffer (and queues on the lock) or already sees the merged
+        array — never the pre-merge array with the buffer gone.
+        """
+        if term not in self._buffers:
+            return self._arrays.get(term)
+        with self._fold_lock:
+            buffer = self._buffers.get(term)
+            if buffer is None:
+                # Another reader folded this term while we waited.
+                return self._arrays.get(term)
+            array = self._arrays.get(term)
+            fresh = np.asarray(buffer, dtype=np.int64)
+            merged = fresh if array is None else np.concatenate([array, fresh])
+            merged.sort()
+            self._arrays[term] = merged
+            del self._buffers[term]
+            return merged
+
+    def get(self, term: int) -> np.ndarray | None:
+        """Sorted postings of a term (read-only view), or ``None``."""
+        return self._compact(term)
+
+    def hits(self, terms: Sequence[int]) -> np.ndarray:
+        """Concatenated postings of every present term (the hit stream).
+
+        One internal id per (term, document) pairing — multiplicity is
+        meaningful: :func:`merge_hits` turns it into shared-term counts.
+        """
+        chunks = []
+        for term in terms:
+            postings = self._compact(term)
+            if postings is not None and len(postings):
+                chunks.append(postings)
+        if not chunks:
+            return EMPTY_HITS
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+    def postings_map(
+        self, terms: Sequence[int]
+    ) -> dict[int, np.ndarray]:
+        """Per-term postings arrays for the terms present in the store.
+
+        The micro-batching executor fetches the union of a batch's terms
+        once with this and splits per-query partials back out.
+        """
+        out: dict[int, np.ndarray] = {}
+        for term in terms:
+            postings = self._compact(term)
+            if postings is not None and len(postings):
+                out[term] = postings
+        return out
+
+    def distinct_internals(self) -> set[int]:
+        """Distinct internal ids referenced by any posting."""
+        for term in list(self._buffers):
+            self._compact(term)
+        with self._fold_lock:
+            # Snapshot so a concurrent reader's fold cannot resize the
+            # dictionary mid-iteration.
+            arrays = list(self._arrays.values())
+        out: set[int] = set()
+        for array in arrays:
+            out.update(array.tolist())
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    def __contains__(self, term: int) -> bool:
+        # Safe lock-free: folds publish the merged array before dropping
+        # the buffer, so a term is visible in at least one dict
+        # throughout.
+        return term in self._arrays or term in self._buffers
+
+    def __iter__(self) -> Iterator[int]:
+        """Every distinct term."""
+        with self._fold_lock:
+            terms = set(self._arrays)
+            terms.update(self._buffers)
+        return iter(terms)
+
+    def __len__(self) -> int:
+        """Number of distinct terms."""
+        with self._fold_lock:
+            count = len(self._arrays)
+            for term in self._buffers:
+                if term not in self._arrays:
+                    count += 1
+            return count
+
+    def __bool__(self) -> bool:
+        return bool(self._arrays) or bool(self._buffers)
+
+    @property
+    def num_postings(self) -> int:
+        """Total postings entries across all terms."""
+        return self._postings

@@ -13,10 +13,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from .fingerprint import FingerprintSet
 
-__all__ = ["FanoutStats", "PreparedQuery"]
+__all__ = ["FanoutStats", "MatchCounts", "PreparedQuery"]
+
+#: Merged candidates of a query: parallel ``(internal_ids, counts)``
+#: int64 arrays — every distinct internal id paired with the number of
+#: query terms it shared.  Produced by
+#: :func:`repro.core.postings.merge_hits` from per-shard hit streams.
+MatchCounts = tuple[np.ndarray, np.ndarray]
 
 
 @dataclass(frozen=True, slots=True)

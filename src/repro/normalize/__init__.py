@@ -1,20 +1,49 @@
 """Trajectory normalization (paper Section V)."""
 
+from .batch import (
+    BatchDecimator,
+    BatchGridNormalizer,
+    BatchIdentity,
+    BatchMedianSmoother,
+    BatchMovingAverageSmoother,
+    BatchNormalizer,
+    BatchPipeline,
+    PointBatch,
+    normalize_point_batch,
+    vectorize_normalizer,
+)
 from .grid import GridNormalizer
-from .pipeline import MapMatchNormalizer, Normalizer, compose, identity
+from .pipeline import (
+    ComposedNormalizer,
+    MapMatchNormalizer,
+    Normalizer,
+    compose,
+    identity,
+)
 from .resample import Decimator, UniformResampler
 from .smooth import MedianSmoother, MovingAverageSmoother
 
 __all__ = [
+    "BatchDecimator",
+    "BatchGridNormalizer",
+    "BatchIdentity",
+    "BatchMedianSmoother",
+    "BatchMovingAverageSmoother",
+    "BatchNormalizer",
+    "BatchPipeline",
+    "ComposedNormalizer",
     "Decimator",
     "GridNormalizer",
     "MapMatchNormalizer",
     "MedianSmoother",
     "MovingAverageSmoother",
     "Normalizer",
+    "PointBatch",
     "UniformResampler",
     "compose",
     "identity",
+    "normalize_point_batch",
+    "vectorize_normalizer",
 ]
 
 

@@ -1,0 +1,426 @@
+"""Vectorized normalization over concatenated trajectory batches.
+
+The scalar normalizers in :mod:`repro.normalize` run per-point Python
+loops; query bursts and bulk ingest normalize thousands of trajectories,
+so this module re-expresses the same stages as numpy sweeps over one
+concatenated coordinate batch:
+
+* :class:`PointBatch` holds every point of a batch as parallel
+  ``float64`` arrays plus per-trajectory offsets, so normalization never
+  materializes intermediate :class:`~repro.geo.point.Point` objects;
+* :class:`BatchGridNormalizer` snaps the *whole batch* to geohash cell
+  centers in one encode/dedupe/decode pass;
+* :class:`BatchMovingAverageSmoother` / :class:`BatchMedianSmoother` /
+  :class:`BatchDecimator` vectorize the smoothing and resampling stages
+  (prefix sums, sorted sliding windows, and index arithmetic replace the
+  per-point loops);
+* :func:`vectorize_normalizer` maps a scalar normalizer — including
+  :func:`repro.normalize.pipeline.compose` chains — to its batch
+  counterpart, or returns ``None`` for stages with no vectorized form
+  (e.g. HMM map matching), in which case callers fall back to the
+  scalar path.
+
+Every batch stage is *bit-identical* to its scalar counterpart — same
+quantization, same sequential prefix-sum accumulation, same midpoint
+arithmetic — which the hypothesis property tests assert point by point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..geo.batch import decode_center_batch, encode_batch
+from ..geo.point import (
+    MAX_LATITUDE,
+    MAX_LONGITUDE,
+    MIN_LATITUDE,
+    MIN_LONGITUDE,
+    Point,
+    Trajectory,
+)
+from .grid import GridNormalizer
+from .pipeline import ComposedNormalizer, Normalizer, identity
+from .resample import Decimator
+from .smooth import MedianSmoother, MovingAverageSmoother
+
+__all__ = [
+    "BatchDecimator",
+    "BatchGridNormalizer",
+    "BatchIdentity",
+    "BatchMedianSmoother",
+    "BatchMovingAverageSmoother",
+    "BatchNormalizer",
+    "BatchPipeline",
+    "PointBatch",
+    "normalize_point_batch",
+    "vectorize_normalizer",
+]
+
+_U = np.uint64
+
+
+@dataclass(frozen=True, slots=True)
+class PointBatch:
+    """A batch of trajectories as concatenated coordinate columns.
+
+    ``lats``/``lons`` are parallel ``float64`` arrays over every point of
+    the batch; trajectory ``i`` owns the half-open slice
+    ``bounds[i]:bounds[i+1]`` (``bounds`` has ``num_trajectories + 1``
+    entries).  This is the interchange format of the columnar read path:
+    batch normalizers map one ``PointBatch`` to another, and the batch
+    fingerprinter consumes the final arrays directly.
+    """
+
+    lats: np.ndarray
+    lons: np.ndarray
+    bounds: np.ndarray
+
+    @classmethod
+    def from_trajectories(cls, trajectories: Sequence[Trajectory]) -> "PointBatch":
+        """Concatenate a batch of point sequences into coordinate columns."""
+        counts = np.fromiter(
+            (len(t) for t in trajectories),
+            dtype=np.int64,
+            count=len(trajectories),
+        )
+        total = int(counts.sum())
+        bounds = np.zeros(len(trajectories) + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        lats = np.fromiter(
+            (p.lat for t in trajectories for p in t),
+            dtype=np.float64,
+            count=total,
+        )
+        lons = np.fromiter(
+            (p.lon for t in trajectories for p in t),
+            dtype=np.float64,
+            count=total,
+        )
+        return cls(lats, lons, bounds)
+
+    @classmethod
+    def from_arrays(
+        cls, lats: np.ndarray, lons: np.ndarray, bounds: np.ndarray
+    ) -> "PointBatch":
+        """Build from raw arrays, validating like ``Point`` does.
+
+        Rejects NaN/inf and out-of-range coordinates so arrays entering
+        the columnar path obey the same contract the scalar path
+        enforces per :class:`~repro.geo.point.Point`.
+        """
+        lats = np.asarray(lats, dtype=np.float64)
+        lons = np.asarray(lons, dtype=np.float64)
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if lats.shape != lons.shape:
+            raise ValueError("lats and lons must be parallel arrays")
+        if len(bounds) == 0 or bounds[0] != 0 or bounds[-1] != len(lats):
+            raise ValueError("bounds must start at 0 and end at the point count")
+        if np.any(np.diff(bounds) < 0):
+            raise ValueError("bounds must be non-decreasing")
+        # NaN fails both comparisons, so this also rejects non-finite
+        # values — exactly the inputs Point.__post_init__ refuses.
+        if not bool(
+            np.all((lats >= MIN_LATITUDE) & (lats <= MAX_LATITUDE))
+        ):
+            raise ValueError("latitude outside [-90, 90]")
+        if not bool(
+            np.all((lons >= MIN_LONGITUDE) & (lons <= MAX_LONGITUDE))
+        ):
+            raise ValueError("longitude outside [-180, 180]")
+        return cls(lats, lons, bounds)
+
+    def __len__(self) -> int:
+        """Number of trajectories in the batch."""
+        return len(self.bounds) - 1
+
+    @property
+    def num_points(self) -> int:
+        """Total points across the batch."""
+        return len(self.lats)
+
+    def lengths(self) -> np.ndarray:
+        """Per-trajectory point counts."""
+        return np.diff(self.bounds)
+
+    def to_trajectories(self) -> list[list[Point]]:
+        """Materialize back into per-trajectory ``Point`` lists."""
+        lats = self.lats.tolist()
+        lons = self.lons.tolist()
+        out: list[list[Point]] = []
+        for start, stop in zip(self.bounds[:-1], self.bounds[1:]):
+            out.append(
+                [Point(lats[i], lons[i]) for i in range(int(start), int(stop))]
+            )
+        return out
+
+
+#: A batch normalization stage: ``PointBatch -> PointBatch``.
+BatchNormalizer = Callable[["PointBatch"], "PointBatch"]
+
+
+def _rebuild(
+    batch: PointBatch, keep: np.ndarray, lats: np.ndarray, lons: np.ndarray
+) -> PointBatch:
+    """Assemble a new batch from a keep-mask over the old point stream."""
+    kept_before = np.zeros(batch.num_points + 1, dtype=np.int64)
+    np.cumsum(keep, out=kept_before[1:])
+    return PointBatch(lats[keep], lons[keep], kept_before[batch.bounds])
+
+
+class BatchIdentity:
+    """The no-op batch normalization (vectorized ``identity``)."""
+
+    __slots__ = ()
+
+    def __call__(self, batch: PointBatch) -> PointBatch:
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BatchIdentity()"
+
+
+class BatchGridNormalizer:
+    """Vectorized :class:`~repro.normalize.grid.GridNormalizer`.
+
+    One encode pass snaps every point of the batch to its geohash cell,
+    one boolean mask removes consecutive duplicate cells per trajectory
+    (first points re-pinned so runs never merge across trajectory
+    boundaries), and one decode pass converts the surviving cells to
+    their centers.
+    """
+
+    __slots__ = ("depth",)
+
+    def __init__(self, depth: int = 36) -> None:
+        if depth < 1:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+
+    def __call__(self, batch: PointBatch) -> PointBatch:
+        total = batch.num_points
+        if total == 0:
+            return batch
+        cells = encode_batch(batch.lats, batch.lons, self.depth)
+        keep = np.empty(total, dtype=bool)
+        keep[0] = True
+        np.not_equal(cells[1:], cells[:-1], out=keep[1:])
+        counts = batch.lengths()
+        keep[batch.bounds[:-1][counts > 0]] = True
+        kept_before = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(keep, out=kept_before[1:])
+        lats, lons = decode_center_batch(cells[keep], self.depth)
+        return PointBatch(lats, lons, kept_before[batch.bounds])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchGridNormalizer(depth={self.depth})"
+
+
+class BatchMovingAverageSmoother:
+    """Vectorized :class:`~repro.normalize.smooth.MovingAverageSmoother`.
+
+    Each trajectory's prefix sums are computed with one sequential
+    ``cumsum`` (bit-identical to the scalar left-fold accumulation) and
+    every window average comes from two prefix lookups.  The per-
+    trajectory loop remains — prefix sums must restart at each boundary
+    to stay bit-identical — but all per-point work is numpy.
+    """
+
+    __slots__ = ("window",)
+
+    def __init__(self, window: int = 9) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def __call__(self, batch: PointBatch) -> PointBatch:
+        if self.window == 1 or batch.num_points == 0:
+            return batch
+        half = self.window // 2
+        lats = batch.lats.copy()
+        lons = batch.lons.copy()
+        for start, stop in zip(batch.bounds[:-1], batch.bounds[1:]):
+            n = int(stop) - int(start)
+            if n < 3:
+                continue
+            lo = np.arange(n, dtype=np.int64) - half
+            np.clip(lo, 0, None, out=lo)
+            hi = np.arange(n, dtype=np.int64) + (half + 1)
+            np.clip(hi, None, n, out=hi)
+            count = (hi - lo).astype(np.float64)
+            for coords in (lats, lons):
+                prefix = np.empty(n + 1, dtype=np.float64)
+                prefix[0] = 0.0
+                np.cumsum(coords[start:stop], out=prefix[1:])
+                coords[start:stop] = (prefix[hi] - prefix[lo]) / count
+        return PointBatch(lats, lons, batch.bounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchMovingAverageSmoother(window={self.window})"
+
+
+class BatchMedianSmoother:
+    """Vectorized :class:`~repro.normalize.smooth.MedianSmoother`.
+
+    Interior positions sort full windows as rows of a zero-copy
+    ``sliding_window_view``; the up-to ``window - 1`` clamped edge
+    positions per trajectory fall back to small per-position medians.
+    """
+
+    __slots__ = ("window",)
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    @staticmethod
+    def _median_sorted(ordered: np.ndarray) -> float:
+        mid = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return float(ordered[mid])
+        return (float(ordered[mid - 1]) + float(ordered[mid])) / 2.0
+
+    def __call__(self, batch: PointBatch) -> PointBatch:
+        if self.window == 1 or batch.num_points == 0:
+            return batch
+        half = self.window // 2
+        # The scalar smoother's slice [i-half, i+half] always spans an
+        # odd 2*half+1 points, so interior medians are a single middle
+        # element; only clamped edge windows can have even length.
+        full = 2 * half + 1
+        lats = batch.lats.copy()
+        lons = batch.lons.copy()
+        for start, stop in zip(batch.bounds[:-1], batch.bounds[1:]):
+            start = int(start)
+            n = int(stop) - start
+            if n < 3:
+                continue
+            for coords in (lats, lons):
+                values = batch.lats if coords is lats else batch.lons
+                segment = values[start : start + n]
+                out = coords[start : start + n]
+                if n >= full:
+                    windows = np.sort(
+                        np.lib.stride_tricks.sliding_window_view(segment, full),
+                        axis=1,
+                    )
+                    out[half : n - half] = windows[:, half]
+                for i in range(min(half, n)):
+                    window = np.sort(segment[max(0, i - half) : i + half + 1])
+                    out[i] = self._median_sorted(window)
+                for i in range(max(min(half, n), n - half), n):
+                    window = np.sort(segment[max(0, i - half) : i + half + 1])
+                    out[i] = self._median_sorted(window)
+        return PointBatch(lats, lons, batch.bounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchMedianSmoother(window={self.window})"
+
+
+class BatchDecimator:
+    """Vectorized :class:`~repro.normalize.resample.Decimator`.
+
+    Pure index arithmetic: keep every ``factor``-th point per trajectory
+    plus the final point when the stride did not already land on it.
+    """
+
+    __slots__ = ("factor",)
+
+    def __init__(self, factor: int) -> None:
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.factor = factor
+
+    def __call__(self, batch: PointBatch) -> PointBatch:
+        if self.factor == 1 or batch.num_points == 0:
+            return batch
+        total = batch.num_points
+        position = np.arange(total, dtype=np.int64)
+        starts = np.repeat(batch.bounds[:-1], batch.lengths())
+        keep = (position - starts) % self.factor == 0
+        # The scalar Decimator appends the last raw point when the kept
+        # tail differs from it; "differs" is Point equality, i.e. exact
+        # coordinate equality against the last *kept* point.
+        lengths = batch.lengths()
+        nonempty = lengths > 0
+        last = batch.bounds[1:][nonempty] - 1
+        last_kept_offset = ((lengths[nonempty] - 1) // self.factor) * self.factor
+        last_kept = batch.bounds[:-1][nonempty] + last_kept_offset
+        differs = (batch.lats[last_kept] != batch.lats[last]) | (
+            batch.lons[last_kept] != batch.lons[last]
+        )
+        keep[last[differs]] = True
+        return _rebuild(batch, keep, batch.lats, batch.lons)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchDecimator(factor={self.factor})"
+
+
+class BatchPipeline:
+    """A left-to-right chain of batch normalization stages."""
+
+    __slots__ = ("stages",)
+
+    def __init__(self, stages: Sequence[BatchNormalizer]) -> None:
+        self.stages = tuple(stages)
+
+    def __call__(self, batch: PointBatch) -> PointBatch:
+        for stage in self.stages:
+            batch = stage(batch)
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(stage) for stage in self.stages)
+        return f"BatchPipeline({inner})"
+
+
+def vectorize_normalizer(
+    normalizer: Normalizer | None,
+) -> BatchNormalizer | None:
+    """Batch counterpart of a scalar normalizer, or ``None``.
+
+    ``None`` (no normalization) and :func:`identity` map to the no-op
+    batch stage; grid snap, moving-average/median smoothing, and
+    decimation map to their vectorized twins; a
+    :class:`~repro.normalize.pipeline.ComposedNormalizer` vectorizes
+    stage by stage.  Anything else — arbitrary callables, map matching —
+    returns ``None`` and the caller keeps the scalar path.
+    """
+    if normalizer is None or normalizer is identity:
+        return BatchIdentity()
+    if isinstance(normalizer, GridNormalizer):
+        return BatchGridNormalizer(normalizer.depth)
+    if isinstance(normalizer, MovingAverageSmoother):
+        return BatchMovingAverageSmoother(normalizer.window)
+    if isinstance(normalizer, MedianSmoother):
+        return BatchMedianSmoother(normalizer.window)
+    if isinstance(normalizer, Decimator):
+        return BatchDecimator(normalizer.factor)
+    if isinstance(normalizer, ComposedNormalizer):
+        stages = []
+        for stage in normalizer.stages:
+            vectorized = vectorize_normalizer(stage)
+            if vectorized is None:
+                return None
+            stages.append(vectorized)
+        return BatchPipeline(stages)
+    return None
+
+
+def normalize_point_batch(
+    normalizer: Normalizer | None, trajectories: Sequence[Trajectory]
+) -> PointBatch | None:
+    """Normalize a whole batch columnar-style, or ``None`` to fall back.
+
+    The bridge the indexes use: when the configured normalizer has a
+    vectorized counterpart, the batch is concatenated once and every
+    normalization stage runs as numpy sweeps, producing the arrays the
+    batch fingerprinter consumes directly.
+    """
+    vectorized = vectorize_normalizer(normalizer)
+    if vectorized is None:
+        return None
+    return vectorized(PointBatch.from_trajectories(trajectories))

@@ -13,7 +13,13 @@ from typing import Callable
 from ..geo.point import Point, Trajectory
 from ..mapmatch.hmm import MapMatcher
 
-__all__ = ["Normalizer", "compose", "MapMatchNormalizer", "identity"]
+__all__ = [
+    "ComposedNormalizer",
+    "MapMatchNormalizer",
+    "Normalizer",
+    "compose",
+    "identity",
+]
 
 #: The normalization function type ``N(S) = S'``.
 Normalizer = Callable[[Trajectory], list[Point]]
@@ -24,18 +30,36 @@ def identity(points: Trajectory) -> list[Point]:
     return list(points)
 
 
+class ComposedNormalizer:
+    """A left-to-right chain of normalizers, introspectable by stage.
+
+    Exposing ``stages`` (rather than closing over them) lets the batch
+    pipeline map each scalar stage to its vectorized counterpart — see
+    :func:`repro.normalize.batch.vectorize_normalizer` — while staying a
+    plain callable normalizer everywhere else.
+    """
+
+    __slots__ = ("stages",)
+
+    def __init__(self, stages: tuple[Normalizer, ...]) -> None:
+        self.stages = stages
+
+    def __call__(self, points: Trajectory) -> list[Point]:
+        current = list(points)
+        for normalize in self.stages:
+            current = normalize(current)
+        return current
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(stage) for stage in self.stages)
+        return f"ComposedNormalizer({inner})"
+
+
 def compose(*normalizers: Normalizer) -> Normalizer:
     """Chain normalizers left to right: ``compose(f, g)(S) == g(f(S))``."""
     if not normalizers:
         return identity
-
-    def chained(points: Trajectory) -> list[Point]:
-        current = list(points)
-        for normalize in normalizers:
-            current = normalize(current)
-        return current
-
-    return chained
+    return ComposedNormalizer(tuple(normalizers))
 
 
 class MapMatchNormalizer:

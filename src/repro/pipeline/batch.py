@@ -46,6 +46,7 @@ from ..hashing.batch import (
     sliding_rightmost_minima,
 )
 from ..hashing.stable import splitmix64
+from ..normalize.batch import PointBatch
 
 __all__ = ["BatchFingerprinter", "winnow_array"]
 
@@ -106,36 +107,24 @@ class BatchFingerprinter:
     # ------------------------------------------------------------------
 
     def _deduped_cells(
-        self, trajectories: Sequence[Trajectory]
+        self, batch: PointBatch
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Encode and de-duplicate the whole batch in one pass.
 
         Returns the concatenated deep encodings and cell ids with
         consecutive duplicate cells removed per trajectory, plus the
         per-trajectory start offsets into the filtered arrays (length
-        ``len(trajectories) + 1``; trajectory ``i`` owns the half-open
-        slice ``starts[i]:starts[i+1]``).
+        ``len(batch) + 1``; trajectory ``i`` owns the half-open slice
+        ``starts[i]:starts[i+1]``).
         """
         config = self.scheme.config
-        counts = np.fromiter(
-            (len(t) for t in trajectories), dtype=np.int64,
-            count=len(trajectories),
-        )
-        total = int(counts.sum())
-        bounds = np.zeros(len(trajectories) + 1, dtype=np.int64)
-        np.cumsum(counts, out=bounds[1:])
+        counts = batch.lengths()
+        total = batch.num_points
+        bounds = batch.bounds
         if total == 0:
             empty = np.empty(0, dtype=np.uint64)
             return empty, empty, bounds
-        lats = np.fromiter(
-            (p.lat for t in trajectories for p in t),
-            dtype=np.float64, count=total,
-        )
-        lons = np.fromiter(
-            (p.lon for t in trajectories for p in t),
-            dtype=np.float64, count=total,
-        )
-        deep = encode_batch(lats, lons, config.cover_depth)
+        deep = encode_batch(batch.lats, batch.lons, config.cover_depth)
         cell_shift = config.cover_depth - min(
             config.cover_depth, config.normalization_depth
         )
@@ -150,9 +139,7 @@ class BatchFingerprinter:
         np.cumsum(keep, out=kept_before[1:])
         return deep[keep], cells[keep], kept_before[bounds]
 
-    def _kgram_geodabs(
-        self, deep: np.ndarray, cells: np.ndarray
-    ) -> np.ndarray:
+    def _kgram_geodabs(self, deep: np.ndarray, cells: np.ndarray) -> np.ndarray:
         """Geodab of every k-gram position of the concatenated stream.
 
         Positions whose window straddles a trajectory boundary are
@@ -191,7 +178,9 @@ class BatchFingerprinter:
     def kgram_geodabs(self, points: Trajectory) -> list[int]:
         """Vectorized ``TrajectoryWinnower.kgram_geodabs`` (candidate
         stream ``C`` of Algorithm 1, in order)."""
-        deep, cells, bounds = self._deduped_cells([list(points)])
+        deep, cells, bounds = self._deduped_cells(
+            PointBatch.from_trajectories([list(points)])
+        )
         if bounds[1] < self.scheme.config.k:
             return []
         return [int(g) for g in self._kgram_geodabs(deep, cells)]
@@ -215,13 +204,27 @@ class BatchFingerprinter:
     ) -> list[FingerprintSet]:
         """Fingerprint a batch of (normalized) trajectories.
 
+        Concatenates the batch into a :class:`PointBatch` and runs
+        :meth:`fingerprint_batch` — the columnar fast path shared with
+        the vectorized normalizers.
+        """
+        return self.fingerprint_batch(
+            PointBatch.from_trajectories(
+                [t if isinstance(t, list) else list(t) for t in trajectories]
+            )
+        )
+
+    def fingerprint_batch(self, batch: PointBatch) -> list[FingerprintSet]:
+        """Fingerprint an already-columnar batch of trajectories.
+
         One vectorized sweep computes every k-gram geodab of the batch;
         a second global sweep winnows every full window of the
         concatenated gram stream, and per-trajectory results are sliced
         out by offset (windows straddling a trajectory boundary are
-        masked away, never read).
+        masked away, never read).  This is the zero-conversion entry
+        point: batch normalizers hand their output arrays here without
+        ever materializing intermediate ``Point`` objects.
         """
-        batch = [t if isinstance(t, list) else list(t) for t in trajectories]
         deep, cells, bounds = self._deduped_cells(batch)
         geodabs = self._kgram_geodabs(deep, cells)
         config = self.scheme.config

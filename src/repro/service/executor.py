@@ -29,14 +29,16 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..cluster.cluster import ShardedGeodabIndex
 from ..core.index import GeodabIndex, SearchResult
-from ..core.query import PreparedQuery
+from ..core.postings import merge_hits
+from ..core.query import MatchCounts, PreparedQuery
 
 __all__ = ["ExecutionStats", "QueryExecutor"]
 
@@ -57,8 +59,9 @@ class ExecutionStats:
 class _Pending:
     """One query waiting inside a micro-batch window."""
 
-    __slots__ = ("prepared", "limit", "max_distance", "event", "results",
-                 "stats", "error")
+    __slots__ = (
+        "prepared", "limit", "max_distance", "event", "results", "stats", "error"
+    )
 
     def __init__(
         self, prepared: PreparedQuery, limit: int | None, max_distance: float
@@ -99,9 +102,13 @@ class QueryExecutor:
         self.pool_size = pool_size
         self.rpc_latency_s = rpc_latency_s
         self.batch_window_s = batch_window_s
-        self._pool = ThreadPoolExecutor(
-            max_workers=pool_size, thread_name_prefix="geodab-shard"
-        ) if pool_size else None
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=pool_size, thread_name_prefix="geodab-shard"
+            )
+            if pool_size
+            else None
+        )
         self._batch_lock = threading.Lock()
         self._batch: list[_Pending] = []
         self._leader_active = False
@@ -134,6 +141,34 @@ class QueryExecutor:
         results = self.index.score_matches(prepared, matches, limit, max_distance)
         return results, self._stats(prepared, matches, batch_size=1)
 
+    def execute_prepared_many(
+        self,
+        requests: Sequence[tuple[PreparedQuery, int | None, float]],
+    ) -> list[tuple[list[SearchResult], ExecutionStats]]:
+        """Execute a whole burst of prepared queries as one fan-out.
+
+        The explicit-batch twin of the window-based micro-batching: the
+        burst shares one postings fetch per shard over the union of its
+        terms (fanned out over the worker pool when one is configured),
+        and per-query partials are split back out at the coordinator.
+        The batch query API calls this so ``n`` concurrent queries cost
+        one shard contact each instead of ``n``.
+        """
+        batch = [
+            _Pending(prepared, limit, max_distance)
+            for prepared, limit, max_distance in requests
+        ]
+        if not batch:
+            return []
+        self._run_batch(batch)
+        out: list[tuple[list[SearchResult], ExecutionStats]] = []
+        for item in batch:
+            if item.error is not None:
+                raise item.error
+            assert item.results is not None and item.stats is not None
+            out.append((item.results, item.stats))
+        return out
+
     def close(self) -> None:
         """Shut the worker pool down."""
         if self._pool is not None:
@@ -149,26 +184,22 @@ class QueryExecutor:
     # Single-query fan-out
     # ------------------------------------------------------------------
 
-    def _contact_shard(
-        self, shard_id: int, terms: Sequence[int]
-    ) -> Counter[int]:
+    def _contact_shard(self, shard_id: int, terms: Sequence[int]) -> np.ndarray:
         if self.rpc_latency_s:
             time.sleep(self.rpc_latency_s)
         return self.index.shard_partial(shard_id, terms)
 
-    def _fanout_single(self, prepared: PreparedQuery) -> Counter[int]:
-        matches: Counter[int] = Counter()
+    def _fanout_single(self, prepared: PreparedQuery) -> MatchCounts:
         if self._pool is None or len(prepared.plan) <= 1:
-            for shard_id, shard_terms in prepared.plan.items():
-                matches.update(self._contact_shard(shard_id, shard_terms))
-            return matches
+            return merge_hits(
+                self._contact_shard(shard_id, shard_terms)
+                for shard_id, shard_terms in prepared.plan.items()
+            )
         futures = [
             self._pool.submit(self._contact_shard, shard_id, shard_terms)
             for shard_id, shard_terms in prepared.plan.items()
         ]
-        for future in futures:
-            matches.update(future.result())
-        return matches
+        return merge_hits(future.result() for future in futures)
 
     # ------------------------------------------------------------------
     # Micro-batched fan-out
@@ -213,7 +244,7 @@ class QueryExecutor:
 
     def _fetch_shard(
         self, shard_id: int, terms: Sequence[int]
-    ) -> dict[int, tuple[int, ...]]:
+    ) -> dict[int, np.ndarray]:
         if self.rpc_latency_s:
             time.sleep(self.rpc_latency_s)
         return self.index.shard_postings(shard_id, terms)
@@ -245,22 +276,23 @@ class QueryExecutor:
             for item in batch:
                 item.error = exc
             return
-        # Split the shared fetch back into per-query partials and rank.
+        # Split the shared fetch back into per-query partials and rank:
+        # each query's hit stream is one concatenate over the postings
+        # arrays of its own terms, merged by one np.unique pass.
         for item in batch:
             try:
-                matches: Counter[int] = Counter()
+                chunks: list[np.ndarray] = []
                 for shard_id, shard_terms in item.prepared.plan.items():
                     postings = fetched[shard_id]
                     for term in shard_terms:
                         posting = postings.get(term)
                         if posting is not None:
-                            matches.update(posting)
+                            chunks.append(posting)
+                matches = merge_hits(chunks)
                 item.results = self.index.score_matches(
                     item.prepared, matches, item.limit, item.max_distance
                 )
-                item.stats = self._stats(
-                    item.prepared, matches, batch_size=len(batch)
-                )
+                item.stats = self._stats(item.prepared, matches, batch_size=len(batch))
             except BaseException as exc:
                 item.error = exc
 
@@ -271,7 +303,7 @@ class QueryExecutor:
     def _stats(
         self,
         prepared: PreparedQuery,
-        matches: Counter[int],
+        matches: MatchCounts,
         batch_size: int,
     ) -> ExecutionStats:
         fanout = self.index.fanout_stats(prepared, matches)

@@ -8,6 +8,11 @@ Endpoints (all JSON):
 * ``DELETE /trajectories/{id}`` — remove one trajectory; 404 if absent.
 * ``POST /query`` — ``{"points": [[lat, lon], ...], "limit": 10,
   "max_distance": 1.0}`` → ranked results with serving metadata.
+* ``POST /query/batch`` — ``{"queries": [[[lat, lon], ...], ...],
+  "limit": 10, "max_distance": 1.0}`` (entries may also be
+  ``{"points": [...]}`` objects) → ``{"results": [...], "count": n}``;
+  the whole burst is fingerprinted in one columnar pass and fanned out
+  as one shared shard fetch.
 * ``GET /stats`` — index shape, cache counters, qps/latency quantiles.
 * ``GET /healthz`` — liveness plus the current write generation.
 
@@ -26,11 +31,19 @@ from urllib.parse import unquote, urlparse
 from ..geo.point import Point
 from .service import IndexService
 
-__all__ = ["MAX_BODY_BYTES", "ServiceHTTPServer", "start_server"]
+__all__ = [
+    "MAX_BATCH_QUERIES",
+    "MAX_BODY_BYTES",
+    "ServiceHTTPServer",
+    "start_server",
+]
 
 #: Largest request body the server will buffer (the biggest legitimate
 #: payload is a bulk ingest; 64 MiB of JSON points is far beyond it).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Most queries accepted by one ``POST /query/batch`` request.
+MAX_BATCH_QUERIES = 1024
 
 
 class _BadRequest(ValueError):
@@ -137,11 +150,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_get(self, path: str) -> None:
         if path == "/healthz":
             service = self.server.service
-            self._send(200, {
-                "status": "ok",
-                "generation": service.generation,
-                "trajectories": len(service),
-            })
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "generation": service.generation,
+                    "trajectories": len(service),
+                },
+            )
         elif path == "/stats":
             self._send(200, self.server.service.stats())
         else:
@@ -152,6 +168,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_ingest()
         elif path == "/query":
             self._handle_query()
+        elif path == "/query/batch":
+            self._handle_query_batch()
         else:
             self._send(404, {"error": f"unknown path {path!r}"})
 
@@ -182,11 +200,9 @@ class _Handler(BaseHTTPRequestHandler):
             raise _Conflict(str(exc.args[0]) if exc.args else "conflict") from exc
         self._send(200, {"ingested": count, "generation": generation})
 
-    def _handle_query(self) -> None:
-        payload = self._read_json()
-        if not isinstance(payload, dict):
-            raise _BadRequest("body must be a JSON object")
-        points = _parse_points(payload.get("points"))
+    @staticmethod
+    def _query_params(payload: dict) -> tuple[int | None, float]:
+        """Validate the shared ``limit``/``max_distance`` parameters."""
         limit = payload.get("limit")
         if limit is not None and (
             isinstance(limit, bool) or not isinstance(limit, int) or limit < 1
@@ -195,8 +211,44 @@ class _Handler(BaseHTTPRequestHandler):
         max_distance = payload.get("max_distance", 1.0)
         if not _is_number(max_distance) or not 0 <= max_distance <= 1:
             raise _BadRequest("'max_distance' must be in [0, 1]")
-        response = self.server.service.query(points, limit, float(max_distance))
+        return limit, float(max_distance)
+
+    def _handle_query(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        points = _parse_points(payload.get("points"))
+        limit, max_distance = self._query_params(payload)
+        response = self.server.service.query(points, limit, max_distance)
         self._send(200, response.as_dict())
+
+    def _handle_query_batch(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        entries = payload.get("queries")
+        if not isinstance(entries, list) or not entries:
+            raise _BadRequest("'queries' must be a non-empty list of point lists")
+        if len(entries) > MAX_BATCH_QUERIES:
+            raise _BadRequest(
+                f"batch of {len(entries)} queries exceeds the "
+                f"{MAX_BATCH_QUERIES}-query limit"
+            )
+        queries = []
+        for entry in entries:
+            if isinstance(entry, dict):
+                queries.append(_parse_points(entry.get("points")))
+            else:
+                queries.append(_parse_points(entry))
+        limit, max_distance = self._query_params(payload)
+        responses = self.server.service.query_many(queries, limit, max_distance)
+        self._send(
+            200,
+            {
+                "results": [response.as_dict() for response in responses],
+                "count": len(responses),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -239,9 +291,7 @@ class _Handler(BaseHTTPRequestHandler):
         # read (e.g. 404 on an unrouted POST) must still drain it, or
         # the leftover bytes desync the next request on the connection.
         length = self._content_length()
-        if 0 < length <= MAX_BODY_BYTES and not getattr(
-            self, "_body_consumed", False
-        ):
+        if 0 < length <= MAX_BODY_BYTES and not getattr(self, "_body_consumed", False):
             # Discard in small chunks — no point buffering megabytes of
             # a rejected request just to throw them away.
             remaining = length

@@ -1,0 +1,203 @@
+"""Tests for repro.core.postings: the columnar postings store."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.postings import EMPTY_HITS, PostingsStore, merge_hits
+
+
+class TestPostingsStore:
+    def test_empty_store(self):
+        store = PostingsStore()
+        assert len(store) == 0
+        assert store.num_postings == 0
+        assert not store
+        assert store.get(1) is None
+        assert len(store.hits([1, 2, 3])) == 0
+        assert store.postings_map([1]) == {}
+        assert 1 not in store
+
+    def test_append_and_get_sorted(self):
+        store = PostingsStore()
+        for internal in (5, 1, 3):
+            store.append(7, internal)
+        assert store.get(7).tolist() == [1, 3, 5]
+        assert store.get(7).dtype == np.int64
+        assert store.num_postings == 3
+        assert len(store) == 1
+        assert 7 in store and list(store) == [7]
+
+    def test_appends_after_compaction_fold_in(self):
+        store = PostingsStore()
+        store.extend(1, [4, 2])
+        assert store.get(1).tolist() == [2, 4]
+        store.append(1, 3)  # lands in the buffer of a compacted term
+        assert store.get(1).tolist() == [2, 3, 4]
+        assert store.num_postings == 3
+
+    def test_extend_grouped(self):
+        store = PostingsStore()
+        store.extend_grouped({1: [0, 2], 2: [1], 3: []})
+        assert store.get(1).tolist() == [0, 2]
+        assert store.get(2).tolist() == [1]
+        assert store.get(3) is None
+        assert store.num_postings == 3
+        assert len(store) == 2
+
+    def test_discard_from_buffer_and_array(self):
+        store = PostingsStore()
+        store.extend(1, [0, 1, 2])
+        assert store.get(1) is not None  # compact into the array
+        store.append(1, 3)  # buffered
+        assert store.discard(1, 3) is True  # from buffer
+        assert store.discard(1, 1) is True  # from sorted array
+        assert store.discard(1, 9) is False
+        assert store.get(1).tolist() == [0, 2]
+        assert store.num_postings == 2
+
+    def test_term_dropped_when_last_posting_removed(self):
+        store = PostingsStore()
+        store.append(5, 0)
+        assert store.discard(5, 0) is True
+        assert 5 not in store
+        assert len(store) == 0
+        assert store.num_postings == 0
+
+    def test_hits_concatenates_with_multiplicity(self):
+        store = PostingsStore()
+        store.extend(1, [0, 1])
+        store.extend(2, [1, 2])
+        hits = store.hits([1, 2, 99])
+        assert sorted(hits.tolist()) == [0, 1, 1, 2]
+
+    def test_postings_map_skips_absent_terms(self):
+        store = PostingsStore()
+        store.extend(4, [7])
+        fetched = store.postings_map([4, 5])
+        assert set(fetched) == {4}
+        assert fetched[4].tolist() == [7]
+
+    def test_distinct_internals(self):
+        store = PostingsStore()
+        store.extend(1, [0, 1])
+        store.extend(2, [1, 2])
+        store.append(3, 5)
+        assert store.distinct_internals() == {0, 1, 2, 5}
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),  # term
+                st.integers(min_value=0, max_value=20),  # internal
+                st.booleans(),  # add or remove
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_reference_dict_of_lists(self, ops):
+        """The store behaves like the old dict[int, list[int]] postings."""
+        store = PostingsStore()
+        reference: dict[int, list[int]] = {}
+        for term, internal, add in ops:
+            if add:
+                store.append(term, internal)
+                reference.setdefault(term, []).append(internal)
+            else:
+                present = internal in reference.get(term, [])
+                assert store.discard(term, internal) is present
+                if present:
+                    reference[term].remove(internal)
+                    if not reference[term]:
+                        del reference[term]
+        assert len(store) == len(reference)
+        assert store.num_postings == sum(len(v) for v in reference.values())
+        for term, internals in reference.items():
+            assert store.get(term).tolist() == sorted(internals)
+        hits = store.hits(sorted(reference))
+        assert sorted(hits.tolist()) == sorted(
+            i for v in reference.values() for i in v
+        )
+
+
+class TestConcurrentReaders:
+    def test_racing_readers_never_miss_buffered_postings(self):
+        """Lazy compaction must be safe under the shared read lock.
+
+        The serving tier admits many readers at once; the first read of
+        a freshly ingested term folds its append buffer into the sorted
+        array.  Two readers folding the same term concurrently must
+        both observe every posting — an unguarded pop-then-publish fold
+        loses the buffer for whichever reader arrives second.
+        """
+        trials = 300
+        readers = 4
+        for trial in range(trials):
+            store = PostingsStore()
+            store.extend(1, [10])
+            assert store.get(1) is not None  # compact the base array
+            store.append(1, 20)  # the buffered posting under contention
+            barrier = threading.Barrier(readers)
+            seen: list[list[int]] = [[] for _ in range(readers)]
+
+            def read(slot: int) -> None:
+                barrier.wait()
+                seen[slot] = sorted(store.hits([1]).tolist())
+
+            threads = [
+                threading.Thread(target=read, args=(slot,))
+                for slot in range(readers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for slot, got in enumerate(seen):
+                assert got == [10, 20], (
+                    f"trial {trial}: reader {slot} saw {got}"
+                )
+
+
+class TestMergeHits:
+    def test_empty(self):
+        ids, counts = merge_hits([])
+        assert len(ids) == 0 and len(counts) == 0
+        ids, counts = merge_hits([EMPTY_HITS, EMPTY_HITS])
+        assert len(ids) == 0 and len(counts) == 0
+
+    def test_counts_multiplicity_across_streams(self):
+        ids, counts = merge_hits(
+            [
+                np.array([0, 1, 1], dtype=np.int64),
+                np.array([1, 2], dtype=np.int64),
+            ]
+        )
+        assert ids.tolist() == [0, 1, 2]
+        assert counts.tolist() == [1, 3, 1]
+
+    def test_single_stream_passthrough(self):
+        ids, counts = merge_hits([np.array([3, 3, 4], dtype=np.int64)])
+        assert ids.tolist() == [3, 4]
+        assert counts.tolist() == [2, 1]
+
+    @given(
+        streams=st.lists(
+            st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+            max_size=5,
+        )
+    )
+    def test_equivalent_to_counter(self, streams):
+        from collections import Counter
+
+        reference = Counter()
+        for stream in streams:
+            reference.update(stream)
+        ids, counts = merge_hits(
+            [np.asarray(stream, dtype=np.int64) for stream in streams]
+        )
+        assert dict(zip(ids.tolist(), counts.tolist())) == dict(reference)

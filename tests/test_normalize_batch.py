@@ -1,0 +1,216 @@
+"""Property tests: vectorized normalization is bit-identical to scalar.
+
+Every batch normalization stage — grid snap, moving-average and median
+smoothing, decimation, and composed pipelines — is cross-validated
+against its scalar counterpart over randomized batches, including the
+empty, single-point, and constant-trajectory edge cases.  NaN handling
+is asserted to match the scalar contract: coordinates that ``Point``
+rejects are rejected by the columnar containers too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.normalize import (
+    BatchDecimator,
+    BatchGridNormalizer,
+    BatchIdentity,
+    BatchMedianSmoother,
+    BatchMovingAverageSmoother,
+    BatchPipeline,
+    ComposedNormalizer,
+    Decimator,
+    GridNormalizer,
+    MedianSmoother,
+    MovingAverageSmoother,
+    PointBatch,
+    compose,
+    identity,
+    normalize_point_batch,
+    standard_normalizer,
+    vectorize_normalizer,
+)
+
+from .conftest import latitudes, longitudes
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+def trajectories(max_size: int = 40) -> st.SearchStrategy[list[Point]]:
+    return st.lists(
+        st.builds(Point, latitudes(), longitudes()),
+        min_size=0,
+        max_size=max_size,
+    )
+
+
+def batches() -> st.SearchStrategy[list[list[Point]]]:
+    """Batches mixing empty, single-point, and ordinary trajectories."""
+    return st.lists(trajectories(), min_size=0, max_size=8)
+
+
+NORMALIZERS = [
+    GridNormalizer(36),
+    GridNormalizer(1),
+    GridNormalizer(60),
+    MovingAverageSmoother(9),
+    MovingAverageSmoother(2),
+    MedianSmoother(5),
+    MedianSmoother(4),
+    Decimator(3),
+    Decimator(1),
+    standard_normalizer(36),
+    compose(MedianSmoother(3), MovingAverageSmoother(5), GridNormalizer(30)),
+    identity,
+    None,
+]
+
+
+def _assert_batches_equal(batch, point_batch, normalizer) -> None:
+    """Every trajectory matches the scalar reference, float for float."""
+    got = point_batch.to_trajectories()
+    assert len(got) == len(batch)
+    for produced, points in zip(got, batch):
+        expected = list(points) if normalizer is None else normalizer(points)
+        assert len(produced) == len(expected)
+        for a, b in zip(produced, expected):
+            assert a.lat == b.lat
+            assert a.lon == b.lon
+
+
+# ----------------------------------------------------------------------
+# Bit-identity across all vectorizable normalizers
+# ----------------------------------------------------------------------
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "normalizer", NORMALIZERS, ids=lambda n: repr(n)[:50]
+    )
+    @given(batch=batches())
+    def test_matches_scalar_path(self, normalizer, batch):
+        point_batch = normalize_point_batch(normalizer, batch)
+        assert point_batch is not None
+        _assert_batches_equal(batch, point_batch, normalizer)
+
+    @given(batch=batches())
+    def test_standard_normalizer_roundtrip(self, batch):
+        """The evaluation's default pipeline, end to end."""
+        normalizer = standard_normalizer(36)
+        point_batch = normalize_point_batch(normalizer, batch)
+        _assert_batches_equal(batch, point_batch, normalizer)
+
+    def test_edge_shapes(self):
+        """Empty batch, empty trajectories, single points, constants."""
+        edge = [
+            [],
+            [Point(0.0, 0.0)],
+            [Point(51.5, -0.1)] * 7,
+            [Point(90.0, 180.0), Point(-90.0, -180.0)],
+        ]
+        for normalizer in NORMALIZERS:
+            point_batch = normalize_point_batch(normalizer, edge)
+            _assert_batches_equal(edge, point_batch, normalizer)
+            empty = normalize_point_batch(normalizer, [])
+            assert len(empty) == 0 and empty.num_points == 0
+
+
+# ----------------------------------------------------------------------
+# The vectorizer mapping
+# ----------------------------------------------------------------------
+
+class TestVectorizeNormalizer:
+    def test_known_stages_map_to_batch_twins(self):
+        assert isinstance(vectorize_normalizer(None), BatchIdentity)
+        assert isinstance(vectorize_normalizer(identity), BatchIdentity)
+        assert isinstance(
+            vectorize_normalizer(GridNormalizer(30)), BatchGridNormalizer
+        )
+        assert isinstance(
+            vectorize_normalizer(MovingAverageSmoother(5)),
+            BatchMovingAverageSmoother,
+        )
+        assert isinstance(
+            vectorize_normalizer(MedianSmoother(3)), BatchMedianSmoother
+        )
+        assert isinstance(vectorize_normalizer(Decimator(2)), BatchDecimator)
+
+    def test_composition_vectorizes_stage_by_stage(self):
+        composed = compose(MovingAverageSmoother(9), GridNormalizer(36))
+        assert isinstance(composed, ComposedNormalizer)
+        vectorized = vectorize_normalizer(composed)
+        assert isinstance(vectorized, BatchPipeline)
+        assert len(vectorized.stages) == 2
+
+    def test_arbitrary_callable_falls_back_to_scalar(self):
+        assert vectorize_normalizer(lambda pts: list(pts)) is None
+        mixed = compose(GridNormalizer(36), lambda pts: list(pts))
+        assert vectorize_normalizer(mixed) is None
+        assert normalize_point_batch(lambda pts: list(pts), [[]]) is None
+
+    def test_compose_of_nothing_is_identity(self):
+        assert compose() is identity
+
+
+# ----------------------------------------------------------------------
+# PointBatch container contract
+# ----------------------------------------------------------------------
+
+class TestPointBatch:
+    @given(batch=batches())
+    def test_roundtrip(self, batch):
+        point_batch = PointBatch.from_trajectories(batch)
+        assert len(point_batch) == len(batch)
+        assert point_batch.num_points == sum(len(t) for t in batch)
+        got = point_batch.to_trajectories()
+        assert got == [list(t) for t in batch]
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf, 91.0])
+    def test_from_arrays_rejects_invalid_latitudes(self, bad):
+        with pytest.raises(ValueError):
+            PointBatch.from_arrays(
+                np.array([bad]), np.array([0.0]), np.array([0, 1])
+            )
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -181.0, 200.0])
+    def test_from_arrays_rejects_invalid_longitudes(self, bad):
+        with pytest.raises(ValueError):
+            PointBatch.from_arrays(
+                np.array([0.0]), np.array([bad]), np.array([0, 1])
+            )
+
+    def test_from_arrays_rejects_malformed_bounds(self):
+        lats = np.array([1.0, 2.0])
+        lons = np.array([3.0, 4.0])
+        with pytest.raises(ValueError):
+            PointBatch.from_arrays(lats, lons, np.array([0, 1]))  # short
+        with pytest.raises(ValueError):
+            PointBatch.from_arrays(lats, lons, np.array([1, 2]))  # no 0
+        with pytest.raises(ValueError):
+            PointBatch.from_arrays(lats, lons, np.array([0, 2, 1, 2]))
+
+    def test_from_arrays_accepts_valid_input(self):
+        point_batch = PointBatch.from_arrays(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([4.0, 5.0, 6.0]),
+            np.array([0, 2, 2, 3]),
+        )
+        assert len(point_batch) == 3
+        assert [len(t) for t in point_batch.to_trajectories()] == [2, 0, 1]
+
+    def test_nan_coordinates_rejected_like_point(self):
+        """The scalar and columnar contracts agree on NaN."""
+        with pytest.raises(ValueError):
+            Point(math.nan, 0.0)
+        with pytest.raises(ValueError):
+            PointBatch.from_arrays(
+                np.array([math.nan]), np.array([0.0]), np.array([0, 1])
+            )

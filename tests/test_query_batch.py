@@ -1,0 +1,306 @@
+"""Tests for the batched query path: prepare_query_many through HTTP.
+
+Three layers are covered:
+
+* index level — ``prepare_query_many`` produces prepared queries
+  interchangeable with per-query ``prepare_query`` on both backends
+  (hypothesis-verified, including empty/single-point queries and the
+  scalar-fallback normalizer);
+* service level — ``IndexService.query_many`` returns exactly what one
+  ``query`` per burst entry would, splits cache hits correctly, and
+  works with and without an executor;
+* HTTP level — ``POST /query/batch`` round-trips, validates payloads,
+  and enforces the batch-size cap.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import ShardedGeodabIndex, ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.geo.point import Point
+from repro.normalize import standard_normalizer
+from repro.service import IndexService, QueryExecutor, start_server
+from repro.service.http import MAX_BATCH_QUERIES
+
+from .conftest import city_points
+
+CONFIG = GeodabConfig(k=3, t=5)
+SHARDING = ShardingConfig(num_shards=8, num_nodes=2)
+
+
+def query_bursts() -> st.SearchStrategy[list[list[Point]]]:
+    """Bursts mixing empty, single-point, and ordinary queries."""
+    return st.lists(
+        st.lists(city_points(), min_size=0, max_size=25),
+        min_size=0,
+        max_size=6,
+    )
+
+
+def _assert_prepared_equal(got, want) -> None:
+    assert got.terms == want.terms
+    assert got.plan == want.plan
+    assert got.fingerprint_set.selections == want.fingerprint_set.selections
+    assert len(got.fingerprint_set.bitmap) == len(want.fingerprint_set.bitmap)
+
+
+# ----------------------------------------------------------------------
+# Index level
+# ----------------------------------------------------------------------
+
+class TestPrepareQueryMany:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: GeodabIndex(CONFIG),
+            lambda: GeodabIndex(CONFIG, normalizer=standard_normalizer(36)),
+            lambda: GeodabIndex(CONFIG, normalizer=lambda pts: list(pts)),
+            lambda: ShardedGeodabIndex(CONFIG, SHARDING),
+            lambda: ShardedGeodabIndex(
+                CONFIG, SHARDING, normalizer=standard_normalizer(36)
+            ),
+        ],
+        ids=["single", "single-norm", "single-fallback", "sharded",
+             "sharded-norm"],
+    )
+    @given(burst=query_bursts())
+    def test_matches_per_query_prepare(self, build, burst):
+        index = build()
+        many = index.prepare_query_many(burst)
+        assert len(many) == len(burst)
+        for points, got in zip(burst, many):
+            _assert_prepared_equal(got, index.prepare_query(points))
+
+    def test_empty_burst(self):
+        assert GeodabIndex(CONFIG).prepare_query_many([]) == []
+
+    def test_prepared_queries_execute_identically(self, small_dataset):
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(
+            [(r.trajectory_id, r.points) for r in small_dataset.records]
+        )
+        burst = [q.points for q in small_dataset.queries]
+        for points, prepared in zip(burst, index.prepare_query_many(burst)):
+            batch_results, _ = index.query_prepared(prepared, limit=10)
+            single_results = index.query(points, limit=10)
+            assert batch_results == single_results
+
+
+# ----------------------------------------------------------------------
+# Service level
+# ----------------------------------------------------------------------
+
+def _service(small_dataset, sharded: bool, executor: bool, caches: int = 256):
+    if sharded:
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+    else:
+        index = GeodabIndex(CONFIG)
+    service = IndexService(
+        index,
+        executor=QueryExecutor(index, pool_size=4) if executor else None,
+        result_cache_size=caches,
+        fingerprint_cache_size=caches,
+    )
+    service.ingest(
+        (r.trajectory_id, r.points) for r in small_dataset.records
+    )
+    return service
+
+
+class TestQueryMany:
+    @pytest.mark.parametrize(
+        "sharded,executor,caches",
+        [
+            (False, False, 256),
+            (False, False, 0),
+            (True, False, 256),
+            (True, True, 256),
+            (True, True, 0),
+        ],
+    )
+    def test_matches_single_query_path(
+        self, small_dataset, sharded, executor, caches
+    ):
+        service = _service(small_dataset, sharded, executor, caches)
+        try:
+            burst = [q.points for q in small_dataset.queries]
+            expected = [
+                service.query(points, limit=10).results for points in burst
+            ]
+            responses = service.query_many(burst, limit=10)
+            assert [r.results for r in responses] == expected
+            assert all(r.generation == service.generation for r in responses)
+        finally:
+            service.close()
+
+    def test_empty_burst(self, small_dataset):
+        service = _service(small_dataset, sharded=False, executor=False)
+        try:
+            assert service.query_many([]) == []
+        finally:
+            service.close()
+
+    def test_cache_hits_are_flagged(self, small_dataset):
+        service = _service(small_dataset, sharded=True, executor=True)
+        try:
+            burst = [q.points for q in small_dataset.queries]
+            first = service.query_many(burst, limit=5)
+            assert not any(r.cached for r in first)
+            second = service.query_many(burst, limit=5)
+            assert all(r.cached for r in second)
+            assert [r.results for r in first] == [r.results for r in second]
+        finally:
+            service.close()
+
+    def test_mixed_cached_and_fresh(self, small_dataset):
+        service = _service(small_dataset, sharded=True, executor=True)
+        try:
+            burst = [q.points for q in small_dataset.queries]
+            service.query(burst[0], limit=5)  # warm one entry
+            responses = service.query_many(burst, limit=5)
+            assert responses[0].cached
+            assert not any(r.cached for r in responses[1:])
+            for points, response in zip(burst, responses):
+                assert (
+                    service.query(points, limit=5).results == response.results
+                )
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("executor", [False, True])
+    @pytest.mark.parametrize("caches", [256, 0])
+    def test_duplicate_queries_in_one_burst(
+        self, small_dataset, executor, caches
+    ):
+        """Duplicates share one execution (when cache keys exist) but
+        every burst entry still gets the right response."""
+        service = _service(small_dataset, sharded=True, executor=executor,
+                           caches=caches)
+        try:
+            points = small_dataset.queries[0].points
+            other = small_dataset.queries[1].points
+            burst = [points, other, points, points]
+            responses = service.query_many(burst, limit=5)
+            assert len(responses) == 4
+            reference = service.query(points, limit=5).results
+            assert responses[0].results == reference
+            assert responses[2].results == reference
+            assert responses[3].results == reference
+            assert responses[1].results == service.query(other, limit=5).results
+        finally:
+            service.close()
+
+    def test_write_invalidates_batch_results(self, small_dataset):
+        service = _service(small_dataset, sharded=False, executor=False)
+        try:
+            burst = [q.points for q in small_dataset.queries]
+            service.query_many(burst, limit=5)
+            removed = small_dataset.records[0].trajectory_id
+            service.delete(removed)
+            responses = service.query_many(burst, limit=5)
+            assert not any(r.cached for r in responses)
+            for response in responses:
+                assert removed not in {
+                    result.trajectory_id for result in response.results
+                }
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP level
+# ----------------------------------------------------------------------
+
+def call(base, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def as_wire(points):
+    return [[p.lat, p.lon] for p in points]
+
+
+@pytest.fixture()
+def loaded_server(small_dataset):
+    index = ShardedGeodabIndex(CONFIG, SHARDING)
+    service = IndexService(index, executor=QueryExecutor(index, pool_size=4))
+    service.ingest((r.trajectory_id, r.points) for r in small_dataset.records)
+    server = start_server(service)
+    yield server
+    server.shutdown()
+    service.close()
+
+
+class TestQueryBatchEndpoint:
+    def test_round_trip(self, loaded_server, small_dataset):
+        queries = [as_wire(q.points) for q in small_dataset.queries]
+        status, payload = call(
+            loaded_server.url, "POST", "/query/batch",
+            {"queries": queries, "limit": 5},
+        )
+        assert status == 200
+        assert payload["count"] == len(queries)
+        assert len(payload["results"]) == len(queries)
+        for query, entry in zip(small_dataset.queries, payload["results"]):
+            single_status, single = call(
+                loaded_server.url, "POST", "/query",
+                {"points": as_wire(query.points), "limit": 5},
+            )
+            assert single_status == 200
+            assert [r["id"] for r in entry["results"]] == [
+                r["id"] for r in single["results"]
+            ]
+
+    def test_accepts_object_entries(self, loaded_server, small_dataset):
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload = call(
+            loaded_server.url, "POST", "/query/batch",
+            {"queries": [{"points": points}, points]},
+        )
+        assert status == 200
+        assert payload["count"] == 2
+        assert (
+            payload["results"][0]["results"] == payload["results"][1]["results"]
+        )
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"queries": []},
+            {"queries": "nope"},
+            {"queries": [[[1000.0, 0.0]]]},
+            {"queries": [[[51.5, -0.1]]], "limit": 0},
+            {"queries": [[[51.5, -0.1]]], "max_distance": 2.0},
+            {"queries": [{"nope": []}]},
+        ],
+    )
+    def test_rejects_malformed_payloads(self, loaded_server, body):
+        status, payload = call(loaded_server.url, "POST", "/query/batch", body)
+        assert status == 400
+        assert "error" in payload
+
+    def test_rejects_oversized_batches(self, loaded_server):
+        queries = [[[51.5, -0.1]]] * (MAX_BATCH_QUERIES + 1)
+        status, payload = call(
+            loaded_server.url, "POST", "/query/batch", {"queries": queries}
+        )
+        assert status == 400
+        assert "exceeds" in payload["error"]

@@ -46,8 +46,10 @@ class TestShardPartialAPI:
         prepared = sharded.prepare_query(small_dataset.queries[0].points)
         merged: dict[int, int] = {}
         for shard_id, terms in prepared.plan.items():
-            for internal, shared in sharded.shard_partial(shard_id, terms).items():
-                merged[internal] = merged.get(internal, 0) + shared
+            # A partial is the shard's raw hit stream: one internal id
+            # per (term, posting) pairing, counts via multiplicity.
+            for internal in sharded.shard_partial(shard_id, terms).tolist():
+                merged[internal] = merged.get(internal, 0) + 1
         _, stats = sharded.query_prepared(prepared)
         assert len(merged) == stats.candidates
 
@@ -59,9 +61,12 @@ class TestShardPartialAPI:
         postings = sharded.shard_postings(shard_id, terms)
         rebuilt: dict[int, int] = {}
         for posting in postings.values():
-            for internal in posting:
+            for internal in posting.tolist():
                 rebuilt[internal] = rebuilt.get(internal, 0) + 1
-        assert rebuilt == dict(sharded.shard_partial(shard_id, terms))
+        stream: dict[int, int] = {}
+        for internal in sharded.shard_partial(shard_id, terms).tolist():
+            stream[internal] = stream.get(internal, 0) + 1
+        assert rebuilt == stream
 
 
 class TestPooledEquality:
