@@ -1,0 +1,191 @@
+"""Snapshot durability: cold rebuild-from-raw vs v2 warm start.
+
+The point of the v2 snapshot format is that restart cost stops scaling
+with ingest cost: the columnar postings blobs load as memory-mapped
+arrays and the term bitmaps deserialize directly, so nothing is
+re-parsed, re-normalized, re-hashed, or re-winnowed.  This benchmark
+measures, for both backends on the same synthetic corpus:
+
+* **cold start** — what ``geodabs serve --dataset`` pays on every boot:
+  parsing the raw JSONL dataset and building the index from it
+  (``add_many``: the vectorized normalize + fingerprint + insert sweep);
+* **save** — writing a v2 snapshot (buffers folded first);
+* **warm start** — what ``geodabs serve --snapshot-dir`` pays instead:
+  ``load_index(..., mmap_mode="r")`` from that snapshot.
+
+Warm-started indexes are cross-checked to answer a query burst
+identically to the live index every run.  The acceptance bar for this
+PR is warm start >= 5x faster than cold rebuild on a >= 2k-trajectory
+corpus locally; CI runs a smaller corpus with a conservative bar via
+``--min-speedup``, and ``--json-out`` records the run for the
+benchmark-artifact trail.
+
+Run with:  python benchmarks/bench_snapshot.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from bench_query_throughput import (
+    DEPTH,
+    build_sharded,
+    build_single,
+    noisy_queries,
+    synthetic_corpus,
+)
+
+from repro.bench.report import print_table
+from repro.core.persistence import load_index, save_index
+from repro.normalize import standard_normalizer
+from repro.workload.dataset import TrajectoryDataset, TrajectoryRecord
+
+
+def _dir_bytes(path: Path) -> int:
+    return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+
+
+def _rankings(index, queries, limit):
+    out = []
+    for points in queries:
+        prepared = index.prepare_query(points)
+        ranked, _ = index.query_prepared(prepared, limit)
+        out.append([(r.trajectory_id, r.distance) for r in ranked])
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectories",
+        type=int,
+        default=2000,
+        help="corpus size (the acceptance bar is measured at >= 2000)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=50,
+        help="size of the cross-check query burst",
+    )
+    parser.add_argument("--limit", type=int, default=10)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero unless every warm-start speedup over cold "
+        "rebuild reaches this factor (0 = report only)",
+    )
+    parser.add_argument(
+        "--json-out",
+        help="write the results as JSON (the CI benchmark artifact)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    corpus = synthetic_corpus(args.trajectories, seed=args.seed)
+    queries = noisy_queries(corpus, args.queries, seed=args.seed + 1)
+    points_total = sum(len(points) for _, points in corpus)
+    print(
+        f"corpus: {len(corpus)} trajectories, {points_total:,} points; "
+        f"{len(queries)}-query cross-check burst (seed {args.seed})"
+    )
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_snapshot_"))
+    rows = []
+    report = []
+    speedups = []
+    try:
+        # The raw-ingest source a cold boot parses: the corpus as a
+        # JSONL dataset, exactly what ``geodabs serve --dataset`` reads.
+        dataset_path = workdir / "corpus.jsonl"
+        TrajectoryDataset(
+            records=[
+                TrajectoryRecord(tid, 0, "fwd", tuple(points))
+                for tid, points in corpus
+            ]
+        ).save(dataset_path)
+        for name, builder in (("single", build_single), ("sharded", build_sharded)):
+            # Cold start: the full rebuild-from-raw-ingest path a
+            # restart without snapshots has to pay — parse the dataset,
+            # then normalize/fingerprint/insert everything.
+            start = time.perf_counter()
+            dataset = TrajectoryDataset.load(dataset_path)
+            index = builder()
+            index.add_many(
+                [(r.trajectory_id, list(r.points)) for r in dataset.records]
+            )
+            cold_s = time.perf_counter() - start
+            expected = _rankings(index, queries, args.limit)
+
+            target = workdir / f"snap-{name}"
+            start = time.perf_counter()
+            save_index(index, target)
+            save_s = time.perf_counter() - start
+            size = _dir_bytes(target)
+
+            # Normalizers are not persisted (arbitrary callables); the
+            # warm start re-attaches the same standard pipeline, exactly
+            # like ``geodabs serve --snapshot-dir`` does.
+            start = time.perf_counter()
+            loaded = load_index(
+                target, standard_normalizer(DEPTH), mmap_mode="r"
+            )
+            load_s = time.perf_counter() - start
+            if _rankings(loaded, queries, args.limit) != expected:
+                raise AssertionError(
+                    f"{name}: warm-started index returned different "
+                    "rankings than the live index"
+                )
+            speedup = cold_s / load_s if load_s > 0 else float("inf")
+            speedups.append(speedup)
+            rows.append([name, cold_s, save_s, load_s, size / 1e6, speedup])
+            report.append(
+                {
+                    "index": name,
+                    "cold_build_s": cold_s,
+                    "save_s": save_s,
+                    "warm_load_s": load_s,
+                    "snapshot_bytes": size,
+                    "speedup": speedup,
+                }
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    print_table(
+        f"Restart cost: cold rebuild vs mmap warm start "
+        f"({len(corpus)}-trajectory corpus)",
+        ["index", "cold s", "save s", "warm s", "snap MB", "speedup"],
+        rows,
+    )
+    if args.json_out:
+        payload = {
+            "benchmark": "snapshot",
+            "trajectories": len(corpus),
+            "queries": len(queries),
+            "limit": args.limit,
+            "seed": args.seed,
+            "results": report,
+            "min_speedup_bar": args.min_speedup,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.min_speedup > 0 and min(speedups) < args.min_speedup:
+        print(
+            f"FAIL: minimum warm-start speedup {min(speedups):.2f}x below "
+            f"the {args.min_speedup:.2f}x bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

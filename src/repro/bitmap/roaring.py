@@ -492,6 +492,28 @@ class Roaring64Map:
         """Jaccard distance ``1 - jaccard``."""
         return 1.0 - self.jaccard(other)
 
+    def serialize(self) -> bytes:
+        """Serialize to a binary blob (one 32-bit map per high word)."""
+        parts = [struct.pack("<I", len(self._maps))]
+        for high in sorted(self._maps):
+            blob = self._maps[high].serialize()
+            parts.append(struct.pack("<II", high, len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "Roaring64Map":
+        """Inverse of :meth:`serialize`."""
+        out = cls()
+        (count,) = struct.unpack_from("<I", blob, 0)
+        offset = 4
+        for _ in range(count):
+            high, size = struct.unpack_from("<II", blob, offset)
+            offset += 8
+            out._maps[high] = RoaringBitmap.deserialize(blob[offset:offset + size])
+            offset += size
+        return out
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Roaring64Map):
             return NotImplemented

@@ -129,6 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="result/fingerprint cache capacity (0 disables caching)",
     )
+    serve.add_argument(
+        "--snapshot-dir",
+        help="snapshot directory: warm-start from its current v2 "
+        "snapshot when one exists (skipping raw ingest) and serve "
+        "POST /admin/snapshot writes into it",
+    )
+    serve.add_argument(
+        "--mmap",
+        choices=("off", "r"),
+        default="r",
+        help="how to load snapshot postings blobs: 'r' memory-maps them "
+        "(instant warm start, pages in lazily), 'off' copies into RAM",
+    )
     serve.add_argument("--depth", type=int, default=36)
     serve.add_argument("--k", type=int, default=6)
     serve.add_argument("--t", type=int, default=12)
@@ -240,12 +253,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .cluster import ShardedGeodabIndex, ShardingConfig
+    from .core.persistence import load_index, resolve_snapshot
     from .service import IndexService, QueryExecutor, ServiceHTTPServer
 
     config = GeodabConfig(normalization_depth=args.depth, k=args.k, t=args.t)
     normalizer = standard_normalizer(args.depth)
     executor = None
-    if args.shards == 0:
+    # Warm start: when --snapshot-dir holds a published snapshot, load
+    # the columnar state straight off disk (memory-mapped by default)
+    # instead of rebuilding from raw ingest.  The snapshot fixes the
+    # config and sharding geometry, so --depth/--k/--t/--shards/--nodes/
+    # --placement are ignored in that case; the executor knobs still
+    # apply when the snapshot is sharded.
+    warm_snapshot = None
+    if args.snapshot_dir:
+        warm_snapshot = resolve_snapshot(args.snapshot_dir)
+    if warm_snapshot is not None:
+        try:
+            index = load_index(
+                warm_snapshot,
+                mmap_mode=None if args.mmap == "off" else args.mmap,
+            )
+        except ValueError as exc:
+            print(
+                f"error: cannot load snapshot {warm_snapshot}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        # Normalizers are not persisted; serve always uses the standard
+        # pipeline at the snapshot's own normalization depth.
+        index.normalizer = standard_normalizer(
+            index.config.normalization_depth
+        )
+        if isinstance(index, ShardedGeodabIndex):
+            workers = 8 if args.workers is None else args.workers
+            try:
+                executor = QueryExecutor(
+                    index,
+                    pool_size=workers,
+                    rpc_latency_s=args.rpc_latency_ms / 1000.0,
+                    batch_window_s=args.batch_window_ms / 1000.0,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            workers = 0
+    elif args.shards == 0:
         sharding_only = {
             "--rpc-latency-ms": args.rpc_latency_ms > 0,
             "--batch-window-ms": args.batch_window_ms > 0,
@@ -309,24 +363,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # port fails fast and cleanly.
     try:
         server = ServiceHTTPServer(
-            (args.host, args.port), service, verbose=args.verbose
+            (args.host, args.port),
+            service,
+            verbose=args.verbose,
+            snapshot_dir=args.snapshot_dir,
         )
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
-    if args.dataset:
+    if warm_snapshot is not None:
+        print(
+            f"warm start: loaded {len(index)} trajectories from snapshot "
+            f"{warm_snapshot}"
+        )
+        if args.dataset:
+            print(
+                f"note: --dataset {args.dataset} ignored (snapshot takes "
+                "precedence); POST /trajectories still accepts new data"
+            )
+    elif args.dataset:
         dataset = TrajectoryDataset.load(args.dataset)
         count, _ = service.ingest(
             (record.trajectory_id, record.points) for record in dataset.records
         )
         print(f"ingested {count} trajectories from {args.dataset}")
-    shape = "single-node" if args.shards == 0 else (
-        f"{args.shards} shards / {index.sharding.num_nodes} nodes, "
-        f"{workers} fan-out workers"
-    )
+    if isinstance(index, ShardedGeodabIndex):
+        shape = (
+            f"{index.sharding.num_shards} shards / "
+            f"{index.sharding.num_nodes} nodes, {workers} fan-out workers"
+        )
+    else:
+        shape = "single-node"
     print(f"serving geodab index ({shape}) at {server.url}")
+    # Flush before blocking in serve_forever: under a piped stdout
+    # (CI log capture, process supervisors) the boot lines would
+    # otherwise sit in the stdio buffer until shutdown.
     print("endpoints: POST /trajectories, DELETE /trajectories/{id}, "
-          "POST /query, POST /query/batch, GET /stats, GET /healthz")
+          "POST /query, POST /query/batch, POST /admin/snapshot, "
+          "GET /stats, GET /healthz", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -343,12 +343,30 @@ class ShardedGeodabIndex:
     ) -> FanoutStats:
         """Fan-out accounting for an executed prepared query."""
         nodes = {self.shards[s].node_id for s in prepared.plan}
+        ids = self._ids
+        live = sum(
+            1 for i in matches[0].tolist() if ids[i] is not _TOMBSTONE
+        )
         return FanoutStats(
             query_terms=len(prepared.terms),
             shards_contacted=len(prepared.plan),
             nodes_contacted=len(nodes),
-            candidates=len(matches[0]),
+            candidates=live,
         )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Fold every shard's append buffers (reader-safe)."""
+        for shard in self.shards:
+            shard.postings.compact_all()
+
+    @property
+    def buffered_postings(self) -> int:
+        """Postings awaiting compaction across all shards."""
+        return sum(shard.postings.buffered_postings for shard in self.shards)
 
     # ------------------------------------------------------------------
     # Load accounting (Figures 15-16 territory)

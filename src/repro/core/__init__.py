@@ -14,7 +14,12 @@ from .index import (
     TrajectoryInvertedIndex,
 )
 from .motif import MotifMatch, discover_motif, find_common_motif
-from .persistence import load_index, save_index
+from .persistence import (
+    load_index,
+    publish_snapshot,
+    resolve_snapshot,
+    save_index,
+)
 from .query import FanoutStats, PreparedQuery
 from .subsearch import SubMatch, containment_search, ordered_containment_search
 from .winnowing import Selection, TrajectoryWinnower, winnow, winnow_positions
@@ -44,6 +49,8 @@ __all__ = [
     "containment_search",
     "load_index",
     "ordered_containment_search",
+    "publish_snapshot",
+    "resolve_snapshot",
     "save_index",
     "winnow",
     "winnow_positions",

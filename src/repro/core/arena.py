@@ -110,3 +110,37 @@ class SlotArena:
     def internal_of(self, external_id: Hashable) -> int:
         """Internal slot of a live document (raises ``KeyError`` if absent)."""
         return self.id_to_internal[external_id]
+
+    def restore(
+        self,
+        slot_ids: Iterable[Hashable],
+        columns: "tuple[list, ...] | list[list]",
+    ) -> None:
+        """Rebuild the arena from a snapshot's exact slot layout.
+
+        ``slot_ids`` is every slot in internal order — :data:`TOMBSTONE`
+        marks the freed ones — and ``columns`` carries one value list per
+        payload column, aligned with it.  Preserving the layout (instead
+        of re-adding live documents densely) keeps persisted postings
+        arrays valid as-is: they reference slots by internal id.
+        Tombstoned slots rejoin the free list, so delete/re-add churn
+        keeps recycling across a save/load cycle.
+        """
+        if self.ids:
+            raise ValueError("restore() requires an empty arena")
+        if len(columns) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} columns, got {len(columns)}"
+            )
+        slot_ids = list(slot_ids)
+        for values in columns:
+            if len(values) != len(slot_ids):
+                raise ValueError("column length does not match slot count")
+        for internal, external_id in enumerate(slot_ids):
+            self.ids.append(external_id)
+            for column, values in zip(self.columns, columns):
+                column.append(values[internal])
+            if external_id is TOMBSTONE:
+                self._free_slots.append(internal)
+            else:
+                self.id_to_internal[external_id] = internal

@@ -61,8 +61,11 @@ class SearchResult:
 class QueryStats:
     """Work accounting for one query — the quantities behind Figure 14.
 
-    ``candidates`` counts every trajectory pulled from the postings lists;
-    ``scored`` counts only those whose Jaccard distance survived the
+    ``candidates`` counts every *live* trajectory pulled from the
+    postings lists (tombstoned slots reachable through stale hit streams
+    are excluded, so the numbers do not drift after removals — matching
+    ``FanoutStats.candidates`` on the sharded backend); ``scored``
+    counts only those whose Jaccard distance survived the
     ``max_distance`` filter (the results actually ranked); ``returned``
     is what the ``limit`` cut left over.
     """
@@ -269,7 +272,14 @@ class TrajectoryInvertedIndex:
         """
         internals, counts = merge_hits([self._postings.hits(terms)])
         kept: list[SearchResult] = []
+        live = 0
         for internal, shared in zip(internals.tolist(), counts.tolist()):
+            # Same tombstone guard as score_matches: a dead slot reached
+            # through a stale hit stream must neither be scored (its
+            # empty bitmap would rank) nor surface its sentinel id.
+            if self._ids[internal] is TOMBSTONE:
+                continue
+            live += 1
             distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
             if distance <= max_distance:
                 kept.append(
@@ -279,7 +289,7 @@ class TrajectoryInvertedIndex:
         returned = kept if limit is None else kept[:limit]
         stats = QueryStats(
             query_terms=len(terms),
-            candidates=len(internals),
+            candidates=live,
             scored=len(kept),
             returned=len(returned),
         )
@@ -354,6 +364,16 @@ class TrajectoryInvertedIndex:
         kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
         return kept if limit is None else kept[:limit]
 
+    def _live_candidates(self, internals: np.ndarray) -> int:
+        """Merged candidates that reference live (non-tombstoned) slots.
+
+        ``len(internals)`` would count dead slots reachable through stale
+        hit streams, drifting the Figure-14 work numbers after removals;
+        both backends report this filtered count instead.
+        """
+        ids = self._ids
+        return sum(1 for i in internals.tolist() if ids[i] is not TOMBSTONE)
+
     def fanout_stats(
         self, prepared: PreparedQuery, matches: MatchCounts
     ) -> FanoutStats:
@@ -363,7 +383,7 @@ class TrajectoryInvertedIndex:
             query_terms=len(prepared.terms),
             shards_contacted=contacted,
             nodes_contacted=min(contacted, 1),
-            candidates=len(matches[0]),
+            candidates=self._live_candidates(matches[0]),
         )
 
     def candidates(self, points: Trajectory) -> set[Hashable]:
@@ -375,7 +395,28 @@ class TrajectoryInvertedIndex:
         """
         terms, _ = self._extract(points)
         internals, _ = merge_hits([self._postings.hits(terms)])
-        return {self._ids[i] for i in internals.tolist()}
+        return {
+            self._ids[i]
+            for i in internals.tolist()
+            if self._ids[i] is not TOMBSTONE
+        }
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Fold pending append buffers into the sorted postings arrays.
+
+        Reader-safe — the serving tier's compaction policy runs this
+        under a *read* lock, off the write path.
+        """
+        self._postings.compact_all()
+
+    @property
+    def buffered_postings(self) -> int:
+        """Postings awaiting compaction (the compaction-policy trigger)."""
+        return self._postings.buffered_postings
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,78 +1,125 @@
-"""Saving and loading geodab indexes.
+"""Saving and loading geodab indexes (v1 JSON and v2 columnar snapshots).
 
-A :class:`~repro.core.index.GeodabIndex` is fully determined by its
-configuration and the winnowing selections of every indexed trajectory —
-postings and bitmaps are derivable — so the on-disk format stores exactly
-that, as JSON.  Normalizers are arbitrary callables and are *not*
-persisted; pass the same normalizer to :func:`load_index` that the
-original index was built with (queries must be normalized identically).
+Two on-disk formats coexist:
+
+* **v1** (legacy, single-node only) stores the configuration and the
+  winnowing selections of every indexed trajectory as one JSON file —
+  postings and bitmaps are *re-derived* on load, so loading costs a full
+  rebuild.
+* **v2** (the default) is a snapshot *directory* that persists the
+  columnar index state directly: a ``manifest.json``, one binary
+  postings blob per shard (the :meth:`~repro.core.postings.PostingsStore.save`
+  layout — memory-mappable, so a multi-GB postings file warms up in
+  milliseconds), the serialized per-slot term bitmaps, and (single-node
+  only) the winnowing selections for motif discovery.  The arena slot
+  layout — including tombstones and the free list — round-trips exactly,
+  so persisted postings arrays stay valid without renumbering and
+  delete/re-add churn keeps recycling across a save/load cycle.  Both
+  :class:`~repro.core.index.GeodabIndex` and
+  :class:`~repro.cluster.cluster.ShardedGeodabIndex` are supported; the
+  sharding spec rides along in the manifest.
+
+Normalizers are arbitrary callables and are *not* persisted; pass the
+same normalizer to :func:`load_index` that the original index was built
+with (queries must be normalized identically).  Raw trajectory points
+are not persisted either, so ``points_of`` is unavailable after a load.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import struct
 from dataclasses import asdict
 from pathlib import Path
+from typing import TYPE_CHECKING, Hashable, Iterable
 
+import numpy as np
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from .arena import TOMBSTONE
 from .config import GeodabConfig
 from .fingerprint import FingerprintSet
 from .index import GeodabIndex, Normalizer
+from .postings import PostingsStore
 from .winnowing import Selection
 
-__all__ = ["save_index", "load_index"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.cluster import ShardedGeodabIndex
+
+__all__ = [
+    "save_index",
+    "load_index",
+    "publish_snapshot",
+    "resolve_snapshot",
+]
 
 #: Format identifier written into every file.
 FORMAT = "repro-geodab-index"
-VERSION = 1
+#: Legacy JSON-of-selections format (single-node only, rebuilds on load).
+VERSION_V1 = 1
+#: Columnar snapshot directory format (loads without rebuild).
+VERSION_V2 = 2
+#: Default version written by :func:`save_index`.
+VERSION = VERSION_V2
+
+#: Name of the v2 manifest inside a snapshot directory.
+MANIFEST_NAME = "manifest.json"
+#: Pointer file naming the live snapshot inside a snapshot directory.
+CURRENT_POINTER = "CURRENT"
+
+_BITMAPS_NAME = "bitmaps.bin"
+_SELECTIONS_NAME = "selections.bin"
+_BITMAPS_MAGIC = b"GDBMAP01"
+_SELECTIONS_MAGIC = b"GDSEL001"
 
 
-def save_index(index: GeodabIndex, path: str | Path) -> None:
-    """Write an index to ``path`` (JSON).
+def _check_string_ids(trajectory_ids: Iterable[Hashable]) -> None:
+    """Reject non-string identifiers before any byte is written.
 
-    Raises ``ValueError`` for indexes holding trajectories with
-    non-string identifiers, which JSON cannot round-trip faithfully.
+    Both formats name trajectories in JSON, which cannot round-trip
+    arbitrary hashables faithfully; validating the whole index up front
+    means a failed save never leaves partial output behind.
     """
-    documents = []
-    for trajectory_id, fingerprint_set in index._fingerprint_sets.items():
+    for trajectory_id in trajectory_ids:
         if not isinstance(trajectory_id, str):
             raise ValueError(
                 "only string trajectory ids can be persisted; got "
                 f"{trajectory_id!r}"
             )
-        documents.append(
-            {
-                "id": trajectory_id,
-                "selections": [
-                    [s.fingerprint, s.position]
-                    for s in fingerprint_set.selections
-                ],
-            }
-        )
+
+
+# ----------------------------------------------------------------------
+# v1: JSON of winnowing selections (legacy, single-node)
+# ----------------------------------------------------------------------
+
+
+def _save_v1(index: GeodabIndex, path: Path) -> None:
+    _check_string_ids(index._fingerprint_sets)
+    documents = [
+        {
+            "id": trajectory_id,
+            "selections": [
+                [s.fingerprint, s.position]
+                for s in fingerprint_set.selections
+            ],
+        }
+        for trajectory_id, fingerprint_set in index._fingerprint_sets.items()
+    ]
     payload = {
         "format": FORMAT,
-        "version": VERSION,
+        "version": VERSION_V1,
         "config": asdict(index.config),
         "documents": documents,
     }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    # Write-then-rename: a crash mid-dump never corrupts an existing file.
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(tmp, path)
 
 
-def load_index(
-    path: str | Path, normalizer: Normalizer | None = None
-) -> GeodabIndex:
-    """Read an index written by :func:`save_index`.
-
-    The returned index answers queries identically to the original
-    (given the same ``normalizer``); raw trajectory points are not
-    persisted, so ``points_of`` is unavailable.
-    """
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    if payload.get("format") != FORMAT:
-        raise ValueError(f"{path} is not a geodab index file")
-    if payload.get("version") != VERSION:
-        raise ValueError(
-            f"unsupported index version {payload.get('version')!r}"
-        )
+def _load_v1(payload: dict, path: Path, normalizer: Normalizer | None) -> GeodabIndex:
     config = GeodabConfig(**payload["config"])
     index = GeodabIndex(config, normalizer=normalizer)
     wide = not config.fits_in_32_bits
@@ -84,3 +131,367 @@ def load_index(
         fingerprint_set = FingerprintSet.from_selections(selections, wide=wide)
         index._restore_document(document["id"], fingerprint_set)
     return index
+
+
+# ----------------------------------------------------------------------
+# v2: columnar snapshot directory
+# ----------------------------------------------------------------------
+
+
+def _write_bitmaps(
+    path: Path, slot_ids: list[Hashable], bitmaps: list
+) -> None:
+    """Per-slot term bitmaps: ``u32 size + blob`` records in slot order.
+
+    Tombstoned slots write a zero-length record; their bitmap is an
+    empty sentinel the loader can reconstruct from the config width.
+    """
+    with open(path, "wb") as handle:
+        handle.write(_BITMAPS_MAGIC)
+        handle.write(struct.pack("<Q", len(slot_ids)))
+        for slot_id, bitmap in zip(slot_ids, bitmaps):
+            if slot_id is TOMBSTONE:
+                handle.write(struct.pack("<I", 0))
+                continue
+            blob = bitmap.serialize()
+            handle.write(struct.pack("<I", len(blob)))
+            handle.write(blob)
+
+
+def _read_bitmaps(path: Path, wide: bool, expected: int) -> list:
+    empty_type = Roaring64Map if wide else RoaringBitmap
+    # One read + zero-copy memoryview slices: per-record handle.read
+    # calls would dominate warm start on indexes with many documents.
+    blob = memoryview(path.read_bytes())
+    if bytes(blob[:8]) != _BITMAPS_MAGIC:
+        raise ValueError(f"{path} is not a snapshot bitmap file")
+    try:
+        (count,) = struct.unpack_from("<Q", blob, 8)
+        if count != expected:
+            raise ValueError(
+                f"{path}: {count} bitmap records, manifest has "
+                f"{expected} slots"
+            )
+        bitmaps = []
+        offset = 16
+        for _ in range(count):
+            (size,) = struct.unpack_from("<I", blob, offset)
+            offset += 4
+            if size == 0:
+                bitmaps.append(empty_type())
+            else:
+                bitmaps.append(
+                    empty_type.deserialize(blob[offset:offset + size])
+                )
+                offset += size
+    except struct.error as exc:
+        # Truncated records surface as struct.error deep inside the
+        # bitmap deserializers; normalize so every snapshot-corruption
+        # path raises ValueError like the postings blob loader.
+        raise ValueError(f"{path}: truncated bitmap file") from exc
+    return bitmaps
+
+
+def _write_selections(
+    path: Path, live_sets: list[FingerprintSet]
+) -> None:
+    """Winnowing selections of every live slot, in slot order.
+
+    Persisted so a loaded single-node index still serves motif discovery
+    (``fingerprint_set()``) without re-winnowing anything.  Columnar
+    layout — all per-document counts, then all ``(value, position)``
+    pairs concatenated — so loading is two ``np.frombuffer`` calls
+    instead of one read per document.
+    """
+    counts = np.fromiter(
+        (len(fs.selections) for fs in live_sets),
+        dtype="<u4",
+        count=len(live_sets),
+    )
+    total = int(counts.sum()) if len(live_sets) else 0
+    pairs = np.empty((total, 2), dtype="<u8")
+    at = 0
+    for fingerprint_set in live_sets:
+        for selection in fingerprint_set.selections:
+            pairs[at, 0] = selection.fingerprint
+            pairs[at, 1] = selection.position
+            at += 1
+    with open(path, "wb") as handle:
+        handle.write(_SELECTIONS_MAGIC)
+        handle.write(struct.pack("<Q", len(live_sets)))
+        handle.write(counts.tobytes())
+        handle.write(pairs.tobytes())
+
+
+def _read_selections(path: Path, expected: int) -> list[list[Selection]]:
+    blob = memoryview(path.read_bytes())
+    if bytes(blob[:8]) != _SELECTIONS_MAGIC:
+        raise ValueError(f"{path} is not a snapshot selections file")
+    try:
+        (count,) = struct.unpack_from("<Q", blob, 8)
+    except struct.error as exc:
+        raise ValueError(f"{path}: truncated selections file") from exc
+    if count != expected:
+        raise ValueError(
+            f"{path}: {count} selection records, expected {expected}"
+        )
+    counts = np.frombuffer(blob, dtype="<u4", count=count, offset=16)
+    pairs_offset = 16 + 4 * count
+    total = int(counts.sum()) if count else 0
+    pairs = np.frombuffer(
+        blob, dtype="<u8", count=2 * total, offset=pairs_offset
+    ).reshape(total, 2)
+    out = []
+    start = 0
+    for n in counts.tolist():
+        out.append(
+            [
+                Selection(int(value), int(position))
+                for value, position in pairs[start:start + n].tolist()
+            ]
+        )
+        start += n
+    return out
+
+
+def _postings_name(shard_id: int) -> str:
+    return f"postings-{shard_id:05d}.bin"
+
+
+def _save_v2(index: "GeodabIndex | ShardedGeodabIndex", path: Path) -> None:
+    from ..cluster.cluster import ShardedGeodabIndex
+
+    sharded = isinstance(index, ShardedGeodabIndex)
+    arena = index._arena
+    _check_string_ids(arena.id_to_internal)
+    if path.exists() and not path.is_dir():
+        raise ValueError(f"{path} exists and is not a snapshot directory")
+
+    # Stage everything in a sibling temp directory and swap at the end.
+    # Writing into an existing snapshot in place would truncate blobs
+    # that (a) a crash could leave paired with the *old* manifest — a
+    # loadable but torn snapshot — and (b) a live index may be serving
+    # as memory-mapped views; replacing whole files keeps mapped pages
+    # valid through the old inodes.
+    stage = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    if stage.exists():
+        shutil.rmtree(stage)
+    stage.mkdir(parents=True)
+    try:
+        slot_ids = list(arena.ids)
+        if sharded:
+            bitmaps = index._bitmaps
+            postings_files = []
+            for shard in index.shards:
+                name = _postings_name(shard.shard_id)
+                shard.postings.save(stage / name)
+                postings_files.append(name)
+        else:
+            bitmaps = index._term_sets
+            name = _postings_name(0)
+            index._postings.save(stage / name)
+            postings_files = [name]
+        _write_bitmaps(stage / _BITMAPS_NAME, slot_ids, bitmaps)
+        if not sharded:
+            live_sets = [
+                index._fingerprint_sets[slot_id]
+                for slot_id in slot_ids
+                if slot_id is not TOMBSTONE
+            ]
+            _write_selections(stage / _SELECTIONS_NAME, live_sets)
+
+        manifest: dict = {
+            "format": FORMAT,
+            "version": VERSION_V2,
+            "kind": "sharded" if sharded else "single",
+            "config": asdict(index.config),
+            "slots": [
+                None if slot_id is TOMBSTONE else slot_id
+                for slot_id in slot_ids
+            ],
+            "postings_files": postings_files,
+        }
+        if sharded:
+            manifest["sharding"] = asdict(index.sharding)
+        # The manifest is written last: its presence marks the staged
+        # snapshot complete.
+        (stage / MANIFEST_NAME).write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+    except BaseException:
+        shutil.rmtree(stage, ignore_errors=True)
+        raise
+    # Swap: a crash before the rename leaves the old snapshot intact; a
+    # crash between the two steps leaves no manifest at ``path``, which
+    # resolve_snapshot/load_index treat as "no snapshot" — either way a
+    # torn save is never loadable.
+    if path.exists():
+        shutil.rmtree(path)
+    os.rename(stage, path)
+
+
+def _load_v2(
+    path: Path, normalizer: Normalizer | None, mmap_mode: str | None
+) -> "GeodabIndex | ShardedGeodabIndex":
+    from ..cluster.cluster import ShardedGeodabIndex
+    from ..cluster.sharding import ShardingConfig
+
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"{path} has no {MANIFEST_NAME}: not a v2 snapshot")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a geodab index snapshot")
+    if manifest.get("version") != VERSION_V2:
+        raise ValueError(
+            f"unsupported snapshot version {manifest.get('version')!r}"
+        )
+    config = GeodabConfig(**manifest["config"])
+    wide = not config.fits_in_32_bits
+    slot_ids: list[Hashable] = [
+        TOMBSTONE if slot is None else slot for slot in manifest["slots"]
+    ]
+    bitmaps = _read_bitmaps(path / _BITMAPS_NAME, wide, len(slot_ids))
+    postings_files = manifest["postings_files"]
+
+    if manifest["kind"] == "sharded":
+        sharding = ShardingConfig(**manifest["sharding"])
+        if len(postings_files) != sharding.num_shards:
+            raise ValueError(
+                f"{path}: {len(postings_files)} postings files for "
+                f"{sharding.num_shards} shards"
+            )
+        sharded = ShardedGeodabIndex(config, sharding, normalizer=normalizer)
+        sharded._arena.restore(slot_ids, (bitmaps,))
+        for shard, name in zip(sharded.shards, postings_files):
+            shard.postings = PostingsStore.load(path / name, mmap_mode)
+        return sharded
+
+    if manifest["kind"] != "single":
+        raise ValueError(f"unknown snapshot kind {manifest['kind']!r}")
+    if len(postings_files) != 1:
+        raise ValueError(
+            f"{path}: single-node snapshot needs exactly one postings file"
+        )
+    index = GeodabIndex(config, normalizer=normalizer)
+    index._arena.restore(slot_ids, (bitmaps, [None] * len(slot_ids)))
+    index._postings = PostingsStore.load(path / postings_files[0], mmap_mode)
+    live = [
+        (slot, slot_id)
+        for slot, slot_id in enumerate(slot_ids)
+        if slot_id is not TOMBSTONE
+    ]
+    selection_lists = _read_selections(path / _SELECTIONS_NAME, len(live))
+    for (slot, slot_id), selections in zip(live, selection_lists):
+        # Share the bitmap object with the arena column, exactly like a
+        # live index built through add().
+        index._fingerprint_sets[slot_id] = FingerprintSet(
+            tuple(selections), bitmaps[slot]
+        )
+    return index
+
+
+# ----------------------------------------------------------------------
+# Public surface
+# ----------------------------------------------------------------------
+
+
+def save_index(
+    index: "GeodabIndex | ShardedGeodabIndex",
+    path: str | Path,
+    *,
+    version: int = VERSION,
+) -> None:
+    """Write an index to ``path``.
+
+    ``version=2`` (default) writes a columnar snapshot *directory* and
+    accepts both :class:`GeodabIndex` and
+    :class:`~repro.cluster.cluster.ShardedGeodabIndex`.  ``version=1``
+    writes the legacy single-node JSON file.  Either way, all trajectory
+    ids are validated up front (only strings persist faithfully), so a
+    failed save never does partial work.
+    """
+    from ..cluster.cluster import ShardedGeodabIndex
+
+    path = Path(path)
+    if version == VERSION_V2:
+        _save_v2(index, path)
+    elif version == VERSION_V1:
+        if isinstance(index, ShardedGeodabIndex):
+            raise ValueError(
+                "v1 JSON cannot persist a sharded index; use version=2"
+            )
+        _save_v1(index, path)
+    else:
+        raise ValueError(f"unsupported save version {version!r}")
+
+
+def load_index(
+    path: str | Path,
+    normalizer: Normalizer | None = None,
+    *,
+    mmap_mode: str | None = None,
+) -> "GeodabIndex | ShardedGeodabIndex":
+    """Read an index written by :func:`save_index` (either version).
+
+    A directory loads as a v2 snapshot: postings come straight off disk
+    (memory-mapped when ``mmap_mode`` is e.g. ``"r"``), bitmaps
+    deserialize, and nothing is re-derived.  A file loads as v1 JSON and
+    rebuilds postings from the stored selections; ``mmap_mode`` does not
+    apply.  The returned index answers queries identically to the
+    original (given the same ``normalizer``).
+    """
+    path = Path(path)
+    if path.is_dir():
+        return _load_v2(path, normalizer, mmap_mode)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a geodab index file")
+    if payload.get("version") != VERSION_V1:
+        raise ValueError(
+            f"unsupported index version {payload.get('version')!r}"
+        )
+    return _load_v1(payload, path, normalizer)
+
+
+def publish_snapshot(
+    index: "GeodabIndex | ShardedGeodabIndex",
+    directory: str | Path,
+    tag: str,
+) -> Path:
+    """Save a v2 snapshot under ``directory`` and mark it current.
+
+    The snapshot lands in ``directory/snapshot-<tag>`` and the
+    ``CURRENT`` pointer file is updated atomically (write + rename), so
+    a reader — :func:`resolve_snapshot` at warm start — either sees the
+    previous complete snapshot or the new one, never a torn state.
+    """
+    if not tag or "/" in tag or os.sep in tag or tag in (".", ".."):
+        raise ValueError(f"invalid snapshot tag {tag!r}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / f"snapshot-{tag}"
+    save_index(index, target, version=VERSION_V2)
+    tmp = directory / (CURRENT_POINTER + ".tmp")
+    tmp.write_text(target.name + "\n", encoding="utf-8")
+    os.replace(tmp, directory / CURRENT_POINTER)
+    return target
+
+
+def resolve_snapshot(directory: str | Path) -> Path | None:
+    """Path of the current snapshot under ``directory``, if any.
+
+    Returns ``None`` when the directory has no ``CURRENT`` pointer or
+    the pointed-at snapshot is missing its manifest (torn or deleted).
+    """
+    directory = Path(directory)
+    pointer = directory / CURRENT_POINTER
+    if not pointer.is_file():
+        return None
+    name = pointer.read_text(encoding="utf-8").strip()
+    if not name or "/" in name or os.sep in name:
+        return None
+    target = directory / name
+    if not (target / MANIFEST_NAME).is_file():
+        return None
+    return target

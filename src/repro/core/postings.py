@@ -31,7 +31,9 @@ postings.
 
 from __future__ import annotations
 
+import struct
 import threading
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -40,6 +42,12 @@ __all__ = ["PostingsStore", "merge_hits", "EMPTY_HITS"]
 
 #: The empty hit stream (shared; treat as read-only).
 EMPTY_HITS: np.ndarray = np.empty(0, dtype=np.int64)
+
+#: Magic prefix of the binary postings blob (see :meth:`PostingsStore.save`).
+_BLOB_MAGIC = b"GDPOST01"
+
+#: Fixed-size blob header: magic + term count + total postings.
+_BLOB_HEADER = struct.Struct("<8sQQ")
 
 
 def merge_hits(
@@ -170,6 +178,17 @@ class PostingsStore:
             del self._buffers[term]
             return merged
 
+    def compact_all(self) -> None:
+        """Fold every pending append buffer into its sorted array.
+
+        Reader-safe (each fold runs under the internal fold lock), so
+        the serving tier's compaction policy can run it under a *read*
+        lock — concurrent queries proceed while the buffers fold, and
+        the write path never pays for the sort.
+        """
+        for term in list(self._buffers):
+            self._compact(term)
+
     def get(self, term: int) -> np.ndarray | None:
         """Sorted postings of a term (read-only view), or ``None``."""
         return self._compact(term)
@@ -252,3 +271,105 @@ class PostingsStore:
     def num_postings(self) -> int:
         """Total postings entries across all terms."""
         return self._postings
+
+    @property
+    def buffered_postings(self) -> int:
+        """Postings still sitting in append buffers (not yet folded).
+
+        The serving tier's compaction policy watches this to decide when
+        a proactive :meth:`compact_all` is worth it.  Safe to read
+        concurrently with writers: the dictionary snapshot below is one
+        atomic C-level call, so a writer inserting a new term can never
+        resize the dictionary mid-iteration (and ``len`` of a list a
+        writer is appending to is itself atomic).
+        """
+        with self._fold_lock:
+            buffers = list(self._buffers.values())
+        return sum(len(buffer) for buffer in buffers)
+
+    # ------------------------------------------------------------------
+    # Persistence (the v2 snapshot postings blob)
+    # ------------------------------------------------------------------
+    #
+    # Layout (everything little-endian):
+    #
+    #   8 bytes   magic ``GDPOST01``
+    #   u64       number of distinct terms
+    #   u64       total postings entries
+    #   u64 * n   terms, ascending
+    #   u64 * n   postings count per term (offsets are the running sum)
+    #   i64 * m   every term's sorted postings, concatenated in term order
+    #
+    # The directory is tiny; the data section is one contiguous int64
+    # blob, so ``load(..., mmap_mode="r")`` maps it with ``np.memmap``
+    # and every term array is a zero-copy slice — a multi-GB postings
+    # file warms up in milliseconds and pages in lazily as queried.
+
+    def save(self, path: str | Path) -> None:
+        """Write the store as one binary blob (folds buffers first).
+
+        Callers must exclude concurrent *writes* for the duration (the
+        serving tier snapshots under its read lock, which does exactly
+        that); concurrent reads are fine.
+        """
+        self.compact_all()
+        terms = sorted(self._arrays)
+        arrays = [self._arrays[term] for term in terms]
+        term_column = np.fromiter(terms, dtype=np.uint64, count=len(terms))
+        lengths = np.fromiter(
+            (len(array) for array in arrays), dtype=np.uint64, count=len(arrays)
+        )
+        total = int(lengths.sum()) if len(arrays) else 0
+        with open(path, "wb") as handle:
+            handle.write(_BLOB_HEADER.pack(_BLOB_MAGIC, len(terms), total))
+            handle.write(term_column.astype("<u8", copy=False).tobytes())
+            handle.write(lengths.astype("<u8", copy=False).tobytes())
+            for array in arrays:
+                handle.write(np.ascontiguousarray(array, dtype="<i8").tobytes())
+
+    @classmethod
+    def load(cls, path: str | Path, mmap_mode: str | None = None) -> "PostingsStore":
+        """Read a store written by :meth:`save`.
+
+        With ``mmap_mode`` (e.g. ``"r"``) the data section is
+        memory-mapped instead of copied: every term's array is a view
+        into the file, loaded lazily by the page cache.  Without it the
+        blob is read into process memory.
+        """
+        path = Path(path)
+        with open(path, "rb") as handle:
+            header = handle.read(_BLOB_HEADER.size)
+            if len(header) < _BLOB_HEADER.size:
+                raise ValueError(f"{path} is not a postings blob (truncated)")
+            magic, num_terms, total = _BLOB_HEADER.unpack(header)
+            if magic != _BLOB_MAGIC:
+                raise ValueError(f"{path} is not a postings blob")
+            terms = np.fromfile(handle, dtype="<u8", count=num_terms)
+            lengths = np.fromfile(handle, dtype="<u8", count=num_terms)
+            if len(terms) < num_terms or len(lengths) < num_terms:
+                raise ValueError(f"{path}: truncated postings directory")
+            data_offset = handle.tell()
+            if mmap_mode is None:
+                data = np.fromfile(handle, dtype="<i8", count=total)
+        if mmap_mode is not None and total:
+            mapped = np.memmap(
+                path, dtype="<i8", mode=mmap_mode,
+                offset=data_offset, shape=(total,),
+            )
+            # Re-wrap as a base-class ndarray view (same pages, kept
+            # alive through ``.base``): slicing ``np.memmap`` runs its
+            # costly ``__array_finalize__`` per term, which dominates
+            # load time for stores with many terms.
+            data = mapped.view(np.ndarray)
+        elif total == 0:
+            data = EMPTY_HITS
+        if len(data) < total:
+            raise ValueError(f"{path}: truncated postings data")
+        store = cls()
+        ends = np.cumsum(lengths.astype(np.int64, copy=False))
+        start = 0
+        for term, end in zip(terms.tolist(), ends.tolist()):
+            store._arrays[term] = data[start:end]
+            start = end
+        store._postings = total
+        return store

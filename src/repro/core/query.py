@@ -50,7 +50,13 @@ class PreparedQuery:
 
 @dataclass(frozen=True, slots=True)
 class FanoutStats:
-    """Distribution work performed by one query (Section VI-E's concern)."""
+    """Distribution work performed by one query (Section VI-E's concern).
+
+    ``candidates`` counts merged candidates referencing *live* slots
+    only, consistent with ``QueryStats.candidates`` on the single-node
+    backend — tombstoned slots never count, so the numbers do not drift
+    after removals.
+    """
 
     query_terms: int
     shards_contacted: int

@@ -19,10 +19,11 @@ from .executor import ExecutionStats, QueryExecutor
 from .http import ServiceHTTPServer, start_server
 from .locks import ReadWriteLock
 from .metrics import MetricsSnapshot, ServiceMetrics
-from .service import IndexService, QueryResponse
+from .service import CompactionPolicy, IndexService, QueryResponse
 
 __all__ = [
     "CacheStats",
+    "CompactionPolicy",
     "ExecutionStats",
     "IndexService",
     "LRUCache",

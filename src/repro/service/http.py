@@ -13,7 +13,12 @@ Endpoints (all JSON):
   ``{"points": [...]}`` objects) → ``{"results": [...], "count": n}``;
   the whole burst is fingerprinted in one columnar pass and fanned out
   as one shared shard fetch.
-* ``GET /stats`` — index shape, cache counters, qps/latency quantiles.
+* ``POST /admin/snapshot`` — write a durable v2 snapshot of the index
+  under the server's ``--snapshot-dir`` (fixed at start; not
+  client-controllable); returns the snapshot metadata.  The next
+  ``geodabs serve --snapshot-dir`` warm-starts from it.
+* ``GET /stats`` — index shape, cache counters, qps/latency quantiles,
+  last-snapshot and compaction metadata.
 * ``GET /healthz`` — liveness plus the current write generation.
 
 ``ThreadingHTTPServer`` gives one thread per in-flight request; actual
@@ -170,6 +175,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_query()
         elif path == "/query/batch":
             self._handle_query_batch()
+        elif path == "/admin/snapshot":
+            self._handle_snapshot()
         else:
             self._send(404, {"error": f"unknown path {path!r}"})
 
@@ -250,6 +257,34 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _handle_snapshot(self) -> None:
+        # The target directory is fixed at server start (--snapshot-dir)
+        # and deliberately NOT overridable from the request body: an
+        # unauthenticated client choosing the path would be an arbitrary
+        # filesystem-write primitive.  The (optional) body is drained
+        # and must at most be an empty JSON object.
+        payload: object = {}
+        if self._content_length() != 0:
+            payload = self._read_json()
+        if payload not in ({}, None) and not isinstance(payload, dict):
+            raise _BadRequest("body must be empty or an empty JSON object")
+        if isinstance(payload, dict) and payload:
+            raise _BadRequest(
+                "POST /admin/snapshot takes no parameters; the target "
+                "directory is fixed by --snapshot-dir at server start"
+            )
+        directory = self.server.snapshot_dir
+        if not directory:
+            raise _BadRequest(
+                "no snapshot directory configured: start the server "
+                "with --snapshot-dir"
+            )
+        try:
+            info = self.server.service.snapshot(directory)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from exc
+        self._send(200, info)
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
@@ -327,10 +362,13 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: IndexService,
         verbose: bool = False,
+        snapshot_dir: str | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        #: Default target of ``POST /admin/snapshot`` (``--snapshot-dir``).
+        self.snapshot_dir = snapshot_dir
 
     @property
     def url(self) -> str:
@@ -344,13 +382,16 @@ def start_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    snapshot_dir: str | None = None,
 ) -> ServiceHTTPServer:
     """Bind and serve in a daemon thread; returns the running server.
 
     Pass ``port=0`` to bind an ephemeral port (tests);
     ``server.shutdown()`` stops the serving loop.
     """
-    server = ServiceHTTPServer((host, port), service, verbose=verbose)
+    server = ServiceHTTPServer(
+        (host, port), service, verbose=verbose, snapshot_dir=snapshot_dir
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="geodab-http", daemon=True
     )

@@ -15,7 +15,11 @@ application) talks to.  It owns:
 * an optional :class:`~repro.service.executor.QueryExecutor` that fans
   shard lookups out over a worker pool;
 * a :class:`~repro.service.metrics.ServiceMetrics` registry surfaced by
-  ``GET /stats``.
+  ``GET /stats``;
+* a :class:`CompactionPolicy` that folds hot append buffers off the
+  write path, and :meth:`IndexService.snapshot` — a durable v2 snapshot
+  (taken under the read lock) that ``geodabs serve --snapshot-dir``
+  warm-starts from without re-deriving any postings.
 
 The same facade serves a single-node :class:`~repro.core.index.GeodabIndex`
 and a :class:`~repro.cluster.cluster.ShardedGeodabIndex` through one
@@ -28,19 +32,59 @@ pooled fan-out), which the integration tests assert.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from time import perf_counter
 from typing import Hashable, Iterable, Sequence
 
 from ..cluster.cluster import ShardedGeodabIndex
 from ..core.index import GeodabIndex, SearchResult
+from ..core.persistence import publish_snapshot
 from ..geo.point import Point, Trajectory
 from .cache import LRUCache, MISS, digest_points, digest_terms
 from .executor import QueryExecutor
 from .locks import ReadWriteLock
 from .metrics import ServiceMetrics
 
-__all__ = ["QueryResponse", "IndexService"]
+__all__ = ["CompactionPolicy", "QueryResponse", "IndexService"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompactionPolicy:
+    """When to fold hot append buffers into the sorted postings arrays.
+
+    Freshly ingested postings sit in per-term append buffers until the
+    first read of each term folds them (a sort).  Under a write-heavy
+    workload that tax lands on query latency; this policy instead folds
+    proactively after a write once *either* trigger fires:
+
+    * **size** — buffered postings reach ``max_buffered_postings``;
+    * **age** — the oldest unfolded buffer is ``max_age_s`` old.
+
+    The fold runs under the service's *read* lock (folding is
+    reader-safe), so it never extends a write critical section — the
+    append-only write path stays O(appends).
+    """
+
+    max_buffered_postings: int = 50_000
+    max_age_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_buffered_postings < 1:
+            raise ValueError("max_buffered_postings must be positive")
+        if self.max_age_s < 0:
+            raise ValueError("max_age_s must be non-negative")
+
+    def due(self, buffered: int, age_s: float) -> bool:
+        """Whether a proactive fold is warranted right now."""
+        if buffered <= 0:
+            return False
+        return buffered >= self.max_buffered_postings or age_s >= self.max_age_s
+
+
+#: Default policy applied by :class:`IndexService` (frozen, shareable).
+_DEFAULT_COMPACTION = CompactionPolicy()
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +127,7 @@ class IndexService:
         result_cache_size: int = 4096,
         fingerprint_cache_size: int = 4096,
         metrics: ServiceMetrics | None = None,
+        compaction: CompactionPolicy | None = _DEFAULT_COMPACTION,
     ) -> None:
         if executor is not None and executor.index is not index:
             raise ValueError("executor must wrap the served index")
@@ -93,6 +138,10 @@ class IndexService:
         self.fingerprint_cache = LRUCache(fingerprint_cache_size)
         self._lock = ReadWriteLock()
         self._generation = 0
+        self._compaction = compaction
+        self._compactions = 0
+        self._buffers_dirty_since: float | None = None
+        self._last_snapshot: dict | None = None
 
     # ------------------------------------------------------------------
     # Writes (exclusive; every write bumps the generation)
@@ -134,6 +183,9 @@ class IndexService:
                 self.result_cache.invalidate_all()
             generation = self._generation
         self.metrics.record_ingest(len(batch))
+        if batch and self._buffers_dirty_since is None:
+            self._buffers_dirty_since = perf_counter()
+        self._maybe_compact()
         return len(batch), generation
 
     def add(self, trajectory_id: Hashable, points: Trajectory) -> int:
@@ -354,6 +406,75 @@ class IndexService:
             )
         return responses
 
+    # ------------------------------------------------------------------
+    # Maintenance: compaction and snapshots
+    # ------------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        """Fold append buffers when the compaction policy says so.
+
+        Runs *after* the write lock is released, under a read lock:
+        folding is reader-safe (guarded inside the postings store), so
+        concurrent queries proceed and the write path never carries the
+        sort.  Called from the write paths; callers race benignly — a
+        second concurrent fold finds empty buffers and is a no-op.
+        """
+        if self._compaction is None:
+            return
+        dirty_since = self._buffers_dirty_since
+        age_s = 0.0 if dirty_since is None else perf_counter() - dirty_since
+        if not self._compaction.due(self.index.buffered_postings, age_s):
+            return
+        with self._lock.read_locked():
+            self.index.compact()
+        self._buffers_dirty_since = None
+        self._compactions += 1
+
+    def compact(self) -> int:
+        """Force a fold of all append buffers; returns postings folded."""
+        buffered = self.index.buffered_postings
+        with self._lock.read_locked():
+            self.index.compact()
+        self._buffers_dirty_since = None
+        if buffered:
+            self._compactions += 1
+        return buffered
+
+    def snapshot(self, directory: str | Path) -> dict:
+        """Write a durable v2 snapshot under ``directory``.
+
+        Taken under the *read* lock: concurrent queries keep serving
+        while writes wait, and the snapshot captures exactly one
+        generation — never a half-applied batch.  Append buffers are
+        folded first so the persisted postings blobs are fully sorted
+        columnar state.  The snapshot is published atomically (the
+        ``CURRENT`` pointer flips only once the manifest is on disk) and
+        its metadata is surfaced by :meth:`stats` until superseded.
+        """
+        start = perf_counter()
+        with self._lock.read_locked():
+            generation = self._generation
+            self.index.compact()
+            # The tag carries a wall-clock suffix so every publish lands
+            # in a fresh directory: generations restart at 0 after a
+            # warm start, and overwriting the directory CURRENT points
+            # at would reopen the torn-snapshot window the pointer flip
+            # exists to close.  (GC of superseded snapshot-* directories
+            # is a noted follow-up.)
+            tag = f"g{generation:08d}-{time.time_ns():x}"
+            target = publish_snapshot(self.index, directory, tag=tag)
+            trajectories = len(self.index)
+        self._buffers_dirty_since = None
+        info = {
+            "path": str(target),
+            "generation": generation,
+            "trajectories": trajectories,
+            "at": time.time(),
+            "duration_s": round(perf_counter() - start, 6),
+        }
+        self._last_snapshot = info
+        return info
+
     def _execute(self, prepared, limit, max_distance):
         """One backend-agnostic execution of a prepared query."""
         if self.executor is not None:
@@ -397,6 +518,12 @@ class IndexService:
         return {
             "generation": generation,
             "index": index_stats,
+            "snapshot": self._last_snapshot,
+            "compaction": {
+                "enabled": self._compaction is not None,
+                "runs": self._compactions,
+                "buffered_postings": self.index.buffered_postings,
+            },
             "metrics": self.metrics.snapshot().as_dict(),
             "result_cache": {
                 "size": result_stats.size,

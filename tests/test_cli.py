@@ -119,3 +119,21 @@ class TestQuery:
         )
         assert code == 1
         assert "unknown query" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_snapshot_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--snapshot-dir", "/tmp/snaps", "--mmap", "off"]
+        )
+        assert args.snapshot_dir == "/tmp/snaps"
+        assert args.mmap == "off"
+
+    def test_mmap_defaults_to_read_mapping(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.snapshot_dir is None
+        assert args.mmap == "r"
+
+    def test_mmap_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--mmap", "w"])

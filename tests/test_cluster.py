@@ -314,3 +314,37 @@ class TestBalanceStats:
             balance_report(many).coefficient_of_variation
             < balance_report(few).coefficient_of_variation
         )
+
+
+class TestCandidateAccounting:
+    """Candidate work numbers must agree across backends, even after
+    removals (dead slots never count — the Figure-14 quantities)."""
+
+    def test_candidates_equal_single_vs_sharded_after_removals(
+        self, small_dataset
+    ):
+        from repro.normalize import standard_normalizer
+
+        norm = standard_normalizer()
+        single = GeodabIndex(CONFIG, normalizer=norm)
+        sharded = ShardedGeodabIndex(
+            CONFIG,
+            ShardingConfig(num_shards=32, num_nodes=4),
+            normalizer=norm,
+        )
+        records = [(r.trajectory_id, r.points) for r in small_dataset.records]
+        single.add_many(records)
+        sharded.add_many(records)
+        victims = [trajectory_id for trajectory_id, _ in records[:4]]
+        for victim in victims:
+            single.remove(victim)
+            sharded.remove(victim)
+        for query in small_dataset.queries:
+            _, single_stats = single.query_with_stats(query.points)
+            _, sharded_stats = sharded.query_with_stats(query.points)
+            assert single_stats.candidates == sharded_stats.candidates
+            # And the prepared path agrees with itself across backends.
+            _, single_fanout = single.query_prepared(
+                single.prepare_query(query.points)
+            )
+            assert single_fanout.candidates == sharded_stats.candidates

@@ -255,3 +255,65 @@ class TestGeohashBaseline:
         from repro.bitmap.roaring import Roaring64Map
 
         assert isinstance(idx.term_set("a"), Roaring64Map)
+
+
+class TestTombstoneConsistency:
+    """Dead slots reachable through stale hit streams must never rank.
+
+    ``remove()`` normally purges postings, but the serving tier's
+    concurrent readers (and any crash between the postings purge and the
+    arena release) can observe a hit stream that still references a
+    tombstoned slot.  Simulate that worst case by releasing the arena
+    slot directly, leaving the postings stale.
+    """
+
+    def _stale_index(self):
+        idx = GeodabIndex(CONFIG)
+        east = walk_points(30, bearing=90.0)
+        idx.add("east", east)
+        idx.add("easter", [destination(p, 0.0, 10.0) for p in east])
+        internal = idx._id_to_internal["easter"]
+        # Tombstone the slot without touching postings: the stale hit
+        # stream now references a dead slot with an empty bitmap.
+        idx._arena.release(
+            "easter", type(idx._term_sets[internal])(), None
+        )
+        return idx, east
+
+    def test_direct_query_skips_tombstoned_slot(self):
+        idx, east = self._stale_index()
+        results, stats = idx.query_with_stats(east)
+        ids = [r.trajectory_id for r in results]
+        assert "east" in ids
+        assert all(isinstance(i, str) for i in ids)  # no sentinel leaked
+        # Work accounting counts live candidates only.
+        assert stats.candidates == 1
+
+    def test_prepared_query_skips_tombstoned_slot(self):
+        idx, east = self._stale_index()
+        prepared = idx.prepare_query(east)
+        results, fanout = idx.query_prepared(prepared)
+        ids = [r.trajectory_id for r in results]
+        assert "east" in ids
+        assert all(isinstance(i, str) for i in ids)
+        assert fanout.candidates == 1
+
+    def test_direct_and_prepared_agree_after_remove(self):
+        # The ordinary remove-then-query path: both query surfaces
+        # return identical results and identical live-candidate counts.
+        idx = GeodabIndex(CONFIG)
+        east = walk_points(30, bearing=90.0)
+        idx.add("east", east)
+        idx.add("easter", [destination(p, 0.0, 10.0) for p in east])
+        idx.remove("easter")
+        direct, direct_stats = idx.query_with_stats(east)
+        prepared, fanout = idx.query_prepared(idx.prepare_query(east))
+        assert [r.trajectory_id for r in direct] == [
+            r.trajectory_id for r in prepared
+        ]
+        assert all(r.trajectory_id != "easter" for r in direct)
+        assert direct_stats.candidates == fanout.candidates == 1
+
+    def test_candidates_excludes_tombstoned_slot(self):
+        idx, east = self._stale_index()
+        assert idx.candidates(east) == {"east"}

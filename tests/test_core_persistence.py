@@ -104,3 +104,241 @@ class TestValidation:
         )
         with pytest.raises(ValueError):
             load_index(path)
+
+
+class TestV1Compat:
+    def test_version_1_writes_json_file(self, populated_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(populated_index, path, version=1)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert len(payload["documents"]) == 3
+        loaded = load_index(path)
+        query = walk_points(30, bearing=90.0)
+        assert [r.trajectory_id for r in loaded.query(query)] == [
+            r.trajectory_id for r in populated_index.query(query)
+        ]
+
+    def test_version_1_rejects_sharded(self, tmp_path):
+        from repro.cluster import ShardedGeodabIndex
+
+        with pytest.raises(ValueError):
+            save_index(
+                ShardedGeodabIndex(CONFIG), tmp_path / "x.json", version=1
+            )
+
+    def test_unknown_version_rejected(self, populated_index, tmp_path):
+        with pytest.raises(ValueError):
+            save_index(populated_index, tmp_path / "x", version=3)
+
+
+class TestV2SnapshotDirectory:
+    def test_default_writes_a_directory(self, populated_index, tmp_path):
+        path = tmp_path / "snap"
+        save_index(populated_index, path)
+        assert path.is_dir()
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["version"] == 2
+        assert manifest["kind"] == "single"
+        assert sorted(manifest["slots"]) == ["diag", "east", "north"]
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_round_trip_after_remove_and_readd(
+        self, populated_index, tmp_path, mmap_mode
+    ):
+        # Tombstoned + recycled slots must survive: the slot layout (not
+        # just the live documents) is what the postings arrays reference.
+        populated_index.remove("north")
+        populated_index.add("northish", walk_points(30, bearing=10.0))
+        populated_index.remove("diag")  # leaves a live tombstone
+        path = tmp_path / "snap"
+        save_index(populated_index, path)
+        loaded = load_index(path, mmap_mode=mmap_mode)
+        assert len(loaded) == len(populated_index)
+        assert "diag" not in loaded
+        for bearing in (90.0, 10.0, 45.0):
+            query = walk_points(30, bearing=bearing)
+            assert [
+                (r.trajectory_id, r.distance) for r in loaded.query(query)
+            ] == [
+                (r.trajectory_id, r.distance)
+                for r in populated_index.query(query)
+            ]
+        # The free slot keeps recycling after the round trip.
+        baseline = len(loaded._ids)
+        loaded.add("diag2", walk_points(30, bearing=45.0))
+        assert len(loaded._ids) == baseline
+
+    def test_fingerprint_sets_survive_v2(self, populated_index, tmp_path):
+        path = tmp_path / "snap"
+        save_index(populated_index, path)
+        loaded = load_index(path)
+        for trajectory_id in ("east", "north", "diag"):
+            assert (
+                loaded.fingerprint_set(trajectory_id).selections
+                == populated_index.fingerprint_set(trajectory_id).selections
+            )
+
+    def test_stats_preserved_v2(self, populated_index, tmp_path):
+        path = tmp_path / "snap"
+        save_index(populated_index, path)
+        assert load_index(path).stats() == populated_index.stats()
+
+    def test_wide_config_round_trips(self, tmp_path):
+        # 48-bit geodabs use Roaring64Map bitmaps — the other serializer.
+        wide_config = GeodabConfig(k=3, t=5, prefix_bits=24, suffix_bits=24)
+        index = GeodabIndex(wide_config)
+        index.add("east", walk_points(30, bearing=90.0))
+        index.add("north", walk_points(30, bearing=0.0))
+        path = tmp_path / "snap"
+        save_index(index, path)
+        loaded = load_index(path, mmap_mode="r")
+        query = walk_points(30, bearing=90.0)
+        assert [(r.trajectory_id, r.distance) for r in loaded.query(query)] == [
+            (r.trajectory_id, r.distance) for r in index.query(query)
+        ]
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_sharded_round_trip(self, tmp_path, mmap_mode):
+        from repro.cluster import ShardedGeodabIndex, ShardingConfig
+
+        sharded = ShardedGeodabIndex(
+            CONFIG,
+            ShardingConfig(num_shards=16, num_nodes=4, placement="hash"),
+        )
+        sharded.add("east", walk_points(30, bearing=90.0))
+        sharded.add("north", walk_points(30, bearing=0.0))
+        sharded.remove("east")
+        sharded.add("eastish", walk_points(30, bearing=85.0))
+        path = tmp_path / "snap"
+        save_index(sharded, path)
+        loaded = load_index(path, mmap_mode=mmap_mode)
+        assert isinstance(loaded, ShardedGeodabIndex)
+        assert loaded.sharding == sharded.sharding
+        assert loaded.shard_postings_counts() == sharded.shard_postings_counts()
+        for bearing in (90.0, 0.0, 85.0):
+            query = walk_points(30, bearing=bearing)
+            assert [
+                (r.trajectory_id, r.distance) for r in loaded.query(query)
+            ] == [
+                (r.trajectory_id, r.distance) for r in sharded.query(query)
+            ]
+            prepared = loaded.prepare_query(query)
+            live_prepared = sharded.prepare_query(query)
+            results, stats = loaded.query_prepared(prepared)
+            live_results, live_stats = sharded.query_prepared(live_prepared)
+            assert [r.trajectory_id for r in results] == [
+                r.trajectory_id for r in live_results
+            ]
+            assert stats.candidates == live_stats.candidates
+
+    def test_empty_index_v2(self, tmp_path):
+        path = tmp_path / "snap"
+        save_index(GeodabIndex(CONFIG), path)
+        assert len(load_index(path)) == 0
+
+
+class TestV2Validation:
+    def test_mixed_ids_rejected_before_any_write(self, tmp_path):
+        index = GeodabIndex(CONFIG)
+        index.add("good", walk_points(20))
+        index.add(42, walk_points(20, bearing=0.0))
+        target = tmp_path / "snap"
+        with pytest.raises(ValueError):
+            save_index(index, target)
+        assert not target.exists()  # no partial directory left behind
+
+    def test_mixed_ids_rejected_before_any_write_v1(self, tmp_path):
+        index = GeodabIndex(CONFIG)
+        index.add("good", walk_points(20))
+        index.add(42, walk_points(20, bearing=0.0))
+        target = tmp_path / "bad.json"
+        with pytest.raises(ValueError):
+            save_index(index, target, version=1)
+        assert not target.exists()
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        (tmp_path / "snap").mkdir()
+        with pytest.raises(ValueError):
+            load_index(tmp_path / "snap")
+
+    def test_wrong_snapshot_version_rejected(self, populated_index, tmp_path):
+        path = tmp_path / "snap"
+        save_index(populated_index, path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_index(path)
+
+    def test_existing_file_target_rejected(self, populated_index, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(ValueError):
+            save_index(populated_index, target)
+
+
+class TestSnapshotPointer:
+    def test_publish_and_resolve(self, populated_index, tmp_path):
+        from repro.core.persistence import publish_snapshot, resolve_snapshot
+
+        assert resolve_snapshot(tmp_path) is None
+        first = publish_snapshot(populated_index, tmp_path, "g00000001")
+        assert resolve_snapshot(tmp_path) == first
+        second = publish_snapshot(populated_index, tmp_path, "g00000002")
+        assert resolve_snapshot(tmp_path) == second
+        loaded = load_index(second, mmap_mode="r")
+        query = walk_points(30, bearing=90.0)
+        assert [r.trajectory_id for r in loaded.query(query)] == [
+            r.trajectory_id for r in populated_index.query(query)
+        ]
+
+    def test_dangling_pointer_resolves_to_none(self, populated_index, tmp_path):
+        from repro.core.persistence import publish_snapshot, resolve_snapshot
+        import shutil
+
+        target = publish_snapshot(populated_index, tmp_path, "g00000001")
+        shutil.rmtree(target)
+        assert resolve_snapshot(tmp_path) is None
+
+    def test_invalid_tag_rejected(self, populated_index, tmp_path):
+        from repro.core.persistence import publish_snapshot
+
+        for tag in ("", "..", "a/b"):
+            with pytest.raises(ValueError):
+                publish_snapshot(populated_index, tmp_path, tag)
+
+
+class TestV2Resave:
+    def test_resave_into_same_path_replaces_cleanly(
+        self, populated_index, tmp_path
+    ):
+        path = tmp_path / "snap"
+        save_index(populated_index, path)
+        # A live reader holds memory-mapped views into the first save.
+        mapped = load_index(path, mmap_mode="r")
+        query = walk_points(30, bearing=90.0)
+        before = [(r.trajectory_id, r.distance) for r in mapped.query(query)]
+        # Re-save a *different* index into the same path.
+        smaller = GeodabIndex(CONFIG)
+        smaller.add("only", walk_points(30, bearing=90.0))
+        save_index(smaller, path)
+        reloaded = load_index(path)
+        assert len(reloaded) == 1 and "only" in reloaded
+        # The staged-swap replaced whole files, so the old reader's
+        # mapped pages (old inodes) still answer consistently.
+        assert [
+            (r.trajectory_id, r.distance) for r in mapped.query(query)
+        ] == before
+        # No staging litter left behind.
+        assert not list(tmp_path.glob(".snap.tmp-*"))
+
+    def test_truncated_bitmaps_raise_value_error(
+        self, populated_index, tmp_path
+    ):
+        path = tmp_path / "snap"
+        save_index(populated_index, path)
+        blob = (path / "bitmaps.bin").read_bytes()
+        (path / "bitmaps.bin").write_bytes(blob[: len(blob) - 3])
+        with pytest.raises(ValueError):
+            load_index(path)

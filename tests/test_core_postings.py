@@ -201,3 +201,101 @@ class TestMergeHits:
             [np.asarray(stream, dtype=np.int64) for stream in streams]
         )
         assert dict(zip(ids.tolist(), counts.tolist())) == dict(reference)
+
+
+class TestCompaction:
+    def test_buffered_postings_counts_unfolded(self):
+        store = PostingsStore()
+        store.extend(1, [3, 1])
+        store.append(2, 0)
+        assert store.buffered_postings == 3
+        store.compact_all()
+        assert store.buffered_postings == 0
+        assert store.get(1).tolist() == [1, 3]
+        assert store.get(2).tolist() == [0]
+        assert store.num_postings == 3
+
+    def test_compact_all_idempotent(self):
+        store = PostingsStore()
+        store.extend(5, [2, 1])
+        store.compact_all()
+        store.compact_all()
+        assert store.get(5).tolist() == [1, 2]
+
+
+class TestSaveLoad:
+    def _populated(self):
+        store = PostingsStore()
+        store.extend(7, [5, 1, 3])
+        store.extend(2, [0])
+        store.append(7, 2)  # left buffered: save must fold it
+        store.extend((1 << 63) + 11, [9, 8])  # 64-bit term
+        return store
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_round_trip(self, tmp_path, mmap_mode):
+        store = self._populated()
+        path = tmp_path / "postings.bin"
+        store.save(path)
+        loaded = PostingsStore.load(path, mmap_mode=mmap_mode)
+        assert sorted(loaded) == sorted(store)
+        assert loaded.num_postings == store.num_postings
+        assert loaded.buffered_postings == 0
+        for term in store:
+            assert loaded.get(term).tolist() == store.get(term).tolist()
+        assert loaded.get(999) is None
+
+    def test_save_folds_buffers_first(self, tmp_path):
+        store = self._populated()
+        path = tmp_path / "postings.bin"
+        store.save(path)
+        assert store.buffered_postings == 0
+        assert PostingsStore.load(path).get(7).tolist() == [1, 2, 3, 5]
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_empty_store(self, tmp_path, mmap_mode):
+        path = tmp_path / "empty.bin"
+        PostingsStore().save(path)
+        loaded = PostingsStore.load(path, mmap_mode=mmap_mode)
+        assert len(loaded) == 0
+        assert loaded.num_postings == 0
+
+    def test_loaded_store_stays_mutable(self, tmp_path):
+        # A memory-mapped read-only store must still absorb writes: new
+        # postings land in buffers and folds build fresh arrays instead
+        # of mutating the mapped pages.
+        store = self._populated()
+        path = tmp_path / "postings.bin"
+        store.save(path)
+        loaded = PostingsStore.load(path, mmap_mode="r")
+        loaded.append(7, 4)
+        assert loaded.get(7).tolist() == [1, 2, 3, 4, 5]
+        assert loaded.discard(7, 1) is True
+        assert loaded.get(7).tolist() == [2, 3, 4, 5]
+        loaded.extend(100, [1])
+        assert loaded.get(100).tolist() == [1]
+
+    def test_merge_hits_over_mapped_arrays(self, tmp_path):
+        store = self._populated()
+        path = tmp_path / "postings.bin"
+        store.save(path)
+        loaded = PostingsStore.load(path, mmap_mode="r")
+        ids, counts = merge_hits([loaded.hits([7, 2])])
+        expected_ids, expected_counts = merge_hits([store.hits([7, 2])])
+        assert ids.tolist() == expected_ids.tolist()
+        assert counts.tolist() == expected_counts.tolist()
+
+    def test_rejects_non_blob(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"not a postings blob at all")
+        with pytest.raises(ValueError):
+            PostingsStore.load(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        store = self._populated()
+        path = tmp_path / "postings.bin"
+        store.save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 8])
+        with pytest.raises(ValueError):
+            PostingsStore.load(path)

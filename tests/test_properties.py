@@ -103,7 +103,7 @@ class TestShardedEquivalence:
 class TestPersistenceRoundTrip:
     @given(st.lists(random_walks(), min_size=1, max_size=5))
     @settings(max_examples=15)
-    def test_round_trip_preserves_rankings(self, walks):
+    def test_v1_round_trip_preserves_rankings(self, walks):
         import tempfile
         from pathlib import Path
 
@@ -112,11 +112,114 @@ class TestPersistenceRoundTrip:
             index.add(f"t{i}", walk)
         with tempfile.TemporaryDirectory() as tmp:
             path = Path(tmp) / "index.json"
-            save_index(index, path)
+            save_index(index, path, version=1)
             loaded = load_index(path)
             for walk in walks:
                 assert [r.trajectory_id for r in loaded.query(walk)] == [
                     r.trajectory_id for r in index.query(walk)
+                ]
+
+    @given(st.lists(random_walks(), min_size=1, max_size=5))
+    @settings(max_examples=15)
+    def test_v2_round_trip_preserves_rankings(self, walks):
+        import tempfile
+        from pathlib import Path
+
+        index = GeodabIndex(CONFIG)
+        for i, walk in enumerate(walks):
+            index.add(f"t{i}", walk)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "snapshot"
+            save_index(index, path)
+            loaded = load_index(path, mmap_mode="r")
+            for walk in walks:
+                assert [
+                    (r.trajectory_id, round(r.distance, 12))
+                    for r in loaded.query(walk)
+                ] == [
+                    (r.trajectory_id, round(r.distance, 12))
+                    for r in index.query(walk)
+                ]
+
+    @given(st.lists(random_walks(), min_size=2, max_size=5), st.data())
+    @settings(max_examples=15)
+    def test_v2_round_trip_after_remove_and_readd(self, walks, data):
+        """Recycled arena slots must survive the columnar snapshot."""
+        import tempfile
+        from pathlib import Path
+
+        index = GeodabIndex(CONFIG)
+        for i, walk in enumerate(walks):
+            index.add(f"t{i}", walk)
+        victim = data.draw(
+            st.integers(min_value=0, max_value=len(walks) - 1), label="victim"
+        )
+        index.remove(f"t{victim}")
+        index.add(f"t{victim}x", walks[victim])  # reuses the freed slot
+        readd = data.draw(st.booleans(), label="leave tombstone")
+        if readd:
+            other = data.draw(
+                st.integers(min_value=0, max_value=len(walks) - 1),
+                label="tombstoned",
+            )
+            if f"t{other}" in index:
+                index.remove(f"t{other}")  # persisted as a live tombstone
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "snapshot"
+            save_index(index, path)
+            loaded = load_index(path, mmap_mode="r")
+            assert len(loaded) == len(index)
+            for walk in walks:
+                assert [
+                    (r.trajectory_id, round(r.distance, 12))
+                    for r in loaded.query(walk)
+                ] == [
+                    (r.trajectory_id, round(r.distance, 12))
+                    for r in index.query(walk)
+                ]
+
+    @given(
+        st.lists(random_walks(), min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=10)
+    def test_v2_sharded_round_trip_matches_live_index(
+        self, walks, num_shards, num_nodes
+    ):
+        """A sharded index loaded with mmap answers query and
+        query_prepared identically to the live index."""
+        import tempfile
+        from pathlib import Path
+
+        if num_shards < num_nodes:
+            num_shards = num_nodes
+        sharded = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=num_shards, num_nodes=num_nodes)
+        )
+        for i, walk in enumerate(walks):
+            sharded.add(f"t{i}", walk)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "snapshot"
+            save_index(sharded, path)
+            loaded = load_index(path, mmap_mode="r")
+            assert loaded.sharding == sharded.sharding
+            for walk in walks:
+                expected, expected_stats = sharded.query_with_stats(walk)
+                actual, actual_stats = loaded.query_with_stats(walk)
+                assert [
+                    (r.trajectory_id, round(r.distance, 12)) for r in actual
+                ] == [
+                    (r.trajectory_id, round(r.distance, 12)) for r in expected
+                ]
+                assert actual_stats.candidates == expected_stats.candidates
+                prepared_live = sharded.prepare_query(walk)
+                prepared_loaded = loaded.prepare_query(walk)
+                assert prepared_loaded.plan == prepared_live.plan
+                live_ranked, _ = sharded.query_prepared(prepared_live)
+                loaded_ranked, _ = loaded.query_prepared(prepared_loaded)
+                assert [r.trajectory_id for r in loaded_ranked] == [
+                    r.trajectory_id for r in live_ranked
                 ]
 
 

@@ -8,6 +8,7 @@ valid answer set is a prefix of the ingest order.
 """
 
 import threading
+from pathlib import Path
 
 import pytest
 
@@ -217,3 +218,132 @@ def test_delete_bumps_generation_and_invalidates(small_dataset):
     assert after.cached is False
     assert all(r.trajectory_id != victim for r in after.results)
     assert service.result_cache.stats().invalidations >= 1
+
+
+class TestSnapshotAndCompaction:
+    def _walk(self, n, bearing=90.0):
+        from repro.geo.point import Point, destination
+
+        out = [Point(51.5074, -0.1278)]
+        for _ in range(n - 1):
+            out.append(destination(out[-1], bearing, 90.0))
+        return out
+
+    def test_snapshot_round_trips_through_service(self, tmp_path):
+        from repro.core.persistence import load_index, resolve_snapshot
+        from repro.service import CompactionPolicy
+
+        index = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=8, num_nodes=2, placement="hash")
+        )
+        service = IndexService(index, compaction=CompactionPolicy())
+        service.ingest(
+            [("a", self._walk(30, 90.0)), ("b", self._walk(30, 0.0))]
+        )
+        info = service.snapshot(tmp_path)
+        assert info["generation"] == 1
+        assert info["trajectories"] == 2
+        target = resolve_snapshot(tmp_path)
+        assert target is not None and str(target) == info["path"]
+        loaded = load_index(target, mmap_mode="r")
+        query = self._walk(30, 90.0)
+        assert [r.trajectory_id for r in loaded.query(query)] == [
+            r.trajectory_id for r in index.query(query)
+        ]
+        stats = service.stats()
+        assert stats["snapshot"]["generation"] == 1
+
+    def test_snapshot_folds_buffers_first(self, tmp_path):
+        index = GeodabIndex(CONFIG)
+        service = IndexService(index, compaction=None)
+        service.ingest([("a", self._walk(30, 90.0))])
+        assert index.buffered_postings > 0  # no policy: still buffered
+        service.snapshot(tmp_path)
+        assert index.buffered_postings == 0
+
+    def test_compaction_policy_folds_after_ingest(self):
+        from repro.service import CompactionPolicy
+
+        index = GeodabIndex(CONFIG)
+        service = IndexService(
+            index,
+            compaction=CompactionPolicy(
+                max_buffered_postings=1, max_age_s=3600.0
+            ),
+        )
+        service.ingest([("a", self._walk(30, 90.0))])
+        assert index.buffered_postings == 0
+        assert service.stats()["compaction"]["runs"] == 1
+
+    def test_age_trigger(self):
+        from repro.service import CompactionPolicy
+
+        index = GeodabIndex(CONFIG)
+        service = IndexService(
+            index,
+            compaction=CompactionPolicy(
+                max_buffered_postings=10**9, max_age_s=0.0
+            ),
+        )
+        service.ingest([("a", self._walk(30, 90.0))])
+        # Age 0 means every write is immediately due.
+        assert index.buffered_postings == 0
+
+    def test_policy_disabled_leaves_buffers_to_lazy_folds(self):
+        index = GeodabIndex(CONFIG)
+        service = IndexService(index, compaction=None)
+        service.ingest([("a", self._walk(30, 90.0))])
+        assert index.buffered_postings > 0
+        assert service.stats()["compaction"]["enabled"] is False
+        # Reads still fold lazily, as before.
+        assert service.query(self._walk(30, 90.0)).results
+        assert index.buffered_postings == 0
+
+    def test_forced_compact(self):
+        index = GeodabIndex(CONFIG)
+        service = IndexService(index, compaction=None)
+        service.ingest([("a", self._walk(30, 90.0))])
+        folded = service.compact()
+        assert folded > 0
+        assert index.buffered_postings == 0
+
+    def test_policy_validation(self):
+        from repro.service import CompactionPolicy
+
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_buffered_postings=0)
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_age_s=-1.0)
+
+    def test_snapshot_excludes_concurrent_writes(self, tmp_path):
+        """A snapshot captures one generation: writes issued while it is
+        being taken either land entirely before or entirely after."""
+        from repro.core.persistence import load_index
+
+        index = GeodabIndex(CONFIG)
+        service = IndexService(index)
+        service.ingest([(f"t{i}", self._walk(30, float(i))) for i in range(8)])
+        errors = []
+
+        def writer(start):
+            try:
+                for i in range(start, start + 4):
+                    service.ingest([(f"w{i}", self._walk(20, float(i)))])
+            except Exception as exc:  # pragma: no cover - surfacing
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(k * 4,)) for k in range(2)]
+        for thread in threads:
+            thread.start()
+        info = service.snapshot(tmp_path)
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        loaded = load_index(
+            (tmp_path / Path(info["path"]).name), mmap_mode="r"
+        )
+        # The snapshot holds a prefix of the write sequence: every base
+        # document, and a consistent number of writer documents.
+        assert all(f"t{i}" in loaded for i in range(8))
+        assert len(loaded) >= 8
+        assert len(loaded) <= 16

@@ -301,3 +301,70 @@ class TestKeepAlive:
             assert json.loads(response.read())["status"] == "ok"
         finally:
             connection.close()
+
+
+class TestAdminSnapshot:
+    @pytest.fixture()
+    def snapshot_server(self, tmp_path, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service, snapshot_dir=str(tmp_path / "snaps"))
+        body = {
+            "trajectories": [
+                {"id": r.trajectory_id, "points": as_wire(r.points)}
+                for r in small_dataset.records[:4]
+            ]
+        }
+        status, _ = call(server.url, "POST", "/trajectories", body)
+        assert status == 200
+        yield server, tmp_path / "snaps"
+        server.shutdown()
+        service.close()
+
+    def test_snapshot_with_empty_body(self, snapshot_server):
+        server, snaps = snapshot_server
+        status, payload = call(server.url, "POST", "/admin/snapshot")
+        assert status == 200
+        assert payload["generation"] == 1
+        assert payload["trajectories"] == 4
+        from repro.core.persistence import load_index, resolve_snapshot
+
+        target = resolve_snapshot(snaps)
+        assert target is not None
+        assert len(load_index(target, mmap_mode="r")) == 4
+
+    def test_snapshot_metadata_lands_in_stats(self, snapshot_server):
+        server, _ = snapshot_server
+        _, info = call(server.url, "POST", "/admin/snapshot")
+        _, stats = call(server.url, "GET", "/stats")
+        assert stats["snapshot"]["path"] == info["path"]
+        assert stats["snapshot"]["generation"] == 1
+        assert "compaction" in stats
+
+    def test_dir_override_in_body_rejected(self, snapshot_server, tmp_path):
+        # The target directory is operator-configured only: a client
+        # choosing the path would be an arbitrary filesystem write.
+        server, _ = snapshot_server
+        override = tmp_path / "elsewhere"
+        status, payload = call(
+            server.url, "POST", "/admin/snapshot", {"dir": str(override)}
+        )
+        assert status == 400
+        assert not override.exists()
+
+    def test_empty_object_body_accepted(self, snapshot_server):
+        server, _ = snapshot_server
+        status, payload = call(server.url, "POST", "/admin/snapshot", {})
+        assert status == 200
+        assert payload["trajectories"] == 4
+
+    def test_unconfigured_and_unsupplied_dir_is_400(self, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service)  # no snapshot_dir
+        try:
+            status, payload = call(server.url, "POST", "/admin/snapshot")
+            assert status == 400
+            assert "snapshot directory" in payload["error"]
+        finally:
+            server.shutdown()
+            service.close()
+
