@@ -281,15 +281,27 @@ class RoaringBitmap:
         return len(self) + len(other) - self.intersection_cardinality(other)
 
     def jaccard(self, other: "RoaringBitmap") -> float:
-        """Jaccard coefficient ``|A & B| / |A | B|`` (1.0 for two empty sets)."""
+        """Jaccard coefficient ``|A & B| / |A | B|`` (0.0 for two empty sets).
+
+        The empty/empty case has no natural value (``0/0``); retrieval
+        semantics pick 0.0 — distance 1.0 — so an empty-fingerprint
+        query (or a tombstoned document's empty bitmap) never counts as
+        a perfect match, matching the vectorized scoring engine, which
+        never ranks candidates without at least one shared term.  Never
+        raises ``ZeroDivisionError``.
+        """
         inter = self.intersection_cardinality(other)
         union = len(self) + len(other) - inter
         if union == 0:
-            return 1.0
+            return 0.0
         return inter / union
 
     def jaccard_distance(self, other: "RoaringBitmap") -> float:
-        """Jaccard distance ``1 - jaccard`` (paper Equation 1)."""
+        """Jaccard distance ``1 - jaccard`` (paper Equation 1).
+
+        1.0 — maximally distant — for two empty bitmaps (see
+        :meth:`jaccard`).
+        """
         return 1.0 - self.jaccard(other)
 
     def isdisjoint(self, other: "RoaringBitmap") -> bool:
@@ -481,15 +493,21 @@ class Roaring64Map:
         return total
 
     def jaccard(self, other: "Roaring64Map") -> float:
-        """Jaccard coefficient (1.0 for two empty maps)."""
+        """Jaccard coefficient (0.0 for two empty maps).
+
+        Same defined edge case as :meth:`RoaringBitmap.jaccard`: the
+        empty/empty coefficient is 0.0 — distance 1.0, never a
+        ``ZeroDivisionError`` — so empty fingerprint sets are maximally
+        distant rather than perfect matches.
+        """
         inter = self.intersection_cardinality(other)
         union = len(self) + len(other) - inter
         if union == 0:
-            return 1.0
+            return 0.0
         return inter / union
 
     def jaccard_distance(self, other: "Roaring64Map") -> float:
-        """Jaccard distance ``1 - jaccard``."""
+        """Jaccard distance ``1 - jaccard`` (1.0 for two empty maps)."""
         return 1.0 - self.jaccard(other)
 
     def serialize(self) -> bytes:

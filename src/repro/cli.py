@@ -136,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
         "POST /admin/snapshot writes into it",
     )
     serve.add_argument(
+        "--snapshot-keep",
+        type=int,
+        default=None,
+        help="garbage-collect superseded snapshots after each "
+        "POST /admin/snapshot, keeping this many recent ones (the "
+        "CURRENT snapshot is always kept; default: keep everything)",
+    )
+    serve.add_argument(
+        "--maintenance-interval",
+        type=float,
+        default=30.0,
+        help="background maintenance tick in seconds: re-evaluates the "
+        "compaction policy even when writes are idle (0 disables the "
+        "maintenance thread; default 30)",
+    )
+    serve.add_argument(
         "--mmap",
         choices=("off", "r"),
         default="r",
@@ -349,12 +365,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.snapshot_keep is not None and args.snapshot_keep < 1:
+        print("error: --snapshot-keep must be positive", file=sys.stderr)
+        return 2
+    if args.maintenance_interval < 0:
+        print("error: --maintenance-interval must be non-negative", file=sys.stderr)
+        return 2
     try:
         service = IndexService(
             index,
             executor=executor,
             result_cache_size=args.cache_size,
             fingerprint_cache_size=args.cache_size,
+            maintenance_interval_s=(
+                args.maintenance_interval if args.maintenance_interval > 0 else None
+            ),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -367,6 +392,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service,
             verbose=args.verbose,
             snapshot_dir=args.snapshot_dir,
+            snapshot_keep=args.snapshot_keep,
         )
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)

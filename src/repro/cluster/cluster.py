@@ -17,13 +17,18 @@ from typing import Hashable, Iterable, Sequence
 import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
-from ..core.arena import TOMBSTONE as _TOMBSTONE
 from ..core.arena import SlotArena
 from ..core.config import GeodabConfig
 from ..core.fingerprint import Fingerprinter, FingerprintSet
 from ..core.index import Normalizer, SearchResult
 from ..core.postings import PostingsStore, merge_hits
 from ..core.query import FanoutStats, MatchCounts, PreparedQuery
+from ..core.scoring import (
+    ScoringStats,
+    live_candidates,
+    rank_candidates,
+    rank_candidates_scalar,
+)
 from ..geo.point import Trajectory
 from .sharding import ShardingConfig, ShardRouter
 
@@ -77,8 +82,10 @@ class ShardedGeodabIndex:
             for s in range(self.sharding.num_shards)
         ]
         # Slot recycling is shared with the single-node index via the
-        # arena; the aliases index straight into its lists.
-        self._arena = SlotArena(num_columns=1)
+        # arena; the aliases index straight into its lists.  The arena
+        # also maintains the per-slot cardinality column the vectorized
+        # scoring engine ranks with.
+        self._arena = SlotArena(num_columns=1, track_cardinality=True)
         self._ids = self._arena.ids
         self._id_to_internal = self._arena.id_to_internal
         self._bitmaps: list[RoaringBitmap | Roaring64Map] = self._arena.columns[0]
@@ -109,7 +116,7 @@ class ShardedGeodabIndex:
         self, trajectory_id: Hashable, bitmap: RoaringBitmap | Roaring64Map
     ) -> int:
         """Claim an internal slot, reusing ones freed by :meth:`remove`."""
-        return self._arena.allocate(trajectory_id, bitmap)
+        return self._arena.allocate(trajectory_id, bitmap, cardinality=len(bitmap))
 
     def add_fingerprints(
         self,
@@ -287,8 +294,8 @@ class ShardedGeodabIndex:
             self.shard_partial(shard_id, shard_terms)
             for shard_id, shard_terms in prepared.plan.items()
         )
-        returned = self.score_matches(prepared, matches, limit, max_distance)
-        return returned, self.fanout_stats(prepared, matches)
+        returned, scoring = self.rank_matches(prepared, matches, limit, max_distance)
+        return returned, self.fanout_stats(prepared, matches, scoring)
 
     # ------------------------------------------------------------------
     # Per-shard partial lookups (the serving tier's fan-out unit)
@@ -318,6 +325,29 @@ class ShardedGeodabIndex:
         """
         return self.shards[shard_id].postings.postings_map(terms)
 
+    def rank_matches(
+        self,
+        prepared: PreparedQuery,
+        matches: MatchCounts,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], ScoringStats]:
+        """Rank merged candidates through the shared vectorized engine.
+
+        Identical to the single-node path by construction: both rank
+        with :func:`repro.core.scoring.rank_candidates` over the same
+        arena cardinality column semantics.
+        """
+        assert self._arena.cardinalities is not None
+        return rank_candidates(
+            matches,
+            self._arena.cardinalities.view(),
+            self._ids,
+            len(prepared.query_bitmap),
+            limit,
+            max_distance,
+        )
+
     def score_matches(
         self,
         prepared: PreparedQuery,
@@ -326,32 +356,44 @@ class ShardedGeodabIndex:
         max_distance: float = 1.0,
     ) -> list[SearchResult]:
         """Rank merged candidates exactly like the single-node index."""
-        kept: list[SearchResult] = []
-        query_bitmap = prepared.query_bitmap
-        internals, counts = matches
-        for internal, shared in zip(internals.tolist(), counts.tolist()):
-            if self._ids[internal] is _TOMBSTONE:
-                continue
-            distance = query_bitmap.jaccard_distance(self._bitmaps[internal])  # type: ignore[arg-type]
-            if distance <= max_distance:
-                kept.append(SearchResult(self._ids[internal], distance, shared))
-        kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
-        return kept if limit is None else kept[:limit]
+        return self.rank_matches(prepared, matches, limit, max_distance)[0]
+
+    def score_matches_scalar(
+        self,
+        prepared: PreparedQuery,
+        matches: MatchCounts,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> list[SearchResult]:
+        """The retired per-candidate bitmap loop (test/bench oracle)."""
+        return rank_candidates_scalar(
+            matches,
+            self._bitmaps,
+            self._ids,
+            prepared.query_bitmap,
+            limit,
+            max_distance,
+        )
 
     def fanout_stats(
-        self, prepared: PreparedQuery, matches: MatchCounts
+        self,
+        prepared: PreparedQuery,
+        matches: MatchCounts,
+        scoring: ScoringStats | None = None,
     ) -> FanoutStats:
         """Fan-out accounting for an executed prepared query."""
         nodes = {self.shards[s].node_id for s in prepared.plan}
-        ids = self._ids
-        live = sum(
-            1 for i in matches[0].tolist() if ids[i] is not _TOMBSTONE
-        )
+        if scoring is not None:
+            live = scoring.candidates
+        else:
+            assert self._arena.cardinalities is not None
+            live = live_candidates(self._arena.cardinalities.view(), matches[0])
         return FanoutStats(
             query_terms=len(prepared.terms),
             shards_contacted=len(prepared.plan),
             nodes_contacted=len(nodes),
             candidates=live,
+            pruned=scoring.pruned if scoring is not None else 0,
         )
 
     # ------------------------------------------------------------------

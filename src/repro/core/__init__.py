@@ -21,6 +21,7 @@ from .persistence import (
     save_index,
 )
 from .query import FanoutStats, PreparedQuery
+from .scoring import ScoringStats, rank_candidates, rank_candidates_scalar
 from .subsearch import SubMatch, containment_search, ordered_containment_search
 from .winnowing import Selection, TrajectoryWinnower, winnow, winnow_positions
 
@@ -38,6 +39,7 @@ __all__ = [
     "PAPER_CONFIG",
     "PreparedQuery",
     "QueryStats",
+    "ScoringStats",
     "SearchResult",
     "Selection",
     "SlotArena",
@@ -50,6 +52,8 @@ __all__ = [
     "load_index",
     "ordered_containment_search",
     "publish_snapshot",
+    "rank_candidates",
+    "rank_candidates_scalar",
     "resolve_snapshot",
     "save_index",
     "winnow",

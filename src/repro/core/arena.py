@@ -12,17 +12,83 @@ with tombstones.
 Callers keep direct references to ``ids`` and the column lists (the
 query hot paths index into them), so the arena mutates those lists in
 place and never replaces them.
+
+With ``track_cardinality=True`` the arena additionally maintains a
+:class:`CardinalityColumn` — a dense ``int64`` numpy column of per-slot
+term-set cardinalities, with :data:`TOMBSTONE_CARD` marking freed slots.
+The vectorized scoring engine (:mod:`repro.core.scoring`) reads the
+column to turn shared-term counts into exact Jaccard distances without
+touching a single bitmap; keeping its maintenance inside the arena's
+allocate/release/restore cycle is what guarantees the invariant
+``cards[slot] == len(term_set of ids[slot])`` survives slot recycling.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
-__all__ = ["SlotArena", "TOMBSTONE"]
+import numpy as np
+
+__all__ = ["CardinalityColumn", "SlotArena", "TOMBSTONE", "TOMBSTONE_CARD"]
 
 #: Marks an internal slot freed by ``release()``; distinct from any user
 #: id, and shared by every backend so all of them tombstone identically.
 TOMBSTONE: Hashable = object()
+
+#: Cardinality recorded for tombstoned slots.  Negative so one dense
+#: array answers both "how many terms" and "is this slot live" (a live
+#: document may legitimately have an *empty* term set, so 0 cannot
+#: double as the dead marker).
+TOMBSTONE_CARD: int = -1
+
+
+class CardinalityColumn:
+    """Growable dense ``int64`` column of per-slot term-set sizes.
+
+    Slot ``i`` holds ``len(term_set)`` of the live document in arena
+    slot ``i``, or :data:`TOMBSTONE_CARD` for freed slots.  Backed by an
+    amortized-doubling numpy array so the scoring hot path gets one
+    contiguous vector (:meth:`view`) instead of a Python list.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self) -> None:
+        self._data = np.empty(0, dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def get(self, slot: int) -> int:
+        """Cardinality recorded for one slot."""
+        if not 0 <= slot < self._size:
+            raise IndexError(slot)
+        return int(self._data[slot])
+
+    def set(self, slot: int, value: int) -> None:
+        """Record a slot's cardinality, growing the column as needed."""
+        if slot >= len(self._data):
+            capacity = max(16, 2 * len(self._data), slot + 1)
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        if slot >= self._size:
+            # Allocation is dense (append or recycle), so any gap would
+            # be a bookkeeping bug; fill defensively with the tombstone
+            # marker rather than leave uninitialized memory.
+            self._data[self._size : slot] = TOMBSTONE_CARD
+            self._size = slot + 1
+        self._data[slot] = value
+
+    def view(self) -> np.ndarray:
+        """The live prefix of the column (read-only by convention).
+
+        The returned array is a slice of internal storage: valid until
+        the next growth, so hot paths should take it per call — exactly
+        what the scoring engine does — rather than cache it.
+        """
+        return self._data[: self._size]
 
 
 class SlotArena:
@@ -33,14 +99,19 @@ class SlotArena:
     are tombstoned and handed back by the next :meth:`allocate`.
     """
 
-    __slots__ = ("ids", "id_to_internal", "columns", "_free_slots")
+    __slots__ = ("ids", "id_to_internal", "columns", "cardinalities", "_free_slots")
 
-    def __init__(self, num_columns: int) -> None:
+    def __init__(self, num_columns: int, track_cardinality: bool = False) -> None:
         if num_columns < 1:
             raise ValueError("arena needs at least one payload column")
         self.ids: list[Hashable] = []
         self.id_to_internal: dict[Hashable, int] = {}
         self.columns: tuple[list, ...] = tuple([] for _ in range(num_columns))
+        #: Per-slot term-set sizes for the vectorized scoring engine
+        #: (``None`` unless ``track_cardinality`` was requested).
+        self.cardinalities: CardinalityColumn | None = (
+            CardinalityColumn() if track_cardinality else None
+        )
         self._free_slots: list[int] = []
 
     def __len__(self) -> int:
@@ -62,12 +133,13 @@ class SlotArena:
                 raise KeyError(f"trajectory {external_id!r} already indexed")
             seen.add(external_id)
 
-    def allocate(self, external_id: Hashable, *values) -> int:
+    def allocate(self, external_id: Hashable, *values, cardinality: int = 0) -> int:
         """Claim a slot for ``external_id`` holding one value per column.
 
         Reuses slots freed by :meth:`release`, keeping memory constant
         under delete/re-add churn instead of growing one tombstone per
-        update.
+        update.  ``cardinality`` is the document's term-set size, stored
+        in :attr:`cardinalities` when the arena tracks it.
         """
         if len(values) != len(self.columns):
             raise ValueError(
@@ -83,6 +155,8 @@ class SlotArena:
             self.ids.append(external_id)
             for column, value in zip(self.columns, values):
                 column.append(value)
+        if self.cardinalities is not None:
+            self.cardinalities.set(internal, cardinality)
         self.id_to_internal[external_id] = internal
         return internal
 
@@ -104,6 +178,8 @@ class SlotArena:
         self.ids[internal] = TOMBSTONE
         for column, value in zip(self.columns, tombstone_values):
             column[internal] = value
+        if self.cardinalities is not None:
+            self.cardinalities.set(internal, TOMBSTONE_CARD)
         self._free_slots.append(internal)
         return internal
 
@@ -115,6 +191,7 @@ class SlotArena:
         self,
         slot_ids: Iterable[Hashable],
         columns: "tuple[list, ...] | list[list]",
+        cardinalities: Sequence[int] | None = None,
     ) -> None:
         """Rebuild the arena from a snapshot's exact slot layout.
 
@@ -125,6 +202,11 @@ class SlotArena:
         arrays valid as-is: they reference slots by internal id.
         Tombstoned slots rejoin the free list, so delete/re-add churn
         keeps recycling across a save/load cycle.
+
+        A cardinality-tracking arena requires ``cardinalities`` (one
+        entry per slot; tombstoned slots are forced to
+        :data:`TOMBSTONE_CARD` regardless of the provided value), so a
+        warm start can never silently lose the scoring fast path.
         """
         if self.ids:
             raise ValueError("restore() requires an empty arena")
@@ -136,11 +218,25 @@ class SlotArena:
         for values in columns:
             if len(values) != len(slot_ids):
                 raise ValueError("column length does not match slot count")
+        if self.cardinalities is not None:
+            if cardinalities is None:
+                raise ValueError(
+                    "cardinality-tracking arena requires restore cardinalities"
+                )
+            if len(cardinalities) != len(slot_ids):
+                raise ValueError(
+                    "cardinality column length does not match slot count"
+                )
         for internal, external_id in enumerate(slot_ids):
             self.ids.append(external_id)
             for column, values in zip(self.columns, columns):
                 column.append(values[internal])
             if external_id is TOMBSTONE:
+                if self.cardinalities is not None:
+                    self.cardinalities.set(internal, TOMBSTONE_CARD)
                 self._free_slots.append(internal)
             else:
+                if self.cardinalities is not None:
+                    assert cardinalities is not None
+                    self.cardinalities.set(internal, int(cardinalities[internal]))
                 self.id_to_internal[external_id] = internal

@@ -27,6 +27,13 @@ from .fingerprint import Fingerprinter, FingerprintSet
 from .geodab import GeodabScheme
 from .postings import PostingsStore, merge_hits
 from .query import FanoutStats, MatchCounts, PreparedQuery
+from .scoring import (
+    ScoringStats,
+    SearchResult,
+    live_candidates,
+    rank_candidates,
+    rank_candidates_scalar,
+)
 
 __all__ = [
     "SearchResult",
@@ -44,28 +51,16 @@ _TOMBSTONE = TOMBSTONE
 
 
 @dataclass(frozen=True, slots=True)
-class SearchResult:
-    """One ranked retrieval hit."""
-
-    trajectory_id: Hashable
-    distance: float
-    shared_terms: int
-
-    @property
-    def jaccard(self) -> float:
-        """Jaccard coefficient (complement of the reported distance)."""
-        return 1.0 - self.distance
-
-
-@dataclass(frozen=True, slots=True)
 class QueryStats:
     """Work accounting for one query — the quantities behind Figure 14.
 
     ``candidates`` counts every *live* trajectory pulled from the
     postings lists (tombstoned slots reachable through stale hit streams
     are excluded, so the numbers do not drift after removals — matching
-    ``FanoutStats.candidates`` on the sharded backend); ``scored``
-    counts only those whose Jaccard distance survived the
+    ``FanoutStats.candidates`` on the sharded backend); ``pruned``
+    counts candidates the count-based minimum-overlap threshold cut
+    before any distance computation (0 unless ``max_distance`` < 1);
+    ``scored`` counts only those whose Jaccard distance survived the
     ``max_distance`` filter (the results actually ranked); ``returned``
     is what the ``limit`` cut left over.
     """
@@ -74,6 +69,7 @@ class QueryStats:
     candidates: int
     scored: int
     returned: int
+    pruned: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,8 +100,10 @@ class TrajectoryInvertedIndex:
         # Columnar postings: term -> sorted int64 array + append buffer.
         self._postings = PostingsStore()
         # The arena owns slot recycling; the aliases below share its
-        # lists so the query hot paths index them directly.
-        self._arena = SlotArena(num_columns=2)
+        # lists so the query hot paths index them directly.  It also
+        # maintains the per-slot cardinality column the vectorized
+        # scoring engine ranks with (no bitmaps touched at query time).
+        self._arena = SlotArena(num_columns=2, track_cardinality=True)
         self._ids = self._arena.ids
         self._id_to_internal = self._arena.id_to_internal
         self._term_sets: list[RoaringBitmap | Roaring64Map] = self._arena.columns[0]
@@ -119,7 +117,9 @@ class TrajectoryInvertedIndex:
         points: list[Point] | None,
     ) -> int:
         """Claim an internal slot, reusing ones freed by :meth:`remove`."""
-        return self._arena.allocate(trajectory_id, bitmap, points)
+        return self._arena.allocate(
+            trajectory_id, bitmap, points, cardinality=len(bitmap)
+        )
 
     # ------------------------------------------------------------------
     # Term extraction (subclass responsibility)
@@ -177,7 +177,9 @@ class TrajectoryInvertedIndex:
         """
         grouped: dict[int, list[int]] = {}
         for trajectory_id, terms, bitmap, points in rows:
-            internal = self._arena.allocate(trajectory_id, bitmap, points)
+            internal = self._arena.allocate(
+                trajectory_id, bitmap, points, cardinality=len(bitmap)
+            )
             for term in terms:
                 bucket = grouped.get(term)
                 if bucket is None:
@@ -268,30 +270,35 @@ class TrajectoryInvertedIndex:
         The serving tier caches extracted fingerprints and calls this
         directly so a cached query skips re-normalization and winnowing.
         Candidate collection is columnar: one concatenated hit stream,
-        one ``np.unique`` for the shared-term counts.
+        one ``np.unique`` for the shared-term counts; ranking is the
+        shared vectorized engine (:mod:`repro.core.scoring`) — per-slot
+        cardinalities turn the shared-term counts into exact Jaccard
+        distances with zero bitmap intersections, and the tombstone
+        guard is one boolean mask over the cardinality column.
+
+        ``terms`` are deduplicated up front: the count-based identity
+        needs one hit-stream entry per *distinct* shared term, so a
+        caller passing repeats would otherwise inflate the intersection
+        counts past the union (the internal paths always pass distinct
+        terms; this guards the public surface).
         """
-        internals, counts = merge_hits([self._postings.hits(terms)])
-        kept: list[SearchResult] = []
-        live = 0
-        for internal, shared in zip(internals.tolist(), counts.tolist()):
-            # Same tombstone guard as score_matches: a dead slot reached
-            # through a stale hit stream must neither be scored (its
-            # empty bitmap would rank) nor surface its sentinel id.
-            if self._ids[internal] is TOMBSTONE:
-                continue
-            live += 1
-            distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
-            if distance <= max_distance:
-                kept.append(
-                    SearchResult(self._ids[internal], distance, shared)
-                )
-        kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
-        returned = kept if limit is None else kept[:limit]
+        distinct = sorted(set(terms))
+        matches = merge_hits([self._postings.hits(distinct)])
+        assert self._arena.cardinalities is not None
+        returned, scoring = rank_candidates(
+            matches,
+            self._arena.cardinalities.view(),
+            self._ids,
+            len(query_bitmap),
+            limit,
+            max_distance,
+        )
         stats = QueryStats(
-            query_terms=len(terms),
-            candidates=live,
-            scored=len(kept),
+            query_terms=len(distinct),
+            candidates=scoring.candidates,
+            scored=scoring.scored,
             returned=len(returned),
+            pruned=scoring.pruned,
         )
         return returned, stats
 
@@ -315,8 +322,8 @@ class TrajectoryInvertedIndex:
             self.shard_partial(shard_id, shard_terms)
             for shard_id, shard_terms in prepared.plan.items()
         )
-        returned = self.score_matches(prepared, matches, limit, max_distance)
-        return returned, self.fanout_stats(prepared, matches)
+        returned, scoring = self.rank_matches(prepared, matches, limit, max_distance)
+        return returned, self.fanout_stats(prepared, matches, scoring)
 
     def shard_partial(
         self, shard_id: int, terms: Sequence[int]
@@ -344,6 +351,29 @@ class TrajectoryInvertedIndex:
             raise ValueError(f"single-node index has only shard 0, got {shard_id}")
         return self._postings.postings_map(terms)
 
+    def rank_matches(
+        self,
+        prepared: PreparedQuery,
+        matches: MatchCounts,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[list[SearchResult], ScoringStats]:
+        """Rank merged candidates through the shared vectorized engine.
+
+        This is the one scoring entry point every query path uses —
+        sequential, pooled, and micro-batched execution all end here, so
+        they rank identically by construction.
+        """
+        assert self._arena.cardinalities is not None
+        return rank_candidates(
+            matches,
+            self._arena.cardinalities.view(),
+            self._ids,
+            len(prepared.query_bitmap),
+            limit,
+            max_distance,
+        )
+
     def score_matches(
         self,
         prepared: PreparedQuery,
@@ -351,39 +381,66 @@ class TrajectoryInvertedIndex:
         limit: int | None = None,
         max_distance: float = 1.0,
     ) -> list[SearchResult]:
-        """Rank merged candidates by Jaccard distance."""
-        kept: list[SearchResult] = []
-        query_bitmap = prepared.query_bitmap
-        internals, counts = matches
-        for internal, shared in zip(internals.tolist(), counts.tolist()):
-            if self._ids[internal] is TOMBSTONE:
-                continue
-            distance = query_bitmap.jaccard_distance(self._term_sets[internal])  # type: ignore[arg-type]
-            if distance <= max_distance:
-                kept.append(SearchResult(self._ids[internal], distance, shared))
-        kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
-        return kept if limit is None else kept[:limit]
+        """Rank merged candidates by Jaccard distance (results only)."""
+        return self.rank_matches(prepared, matches, limit, max_distance)[0]
+
+    def score_matches_scalar(
+        self,
+        prepared: PreparedQuery,
+        matches: MatchCounts,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> list[SearchResult]:
+        """The retired per-candidate bitmap loop (test/bench oracle).
+
+        One bitmap intersection per candidate — kept so property tests
+        can assert rank/distance/tie-break identity with the vectorized
+        engine and ``bench_scoring.py`` can measure the speedup.  Not
+        called by any serving path.
+        """
+        return rank_candidates_scalar(
+            matches,
+            self._term_sets,
+            self._ids,
+            prepared.query_bitmap,
+            limit,
+            max_distance,
+        )
 
     def _live_candidates(self, internals: np.ndarray) -> int:
         """Merged candidates that reference live (non-tombstoned) slots.
 
         ``len(internals)`` would count dead slots reachable through stale
         hit streams, drifting the Figure-14 work numbers after removals;
-        both backends report this filtered count instead.
+        both backends report this filtered count instead (one shared
+        mask over the cardinality column).
         """
-        ids = self._ids
-        return sum(1 for i in internals.tolist() if ids[i] is not TOMBSTONE)
+        assert self._arena.cardinalities is not None
+        return live_candidates(self._arena.cardinalities.view(), internals)
 
     def fanout_stats(
-        self, prepared: PreparedQuery, matches: MatchCounts
+        self,
+        prepared: PreparedQuery,
+        matches: MatchCounts,
+        scoring: ScoringStats | None = None,
     ) -> FanoutStats:
-        """Fan-out accounting (one shard on one node, when contacted)."""
+        """Fan-out accounting (one shard on one node, when contacted).
+
+        Pass the :class:`ScoringStats` of the ranking pass when one was
+        performed — the live-candidate count is reused instead of
+        recomputed and the ``pruned`` counter rides along.
+        """
         contacted = len(prepared.plan)
         return FanoutStats(
             query_terms=len(prepared.terms),
             shards_contacted=contacted,
             nodes_contacted=min(contacted, 1),
-            candidates=self._live_candidates(matches[0]),
+            candidates=(
+                scoring.candidates
+                if scoring is not None
+                else self._live_candidates(matches[0])
+            ),
+            pruned=scoring.pruned if scoring is not None else 0,
         )
 
     def candidates(self, points: Trajectory) -> set[Hashable]:

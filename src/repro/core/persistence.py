@@ -38,7 +38,7 @@ from typing import TYPE_CHECKING, Hashable, Iterable
 import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
-from .arena import TOMBSTONE
+from .arena import TOMBSTONE, TOMBSTONE_CARD
 from .config import GeodabConfig
 from .fingerprint import FingerprintSet
 from .index import GeodabIndex, Normalizer
@@ -53,6 +53,7 @@ __all__ = [
     "load_index",
     "publish_snapshot",
     "resolve_snapshot",
+    "prune_snapshots",
 ]
 
 #: Format identifier written into every file.
@@ -353,6 +354,15 @@ def _load_v2(
     ]
     bitmaps = _read_bitmaps(path / _BITMAPS_NAME, wide, len(slot_ids))
     postings_files = manifest["postings_files"]
+    # The scoring engine's cardinality column is validate-rebuilt from
+    # the deserialized bitmaps (|T| is a container-count sum, so this is
+    # O(slots) cheap) rather than persisted — exact by construction, and
+    # pre-PR-5 snapshots warm-start onto the fast path with no format
+    # change.
+    cardinalities = [
+        TOMBSTONE_CARD if slot_id is TOMBSTONE else len(bitmap)
+        for slot_id, bitmap in zip(slot_ids, bitmaps)
+    ]
 
     if manifest["kind"] == "sharded":
         sharding = ShardingConfig(**manifest["sharding"])
@@ -362,7 +372,7 @@ def _load_v2(
                 f"{sharding.num_shards} shards"
             )
         sharded = ShardedGeodabIndex(config, sharding, normalizer=normalizer)
-        sharded._arena.restore(slot_ids, (bitmaps,))
+        sharded._arena.restore(slot_ids, (bitmaps,), cardinalities)
         for shard, name in zip(sharded.shards, postings_files):
             shard.postings = PostingsStore.load(path / name, mmap_mode)
         return sharded
@@ -374,7 +384,9 @@ def _load_v2(
             f"{path}: single-node snapshot needs exactly one postings file"
         )
     index = GeodabIndex(config, normalizer=normalizer)
-    index._arena.restore(slot_ids, (bitmaps, [None] * len(slot_ids)))
+    index._arena.restore(
+        slot_ids, (bitmaps, [None] * len(slot_ids)), cardinalities
+    )
     index._postings = PostingsStore.load(path / postings_files[0], mmap_mode)
     live = [
         (slot, slot_id)
@@ -495,3 +507,56 @@ def resolve_snapshot(directory: str | Path) -> Path | None:
     if not (target / MANIFEST_NAME).is_file():
         return None
     return target
+
+
+def prune_snapshots(directory: str | Path, keep: int = 3) -> list[Path]:
+    """Delete superseded ``snapshot-*`` directories, newest ``keep`` kept.
+
+    Every :func:`publish_snapshot` lands in a fresh uniquely-tagged
+    directory, so a long-running service accumulates one snapshot per
+    ``POST /admin/snapshot`` forever unless something collects them.
+    This keeps the ``keep`` most recent *complete* snapshots (publish
+    order, by directory mtime with the name as tie-break) plus —
+    unconditionally — the one the ``CURRENT`` pointer names, and
+    deletes the rest.  Torn directories (no manifest: a crash between
+    staging and pointer flip) are unloadable garbage and are always
+    removed.  Returns the deleted paths.
+
+    Safe against a process still serving a pruned snapshot via
+    ``np.memmap`` on POSIX: unlinking only drops the directory entries,
+    and the mapped pages stay valid until unmapped.
+    """
+    if keep < 1:
+        raise ValueError("keep must be positive")
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    current = resolve_snapshot(directory)
+    complete: list[Path] = []
+    removed: list[Path] = []
+
+    def try_remove(path: Path) -> None:
+        # Report only what actually left the disk: a directory rmtree
+        # could not fully delete (permissions, open handles on
+        # non-POSIX filesystems) must not inflate the GC count the
+        # admin endpoint surfaces — it will be retried next prune.
+        shutil.rmtree(path, ignore_errors=True)
+        if not path.exists():
+            removed.append(path)
+
+    for path in directory.iterdir():
+        if not path.is_dir() or not path.name.startswith("snapshot-"):
+            continue
+        if (path / MANIFEST_NAME).is_file():
+            complete.append(path)
+        else:
+            try_remove(path)
+    complete.sort(key=lambda p: (p.stat().st_mtime, p.name), reverse=True)
+    survivors = set(complete[:keep])
+    if current is not None:
+        survivors.add(current)
+    for path in complete[keep:]:
+        if path in survivors:
+            continue
+        try_remove(path)
+    return removed

@@ -55,10 +55,14 @@ class FanoutStats:
     ``candidates`` counts merged candidates referencing *live* slots
     only, consistent with ``QueryStats.candidates`` on the single-node
     backend — tombstoned slots never count, so the numbers do not drift
-    after removals.
+    after removals.  ``pruned`` counts candidates the scoring engine's
+    count-based minimum-overlap threshold eliminated before computing
+    any distance (0 unless ``max_distance`` < 1; see
+    :mod:`repro.core.scoring`).
     """
 
     query_terms: int
     shards_contacted: int
     nodes_contacted: int
     candidates: int
+    pruned: int = 0

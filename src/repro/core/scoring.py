@@ -1,0 +1,229 @@
+"""Vectorized top-k Jaccard ranking shared by every query path.
+
+Candidate *collection* has been columnar since PR 3 (`merge_hits` turns
+per-shard hit streams into ``(internal_ids, shared_term_counts)`` in one
+``np.unique`` pass), but candidate *ranking* still looped per candidate
+calling ``Roaring64Map.jaccard_distance``.  This module closes that gap
+with an identity the paper's Equation 1 makes available for free: with
+
+* ``inter`` — the shared-term count ``merge_hits`` already returns
+  (``|Q ∩ T|``: query plan terms and stored postings terms are both the
+  *distinct* fingerprint values, so the multiplicity count is exactly
+  the bitmap intersection cardinality), and
+* ``card[slot]`` — the stored term-set cardinality ``|T|`` kept in the
+  arena's :class:`~repro.core.arena.CardinalityColumn`,
+
+the Jaccard distance is ``1 - inter / (|Q| + card[slot] - inter)``.
+Scoring an entire candidate set is therefore a handful of numpy ops with
+**zero bitmap intersections**, followed by an ``np.partition`` top-k cut
+and one small Python sort for the deterministic
+``(distance, str(id))`` tie-break.
+
+Identity with the scalar path is exact, not approximate: the distance is
+computed with the same IEEE-754 ops (`int64 / int64 -> float64`, then
+``1.0 - x``) the per-candidate ``jaccard_distance`` used, so ranks,
+distances, and tie-breaks are bit-identical (property-tested against
+:func:`rank_candidates_scalar`, the retained pre-refactor loop).
+
+Count-based pruning (the kNN-style cut of Gudmundsson et al.'s proximity
+structures): ``distance <= D`` is algebraically equivalent to
+``inter * (2 - D) >= (1 - D) * (|Q| + card)``, so a ``max_distance``
+bound below 1.0 becomes a *minimum-overlap threshold* applied in one
+boolean mask before any distance is computed.  The float evaluation of
+the threshold carries a conservative slack — borderline candidates
+survive the prune and the exact distance mask decides — so pruning can
+never change results, only skip work; the number of candidates cut this
+way surfaces as the ``pruned`` statistic.  When ``limit`` is set, the
+running k-th-best distance (found by ``np.partition``) cuts every
+candidate that cannot reach the top k under any tie-break before the
+final sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from .arena import TOMBSTONE
+from .query import MatchCounts
+
+__all__ = [
+    "ScoringStats",
+    "SearchResult",
+    "live_candidates",
+    "rank_candidates",
+    "rank_candidates_scalar",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """One ranked retrieval hit."""
+
+    trajectory_id: Hashable
+    distance: float
+    shared_terms: int
+
+    @property
+    def jaccard(self) -> float:
+        """Jaccard coefficient (complement of the reported distance)."""
+        return 1.0 - self.distance
+
+
+@dataclass(frozen=True, slots=True)
+class ScoringStats:
+    """Work accounting of one ranking pass.
+
+    ``candidates`` counts the live (non-tombstoned) merged candidates;
+    ``pruned`` counts those eliminated by the count-based minimum-overlap
+    threshold *before* any distance was computed (always 0 when
+    ``max_distance`` is 1.0 — the threshold degenerates to "shares at
+    least nothing"); ``scored`` counts the candidates whose exact
+    distance passed ``max_distance`` (the set actually ranked, identical
+    to the pre-refactor ``scored``).
+    """
+
+    candidates: int
+    pruned: int
+    scored: int
+
+
+#: Shared empty accounting for the no-candidate early exits.
+_EMPTY_STATS = ScoringStats(candidates=0, pruned=0, scored=0)
+
+
+def _min_overlap_mask(
+    counts: np.ndarray,
+    slot_cards: np.ndarray,
+    query_size: int,
+    max_distance: float,
+) -> np.ndarray:
+    """Candidates that *may* fall within ``max_distance`` (conservative).
+
+    Exact arithmetic: ``distance <= D  <=>  inter*(2-D) >= (1-D)*(|Q|+|T|)``.
+    Evaluated in float64 the comparison could misjudge borderline
+    candidates by a few ulps, so the right side is slackened by an
+    amount far above the worst-case rounding error — any candidate the
+    exact distance check would keep survives the mask, and the distance
+    mask downstream makes the final (exact) call.
+    """
+    sizes = query_size + slot_cards
+    slack = 1e-9 * (sizes + 1.0)
+    return counts * (2.0 - max_distance) >= (1.0 - max_distance) * sizes - slack
+
+
+def live_candidates(cards: np.ndarray, internals: np.ndarray) -> int:
+    """Merged candidates referencing live (non-tombstoned) slots.
+
+    One mask over the cardinality column (dead slots are negative) —
+    the single definition of candidate liveness both backends report,
+    so the Figure-14 work accounting cannot drift between them.
+    """
+    if not len(internals):
+        return 0
+    return int(np.count_nonzero(cards[internals] >= 0))
+
+
+def rank_candidates(
+    matches: MatchCounts,
+    cards: np.ndarray,
+    ids: Sequence[Hashable],
+    query_size: int,
+    limit: int | None = None,
+    max_distance: float = 1.0,
+) -> tuple[list[SearchResult], ScoringStats]:
+    """Rank merged candidates by Jaccard distance, fully vectorized.
+
+    ``matches`` is the ``merge_hits`` output; ``cards`` the per-slot
+    cardinality column view (``TOMBSTONE_CARD`` marks dead slots, so the
+    tombstone guard is one boolean mask); ``ids`` maps slots to external
+    identifiers for the results; ``query_size`` is ``|Q|``, the query
+    bitmap's cardinality.  Results are ordered by increasing distance
+    with ties broken by ``str(id)`` — the contract of Section II-B1 —
+    and cut to ``limit``.
+    """
+    internals, counts = matches
+    if len(internals) == 0:
+        return [], _EMPTY_STATS
+    slot_cards = cards[internals]
+    live = slot_cards >= 0
+    num_live = int(np.count_nonzero(live))
+    if num_live == 0:
+        return [], _EMPTY_STATS
+    if num_live < len(internals):
+        internals = internals[live]
+        counts = counts[live]
+        slot_cards = slot_cards[live]
+    pruned = 0
+    if max_distance < 1.0:
+        admissible = _min_overlap_mask(counts, slot_cards, query_size, max_distance)
+        pruned = num_live - int(np.count_nonzero(admissible))
+        if pruned:
+            internals = internals[admissible]
+            counts = counts[admissible]
+            slot_cards = slot_cards[admissible]
+            if len(internals) == 0:
+                return [], ScoringStats(num_live, pruned, 0)
+    # Exact distances in one sweep — the same IEEE-754 operations the
+    # per-candidate bitmap path performed, so values are bit-identical.
+    union = query_size + slot_cards - counts
+    distance = 1.0 - counts / union
+    within = distance <= max_distance
+    scored = int(np.count_nonzero(within))
+    stats = ScoringStats(candidates=num_live, pruned=pruned, scored=scored)
+    if scored == 0:
+        return [], stats
+    if scored < len(internals):
+        internals = internals[within]
+        counts = counts[within]
+        distance = distance[within]
+    if limit is not None and limit < len(distance):
+        # k-th-best cut: nothing beyond the k-th smallest distance can
+        # enter the top k under any tie-break, so only the (usually
+        # tiny) prefix reaches the Python tie-break sort.
+        kth = np.partition(distance, limit - 1)[limit - 1]
+        contenders = distance <= kth
+        internals = internals[contenders]
+        counts = counts[contenders]
+        distance = distance[contenders]
+    results = [
+        SearchResult(ids[slot], dist, shared)
+        for slot, dist, shared in zip(
+            internals.tolist(), distance.tolist(), counts.tolist()
+        )
+    ]
+    results.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+    if limit is not None:
+        del results[limit:]
+    return results, stats
+
+
+def rank_candidates_scalar(
+    matches: MatchCounts,
+    bitmaps: Sequence[RoaringBitmap | Roaring64Map],
+    ids: Sequence[Hashable],
+    query_bitmap: RoaringBitmap | Roaring64Map,
+    limit: int | None = None,
+    max_distance: float = 1.0,
+) -> list[SearchResult]:
+    """The pre-vectorization per-candidate bitmap loop, kept as oracle.
+
+    One ``jaccard_distance`` bitmap intersection per candidate — this is
+    what ``score_matches`` did on both backends before the engine above
+    replaced it.  The property tests assert rank/distance/tie-break
+    identity against it, and ``benchmarks/bench_scoring.py`` measures
+    the speedup over it; nothing on the serving hot path calls it.
+    """
+    kept: list[SearchResult] = []
+    internals, counts = matches
+    for internal, shared in zip(internals.tolist(), counts.tolist()):
+        if ids[internal] is TOMBSTONE:
+            continue
+        distance = query_bitmap.jaccard_distance(bitmaps[internal])  # type: ignore[arg-type]
+        if distance <= max_distance:
+            kept.append(SearchResult(ids[internal], distance, shared))
+    kept.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+    return kept if limit is None else kept[:limit]

@@ -37,15 +37,25 @@ def _intersection_and_union(a: FingerprintSet, b: FingerprintSet) -> tuple[int, 
 
 
 def jaccard(a: FingerprintSet, b: FingerprintSet) -> float:
-    """Jaccard coefficient ``|A & B| / |A | B|``; 1.0 for two empty sets."""
+    """Jaccard coefficient ``|A & B| / |A | B|``; 0.0 for two empty sets.
+
+    The empty/empty coefficient (``0/0``) is *defined* as 0.0 —
+    distance 1.0 — matching the bitmap implementations and the
+    vectorized scoring engine: an empty fingerprint set never counts as
+    a perfect match of another empty one.
+    """
     inter, union = _intersection_and_union(a, b)
     if union == 0:
-        return 1.0
+        return 0.0
     return inter / union
 
 
 def jaccard_distance(a: FingerprintSet, b: FingerprintSet) -> float:
-    """Jaccard distance ``1 - jaccard(a, b)`` — the paper's Equation 1."""
+    """Jaccard distance ``1 - jaccard(a, b)`` — the paper's Equation 1.
+
+    1.0 (maximally distant) for two empty sets; never a
+    ``ZeroDivisionError``.
+    """
     return 1.0 - jaccard(a, b)
 
 

@@ -39,13 +39,18 @@ from ..cluster.cluster import ShardedGeodabIndex
 from ..core.index import GeodabIndex, SearchResult
 from ..core.postings import merge_hits
 from ..core.query import MatchCounts, PreparedQuery
+from ..core.scoring import ScoringStats
 
 __all__ = ["ExecutionStats", "QueryExecutor"]
 
 
 @dataclass(frozen=True, slots=True)
 class ExecutionStats:
-    """How one query was executed by the serving tier."""
+    """How one query was executed by the serving tier.
+
+    ``pruned`` carries the scoring engine's count: candidates cut by the
+    minimum-overlap threshold before any distance was computed.
+    """
 
     query_terms: int
     shards_contacted: int
@@ -54,6 +59,7 @@ class ExecutionStats:
     fanout_width: int
     batch_size: int
     pooled: bool
+    pruned: int = 0
 
 
 class _Pending:
@@ -138,8 +144,10 @@ class QueryExecutor:
         if self.batch_window_s > 0:
             return self._execute_batched(prepared, limit, max_distance)
         matches = self._fanout_single(prepared)
-        results = self.index.score_matches(prepared, matches, limit, max_distance)
-        return results, self._stats(prepared, matches, batch_size=1)
+        results, scoring = self.index.rank_matches(
+            prepared, matches, limit, max_distance
+        )
+        return results, self._stats(prepared, matches, batch_size=1, scoring=scoring)
 
     def execute_prepared_many(
         self,
@@ -289,10 +297,12 @@ class QueryExecutor:
                         if posting is not None:
                             chunks.append(posting)
                 matches = merge_hits(chunks)
-                item.results = self.index.score_matches(
+                item.results, scoring = self.index.rank_matches(
                     item.prepared, matches, item.limit, item.max_distance
                 )
-                item.stats = self._stats(item.prepared, matches, batch_size=len(batch))
+                item.stats = self._stats(
+                    item.prepared, matches, batch_size=len(batch), scoring=scoring
+                )
             except BaseException as exc:
                 item.error = exc
 
@@ -305,8 +315,9 @@ class QueryExecutor:
         prepared: PreparedQuery,
         matches: MatchCounts,
         batch_size: int,
+        scoring: ScoringStats | None = None,
     ) -> ExecutionStats:
-        fanout = self.index.fanout_stats(prepared, matches)
+        fanout = self.index.fanout_stats(prepared, matches, scoring)
         pooled = self._pool is not None
         return ExecutionStats(
             query_terms=fanout.query_terms,
@@ -319,4 +330,5 @@ class QueryExecutor:
             ),
             batch_size=batch_size,
             pooled=pooled,
+            pruned=fanout.pruned,
         )

@@ -16,7 +16,9 @@ Endpoints (all JSON):
 * ``POST /admin/snapshot`` — write a durable v2 snapshot of the index
   under the server's ``--snapshot-dir`` (fixed at start; not
   client-controllable); returns the snapshot metadata.  The next
-  ``geodabs serve --snapshot-dir`` warm-starts from it.
+  ``geodabs serve --snapshot-dir`` warm-starts from it.  With
+  ``--snapshot-keep N`` superseded ``snapshot-*`` directories beyond
+  the ``N`` newest are garbage-collected after each publish.
 * ``GET /stats`` — index shape, cache counters, qps/latency quantiles,
   last-snapshot and compaction metadata.
 * ``GET /healthz`` — liveness plus the current write generation.
@@ -280,7 +282,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "with --snapshot-dir"
             )
         try:
-            info = self.server.service.snapshot(directory)
+            info = self.server.service.snapshot(
+                directory, keep=self.server.snapshot_keep
+            )
         except ValueError as exc:
             raise _BadRequest(str(exc)) from exc
         self._send(200, info)
@@ -363,12 +367,16 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         service: IndexService,
         verbose: bool = False,
         snapshot_dir: str | None = None,
+        snapshot_keep: int | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
         #: Default target of ``POST /admin/snapshot`` (``--snapshot-dir``).
         self.snapshot_dir = snapshot_dir
+        #: Snapshot GC policy (``--snapshot-keep``): after each publish,
+        #: keep this many recent snapshots (``None`` = keep everything).
+        self.snapshot_keep = snapshot_keep
 
     @property
     def url(self) -> str:
@@ -383,6 +391,7 @@ def start_server(
     port: int = 0,
     verbose: bool = False,
     snapshot_dir: str | None = None,
+    snapshot_keep: int | None = None,
 ) -> ServiceHTTPServer:
     """Bind and serve in a daemon thread; returns the running server.
 
@@ -390,7 +399,11 @@ def start_server(
     ``server.shutdown()`` stops the serving loop.
     """
     server = ServiceHTTPServer(
-        (host, port), service, verbose=verbose, snapshot_dir=snapshot_dir
+        (host, port),
+        service,
+        verbose=verbose,
+        snapshot_dir=snapshot_dir,
+        snapshot_keep=snapshot_keep,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="geodab-http", daemon=True

@@ -45,6 +45,7 @@ class MetricsSnapshot:
     cache_hit_rate: float
     mean_fanout_width: float
     mean_batch_size: float
+    pruned_candidates: int = 0
 
     def as_dict(self) -> dict[str, float | int]:
         """JSON-ready representation (the ``/stats`` payload)."""
@@ -62,6 +63,7 @@ class MetricsSnapshot:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "mean_fanout_width": round(self.mean_fanout_width, 3),
             "mean_batch_size": round(self.mean_batch_size, 3),
+            "pruned_candidates": self.pruned_candidates,
         }
 
 
@@ -88,6 +90,7 @@ class ServiceMetrics:
         self._errors = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._pruned_candidates = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -99,8 +102,13 @@ class ServiceMetrics:
         cached: bool,
         fanout_width: int = 0,
         batch_size: int = 1,
+        pruned: int = 0,
     ) -> None:
-        """Account one served query."""
+        """Account one served query.
+
+        ``pruned`` is the scoring engine's candidate-prune count for the
+        execution; cache hits pass 0 (no scoring work was performed).
+        """
         now = self._clock()
         with self._lock:
             self._queries += 1
@@ -113,6 +121,7 @@ class ServiceMetrics:
                 self._cache_misses += 1
                 self._fanout_widths.append(fanout_width)
                 self._batch_sizes.append(batch_size)
+                self._pruned_candidates += pruned
 
     def record_ingest(self, count: int) -> None:
         """Account an ingest of ``count`` trajectories."""
@@ -164,4 +173,5 @@ class ServiceMetrics:
                 cache_hit_rate=self._cache_hits / lookups if lookups else 0.0,
                 mean_fanout_width=sum(widths) / len(widths) if widths else 0.0,
                 mean_batch_size=sum(batches) / len(batches) if batches else 0.0,
+                pruned_candidates=self._pruned_candidates,
             )

@@ -17,9 +17,13 @@ application) talks to.  It owns:
 * a :class:`~repro.service.metrics.ServiceMetrics` registry surfaced by
   ``GET /stats``;
 * a :class:`CompactionPolicy` that folds hot append buffers off the
-  write path, and :meth:`IndexService.snapshot` — a durable v2 snapshot
-  (taken under the read lock) that ``geodabs serve --snapshot-dir``
-  warm-starts from without re-deriving any postings.
+  write path — proactively after writes, and (when
+  ``maintenance_interval_s`` is set) from a background maintenance
+  daemon that keeps the age trigger honest even when writes go idle;
+* :meth:`IndexService.snapshot` — a durable v2 snapshot (taken under
+  the read lock) that ``geodabs serve --snapshot-dir`` warm-starts from
+  without re-deriving any postings, with optional GC of superseded
+  ``snapshot-*`` directories (``keep=N``).
 
 The same facade serves a single-node :class:`~repro.core.index.GeodabIndex`
 and a :class:`~repro.cluster.cluster.ShardedGeodabIndex` through one
@@ -32,15 +36,16 @@ pooled fan-out), which the integration tests assert.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
-from typing import Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Sequence
 
 from ..cluster.cluster import ShardedGeodabIndex
 from ..core.index import GeodabIndex, SearchResult
-from ..core.persistence import publish_snapshot
+from ..core.persistence import prune_snapshots, publish_snapshot
 from ..geo.point import Point, Trajectory
 from .cache import LRUCache, MISS, digest_points, digest_terms
 from .executor import QueryExecutor
@@ -89,7 +94,12 @@ _DEFAULT_COMPACTION = CompactionPolicy()
 
 @dataclass(frozen=True, slots=True)
 class QueryResponse:
-    """What the serving tier returns for one query."""
+    """What the serving tier returns for one query.
+
+    ``pruned`` is the scoring engine's count of candidates eliminated by
+    the count-based minimum-overlap threshold before any distance was
+    computed (0 unless the query set ``max_distance`` below 1).
+    """
 
     results: tuple[SearchResult, ...]
     generation: int
@@ -97,6 +107,7 @@ class QueryResponse:
     candidates: int
     shards_contacted: int
     latency_s: float
+    pruned: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready representation (the ``POST /query`` payload)."""
@@ -112,6 +123,7 @@ class QueryResponse:
             "generation": self.generation,
             "cached": self.cached,
             "candidates": self.candidates,
+            "pruned": self.pruned,
             "shards_contacted": self.shards_contacted,
             "latency_ms": round(self.latency_s * 1000.0, 3),
         }
@@ -128,9 +140,13 @@ class IndexService:
         fingerprint_cache_size: int = 4096,
         metrics: ServiceMetrics | None = None,
         compaction: CompactionPolicy | None = _DEFAULT_COMPACTION,
+        maintenance_interval_s: float | None = None,
+        clock: Callable[[], float] = perf_counter,
     ) -> None:
         if executor is not None and executor.index is not index:
             raise ValueError("executor must wrap the served index")
+        if maintenance_interval_s is not None and maintenance_interval_s <= 0:
+            raise ValueError("maintenance_interval_s must be positive")
         self.index = index
         self.executor = executor
         self.metrics = metrics or ServiceMetrics()
@@ -140,8 +156,29 @@ class IndexService:
         self._generation = 0
         self._compaction = compaction
         self._compactions = 0
+        #: Monotonic clock for buffer-age accounting; injectable so the
+        #: maintenance tests can drive the age trigger with a fake clock.
+        self._clock = clock
         self._buffers_dirty_since: float | None = None
         self._last_snapshot: dict | None = None
+        # Serializes snapshot publish + prune so concurrent admin calls
+        # cannot GC each other's snapshots mid-publish.
+        self._snapshot_mutex = threading.Lock()
+        # Background maintenance: the write-path compaction triggers only
+        # fire *on* writes, so an idle service could sit on aged append
+        # buffers forever.  The daemon re-evaluates the policy every
+        # ``maintenance_interval_s`` seconds; ``close()`` stops it.
+        self._maintenance_interval_s = maintenance_interval_s
+        self._maintenance_ticks = 0
+        self._maintenance_stop = threading.Event()
+        self._maintenance_thread: threading.Thread | None = None
+        if maintenance_interval_s is not None:
+            self._maintenance_thread = threading.Thread(
+                target=self._maintenance_loop,
+                name="geodab-maintenance",
+                daemon=True,
+            )
+            self._maintenance_thread.start()
 
     # ------------------------------------------------------------------
     # Writes (exclusive; every write bumps the generation)
@@ -184,7 +221,7 @@ class IndexService:
             generation = self._generation
         self.metrics.record_ingest(len(batch))
         if batch and self._buffers_dirty_since is None:
-            self._buffers_dirty_since = perf_counter()
+            self._buffers_dirty_since = self._clock()
         self._maybe_compact()
         return len(batch), generation
 
@@ -240,26 +277,34 @@ class IndexService:
             if caching:
                 hit = self.result_cache.get(cache_key, generation)
             if hit is MISS:
-                results, candidates, shards, width, batch = self._execute(
+                results, candidates, shards, pruned, width, batch = self._execute(
                     prepared, limit, max_distance
                 )
                 if caching:
                     self.result_cache.put(
-                        cache_key, (results, candidates, shards), generation
+                        cache_key, (results, candidates, shards, pruned), generation
                     )
         # Metrics recording takes the registry's own lock; keep it (and
         # the latency arithmetic) off the index read lock so a slow
         # metrics consumer never extends reader critical sections.
         if hit is not MISS:
-            results, candidates, shards = hit
+            results, candidates, shards, pruned = hit
             latency = perf_counter() - start
             self.metrics.record_query(latency, cached=True)
-            return QueryResponse(results, generation, True, candidates, shards, latency)
+            return QueryResponse(
+                results, generation, True, candidates, shards, latency, pruned
+            )
         latency = perf_counter() - start
         self.metrics.record_query(
-            latency, cached=False, fanout_width=width, batch_size=batch
+            latency,
+            cached=False,
+            fanout_width=width,
+            batch_size=batch,
+            pruned=pruned,
         )
-        return QueryResponse(results, generation, False, candidates, shards, latency)
+        return QueryResponse(
+            results, generation, False, candidates, shards, latency, pruned
+        )
 
     def query_many(
         self,
@@ -319,8 +364,8 @@ class IndexService:
                 if caching:
                     hit = self.result_cache.get(cache_keys[position], generation)
                     if hit is not MISS:
-                        results, candidates, shards = hit
-                        payloads[position] = (results, candidates, shards, 1, 1)
+                        results, candidates, shards, pruned = hit
+                        payloads[position] = (results, candidates, shards, pruned, 1, 1)
                         cached_flags[position] = True
                         continue
                 to_run.append(position)
@@ -351,6 +396,7 @@ class IndexService:
                             tuple(results),
                             stats.candidates,
                             stats.shards_contacted,
+                            stats.pruned,
                             stats.fanout_width,
                             stats.batch_size,
                         )
@@ -370,6 +416,7 @@ class IndexService:
                                 tuple(results),
                                 fanout.candidates,
                                 fanout.shards_contacted,
+                                fanout.pruned,
                                 1,
                                 1,
                             )
@@ -379,7 +426,7 @@ class IndexService:
                     if caching:
                         self.result_cache.put(
                             cache_keys[position],
-                            executed_at[position][:3],
+                            executed_at[position][:4],
                             generation,
                         )
                 for position in to_run:
@@ -393,16 +440,22 @@ class IndexService:
         latency = (perf_counter() - start) / total
         responses: list[QueryResponse] = []
         for position in range(total):
-            results, candidates, shards, width, batch_size = payloads[position]
+            results, candidates, shards, pruned, width, batch_size = payloads[position]
             cached = cached_flags[position]
             if cached:
                 self.metrics.record_query(latency, cached=True)
             else:
                 self.metrics.record_query(
-                    latency, cached=False, fanout_width=width, batch_size=batch_size
+                    latency,
+                    cached=False,
+                    fanout_width=width,
+                    batch_size=batch_size,
+                    pruned=pruned,
                 )
             responses.append(
-                QueryResponse(results, generation, cached, candidates, shards, latency)
+                QueryResponse(
+                    results, generation, cached, candidates, shards, latency, pruned
+                )
             )
         return responses
 
@@ -410,37 +463,64 @@ class IndexService:
     # Maintenance: compaction and snapshots
     # ------------------------------------------------------------------
 
-    def _maybe_compact(self) -> None:
+    def _maybe_compact(self) -> bool:
         """Fold append buffers when the compaction policy says so.
 
         Runs *after* the write lock is released, under a read lock:
         folding is reader-safe (guarded inside the postings store), so
         concurrent queries proceed and the write path never carries the
-        sort.  Called from the write paths; callers race benignly — a
-        second concurrent fold finds empty buffers and is a no-op.
+        sort.  Called from the write paths and the maintenance daemon;
+        callers race benignly — a second concurrent fold finds empty
+        buffers and is a no-op.  Returns whether a fold ran.
         """
         if self._compaction is None:
-            return
+            return False
         dirty_since = self._buffers_dirty_since
-        age_s = 0.0 if dirty_since is None else perf_counter() - dirty_since
+        age_s = 0.0 if dirty_since is None else self._clock() - dirty_since
         if not self._compaction.due(self.index.buffered_postings, age_s):
-            return
+            return False
+        # Clear the dirty marker *before* folding: a writer landing new
+        # buffers mid-fold finds it None and re-arms it, so aged buffers
+        # can never end up dirty with no marker (clearing after the fold
+        # would clobber that writer's fresh timestamp and an idle
+        # service would never fold them).  The stale-timestamp case —
+        # writer re-arms, then this fold absorbs its buffers too — only
+        # makes the next age trigger conservative, never wrong.
+        self._buffers_dirty_since = None
         with self._lock.read_locked():
             self.index.compact()
-        self._buffers_dirty_since = None
         self._compactions += 1
+        return True
+
+    def maintenance_tick(self) -> bool:
+        """One maintenance pass: re-evaluate the compaction policy.
+
+        This is what the background daemon runs every
+        ``maintenance_interval_s`` seconds; exposed so tests (and
+        embedders with their own schedulers) can drive it directly.
+        Returns whether the pass folded anything.
+        """
+        self._maintenance_ticks += 1
+        return self._maybe_compact()
+
+    def _maintenance_loop(self) -> None:
+        """Daemon body: tick until :meth:`close` sets the stop event."""
+        assert self._maintenance_interval_s is not None
+        while not self._maintenance_stop.wait(self._maintenance_interval_s):
+            self.maintenance_tick()
 
     def compact(self) -> int:
         """Force a fold of all append buffers; returns postings folded."""
         buffered = self.index.buffered_postings
+        # Same marker-before-fold ordering as _maybe_compact.
+        self._buffers_dirty_since = None
         with self._lock.read_locked():
             self.index.compact()
-        self._buffers_dirty_since = None
         if buffered:
             self._compactions += 1
         return buffered
 
-    def snapshot(self, directory: str | Path) -> dict:
+    def snapshot(self, directory: str | Path, keep: int | None = None) -> dict:
         """Write a durable v2 snapshot under ``directory``.
 
         Taken under the *read* lock: concurrent queries keep serving
@@ -450,27 +530,45 @@ class IndexService:
         columnar state.  The snapshot is published atomically (the
         ``CURRENT`` pointer flips only once the manifest is on disk) and
         its metadata is surfaced by :meth:`stats` until superseded.
+
+        With ``keep`` set, superseded ``snapshot-*`` directories beyond
+        the ``keep`` newest are garbage-collected after the publish
+        (:func:`repro.core.persistence.prune_snapshots`); the pruning
+        runs *off* the read lock — the just-published snapshot is
+        already durable and the pointer never references a pruned
+        directory.  Concurrent calls serialize on a snapshot mutex:
+        interleaving one call's publish with another's prune could
+        otherwise delete a snapshot between its directory rename and
+        its ``CURRENT`` flip, leaving a dangling pointer.
         """
+        if keep is not None and keep < 1:
+            # Validate before any durable work, matching the up-front
+            # validation rule the persistence layer follows.
+            raise ValueError("keep must be positive")
         start = perf_counter()
-        with self._lock.read_locked():
-            generation = self._generation
-            self.index.compact()
-            # The tag carries a wall-clock suffix so every publish lands
-            # in a fresh directory: generations restart at 0 after a
-            # warm start, and overwriting the directory CURRENT points
-            # at would reopen the torn-snapshot window the pointer flip
-            # exists to close.  (GC of superseded snapshot-* directories
-            # is a noted follow-up.)
-            tag = f"g{generation:08d}-{time.time_ns():x}"
-            target = publish_snapshot(self.index, directory, tag=tag)
-            trajectories = len(self.index)
-        self._buffers_dirty_since = None
+        with self._snapshot_mutex:
+            self._buffers_dirty_since = None
+            with self._lock.read_locked():
+                generation = self._generation
+                self.index.compact()
+                # The tag carries a wall-clock suffix so every publish
+                # lands in a fresh directory: generations restart at 0
+                # after a warm start, and overwriting the directory
+                # CURRENT points at would reopen the torn-snapshot
+                # window the pointer flip exists to close.
+                tag = f"g{generation:08d}-{time.time_ns():x}"
+                target = publish_snapshot(self.index, directory, tag=tag)
+                trajectories = len(self.index)
+            pruned_snapshots: list[Path] = []
+            if keep is not None:
+                pruned_snapshots = prune_snapshots(directory, keep)
         info = {
             "path": str(target),
             "generation": generation,
             "trajectories": trajectories,
             "at": time.time(),
             "duration_s": round(perf_counter() - start, 6),
+            "pruned_snapshots": len(pruned_snapshots),
         }
         self._last_snapshot = info
         return info
@@ -485,6 +583,7 @@ class IndexService:
                 tuple(results),
                 stats.candidates,
                 stats.shards_contacted,
+                stats.pruned,
                 stats.fanout_width,
                 stats.batch_size,
             )
@@ -493,6 +592,7 @@ class IndexService:
             tuple(results),
             fanout.candidates,
             fanout.shards_contacted,
+            fanout.pruned,
             1,
             1,
         )
@@ -524,6 +624,11 @@ class IndexService:
                 "runs": self._compactions,
                 "buffered_postings": self.index.buffered_postings,
             },
+            "maintenance": {
+                "enabled": self._maintenance_thread is not None,
+                "interval_s": self._maintenance_interval_s,
+                "ticks": self._maintenance_ticks,
+            },
             "metrics": self.metrics.snapshot().as_dict(),
             "result_cache": {
                 "size": result_stats.size,
@@ -542,6 +647,10 @@ class IndexService:
         }
 
     def close(self) -> None:
-        """Release executor resources."""
+        """Stop the maintenance daemon and release executor resources."""
+        self._maintenance_stop.set()
+        if self._maintenance_thread is not None:
+            self._maintenance_thread.join(timeout=5.0)
+            self._maintenance_thread = None
         if self.executor is not None:
             self.executor.close()

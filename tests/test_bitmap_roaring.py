@@ -182,7 +182,10 @@ class TestJaccard:
         assert a.jaccard_distance(b) == 1.0
 
     def test_both_empty(self):
-        assert RoaringBitmap().jaccard(RoaringBitmap()) == 1.0
+        # Defined edge case: empty/empty is maximally distant (the
+        # 0/0 coefficient is 0.0), never a ZeroDivisionError.
+        assert RoaringBitmap().jaccard(RoaringBitmap()) == 0.0
+        assert RoaringBitmap().jaccard_distance(RoaringBitmap()) == 1.0
 
     def test_half_overlap(self):
         a = RoaringBitmap.from_iterable([1, 2])
@@ -269,7 +272,11 @@ class TestRoaring64:
         b = Roaring64Map.from_iterable([2**40, 7])
         assert a.jaccard(b) == pytest.approx(1 / 3)
         assert a.jaccard_distance(b) == pytest.approx(2 / 3)
-        assert Roaring64Map().jaccard(Roaring64Map()) == 1.0
+        # The regression target of PR 5's edge-case fix: two empty maps
+        # have a *defined* distance of 1.0 (no ZeroDivisionError, and
+        # no spurious perfect match).
+        assert Roaring64Map().jaccard(Roaring64Map()) == 0.0
+        assert Roaring64Map().jaccard_distance(Roaring64Map()) == 1.0
 
     def test_equality(self):
         a = Roaring64Map.from_iterable([1, 2**50])

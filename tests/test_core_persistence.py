@@ -342,3 +342,114 @@ class TestV2Resave:
         (path / "bitmaps.bin").write_bytes(blob[: len(blob) - 3])
         with pytest.raises(ValueError):
             load_index(path)
+
+
+class TestPruneSnapshots:
+    """GC of superseded snapshot-* directories (``prune_snapshots``)."""
+
+    @staticmethod
+    def publish_n(index, directory, n, start=1):
+        import time as time_module
+
+        from repro.core.persistence import publish_snapshot
+
+        published = []
+        for i in range(start, start + n):
+            published.append(
+                publish_snapshot(index, directory, f"g{i:08d}")
+            )
+            # Guarantee strictly increasing mtimes even on coarse
+            # filesystem timestamp granularity.
+            later = time_module.time() + (i - start + 1) * 10
+            import os
+
+            os.utime(published[-1], (later, later))
+        return published
+
+    def test_keeps_newest_and_current(self, populated_index, tmp_path):
+        from repro.core.persistence import prune_snapshots, resolve_snapshot
+
+        published = self.publish_n(populated_index, tmp_path, 5)
+        removed = prune_snapshots(tmp_path, keep=2)
+        assert sorted(removed) == sorted(published[:3])
+        survivors = sorted(p.name for p in tmp_path.glob("snapshot-*"))
+        assert survivors == sorted(p.name for p in published[3:])
+        # The pointer still resolves to a complete snapshot.
+        current = resolve_snapshot(tmp_path)
+        assert current == published[-1]
+        assert load_index(current) is not None
+
+    def test_current_pointer_always_survives(self, populated_index, tmp_path):
+        from repro.core.persistence import (
+            CURRENT_POINTER,
+            prune_snapshots,
+            resolve_snapshot,
+        )
+
+        published = self.publish_n(populated_index, tmp_path, 4)
+        # Point CURRENT at the *oldest* snapshot, as if later publishes
+        # had failed after their directory landed.
+        (tmp_path / CURRENT_POINTER).write_text(
+            published[0].name + "\n", encoding="utf-8"
+        )
+        removed = prune_snapshots(tmp_path, keep=1)
+        assert published[0] not in removed  # pointed-at snapshot kept
+        assert published[-1] not in removed  # newest kept
+        assert sorted(removed) == sorted(published[1:3])
+        assert resolve_snapshot(tmp_path) == published[0]
+
+    def test_torn_snapshot_dirs_always_removed(self, populated_index, tmp_path):
+        from repro.core.persistence import prune_snapshots
+
+        published = self.publish_n(populated_index, tmp_path, 2)
+        torn = tmp_path / "snapshot-torn"
+        torn.mkdir()
+        (torn / "postings-00000.bin").write_bytes(b"junk")
+        removed = prune_snapshots(tmp_path, keep=10)
+        assert removed == [torn]
+        assert sorted(p.name for p in tmp_path.glob("snapshot-*")) == sorted(
+            p.name for p in published
+        )
+
+    def test_keep_must_be_positive(self, tmp_path):
+        from repro.core.persistence import prune_snapshots
+
+        with pytest.raises(ValueError):
+            prune_snapshots(tmp_path, keep=0)
+
+    def test_service_snapshot_validates_keep_before_publishing(
+        self, populated_index, tmp_path
+    ):
+        # Invalid keep must fail *before* any durable work: no snapshot
+        # directory appears and stats keep no phantom metadata.
+        from repro.service import IndexService
+
+        service = IndexService(populated_index)
+        with pytest.raises(ValueError):
+            service.snapshot(tmp_path, keep=0)
+        assert list(tmp_path.glob("snapshot-*")) == []
+        assert service.stats()["snapshot"] is None
+        service.close()
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        from repro.core.persistence import prune_snapshots
+
+        assert prune_snapshots(tmp_path / "absent", keep=1) == []
+
+    def test_service_snapshot_with_keep(self, populated_index, tmp_path):
+        from repro.service import IndexService
+
+        service = IndexService(populated_index)
+        infos = [service.snapshot(tmp_path, keep=2) for _ in range(4)]
+        assert infos[0]["pruned_snapshots"] == 0
+        assert sum(info["pruned_snapshots"] for info in infos) == 2
+        survivors = list(tmp_path.glob("snapshot-*"))
+        assert len(survivors) == 2
+        # The newest snapshot is the resolvable one and loads cleanly.
+        from repro.core.persistence import resolve_snapshot
+
+        current = resolve_snapshot(tmp_path)
+        assert current is not None and current in survivors
+        loaded = load_index(current)
+        assert len(loaded) == len(populated_index)
+        service.close()

@@ -28,12 +28,17 @@ class TestJaccard:
         assert jaccard_distance({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
 
     def test_empty_sets(self):
-        assert jaccard(set(), set()) == 1.0
+        # The empty/empty edge case is *defined*: coefficient 0.0,
+        # distance 1.0 — an empty fingerprint set is maximally distant,
+        # never a perfect match (and never a ZeroDivisionError).
+        assert jaccard(set(), set()) == 0.0
+        assert jaccard_distance(set(), set()) == 1.0
         assert jaccard({1}, set()) == 0.0
 
     @given(int_sets(), int_sets())
     def test_matches_definition(self, a, b):
-        expected = 1.0 if not (a | b) else len(a & b) / len(a | b)
+        # Empty/empty is defined as coefficient 0.0 (distance 1.0).
+        expected = 0.0 if not (a | b) else len(a & b) / len(a | b)
         assert jaccard(a, b) == pytest.approx(expected)
 
     @given(int_sets(), int_sets())

@@ -1,0 +1,456 @@
+"""Tests for repro.core.scoring: the vectorized top-k ranking engine.
+
+The load-bearing property: :func:`repro.core.scoring.rank_candidates`
+is *bit-identical* to the retired per-candidate bitmap loop
+(:func:`rank_candidates_scalar`, kept on both backends as
+``score_matches_scalar``) — same ranks, same float distances, same
+``(distance, str(id))`` tie-breaks — including after removals, recycled
+slots, and a v2 snapshot warm start.  Pruning (``max_distance`` < 1)
+may only skip work, never change results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.arena import TOMBSTONE_CARD, CardinalityColumn, SlotArena
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.postings import merge_hits
+from repro.core.scoring import (
+    SearchResult,
+    rank_candidates,
+    rank_candidates_scalar,
+)
+from repro.geo.point import Point
+
+CONFIG = GeodabConfig(k=3, t=5)
+SHARDING = ShardingConfig(num_shards=8, num_nodes=2, placement="hash")
+
+
+def walk_points(n, seed=0, start=Point(51.5074, -0.1278)):
+    """A deterministic jittered random walk near London."""
+    rng = random.Random(seed)
+    lat, lon = start.lat, start.lon
+    points = []
+    for _ in range(n):
+        lat += rng.uniform(-8e-4, 8e-4)
+        lon += rng.uniform(-1.2e-3, 1.2e-3)
+        points.append(Point(lat, lon))
+    return points
+
+
+#: Shared corpus: fingerprinted once, re-inserted per example through
+#: ``add_fingerprints_many`` so hypothesis examples stay cheap.
+CORPUS = [
+    (f"t{i:03d}", walk_points(rng_n, seed=i))
+    for i, rng_n in enumerate([20 + (7 * i) % 25 for i in range(24)])
+]
+_FINGERPRINTER_INDEX = GeodabIndex(CONFIG)
+FINGERPRINTS = _FINGERPRINTER_INDEX.fingerprint_many(
+    points for _, points in CORPUS
+)
+QUERIES = [walk_points(30, seed=100 + i) for i in range(6)] + [
+    points for _, points in CORPUS[:4]
+]
+
+
+def build_single() -> GeodabIndex:
+    return GeodabIndex(CONFIG)
+
+
+def build_sharded() -> ShardedGeodabIndex:
+    return ShardedGeodabIndex(CONFIG, SHARDING)
+
+
+def populate(index, alive):
+    """Insert the corpus rows whose positions are in ``alive``."""
+    index.add_fingerprints_many(
+        (CORPUS[i][0], FINGERPRINTS[i], None) for i in sorted(alive)
+    )
+
+
+def matches_for(index, prepared):
+    return merge_hits(
+        index.shard_partial(shard_id, shard_terms)
+        for shard_id, shard_terms in prepared.plan.items()
+    )
+
+
+def apply_churn(index, toggles):
+    """Remove live / re-add removed corpus rows, exercising recycling."""
+    alive = {i for i in range(len(CORPUS)) if CORPUS[i][0] in index}
+    for i in toggles:
+        trajectory_id, _ = CORPUS[i]
+        if i in alive:
+            index.remove(trajectory_id)
+            alive.discard(i)
+        else:
+            index.add_fingerprints(trajectory_id, FINGERPRINTS[i])
+            alive.add(i)
+    return alive
+
+
+class TestCardinalityColumn:
+    def test_set_get_view(self):
+        column = CardinalityColumn()
+        column.set(0, 5)
+        column.set(1, 0)
+        column.set(2, TOMBSTONE_CARD)
+        assert len(column) == 3
+        assert column.get(0) == 5
+        assert column.get(2) == TOMBSTONE_CARD
+        assert column.view().tolist() == [5, 0, -1]
+
+    def test_growth_preserves_values(self):
+        column = CardinalityColumn()
+        for slot in range(100):
+            column.set(slot, slot * 2)
+        assert column.view().tolist() == [slot * 2 for slot in range(100)]
+
+    def test_out_of_range_get(self):
+        column = CardinalityColumn()
+        column.set(0, 1)
+        with pytest.raises(IndexError):
+            column.get(1)
+
+    def test_overwrite_recycled_slot(self):
+        column = CardinalityColumn()
+        column.set(0, 7)
+        column.set(0, TOMBSTONE_CARD)
+        column.set(0, 3)
+        assert column.get(0) == 3
+
+    def test_arena_requires_cardinalities_on_restore(self):
+        arena = SlotArena(num_columns=1, track_cardinality=True)
+        with pytest.raises(ValueError):
+            arena.restore(["a"], ([1],))
+
+
+class TestRankCandidatesUnit:
+    IDS = ["a", "b", "c", "d"]
+
+    def test_empty_matches(self):
+        empty = np.empty(0, dtype=np.int64)
+        results, stats = rank_candidates(
+            (empty, empty), np.empty(0, dtype=np.int64), [], 5
+        )
+        assert results == []
+        assert (stats.candidates, stats.pruned, stats.scored) == (0, 0, 0)
+
+    def test_tombstones_masked(self):
+        internals = np.array([0, 1, 2], dtype=np.int64)
+        counts = np.array([3, 3, 3], dtype=np.int64)
+        cards = np.array([4, TOMBSTONE_CARD, 4, 9], dtype=np.int64)
+        results, stats = rank_candidates((internals, counts), cards, self.IDS, 4)
+        assert [r.trajectory_id for r in results] == ["a", "c"]
+        assert stats.candidates == 2
+
+    def test_distance_value_and_tie_break(self):
+        # Two candidates at the same distance must order by str(id).
+        internals = np.array([2, 0], dtype=np.int64)
+        counts = np.array([2, 2], dtype=np.int64)
+        cards = np.array([4, -1, 4, -1], dtype=np.int64)
+        results, _ = rank_candidates((internals, counts), cards, self.IDS, 4)
+        assert [r.trajectory_id for r in results] == ["a", "c"]
+        assert results[0].distance == 1.0 - 2 / 6
+
+    def test_limit_cut_respects_ties(self):
+        # Three candidates tied at the best distance: limit=2 must keep
+        # the two smallest str(id), exactly like sorting everything.
+        internals = np.array([0, 2, 3, 1], dtype=np.int64)
+        counts = np.array([2, 2, 2, 1], dtype=np.int64)
+        cards = np.array([4, 4, 4, 4], dtype=np.int64)
+        results, _ = rank_candidates(
+            (internals, counts), cards, self.IDS, 4, limit=2
+        )
+        assert [r.trajectory_id for r in results] == ["a", "c"]
+
+    def test_max_distance_prunes_before_scoring(self):
+        # |Q|=10 against a candidate sharing 1 of its 10 terms: distance
+        # 1 - 1/19 is far above 0.3, so the overlap threshold cuts it
+        # without scoring; the strong candidate survives.
+        internals = np.array([0, 1], dtype=np.int64)
+        counts = np.array([9, 1], dtype=np.int64)
+        cards = np.array([10, 10], dtype=np.int64)
+        results, stats = rank_candidates(
+            (internals, counts), cards, ["strong", "weak"], 10,
+            max_distance=0.3,
+        )
+        assert [r.trajectory_id for r in results] == ["strong"]
+        assert stats.pruned == 1
+        assert stats.scored == 1
+
+    def test_prune_never_drops_boundary_candidate(self):
+        # distance == max_distance exactly: must be kept (<=), and the
+        # conservative prune must not cut it.
+        internals = np.array([0], dtype=np.int64)
+        counts = np.array([5], dtype=np.int64)
+        cards = np.array([5], dtype=np.int64)
+        # |Q|=5, |T|=5, inter=5 -> distance 0.0 at max_distance 0.0.
+        results, stats = rank_candidates(
+            (internals, counts), cards, ["x"], 5, max_distance=0.0
+        )
+        assert [r.trajectory_id for r in results] == ["x"]
+        assert stats.pruned == 0
+
+    def test_scalar_oracle_agrees_on_synthetic_input(self):
+        # Direct cross-check of the two module-level functions.
+        from repro.bitmap.roaring import RoaringBitmap
+
+        bitmaps = [
+            RoaringBitmap.from_iterable(range(0, 8)),
+            RoaringBitmap.from_iterable(range(4, 12)),
+        ]
+        query = RoaringBitmap.from_iterable(range(2, 9))
+        internals = np.array([0, 1], dtype=np.int64)
+        counts = np.array([6, 5], dtype=np.int64)
+        cards = np.array([8, 8], dtype=np.int64)
+        ids = ["p", "q"]
+        fast, _ = rank_candidates((internals, counts), cards, ids, len(query))
+        slow = rank_candidates_scalar(
+            (internals, counts), bitmaps, ids, query
+        )
+        assert fast == slow
+
+
+class TestEngineIdentity:
+    """Hypothesis: engine == scalar oracle on both backends."""
+
+    @settings(max_examples=20)
+    @given(
+        toggles=st.lists(
+            st.integers(min_value=0, max_value=len(CORPUS) - 1),
+            max_size=20,
+        ),
+        limit=st.sampled_from([None, 1, 3, 10]),
+        max_distance=st.sampled_from([1.0, 0.9, 0.6, 0.3, 0.0]),
+        query_at=st.integers(min_value=0, max_value=len(QUERIES) - 1),
+        builder=st.sampled_from([build_single, build_sharded]),
+    )
+    def test_rank_distance_and_tiebreak_identity(
+        self, toggles, limit, max_distance, query_at, builder
+    ):
+        index = builder()
+        populate(index, range(len(CORPUS)))
+        apply_churn(index, toggles)
+        prepared = index.prepare_query(QUERIES[query_at])
+        matches = matches_for(index, prepared)
+        fast = index.score_matches(prepared, matches, limit, max_distance)
+        slow = index.score_matches_scalar(prepared, matches, limit, max_distance)
+        # Dataclass equality is exact: same ids, bit-identical float
+        # distances, same shared-term counts, same order.
+        assert fast == slow
+        if limit is not None:
+            assert len(fast) <= limit
+
+    @settings(max_examples=10)
+    @given(
+        toggles=st.lists(
+            st.integers(min_value=0, max_value=len(CORPUS) - 1),
+            max_size=12,
+        ),
+        builder=st.sampled_from([build_single, build_sharded]),
+    )
+    def test_query_prepared_matches_oracle_after_churn(self, toggles, builder):
+        index = builder()
+        populate(index, range(len(CORPUS)))
+        apply_churn(index, toggles)
+        for points in QUERIES[:3]:
+            prepared = index.prepare_query(points)
+            matches = matches_for(index, prepared)
+            results, fanout = index.query_prepared(prepared, limit=5)
+            assert results == index.score_matches_scalar(
+                prepared, matches, limit=5
+            )
+            assert fanout.pruned == 0  # max_distance defaulted to 1.0
+
+    def test_single_vs_sharded_identical(self):
+        single, sharded = build_single(), build_sharded()
+        populate(single, range(len(CORPUS)))
+        populate(sharded, range(len(CORPUS)))
+        for trajectory_id in ("t003", "t010"):
+            single.remove(trajectory_id)
+            sharded.remove(trajectory_id)
+        for points in QUERIES:
+            assert single.query(points, limit=10) == sharded.query(
+                points, limit=10
+            )
+
+    def test_pruning_changes_no_results(self):
+        index = build_single()
+        populate(index, range(len(CORPUS)))
+        for points in QUERIES:
+            prepared = index.prepare_query(points)
+            matches = matches_for(index, prepared)
+            for max_distance in (0.9, 0.5, 0.2):
+                results, scoring = index.rank_matches(
+                    prepared, matches, None, max_distance
+                )
+                assert results == index.score_matches_scalar(
+                    prepared, matches, None, max_distance
+                )
+                # Everything pruned would have failed max_distance.
+                assert scoring.pruned <= scoring.candidates - scoring.scored
+
+    def test_stats_pruned_counts_weak_candidates(self):
+        index = build_single()
+        populate(index, range(len(CORPUS)))
+        # A near-duplicate query at a strict threshold: its re-recording
+        # matches, while unrelated walks sharing a stray term get pruned.
+        points = CORPUS[0][1]
+        _, stats = index.query_with_stats(points, max_distance=0.5)
+        assert stats.pruned >= 0
+        assert stats.pruned + stats.scored <= stats.candidates
+
+    def test_empty_fingerprint_query(self):
+        # Too few points to form a single k-gram: the fingerprint set is
+        # empty and both paths agree nothing matches (the empty set is
+        # maximally distant — the Equation-1 edge case fixed this PR).
+        index = build_single()
+        populate(index, range(len(CORPUS)))
+        points = walk_points(2, seed=7)
+        prepared = index.prepare_query(points)
+        assert len(prepared.query_bitmap) == 0
+        matches = matches_for(index, prepared)
+        assert index.score_matches(prepared, matches) == []
+        assert index.score_matches_scalar(prepared, matches) == []
+        assert index.query(points) == []
+
+    def test_query_terms_tolerates_duplicate_terms(self):
+        # The public query_terms surface must dedupe: with repeats, the
+        # raw hit-stream multiplicity would overshoot |Q ∩ T| and drive
+        # the computed union to zero or below (the pre-refactor bitmap
+        # loop was immune because it ignored the counts for distances).
+        index = build_single()
+        populate(index, {0})
+        terms = sorted(set(FINGERPRINTS[0].values))
+        with np.errstate(all="raise"):
+            results, stats = index.query_terms(
+                terms + terms, FINGERPRINTS[0].bitmap
+            )
+        assert [r.trajectory_id for r in results] == ["t000"]
+        assert results[0].distance == 0.0
+        assert stats.query_terms == len(terms)
+
+    def test_searchresult_moved_but_importable_from_index(self):
+        from repro.core.index import SearchResult as FromIndex
+
+        assert FromIndex is SearchResult
+
+    def test_hot_path_performs_no_bitmap_jaccard(self, monkeypatch):
+        # The acceptance criterion of the refactor: ranking candidates
+        # must never intersect bitmaps.  Make every bitmap Jaccard call
+        # explode and run full queries on both backends.
+        from repro.bitmap.roaring import Roaring64Map, RoaringBitmap
+
+        def boom(self, other):
+            raise AssertionError("per-candidate bitmap Jaccard on the hot path")
+
+        monkeypatch.setattr(RoaringBitmap, "jaccard_distance", boom)
+        monkeypatch.setattr(Roaring64Map, "jaccard_distance", boom)
+        monkeypatch.setattr(RoaringBitmap, "jaccard", boom)
+        monkeypatch.setattr(Roaring64Map, "jaccard", boom)
+        for builder in (build_single, build_sharded):
+            index = builder()
+            populate(index, range(len(CORPUS)))
+            index.remove(CORPUS[0][0])
+            # QUERIES[7] is t001's own point list: an exact self-match
+            # survives any threshold, so results are guaranteed.
+            results = index.query(QUERIES[7], limit=5, max_distance=0.9)
+            assert any(r.trajectory_id == "t001" for r in results)
+            _, stats = index.query_with_stats(QUERIES[0], limit=5)
+
+
+class TestCardinalityInvariant:
+    """``cards[slot] == |term set|`` survives add/remove/re-add churn."""
+
+    @settings(max_examples=20)
+    @given(
+        toggles=st.lists(
+            st.integers(min_value=0, max_value=len(CORPUS) - 1),
+            max_size=30,
+        ),
+        builder=st.sampled_from([build_single, build_sharded]),
+    )
+    def test_card_matches_term_set_after_churn(self, toggles, builder):
+        index = builder()
+        populate(index, range(len(CORPUS)))
+        alive = apply_churn(index, toggles)
+        self.assert_column_consistent(index, alive)
+
+    @staticmethod
+    def assert_column_consistent(index, alive):
+        arena = index._arena
+        assert arena.cardinalities is not None
+        cards = arena.cardinalities.view()
+        assert len(cards) == len(arena.ids)
+        bitmap_column = arena.columns[0]
+        for i in range(len(CORPUS)):
+            trajectory_id = CORPUS[i][0]
+            if i in alive:
+                slot = arena.id_to_internal[trajectory_id]
+                assert cards[slot] == len(bitmap_column[slot])
+                assert cards[slot] == len(FINGERPRINTS[i].bitmap)
+            else:
+                assert trajectory_id not in arena.id_to_internal
+        for slot, external_id in enumerate(arena.ids):
+            from repro.core.arena import TOMBSTONE
+
+            if external_id is TOMBSTONE:
+                assert cards[slot] == TOMBSTONE_CARD
+            else:
+                assert cards[slot] == len(bitmap_column[slot])
+
+    @settings(max_examples=8)
+    @given(
+        toggles=st.lists(
+            st.integers(min_value=0, max_value=len(CORPUS) - 1),
+            max_size=10,
+        ),
+        builder=st.sampled_from([build_single, build_sharded]),
+        mmap_mode=st.sampled_from([None, "r"]),
+    )
+    def test_snapshot_round_trip_keeps_column(self, toggles, builder, mmap_mode):
+        import tempfile
+        from pathlib import Path
+
+        index = builder()
+        populate(index, range(len(CORPUS)))
+        alive = apply_churn(index, toggles)
+        with tempfile.TemporaryDirectory() as tmp:
+            target = Path(tmp) / "snap"
+            save_index(index, target)
+            loaded = load_index(target, mmap_mode=mmap_mode)
+            self._check_loaded(index, loaded, alive)
+
+    def _check_loaded(self, index, loaded, alive):
+        self.assert_column_consistent(loaded, alive)
+        # Warm-started engine still matches the oracle bit for bit.
+        for points in QUERIES[:3]:
+            prepared = loaded.prepare_query(points)
+            matches = matches_for(loaded, prepared)
+            assert loaded.score_matches(
+                prepared, matches, 5
+            ) == loaded.score_matches_scalar(prepared, matches, 5)
+            assert loaded.query(points, limit=5) == index.query(points, limit=5)
+
+    def test_remove_readd_recycles_slot_with_fresh_cardinality(self):
+        index = build_single()
+        populate(index, {0, 1})
+        arena = index._arena
+        slot = arena.id_to_internal["t000"]
+        index.remove("t000")
+        assert arena.cardinalities.get(slot) == TOMBSTONE_CARD
+        # Recycled slot must pick up the *new* document's cardinality.
+        index.add_fingerprints("x", FINGERPRINTS[5])
+        assert arena.id_to_internal["x"] == slot
+        assert arena.cardinalities.get(slot) == len(FINGERPRINTS[5].bitmap)

@@ -368,3 +368,50 @@ class TestAdminSnapshot:
             server.shutdown()
             service.close()
 
+
+
+class TestSnapshotKeep:
+    def test_snapshot_keep_garbage_collects(self, tmp_path, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(
+            service, snapshot_dir=str(tmp_path / "snaps"), snapshot_keep=1
+        )
+        try:
+            body = {
+                "trajectories": [
+                    {"id": r.trajectory_id, "points": as_wire(r.points)}
+                    for r in small_dataset.records[:3]
+                ]
+            }
+            assert call(server.url, "POST", "/trajectories", body)[0] == 200
+            payloads = [
+                call(server.url, "POST", "/admin/snapshot")[1]
+                for _ in range(3)
+            ]
+            assert sum(p["pruned_snapshots"] for p in payloads) == 2
+            assert len(list((tmp_path / "snaps").glob("snapshot-*"))) == 1
+            from repro.core.persistence import load_index, resolve_snapshot
+
+            current = resolve_snapshot(tmp_path / "snaps")
+            assert current is not None
+            assert len(load_index(current)) == 3
+        finally:
+            server.shutdown()
+            service.close()
+
+
+class TestPrunedSurfaced:
+    def test_query_response_and_stats_carry_pruned(
+        self, loaded_server, small_dataset
+    ):
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload = call(
+            loaded_server.url, "POST", "/query",
+            {"points": points, "max_distance": 0.4},
+        )
+        assert status == 200
+        assert "pruned" in payload
+        assert payload["pruned"] >= 0
+        _, stats = call(loaded_server.url, "GET", "/stats")
+        assert stats["metrics"]["pruned_candidates"] >= payload["pruned"]
+        assert "maintenance" in stats

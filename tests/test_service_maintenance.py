@@ -1,0 +1,138 @@
+"""Tests for the IndexService background maintenance thread.
+
+The compaction policy's age trigger used to fire only *on* writes, so an
+idle service could sit on unfolded append buffers forever.  The
+maintenance daemon re-evaluates the policy every
+``maintenance_interval_s`` seconds; these tests drive the age trigger
+with a fake clock (no sleeps on the assertion path) and check the
+thread's lifecycle around ``close()``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.service import CompactionPolicy, IndexService
+
+CONFIG = GeodabConfig(k=3, t=5)
+LONDON = [(51.5074 + 0.001 * i, -0.1278 + 0.001 * i) for i in range(20)]
+
+
+def make_points(offset=0.0):
+    from repro.geo.point import Point
+
+    return [Point(lat + offset, lon) for lat, lon in LONDON]
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestMaintenanceTick:
+    def test_age_trigger_fires_via_tick_with_fake_clock(self):
+        clock = FakeClock()
+        service = IndexService(
+            GeodabIndex(CONFIG),
+            compaction=CompactionPolicy(
+                max_buffered_postings=10**9, max_age_s=5.0
+            ),
+            clock=clock,
+        )
+        service.ingest([("a", make_points())])
+        assert service.index.buffered_postings > 0
+        # Too young: the tick evaluates the policy but does not fold.
+        assert service.maintenance_tick() is False
+        assert service.index.buffered_postings > 0
+        clock.advance(5.1)
+        assert service.maintenance_tick() is True
+        assert service.index.buffered_postings == 0
+        stats = service.stats()
+        assert stats["maintenance"]["ticks"] == 2
+        assert stats["maintenance"]["enabled"] is False
+        assert stats["compaction"]["runs"] == 1
+        service.close()
+
+    def test_tick_without_policy_is_noop(self):
+        service = IndexService(GeodabIndex(CONFIG), compaction=None)
+        service.ingest([("a", make_points())])
+        assert service.maintenance_tick() is False
+        assert service.index.buffered_postings > 0
+        service.close()
+
+    def test_dirty_marker_resets_after_fold(self):
+        clock = FakeClock()
+        service = IndexService(
+            GeodabIndex(CONFIG),
+            compaction=CompactionPolicy(
+                max_buffered_postings=10**9, max_age_s=5.0
+            ),
+            clock=clock,
+        )
+        service.ingest([("a", make_points())])
+        clock.advance(6.0)
+        assert service.maintenance_tick() is True
+        # Nothing dirty anymore: further ticks are no-ops even though
+        # the clock keeps advancing.
+        clock.advance(60.0)
+        assert service.maintenance_tick() is False
+        service.close()
+
+
+class TestMaintenanceThread:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IndexService(GeodabIndex(CONFIG), maintenance_interval_s=0.0)
+        with pytest.raises(ValueError):
+            IndexService(GeodabIndex(CONFIG), maintenance_interval_s=-1.0)
+
+    def test_daemon_compacts_while_writes_idle(self):
+        service = IndexService(
+            GeodabIndex(CONFIG),
+            compaction=CompactionPolicy(
+                max_buffered_postings=10**9, max_age_s=0.05
+            ),
+            maintenance_interval_s=0.01,
+        )
+        try:
+            service.ingest([("a", make_points())])
+            # The write-path trigger saw age ~0 and skipped; only the
+            # daemon can fold once the buffers age past 50 ms.
+            deadline = time.monotonic() + 5.0
+            while service.index.buffered_postings and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert service.index.buffered_postings == 0
+            assert service.stats()["maintenance"]["enabled"] is True
+            assert service.stats()["maintenance"]["ticks"] >= 1
+        finally:
+            service.close()
+
+    def test_close_stops_thread(self):
+        service = IndexService(
+            GeodabIndex(CONFIG), maintenance_interval_s=0.01
+        )
+        thread = service._maintenance_thread
+        assert thread is not None and thread.is_alive()
+        service.close()
+        assert service._maintenance_thread is None
+        assert not thread.is_alive()
+        # Idempotent.
+        service.close()
+
+    def test_no_thread_by_default(self):
+        service = IndexService(GeodabIndex(CONFIG))
+        assert service._maintenance_thread is None
+        assert service.stats()["maintenance"]["enabled"] is False
+        service.close()
