@@ -22,6 +22,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -157,6 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="r",
         help="how to load snapshot postings blobs: 'r' memory-maps them "
         "(instant warm start, pages in lazily), 'off' copies into RAM",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log queries slower than this many milliseconds into the "
+        "slow-query ring buffer (GET /admin/slowlog; default: disabled)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        help="fraction of requests (0..1) to record a full span tree "
+        "for, emitted as JSON lines through the repro.service.trace "
+        "logger (default 0; ?trace=1 always records)",
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON access-log line per request "
+        "(method, path, status, latency, trace id) to stderr",
     )
     serve.add_argument("--depth", type=int, default=36)
     serve.add_argument("--k", type=int, default=6)
@@ -371,6 +393,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.maintenance_interval < 0:
         print("error: --maintenance-interval must be non-negative", file=sys.stderr)
         return 2
+    if args.slow_query_ms is not None and args.slow_query_ms < 0:
+        print("error: --slow-query-ms must be non-negative", file=sys.stderr)
+        return 2
     try:
         service = IndexService(
             index,
@@ -380,12 +405,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             maintenance_interval_s=(
                 args.maintenance_interval if args.maintenance_interval > 0 else None
             ),
+            slow_query_ms=args.slow_query_ms,
+            trace_sample=args.trace_sample,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.access_log:
+        # One JSON object per request on stderr; the logger namespace
+        # lets embedders reroute or silence it without touching ours.
+        logging.basicConfig(stream=sys.stderr, format="%(message)s")
+        logging.getLogger("repro.service").setLevel(logging.INFO)
     # Bind before the (potentially long) dataset ingest so an occupied
-    # port fails fast and cleanly.
+    # port fails fast and cleanly.  The server starts *not ready*
+    # (GET /readyz says 503) until warm start / initial ingest lands.
     try:
         server = ServiceHTTPServer(
             (args.host, args.port),
@@ -393,6 +426,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verbose=args.verbose,
             snapshot_dir=args.snapshot_dir,
             snapshot_keep=args.snapshot_keep,
+            access_log=args.access_log,
+            ready=False,
         )
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -420,13 +455,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     else:
         shape = "single-node"
+    server.mark_ready()
     print(f"serving geodab index ({shape}) at {server.url}")
     # Flush before blocking in serve_forever: under a piped stdout
     # (CI log capture, process supervisors) the boot lines would
     # otherwise sit in the stdio buffer until shutdown.
     print("endpoints: POST /trajectories, DELETE /trajectories/{id}, "
-          "POST /query, POST /query/batch, POST /admin/snapshot, "
-          "GET /stats, GET /healthz", flush=True)
+          "POST /query[?trace=1], POST /query/batch, POST /admin/snapshot, "
+          "GET /stats, GET /metrics, GET /admin/slowlog, "
+          "GET /healthz, GET /readyz", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

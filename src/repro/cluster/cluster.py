@@ -22,7 +22,7 @@ from ..core.config import GeodabConfig
 from ..core.fingerprint import Fingerprinter, FingerprintSet
 from ..core.index import Normalizer, SearchResult
 from ..core.postings import PostingsStore, merge_hits
-from ..core.query import FanoutStats, MatchCounts, PreparedQuery
+from ..core.query import NO_TRACE, FanoutStats, MatchCounts, PreparedQuery, TraceSink
 from ..core.scoring import (
     ScoringStats,
     live_candidates,
@@ -283,18 +283,50 @@ class ShardedGeodabIndex:
         prepared: PreparedQuery,
         limit: int | None = None,
         max_distance: float = 1.0,
+        trace: TraceSink = NO_TRACE,
     ) -> tuple[list[SearchResult], FanoutStats]:
         """Sequential execution of a prepared query (one shard at a time).
 
         The pooled path in :mod:`repro.service.executor` runs the same
         :meth:`shard_partial` lookups concurrently and merges with the
-        same :meth:`score_matches`, so both paths return identical results.
+        same :meth:`score_matches`, so both paths return identical
+        results.  ``trace`` receives the ``fanout``/``merge``/``rank``
+        stage timings (per-shard detail spans when the sink keeps
+        detail); the default null sink makes the instrumentation free.
         """
-        matches = merge_hits(
-            self.shard_partial(shard_id, shard_terms)
-            for shard_id, shard_terms in prepared.plan.items()
-        )
+        fanout_start = trace.now()
+        # Per-shard windows only surface in detail span trees; below
+        # detail the loop skips its per-shard clock reads.
+        shard_clock = trace if trace.detail else NO_TRACE
+        timed: list[tuple[int, int, "np.ndarray", float, float]] = []
+        for shard_id, shard_terms in prepared.plan.items():
+            start_s = shard_clock.now()
+            partial = self.shard_partial(shard_id, shard_terms)
+            timed.append(
+                (shard_id, len(shard_terms), partial, start_s, shard_clock.now())
+            )
+        fanout_end = trace.now()
+        matches = merge_hits([partial for _, _, partial, _, _ in timed])
+        merge_end = trace.now()
         returned, scoring = self.rank_matches(prepared, matches, limit, max_distance)
+        rank_end = trace.now()
+        if trace.detail:
+            fanout_id = trace.stage(
+                "fanout", fanout_start, fanout_end, shards=len(timed)
+            )
+            for shard_id, n_terms, _, start_s, end_s in timed:
+                trace.event(
+                    "shard",
+                    start_s,
+                    end_s,
+                    parent=fanout_id,
+                    shard=shard_id,
+                    terms=n_terms,
+                )
+        else:
+            trace.stage("fanout", fanout_start, fanout_end)
+        trace.stage("merge", fanout_end, merge_end)
+        trace.stage("rank", merge_end, rank_end)
         return returned, self.fanout_stats(prepared, matches, scoring)
 
     # ------------------------------------------------------------------

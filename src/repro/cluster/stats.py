@@ -35,6 +35,19 @@ class BalanceReport:
             return 0.0
         return self.maximum / self.mean
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (``GET /stats`` surfaces fan-out balance)."""
+        return {
+            "total": self.total,
+            "mean": round(self.mean, 3),
+            "min": self.minimum,
+            "max": self.maximum,
+            "coefficient_of_variation": round(
+                self.coefficient_of_variation, 4
+            ),
+            "max_over_mean": round(self.max_over_mean, 4),
+        }
+
 
 def balance_report(counts: list[int]) -> BalanceReport:
     """Summarize a per-node load vector."""

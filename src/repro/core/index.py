@@ -26,7 +26,7 @@ from .config import GeodabConfig
 from .fingerprint import Fingerprinter, FingerprintSet
 from .geodab import GeodabScheme
 from .postings import PostingsStore, merge_hits
-from .query import FanoutStats, MatchCounts, PreparedQuery
+from .query import NO_TRACE, FanoutStats, MatchCounts, PreparedQuery, TraceSink
 from .scoring import (
     ScoringStats,
     SearchResult,
@@ -316,13 +316,27 @@ class TrajectoryInvertedIndex:
         prepared: PreparedQuery,
         limit: int | None = None,
         max_distance: float = 1.0,
+        trace: TraceSink = NO_TRACE,
     ) -> tuple[list[SearchResult], FanoutStats]:
-        """Execute a prepared query (same contract as the sharded index)."""
-        matches = merge_hits(
+        """Execute a prepared query (same contract as the sharded index).
+
+        ``trace`` receives the ``fanout``/``merge``/``rank`` stage
+        timings (a single-node fan-out is one shard 0 contact); the
+        default null sink makes the instrumentation free.
+        """
+        fanout_start = trace.now()
+        partials = [
             self.shard_partial(shard_id, shard_terms)
             for shard_id, shard_terms in prepared.plan.items()
-        )
+        ]
+        fanout_end = trace.now()
+        matches = merge_hits(partials)
+        merge_end = trace.now()
         returned, scoring = self.rank_matches(prepared, matches, limit, max_distance)
+        rank_end = trace.now()
+        trace.stage("fanout", fanout_start, fanout_end, shards=len(partials))
+        trace.stage("merge", fanout_end, merge_end)
+        trace.stage("rank", merge_end, rank_end)
         return returned, self.fanout_stats(prepared, matches, scoring)
 
     def shard_partial(

@@ -12,13 +12,95 @@ one code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from .fingerprint import FingerprintSet
 
-__all__ = ["FanoutStats", "MatchCounts", "PreparedQuery"]
+__all__ = ["NO_TRACE", "FanoutStats", "MatchCounts", "PreparedQuery", "TraceSink"]
+
+
+class TraceSink(Protocol):
+    """Where query stages report their timings.
+
+    The protocol lives here — with the other types shared by every index
+    backend — so the core fan-out code can be instrumented without a
+    dependency on the serving tier; the real recorder is
+    :class:`repro.service.tracing.Trace`.  Timestamps are whatever the
+    sink's :meth:`now` returns (a monotonic clock on the real recorder,
+    ``0.0`` on the null sink, a fake clock under test).
+
+    ``stage`` records a top-level pipeline stage (``prepare`` /
+    ``fanout`` / ``merge`` / ``rank``) — these aggregate into the
+    per-stage latency histograms and, when the sink keeps detail, also
+    become spans of the request's span tree.  ``event`` records
+    detail-only child spans (per-shard contacts, cache probes) that are
+    kept only when ``detail`` is true.  Both return a span id usable as
+    a later span's ``parent``, or ``None`` when nothing was kept.
+    """
+
+    @property
+    def detail(self) -> bool: ...
+
+    def now(self) -> float: ...
+
+    def stage(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: int | None = None,
+        **meta: object,
+    ) -> int | None: ...
+
+    def event(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: int | None = None,
+        **meta: object,
+    ) -> int | None: ...
+
+
+class _NullTrace:
+    """The zero-cost sink: drops everything, never reads the clock."""
+
+    __slots__ = ()
+
+    @property
+    def detail(self) -> bool:
+        return False
+
+    def now(self) -> float:
+        return 0.0
+
+    def stage(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: int | None = None,
+        **meta: object,
+    ) -> int | None:
+        return None
+
+    def event(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: int | None = None,
+        **meta: object,
+    ) -> int | None:
+        return None
+
+
+#: Shared null sink — the default ``trace`` argument throughout the
+#: query path, so untraced execution allocates nothing.
+NO_TRACE = _NullTrace()
 
 #: Merged candidates of a query: parallel ``(internal_ids, counts)``
 #: int64 arrays — every distinct internal id paired with the number of

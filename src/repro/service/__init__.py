@@ -6,8 +6,9 @@ Layers, bottom up:
 * :mod:`repro.service.cache` — generation-invalidated LRU caches;
 * :mod:`repro.service.executor` — worker-pool shard fan-out with
   micro-batching over the sharded index;
-* :mod:`repro.service.metrics` — qps / latency-quantile / hit-rate
-  registry;
+* :mod:`repro.service.metrics` — counters, log-scale latency
+  histograms, Prometheus exposition, and the slow-query log;
+* :mod:`repro.service.tracing` — per-request spans and trace ids;
 * :mod:`repro.service.service` — the :class:`IndexService` facade tying
   the above together;
 * :mod:`repro.service.http` — the stdlib JSON HTTP API
@@ -18,8 +19,15 @@ from .cache import CacheStats, LRUCache, digest_points, digest_terms
 from .executor import ExecutionStats, QueryExecutor
 from .http import ServiceHTTPServer, start_server
 from .locks import ReadWriteLock
-from .metrics import MetricsSnapshot, ServiceMetrics
+from .metrics import (
+    LatencyHistogram,
+    MetricsSnapshot,
+    ServiceMetrics,
+    SlowQueryLog,
+    prometheus_text,
+)
 from .service import CompactionPolicy, IndexService, QueryResponse
+from .tracing import Span, Trace, new_trace_id
 
 __all__ = [
     "CacheStats",
@@ -27,13 +35,19 @@ __all__ = [
     "ExecutionStats",
     "IndexService",
     "LRUCache",
+    "LatencyHistogram",
     "MetricsSnapshot",
     "QueryExecutor",
     "QueryResponse",
     "ReadWriteLock",
     "ServiceHTTPServer",
     "ServiceMetrics",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
     "digest_points",
     "digest_terms",
+    "new_trace_id",
+    "prometheus_text",
     "start_server",
 ]

@@ -38,7 +38,7 @@ import numpy as np
 from ..cluster.cluster import ShardedGeodabIndex
 from ..core.index import GeodabIndex, SearchResult
 from ..core.postings import merge_hits
-from ..core.query import MatchCounts, PreparedQuery
+from ..core.query import NO_TRACE, MatchCounts, PreparedQuery, TraceSink
 from ..core.scoring import ScoringStats
 
 __all__ = ["ExecutionStats", "QueryExecutor"]
@@ -50,6 +50,9 @@ class ExecutionStats:
 
     ``pruned`` carries the scoring engine's count: candidates cut by the
     minimum-overlap threshold before any distance was computed.
+    ``stage_ms`` is the execution's stage split — ``(("fanout", ms),
+    ("merge", ms), ("rank", ms))`` — populated whenever a real trace
+    sink timed the execution, empty under :data:`~repro.core.query.NO_TRACE`.
     """
 
     query_terms: int
@@ -60,21 +63,34 @@ class ExecutionStats:
     batch_size: int
     pooled: bool
     pruned: int = 0
+    stage_ms: tuple[tuple[str, float], ...] = ()
 
 
 class _Pending:
     """One query waiting inside a micro-batch window."""
 
     __slots__ = (
-        "prepared", "limit", "max_distance", "event", "results", "stats", "error"
+        "prepared",
+        "limit",
+        "max_distance",
+        "trace",
+        "event",
+        "results",
+        "stats",
+        "error",
     )
 
     def __init__(
-        self, prepared: PreparedQuery, limit: int | None, max_distance: float
+        self,
+        prepared: PreparedQuery,
+        limit: int | None,
+        max_distance: float,
+        trace: TraceSink = NO_TRACE,
     ) -> None:
         self.prepared = prepared
         self.limit = limit
         self.max_distance = max_distance
+        self.trace = trace
         self.event = threading.Event()
         self.results: list[SearchResult] | None = None
         self.stats: ExecutionStats | None = None
@@ -118,6 +134,11 @@ class QueryExecutor:
         self._batch_lock = threading.Lock()
         self._batch: list[_Pending] = []
         self._leader_active = False
+        # Lifetime shard-contact counts (observability: /stats surfaces
+        # their balance).  Guarded by its own lock — contacts happen on
+        # worker threads.
+        self._contact_lock = threading.Lock()
+        self._contact_counts: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -128,30 +149,50 @@ class QueryExecutor:
         points,
         limit: int | None = None,
         max_distance: float = 1.0,
+        trace: TraceSink = NO_TRACE,
     ) -> tuple[list[SearchResult], ExecutionStats]:
         """Fingerprint, fan out, merge, rank."""
-        return self.execute_prepared(
-            self.index.prepare_query(points), limit, max_distance
-        )
+        prepare_start = trace.now()
+        prepared = self.index.prepare_query(points)
+        trace.stage("prepare", prepare_start, trace.now())
+        return self.execute_prepared(prepared, limit, max_distance, trace)
 
     def execute_prepared(
         self,
         prepared: PreparedQuery,
         limit: int | None = None,
         max_distance: float = 1.0,
+        trace: TraceSink = NO_TRACE,
     ) -> tuple[list[SearchResult], ExecutionStats]:
-        """Execute an already-prepared query (cached fingerprints reuse)."""
+        """Execute an already-prepared query (cached fingerprints reuse).
+
+        ``trace`` receives the stage timings (``fanout``/``merge``/
+        ``rank``, plus per-shard detail spans when the sink keeps
+        detail); the default null sink makes instrumentation free.
+        """
         if self.batch_window_s > 0:
-            return self._execute_batched(prepared, limit, max_distance)
-        matches = self._fanout_single(prepared)
+            return self._execute_batched(prepared, limit, max_distance, trace)
+        matches, fanout_s, merge_s = self._fanout_single(prepared, trace)
+        rank_start = trace.now()
         results, scoring = self.index.rank_matches(
             prepared, matches, limit, max_distance
         )
-        return results, self._stats(prepared, matches, batch_size=1, scoring=scoring)
+        rank_end = trace.now()
+        trace.stage("rank", rank_start, rank_end)
+        return results, self._stats(
+            prepared,
+            matches,
+            batch_size=1,
+            scoring=scoring,
+            stage_ms=self._stage_ms(
+                trace, fanout_s, merge_s, rank_end - rank_start
+            ),
+        )
 
     def execute_prepared_many(
         self,
         requests: Sequence[tuple[PreparedQuery, int | None, float]],
+        trace: TraceSink = NO_TRACE,
     ) -> list[tuple[list[SearchResult], ExecutionStats]]:
         """Execute a whole burst of prepared queries as one fan-out.
 
@@ -160,10 +201,13 @@ class QueryExecutor:
         terms (fanned out over the worker pool when one is configured),
         and per-query partials are split back out at the coordinator.
         The batch query API calls this so ``n`` concurrent queries cost
-        one shard contact each instead of ``n``.
+        one shard contact each instead of ``n``.  The (single) ``trace``
+        covers the whole burst: one ``fanout`` stage for the shared
+        fetch, per-item ``merge``/``rank`` durations summing into the
+        stage totals.
         """
         batch = [
-            _Pending(prepared, limit, max_distance)
+            _Pending(prepared, limit, max_distance, trace)
             for prepared, limit, max_distance in requests
         ]
         if not batch:
@@ -193,21 +237,103 @@ class QueryExecutor:
     # ------------------------------------------------------------------
 
     def _contact_shard(self, shard_id: int, terms: Sequence[int]) -> np.ndarray:
+        with self._contact_lock:
+            self._contact_counts[shard_id] = (
+                self._contact_counts.get(shard_id, 0) + 1
+            )
         if self.rpc_latency_s:
             time.sleep(self.rpc_latency_s)
         return self.index.shard_partial(shard_id, terms)
 
-    def _fanout_single(self, prepared: PreparedQuery) -> MatchCounts:
+    def _timed_contact(
+        self, shard_id: int, terms: Sequence[int], trace: TraceSink
+    ) -> tuple[np.ndarray, float, float]:
+        """Worker-side contact with its own start/end clock readings.
+
+        The worker only *reads* the clock; the coordinating thread
+        records the spans, so trace mutation stays single-threaded per
+        fan-out and the queue-wait split (submit to start) is visible.
+        """
+        start_s = trace.now()
+        partial = self._contact_shard(shard_id, terms)
+        return partial, start_s, trace.now()
+
+    def _fanout_single(
+        self, prepared: PreparedQuery, trace: TraceSink = NO_TRACE
+    ) -> tuple[MatchCounts, float, float]:
+        """Contact every planned shard and merge the hit streams.
+
+        Returns ``(matches, fanout_seconds, merge_seconds)`` and records
+        the ``fanout``/``merge`` stages (plus per-shard detail spans
+        with their queue-wait/execute split) into ``trace``.
+        """
+        fanout_start = trace.now()
+        # Per-shard windows only surface in detail span trees; below
+        # detail the workers skip their clock reads entirely.
+        shard_sink = trace if trace.detail else NO_TRACE
         if self._pool is None or len(prepared.plan) <= 1:
-            return merge_hits(
-                self._contact_shard(shard_id, shard_terms)
+            timed = []
+            for shard_id, shard_terms in prepared.plan.items():
+                start_s = shard_sink.now()
+                partial = self._contact_shard(shard_id, shard_terms)
+                timed.append(
+                    (
+                        shard_id,
+                        len(shard_terms),
+                        partial,
+                        start_s,
+                        shard_sink.now(),
+                        start_s,
+                    )
+                )
+        else:
+            submit_s = shard_sink.now()
+            futures = [
+                (
+                    shard_id,
+                    len(shard_terms),
+                    self._pool.submit(
+                        self._timed_contact, shard_id, shard_terms, shard_sink
+                    ),
+                )
                 for shard_id, shard_terms in prepared.plan.items()
-            )
-        futures = [
-            self._pool.submit(self._contact_shard, shard_id, shard_terms)
-            for shard_id, shard_terms in prepared.plan.items()
-        ]
-        return merge_hits(future.result() for future in futures)
+            ]
+            timed = [
+                (shard_id, n_terms, *future.result(), submit_s)
+                for shard_id, n_terms, future in futures
+            ]
+        fanout_end = trace.now()
+        matches = merge_hits([partial for _, _, partial, _, _, _ in timed])
+        merge_end = trace.now()
+        fanout_id = trace.stage("fanout", fanout_start, fanout_end)
+        if trace.detail:
+            for shard_id, n_terms, _, start_s, end_s, submit_s in timed:
+                trace.event(
+                    "shard",
+                    start_s,
+                    end_s,
+                    parent=fanout_id,
+                    shard=shard_id,
+                    terms=n_terms,
+                    queue_wait_ms=round(
+                        max(0.0, start_s - submit_s) * 1000.0, 4
+                    ),
+                )
+        trace.stage("merge", fanout_end, merge_end)
+        return matches, fanout_end - fanout_start, merge_end - fanout_end
+
+    @staticmethod
+    def _stage_ms(
+        trace: TraceSink, fanout_s: float, merge_s: float, rank_s: float
+    ) -> tuple[tuple[str, float], ...]:
+        """The per-execution stage split, when a real sink timed it."""
+        if trace is NO_TRACE:
+            return ()
+        return (
+            ("fanout", round(fanout_s * 1000.0, 4)),
+            ("merge", round(merge_s * 1000.0, 4)),
+            ("rank", round(rank_s * 1000.0, 4)),
+        )
 
     # ------------------------------------------------------------------
     # Micro-batched fan-out
@@ -218,8 +344,9 @@ class QueryExecutor:
         prepared: PreparedQuery,
         limit: int | None,
         max_distance: float,
+        trace: TraceSink = NO_TRACE,
     ) -> tuple[list[SearchResult], ExecutionStats]:
-        pending = _Pending(prepared, limit, max_distance)
+        pending = _Pending(prepared, limit, max_distance, trace)
         with self._batch_lock:
             self._batch.append(pending)
             leader = not self._leader_active
@@ -253,9 +380,21 @@ class QueryExecutor:
     def _fetch_shard(
         self, shard_id: int, terms: Sequence[int]
     ) -> dict[int, np.ndarray]:
+        with self._contact_lock:
+            self._contact_counts[shard_id] = (
+                self._contact_counts.get(shard_id, 0) + 1
+            )
         if self.rpc_latency_s:
             time.sleep(self.rpc_latency_s)
         return self.index.shard_postings(shard_id, terms)
+
+    def _timed_fetch(
+        self, shard_id: int, terms: Sequence[int], detail: TraceSink | None
+    ) -> tuple[dict[int, np.ndarray], float, float]:
+        """Worker-side batched fetch, clocked against the detail sink."""
+        start_s = detail.now() if detail is not None else 0.0
+        postings = self._fetch_shard(shard_id, terms)
+        return postings, start_s, (detail.now() if detail is not None else 0.0)
 
     def _run_batch(self, batch: list[_Pending]) -> None:
         # One fetch per shard over the union of the batch's terms.
@@ -263,32 +402,91 @@ class QueryExecutor:
         for item in batch:
             for shard_id, shard_terms in item.prepared.plan.items():
                 union_plan.setdefault(shard_id, set()).update(shard_terms)
+        # Distinct trace sinks across the batch: the burst API shares
+        # one for the whole batch, the window path gives every query its
+        # own.  Each sink gets the shared fetch as its ``fanout`` stage
+        # (every query in the batch did wait on it); per-shard detail
+        # spans go to the first detail sink — the batch leader's — since
+        # one fetch serves the whole batch.
+        traces: list[TraceSink] = []
+        seen: set[int] = set()
+        for item in batch:
+            if item.trace is not NO_TRACE and id(item.trace) not in seen:
+                seen.add(id(item.trace))
+                traces.append(item.trace)
+        detail = next((t for t in traces if t.detail), None)
+        fetch_starts = [(t, t.now()) for t in traces]
+        contact_spans: list[tuple[int, int, float, float, float]] = []
         try:
             if self._pool is None:
-                fetched = {
-                    shard_id: self._fetch_shard(shard_id, sorted(terms))
-                    for shard_id, terms in union_plan.items()
-                }
+                fetched = {}
+                for shard_id, terms in union_plan.items():
+                    start_s = detail.now() if detail is not None else 0.0
+                    fetched[shard_id] = self._fetch_shard(shard_id, sorted(terms))
+                    if detail is not None:
+                        contact_spans.append(
+                            (
+                                shard_id,
+                                len(terms),
+                                start_s,
+                                detail.now(),
+                                start_s,
+                            )
+                        )
             else:
+                submit_s = detail.now() if detail is not None else 0.0
                 futures = {
                     shard_id: self._pool.submit(
-                        self._fetch_shard, shard_id, sorted(terms)
+                        self._timed_fetch, shard_id, sorted(terms), detail
                     )
                     for shard_id, terms in union_plan.items()
                 }
-                fetched = {
-                    shard_id: future.result()
-                    for shard_id, future in futures.items()
-                }
+                fetched = {}
+                for shard_id, future in futures.items():
+                    postings, start_s, end_s = future.result()
+                    fetched[shard_id] = postings
+                    if detail is not None:
+                        contact_spans.append(
+                            (
+                                shard_id,
+                                len(union_plan[shard_id]),
+                                start_s,
+                                end_s,
+                                submit_s,
+                            )
+                        )
         except BaseException as exc:  # pragma: no cover - defensive
             for item in batch:
                 item.error = exc
             return
+        fanout_ids: dict[int, int | None] = {}
+        fanout_s: dict[int, float] = {}
+        for sink, start_s in fetch_starts:
+            end_s = sink.now()
+            fanout_ids[id(sink)] = sink.stage("fanout", start_s, end_s)
+            fanout_s[id(sink)] = end_s - start_s
+        if detail is not None:
+            parent = fanout_ids.get(id(detail))
+            for shard_id, n_terms, start_s, end_s, submit_s in contact_spans:
+                detail.event(
+                    "shard",
+                    start_s,
+                    end_s,
+                    parent=parent,
+                    shard=shard_id,
+                    terms=n_terms,
+                    queue_wait_ms=round(
+                        max(0.0, start_s - submit_s) * 1000.0, 4
+                    ),
+                )
         # Split the shared fetch back into per-query partials and rank:
         # each query's hit stream is one concatenate over the postings
         # arrays of its own terms, merged by one np.unique pass.
+        split_s: dict[int, list] = {}
         for item in batch:
+            sink = item.trace
             try:
+                merge_start = sink.now()
                 chunks: list[np.ndarray] = []
                 for shard_id, shard_terms in item.prepared.plan.items():
                     postings = fetched[shard_id]
@@ -297,18 +495,48 @@ class QueryExecutor:
                         if posting is not None:
                             chunks.append(posting)
                 matches = merge_hits(chunks)
+                merge_end = sink.now()
                 item.results, scoring = self.index.rank_matches(
                     item.prepared, matches, item.limit, item.max_distance
                 )
+                rank_end = sink.now()
+                if sink.detail:
+                    # Detail keeps one merge/rank span per query.
+                    sink.stage("merge", merge_start, merge_end)
+                    sink.stage("rank", merge_end, rank_end)
+                elif sink is not NO_TRACE:
+                    # Below detail only the per-sink totals matter, so
+                    # fold them locally and record once after the loop
+                    # instead of taking the trace lock per item.
+                    totals = split_s.setdefault(id(sink), [sink, 0.0, 0.0])
+                    totals[1] += merge_end - merge_start
+                    totals[2] += rank_end - merge_end
                 item.stats = self._stats(
-                    item.prepared, matches, batch_size=len(batch), scoring=scoring
+                    item.prepared,
+                    matches,
+                    batch_size=len(batch),
+                    scoring=scoring,
+                    stage_ms=self._stage_ms(
+                        sink,
+                        fanout_s.get(id(sink), 0.0),
+                        merge_end - merge_start,
+                        rank_end - merge_end,
+                    ),
                 )
             except BaseException as exc:
                 item.error = exc
+        for sink, merge_s, rank_s in split_s.values():
+            sink.stage("merge", 0.0, merge_s)
+            sink.stage("rank", 0.0, rank_s)
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
+
+    def shard_contact_counts(self) -> dict[int, int]:
+        """Lifetime contact count per shard id (fan-out balance feed)."""
+        with self._contact_lock:
+            return dict(self._contact_counts)
 
     def _stats(
         self,
@@ -316,6 +544,7 @@ class QueryExecutor:
         matches: MatchCounts,
         batch_size: int,
         scoring: ScoringStats | None = None,
+        stage_ms: tuple[tuple[str, float], ...] = (),
     ) -> ExecutionStats:
         fanout = self.index.fanout_stats(prepared, matches, scoring)
         pooled = self._pool is not None
@@ -331,4 +560,5 @@ class QueryExecutor:
             batch_size=batch_size,
             pooled=pooled,
             pruned=fanout.pruned,
+            stage_ms=stage_ms,
         )

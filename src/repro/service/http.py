@@ -20,8 +20,21 @@ Endpoints (all JSON):
   ``--snapshot-keep N`` superseded ``snapshot-*`` directories beyond
   the ``N`` newest are garbage-collected after each publish.
 * ``GET /stats`` — index shape, cache counters, qps/latency quantiles,
-  last-snapshot and compaction metadata.
+  executor fan-out balance, last-snapshot and compaction metadata.
+* ``GET /metrics`` — Prometheus text exposition: request counters,
+  per-endpoint and per-stage latency histograms, gauges.
+* ``GET /admin/slowlog`` — the slow-query ring buffer
+  (``--slow-query-ms``).
 * ``GET /healthz`` — liveness plus the current write generation.
+* ``GET /readyz`` — readiness: 200 once warm-start/initial ingest is
+  complete (``mark_ready()``), 503 before.
+
+``POST /query`` and ``POST /query/batch`` accept ``?trace=1`` to get
+the request's span tree back under a ``"trace"`` key.
+
+Every request is timed into the per-endpoint latency histograms (with
+status-class counters); ``--access-log`` additionally emits one JSON
+line per request through the ``repro.service.access`` logger.
 
 ``ThreadingHTTPServer`` gives one thread per in-flight request; actual
 index concurrency control lives in the service's reader/writer lock, so
@@ -31,9 +44,11 @@ the HTTP layer stays a thin translation.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import unquote, urlparse
+from time import perf_counter
+from urllib.parse import parse_qs, unquote, urlparse
 
 from ..geo.point import Point
 from .service import IndexService
@@ -42,8 +57,32 @@ __all__ = [
     "MAX_BATCH_QUERIES",
     "MAX_BODY_BYTES",
     "ServiceHTTPServer",
+    "access_logger",
     "start_server",
 ]
+
+#: Structured access-log lines (one JSON object per request) go through
+#: this logger when the server runs with ``access_log=True``
+#: (``--access-log``); handlers/levels are the embedder's choice.
+access_logger = logging.getLogger("repro.service.access")
+
+#: Paths the per-endpoint histograms track individually; anything else
+#: (scanners, typos) collapses into ``"other"`` so label cardinality
+#: stays bounded no matter what clients send.
+_KNOWN_PATHS = frozenset(
+    {
+        "/trajectories",
+        "/trajectories/{id}",
+        "/query",
+        "/query/batch",
+        "/admin/snapshot",
+        "/admin/slowlog",
+        "/stats",
+        "/metrics",
+        "/healthz",
+        "/readyz",
+    }
+)
 
 #: Largest request body the server will buffer (the biggest legitimate
 #: payload is a bulk ingest; 64 MiB of JSON points is far beyond it).
@@ -134,9 +173,16 @@ class _Handler(BaseHTTPRequestHandler):
 
         Without the catch-all, an unexpected exception would drop the
         connection with no response and never reach the error metric.
+        Every request — success or failure — lands in the per-endpoint
+        latency histogram and (opt-in) the structured access log.
         """
+        start = perf_counter()
+        parsed = urlparse(self.path)
+        self._params = parse_qs(parsed.query)
+        self._status = 0
+        self._trace_id: str | None = None
         try:
-            route(urlparse(self.path).path)
+            route(parsed.path)
         except _BadRequest as exc:
             self.server.service.metrics.record_error()
             self._send(400, {"error": str(exc)})
@@ -153,10 +199,42 @@ class _Handler(BaseHTTPRequestHandler):
             # request stream state is unknown; don't reuse the connection.
             self.close_connection = True
             self._send(500, {"error": f"internal error: {exc}"})
+        finally:
+            latency = perf_counter() - start
+            status = self._status or 500
+            self.server.service.metrics.record_http(
+                self._endpoint_label(parsed.path), status, latency
+            )
+            if self.server.access_log:
+                access_logger.info(
+                    json.dumps(
+                        {
+                            "method": self.command,
+                            "path": self.path,
+                            "status": status,
+                            "latency_ms": round(latency * 1000.0, 3),
+                            "trace_id": self._trace_id,
+                        },
+                        sort_keys=True,
+                    )
+                )
+
+    def _endpoint_label(self, path: str) -> str:
+        """Bounded-cardinality endpoint label for the metrics registry."""
+        if path.startswith("/trajectories/") and path != "/trajectories/":
+            path = "/trajectories/{id}"
+        if path not in _KNOWN_PATHS:
+            return "other"
+        return f"{self.command} {path}"
+
+    def _flag(self, name: str) -> bool:
+        """Truthiness of a ``?name=1`` query-string parameter."""
+        values = self._params.get(name, [])
+        return bool(values) and values[-1].lower() in ("1", "true", "yes")
 
     def _route_get(self, path: str) -> None:
+        service = self.server.service
         if path == "/healthz":
-            service = self.server.service
             self._send(
                 200,
                 {
@@ -165,8 +243,31 @@ class _Handler(BaseHTTPRequestHandler):
                     "trajectories": len(service),
                 },
             )
+        elif path == "/readyz":
+            if self.server.is_ready():
+                self._send(
+                    200,
+                    {
+                        "status": "ready",
+                        "generation": service.generation,
+                        "trajectories": len(service),
+                    },
+                )
+            else:
+                self._send(503, {"status": "starting"})
         elif path == "/stats":
-            self._send(200, self.server.service.stats())
+            self._send(200, service.stats())
+        elif path == "/metrics":
+            self._send_bytes(
+                200,
+                service.metrics_text().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/admin/slowlog":
+            if service.slow_log is None:
+                self._send(200, {"enabled": False, "entries": []})
+            else:
+                self._send(200, {"enabled": True, **service.slow_log.as_dict()})
         else:
             self._send(404, {"error": f"unknown path {path!r}"})
 
@@ -228,7 +329,11 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest("body must be a JSON object")
         points = _parse_points(payload.get("points"))
         limit, max_distance = self._query_params(payload)
-        response = self.server.service.query(points, limit, max_distance)
+        response = self.server.service.query(
+            points, limit, max_distance, trace=self._flag("trace")
+        )
+        if response.trace is not None:
+            self._trace_id = response.trace.get("trace_id")
         self._send(200, response.as_dict())
 
     def _handle_query_batch(self) -> None:
@@ -250,14 +355,18 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 queries.append(_parse_points(entry))
         limit, max_distance = self._query_params(payload)
-        responses = self.server.service.query_many(queries, limit, max_distance)
-        self._send(
-            200,
-            {
-                "results": [response.as_dict() for response in responses],
-                "count": len(responses),
-            },
+        responses = self.server.service.query_many(
+            queries, limit, max_distance, trace=self._flag("trace")
         )
+        # One trace covers the whole burst; the service attaches it to
+        # the first response — lift it to a top-level key here.
+        dicts = [response.as_dict() for response in responses]
+        body = {"results": dicts, "count": len(dicts)}
+        trace_payload = dicts[0].pop("trace", None) if dicts else None
+        if trace_payload is not None:
+            self._trace_id = trace_payload.get("trace_id")
+            body["trace"] = trace_payload
+        self._send(200, body)
 
     def _handle_snapshot(self) -> None:
         # The target directory is fixed at server start (--snapshot-dir)
@@ -326,6 +435,11 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest(f"invalid JSON: {exc}") from exc
 
     def _send(self, status: int, payload: dict) -> None:
+        self._send_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
         # Keep-alive hygiene: a request rejected before its body was
         # read (e.g. 404 on an unrouted POST) must still drain it, or
         # the leftover bytes desync the next request on the connection.
@@ -344,14 +458,16 @@ class _Handler(BaseHTTPRequestHandler):
             # connection reuse rather than buffer or desync the stream.
             self.close_connection = True
         self._body_consumed = False
-        body = json.dumps(payload).encode("utf-8")
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # The stdlib line log stays opt-in (--verbose); the structured
+        # JSON access log (--access-log) is the production-facing one.
         if self.server.verbose:
             super().log_message(format, *args)
 
@@ -368,6 +484,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         verbose: bool = False,
         snapshot_dir: str | None = None,
         snapshot_keep: int | None = None,
+        access_log: bool = False,
+        ready: bool = True,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
@@ -377,6 +495,22 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         #: Snapshot GC policy (``--snapshot-keep``): after each publish,
         #: keep this many recent snapshots (``None`` = keep everything).
         self.snapshot_keep = snapshot_keep
+        #: Structured JSON access logging (``--access-log``).
+        self.access_log = access_log
+        #: Readiness gate for ``GET /readyz``: start with ``ready=False``
+        #: while warm-starting, then :meth:`mark_ready` — /healthz says
+        #: the process is alive, /readyz says it can serve real traffic.
+        self._ready = threading.Event()
+        if ready:
+            self._ready.set()
+
+    def mark_ready(self) -> None:
+        """Flip ``GET /readyz`` to 200 (warm start / initial load done)."""
+        self._ready.set()
+
+    def is_ready(self) -> bool:
+        """Whether the server has been marked ready to serve traffic."""
+        return self._ready.is_set()
 
     @property
     def url(self) -> str:
@@ -392,11 +526,15 @@ def start_server(
     verbose: bool = False,
     snapshot_dir: str | None = None,
     snapshot_keep: int | None = None,
+    access_log: bool = False,
+    ready: bool = True,
 ) -> ServiceHTTPServer:
     """Bind and serve in a daemon thread; returns the running server.
 
     Pass ``port=0`` to bind an ephemeral port (tests);
-    ``server.shutdown()`` stops the serving loop.
+    ``server.shutdown()`` stops the serving loop.  Pass ``ready=False``
+    when warm-starting and call ``server.mark_ready()`` once serving
+    state is loaded.
     """
     server = ServiceHTTPServer(
         (host, port),
@@ -404,6 +542,8 @@ def start_server(
         verbose=verbose,
         snapshot_dir=snapshot_dir,
         snapshot_keep=snapshot_keep,
+        access_log=access_log,
+        ready=ready,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="geodab-http", daemon=True

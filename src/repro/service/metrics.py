@@ -1,26 +1,71 @@
-"""Service-level observability: qps, latency quantiles, cache hit rate.
+"""Service-level observability: counters, latency histograms, exposition.
 
 A single :class:`ServiceMetrics` registry is threaded through the
-:class:`~repro.service.service.IndexService` and surfaced verbatim by the
-HTTP ``GET /stats`` endpoint.  Latencies are kept in a bounded reservoir
-(most recent observations win), qps over a sliding window, and fan-out
-widths as a running mean — all under one lock, since every operation is a
-handful of deque appends.
+:class:`~repro.service.service.IndexService`, surfaced as JSON by
+``GET /stats`` and as Prometheus text exposition by ``GET /metrics``.
+
+Latencies are kept in :class:`LatencyHistogram` instances — fixed
+log-scale bucket boundaries shared by every histogram in the registry,
+so recording is O(1) (one bisect into ~40 boundaries, three scalar
+adds), histograms merge by adding counts, and quantiles are exact
+*bucket* quantiles: the reported pN is the upper boundary of the bucket
+holding the nearest-rank observation, so its relative error is bounded
+by one bucket's width (a factor of √2 with the default boundaries) and
+reading it never sorts anything.  This replaces the earlier bounded
+reservoir, whose ``snapshot()`` re-sorted up to 4096 observations under
+the registry lock on every ``/stats`` call.
+
+The registry keeps one whole-request histogram (the headline
+p50/p95/p99), one histogram per HTTP endpoint, one per query pipeline
+stage (``prepare`` / ``fanout`` / ``merge`` / ``rank``), request
+counters by endpoint and status class, and the qps sliding window.
+Every recording method takes one lock for a handful of scalar updates;
+``enabled=False`` turns each into an immediate return so benchmarks can
+measure the instrumentation-off baseline.
+
+:class:`SlowQueryLog` is the diagnosis side-channel: a bounded ring of
+structured entries for queries over a latency threshold, surfaced by
+``GET /admin/slowlog`` and mirrored as JSON lines through the
+``repro.service.slowlog`` logger.
 """
 
 from __future__ import annotations
 
+import json
+import logging
 import math
 import threading
 import time
+from bisect import bisect_left
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
-__all__ = ["MetricsSnapshot", "ServiceMetrics", "percentile"]
+__all__ = [
+    "DEFAULT_BOUNDARIES_S",
+    "LatencyHistogram",
+    "MetricsSnapshot",
+    "ServiceMetrics",
+    "SlowQueryLog",
+    "percentile",
+    "prometheus_text",
+]
+
+#: Default histogram bucket upper boundaries, in seconds: 50 µs doubling
+#: every other bucket (factor √2) out to ~36 s, 40 finite buckets plus
+#: the implicit overflow.  Wide enough for a stalled request, fine
+#: enough that a bucket-boundary quantile is within √2 of the truth.
+DEFAULT_BOUNDARIES_S: tuple[float, ...] = tuple(
+    5e-5 * (2.0 ** (i / 2.0)) for i in range(40)
+)
 
 
 def percentile(values: list[float], q: float) -> float:
-    """The ``q``-quantile (0 < q <= 1) of ``values`` by nearest-rank."""
+    """The ``q``-quantile (0 < q <= 1) of ``values`` by nearest-rank.
+
+    Retained as the exact oracle the histogram tests compare against
+    (and for ad-hoc use); the serving path no longer calls it.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -28,9 +73,95 @@ def percentile(values: list[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+class LatencyHistogram:
+    """Fixed-boundary latency histogram: O(1) record, mergeable.
+
+    ``boundaries`` are upper bucket bounds in seconds, strictly
+    increasing; observations above the last boundary land in an
+    overflow bucket.  Not thread-safe on its own — callers (the
+    registry) serialize access.
+    """
+
+    __slots__ = ("boundaries", "counts", "total", "sum_s")
+
+    def __init__(
+        self, boundaries: tuple[float, ...] = DEFAULT_BOUNDARIES_S
+    ) -> None:
+        self.boundaries = boundaries
+        self.counts = [0] * (len(boundaries) + 1)
+        self.total = 0
+        self.sum_s = 0.0
+
+    def record(self, value_s: float) -> None:
+        """Account one observation (one bisect, three adds).
+
+        Boundaries are *inclusive* upper bounds (Prometheus ``le``
+        semantics): an observation equal to a boundary counts in that
+        boundary's bucket.
+        """
+        self.counts[bisect_left(self.boundaries, value_s)] += 1
+        self.total += 1
+        self.sum_s += value_s
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram with identical boundaries into this one."""
+        if other.boundaries != self.boundaries:
+            raise ValueError("cannot merge histograms with different boundaries")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum_s += other.sum_s
+
+    def quantile(self, q: float) -> float:
+        """Upper boundary of the bucket holding the nearest-rank value.
+
+        Exact-bucket quantile: never below the true nearest-rank value,
+        above it by at most one bucket width.  The overflow bucket
+        reports the last finite boundary (the histogram's ceiling).
+        """
+        if self.total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.total))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.boundaries):
+                    return self.boundaries[index]
+                return self.boundaries[-1]
+        return self.boundaries[-1]
+
+    @property
+    def mean_s(self) -> float:
+        """Mean observed value (exact — the sum is tracked exactly)."""
+        if self.total == 0:
+            return 0.0
+        return self.sum_s / self.total
+
+    def state(self) -> tuple[tuple[int, ...], int, float]:
+        """Immutable ``(counts, total, sum_s)`` reading (for exposition)."""
+        return tuple(self.counts), self.total, self.sum_s
+
+    def summary_ms(self) -> dict[str, float | int]:
+        """JSON-ready quantile summary in milliseconds."""
+        return {
+            "count": self.total,
+            "mean_ms": round(self.mean_s * 1000.0, 3),
+            "p50_ms": round(self.quantile(0.50) * 1000.0, 3),
+            "p95_ms": round(self.quantile(0.95) * 1000.0, 3),
+            "p99_ms": round(self.quantile(0.99) * 1000.0, 3),
+        }
+
+
 @dataclass(frozen=True, slots=True)
 class MetricsSnapshot:
-    """One consistent reading of the registry."""
+    """One consistent reading of the registry.
+
+    The scalar fields keep their historical meanings (the ``/stats``
+    payload is backward compatible); ``stages`` and ``endpoints`` carry
+    the per-stage and per-endpoint histogram summaries, and
+    ``status_counts`` the request counts by endpoint and status class.
+    """
 
     queries: int
     ingested: int
@@ -46,8 +177,11 @@ class MetricsSnapshot:
     mean_fanout_width: float
     mean_batch_size: float
     pruned_candidates: int = 0
+    stages: dict[str, dict] = field(default_factory=dict)
+    endpoints: dict[str, dict] = field(default_factory=dict)
+    status_counts: dict[str, dict[str, int]] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict:
         """JSON-ready representation (the ``/stats`` payload)."""
         return {
             "queries": self.queries,
@@ -64,26 +198,49 @@ class MetricsSnapshot:
             "mean_fanout_width": round(self.mean_fanout_width, 3),
             "mean_batch_size": round(self.mean_batch_size, 3),
             "pruned_candidates": self.pruned_candidates,
+            "stages": self.stages,
+            "endpoints": self.endpoints,
+            "status_counts": self.status_counts,
         }
 
 
+def _status_class(status: int) -> str:
+    """``200 -> "2xx"`` — the label granularity of the error counters."""
+    return f"{status // 100}xx"
+
+
 class ServiceMetrics:
-    """Thread-safe registry of the serving tier's vital signs."""
+    """Thread-safe registry of the serving tier's vital signs.
+
+    Latency state lives in :class:`LatencyHistogram` buckets — one for
+    whole requests, one per endpoint, one per pipeline stage — so both
+    recording *and* snapshotting are O(buckets) under the lock; nothing
+    is ever sorted.  ``enabled=False`` short-circuits every recorder
+    for an instrumentation-off baseline.
+    """
 
     def __init__(
         self,
-        reservoir_size: int = 4096,
         qps_window_s: float = 30.0,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
+        enabled: bool = True,
+        boundaries: tuple[float, ...] = DEFAULT_BOUNDARIES_S,
     ) -> None:
+        self.enabled = enabled
         self._lock = threading.Lock()
         self._clock = clock
         self._started = clock()
         self._qps_window_s = qps_window_s
-        self._latencies: deque[float] = deque(maxlen=reservoir_size)
+        self._boundaries = boundaries
+        self._latency = LatencyHistogram(boundaries)
+        self._stage_hists: dict[str, LatencyHistogram] = {}
+        self._endpoint_hists: dict[str, LatencyHistogram] = {}
+        self._status_counts: dict[tuple[str, str], int] = {}
         self._query_times: deque[float] = deque()
-        self._fanout_widths: deque[int] = deque(maxlen=reservoir_size)
-        self._batch_sizes: deque[int] = deque(maxlen=reservoir_size)
+        self._fanout_width_sum = 0
+        self._fanout_width_n = 0
+        self._batch_size_sum = 0
+        self._batch_size_n = 0
         self._queries = 0
         self._ingested = 0
         self._deleted = 0
@@ -109,32 +266,141 @@ class ServiceMetrics:
         ``pruned`` is the scoring engine's candidate-prune count for the
         execution; cache hits pass 0 (no scoring work was performed).
         """
+        if not self.enabled:
+            return
         now = self._clock()
         with self._lock:
-            self._queries += 1
-            self._latencies.append(latency_s)
-            self._query_times.append(now)
+            self._record_query_locked(
+                now, latency_s, cached, fanout_width, batch_size, pruned
+            )
+
+    def record_stages(self, stage_seconds: dict[str, float]) -> None:
+        """Fold one query's per-stage durations into the stage histograms."""
+        if not self.enabled or not stage_seconds:
+            return
+        with self._lock:
+            self._record_stages_locked(stage_seconds)
+
+    def record_request(
+        self,
+        latency_s: float,
+        cached: bool,
+        fanout_width: int = 0,
+        batch_size: int = 1,
+        pruned: int = 0,
+        stage_seconds: dict[str, float] | None = None,
+    ) -> None:
+        """One query *and* its stage split under a single lock round-trip.
+
+        Semantically ``record_query`` followed by ``record_stages``;
+        the serving hot path uses this fused form so instrumentation
+        costs one clock read and one lock acquisition per request.
+        """
+        if not self.enabled:
+            return
+        now = self._clock()
+        with self._lock:
+            self._record_query_locked(
+                now, latency_s, cached, fanout_width, batch_size, pruned
+            )
+            if stage_seconds:
+                self._record_stages_locked(stage_seconds)
+
+    def record_request_batch(
+        self,
+        outcomes: list[tuple[float, bool, int, int, int]],
+        stage_seconds: dict[str, float] | None = None,
+    ) -> None:
+        """A burst's worth of queries under one lock round-trip.
+
+        ``outcomes`` holds one ``(latency_s, cached, fanout_width,
+        batch_size, pruned)`` tuple per query; ``stage_seconds`` is the
+        burst's shared stage split, recorded once.
+        """
+        if not self.enabled or not outcomes:
+            return
+        now = self._clock()
+        with self._lock:
+            for latency_s, cached, fanout_width, batch_size, pruned in outcomes:
+                self._record_query_locked(
+                    now, latency_s, cached, fanout_width, batch_size, pruned
+                )
+            if stage_seconds:
+                self._record_stages_locked(stage_seconds)
+
+    def _record_query_locked(
+        self,
+        now: float,
+        latency_s: float,
+        cached: bool,
+        fanout_width: int,
+        batch_size: int,
+        pruned: int,
+    ) -> None:
+        self._queries += 1
+        # Inlined LatencyHistogram.record: this runs once per query on
+        # the serving hot path, where the extra method call shows up.
+        hist = self._latency
+        hist.counts[bisect_left(hist.boundaries, latency_s)] += 1
+        hist.total += 1
+        hist.sum_s += latency_s
+        times = self._query_times
+        times.append(now)
+        if times[0] < now - self._qps_window_s:
             self._prune(now)
-            if cached:
-                self._cache_hits += 1
-            else:
-                self._cache_misses += 1
-                self._fanout_widths.append(fanout_width)
-                self._batch_sizes.append(batch_size)
-                self._pruned_candidates += pruned
+        if cached:
+            self._cache_hits += 1
+        else:
+            self._cache_misses += 1
+            self._fanout_width_sum += fanout_width
+            self._fanout_width_n += 1
+            self._batch_size_sum += batch_size
+            self._batch_size_n += 1
+            self._pruned_candidates += pruned
+
+    def _record_stages_locked(self, stage_seconds: dict[str, float]) -> None:
+        hists = self._stage_hists
+        for name, seconds in stage_seconds.items():
+            hist = hists.get(name)
+            if hist is None:
+                hist = hists[name] = LatencyHistogram(self._boundaries)
+            # Inlined LatencyHistogram.record (hot path, see above).
+            hist.counts[bisect_left(hist.boundaries, seconds)] += 1
+            hist.total += 1
+            hist.sum_s += seconds
+
+    def record_http(self, endpoint: str, status: int, latency_s: float) -> None:
+        """Account one HTTP request against its endpoint histogram."""
+        if not self.enabled:
+            return
+        key = (endpoint, _status_class(status))
+        with self._lock:
+            hist = self._endpoint_hists.get(endpoint)
+            if hist is None:
+                hist = self._endpoint_hists[endpoint] = LatencyHistogram(
+                    self._boundaries
+                )
+            hist.record(latency_s)
+            self._status_counts[key] = self._status_counts.get(key, 0) + 1
 
     def record_ingest(self, count: int) -> None:
         """Account an ingest of ``count`` trajectories."""
+        if not self.enabled:
+            return
         with self._lock:
             self._ingested += count
 
     def record_delete(self) -> None:
         """Account one deletion."""
+        if not self.enabled:
+            return
         with self._lock:
             self._deleted += 1
 
     def record_error(self) -> None:
         """Account one failed request."""
+        if not self.enabled:
+            return
         with self._lock:
             self._errors += 1
 
@@ -148,30 +414,245 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:
-        """A consistent reading of every gauge and counter."""
+        """A consistent reading of every gauge, counter, and histogram.
+
+        O(histograms x buckets) under the lock — no sorting, no copies
+        of raw observations (there are none to copy).
+        """
         now = self._clock()
         with self._lock:
             self._prune(now)
             # Early in the service's life the sliding window is mostly
             # empty; dividing by the elapsed time keeps qps honest.
             window = min(self._qps_window_s, max(now - self._started, 1e-9))
-            latencies = list(self._latencies)
             lookups = self._cache_hits + self._cache_misses
-            widths = list(self._fanout_widths)
-            batches = list(self._batch_sizes)
+            stages = {
+                name: hist.summary_ms()
+                for name, hist in sorted(self._stage_hists.items())
+            }
+            endpoints = {
+                name: hist.summary_ms()
+                for name, hist in sorted(self._endpoint_hists.items())
+            }
+            status_counts: dict[str, dict[str, int]] = {}
+            for (endpoint, klass), count in sorted(self._status_counts.items()):
+                status_counts.setdefault(endpoint, {})[klass] = count
             return MetricsSnapshot(
                 queries=self._queries,
                 ingested=self._ingested,
                 deleted=self._deleted,
                 errors=self._errors,
                 qps=len(self._query_times) / window,
-                latency_p50_ms=percentile(latencies, 0.50) * 1000.0,
-                latency_p95_ms=percentile(latencies, 0.95) * 1000.0,
-                latency_p99_ms=percentile(latencies, 0.99) * 1000.0,
+                latency_p50_ms=self._latency.quantile(0.50) * 1000.0,
+                latency_p95_ms=self._latency.quantile(0.95) * 1000.0,
+                latency_p99_ms=self._latency.quantile(0.99) * 1000.0,
                 cache_hits=self._cache_hits,
                 cache_misses=self._cache_misses,
                 cache_hit_rate=self._cache_hits / lookups if lookups else 0.0,
-                mean_fanout_width=sum(widths) / len(widths) if widths else 0.0,
-                mean_batch_size=sum(batches) / len(batches) if batches else 0.0,
+                mean_fanout_width=(
+                    self._fanout_width_sum / self._fanout_width_n
+                    if self._fanout_width_n
+                    else 0.0
+                ),
+                mean_batch_size=(
+                    self._batch_size_sum / self._batch_size_n
+                    if self._batch_size_n
+                    else 0.0
+                ),
                 pruned_candidates=self._pruned_candidates,
+                stages=stages,
+                endpoints=endpoints,
+                status_counts=status_counts,
             )
+
+    def export(self) -> dict:
+        """Raw state for exposition: counters plus histogram buckets.
+
+        One consistent reading under the lock; the Prometheus renderer
+        (:func:`prometheus_text`) is a pure function over this.
+        """
+        with self._lock:
+            return {
+                "boundaries": self._boundaries,
+                "counters": {
+                    "queries": self._queries,
+                    "ingested": self._ingested,
+                    "deleted": self._deleted,
+                    "errors": self._errors,
+                    "cache_hits": self._cache_hits,
+                    "cache_misses": self._cache_misses,
+                    "pruned_candidates": self._pruned_candidates,
+                },
+                "request_latency": self._latency.state(),
+                "stages": {
+                    name: hist.state()
+                    for name, hist in sorted(self._stage_hists.items())
+                },
+                "endpoints": {
+                    name: hist.state()
+                    for name, hist in sorted(self._endpoint_hists.items())
+                },
+                "status_counts": dict(sorted(self._status_counts.items())),
+            }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _histogram_lines(
+    name: str,
+    labels: str,
+    boundaries: tuple[float, ...],
+    state: tuple[tuple[int, ...], int, float],
+) -> Iterable[str]:
+    """``_bucket``/``_sum``/``_count`` series for one histogram."""
+    counts, total, sum_s = state
+    comma = "," if labels else ""
+    cumulative = 0
+    for boundary, count in zip(boundaries, counts):
+        cumulative += count
+        yield (
+            f'{name}_bucket{{{labels}{comma}le="{boundary:.6g}"}} {cumulative}'
+        )
+    yield f'{name}_bucket{{{labels}{comma}le="+Inf"}} {total}'
+    if labels:
+        yield f"{name}_sum{{{labels}}} {sum_s:.9g}"
+        yield f"{name}_count{{{labels}}} {total}"
+    else:
+        yield f"{name}_sum {sum_s:.9g}"
+        yield f"{name}_count {total}"
+
+
+def prometheus_text(
+    export: dict, gauges: dict[str, float | int] | None = None
+) -> str:
+    """Render a registry export as Prometheus text exposition (v0.0.4).
+
+    ``export`` is :meth:`ServiceMetrics.export`; ``gauges`` are extra
+    point-in-time values (index size, generation, cache occupancy) the
+    service contributes.  Metric names follow Prometheus conventions:
+    base units (seconds), ``_total`` on counters, one ``# HELP``/
+    ``# TYPE`` pair per family.
+    """
+    boundaries = export["boundaries"]
+    counters = export["counters"]
+    lines: list[str] = []
+
+    counter_help = {
+        "queries": "Queries served (cache hits included).",
+        "ingested": "Trajectories ingested.",
+        "deleted": "Trajectories deleted.",
+        "errors": "Requests that failed.",
+        "cache_hits": "Result-cache hits.",
+        "cache_misses": "Result-cache misses.",
+        "pruned_candidates": "Candidates pruned before scoring.",
+    }
+    for key, help_text in counter_help.items():
+        name = f"geodabs_{key}_total"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {counters[key]}")
+
+    name = "geodabs_http_requests_total"
+    lines.append(f"# HELP {name} HTTP requests by endpoint and status class.")
+    lines.append(f"# TYPE {name} counter")
+    for (endpoint, klass), count in export["status_counts"].items():
+        lines.append(
+            f'{name}{{endpoint="{endpoint}",status="{klass}"}} {count}'
+        )
+
+    name = "geodabs_request_latency_seconds"
+    lines.append(f"# HELP {name} Whole-request latency by endpoint.")
+    lines.append(f"# TYPE {name} histogram")
+    lines.extend(
+        _histogram_lines(name, "", boundaries, export["request_latency"])
+    )
+    for endpoint, state in export["endpoints"].items():
+        lines.extend(
+            _histogram_lines(
+                name, f'endpoint="{endpoint}"', boundaries, state
+            )
+        )
+
+    name = "geodabs_stage_latency_seconds"
+    lines.append(
+        f"# HELP {name} Query pipeline stage latency "
+        "(prepare/fanout/merge/rank)."
+    )
+    lines.append(f"# TYPE {name} histogram")
+    for stage, state in export["stages"].items():
+        lines.extend(
+            _histogram_lines(name, f'stage="{stage}"', boundaries, state)
+        )
+
+    for key, value in (gauges or {}).items():
+        name = f"geodabs_{key}"
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {value}")
+
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Slow-query log
+# ----------------------------------------------------------------------
+
+#: Structured slow-query lines go through this logger as single-line
+#: JSON; attach a handler (or enable ``--access-log``-style stderr
+#: logging) to ship them somewhere.
+slowlog_logger = logging.getLogger("repro.service.slowlog")
+
+
+class SlowQueryLog:
+    """Bounded ring of structured entries for over-threshold queries.
+
+    ``record`` stamps, stores, and mirrors the entry through
+    :data:`slowlog_logger` as one JSON line; ``GET /admin/slowlog``
+    serves :meth:`as_dict`.  Thread-safe; most recent entries win.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        capacity: int = 128,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be non-negative")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.threshold_ms = threshold_ms
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def should_record(self, latency_s: float) -> bool:
+        """Whether a request of this latency belongs in the log."""
+        return latency_s * 1000.0 >= self.threshold_ms
+
+    def record(self, entry: dict) -> None:
+        """Store one entry (stamped with wall time) and log it as JSON."""
+        stamped = {"at": self._clock(), **entry}
+        with self._lock:
+            self._entries.append(stamped)
+            self._recorded += 1
+        slowlog_logger.warning(json.dumps(stamped, sort_keys=True))
+
+    def entries(self) -> list[dict]:
+        """Newest-last copy of the retained entries."""
+        with self._lock:
+            return list(self._entries)
+
+    def as_dict(self) -> dict:
+        """The ``GET /admin/slowlog`` payload."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "recorded": self._recorded,
+                "entries": list(self._entries),
+            }

@@ -36,6 +36,8 @@ pooled fan-out), which the integration tests assert.
 
 from __future__ import annotations
 
+import json
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -44,13 +46,16 @@ from time import perf_counter
 from typing import Callable, Hashable, Iterable, Sequence
 
 from ..cluster.cluster import ShardedGeodabIndex
+from ..cluster.stats import balance_report
 from ..core.index import GeodabIndex, SearchResult
 from ..core.persistence import prune_snapshots, publish_snapshot
+from ..core.query import NO_TRACE, TraceSink
 from ..geo.point import Point, Trajectory
 from .cache import LRUCache, MISS, digest_points, digest_terms
 from .executor import QueryExecutor
 from .locks import ReadWriteLock
-from .metrics import ServiceMetrics
+from .metrics import ServiceMetrics, SlowQueryLog, prometheus_text
+from .tracing import Trace, trace_logger
 
 __all__ = ["CompactionPolicy", "QueryResponse", "IndexService"]
 
@@ -99,6 +104,8 @@ class QueryResponse:
     ``pruned`` is the scoring engine's count of candidates eliminated by
     the count-based minimum-overlap threshold before any distance was
     computed (0 unless the query set ``max_distance`` below 1).
+    ``trace`` carries the request's span tree when the caller asked for
+    one (``POST /query?trace=1``); ``None`` otherwise.
     """
 
     results: tuple[SearchResult, ...]
@@ -108,10 +115,11 @@ class QueryResponse:
     shards_contacted: int
     latency_s: float
     pruned: int = 0
+    trace: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready representation (the ``POST /query`` payload)."""
-        return {
+        payload = {
             "results": [
                 {
                     "id": r.trajectory_id,
@@ -127,6 +135,9 @@ class QueryResponse:
             "shards_contacted": self.shards_contacted,
             "latency_ms": round(self.latency_s * 1000.0, 3),
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
 
 class IndexService:
@@ -142,14 +153,24 @@ class IndexService:
         compaction: CompactionPolicy | None = _DEFAULT_COMPACTION,
         maintenance_interval_s: float | None = None,
         clock: Callable[[], float] = perf_counter,
+        slow_query_ms: float | None = None,
+        trace_sample: float = 0.0,
     ) -> None:
         if executor is not None and executor.index is not index:
             raise ValueError("executor must wrap the served index")
         if maintenance_interval_s is not None and maintenance_interval_s <= 0:
             raise ValueError("maintenance_interval_s must be positive")
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError("trace_sample must be within [0, 1]")
         self.index = index
         self.executor = executor
         self.metrics = metrics or ServiceMetrics()
+        #: Slow-query ring buffer (``GET /admin/slowlog``); ``None``
+        #: unless a threshold is configured (``--slow-query-ms``).
+        self.slow_log = (
+            SlowQueryLog(slow_query_ms) if slow_query_ms is not None else None
+        )
+        self._trace_sample = trace_sample
         self.result_cache = LRUCache(result_cache_size)
         self.fingerprint_cache = LRUCache(fingerprint_cache_size)
         self._lock = ReadWriteLock()
@@ -249,14 +270,25 @@ class IndexService:
         points: Sequence[Point],
         limit: int | None = None,
         max_distance: float = 1.0,
+        trace: bool = False,
     ) -> QueryResponse:
-        """Serve one similarity query."""
+        """Serve one similarity query.
+
+        ``trace=True`` (the ``POST /query?trace=1`` contract) returns
+        the request's span tree in ``QueryResponse.trace``; otherwise a
+        trace may still be recorded for stage histograms (always, while
+        metrics are enabled) or sampled into the trace log
+        (``trace_sample``), but the response carries none.
+        """
         start = perf_counter()
+        tracer = self._open_trace(trace)
+        sink: TraceSink = tracer if tracer is not None else NO_TRACE
         # Fingerprints depend only on the pipeline configuration, never
         # on index contents, so this cache needs no generation tag and
         # no lock over the index.  Skip digesting entirely when a cache
         # is disabled (capacity 0) — hashing every point would be pure
         # overhead.
+        prepare_start = sink.now()
         if self.fingerprint_cache.capacity > 0:
             points_key = digest_points(points)
             prepared = self.fingerprint_cache.get(points_key)
@@ -265,6 +297,7 @@ class IndexService:
                 self.fingerprint_cache.put(points_key, prepared)
         else:
             prepared = self.index.prepare_query(points)
+        sink.stage("prepare", prepare_start, sink.now())
         caching = self.result_cache.capacity > 0
         cache_key = (
             (digest_terms(prepared.terms), limit, max_distance)
@@ -275,10 +308,22 @@ class IndexService:
         with self._lock.read_locked():
             generation = self._generation
             if caching:
-                hit = self.result_cache.get(cache_key, generation)
+                # The probe span is detail-only, so below detail the
+                # two clock reads around the cache get are skipped too.
+                if sink.detail:
+                    probe_start = sink.now()
+                    hit = self.result_cache.get(cache_key, generation)
+                    sink.event(
+                        "result_cache",
+                        probe_start,
+                        sink.now(),
+                        hit=hit is not MISS,
+                    )
+                else:
+                    hit = self.result_cache.get(cache_key, generation)
             if hit is MISS:
                 results, candidates, shards, pruned, width, batch = self._execute(
-                    prepared, limit, max_distance
+                    prepared, limit, max_distance, sink
                 )
                 if caching:
                     self.result_cache.put(
@@ -287,23 +332,39 @@ class IndexService:
         # Metrics recording takes the registry's own lock; keep it (and
         # the latency arithmetic) off the index read lock so a slow
         # metrics consumer never extends reader critical sections.
-        if hit is not MISS:
+        cached = hit is not MISS
+        if cached:
             results, candidates, shards, pruned = hit
-            latency = perf_counter() - start
-            self.metrics.record_query(latency, cached=True)
-            return QueryResponse(
-                results, generation, True, candidates, shards, latency, pruned
-            )
         latency = perf_counter() - start
-        self.metrics.record_query(
-            latency,
-            cached=False,
-            fanout_width=width,
-            batch_size=batch,
-            pruned=pruned,
+        stages = tracer.stage_seconds() if tracer is not None else None
+        if cached:
+            self.metrics.record_request(
+                latency, cached=True, stage_seconds=stages
+            )
+        else:
+            self.metrics.record_request(
+                latency,
+                cached=False,
+                fanout_width=width,
+                batch_size=batch,
+                pruned=pruned,
+                stage_seconds=stages,
+            )
+        trace_payload = self._finish_trace(
+            tracer,
+            attach=trace,
+            latency_s=latency,
+            entry={
+                "kind": "query",
+                "terms": len(prepared.terms),
+                "cached": cached,
+                "candidates": candidates,
+                "shards_contacted": shards,
+            },
         )
         return QueryResponse(
-            results, generation, False, candidates, shards, latency, pruned
+            results, generation, cached, candidates, shards, latency, pruned,
+            trace_payload,
         )
 
     def query_many(
@@ -311,6 +372,7 @@ class IndexService:
         queries: Sequence[Sequence[Point]],
         limit: int | None = None,
         max_distance: float = 1.0,
+        trace: bool = False,
     ) -> list[QueryResponse]:
         """Serve a burst of similarity queries as one columnar batch.
 
@@ -322,13 +384,19 @@ class IndexService:
 
         Each response reports the amortized per-query latency — total
         batch wall time divided by the burst size — which is the
-        quantity the throughput benchmark tracks.
+        quantity the throughput benchmark tracks.  One trace covers the
+        whole burst (the shared fan-out is genuinely shared work); with
+        ``trace=True`` its span tree is attached to the *first*
+        response.
         """
         start = perf_counter()
         queries = [list(points) for points in queries]
         total = len(queries)
         if total == 0:
             return []
+        tracer = self._open_trace(trace)
+        sink: TraceSink = tracer if tracer is not None else NO_TRACE
+        prepare_start = sink.now()
         prepared_list: list = [None] * total
         if self.fingerprint_cache.capacity > 0:
             keys = [digest_points(points) for points in queries]
@@ -348,6 +416,7 @@ class IndexService:
                     self.fingerprint_cache.put(keys[position], prepared)
         else:
             prepared_list = self.index.prepare_query_many(queries)
+        sink.stage("prepare", prepare_start, sink.now(), queries=total)
         caching = self.result_cache.capacity > 0
         cache_keys = [
             (digest_terms(prepared.terms), limit, max_distance)
@@ -389,7 +458,8 @@ class IndexService:
                         [
                             (prepared_list[position], limit, max_distance)
                             for position in unique_run
-                        ]
+                        ],
+                        trace=sink,
                     )
                     fresh_payloads = [
                         (
@@ -409,7 +479,8 @@ class IndexService:
                     fresh_payloads = []
                     for position in unique_run:
                         results, fanout = self.index.query_prepared(
-                            prepared_list[position], limit, max_distance
+                            prepared_list[position], limit, max_distance,
+                            trace=sink,
                         )
                         fresh_payloads.append(
                             (
@@ -437,26 +508,35 @@ class IndexService:
                     )
         # Metrics and response assembly happen off the read lock, like
         # the single-query path.
-        latency = (perf_counter() - start) / total
+        wall = perf_counter() - start
+        latency = wall / total
+        trace_payload = self._finish_trace(
+            tracer,
+            attach=trace,
+            latency_s=wall,
+            entry={"kind": "query_many", "queries": total},
+        )
         responses: list[QueryResponse] = []
+        outcomes: list[tuple[float, bool, int, int, int]] = []
         for position in range(total):
             results, candidates, shards, pruned, width, batch_size = payloads[position]
             cached = cached_flags[position]
             if cached:
-                self.metrics.record_query(latency, cached=True)
+                outcomes.append((latency, True, 0, 1, 0))
             else:
-                self.metrics.record_query(
-                    latency,
-                    cached=False,
-                    fanout_width=width,
-                    batch_size=batch_size,
-                    pruned=pruned,
-                )
+                outcomes.append((latency, False, width, batch_size, pruned))
             responses.append(
                 QueryResponse(
-                    results, generation, cached, candidates, shards, latency, pruned
+                    results, generation, cached, candidates, shards, latency,
+                    pruned, trace_payload if position == 0 else None,
                 )
             )
+        self.metrics.record_request_batch(
+            outcomes,
+            stage_seconds=(
+                tracer.stage_seconds() if tracer is not None else None
+            ),
+        )
         return responses
 
     # ------------------------------------------------------------------
@@ -573,11 +653,11 @@ class IndexService:
         self._last_snapshot = info
         return info
 
-    def _execute(self, prepared, limit, max_distance):
+    def _execute(self, prepared, limit, max_distance, trace=NO_TRACE):
         """One backend-agnostic execution of a prepared query."""
         if self.executor is not None:
             results, stats = self.executor.execute_prepared(
-                prepared, limit, max_distance
+                prepared, limit, max_distance, trace
             )
             return (
                 tuple(results),
@@ -587,7 +667,9 @@ class IndexService:
                 stats.fanout_width,
                 stats.batch_size,
             )
-        results, fanout = self.index.query_prepared(prepared, limit, max_distance)
+        results, fanout = self.index.query_prepared(
+            prepared, limit, max_distance, trace=trace
+        )
         return (
             tuple(results),
             fanout.candidates,
@@ -596,6 +678,59 @@ class IndexService:
             1,
             1,
         )
+
+    # ------------------------------------------------------------------
+    # Tracing plumbing
+    # ------------------------------------------------------------------
+
+    def _open_trace(self, detail: bool) -> Trace | None:
+        """A trace for one request, or ``None`` when nothing wants one.
+
+        Detail is kept when the caller asked (``?trace=1``) or the
+        request won the ``trace_sample`` lottery; otherwise — while
+        metrics are enabled — a stage-accounting-only trace feeds the
+        per-stage histograms.  With metrics disabled and no detail
+        wanted, instrumentation collapses to ``NO_TRACE``.
+        """
+        if detail:
+            return Trace(detail=True)
+        if self._trace_sample > 0.0 and random.random() < self._trace_sample:
+            return Trace(detail=True)
+        if self.metrics.enabled:
+            return Trace(detail=False)
+        return None
+
+    def _finish_trace(
+        self,
+        tracer: Trace | None,
+        attach: bool,
+        latency_s: float,
+        entry: dict,
+    ) -> dict | None:
+        """Close out one request's trace.
+
+        Emits sampled detail traces through
+        :data:`~repro.service.tracing.trace_logger` as JSON lines and
+        records the slow-query log when the request is over threshold.
+        Returns the span tree to attach to the response (explicitly
+        requested detail only).  Stage histograms are fed by the
+        caller's fused ``record_request``/``record_request_batch`` call,
+        not here.
+        """
+        payload = None
+        if tracer is not None:
+            if tracer.detail:
+                tree = tracer.as_dict()
+                if attach:
+                    payload = tree
+                else:
+                    trace_logger.info(json.dumps(tree, sort_keys=True))
+        if self.slow_log is not None and self.slow_log.should_record(latency_s):
+            if tracer is not None:
+                entry["trace_id"] = tracer.trace_id
+            entry["latency_ms"] = round(latency_s * 1000.0, 3)
+            self.slow_log.record(entry)
+        return payload
 
     # ------------------------------------------------------------------
     # Introspection
@@ -630,6 +765,10 @@ class IndexService:
                 "ticks": self._maintenance_ticks,
             },
             "metrics": self.metrics.snapshot().as_dict(),
+            "executor": self._executor_stats(),
+            "slowlog": (
+                None if self.slow_log is None else self.slow_log.as_dict()
+            ),
             "result_cache": {
                 "size": result_stats.size,
                 "capacity": result_stats.capacity,
@@ -645,6 +784,44 @@ class IndexService:
                 "hit_rate": round(fingerprint_stats.hit_rate, 4),
             },
         }
+
+    def _executor_stats(self) -> dict | None:
+        """Executor vitals for ``/stats``: pool shape + fan-out balance."""
+        if self.executor is None:
+            return None
+        contacts = self.executor.shard_contact_counts()
+        payload: dict = {
+            "pool_size": self.executor.pool_size,
+            "batch_window_s": self.executor.batch_window_s,
+            "shard_contacts": {
+                str(shard): count for shard, count in sorted(contacts.items())
+            },
+        }
+        if contacts:
+            payload["contact_balance"] = balance_report(
+                [contacts.get(shard, 0) for shard in range(max(contacts) + 1)]
+            ).as_dict()
+        return payload
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` payload: Prometheus text exposition.
+
+        Counter and histogram families come from the metrics registry;
+        the service contributes point-in-time gauges (index size,
+        generation, buffered postings, cache occupancy).
+        """
+        with self._lock.read_locked():
+            generation = self._generation
+            trajectories = len(self.index)
+            buffered = self.index.buffered_postings
+        result_stats = self.result_cache.stats()
+        gauges = {
+            "generation": generation,
+            "trajectories": trajectories,
+            "buffered_postings": buffered,
+            "result_cache_entries": result_stats.size,
+        }
+        return prometheus_text(self.metrics.export(), gauges)
 
     def close(self) -> None:
         """Stop the maintenance daemon and release executor resources."""

@@ -1,0 +1,251 @@
+"""End-to-end query tracing: spans, traces, and per-request trace ids.
+
+One :class:`Trace` accompanies one request through the serving tier —
+``IndexService.query``/``query_many`` open it, the executor and index
+backends report into it through the :class:`~repro.core.query.TraceSink`
+protocol, and ``POST /query?trace=1`` returns its span tree.
+
+Two recording levels share one class so the hot path stays cheap:
+
+* **stage accounting** (always on when metrics are enabled) — every
+  :meth:`Trace.stage` call folds its duration into a small per-name
+  dict; the service feeds those totals to the per-stage latency
+  histograms.  No span objects are built.
+* **detail** (``detail=True``: explicit ``?trace=1`` or sampled by
+  ``--trace-sample``) — stages *and* events additionally append
+  :class:`Span` records, and :meth:`Trace.as_dict` assembles the span
+  tree for the response.
+
+When even stage accounting is unwanted, pass
+:data:`~repro.core.query.NO_TRACE` — its ``now()`` never reads the
+clock and its recorders drop everything, so instrumented call sites
+cost two attribute calls and nothing else.
+
+Clocks are injectable (monotonic ``perf_counter`` by default) so tests
+drive exact span arithmetic with a fake clock.  Detail-trace span
+appends go through one lock (the executor's worker threads time their
+shard contacts locally and the coordinating thread records them, but
+nothing stops an embedder recording from several threads).  Below
+detail there is no lock at all: stage aggregation is plain dict
+arithmetic, and the serving tier records into each trace from a single
+thread at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+from contextlib import nullcontext
+from time import perf_counter
+from typing import Callable
+
+__all__ = ["Span", "Trace", "new_trace_id", "trace_logger"]
+
+#: Sampled detail traces (``--trace-sample``) are emitted through this
+#: logger as single-line JSON — the response shape never depends on a
+#: server-side dice roll; attach a handler to ship them somewhere.
+trace_logger = logging.getLogger("repro.service.trace")
+
+#: Process-wide trace-id sequence; combined with the process start clock
+#: reading so ids stay unique (and cheap — no entropy pool reads on the
+#: query path).
+_TRACE_SEQ = itertools.count(1)
+_TRACE_EPOCH = int(perf_counter() * 1e9) & 0xFFFFFFFF
+
+#: Shared empty span list for below-detail traces (never appended to —
+#: only detail traces, which allocate their own list, record spans).
+_NO_SPANS: list = []
+
+
+def new_trace_id() -> str:
+    """A process-unique 16-hex-digit trace id."""
+    return f"{_TRACE_EPOCH:08x}{next(_TRACE_SEQ) & 0xFFFFFFFF:08x}"
+
+
+class Span:
+    """One recorded operation: a name, a window, optional metadata."""
+
+    __slots__ = ("span_id", "parent", "name", "start_s", "duration_s", "meta")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent: int | None,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        meta: dict | None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent = parent
+        self.name = name
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.meta = meta
+
+    def as_dict(self) -> dict:
+        """JSON-ready flat form (offsets relative to the trace start)."""
+        payload: dict = {
+            "name": self.name,
+            "start_ms": round(self.start_s * 1000.0, 4),
+            "duration_ms": round(self.duration_s * 1000.0, 4),
+        }
+        if self.meta:
+            payload.update(self.meta)
+        return payload
+
+
+class Trace:
+    """One request's trace: stage totals plus (optionally) a span tree.
+
+    Implements :class:`~repro.core.query.TraceSink`.  ``start_s`` is
+    captured at construction; span offsets in :meth:`as_dict` are
+    relative to it.
+    """
+
+    __slots__ = (
+        "_trace_id",
+        "detail",
+        "now",
+        "_lock",
+        "_start_s",
+        "_next_id",
+        "_spans",
+        "_stage_s",
+    )
+
+    def __init__(
+        self,
+        detail: bool = False,
+        trace_id: str | None = None,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        self.detail = detail
+        self._trace_id = trace_id
+        # ``now`` is the clock itself (no wrapper frame): instrumented
+        # call sites read it many times per request.
+        self.now = clock
+        # Only detail traces append spans and need a lock; the stage
+        # aggregation below detail is plain dict arithmetic, safe for
+        # the serving tier's single-writer-per-trace recording.
+        self._lock = threading.Lock() if detail else None
+        self._start_s = clock()
+        self._next_id = 0
+        self._spans: list[Span] = [] if detail else _NO_SPANS
+        self._stage_s: dict[str, float] = {}
+
+    @property
+    def trace_id(self) -> str:
+        """The request's id, minted on first use.
+
+        Stage-accounting-only traces on the query hot path usually
+        never need one (the id only surfaces in span trees, slow-log
+        entries, and sampled trace lines), so generation is deferred.
+        """
+        if self._trace_id is None:
+            self._trace_id = new_trace_id()
+        return self._trace_id
+
+    # ------------------------------------------------------------------
+    # TraceSink protocol (``now`` is the instance attribute above)
+    # ------------------------------------------------------------------
+
+    def stage(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: int | None = None,
+        **meta: object,
+    ) -> int | None:
+        """Record one pipeline stage; aggregates into the stage totals."""
+        duration = end_s - start_s
+        if self._lock is None:
+            try:
+                self._stage_s[name] += duration
+            except KeyError:
+                self._stage_s[name] = duration
+            return None
+        with self._lock:
+            self._stage_s[name] = self._stage_s.get(name, 0.0) + duration
+            return self._append(name, start_s, duration, parent, meta)
+
+    def event(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: int | None = None,
+        **meta: object,
+    ) -> int | None:
+        """Record a detail-only child span (dropped unless ``detail``)."""
+        if self._lock is None:
+            return None
+        with self._lock:
+            return self._append(name, start_s, end_s - start_s, parent, meta)
+
+    def _append(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        parent: int | None,
+        meta: dict,
+    ) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        self._spans.append(
+            Span(span_id, parent, name, start_s - self._start_s, duration_s, meta)
+        )
+        return span_id
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Accumulated seconds per stage name (histogram feed).
+
+        Below detail this returns the live aggregation dict without
+        copying — the hot path reads it exactly once, at the end of the
+        request; treat it as read-only.
+        """
+        if self._lock is None:
+            return self._stage_s
+        with self._lock:
+            return dict(self._stage_s)
+
+    def elapsed_s(self) -> float:
+        """Clock time since the trace opened."""
+        return self.now() - self._start_s
+
+    def as_dict(self) -> dict:
+        """The span tree: children nested under parents, by start time.
+
+        Returned under the ``"trace"`` key of a traced query response.
+        Stage totals ride along so consumers need not walk the tree to
+        find where the time went.
+        """
+        lock = self._lock if self._lock is not None else nullcontext()
+        with lock:
+            spans = list(self._spans)
+            stage_ms = {
+                name: round(seconds * 1000.0, 4)
+                for name, seconds in self._stage_s.items()
+            }
+        nodes: dict[int, dict] = {}
+        roots: list[dict] = []
+        for span in spans:
+            nodes[span.span_id] = span.as_dict()
+        for span in sorted(spans, key=lambda s: (s.start_s, s.span_id)):
+            node = nodes[span.span_id]
+            if span.parent is not None and span.parent in nodes:
+                nodes[span.parent].setdefault("children", []).append(node)
+            else:
+                roots.append(node)
+        return {
+            "trace_id": self.trace_id,
+            "stages_ms": stage_ms,
+            "spans": roots,
+        }

@@ -415,3 +415,258 @@ class TestPrunedSurfaced:
         _, stats = call(loaded_server.url, "GET", "/stats")
         assert stats["metrics"]["pruned_candidates"] >= payload["pruned"]
         assert "maintenance" in stats
+
+
+class TestReadyz:
+    def test_ready_by_default(self, server):
+        status, payload = call(server.url, "GET", "/readyz")
+        assert status == 200
+        assert payload["status"] == "ready"
+
+    def test_503_until_marked_ready(self, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service, ready=False)
+        try:
+            status, payload = call(server.url, "GET", "/readyz")
+            assert status == 503
+            assert payload == {"status": "starting"}
+            # Liveness is independent of readiness.
+            assert call(server.url, "GET", "/healthz")[0] == 200
+            server.mark_ready()
+            status, payload = call(server.url, "GET", "/readyz")
+            assert status == 200
+            assert payload["status"] == "ready"
+        finally:
+            server.shutdown()
+            service.close()
+
+
+def fetch_text(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode(),
+        )
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, loaded_server, small_dataset):
+        import time
+
+        call(
+            loaded_server.url, "POST", "/query",
+            {"points": as_wire(small_dataset.queries[0].points)},
+        )
+        # The endpoint histogram is recorded *after* the /query response
+        # is flushed; scrape until the sample shows up.
+        deadline = time.time() + 5.0
+        while True:
+            status, content_type, text = fetch_text(
+                loaded_server.url, "/metrics"
+            )
+            if 'endpoint="POST /query"' in text or time.time() > deadline:
+                break
+            time.sleep(0.01)
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        lines = text.splitlines()
+        assert "# TYPE geodabs_queries_total counter" in lines
+        assert "# TYPE geodabs_request_latency_seconds histogram" in lines
+        assert any(
+            line.startswith("geodabs_request_latency_seconds_bucket{le=")
+            for line in lines
+        )
+        # Per-stage histograms carry the query pipeline split.
+        for stage in ("prepare", "fanout", "merge", "rank"):
+            assert any(
+                line.startswith(
+                    f'geodabs_stage_latency_seconds_bucket{{stage="{stage}"'
+                )
+                for line in lines
+            ), f"missing stage histogram for {stage}"
+        # The /query request itself lands in a per-endpoint histogram.
+        assert any(
+            'endpoint="POST /query"' in line for line in lines
+        )
+        assert any(
+            line.startswith("geodabs_trajectories ") for line in lines
+        )
+
+    def test_scrapes_are_counted_too(self, server):
+        fetch_text(server.url, "/metrics")
+        _, _, text = fetch_text(server.url, "/metrics")
+        assert 'endpoint="GET /metrics"' in text
+
+
+class TestTraceParam:
+    def test_trace_1_returns_span_tree(self, loaded_server, small_dataset):
+        status, payload = call(
+            loaded_server.url, "POST", "/query?trace=1",
+            {"points": as_wire(small_dataset.queries[0].points)},
+        )
+        assert status == 200
+        tree = payload["trace"]
+        assert tree["trace_id"]
+        names = [span["name"] for span in tree["spans"]]
+        assert "prepare" in names
+        assert "fanout" in names
+        # Stage durations approximately account for the request latency.
+        assert 0 < sum(tree["stages_ms"].values()) <= payload["latency_ms"]
+
+    def test_untraced_response_has_no_trace_key(
+        self, loaded_server, small_dataset
+    ):
+        _, payload = call(
+            loaded_server.url, "POST", "/query",
+            {"points": as_wire(small_dataset.queries[0].points)},
+        )
+        assert "trace" not in payload
+
+    def test_batch_trace_is_top_level(self, loaded_server, small_dataset):
+        status, payload = call(
+            loaded_server.url, "POST", "/query/batch?trace=true",
+            {"queries": [as_wire(q.points) for q in small_dataset.queries[:2]]},
+        )
+        assert status == 200
+        assert payload["count"] == 2
+        assert payload["trace"]["trace_id"]
+        assert all("trace" not in entry for entry in payload["results"])
+
+
+class TestSlowlogEndpoint:
+    def test_disabled_shape(self, server):
+        status, payload = call(server.url, "GET", "/admin/slowlog")
+        assert status == 200
+        assert payload == {"enabled": False, "entries": []}
+
+    def test_enabled_records_slow_queries(self, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG), slow_query_ms=0.0)
+        server = start_server(service)
+        try:
+            body = {
+                "trajectories": [
+                    {"id": r.trajectory_id, "points": as_wire(r.points)}
+                    for r in small_dataset.records[:3]
+                ]
+            }
+            assert call(server.url, "POST", "/trajectories", body)[0] == 200
+            call(
+                server.url, "POST", "/query",
+                {"points": as_wire(small_dataset.queries[0].points)},
+            )
+            status, payload = call(server.url, "GET", "/admin/slowlog")
+            assert status == 200
+            assert payload["enabled"] is True
+            assert payload["threshold_ms"] == 0.0
+            assert payload["recorded"] >= 1
+            entry = payload["entries"][-1]
+            assert entry["kind"] == "query"
+            assert entry["latency_ms"] >= 0.0
+        finally:
+            server.shutdown()
+            service.close()
+
+
+def _access_lines(caplog):
+    """Access-log lines seen so far, waiting out the server thread.
+
+    The line is emitted after the response bytes are flushed, so the
+    client can observe the response before the server thread logs —
+    poll briefly instead of racing it.
+    """
+    import time
+
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        lines = [
+            json.loads(record.getMessage())
+            for record in caplog.records
+            if record.name == "repro.service.access"
+        ]
+        if lines:
+            return lines
+        time.sleep(0.01)
+    return []
+
+
+class TestAccessLog:
+    def test_structured_lines_when_enabled(self, small_dataset, caplog):
+        import logging
+
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service, access_log=True)
+        try:
+            with caplog.at_level(
+                logging.INFO, logger="repro.service.access"
+            ):
+                call(server.url, "GET", "/healthz")
+                lines = _access_lines(caplog)
+            assert lines
+            line = lines[-1]
+            assert line["method"] == "GET"
+            assert line["path"] == "/healthz"
+            assert line["status"] == 200
+            assert line["latency_ms"] >= 0.0
+            assert "trace_id" in line
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_trace_id_lands_in_access_line(self, small_dataset, caplog):
+        import logging
+
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service, access_log=True)
+        try:
+            body = {
+                "trajectories": [
+                    {"id": r.trajectory_id, "points": as_wire(r.points)}
+                    for r in small_dataset.records[:3]
+                ]
+            }
+            assert call(server.url, "POST", "/trajectories", body)[0] == 200
+            with caplog.at_level(
+                logging.INFO, logger="repro.service.access"
+            ):
+                _, payload = call(
+                    server.url, "POST", "/query?trace=1",
+                    {"points": as_wire(small_dataset.queries[0].points)},
+                )
+                lines = _access_lines(caplog)
+            assert lines
+            assert lines[-1]["trace_id"] == payload["trace"]["trace_id"]
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_disabled_by_default(self, server, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.service.access"):
+            call(server.url, "GET", "/healthz")
+        assert not [
+            record
+            for record in caplog.records
+            if record.name == "repro.service.access"
+        ]
+
+
+class TestEndpointHistograms:
+    def test_unknown_paths_collapse_to_other(self, server):
+        call(server.url, "GET", "/definitely/not/a/route")
+        _, stats = call(server.url, "GET", "/stats")
+        endpoints = stats["metrics"]["endpoints"]
+        assert "other" in endpoints
+        status_counts = stats["metrics"]["status_counts"]
+        assert status_counts["other"]["4xx"] >= 1
+
+    def test_errors_keep_status_class(self, loaded_server):
+        call(loaded_server.url, "POST", "/query", {"points": []})
+        _, stats = call(loaded_server.url, "GET", "/stats")
+        assert stats["metrics"]["status_counts"]["POST /query"]["4xx"] >= 1
+
+    def test_executor_section_absent_for_single_node(self, loaded_server):
+        _, stats = call(loaded_server.url, "GET", "/stats")
+        assert stats["executor"] is None
+        assert stats["slowlog"] is None

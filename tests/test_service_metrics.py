@@ -1,0 +1,271 @@
+"""Tests for repro.service.metrics: histograms, registry, exposition.
+
+The log-scale histogram quantiles are checked against the retained
+``percentile`` nearest-rank oracle: a bucket quantile must never be
+below the true value and at most one bucket width (factor sqrt(2))
+above it.
+"""
+
+import json
+import logging
+import threading
+import time
+
+import pytest
+
+from repro.service.metrics import (
+    DEFAULT_BOUNDARIES_S,
+    LatencyHistogram,
+    ServiceMetrics,
+    SlowQueryLog,
+    percentile,
+    prometheus_text,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.total == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean_s == 0.0
+
+    def test_bucket_boundaries_are_log_scale(self):
+        ratios = [
+            DEFAULT_BOUNDARIES_S[i + 1] / DEFAULT_BOUNDARIES_S[i]
+            for i in range(len(DEFAULT_BOUNDARIES_S) - 1)
+        ]
+        for ratio in ratios:
+            assert ratio == pytest.approx(2.0 ** 0.5)
+        assert DEFAULT_BOUNDARIES_S[0] == pytest.approx(5e-5)
+        assert DEFAULT_BOUNDARIES_S[-1] > 30.0
+
+    def test_record_lands_in_correct_bucket(self):
+        hist = LatencyHistogram(boundaries=(0.001, 0.01, 0.1))
+        hist.record(0.0005)   # <= 0.001
+        hist.record(0.001)    # boundary is an upper bound (le semantics)
+        hist.record(0.005)
+        hist.record(0.05)
+        hist.record(5.0)      # overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.total == 5
+        assert hist.sum_s == pytest.approx(0.0565 + 5.0)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+    def test_quantile_vs_nearest_rank_oracle(self, q):
+        # Deterministic spread over five decades of latency, all inside
+        # the histogram's finite range (overflow reports the ceiling, so
+        # the error bound only holds for in-range observations).
+        values = [5e-5 * (1.06 ** i) for i in range(200)]
+        hist = LatencyHistogram()
+        for value in values:
+            hist.record(value)
+        exact = percentile(values, q)
+        bucketed = hist.quantile(q)
+        # Never below the true nearest-rank value; at most one bucket
+        # (factor sqrt(2)) above it.
+        assert bucketed >= exact * (1.0 - 1e-12)
+        assert bucketed <= exact * (2.0 ** 0.5) * (1.0 + 1e-12)
+
+    def test_overflow_quantile_reports_ceiling(self):
+        hist = LatencyHistogram(boundaries=(0.001, 0.01))
+        hist.record(100.0)
+        assert hist.quantile(0.5) == 0.01
+
+    def test_merge_equals_combined_recording(self):
+        a, b, combined = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram(),
+        )
+        for i, value in enumerate(5e-5 * (1.3 ** i) for i in range(60)):
+            (a if i % 2 else b).record(value)
+            combined.record(value)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.total == combined.total
+        assert a.sum_s == pytest.approx(combined.sum_s)
+
+    def test_merge_rejects_different_boundaries(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(boundaries=(1.0,)))
+
+    def test_summary_shape(self):
+        hist = LatencyHistogram()
+        hist.record(0.004)
+        summary = hist.summary_ms()
+        assert summary["count"] == 1
+        assert summary["mean_ms"] == pytest.approx(4.0)
+        assert summary["p50_ms"] == summary["p99_ms"]
+
+
+class TestServiceMetrics:
+    def test_snapshot_scalar_fields(self):
+        metrics = ServiceMetrics()
+        metrics.record_query(0.002, cached=False, fanout_width=4, batch_size=2)
+        metrics.record_query(0.001, cached=True)
+        metrics.record_ingest(7)
+        metrics.record_delete()
+        metrics.record_error()
+        snapshot = metrics.snapshot()
+        assert snapshot.queries == 2
+        assert snapshot.ingested == 7
+        assert snapshot.deleted == 1
+        assert snapshot.errors == 1
+        assert snapshot.cache_hits == 1
+        assert snapshot.cache_misses == 1
+        assert snapshot.cache_hit_rate == pytest.approx(0.5)
+        assert snapshot.mean_fanout_width == pytest.approx(4.0)
+        assert snapshot.mean_batch_size == pytest.approx(2.0)
+        assert snapshot.latency_p50_ms > 0.0
+
+    def test_stage_and_endpoint_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.record_stages({"fanout": 0.002, "rank": 0.0005})
+        metrics.record_http("POST /query", 200, 0.003)
+        metrics.record_http("POST /query", 400, 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot.stages["fanout"]["count"] == 1
+        assert snapshot.stages["rank"]["count"] == 1
+        assert snapshot.endpoints["POST /query"]["count"] == 2
+        assert snapshot.status_counts["POST /query"] == {"2xx": 1, "4xx": 1}
+
+    def test_disabled_records_nothing(self):
+        metrics = ServiceMetrics(enabled=False)
+        metrics.record_query(0.5, cached=False)
+        metrics.record_stages({"rank": 0.5})
+        metrics.record_http("GET /stats", 200, 0.5)
+        metrics.record_ingest(3)
+        metrics.record_error()
+        snapshot = metrics.snapshot()
+        assert snapshot.queries == 0
+        assert snapshot.ingested == 0
+        assert snapshot.errors == 0
+        assert snapshot.stages == {}
+        assert snapshot.endpoints == {}
+
+    def test_snapshot_is_sort_free_under_contention(self):
+        """Regression: /stats used to re-sort a 4096-entry reservoir
+        under the registry lock; with histograms both record and
+        snapshot must stay fast while many threads hammer the lock."""
+        metrics = ServiceMetrics()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                metrics.record_query(0.001, cached=False, fanout_width=2)
+                metrics.record_stages({"fanout": 0.0005, "rank": 0.0002})
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            # Warm up so histograms have plenty of state to read.
+            time.sleep(0.05)
+            readings = []
+            for _ in range(50):
+                t0 = time.perf_counter()
+                metrics.snapshot()
+                readings.append(time.perf_counter() - t0)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        # Generous bound for CI noise: each snapshot is a fixed-size
+        # histogram walk, so even the worst reading stays comfortably
+        # inside tens of milliseconds.
+        assert max(readings) < 0.25
+        assert metrics.snapshot().queries > 0
+
+    def test_qps_window(self):
+        fake = [0.0]
+        metrics = ServiceMetrics(qps_window_s=10.0, clock=lambda: fake[0])
+        for _ in range(5):
+            metrics.record_query(0.001, cached=False)
+        fake[0] = 10.0
+        assert metrics.snapshot().qps == pytest.approx(0.5)
+        fake[0] = 25.0  # all five queries age out of the window
+        assert metrics.snapshot().qps == 0.0
+
+
+class TestPrometheusExposition:
+    def test_golden_exposition(self):
+        metrics = ServiceMetrics(boundaries=(0.001, 0.01))
+        metrics.record_query(0.0005, cached=False, fanout_width=1)
+        metrics.record_query(0.005, cached=True)
+        metrics.record_stages({"rank": 0.0005})
+        metrics.record_http("POST /query", 200, 0.0005)
+        text = prometheus_text(metrics.export(), {"trajectories": 42})
+        expected = [
+            "# HELP geodabs_queries_total Queries served (cache hits included).",
+            "# TYPE geodabs_queries_total counter",
+            "geodabs_queries_total 2",
+            'geodabs_http_requests_total{endpoint="POST /query",status="2xx"} 1',
+            'geodabs_request_latency_seconds_bucket{le="0.001"} 1',
+            'geodabs_request_latency_seconds_bucket{le="0.01"} 2',
+            'geodabs_request_latency_seconds_bucket{le="+Inf"} 2',
+            "geodabs_request_latency_seconds_sum 0.0055",
+            "geodabs_request_latency_seconds_count 2",
+            'geodabs_request_latency_seconds_bucket{endpoint="POST /query",le="0.001"} 1',
+            'geodabs_stage_latency_seconds_bucket{stage="rank",le="0.001"} 1',
+            'geodabs_stage_latency_seconds_sum{stage="rank"} 0.0005',
+            "# TYPE geodabs_trajectories gauge",
+            "geodabs_trajectories 42",
+        ]
+        lines = text.splitlines()
+        for line in expected:
+            assert line in lines, f"missing exposition line: {line}"
+        assert text.endswith("\n")
+
+    def test_bucket_counts_are_cumulative(self):
+        metrics = ServiceMetrics(boundaries=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            metrics.record_query(value, cached=False)
+        text = prometheus_text(metrics.export())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("geodabs_request_latency_seconds_bucket{le=")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == [1, 2, 3, 4]
+        assert counts == sorted(counts)
+
+    def test_every_histogram_family_has_help_and_type(self):
+        metrics = ServiceMetrics()
+        metrics.record_query(0.001, cached=False)
+        text = prometheus_text(metrics.export())
+        for family in (
+            "geodabs_request_latency_seconds",
+            "geodabs_stage_latency_seconds",
+        ):
+            assert f"# HELP {family} " in text
+            assert f"# TYPE {family} histogram" in text
+
+
+class TestSlowQueryLog:
+    def test_threshold_and_ring(self):
+        log = SlowQueryLog(threshold_ms=10.0, capacity=3, clock=lambda: 99.0)
+        assert log.should_record(0.005) is False
+        assert log.should_record(0.010) is True
+        for i in range(5):
+            log.record({"kind": "query", "i": i})
+        entries = log.entries()
+        assert [entry["i"] for entry in entries] == [2, 3, 4]
+        assert all(entry["at"] == 99.0 for entry in entries)
+        payload = log.as_dict()
+        assert payload["recorded"] == 5
+        assert payload["capacity"] == 3
+        assert payload["threshold_ms"] == 10.0
+
+    def test_entries_mirror_to_logger_as_json(self, caplog):
+        log = SlowQueryLog(threshold_ms=0.0, clock=lambda: 1.0)
+        with caplog.at_level(logging.WARNING, logger="repro.service.slowlog"):
+            log.record({"kind": "query", "latency_ms": 12.5})
+        assert len(caplog.records) == 1
+        parsed = json.loads(caplog.records[0].getMessage())
+        assert parsed == {"at": 1.0, "kind": "query", "latency_ms": 12.5}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=1.0, capacity=0)

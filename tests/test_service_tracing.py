@@ -1,0 +1,282 @@
+"""Tests for repro.service.tracing: spans, traces, and threaded trace IDs.
+
+Covers the Trace/Span primitives with a fake clock (exact arithmetic)
+and the span-tree *shapes* each query path produces: single-node,
+sharded fan-out, batched burst, and cache hit.
+"""
+
+import pytest
+
+from repro.cluster import ShardedGeodabIndex, ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.query import NO_TRACE
+from repro.service import IndexService, QueryExecutor, Trace, new_trace_id
+from repro.service.tracing import Span
+
+CONFIG = GeodabConfig(k=3, t=5)
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def span_names(tree: dict) -> list[str]:
+    return [span["name"] for span in tree["spans"]]
+
+
+def find_span(tree: dict, name: str) -> dict:
+    matches = [span for span in tree["spans"] if span["name"] == name]
+    assert matches, f"no span named {name!r} in {span_names(tree)}"
+    return matches[0]
+
+
+class TestTracePrimitives:
+    def test_trace_ids_are_unique_hex(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+    def test_stage_aggregates_without_detail(self):
+        trace = Trace(detail=False, clock=FakeClock())
+        trace.stage("fanout", 1.0, 3.0)
+        trace.stage("fanout", 10.0, 11.0)
+        trace.stage("rank", 5.0, 5.5)
+        assert trace.stage_seconds() == {"fanout": 3.0, "rank": 0.5}
+        # No spans are retained below detail.
+        assert trace.as_dict()["spans"] == []
+
+    def test_events_dropped_without_detail(self):
+        trace = Trace(detail=False, clock=FakeClock())
+        assert trace.event("shard", 0.0, 1.0) is None
+        assert trace.stage_seconds() == {}
+
+    def test_detail_builds_nested_span_tree(self):
+        clock = FakeClock()
+        trace = Trace(detail=True, trace_id="abc", clock=clock)
+        # Trace start consumed clock reading 0.0.
+        parent = trace.stage("fanout", 1.0, 5.0)
+        trace.event("shard", 1.5, 2.5, parent=parent, shard=3)
+        trace.event("shard", 2.5, 4.0, parent=parent, shard=7)
+        trace.stage("rank", 5.0, 6.0)
+        tree = trace.as_dict()
+        assert tree["trace_id"] == "abc"
+        assert tree["stages_ms"] == {"fanout": 4000.0, "rank": 1000.0}
+        assert span_names(tree) == ["fanout", "rank"]
+        fanout = find_span(tree, "fanout")
+        children = fanout["children"]
+        assert [child["shard"] for child in children] == [3, 7]
+        # Offsets are relative to the trace start (clock read 0.0).
+        assert fanout["start_ms"] == 1000.0
+        assert fanout["duration_ms"] == 4000.0
+        assert children[0]["start_ms"] == 1500.0
+        assert children[0]["duration_ms"] == 1000.0
+
+    def test_children_sorted_by_start_time(self):
+        trace = Trace(detail=True, clock=FakeClock())
+        parent = trace.stage("fanout", 0.0, 10.0)
+        trace.event("shard", 7.0, 8.0, parent=parent, shard=1)
+        trace.event("shard", 2.0, 3.0, parent=parent, shard=0)
+        children = find_span(trace.as_dict(), "fanout")["children"]
+        assert [child["shard"] for child in children] == [0, 1]
+
+    def test_span_meta_merges_into_dict(self):
+        span = Span(0, None, "shard", 0.001, 0.002, {"shard": 4, "terms": 9})
+        payload = span.as_dict()
+        assert payload["name"] == "shard"
+        assert payload["shard"] == 4
+        assert payload["terms"] == 9
+        assert payload["start_ms"] == 1.0
+        assert payload["duration_ms"] == 2.0
+
+    def test_no_trace_is_inert(self):
+        assert NO_TRACE.now() == 0.0
+        assert NO_TRACE.stage("x", 0.0, 1.0) is None
+        assert NO_TRACE.event("x", 0.0, 1.0) is None
+        assert NO_TRACE.detail is False
+
+
+@pytest.fixture()
+def single_service(small_dataset):
+    service = IndexService(GeodabIndex(CONFIG))
+    service.ingest(
+        (r.trajectory_id, r.points) for r in small_dataset.records
+    )
+    yield service
+    service.close()
+
+
+@pytest.fixture()
+def sharded_service(small_dataset):
+    index = ShardedGeodabIndex(
+        CONFIG, ShardingConfig(num_shards=8, num_nodes=2)
+    )
+    executor = QueryExecutor(index, pool_size=4)
+    service = IndexService(index, executor=executor)
+    service.ingest(
+        (r.trajectory_id, r.points) for r in small_dataset.records
+    )
+    yield service
+    service.close()
+
+
+class TestQueryPathShapes:
+    def test_single_node_span_tree(self, single_service, small_dataset):
+        response = single_service.query(
+            small_dataset.queries[0].points, limit=5, trace=True
+        )
+        tree = response.trace
+        assert tree is not None
+        assert set(tree["stages_ms"]) == {"prepare", "fanout", "merge", "rank"}
+        assert span_names(tree) == [
+            "prepare", "result_cache", "fanout", "merge", "rank",
+        ]
+        assert find_span(tree, "result_cache")["hit"] is False
+        # The stage durations account for (most of) the request latency:
+        # everything outside them is cache bookkeeping and allocation.
+        assert sum(tree["stages_ms"].values()) <= response.latency_s * 1000.0
+
+    def test_sharded_fanout_has_shard_children(
+        self, sharded_service, small_dataset
+    ):
+        response = sharded_service.query(
+            small_dataset.queries[0].points, limit=5, trace=True
+        )
+        tree = response.trace
+        assert tree is not None
+        fanout = find_span(tree, "fanout")
+        children = fanout.get("children", [])
+        assert children, "pooled fan-out must record per-shard spans"
+        prepared = sharded_service.index.prepare_query(
+            small_dataset.queries[0].points
+        )
+        assert len(children) == len(prepared.plan)
+        for child in children:
+            assert child["name"] == "shard"
+            assert child["queue_wait_ms"] >= 0.0
+            assert child["terms"] >= 1
+
+    def test_cached_path_skips_execution_spans(
+        self, single_service, small_dataset
+    ):
+        points = small_dataset.queries[0].points
+        single_service.query(points, limit=5)
+        response = single_service.query(points, limit=5, trace=True)
+        assert response.cached is True
+        tree = response.trace
+        assert span_names(tree) == ["prepare", "result_cache"]
+        assert find_span(tree, "result_cache")["hit"] is True
+
+    def test_batched_burst_shares_one_trace(
+        self, sharded_service, small_dataset
+    ):
+        queries = [q.points for q in small_dataset.queries[:3]]
+        responses = sharded_service.query_many(queries, limit=5, trace=True)
+        assert responses[0].trace is not None
+        assert all(r.trace is None for r in responses[1:])
+        tree = responses[0].trace
+        assert "fanout" in tree["stages_ms"]
+        assert find_span(tree, "prepare")["queries"] == 3
+
+    def test_untraced_response_carries_no_tree(
+        self, single_service, small_dataset
+    ):
+        response = single_service.query(small_dataset.queries[0].points)
+        assert response.trace is None
+        assert "trace" not in response.as_dict()
+
+    def test_stage_histograms_populated_without_detail(
+        self, sharded_service, small_dataset
+    ):
+        sharded_service.query(small_dataset.queries[0].points, limit=5)
+        snapshot = sharded_service.metrics.snapshot()
+        for stage in ("prepare", "fanout", "merge", "rank"):
+            assert snapshot.stages[stage]["count"] >= 1
+
+    def test_disabled_metrics_skip_tracing_entirely(self, small_dataset):
+        from repro.service import ServiceMetrics
+
+        service = IndexService(
+            GeodabIndex(CONFIG), metrics=ServiceMetrics(enabled=False)
+        )
+        service.ingest(
+            (r.trajectory_id, r.points) for r in small_dataset.records[:3]
+        )
+        try:
+            response = service.query(small_dataset.queries[0].points)
+            assert response.trace is None
+            assert service.metrics.snapshot().stages == {}
+            # An explicit trace request still works with metrics off.
+            traced = service.query(
+                small_dataset.queries[0].points, trace=True
+            )
+            assert traced.trace is not None
+        finally:
+            service.close()
+
+    def test_results_identical_with_and_without_trace(
+        self, sharded_service, small_dataset
+    ):
+        points = small_dataset.queries[1].points
+        plain = sharded_service.query(points, limit=10)
+        sharded_service.result_cache.invalidate_all()
+        traced = sharded_service.query(points, limit=10, trace=True)
+        assert plain.results == traced.results
+
+    def test_executor_stats_stage_ms_under_null_trace(self, small_dataset):
+        index = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=4, num_nodes=2)
+        )
+        index.add_many(
+            (r.trajectory_id, r.points) for r in small_dataset.records[:4]
+        )
+        with QueryExecutor(index, pool_size=2) as executor:
+            _, stats = executor.execute(small_dataset.queries[0].points)
+            assert stats.stage_ms == ()
+            _, stats = executor.execute(
+                small_dataset.queries[0].points, trace=Trace()
+            )
+            assert [name for name, _ in stats.stage_ms] == [
+                "fanout", "merge", "rank",
+            ]
+
+
+class TestSlowQueryLogIntegration:
+    def test_slow_log_records_over_threshold(self, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG), slow_query_ms=0.0)
+        service.ingest(
+            (r.trajectory_id, r.points) for r in small_dataset.records[:3]
+        )
+        try:
+            service.query(small_dataset.queries[0].points, trace=True)
+            entries = service.slow_log.entries()
+            assert len(entries) == 1
+            entry = entries[0]
+            assert entry["kind"] == "query"
+            assert entry["latency_ms"] >= 0.0
+            assert entry["trace_id"]
+            assert entry["cached"] is False
+        finally:
+            service.close()
+
+    def test_threshold_filters(self, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG), slow_query_ms=60_000.0)
+        service.ingest(
+            (r.trajectory_id, r.points) for r in small_dataset.records[:3]
+        )
+        try:
+            service.query(small_dataset.queries[0].points)
+            assert service.slow_log.entries() == []
+        finally:
+            service.close()
