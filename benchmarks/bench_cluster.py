@@ -1,0 +1,251 @@
+"""Cluster serving: worker-process fan-out vs the in-process thread pool.
+
+The serving tier can now scatter shard work through a pluggable
+transport (PR 7).  This benchmark pits the two local implementations
+against each other on a CPU-bound query burst:
+
+* **thread** — ``InProcessTransport``: shard partials run on the
+  coordinator's thread pool, so concurrent queries contend for the GIL
+  in every scalar stretch between numpy sweeps;
+* **process** — ``WorkerProcessTransport``: shard partials run in
+  worker processes that ``np.memmap`` the published snapshot, so the
+  per-shard postings intersections parallelize across cores and the
+  coordinator only merges and ranks.
+
+A sharded corpus is built once and published as a snapshot; the same
+prepared-query burst is then served through both transports by a small
+pool of concurrent client threads, and the rankings are cross-checked
+for bit-identical results every run.  The acceptance bar for this PR
+is process >= 2x thread at 8 shards on a multi-core machine locally;
+CI gates a conservative 1.3x via ``--min-speedup``.  On a single-core
+machine the comparison is meaningless (worker processes time-slice the
+same core and add serialization overhead), so the gate automatically
+relaxes to report-only and records why in the JSON artifact.
+
+Run with:  python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+import time
+
+from bench_query_throughput import (
+    NUM_SHARDS,
+    build_sharded,
+    noisy_queries,
+    synthetic_corpus,
+)
+
+from repro.bench.report import print_table
+from repro.core.persistence import publish_snapshot
+from repro.service.executor import QueryExecutor
+from repro.service.transport import InProcessTransport, WorkerProcessTransport
+
+
+def available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def serve_burst(
+    executor: QueryExecutor,
+    prepared_queries: list,
+    limit: int,
+    clients: int,
+) -> tuple[float, list]:
+    """Serve the burst from ``clients`` concurrent threads; wall time."""
+    results: list = [None] * len(prepared_queries)
+    errors: list[BaseException] = []
+
+    def client(offset: int) -> None:
+        try:
+            for position in range(offset, len(prepared_queries), clients):
+                ranked, _ = executor.execute_prepared(
+                    prepared_queries[position], limit
+                )
+                results[position] = ranked
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(offset,), daemon=True)
+        for offset in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed, results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectories",
+        type=int,
+        default=2000,
+        help="corpus size (the acceptance bar is measured at >= 2000)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=200, help="size of the query burst"
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent client threads driving the burst",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes behind the process transport",
+    )
+    parser.add_argument("--limit", type=int, default=10)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero unless process/thread speedup reaches this "
+        "factor (0 = report only; automatically relaxed to report-only "
+        "on single-core machines)",
+    )
+    parser.add_argument(
+        "--json-out",
+        help="write the results as JSON (the CI benchmark artifact)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    cores = available_cores()
+    corpus = synthetic_corpus(args.trajectories, seed=args.seed)
+    queries = noisy_queries(corpus, args.queries, seed=args.seed + 1)
+    points_total = sum(len(points) for _, points in corpus)
+    print(
+        f"corpus: {len(corpus)} trajectories, {points_total:,} points over "
+        f"{NUM_SHARDS} shards; burst of {len(queries)} queries from "
+        f"{args.clients} clients; {cores} usable core(s)"
+    )
+
+    index = build_sharded()
+    index.add_many(corpus)
+    prepared_queries = index.prepare_query_many(queries)
+
+    rows = []
+    report = []
+    timings: dict[str, float] = {}
+    baselines: dict[str, list] = {}
+    with tempfile.TemporaryDirectory(prefix="geodab-bench-") as tmp:
+        snapshot_path = publish_snapshot(index, tmp, tag="bench")
+        transports = (
+            ("thread", lambda: InProcessTransport(index)),
+            (
+                "process",
+                lambda: WorkerProcessTransport(
+                    snapshot_path, num_workers=args.workers
+                ),
+            ),
+        )
+        for name, make_transport in transports:
+            executor = QueryExecutor(
+                index,
+                pool_size=NUM_SHARDS,
+                transport=make_transport(),
+            )
+            try:
+                # Warm-up: fold append buffers / fault the mmap pages in.
+                serve_burst(
+                    executor, prepared_queries[: args.clients], args.limit,
+                    args.clients,
+                )
+                elapsed, results = serve_burst(
+                    executor, prepared_queries, args.limit, args.clients
+                )
+            finally:
+                executor.close()
+            timings[name] = elapsed
+            baselines[name] = results
+            rows.append([name, len(queries) / elapsed, elapsed])
+            report.append(
+                {
+                    "transport": name,
+                    "qps": len(queries) / elapsed,
+                    "elapsed_s": elapsed,
+                }
+            )
+    if baselines["thread"] != baselines["process"]:
+        raise AssertionError(
+            "process transport returned different rankings than the "
+            "thread transport"
+        )
+    speedup = (
+        timings["thread"] / timings["process"]
+        if timings["process"] > 0
+        else float("inf")
+    )
+    print_table(
+        f"Shard fan-out: thread vs worker-process transport "
+        f"({len(queries)} queries, {args.clients} clients, "
+        f"{args.workers} workers, {NUM_SHARDS} shards)",
+        ["transport", "q/s", "elapsed s"],
+        rows,
+    )
+    print(f"process/thread speedup: {speedup:.2f}x")
+
+    gate = "report-only"
+    gate_passed = True
+    if args.min_speedup > 0:
+        if cores < 2:
+            gate = (
+                f"skipped: {cores} usable core(s); worker processes "
+                "cannot outrun the thread pool without parallelism"
+            )
+            print(f"gate relaxed to report-only ({gate})")
+        else:
+            gate = f">= {args.min_speedup:.2f}x"
+            gate_passed = speedup >= args.min_speedup
+
+    if args.json_out:
+        payload = {
+            "benchmark": "cluster_transport",
+            "trajectories": len(corpus),
+            "queries": len(queries),
+            "clients": args.clients,
+            "workers": args.workers,
+            "shards": NUM_SHARDS,
+            "limit": args.limit,
+            "seed": args.seed,
+            "cores": cores,
+            "results": report,
+            "speedup": speedup,
+            "min_speedup_bar": args.min_speedup,
+            "gate": gate,
+            "gate_passed": gate_passed,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    if not gate_passed:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below the "
+            f"{args.min_speedup:.2f}x bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,17 +106,58 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: hash)",
     )
     serve.add_argument(
+        "--transport",
+        choices=("inprocess", "process"),
+        default="inprocess",
+        help="shard transport: 'inprocess' serves shards from the "
+        "coordinator's own threads; 'process' spawns snapshot-mmap "
+        "worker processes (requires --shards and --snapshot-dir) so "
+        "shard scans run outside the coordinator's GIL",
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="shard fan-out worker pool size, default 8 "
-        "(0 = sequential fan-out)",
+        help="with --transport inprocess: shard fan-out thread pool "
+        "size, default 8 (0 = sequential fan-out); with --transport "
+        "process: worker process count, default 2",
     )
     serve.add_argument(
         "--batch-window-ms",
         type=float,
         default=0.0,
         help="micro-batch window for concurrent queries (0 = off)",
+    )
+    serve.add_argument(
+        "--shard-timeout-ms",
+        type=float,
+        default=None,
+        help="per-shard contact budget: a shard that exceeds it is "
+        "written off and the query answers degraded from the rest "
+        "(default: wait forever)",
+    )
+    serve.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=None,
+        help="send one duplicate contact for a shard whose primary "
+        "hasn't answered after this long; first answer wins "
+        "(default: never hedge)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission cap: shed concurrent requests beyond this with "
+        "429 + Retry-After (probes and /metrics exempt; default: "
+        "unlimited)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM/SIGINT "
+        "before closing anyway (default 10)",
     )
     serve.add_argument(
         "--rpc-latency-ms",
@@ -290,13 +331,64 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+    import time as time_module
+
     from .cluster import ShardedGeodabIndex, ShardingConfig
-    from .core.persistence import load_index, resolve_snapshot
-    from .service import IndexService, QueryExecutor, ServiceHTTPServer
+    from .core.persistence import load_index, publish_snapshot, resolve_snapshot
+    from .service import (
+        IndexService,
+        QueryExecutor,
+        ServiceHTTPServer,
+        TransportError,
+        WorkerProcessTransport,
+        shutdown_gracefully,
+    )
 
     config = GeodabConfig(normalization_depth=args.depth, k=args.k, t=args.t)
     normalizer = standard_normalizer(args.depth)
     executor = None
+    dataset_preingested = None
+    process_mode = args.transport == "process"
+    if process_mode and not args.snapshot_dir:
+        print(
+            "error: --transport process requires --snapshot-dir (workers "
+            "serve the published snapshot)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard_timeout_ms is not None and args.shard_timeout_ms <= 0:
+        print("error: --shard-timeout-ms must be positive", file=sys.stderr)
+        return 2
+    if args.hedge_after_ms is not None and args.hedge_after_ms < 0:
+        print("error: --hedge-after-ms must be non-negative", file=sys.stderr)
+        return 2
+    if args.max_inflight is not None and args.max_inflight < 1:
+        print("error: --max-inflight must be positive", file=sys.stderr)
+        return 2
+    if args.drain_timeout < 0:
+        print("error: --drain-timeout must be non-negative", file=sys.stderr)
+        return 2
+
+    def make_executor(index, pool_size, transport=None):
+        return QueryExecutor(
+            index,
+            pool_size=pool_size,
+            rpc_latency_s=args.rpc_latency_ms / 1000.0,
+            batch_window_s=args.batch_window_ms / 1000.0,
+            transport=transport,
+            shard_timeout_s=(
+                args.shard_timeout_ms / 1000.0
+                if args.shard_timeout_ms is not None
+                else None
+            ),
+            hedge_after_s=(
+                args.hedge_after_ms / 1000.0
+                if args.hedge_after_ms is not None
+                else None
+            ),
+        )
     # Warm start: when --snapshot-dir holds a published snapshot, load
     # the columnar state straight off disk (memory-mapped by default)
     # instead of rebuilding from raw ingest.  The snapshot fixes the
@@ -323,16 +415,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index.normalizer = standard_normalizer(
             index.config.normalization_depth
         )
+        if process_mode and not isinstance(index, ShardedGeodabIndex):
+            print(
+                "error: --transport process requires a sharded snapshot",
+                file=sys.stderr,
+            )
+            return 2
         if isinstance(index, ShardedGeodabIndex):
-            workers = 8 if args.workers is None else args.workers
             try:
-                executor = QueryExecutor(
-                    index,
-                    pool_size=workers,
-                    rpc_latency_s=args.rpc_latency_ms / 1000.0,
-                    batch_window_s=args.batch_window_ms / 1000.0,
-                )
-            except ValueError as exc:
+                if process_mode:
+                    workers = 2 if args.workers is None else args.workers
+                    transport = WorkerProcessTransport(
+                        warm_snapshot, num_workers=workers
+                    )
+                    executor = make_executor(
+                        index, min(32, index.num_shards), transport
+                    )
+                else:
+                    workers = 8 if args.workers is None else args.workers
+                    executor = make_executor(index, workers)
+            except (ValueError, TransportError, OSError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
         else:
@@ -344,6 +446,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--workers": args.workers is not None,
             "--nodes": args.nodes is not None,
             "--placement": args.placement is not None,
+            "--transport process": process_mode,
+            "--shard-timeout-ms": args.shard_timeout_ms is not None,
+            "--hedge-after-ms": args.hedge_after_ms is not None,
         }
         misused = [flag for flag, used in sharding_only.items() if used]
         if misused:
@@ -356,7 +461,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index = GeodabIndex(config, normalizer=normalizer)
         workers = 0
     else:
-        workers = 8 if args.workers is None else args.workers
         if args.nodes is not None:
             nodes = args.nodes
         else:
@@ -374,19 +478,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         index = ShardedGeodabIndex(config, sharding, normalizer=normalizer)
-        # Always route sharded queries through the executor so the
-        # latency/batching knobs apply to --workers 0 (sequential
-        # fan-out) too, not just the pooled configurations.
-        try:
-            executor = QueryExecutor(
-                index,
-                pool_size=workers,
-                rpc_latency_s=args.rpc_latency_ms / 1000.0,
-                batch_window_s=args.batch_window_ms / 1000.0,
-            )
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        if process_mode:
+            # Cold-start process serving: the workers serve a published
+            # snapshot, so the dataset (if any) is indexed *now*, a boot
+            # snapshot is published into --snapshot-dir, and the worker
+            # pool attaches it before the HTTP tier comes up.  Later
+            # writes land in the coordinator index; workers pick them up
+            # at the next POST /admin/snapshot (which re-points them).
+            workers = 2 if args.workers is None else args.workers
+            if args.dataset:
+                dataset = TrajectoryDataset.load(args.dataset)
+                index.add_many(
+                    (record.trajectory_id, record.points)
+                    for record in dataset.records
+                )
+                dataset_preingested = len(dataset)
+            try:
+                boot_snapshot = publish_snapshot(
+                    index,
+                    args.snapshot_dir,
+                    tag=f"boot-{time_module.time_ns():x}",
+                )
+                transport = WorkerProcessTransport(
+                    boot_snapshot, num_workers=workers
+                )
+                executor = make_executor(
+                    index, min(32, index.num_shards), transport
+                )
+            except (ValueError, TransportError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            workers = 8 if args.workers is None else args.workers
+            # Always route sharded queries through the executor so the
+            # latency/batching knobs apply to --workers 0 (sequential
+            # fan-out) too, not just the pooled configurations.
+            try:
+                executor = make_executor(index, workers)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
     if args.snapshot_keep is not None and args.snapshot_keep < 1:
         print("error: --snapshot-keep must be positive", file=sys.stderr)
         return 2
@@ -428,6 +559,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshot_keep=args.snapshot_keep,
             access_log=args.access_log,
             ready=False,
+            max_inflight=args.max_inflight,
         )
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -442,6 +574,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"note: --dataset {args.dataset} ignored (snapshot takes "
                 "precedence); POST /trajectories still accepts new data"
             )
+    elif dataset_preingested is not None:
+        print(
+            f"ingested {dataset_preingested} trajectories from "
+            f"{args.dataset} (published as the workers' boot snapshot)"
+        )
     elif args.dataset:
         dataset = TrajectoryDataset.load(args.dataset)
         count, _ = service.ingest(
@@ -449,28 +586,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"ingested {count} trajectories from {args.dataset}")
     if isinstance(index, ShardedGeodabIndex):
-        shape = (
-            f"{index.sharding.num_shards} shards / "
-            f"{index.sharding.num_nodes} nodes, {workers} fan-out workers"
-        )
+        if process_mode:
+            shape = (
+                f"{index.sharding.num_shards} shards / "
+                f"{index.sharding.num_nodes} nodes, "
+                f"{workers} worker processes"
+            )
+        else:
+            shape = (
+                f"{index.sharding.num_shards} shards / "
+                f"{index.sharding.num_nodes} nodes, {workers} fan-out workers"
+            )
     else:
         shape = "single-node"
     server.mark_ready()
     print(f"serving geodab index ({shape}) at {server.url}")
-    # Flush before blocking in serve_forever: under a piped stdout
-    # (CI log capture, process supervisors) the boot lines would
-    # otherwise sit in the stdio buffer until shutdown.
+    # Flush before blocking: under a piped stdout (CI log capture,
+    # process supervisors) the boot lines would otherwise sit in the
+    # stdio buffer until shutdown.
     print("endpoints: POST /trajectories, DELETE /trajectories/{id}, "
           "POST /query[?trace=1], POST /query/batch, POST /admin/snapshot, "
           "GET /stats, GET /metrics, GET /admin/slowlog, "
           "GET /healthz, GET /readyz", flush=True)
+    # Graceful shutdown: the accept loop runs in a daemon thread while
+    # the main thread waits for a stop signal, because server.shutdown()
+    # deadlocks when called from the serve_forever thread itself.
+    # SIGTERM/SIGINT trigger the ordered teardown: stop accepting, drain
+    # in-flight requests (bounded by --drain-timeout), close the service
+    # (maintenance daemon, executor pool, worker processes), release the
+    # socket.
+    stop = threading.Event()
+
+    def _signal_handler(signum, frame):  # noqa: ARG001 - signal API
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _signal_handler)
+    signal.signal(signal.SIGINT, _signal_handler)
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="geodab-http", daemon=True
+    )
+    serve_thread.start()
     try:
-        server.serve_forever()
+        stop.wait()
     except KeyboardInterrupt:
-        print("shutting down")
-    finally:
-        server.server_close()
-        service.close()
+        pass
+    print("shutting down: draining in-flight requests", flush=True)
+    outcome = shutdown_gracefully(
+        server, service, drain_timeout_s=args.drain_timeout
+    )
+    serve_thread.join(timeout=5.0)
+    if outcome["drained"]:
+        print("shutdown complete")
+    else:
+        print(
+            f"shutdown complete ({outcome['inflight_abandoned']} in-flight "
+            f"requests abandoned after {args.drain_timeout:.0f}s)"
+        )
     return 0
 
 

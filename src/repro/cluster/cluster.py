@@ -95,6 +95,11 @@ class ShardedGeodabIndex:
         """Fingerprinting configuration."""
         return self.fingerprinter.config
 
+    @property
+    def num_shards(self) -> int:
+        """Shard count (the serving tier sizes its fan-out pool by it)."""
+        return self.sharding.num_shards
+
     # ------------------------------------------------------------------
     # Indexing
     # ------------------------------------------------------------------

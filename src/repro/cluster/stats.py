@@ -14,7 +14,12 @@ from dataclasses import dataclass
 from ..geo.geohash import Geohash
 from .sharding import ShardingConfig, ShardRouter
 
-__all__ = ["BalanceReport", "balance_report", "distribute_cell_counts"]
+__all__ = [
+    "BalanceReport",
+    "balance_report",
+    "distribute_cell_counts",
+    "request_balance",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +73,23 @@ def balance_report(counts: list[int]) -> BalanceReport:
         maximum=max(counts),
         coefficient_of_variation=cv,
     )
+
+
+def request_balance(
+    counts: dict[int, int], size: int | None = None
+) -> BalanceReport:
+    """Balance of a sparse id→count map (shard contacts, worker requests).
+
+    Densifies the map over ``0..size-1`` (``size`` defaults to one past
+    the largest observed id) so never-contacted ids count as zeros —
+    exactly how the serving tier's fan-out balance should read them.
+    """
+    if not counts and size is None:
+        raise ValueError("balance report of empty counts")
+    width = size if size is not None else max(counts) + 1
+    if width < 1:
+        raise ValueError("size must be positive")
+    return balance_report([counts.get(i, 0) for i in range(width)])
 
 
 def distribute_cell_counts(

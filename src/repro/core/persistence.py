@@ -51,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "save_index",
     "load_index",
+    "attach_shard_postings",
     "publish_snapshot",
     "resolve_snapshot",
     "prune_snapshots",
@@ -464,6 +465,57 @@ def load_index(
             f"unsupported index version {payload.get('version')!r}"
         )
     return _load_v1(payload, path, normalizer)
+
+
+def attach_shard_postings(
+    path: str | Path, mmap_mode: str | None = "r"
+) -> dict[int, PostingsStore]:
+    """Attach only the per-shard postings blobs of a v2 snapshot.
+
+    The worker-process transport's loader: a shard-serving worker needs
+    the postings arrays (to answer ``hits``/``postings_map``) but none
+    of the bitmap or arena state — ranking happens at the coordinator.
+    Skipping the bitmap deserialization makes worker attach O(shards)
+    metadata work plus lazy page-ins, so respawning a worker against a
+    multi-GB snapshot is near-instant.
+
+    Returns ``{shard_id: PostingsStore}`` — one entry per shard for a
+    sharded snapshot, ``{0: store}`` for a single-node one.  Raises
+    ``ValueError`` on a missing/torn/foreign snapshot, like
+    :func:`load_index`.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"{path} has no {MANIFEST_NAME}: not a v2 snapshot")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a geodab index snapshot")
+    if manifest.get("version") != VERSION_V2:
+        raise ValueError(
+            f"unsupported snapshot version {manifest.get('version')!r}"
+        )
+    postings_files = manifest["postings_files"]
+    if manifest["kind"] == "sharded":
+        expected = manifest["sharding"]["num_shards"]
+        if len(postings_files) != expected:
+            raise ValueError(
+                f"{path}: {len(postings_files)} postings files for "
+                f"{expected} shards"
+            )
+    elif manifest["kind"] == "single":
+        if len(postings_files) != 1:
+            raise ValueError(
+                f"{path}: single-node snapshot needs exactly one postings file"
+            )
+    else:
+        raise ValueError(f"unknown snapshot kind {manifest['kind']!r}")
+    # Files are written in shard order (see _save_v2), matching how
+    # _load_v2 zips them back onto shards.
+    return {
+        shard_id: PostingsStore.load(path / name, mmap_mode)
+        for shard_id, name in enumerate(postings_files)
+    }
 
 
 def publish_snapshot(

@@ -141,6 +141,12 @@ class FanoutStats:
     count-based minimum-overlap threshold eliminated before computing
     any distance (0 unless ``max_distance`` < 1; see
     :mod:`repro.core.scoring`).
+
+    ``hedged`` and ``failed_shards`` account the serving tier's
+    fault handling: how many shard contacts were hedged (a duplicate
+    sent to a second backend because the first straggled) and how many
+    shards contributed *nothing* — the query still answered from the
+    surviving shards, flagged degraded rather than failing.
     """
 
     query_terms: int
@@ -148,3 +154,10 @@ class FanoutStats:
     nodes_contacted: int
     candidates: int
     pruned: int = 0
+    hedged: int = 0
+    failed_shards: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any planned shard failed to contribute its partial."""
+        return self.failed_shards > 0

@@ -4,20 +4,26 @@ Layers, bottom up:
 
 * :mod:`repro.service.locks` — reader/writer locking;
 * :mod:`repro.service.cache` — generation-invalidated LRU caches;
-* :mod:`repro.service.executor` — worker-pool shard fan-out with
-  micro-batching over the sharded index;
+* :mod:`repro.service.transport` — pluggable shard transports (the
+  in-process calls, the local worker-process pool, the remote HTTP
+  stub) plus the shared wire format;
+* :mod:`repro.service.worker` — the shard-serving worker process
+  (``python -m repro.service.worker``) behind the process transport;
+* :mod:`repro.service.executor` — scatter-gather shard fan-out through
+  a transport, with micro-batching, per-shard timeouts, hedged retries,
+  and failover;
 * :mod:`repro.service.metrics` — counters, log-scale latency
   histograms, Prometheus exposition, and the slow-query log;
 * :mod:`repro.service.tracing` — per-request spans and trace ids;
 * :mod:`repro.service.service` — the :class:`IndexService` facade tying
   the above together;
 * :mod:`repro.service.http` — the stdlib JSON HTTP API
-  (``repro.cli serve``).
+  (``repro.cli serve``), with admission control and graceful shutdown.
 """
 
 from .cache import CacheStats, LRUCache, digest_points, digest_terms
 from .executor import ExecutionStats, QueryExecutor
-from .http import ServiceHTTPServer, start_server
+from .http import ServiceHTTPServer, shutdown_gracefully, start_server
 from .locks import ReadWriteLock
 from .metrics import (
     LatencyHistogram,
@@ -28,11 +34,20 @@ from .metrics import (
 )
 from .service import CompactionPolicy, IndexService, QueryResponse
 from .tracing import Span, Trace, new_trace_id
+from .transport import (
+    InProcessTransport,
+    RemoteHttpTransport,
+    ShardTransport,
+    TransportError,
+    WorkerProcessTransport,
+)
+from .worker import ShardWorker
 
 __all__ = [
     "CacheStats",
     "CompactionPolicy",
     "ExecutionStats",
+    "InProcessTransport",
     "IndexService",
     "LRUCache",
     "LatencyHistogram",
@@ -40,14 +55,20 @@ __all__ = [
     "QueryExecutor",
     "QueryResponse",
     "ReadWriteLock",
+    "RemoteHttpTransport",
     "ServiceHTTPServer",
     "ServiceMetrics",
+    "ShardTransport",
+    "ShardWorker",
     "SlowQueryLog",
     "Span",
     "Trace",
+    "TransportError",
+    "WorkerProcessTransport",
     "digest_points",
     "digest_terms",
     "new_trace_id",
     "prometheus_text",
+    "shutdown_gracefully",
     "start_server",
 ]

@@ -10,6 +10,18 @@ arrive within a small window share one postings fetch per shard over the
 union of their terms, so popular terms are read once per batch rather
 than once per query.
 
+Where a shard lookup actually executes is the transport's business
+(:mod:`repro.service.transport`): the default
+:class:`~repro.service.transport.InProcessTransport` calls straight
+into the served index, while the worker-process transport sends the
+same operation to a pool of snapshot-mmap worker processes — CPU-bound
+shard work then runs outside the coordinator's GIL.  The executor's
+scatter-gather is transport-fault aware: per-shard timeouts, a single
+*hedged* retry for stragglers (``hedge_after_s``), and failover when a
+backend dies mid-query — a failed shard drops out of the merge and the
+result is flagged degraded (``ExecutionStats.failed_shards``) instead
+of failing the request.
+
 Both backends speak the same protocol — ``prepare_query`` /
 ``shard_partial`` / ``shard_postings`` / ``score_matches`` /
 ``fanout_stats`` — so the executor drives a
@@ -29,9 +41,9 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -40,8 +52,12 @@ from ..core.index import GeodabIndex, SearchResult
 from ..core.postings import merge_hits
 from ..core.query import NO_TRACE, MatchCounts, PreparedQuery, TraceSink
 from ..core.scoring import ScoringStats
+from .transport import InProcessTransport, ShardTransport, TransportError
 
 __all__ = ["ExecutionStats", "QueryExecutor"]
+
+#: Primary contact plus at most one retry (failover or hedge) per shard.
+_MAX_ATTEMPTS = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +69,11 @@ class ExecutionStats:
     ``stage_ms`` is the execution's stage split — ``(("fanout", ms),
     ("merge", ms), ("rank", ms))`` — populated whenever a real trace
     sink timed the execution, empty under :data:`~repro.core.query.NO_TRACE`.
+    ``hedged`` counts shard contacts duplicated because the primary
+    straggled; ``failed_shards`` counts planned shards that contributed
+    nothing (every attempt failed or timed out) — when non-zero the
+    results are :attr:`degraded`, not wrong: they rank whatever the
+    surviving shards returned.
     """
 
     query_terms: int
@@ -64,6 +85,18 @@ class ExecutionStats:
     pooled: bool
     pruned: int = 0
     stage_ms: tuple[tuple[str, float], ...] = ()
+    hedged: int = 0
+    failed_shards: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any planned shard failed to contribute its partial."""
+        return self.failed_shards > 0
+
+
+#: One completed shard attempt, for trace detail: ``(shard_id, n_terms,
+#: start_s, end_s, submit_s, attempt, meta)``.
+_Span = tuple[int, int, float, float, float, int, dict]
 
 
 class _Pending:
@@ -98,13 +131,21 @@ class _Pending:
 
 
 class QueryExecutor:
-    """Drives an index's shards from a worker pool.
+    """Drives an index's shards from a worker pool, through a transport.
 
     ``pool_size=0`` disables the pool (sequential shard loop, still one
     simulated RPC per shard) — the baseline the throughput benchmark
     compares against.  ``batch_window_s > 0`` enables micro-batching:
     the first query to arrive becomes the batch leader, waits out the
     window collecting followers, and executes one shared fan-out.
+
+    ``transport`` defaults to the in-process one; the executor takes
+    ownership either way (``close()`` closes it).  ``shard_timeout_s``
+    bounds each shard's total wall time before it is written off as
+    failed; ``hedge_after_s`` launches one duplicate contact when the
+    primary hasn't answered by then.  Both apply on the pooled path
+    (the sequential loop has nowhere to wait concurrently); sequential
+    execution still does one failover retry on transport errors.
     """
 
     def __init__(
@@ -113,6 +154,9 @@ class QueryExecutor:
         pool_size: int = 8,
         rpc_latency_s: float = 0.0,
         batch_window_s: float = 0.0,
+        transport: ShardTransport | None = None,
+        shard_timeout_s: float | None = None,
+        hedge_after_s: float | None = None,
     ) -> None:
         if pool_size < 0:
             raise ValueError("pool_size must be non-negative")
@@ -120,10 +164,19 @@ class QueryExecutor:
             raise ValueError("rpc_latency_s must be non-negative")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive")
+        if hedge_after_s is not None and hedge_after_s < 0:
+            raise ValueError("hedge_after_s must be non-negative")
         self.index = index
         self.pool_size = pool_size
         self.rpc_latency_s = rpc_latency_s
         self.batch_window_s = batch_window_s
+        self.transport: ShardTransport = (
+            transport if transport is not None else InProcessTransport(index)
+        )
+        self.shard_timeout_s = shard_timeout_s
+        self.hedge_after_s = hedge_after_s
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=pool_size, thread_name_prefix="geodab-shard"
@@ -136,9 +189,13 @@ class QueryExecutor:
         self._leader_active = False
         # Lifetime shard-contact counts (observability: /stats surfaces
         # their balance).  Guarded by its own lock — contacts happen on
-        # worker threads.
+        # worker threads.  The fault counters share it: they are bumped
+        # on the same code paths.
         self._contact_lock = threading.Lock()
         self._contact_counts: dict[int, int] = {}
+        self._hedges = 0
+        self._failovers = 0
+        self._failed_contacts = 0
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -172,7 +229,9 @@ class QueryExecutor:
         """
         if self.batch_window_s > 0:
             return self._execute_batched(prepared, limit, max_distance, trace)
-        matches, fanout_s, merge_s = self._fanout_single(prepared, trace)
+        matches, fanout_s, merge_s, hedged, failed = self._fanout_single(
+            prepared, trace
+        )
         rank_start = trace.now()
         results, scoring = self.index.rank_matches(
             prepared, matches, limit, max_distance
@@ -187,6 +246,8 @@ class QueryExecutor:
             stage_ms=self._stage_ms(
                 trace, fanout_s, merge_s, rank_end - rank_start
             ),
+            hedged=len(hedged),
+            failed_shards=len(failed),
         )
 
     def execute_prepared_many(
@@ -221,10 +282,26 @@ class QueryExecutor:
             out.append((item.results, item.stats))
         return out
 
+    def maintain(self) -> dict:
+        """One supervision pass over the transport (worker respawns).
+
+        Called from :meth:`IndexService.maintenance_tick`, so a worker
+        that died mid-query is replaced within one tick.
+        """
+        return self.transport.maintain()
+
+    def refresh_snapshot(self, snapshot_path) -> dict:
+        """Re-point a snapshot-serving transport at a new publish."""
+        refresh = getattr(self.transport, "refresh", None)
+        if refresh is None:
+            return {}
+        return refresh(snapshot_path)
+
     def close(self) -> None:
-        """Shut the worker pool down."""
+        """Shut the worker pool down and close the transport."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        self.transport.close()
 
     def __enter__(self) -> "QueryExecutor":
         return self
@@ -233,94 +310,332 @@ class QueryExecutor:
         self.close()
 
     # ------------------------------------------------------------------
-    # Single-query fan-out
+    # Scatter-gather with failover, timeouts, and hedging
     # ------------------------------------------------------------------
 
-    def _contact_shard(self, shard_id: int, terms: Sequence[int]) -> np.ndarray:
+    def _contact_shard(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> np.ndarray:
         with self._contact_lock:
             self._contact_counts[shard_id] = (
                 self._contact_counts.get(shard_id, 0) + 1
             )
         if self.rpc_latency_s:
             time.sleep(self.rpc_latency_s)
-        return self.index.shard_partial(shard_id, terms)
+        return self.transport.shard_partial(shard_id, terms, attempt, meta)
 
-    def _timed_contact(
-        self, shard_id: int, terms: Sequence[int], trace: TraceSink
-    ) -> tuple[np.ndarray, float, float]:
+    def _fetch_shard(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> dict[int, np.ndarray]:
+        with self._contact_lock:
+            self._contact_counts[shard_id] = (
+                self._contact_counts.get(shard_id, 0) + 1
+            )
+        if self.rpc_latency_s:
+            time.sleep(self.rpc_latency_s)
+        return self.transport.shard_postings(shard_id, terms, attempt, meta)
+
+    def _timed_call(
+        self,
+        call: Callable,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int,
+        meta: dict,
+        sink: TraceSink,
+    ):
         """Worker-side contact with its own start/end clock readings.
 
         The worker only *reads* the clock; the coordinating thread
         records the spans, so trace mutation stays single-threaded per
         fan-out and the queue-wait split (submit to start) is visible.
         """
-        start_s = trace.now()
-        partial = self._contact_shard(shard_id, terms)
-        return partial, start_s, trace.now()
+        start_s = sink.now()
+        value = call(shard_id, terms, attempt, meta)
+        return value, start_s, sink.now()
+
+    def _scatter(
+        self,
+        plan: list[tuple[int, Sequence[int]]],
+        call: Callable,
+        shard_sink: TraceSink,
+    ) -> tuple[dict[int, object], list[_Span], list[int], list[int]]:
+        """Contact every planned shard; tolerate transport failures.
+
+        Returns ``(results, spans, hedged_shards, failed_shards)`` where
+        ``results`` maps shard id to the call's value for every shard
+        that answered.  :class:`TransportError` triggers one failover
+        retry (``attempt=1`` routes to a different backend); any other
+        exception is a programming error and propagates.  On the pooled
+        path, ``shard_timeout_s`` bounds each shard's total wall time
+        and ``hedge_after_s`` fires one duplicate contact for
+        stragglers; first answer wins, late duplicates are discarded.
+        """
+        if self._pool is None or len(plan) <= 1:
+            return self._scatter_sequential(plan, call, shard_sink)
+        return self._scatter_pooled(plan, call, shard_sink)
+
+    def _scatter_sequential(
+        self,
+        plan: list[tuple[int, Sequence[int]]],
+        call: Callable,
+        shard_sink: TraceSink,
+    ) -> tuple[dict[int, object], list[_Span], list[int], list[int]]:
+        results: dict[int, object] = {}
+        spans: list[_Span] = []
+        failed: list[int] = []
+        for shard_id, terms in plan:
+            for attempt in range(_MAX_ATTEMPTS):
+                meta: dict = {}
+                submit_s = shard_sink.now()
+                try:
+                    value = call(shard_id, terms, attempt, meta)
+                except TransportError:
+                    with self._contact_lock:
+                        if attempt + 1 < _MAX_ATTEMPTS:
+                            self._failovers += 1
+                        else:
+                            self._failed_contacts += 1
+                    continue
+                results[shard_id] = value
+                spans.append(
+                    (
+                        shard_id,
+                        len(terms),
+                        submit_s,
+                        shard_sink.now(),
+                        submit_s,
+                        attempt,
+                        meta,
+                    )
+                )
+                break
+            else:
+                failed.append(shard_id)
+        return results, spans, [], failed
+
+    def _scatter_pooled(
+        self,
+        plan: list[tuple[int, Sequence[int]]],
+        call: Callable,
+        shard_sink: TraceSink,
+    ) -> tuple[dict[int, object], list[_Span], list[int], list[int]]:
+        assert self._pool is not None
+        clock = time.monotonic
+        results: dict[int, object] = {}
+        spans: list[_Span] = []
+        hedged: list[int] = []
+        failed: list[int] = []
+        timeout_s = self.shard_timeout_s
+        hedge_s = self.hedge_after_s
+        terms_of = dict(plan)
+        # Per-shard bookkeeping: attempts started, attempts in flight,
+        # dispatch time (timeout/hedge deadlines), resolution.
+        state = {
+            shard_id: {
+                "in_flight": 0,
+                "attempts": 0,
+                "at": 0.0,
+                "hedged": False,
+                "done": False,
+            }
+            for shard_id, _ in plan
+        }
+        pending: dict[Future, tuple[int, int, float, float, dict]] = {}
+
+        def submit(shard_id: int, attempt: int) -> None:
+            # The satellite fix: each task gets its own submit stamp
+            # (trace clock *and* monotonic), taken immediately before
+            # its submission — a saturated pool then charges queue wait
+            # to the task that actually waited, not to whichever shard
+            # happened to be first, and hedging reads true straggler
+            # latency instead of shared queue backlog.
+            meta: dict = {}
+            submit_trace = shard_sink.now()
+            st = state[shard_id]
+            st["attempts"] += 1
+            st["in_flight"] += 1
+            future = self._pool.submit(
+                self._timed_call,
+                call,
+                shard_id,
+                terms_of[shard_id],
+                attempt,
+                meta,
+                shard_sink,
+            )
+            pending[future] = (shard_id, attempt, clock(), submit_trace, meta)
+
+        for shard_id, _ in plan:
+            state[shard_id]["at"] = clock()
+            submit(shard_id, 0)
+
+        while pending:
+            timeout = None
+            now = clock()
+            for shard_id, st in state.items():
+                if st["done"]:
+                    continue
+                if (
+                    hedge_s is not None
+                    and not st["hedged"]
+                    and st["attempts"] < _MAX_ATTEMPTS
+                ):
+                    remaining = st["at"] + hedge_s - now
+                    timeout = (
+                        remaining if timeout is None else min(timeout, remaining)
+                    )
+                if timeout_s is not None:
+                    remaining = st["at"] + timeout_s - now
+                    timeout = (
+                        remaining if timeout is None else min(timeout, remaining)
+                    )
+            if timeout is not None:
+                timeout = max(timeout, 0.0)
+            done, _ = wait(
+                tuple(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                shard_id, attempt, _submit_mono, submit_trace, meta = (
+                    pending.pop(future)
+                )
+                st = state[shard_id]
+                st["in_flight"] -= 1
+                exc = future.exception()
+                if st["done"]:
+                    continue  # late duplicate of a resolved shard
+                if exc is None:
+                    value, start_s, end_s = future.result()
+                    st["done"] = True
+                    results[shard_id] = value
+                    spans.append(
+                        (
+                            shard_id,
+                            len(terms_of[shard_id]),
+                            start_s,
+                            end_s,
+                            submit_trace,
+                            attempt,
+                            meta,
+                        )
+                    )
+                    continue
+                if not isinstance(exc, TransportError):
+                    raise exc
+                if st["in_flight"] > 0:
+                    continue  # the other attempt may still answer
+                if st["attempts"] < _MAX_ATTEMPTS:
+                    with self._contact_lock:
+                        self._failovers += 1
+                    submit(shard_id, st["attempts"])
+                else:
+                    st["done"] = True
+                    failed.append(shard_id)
+                    with self._contact_lock:
+                        self._failed_contacts += 1
+            now = clock()
+            for shard_id, st in state.items():
+                if st["done"]:
+                    continue
+                elapsed = now - st["at"]
+                if timeout_s is not None and elapsed >= timeout_s:
+                    st["done"] = True
+                    failed.append(shard_id)
+                    with self._contact_lock:
+                        self._failed_contacts += 1
+                    continue
+                if (
+                    hedge_s is not None
+                    and not st["hedged"]
+                    and st["attempts"] < _MAX_ATTEMPTS
+                    and elapsed >= hedge_s
+                ):
+                    st["hedged"] = True
+                    hedged.append(shard_id)
+                    with self._contact_lock:
+                        self._hedges += 1
+                    submit(shard_id, st["attempts"])
+            if all(st["done"] for st in state.values()):
+                # Straggler futures keep running in the pool; their
+                # results are discarded on completion.
+                break
+        return results, spans, hedged, failed
+
+    # ------------------------------------------------------------------
+    # Single-query fan-out
+    # ------------------------------------------------------------------
 
     def _fanout_single(
         self, prepared: PreparedQuery, trace: TraceSink = NO_TRACE
-    ) -> tuple[MatchCounts, float, float]:
+    ) -> tuple[MatchCounts, float, float, list[int], list[int]]:
         """Contact every planned shard and merge the hit streams.
 
-        Returns ``(matches, fanout_seconds, merge_seconds)`` and records
-        the ``fanout``/``merge`` stages (plus per-shard detail spans
-        with their queue-wait/execute split) into ``trace``.
+        Returns ``(matches, fanout_seconds, merge_seconds,
+        hedged_shards, failed_shards)`` and records the ``fanout``/
+        ``merge`` stages (plus per-shard detail spans with their
+        queue-wait/execute split) into ``trace``.
         """
         fanout_start = trace.now()
         # Per-shard windows only surface in detail span trees; below
         # detail the workers skip their clock reads entirely.
         shard_sink = trace if trace.detail else NO_TRACE
-        if self._pool is None or len(prepared.plan) <= 1:
-            timed = []
-            for shard_id, shard_terms in prepared.plan.items():
-                start_s = shard_sink.now()
-                partial = self._contact_shard(shard_id, shard_terms)
-                timed.append(
-                    (
-                        shard_id,
-                        len(shard_terms),
-                        partial,
-                        start_s,
-                        shard_sink.now(),
-                        start_s,
-                    )
-                )
-        else:
-            submit_s = shard_sink.now()
-            futures = [
-                (
-                    shard_id,
-                    len(shard_terms),
-                    self._pool.submit(
-                        self._timed_contact, shard_id, shard_terms, shard_sink
-                    ),
-                )
-                for shard_id, shard_terms in prepared.plan.items()
-            ]
-            timed = [
-                (shard_id, n_terms, *future.result(), submit_s)
-                for shard_id, n_terms, future in futures
-            ]
+        plan = list(prepared.plan.items())
+        partials, spans, hedged, failed = self._scatter(
+            plan, self._contact_shard, shard_sink
+        )
         fanout_end = trace.now()
-        matches = merge_hits([partial for _, _, partial, _, _, _ in timed])
+        matches = merge_hits(
+            [partials[shard_id] for shard_id, _ in plan if shard_id in partials]
+        )
         merge_end = trace.now()
         fanout_id = trace.stage("fanout", fanout_start, fanout_end)
         if trace.detail:
-            for shard_id, n_terms, _, start_s, end_s, submit_s in timed:
-                trace.event(
-                    "shard",
-                    start_s,
-                    end_s,
-                    parent=fanout_id,
-                    shard=shard_id,
-                    terms=n_terms,
-                    queue_wait_ms=round(
-                        max(0.0, start_s - submit_s) * 1000.0, 4
-                    ),
-                )
+            self._record_shard_spans(trace, fanout_id, spans, failed)
         trace.stage("merge", fanout_end, merge_end)
-        return matches, fanout_end - fanout_start, merge_end - fanout_end
+        return (
+            matches,
+            fanout_end - fanout_start,
+            merge_end - fanout_end,
+            hedged,
+            failed,
+        )
+
+    @staticmethod
+    def _record_shard_spans(
+        trace: TraceSink,
+        parent: int | None,
+        spans: list[_Span],
+        failed: list[int],
+    ) -> None:
+        for shard_id, n_terms, start_s, end_s, submit_s, attempt, meta in spans:
+            extra = {}
+            if attempt:
+                extra["attempt"] = attempt
+            if "worker" in meta:
+                extra["worker"] = meta["worker"]
+            trace.event(
+                "shard",
+                start_s,
+                end_s,
+                parent=parent,
+                shard=shard_id,
+                terms=n_terms,
+                queue_wait_ms=round(max(0.0, start_s - submit_s) * 1000.0, 4),
+                **extra,
+            )
+        for shard_id in failed:
+            trace.event(
+                "shard_failed", trace.now(), trace.now(), parent=parent,
+                shard=shard_id,
+            )
 
     @staticmethod
     def _stage_ms(
@@ -377,25 +692,6 @@ class QueryExecutor:
         assert pending.results is not None and pending.stats is not None
         return pending.results, pending.stats
 
-    def _fetch_shard(
-        self, shard_id: int, terms: Sequence[int]
-    ) -> dict[int, np.ndarray]:
-        with self._contact_lock:
-            self._contact_counts[shard_id] = (
-                self._contact_counts.get(shard_id, 0) + 1
-            )
-        if self.rpc_latency_s:
-            time.sleep(self.rpc_latency_s)
-        return self.index.shard_postings(shard_id, terms)
-
-    def _timed_fetch(
-        self, shard_id: int, terms: Sequence[int], detail: TraceSink | None
-    ) -> tuple[dict[int, np.ndarray], float, float]:
-        """Worker-side batched fetch, clocked against the detail sink."""
-        start_s = detail.now() if detail is not None else 0.0
-        postings = self._fetch_shard(shard_id, terms)
-        return postings, start_s, (detail.now() if detail is not None else 0.0)
-
     def _run_batch(self, batch: list[_Pending]) -> None:
         # One fetch per shard over the union of the batch's terms.
         union_plan: dict[int, set[int]] = {}
@@ -415,50 +711,21 @@ class QueryExecutor:
                 seen.add(id(item.trace))
                 traces.append(item.trace)
         detail = next((t for t in traces if t.detail), None)
+        shard_sink: TraceSink = detail if detail is not None else NO_TRACE
         fetch_starts = [(t, t.now()) for t in traces]
-        contact_spans: list[tuple[int, int, float, float, float]] = []
+        plan = [
+            (shard_id, sorted(terms)) for shard_id, terms in union_plan.items()
+        ]
         try:
-            if self._pool is None:
-                fetched = {}
-                for shard_id, terms in union_plan.items():
-                    start_s = detail.now() if detail is not None else 0.0
-                    fetched[shard_id] = self._fetch_shard(shard_id, sorted(terms))
-                    if detail is not None:
-                        contact_spans.append(
-                            (
-                                shard_id,
-                                len(terms),
-                                start_s,
-                                detail.now(),
-                                start_s,
-                            )
-                        )
-            else:
-                submit_s = detail.now() if detail is not None else 0.0
-                futures = {
-                    shard_id: self._pool.submit(
-                        self._timed_fetch, shard_id, sorted(terms), detail
-                    )
-                    for shard_id, terms in union_plan.items()
-                }
-                fetched = {}
-                for shard_id, future in futures.items():
-                    postings, start_s, end_s = future.result()
-                    fetched[shard_id] = postings
-                    if detail is not None:
-                        contact_spans.append(
-                            (
-                                shard_id,
-                                len(union_plan[shard_id]),
-                                start_s,
-                                end_s,
-                                submit_s,
-                            )
-                        )
+            fetched, spans, hedged, failed = self._scatter(
+                plan, self._fetch_shard, shard_sink
+            )
         except BaseException as exc:  # pragma: no cover - defensive
             for item in batch:
                 item.error = exc
             return
+        hedged_set = set(hedged)
+        failed_set = set(failed)
         fanout_ids: dict[int, int | None] = {}
         fanout_s: dict[int, float] = {}
         for sink, start_s in fetch_starts:
@@ -466,22 +733,14 @@ class QueryExecutor:
             fanout_ids[id(sink)] = sink.stage("fanout", start_s, end_s)
             fanout_s[id(sink)] = end_s - start_s
         if detail is not None:
-            parent = fanout_ids.get(id(detail))
-            for shard_id, n_terms, start_s, end_s, submit_s in contact_spans:
-                detail.event(
-                    "shard",
-                    start_s,
-                    end_s,
-                    parent=parent,
-                    shard=shard_id,
-                    terms=n_terms,
-                    queue_wait_ms=round(
-                        max(0.0, start_s - submit_s) * 1000.0, 4
-                    ),
-                )
+            self._record_shard_spans(
+                detail, fanout_ids.get(id(detail)), spans, failed
+            )
         # Split the shared fetch back into per-query partials and rank:
         # each query's hit stream is one concatenate over the postings
-        # arrays of its own terms, merged by one np.unique pass.
+        # arrays of its own terms, merged by one np.unique pass.  A
+        # failed shard simply contributes nothing — every query whose
+        # plan touched it is flagged degraded.
         split_s: dict[int, list] = {}
         for item in batch:
             sink = item.trace
@@ -489,7 +748,9 @@ class QueryExecutor:
                 merge_start = sink.now()
                 chunks: list[np.ndarray] = []
                 for shard_id, shard_terms in item.prepared.plan.items():
-                    postings = fetched[shard_id]
+                    postings = fetched.get(shard_id)
+                    if postings is None:
+                        continue
                     for term in shard_terms:
                         posting = postings.get(term)
                         if posting is not None:
@@ -511,6 +772,7 @@ class QueryExecutor:
                     totals = split_s.setdefault(id(sink), [sink, 0.0, 0.0])
                     totals[1] += merge_end - merge_start
                     totals[2] += rank_end - merge_end
+                item_plan = item.prepared.plan
                 item.stats = self._stats(
                     item.prepared,
                     matches,
@@ -522,6 +784,8 @@ class QueryExecutor:
                         merge_end - merge_start,
                         rank_end - merge_end,
                     ),
+                    hedged=sum(1 for s in item_plan if s in hedged_set),
+                    failed_shards=sum(1 for s in item_plan if s in failed_set),
                 )
             except BaseException as exc:
                 item.error = exc
@@ -538,6 +802,19 @@ class QueryExecutor:
         with self._contact_lock:
             return dict(self._contact_counts)
 
+    def fault_counts(self) -> dict[str, int]:
+        """Lifetime hedge/failover/failure counters (``/stats``, ``/metrics``)."""
+        with self._contact_lock:
+            return {
+                "hedges": self._hedges,
+                "failovers": self._failovers,
+                "failed_contacts": self._failed_contacts,
+            }
+
+    def transport_stats(self) -> dict:
+        """The transport's own vitals (worker pids, respawns, ...)."""
+        return self.transport.stats()
+
     def _stats(
         self,
         prepared: PreparedQuery,
@@ -545,6 +822,8 @@ class QueryExecutor:
         batch_size: int,
         scoring: ScoringStats | None = None,
         stage_ms: tuple[tuple[str, float], ...] = (),
+        hedged: int = 0,
+        failed_shards: int = 0,
     ) -> ExecutionStats:
         fanout = self.index.fanout_stats(prepared, matches, scoring)
         pooled = self._pool is not None
@@ -561,4 +840,6 @@ class QueryExecutor:
             pooled=pooled,
             pruned=fanout.pruned,
             stage_ms=stage_ms,
+            hedged=hedged,
+            failed_shards=failed_shards,
         )

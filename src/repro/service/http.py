@@ -39,6 +39,14 @@ line per request through the ``repro.service.access`` logger.
 ``ThreadingHTTPServer`` gives one thread per in-flight request; actual
 index concurrency control lives in the service's reader/writer lock, so
 the HTTP layer stays a thin translation.
+
+With ``max_inflight`` set (``--max-inflight``) the server sheds excess
+concurrent requests with ``429`` + ``Retry-After: 1`` instead of letting
+them queue into timeout territory; probes and ``/metrics`` are exempt.
+:func:`shutdown_gracefully` is the ordered teardown the serve command
+runs on SIGTERM/SIGINT: stop accepting, drain in-flight requests, close
+the service (maintenance daemon, executor, worker processes), release
+the socket.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from urllib.parse import parse_qs, unquote, urlparse
@@ -58,6 +67,7 @@ __all__ = [
     "MAX_BODY_BYTES",
     "ServiceHTTPServer",
     "access_logger",
+    "shutdown_gracefully",
     "start_server",
 ]
 
@@ -90,6 +100,11 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 #: Most queries accepted by one ``POST /query/batch`` request.
 MAX_BATCH_QUERIES = 1024
+
+#: Paths exempt from admission control: liveness/readiness probes and
+#: the metrics scrape must keep answering precisely when the service is
+#: saturated — a health check that 429s under load reads as an outage.
+_UNLIMITED_PATHS = frozenset({"/healthz", "/readyz", "/metrics"})
 
 
 class _BadRequest(ValueError):
@@ -181,7 +196,23 @@ class _Handler(BaseHTTPRequestHandler):
         self._params = parse_qs(parsed.query)
         self._status = 0
         self._trace_id: str | None = None
+        # Admission control: cap concurrently served requests and shed
+        # the excess with 429 + Retry-After instead of queueing them
+        # into timeout territory.  Probes and the metrics scrape bypass
+        # the cap (see _UNLIMITED_PATHS).  Shed requests still land in
+        # the endpoint histograms and access log below.
+        admitted = self.server.begin_request(
+            limited=parsed.path not in _UNLIMITED_PATHS
+        )
         try:
+            if not admitted:
+                self.server.service.metrics.record_shed()
+                self._send(
+                    429,
+                    {"error": "server at capacity, retry shortly"},
+                    extra_headers={"Retry-After": "1"},
+                )
+                return
             route(parsed.path)
         except _BadRequest as exc:
             self.server.service.metrics.record_error()
@@ -200,6 +231,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send(500, {"error": f"internal error: {exc}"})
         finally:
+            if admitted:
+                self.server.end_request()
             latency = perf_counter() - start
             status = self._status or 500
             self.server.service.metrics.record_http(
@@ -434,12 +467,26 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise _BadRequest(f"invalid JSON: {exc}") from exc
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         self._send_bytes(
-            status, json.dumps(payload).encode("utf-8"), "application/json"
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            extra_headers,
         )
 
-    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         # Keep-alive hygiene: a request rejected before its body was
         # read (e.g. 404 on an unrouted POST) must still drain it, or
         # the leftover bytes desync the next request on the connection.
@@ -462,6 +509,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -486,7 +535,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         snapshot_keep: int | None = None,
         access_log: bool = False,
         ready: bool = True,
+        max_inflight: int | None = None,
     ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
@@ -497,6 +549,11 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.snapshot_keep = snapshot_keep
         #: Structured JSON access logging (``--access-log``).
         self.access_log = access_log
+        #: Admission cap (``--max-inflight``): concurrently *served*
+        #: requests beyond this are shed with 429 (``None`` = unlimited).
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         #: Readiness gate for ``GET /readyz``: start with ``ready=False``
         #: while warm-starting, then :meth:`mark_ready` — /healthz says
         #: the process is alive, /readyz says it can serve real traffic.
@@ -512,11 +569,95 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         """Whether the server has been marked ready to serve traffic."""
         return self._ready.is_set()
 
+    def begin_request(self, limited: bool = True) -> bool:
+        """Admit (count) one request; False = shed it (cap reached).
+
+        Unlimited paths pass ``limited=False``: they are still counted
+        as in-flight (the drain must wait for them) but never shed.
+        """
+        with self._inflight_lock:
+            if (
+                limited
+                and self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                return False
+            self._inflight += 1
+            return True
+
+    def end_request(self) -> None:
+        """Balance one successful :meth:`begin_request`."""
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being served (admitted, not yet finished)."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def drain(
+        self,
+        timeout_s: float = 10.0,
+        clock=None,
+        sleep=None,
+        poll_s: float = 0.05,
+    ) -> bool:
+        """Wait for in-flight requests to finish; True when fully drained.
+
+        Polling (rather than a condition variable) keeps the accounting
+        a plain counter on the hot path; the drain only runs once, at
+        shutdown.  ``clock``/``sleep`` are injectable so the shutdown
+        ordering test drives this with a fake clock.
+        """
+        clock = clock or time.monotonic
+        sleep = sleep or time.sleep
+        deadline = clock() + timeout_s
+        while self.inflight > 0:
+            if clock() >= deadline:
+                return False
+            sleep(poll_s)
+        return True
+
     @property
     def url(self) -> str:
         """Base URL of the bound socket (useful with port 0)."""
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+
+def shutdown_gracefully(
+    server: ServiceHTTPServer,
+    service: IndexService,
+    drain_timeout_s: float = 10.0,
+    clock=None,
+    sleep=None,
+) -> dict:
+    """Ordered teardown: stop accepting, drain, close service, close socket.
+
+    The ordering is the point (the shutdown regression test pins it):
+
+    1. ``server.shutdown()`` — stop the accept loop, so no new request
+       can start (must be called from outside the serve_forever thread);
+    2. :meth:`ServiceHTTPServer.drain` — wait (bounded) for requests
+       already admitted to finish, so clients get their responses;
+    3. ``service.close()`` — stop the maintenance daemon, then the
+       executor: its worker pool finishes, and the transport reaps every
+       worker process (no orphans) — safe only *after* the drain, since
+       in-flight queries still fan out through that transport;
+    4. ``server.server_close()`` — release the listening socket.
+
+    Returns what happened, for the serve loop's exit log.
+    """
+    server.shutdown()
+    drained = server.drain(drain_timeout_s, clock=clock, sleep=sleep)
+    leftover = server.inflight
+    service.close()
+    server.server_close()
+    return {
+        "drained": drained,
+        "inflight_abandoned": 0 if drained else leftover,
+    }
 
 
 def start_server(
@@ -528,6 +669,7 @@ def start_server(
     snapshot_keep: int | None = None,
     access_log: bool = False,
     ready: bool = True,
+    max_inflight: int | None = None,
 ) -> ServiceHTTPServer:
     """Bind and serve in a daemon thread; returns the running server.
 
@@ -544,6 +686,7 @@ def start_server(
         snapshot_keep=snapshot_keep,
         access_log=access_log,
         ready=ready,
+        max_inflight=max_inflight,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="geodab-http", daemon=True

@@ -177,6 +177,8 @@ class MetricsSnapshot:
     mean_fanout_width: float
     mean_batch_size: float
     pruned_candidates: int = 0
+    degraded_queries: int = 0
+    requests_shed: int = 0
     stages: dict[str, dict] = field(default_factory=dict)
     endpoints: dict[str, dict] = field(default_factory=dict)
     status_counts: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -198,6 +200,8 @@ class MetricsSnapshot:
             "mean_fanout_width": round(self.mean_fanout_width, 3),
             "mean_batch_size": round(self.mean_batch_size, 3),
             "pruned_candidates": self.pruned_candidates,
+            "degraded_queries": self.degraded_queries,
+            "requests_shed": self.requests_shed,
             "stages": self.stages,
             "endpoints": self.endpoints,
             "status_counts": self.status_counts,
@@ -248,6 +252,8 @@ class ServiceMetrics:
         self._cache_hits = 0
         self._cache_misses = 0
         self._pruned_candidates = 0
+        self._degraded_queries = 0
+        self._requests_shed = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -260,18 +266,21 @@ class ServiceMetrics:
         fanout_width: int = 0,
         batch_size: int = 1,
         pruned: int = 0,
+        degraded: bool = False,
     ) -> None:
         """Account one served query.
 
         ``pruned`` is the scoring engine's candidate-prune count for the
         execution; cache hits pass 0 (no scoring work was performed).
+        ``degraded`` flags answers a failed shard left incomplete.
         """
         if not self.enabled:
             return
         now = self._clock()
         with self._lock:
             self._record_query_locked(
-                now, latency_s, cached, fanout_width, batch_size, pruned
+                now, latency_s, cached, fanout_width, batch_size, pruned,
+                degraded,
             )
 
     def record_stages(self, stage_seconds: dict[str, float]) -> None:
@@ -288,6 +297,7 @@ class ServiceMetrics:
         fanout_width: int = 0,
         batch_size: int = 1,
         pruned: int = 0,
+        degraded: bool = False,
         stage_seconds: dict[str, float] | None = None,
     ) -> None:
         """One query *and* its stage split under a single lock round-trip.
@@ -301,29 +311,34 @@ class ServiceMetrics:
         now = self._clock()
         with self._lock:
             self._record_query_locked(
-                now, latency_s, cached, fanout_width, batch_size, pruned
+                now, latency_s, cached, fanout_width, batch_size, pruned,
+                degraded,
             )
             if stage_seconds:
                 self._record_stages_locked(stage_seconds)
 
     def record_request_batch(
         self,
-        outcomes: list[tuple[float, bool, int, int, int]],
+        outcomes: list[tuple[float, bool, int, int, int, bool]],
         stage_seconds: dict[str, float] | None = None,
     ) -> None:
         """A burst's worth of queries under one lock round-trip.
 
         ``outcomes`` holds one ``(latency_s, cached, fanout_width,
-        batch_size, pruned)`` tuple per query; ``stage_seconds`` is the
-        burst's shared stage split, recorded once.
+        batch_size, pruned, degraded)`` tuple per query;
+        ``stage_seconds`` is the burst's shared stage split, recorded
+        once.
         """
         if not self.enabled or not outcomes:
             return
         now = self._clock()
         with self._lock:
-            for latency_s, cached, fanout_width, batch_size, pruned in outcomes:
+            for (
+                latency_s, cached, fanout_width, batch_size, pruned, degraded,
+            ) in outcomes:
                 self._record_query_locked(
-                    now, latency_s, cached, fanout_width, batch_size, pruned
+                    now, latency_s, cached, fanout_width, batch_size, pruned,
+                    degraded,
                 )
             if stage_seconds:
                 self._record_stages_locked(stage_seconds)
@@ -336,6 +351,7 @@ class ServiceMetrics:
         fanout_width: int,
         batch_size: int,
         pruned: int,
+        degraded: bool = False,
     ) -> None:
         self._queries += 1
         # Inlined LatencyHistogram.record: this runs once per query on
@@ -357,6 +373,8 @@ class ServiceMetrics:
             self._batch_size_sum += batch_size
             self._batch_size_n += 1
             self._pruned_candidates += pruned
+            if degraded:
+                self._degraded_queries += 1
 
     def _record_stages_locked(self, stage_seconds: dict[str, float]) -> None:
         hists = self._stage_hists
@@ -403,6 +421,13 @@ class ServiceMetrics:
             return
         with self._lock:
             self._errors += 1
+
+    def record_shed(self) -> None:
+        """Account one request shed by admission control (HTTP 429)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._requests_shed += 1
 
     def _prune(self, now: float) -> None:
         horizon = now - self._qps_window_s
@@ -460,6 +485,8 @@ class ServiceMetrics:
                     else 0.0
                 ),
                 pruned_candidates=self._pruned_candidates,
+                degraded_queries=self._degraded_queries,
+                requests_shed=self._requests_shed,
                 stages=stages,
                 endpoints=endpoints,
                 status_counts=status_counts,
@@ -482,6 +509,8 @@ class ServiceMetrics:
                     "cache_hits": self._cache_hits,
                     "cache_misses": self._cache_misses,
                     "pruned_candidates": self._pruned_candidates,
+                    "degraded_queries": self._degraded_queries,
+                    "requests_shed": self._requests_shed,
                 },
                 "request_latency": self._latency.state(),
                 "stages": {
@@ -526,15 +555,20 @@ def _histogram_lines(
 
 
 def prometheus_text(
-    export: dict, gauges: dict[str, float | int] | None = None
+    export: dict,
+    gauges: dict[str, float | int] | None = None,
+    extra_counters: dict[str, tuple[str, int]] | None = None,
 ) -> str:
     """Render a registry export as Prometheus text exposition (v0.0.4).
 
     ``export`` is :meth:`ServiceMetrics.export`; ``gauges`` are extra
     point-in-time values (index size, generation, cache occupancy) the
-    service contributes.  Metric names follow Prometheus conventions:
-    base units (seconds), ``_total`` on counters, one ``# HELP``/
-    ``# TYPE`` pair per family.
+    service contributes, and ``extra_counters`` maps full metric names
+    to ``(help, value)`` for counters owned outside the registry (the
+    executor's hedge/failover counts, the transport's request/respawn
+    counts).  Metric names follow Prometheus conventions: base units
+    (seconds), ``_total`` on counters, one ``# HELP``/``# TYPE`` pair
+    per family.
     """
     boundaries = export["boundaries"]
     counters = export["counters"]
@@ -548,12 +582,19 @@ def prometheus_text(
         "cache_hits": "Result-cache hits.",
         "cache_misses": "Result-cache misses.",
         "pruned_candidates": "Candidates pruned before scoring.",
+        "degraded_queries": "Queries answered without a failed shard's partial.",
+        "requests_shed": "Requests shed by admission control (HTTP 429).",
     }
     for key, help_text in counter_help.items():
         name = f"geodabs_{key}_total"
         lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {counters[key]}")
+        lines.append(f"{name} {counters.get(key, 0)}")
+
+    for name, (help_text, value) in (extra_counters or {}).items():
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {value}")
 
     name = "geodabs_http_requests_total"
     lines.append(f"# HELP {name} HTTP requests by endpoint and status class.")

@@ -46,7 +46,7 @@ from time import perf_counter
 from typing import Callable, Hashable, Iterable, Sequence
 
 from ..cluster.cluster import ShardedGeodabIndex
-from ..cluster.stats import balance_report
+from ..cluster.stats import request_balance
 from ..core.index import GeodabIndex, SearchResult
 from ..core.persistence import prune_snapshots, publish_snapshot
 from ..core.query import NO_TRACE, TraceSink
@@ -105,7 +105,11 @@ class QueryResponse:
     the count-based minimum-overlap threshold before any distance was
     computed (0 unless the query set ``max_distance`` below 1).
     ``trace`` carries the request's span tree when the caller asked for
-    one (``POST /query?trace=1``); ``None`` otherwise.
+    one (``POST /query?trace=1``); ``None`` otherwise.  ``degraded``
+    means at least one planned shard contributed nothing (its backend
+    failed or timed out on every attempt): the results rank what the
+    surviving shards returned — correct but possibly incomplete — and
+    the response says so instead of failing the request.
     """
 
     results: tuple[SearchResult, ...]
@@ -116,6 +120,7 @@ class QueryResponse:
     latency_s: float
     pruned: int = 0
     trace: dict | None = None
+    degraded: bool = False
 
     def as_dict(self) -> dict:
         """JSON-ready representation (the ``POST /query`` payload)."""
@@ -134,6 +139,7 @@ class QueryResponse:
             "pruned": self.pruned,
             "shards_contacted": self.shards_contacted,
             "latency_ms": round(self.latency_s * 1000.0, 3),
+            "degraded": self.degraded,
         }
         if self.trace is not None:
             payload["trace"] = self.trace
@@ -322,10 +328,14 @@ class IndexService:
                 else:
                     hit = self.result_cache.get(cache_key, generation)
             if hit is MISS:
-                results, candidates, shards, pruned, width, batch = self._execute(
-                    prepared, limit, max_distance, sink
-                )
-                if caching:
+                (
+                    results, candidates, shards, pruned, width, batch, degraded,
+                ) = self._execute(prepared, limit, max_distance, sink)
+                # A degraded answer (a shard contributed nothing) must
+                # not be cached: the next attempt may have the shard
+                # back and would otherwise keep serving the hole until
+                # the next write invalidates the cache.
+                if caching and not degraded:
                     self.result_cache.put(
                         cache_key, (results, candidates, shards, pruned), generation
                     )
@@ -335,6 +345,7 @@ class IndexService:
         cached = hit is not MISS
         if cached:
             results, candidates, shards, pruned = hit
+            degraded = False
         latency = perf_counter() - start
         stages = tracer.stage_seconds() if tracer is not None else None
         if cached:
@@ -348,6 +359,7 @@ class IndexService:
                 fanout_width=width,
                 batch_size=batch,
                 pruned=pruned,
+                degraded=degraded,
                 stage_seconds=stages,
             )
         trace_payload = self._finish_trace(
@@ -364,7 +376,7 @@ class IndexService:
         )
         return QueryResponse(
             results, generation, cached, candidates, shards, latency, pruned,
-            trace_payload,
+            trace_payload, degraded,
         )
 
     def query_many(
@@ -434,7 +446,9 @@ class IndexService:
                     hit = self.result_cache.get(cache_keys[position], generation)
                     if hit is not MISS:
                         results, candidates, shards, pruned = hit
-                        payloads[position] = (results, candidates, shards, pruned, 1, 1)
+                        payloads[position] = (
+                            results, candidates, shards, pruned, 1, 1, False,
+                        )
                         cached_flags[position] = True
                         continue
                 to_run.append(position)
@@ -469,6 +483,7 @@ class IndexService:
                             stats.pruned,
                             stats.fanout_width,
                             stats.batch_size,
+                            stats.degraded,
                         )
                         for results, stats in executed
                     ]
@@ -490,11 +505,14 @@ class IndexService:
                                 fanout.pruned,
                                 1,
                                 1,
+                                False,
                             )
                         )
                 executed_at = dict(zip(unique_run, fresh_payloads))
                 for position in unique_run:
-                    if caching:
+                    # Same rule as the single-query path: degraded
+                    # answers are served but never cached.
+                    if caching and not executed_at[position][6]:
                         self.result_cache.put(
                             cache_keys[position],
                             executed_at[position][:4],
@@ -517,18 +535,22 @@ class IndexService:
             entry={"kind": "query_many", "queries": total},
         )
         responses: list[QueryResponse] = []
-        outcomes: list[tuple[float, bool, int, int, int]] = []
+        outcomes: list[tuple[float, bool, int, int, int, bool]] = []
         for position in range(total):
-            results, candidates, shards, pruned, width, batch_size = payloads[position]
+            (
+                results, candidates, shards, pruned, width, batch_size, degraded,
+            ) = payloads[position]
             cached = cached_flags[position]
             if cached:
-                outcomes.append((latency, True, 0, 1, 0))
+                outcomes.append((latency, True, 0, 1, 0, False))
             else:
-                outcomes.append((latency, False, width, batch_size, pruned))
+                outcomes.append(
+                    (latency, False, width, batch_size, pruned, degraded)
+                )
             responses.append(
                 QueryResponse(
                     results, generation, cached, candidates, shards, latency,
-                    pruned, trace_payload if position == 0 else None,
+                    pruned, trace_payload if position == 0 else None, degraded,
                 )
             )
         self.metrics.record_request_batch(
@@ -573,14 +595,20 @@ class IndexService:
         return True
 
     def maintenance_tick(self) -> bool:
-        """One maintenance pass: re-evaluate the compaction policy.
+        """One maintenance pass: compaction policy + transport supervision.
 
         This is what the background daemon runs every
         ``maintenance_interval_s`` seconds; exposed so tests (and
         embedders with their own schedulers) can drive it directly.
-        Returns whether the pass folded anything.
+        Besides re-evaluating the compaction policy it runs the
+        executor's transport maintenance — with the worker-process
+        transport that is the supervisor pass, so a worker that died
+        mid-query is respawned within one tick.  Returns whether the
+        pass folded anything.
         """
         self._maintenance_ticks += 1
+        if self.executor is not None:
+            self.executor.maintain()
         return self._maybe_compact()
 
     def _maintenance_loop(self) -> None:
@@ -642,6 +670,23 @@ class IndexService:
             pruned_snapshots: list[Path] = []
             if keep is not None:
                 pruned_snapshots = prune_snapshots(directory, keep)
+            # Re-point a snapshot-serving transport (worker processes)
+            # at the fresh publish so process-served queries see this
+            # generation's postings.  Runs inside the snapshot mutex but
+            # off the read lock: workers attach mmap-lazily, so this is
+            # a handful of small socket round-trips.
+            if self.executor is not None:
+                refresh = self.executor.refresh_snapshot(target)
+                if refresh.get("refreshed"):
+                    # Queries answered between the last publish and this
+                    # one were computed from the workers' *previous*
+                    # snapshot — correct for what the workers could see,
+                    # but lagging writes the coordinator had already
+                    # accepted.  Those answers were cached under the
+                    # current generation, so the generation check alone
+                    # would keep serving them; drop them so the next
+                    # probe recomputes against the refreshed workers.
+                    self.result_cache.invalidate_all()
         info = {
             "path": str(target),
             "generation": generation,
@@ -666,6 +711,7 @@ class IndexService:
                 stats.pruned,
                 stats.fanout_width,
                 stats.batch_size,
+                stats.degraded,
             )
         results, fanout = self.index.query_prepared(
             prepared, limit, max_distance, trace=trace
@@ -677,6 +723,7 @@ class IndexService:
             fanout.pruned,
             1,
             1,
+            False,
         )
 
     # ------------------------------------------------------------------
@@ -793,14 +840,16 @@ class IndexService:
         payload: dict = {
             "pool_size": self.executor.pool_size,
             "batch_window_s": self.executor.batch_window_s,
+            "shard_timeout_s": self.executor.shard_timeout_s,
+            "hedge_after_s": self.executor.hedge_after_s,
             "shard_contacts": {
                 str(shard): count for shard, count in sorted(contacts.items())
             },
+            "faults": self.executor.fault_counts(),
+            "transport": self.executor.transport_stats(),
         }
         if contacts:
-            payload["contact_balance"] = balance_report(
-                [contacts.get(shard, 0) for shard in range(max(contacts) + 1)]
-            ).as_dict()
+            payload["contact_balance"] = request_balance(contacts).as_dict()
         return payload
 
     def metrics_text(self) -> str:
@@ -821,7 +870,39 @@ class IndexService:
             "buffered_postings": buffered,
             "result_cache_entries": result_stats.size,
         }
-        return prometheus_text(self.metrics.export(), gauges)
+        extra_counters: dict[str, tuple[str, int]] | None = None
+        if self.executor is not None:
+            contacts = self.executor.shard_contact_counts()
+            faults = self.executor.fault_counts()
+            transport = self.executor.transport_stats()
+            extra_counters = {
+                "geodabs_shard_transport_requests_total": (
+                    f"Shard contacts through the "
+                    f"{transport.get('kind', 'unknown')} transport.",
+                    sum(contacts.values()),
+                ),
+                "geodabs_shard_transport_errors_total": (
+                    "Shard contacts that failed at the transport layer "
+                    "(failovers + final failures).",
+                    faults["failovers"] + faults["failed_contacts"],
+                ),
+                "geodabs_hedged_shard_contacts_total": (
+                    "Duplicate shard contacts sent because the primary "
+                    "straggled past the hedge threshold.",
+                    faults["hedges"],
+                ),
+                "geodabs_failed_shard_contacts_total": (
+                    "Planned shards that contributed nothing "
+                    "(all attempts failed or timed out).",
+                    faults["failed_contacts"],
+                ),
+            }
+            if "respawns" in transport:
+                extra_counters["geodabs_worker_respawns_total"] = (
+                    "Worker processes respawned by transport maintenance.",
+                    transport["respawns"],
+                )
+        return prometheus_text(self.metrics.export(), gauges, extra_counters)
 
     def close(self) -> None:
         """Stop the maintenance daemon and release executor resources."""

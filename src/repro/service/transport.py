@@ -1,0 +1,769 @@
+"""Pluggable shard transports: how the executor reaches shard storage.
+
+The :class:`~repro.service.executor.QueryExecutor` used to call
+``index.shard_partial`` directly, which pins every shard lookup inside
+the coordinator process — fan-out "parallelism" was threads sharing one
+GIL no matter how many shards exist.  This module cuts the executor
+along that seam: a :class:`ShardTransport` answers the two per-shard
+operations (``shard_partial`` for single queries, ``shard_postings``
+for micro-batches) over *some* shard backend, and three implementations
+plug in:
+
+* :class:`InProcessTransport` — the original behavior: direct calls
+  into the served index (one logical shard set, zero copies).
+* :class:`WorkerProcessTransport` — a local process pool.  Each worker
+  (``python -m repro.service.worker``) ``np.memmap``s the published v2
+  snapshot directory, so N workers share one copy of the postings blobs
+  through the page cache, and serves shard partials over a
+  length-prefixed JSON/numpy-frame socket protocol.  Any worker can
+  serve any shard, so retries and hedges naturally land on a different
+  process; dead workers are detected on socket failure and respawned by
+  :meth:`~WorkerProcessTransport.maintain` (driven by the service's
+  maintenance tick).
+* :class:`RemoteHttpTransport` — a deliberately small remote stub: the
+  same wire format POSTed to ``<endpoint>/shard``, standing in for a
+  real scale-out tier (one endpoint per node) without inventing a
+  second serialization.
+
+Wire format (shared by the socket protocol and the HTTP stub): a
+4-byte magic, a u32 length-prefixed JSON header, then the raw bytes of
+each numpy array announced by the header's ``arrays`` list as
+``[dtype, length]`` pairs.  Arrays are 1-D; the header carries all
+non-array metadata (op, shard id, error text, timings), so one
+``pack_frame``/``unpack_frame`` pair covers every message in both
+directions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.postings import EMPTY_HITS
+
+__all__ = [
+    "InProcessTransport",
+    "RemoteHttpTransport",
+    "ShardTransport",
+    "TransportError",
+    "WorkerProcessTransport",
+    "pack_frame",
+    "recv_frame",
+    "send_frame",
+    "unpack_frame",
+]
+
+#: Wire-format magic: geodab worker protocol, version 1.
+FRAME_MAGIC = b"GDW1"
+_LEN = struct.Struct("<I")
+#: Largest header/array frame accepted (corrupt length prefixes must
+#: not trigger gigabyte allocations).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class TransportError(Exception):
+    """A shard contact failed at the transport layer.
+
+    The executor treats this as a *retriable* infrastructure failure
+    (failover / hedge / degraded result) — anything else escaping a
+    transport is a programming error and propagates.
+    """
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+
+
+def pack_frame(header: dict, arrays: Sequence[np.ndarray] = ()) -> bytes:
+    """Serialize one message: magic + JSON header + raw array bytes.
+
+    The header gains an ``arrays`` key listing ``[dtype, length]`` per
+    array so the receiver can slice them back out with zero parsing of
+    the payload bytes.
+    """
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    header = dict(header)
+    header["arrays"] = [[a.dtype.str, int(a.size)] for a in arrays]
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [FRAME_MAGIC, _LEN.pack(len(head)), head]
+    for array in arrays:
+        parts.append(array.tobytes())
+    return b"".join(parts)
+
+
+def unpack_frame(blob: bytes | memoryview) -> tuple[dict, list[np.ndarray]]:
+    """Inverse of :func:`pack_frame` over a complete in-memory message."""
+    view = memoryview(blob)
+    if bytes(view[:4]) != FRAME_MAGIC:
+        raise TransportError("bad frame magic")
+    (head_len,) = _LEN.unpack(view[4:8])
+    if head_len > MAX_FRAME_BYTES:
+        raise TransportError(f"header of {head_len} bytes exceeds frame limit")
+    header = json.loads(bytes(view[8:8 + head_len]).decode("utf-8"))
+    arrays: list[np.ndarray] = []
+    offset = 8 + head_len
+    for dtype_str, size in header.pop("arrays", []):
+        dtype = np.dtype(dtype_str)
+        nbytes = dtype.itemsize * size
+        if nbytes > MAX_FRAME_BYTES:
+            raise TransportError(f"array of {nbytes} bytes exceeds frame limit")
+        chunk = view[offset:offset + nbytes]
+        if chunk.nbytes != nbytes:
+            raise TransportError("truncated array payload")
+        arrays.append(np.frombuffer(chunk, dtype=dtype).copy())
+        offset += nbytes
+    return header, arrays
+
+
+def send_frame(
+    sock: socket.socket, header: dict, arrays: Sequence[np.ndarray] = ()
+) -> None:
+    """Write one length-prefixed message to a stream socket."""
+    payload = pack_frame(header, arrays)
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    remaining = size
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TransportError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, list[np.ndarray]]:
+    """Read one length-prefixed message; raises on EOF or corruption."""
+    (size,) = _LEN.unpack(_recv_exact(sock, 4))
+    if size > MAX_FRAME_BYTES:
+        raise TransportError(f"message of {size} bytes exceeds frame limit")
+    return unpack_frame(_recv_exact(sock, size))
+
+
+# ----------------------------------------------------------------------
+# Transport protocol
+# ----------------------------------------------------------------------
+
+
+class ShardTransport(Protocol):
+    """How the executor reaches a shard set.
+
+    ``attempt`` distinguishes a primary contact (0) from a failover or
+    hedge retry (1); transports that can route to independent backends
+    use it to pick a *different* one, so a retry never re-asks the
+    process that just failed.  ``meta``, when provided, is filled with
+    transport detail (worker pid, server-side timing) for trace spans.
+    """
+
+    @property
+    def kind(self) -> str: ...
+
+    def shard_partial(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> np.ndarray: ...
+
+    def shard_postings(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> dict[int, np.ndarray]: ...
+
+    def stats(self) -> dict: ...
+
+    def maintain(self) -> dict: ...
+
+    def close(self) -> None: ...
+
+
+class InProcessTransport:
+    """Direct calls into the served index (the original executor path)."""
+
+    kind = "inprocess"
+
+    def __init__(self, index) -> None:
+        self.index = index
+
+    def shard_partial(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> np.ndarray:
+        return self.index.shard_partial(shard_id, terms)
+
+    def shard_postings(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> dict[int, np.ndarray]:
+        return self.index.shard_postings(shard_id, terms)
+
+    def stats(self) -> dict:
+        return {"kind": self.kind}
+
+    def maintain(self) -> dict:
+        return {}
+
+    def close(self) -> None:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Worker-process transport
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One supervised worker process plus its idle-connection pool."""
+
+    __slots__ = (
+        "slot",
+        "proc",
+        "port",
+        "pid",
+        "lock",
+        "idle",
+        "alive",
+        "requests",
+        "errors",
+    )
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.proc: subprocess.Popen | None = None
+        self.port = 0
+        self.pid = 0
+        self.lock = threading.Lock()
+        self.idle: deque[socket.socket] = deque()
+        self.alive = False
+        self.requests = 0
+        self.errors = 0
+
+    def drop_connections(self) -> None:
+        with self.lock:
+            while self.idle:
+                try:
+                    self.idle.popleft().close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+
+
+class WorkerProcessTransport:
+    """Shard serving over a supervised pool of snapshot-mmap workers.
+
+    Every worker attaches the *whole* published snapshot (memory-mapped,
+    so the postings pages are shared between workers through the OS page
+    cache) and can therefore serve any shard: shard ``s`` routes to
+    worker ``(s + attempt) % n``, which spreads primaries round-robin
+    and guarantees a retry lands on a different process while any two
+    are alive.
+
+    Failure model: a socket error marks the worker dead and raises
+    :class:`TransportError`; the executor retries against the next
+    worker.  :meth:`maintain` (called from the service's maintenance
+    tick) reaps and respawns dead workers.  :meth:`refresh` re-points
+    live workers at a newly published snapshot.
+    """
+
+    kind = "process"
+
+    #: Idle sockets kept per worker; beyond this they are closed rather
+    #: than pooled (fan-out width bounds useful concurrency anyway).
+    MAX_IDLE_PER_WORKER = 16
+
+    def __init__(
+        self,
+        snapshot_path: str | Path,
+        num_workers: int = 2,
+        spawn_timeout_s: float = 30.0,
+        connect_timeout_s: float = 5.0,
+        request_timeout_s: float | None = 30.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.snapshot_path = Path(snapshot_path)
+        self.num_workers = num_workers
+        self.spawn_timeout_s = spawn_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self._respawns = 0
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._workers = [_WorkerHandle(slot) for slot in range(num_workers)]
+        try:
+            for handle in self._workers:
+                self._spawn(handle)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start (or restart) the worker in ``handle``'s slot."""
+        # ``-c`` rather than ``-m``: the package __init__ imports
+        # ``.worker`` for its exports, and runpy warns when asked to
+        # re-execute a module that an import already materialized.
+        cmd = [
+            sys.executable,
+            "-c",
+            "import sys; from repro.service.worker import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "--snapshot",
+            str(self.snapshot_path),
+            "--parent-pid",
+            str(os.getpid()),
+        ]
+        # The child must find ``repro`` however the parent did — an
+        # installed package needs nothing, but a source checkout run
+        # via sys.path manipulation (pytest, PYTHONPATH=src) must pass
+        # the package root along explicitly.
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parent.parent.parent)
+        existing = env.get("PYTHONPATH")
+        if existing:
+            if package_root not in existing.split(os.pathsep):
+                env["PYTHONPATH"] = package_root + os.pathsep + existing
+        else:
+            env["PYTHONPATH"] = package_root
+        proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=None,  # worker stderr shows up in the server's log
+            text=True,
+            env=env,
+        )
+        try:
+            line = self._read_ready_line(proc)
+        except BaseException:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait()
+            raise
+        fields = dict(
+            part.split("=", 1) for part in line.split() if "=" in part
+        )
+        handle.proc = proc
+        handle.port = int(fields["port"])
+        handle.pid = int(fields.get("pid", proc.pid))
+        handle.alive = True
+        handle.drop_connections()
+
+    def _read_ready_line(self, proc: subprocess.Popen) -> str:
+        """Wait for the worker's READY handshake line, with a deadline."""
+        assert proc.stdout is not None
+        deadline = time.monotonic() + self.spawn_timeout_s
+        sel = selectors.DefaultSelector()
+        sel.register(proc.stdout, selectors.EVENT_READ)
+        try:
+            buffered = ""
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"worker did not report ready within "
+                        f"{self.spawn_timeout_s:.0f}s"
+                    )
+                if not sel.select(timeout=min(remaining, 0.25)):
+                    if proc.poll() is not None:
+                        raise TransportError(
+                            f"worker exited with status {proc.returncode} "
+                            "during startup"
+                        )
+                    continue
+                line = proc.stdout.readline()
+                if not line:
+                    raise TransportError(
+                        f"worker exited with status {proc.poll()} "
+                        "before reporting ready"
+                    )
+                buffered = line.strip()
+                if buffered.startswith("GEODAB-WORKER READY"):
+                    return buffered
+        finally:
+            sel.close()
+
+    def maintain(self) -> dict:
+        """Reap dead workers and respawn them; returns what happened.
+
+        Driven by :meth:`IndexService.maintenance_tick` so a worker
+        killed mid-load is back within one tick; also safe to call
+        directly (tests, embedders).
+        """
+        respawned: list[int] = []
+        failed: list[int] = []
+        with self._state_lock:
+            if self._closed:
+                return {"respawned": [], "failed": []}
+            for handle in self._workers:
+                proc = handle.proc
+                dead = not handle.alive or proc is None or proc.poll() is not None
+                if not dead:
+                    continue
+                if proc is not None and proc.poll() is None:
+                    # Marked dead on a socket error but the process is
+                    # still up (wedged or mid-crash): replace it.
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:  # pragma: no cover
+                        proc.kill()
+                        proc.wait()
+                try:
+                    self._spawn(handle)
+                except (TransportError, OSError, ValueError, KeyError):
+                    handle.alive = False
+                    failed.append(handle.slot)
+                else:
+                    respawned.append(handle.slot)
+                    self._respawns += 1
+        return {"respawned": respawned, "failed": failed}
+
+    def refresh(self, snapshot_path: str | Path) -> dict:
+        """Point workers at a newly published snapshot (post-publish)."""
+        self.snapshot_path = Path(snapshot_path)
+        refreshed: list[int] = []
+        failed: list[int] = []
+        for handle in self._workers:
+            if not handle.alive:
+                continue  # picks the new path up at respawn
+            try:
+                header, _ = self._request(
+                    handle, {"op": "attach", "snapshot": str(self.snapshot_path)}
+                )
+                if not header.get("ok"):
+                    raise TransportError(header.get("error", "attach failed"))
+            except TransportError:
+                failed.append(handle.slot)
+            else:
+                refreshed.append(handle.slot)
+        return {"refreshed": refreshed, "failed": failed}
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes (no orphans)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        for handle in workers:
+            proc = handle.proc
+            if proc is not None and proc.poll() is None and handle.alive:
+                try:
+                    with self._connection(handle) as sock:
+                        send_frame(sock, {"op": "shutdown"})
+                except (TransportError, OSError):
+                    pass
+            handle.alive = False
+            handle.drop_connections()
+        for handle in workers:
+            proc = handle.proc
+            if proc is None:
+                continue
+            if proc.poll() is None:
+                proc.terminate()
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait()
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+    # -- request plumbing ----------------------------------------------
+
+    class _connection:
+        """Checkout/checkin of one pooled socket for a worker."""
+
+        def __init__(self, handle: _WorkerHandle) -> None:
+            self.handle = handle
+            self.sock: socket.socket | None = None
+            self.ok = False
+
+        def __enter__(self) -> socket.socket:
+            handle = self.handle
+            with handle.lock:
+                sock = handle.idle.popleft() if handle.idle else None
+            if sock is None:
+                sock = socket.create_connection(
+                    ("127.0.0.1", handle.port), timeout=5.0
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.sock = sock
+            return sock
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            sock = self.sock
+            if sock is None:
+                return
+            handle = self.handle
+            if exc_type is None and self.ok:
+                with handle.lock:
+                    if (
+                        handle.alive
+                        and len(handle.idle)
+                        < WorkerProcessTransport.MAX_IDLE_PER_WORKER
+                    ):
+                        handle.idle.append(sock)
+                        return
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _request(
+        self,
+        handle: _WorkerHandle,
+        header: dict,
+        arrays: Sequence[np.ndarray] = (),
+    ) -> tuple[dict, list[np.ndarray]]:
+        """One request/response round-trip against a specific worker."""
+        conn = self._connection(handle)
+        try:
+            with conn as sock:
+                sock.settimeout(self.request_timeout_s)
+                send_frame(sock, header, arrays)
+                response, payload = recv_frame(sock)
+                conn.ok = True
+        except (OSError, TransportError, ValueError) as exc:
+            self._mark_dead(handle)
+            raise TransportError(
+                f"worker {handle.slot} (pid {handle.pid}) failed: {exc}"
+            ) from exc
+        with handle.lock:
+            handle.requests += 1
+        if not response.get("ok"):
+            # The worker answered but refused: an application-level
+            # error (bad shard id, detached snapshot), not a dead
+            # process — don't kill the worker for it.
+            raise TransportError(
+                f"worker {handle.slot}: {response.get('error', 'unknown error')}"
+            )
+        return response, payload
+
+    def _mark_dead(self, handle: _WorkerHandle) -> None:
+        with handle.lock:
+            handle.alive = False
+            handle.errors += 1
+        handle.drop_connections()
+
+    def _pick(self, shard_id: int, attempt: int) -> _WorkerHandle:
+        """Deterministic shard→worker routing that skips dead workers."""
+        n = len(self._workers)
+        for offset in range(n):
+            handle = self._workers[(shard_id + attempt + offset) % n]
+            if handle.alive:
+                return handle
+        raise TransportError("no live workers")
+
+    # -- shard operations ----------------------------------------------
+
+    def shard_partial(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> np.ndarray:
+        handle = self._pick(shard_id, attempt)
+        header, payload = self._request(
+            handle,
+            {"op": "partial", "shard": int(shard_id)},
+            [np.asarray(list(terms), dtype=np.int64)],
+        )
+        if meta is not None:
+            meta["worker"] = handle.slot
+            meta["pid"] = handle.pid
+            if "elapsed_us" in header:
+                meta["worker_us"] = header["elapsed_us"]
+        return payload[0] if payload else EMPTY_HITS
+
+    def shard_postings(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> dict[int, np.ndarray]:
+        handle = self._pick(shard_id, attempt)
+        header, payload = self._request(
+            handle,
+            {"op": "postings", "shard": int(shard_id)},
+            [np.asarray(list(terms), dtype=np.int64)],
+        )
+        if meta is not None:
+            meta["worker"] = handle.slot
+            meta["pid"] = handle.pid
+        return dict(zip(header.get("terms", []), payload))
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> dict:
+        workers = []
+        for handle in self._workers:
+            proc = handle.proc
+            workers.append(
+                {
+                    "slot": handle.slot,
+                    "pid": handle.pid,
+                    "alive": bool(
+                        handle.alive and proc is not None and proc.poll() is None
+                    ),
+                    "requests": handle.requests,
+                    "errors": handle.errors,
+                }
+            )
+        return {
+            "kind": self.kind,
+            "snapshot": str(self.snapshot_path),
+            "workers": workers,
+            "respawns": self._respawns,
+        }
+
+
+# ----------------------------------------------------------------------
+# Remote HTTP transport (stub)
+# ----------------------------------------------------------------------
+
+
+class RemoteHttpTransport:
+    """Shard contacts POSTed to remote endpoints — the scale-out stub.
+
+    Reuses the worker wire format verbatim as the HTTP request/response
+    bodies (``POST <endpoint>/shard``), so a remote shard server is the
+    worker's request handler behind any HTTP front end.  Deliberately
+    minimal: one connection per request, no pooling — it exists to pin
+    the wire contract down, not to be the production data path yet.
+    ``attempt`` routes to a different endpoint when several are given.
+    """
+
+    kind = "http"
+
+    def __init__(
+        self, endpoints: Sequence[str], timeout_s: float = 30.0
+    ) -> None:
+        if not endpoints:
+            raise ValueError("at least one endpoint required")
+        self.endpoints = [e.rstrip("/") for e in endpoints]
+        self.timeout_s = timeout_s
+        self._requests = 0
+        self._errors = 0
+        self._lock = threading.Lock()
+
+    def _post(
+        self, shard_id: int, attempt: int, header: dict, arrays
+    ) -> tuple[dict, list[np.ndarray]]:
+        import http.client
+        import urllib.parse
+
+        endpoint = self.endpoints[(shard_id + attempt) % len(self.endpoints)]
+        parsed = urllib.parse.urlparse(endpoint)
+        body = pack_frame(header, arrays)
+        try:
+            conn = http.client.HTTPConnection(
+                parsed.hostname or "127.0.0.1",
+                parsed.port or 80,
+                timeout=self.timeout_s,
+            )
+            try:
+                conn.request(
+                    "POST",
+                    (parsed.path or "") + "/shard",
+                    body=body,
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                response = conn.getresponse()
+                blob = response.read()
+                if response.status != 200:
+                    raise TransportError(
+                        f"{endpoint}/shard returned {response.status}"
+                    )
+            finally:
+                conn.close()
+        except (OSError, TransportError) as exc:
+            with self._lock:
+                self._errors += 1
+            raise TransportError(f"{endpoint}: {exc}") from exc
+        with self._lock:
+            self._requests += 1
+        out_header, payload = unpack_frame(blob)
+        if not out_header.get("ok"):
+            raise TransportError(
+                f"{endpoint}: {out_header.get('error', 'unknown error')}"
+            )
+        return out_header, payload
+
+    def shard_partial(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> np.ndarray:
+        header, payload = self._post(
+            shard_id,
+            attempt,
+            {"op": "partial", "shard": int(shard_id)},
+            [np.asarray(list(terms), dtype=np.int64)],
+        )
+        if meta is not None and "elapsed_us" in header:
+            meta["worker_us"] = header["elapsed_us"]
+        return payload[0] if payload else EMPTY_HITS
+
+    def shard_postings(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+    ) -> dict[int, np.ndarray]:
+        header, payload = self._post(
+            shard_id,
+            attempt,
+            {"op": "postings", "shard": int(shard_id)},
+            [np.asarray(list(terms), dtype=np.int64)],
+        )
+        return dict(zip(header.get("terms", []), payload))
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "endpoints": list(self.endpoints),
+                "requests": self._requests,
+                "errors": self._errors,
+            }
+
+    def maintain(self) -> dict:
+        return {}
+
+    def close(self) -> None:
+        return None

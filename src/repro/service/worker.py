@@ -1,0 +1,214 @@
+"""Shard-serving worker process: ``python -m repro.service.worker``.
+
+One worker memory-maps the postings blobs of a published v2 snapshot
+(:func:`repro.core.persistence.attach_shard_postings` — no bitmaps, no
+arena: ranking stays at the coordinator) and answers shard operations
+over the length-prefixed frame protocol of
+:mod:`repro.service.transport`.  N workers attach the same snapshot and
+share its pages through the OS page cache, which is what makes a local
+process pool cheap enough to beat the GIL-bound thread fan-out on
+CPU-bound workloads.
+
+Protocol (one frame in, one frame out, connections are persistent):
+
+* ``{"op": "ping"}`` → ``{"ok": true, "pid": ...}``
+* ``{"op": "partial", "shard": s}`` + terms array → hit-stream array
+* ``{"op": "postings", "shard": s}`` + terms array →
+  ``{"terms": [...]}`` + one array per present term
+* ``{"op": "attach", "snapshot": path}`` — re-point at a newer snapshot
+* ``{"op": "stats"}`` → worker vitals
+* ``{"op": "shutdown"}`` — exit cleanly
+
+Every worker serves *all* shards of the snapshot, so the transport can
+route any shard to any worker (retries hit a different process).  The
+parent passes ``--parent-pid``; a watchdog thread exits the worker when
+that process disappears, so a SIGKILLed coordinator never leaks
+orphans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.persistence import attach_shard_postings
+from .transport import TransportError, recv_frame, send_frame
+
+__all__ = ["ShardWorker", "main"]
+
+
+class ShardWorker:
+    """The worker's request handler, separable from its socket loop.
+
+    ``handle`` maps one request frame to one response frame, so the
+    same logic serves the socket protocol here and any HTTP front end
+    for :class:`~repro.service.transport.RemoteHttpTransport` (the
+    remote-transport tests mount it behind a stdlib HTTP server).
+    """
+
+    def __init__(self, snapshot_path: str | Path, mmap_mode: str | None = "r"):
+        self.mmap_mode = mmap_mode
+        self._lock = threading.Lock()
+        self._requests = 0
+        self.snapshot_path = Path(snapshot_path)
+        self.stores = attach_shard_postings(self.snapshot_path, mmap_mode)
+
+    def handle(
+        self, header: dict, arrays: list[np.ndarray]
+    ) -> tuple[dict, list[np.ndarray]]:
+        """One request → one response; never raises for client errors."""
+        with self._lock:
+            self._requests += 1
+        op = header.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid()}, []
+            if op == "partial":
+                return self._partial(header, arrays)
+            if op == "postings":
+                return self._postings(header, arrays)
+            if op == "attach":
+                return self._attach(header)
+            if op == "stats":
+                return {
+                    "ok": True,
+                    "pid": os.getpid(),
+                    "snapshot": str(self.snapshot_path),
+                    "shards": sorted(self.stores),
+                    "requests": self._requests,
+                }, []
+            return {"ok": False, "error": f"unknown op {op!r}"}, []
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}, []
+
+    def _store(self, header: dict):
+        shard_id = header.get("shard")
+        store = self.stores.get(shard_id)
+        if store is None:
+            raise ValueError(f"no shard {shard_id!r} in attached snapshot")
+        return store
+
+    def _terms(self, arrays: list[np.ndarray]) -> Sequence[int]:
+        if not arrays:
+            raise ValueError("terms array missing")
+        return arrays[0].tolist()
+
+    def _partial(self, header, arrays):
+        start = time.perf_counter()
+        hits = self._store(header).hits(self._terms(arrays))
+        elapsed_us = int((time.perf_counter() - start) * 1e6)
+        return {"ok": True, "elapsed_us": elapsed_us}, [hits]
+
+    def _postings(self, header, arrays):
+        postings = self._store(header).postings_map(self._terms(arrays))
+        terms = sorted(postings)
+        return {"ok": True, "terms": terms}, [postings[t] for t in terms]
+
+    def _attach(self, header):
+        path = Path(header["snapshot"])
+        stores = attach_shard_postings(path, self.mmap_mode)
+        self.snapshot_path = path
+        self.stores = stores
+        return {"ok": True, "shards": sorted(stores)}, []
+
+
+def _serve_connection(conn: socket.socket, worker: ShardWorker) -> None:
+    """Per-connection loop: frames until EOF or a shutdown op."""
+    try:
+        with conn:
+            while True:
+                try:
+                    header, arrays = recv_frame(conn)
+                except (TransportError, OSError):
+                    return
+                if header.get("op") == "shutdown":
+                    try:
+                        send_frame(conn, {"ok": True})
+                    except OSError:
+                        pass
+                    os._exit(0)
+                response, payload = worker.handle(header, arrays)
+                send_frame(conn, response, payload)
+    except OSError:
+        return
+
+
+def _watch_parent(parent_pid: int, poll_s: float = 1.0) -> None:
+    """Exit when the coordinator disappears (no orphaned workers)."""
+    while True:
+        try:
+            os.kill(parent_pid, 0)
+        except OSError:
+            os._exit(0)
+        time.sleep(poll_s)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.worker",
+        description="geodab shard-serving worker process",
+    )
+    parser.add_argument("--snapshot", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--mmap",
+        choices=("off", "r"),
+        default="r",
+        help="'r' memory-maps the postings blobs (default), 'off' copies",
+    )
+    parser.add_argument(
+        "--parent-pid",
+        type=int,
+        default=None,
+        help="exit when this process disappears (orphan protection)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        worker = ShardWorker(
+            args.snapshot, mmap_mode=None if args.mmap == "off" else args.mmap
+        )
+    except (OSError, ValueError) as exc:
+        print(f"worker: cannot attach {args.snapshot}: {exc}", file=sys.stderr)
+        return 2
+
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind((args.host, args.port))
+    server.listen(128)
+    port = server.getsockname()[1]
+
+    if args.parent_pid is not None:
+        threading.Thread(
+            target=_watch_parent, args=(args.parent_pid,), daemon=True
+        ).start()
+
+    # The READY line is the spawn handshake: the transport reads it to
+    # learn the bound port before sending any request.
+    print(
+        f"GEODAB-WORKER READY port={port} pid={os.getpid()} "
+        f"shards={len(worker.stores)}",
+        flush=True,
+    )
+
+    while True:
+        try:
+            conn, _ = server.accept()
+        except OSError:
+            return 0
+        threading.Thread(
+            target=_serve_connection, args=(conn, worker), daemon=True
+        ).start()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,315 @@
+"""Executor fault handling: failover, hedging, timeouts, degraded flags.
+
+A scripted transport wraps the in-process one and injects failures and
+delays per ``(shard_id, attempt)``, so every fault path of the pooled
+scatter-gather — and the sequential fallback — is driven
+deterministically with no worker processes involved.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.service import IndexService
+from repro.service.executor import QueryExecutor
+from repro.service.tracing import Trace
+from repro.service.transport import InProcessTransport, TransportError
+
+CONFIG = GeodabConfig(k=3, t=5)
+# Hash placement spreads a city-local query over all shards (prefix
+# placement would put the whole test area in one cell → one shard, and
+# single-shard plans bypass the pooled scatter under test here).
+SHARDING = ShardingConfig(num_shards=4, num_nodes=2, placement="hash")
+
+
+class ScriptedTransport:
+    """In-process transport with per-(shard, attempt) faults and delays."""
+
+    kind = "scripted"
+
+    def __init__(self, index, fail=(), delay=(), blank=(), raises=()):
+        self.inner = InProcessTransport(index)
+        self.fail = set(fail)  # (shard, attempt) -> TransportError
+        self.raises = set(raises)  # (shard, attempt) -> RuntimeError
+        self.delay = dict(delay)  # (shard, attempt) -> seconds
+        self.blank = set(blank)  # shard -> empty partial
+        self.calls: list[tuple[int, int]] = []
+
+    def _faults(self, shard_id, attempt):
+        self.calls.append((shard_id, attempt))
+        pause = self.delay.get((shard_id, attempt))
+        if pause:
+            time.sleep(pause)
+        if (shard_id, attempt) in self.raises:
+            raise RuntimeError("scripted bug")
+        if (shard_id, attempt) in self.fail:
+            raise TransportError(
+                f"scripted failure shard={shard_id} attempt={attempt}"
+            )
+        return shard_id in self.blank
+
+    def shard_partial(self, shard_id, terms, attempt=0, meta=None):
+        if self._faults(shard_id, attempt):
+            return np.array([], dtype=np.int64)
+        return self.inner.shard_partial(shard_id, terms, attempt, meta)
+
+    def shard_postings(self, shard_id, terms, attempt=0, meta=None):
+        # The batched fan-out fetches raw postings instead of partials;
+        # the same fault script applies to both shapes.
+        if self._faults(shard_id, attempt):
+            return {}
+        return self.inner.shard_postings(shard_id, terms, attempt, meta)
+
+    def stats(self):
+        return {"kind": self.kind}
+
+    def maintain(self):
+        return {}
+
+    def close(self):
+        return None
+
+
+@pytest.fixture(scope="module")
+def sharded(small_dataset):
+    index = ShardedGeodabIndex(CONFIG, SHARDING)
+    index.add_many(
+        [(r.trajectory_id, r.points) for r in small_dataset.records]
+    )
+    return index
+
+
+@pytest.fixture(scope="module")
+def query(small_dataset):
+    return small_dataset.queries[0].points
+
+
+@pytest.fixture(scope="module")
+def planned_shard(sharded, query):
+    """A shard the query actually plans onto."""
+    plan = sharded.prepare_query(query).plan
+    assert plan
+    return next(iter(plan))
+
+
+@pytest.fixture(scope="module")
+def expected(sharded, query):
+    with QueryExecutor(sharded, pool_size=4) as executor:
+        results, _ = executor.execute(query, limit=10)
+    return results
+
+
+class TestFailover:
+    @pytest.mark.parametrize("pool_size", [0, 4])
+    def test_single_failure_retries_transparently(
+        self, sharded, query, planned_shard, expected, pool_size
+    ):
+        transport = ScriptedTransport(sharded, fail=[(planned_shard, 0)])
+        with QueryExecutor(
+            sharded, pool_size=pool_size, transport=transport
+        ) as executor:
+            results, stats = executor.execute(query, limit=10)
+            assert results == expected
+            assert not stats.degraded
+            assert executor.fault_counts()["failovers"] == 1
+        assert (planned_shard, 1) in transport.calls
+
+    @pytest.mark.parametrize("pool_size", [0, 4])
+    def test_both_attempts_fail_degrades(
+        self, sharded, query, planned_shard, pool_size
+    ):
+        transport = ScriptedTransport(
+            sharded, fail=[(planned_shard, 0), (planned_shard, 1)]
+        )
+        with QueryExecutor(
+            sharded, pool_size=pool_size, transport=transport
+        ) as executor:
+            results, stats = executor.execute(query, limit=10)
+            assert stats.degraded
+            assert stats.failed_shards == 1
+            assert executor.fault_counts()["failed_contacts"] == 1
+        # The degraded answer equals ranking without that shard's hits.
+        blanked = ScriptedTransport(sharded, blank=[planned_shard])
+        with QueryExecutor(
+            sharded, pool_size=4, transport=blanked
+        ) as executor:
+            reference, _ = executor.execute(query, limit=10)
+        assert results == reference
+
+    def test_non_transport_errors_propagate(
+        self, sharded, query, planned_shard
+    ):
+        transport = ScriptedTransport(sharded, raises=[(planned_shard, 0)])
+        with QueryExecutor(
+            sharded, pool_size=4, transport=transport
+        ) as executor:
+            with pytest.raises(RuntimeError, match="scripted bug"):
+                executor.execute(query, limit=10)
+
+
+class TestHedging:
+    def test_straggler_is_hedged(
+        self, sharded, query, planned_shard, expected
+    ):
+        transport = ScriptedTransport(
+            sharded, delay={(planned_shard, 0): 0.4}
+        )
+        with QueryExecutor(
+            sharded,
+            pool_size=4,
+            transport=transport,
+            hedge_after_s=0.05,
+        ) as executor:
+            results, stats = executor.execute(query, limit=10)
+            assert results == expected
+            assert not stats.degraded
+            assert stats.hedged == 1
+            assert executor.fault_counts()["hedges"] == 1
+        assert (planned_shard, 1) in transport.calls
+
+    def test_fast_shards_are_not_hedged(self, sharded, query, expected):
+        transport = ScriptedTransport(sharded)
+        with QueryExecutor(
+            sharded,
+            pool_size=4,
+            transport=transport,
+            hedge_after_s=5.0,
+        ) as executor:
+            results, stats = executor.execute(query, limit=10)
+            assert results == expected
+            assert stats.hedged == 0
+            assert executor.fault_counts()["hedges"] == 0
+        assert all(attempt == 0 for _, attempt in transport.calls)
+
+    def test_hedge_span_queue_wait_uses_its_own_submit_time(
+        self, sharded, query, planned_shard
+    ):
+        """Queue wait is measured from each task's *own* submit stamp.
+
+        The regression this pins: one shared scatter-epoch stamp made a
+        hedge fired at T+hedge_after look like it queued for the whole
+        hedge delay.  With per-task stamps an uncontended hedge's queue
+        wait is approximately zero.
+        """
+        transport = ScriptedTransport(
+            sharded, delay={(planned_shard, 0): 0.3}
+        )
+        trace = Trace(detail=True)
+        with QueryExecutor(
+            sharded,
+            pool_size=8,
+            transport=transport,
+            hedge_after_s=0.1,
+        ) as executor:
+            executor.execute(query, limit=10, trace=trace)
+        hedge_spans = [
+            span
+            for span in trace.as_dict()["spans"]
+            for span in [span, *span.get("children", [])]
+            if span["name"] == "shard" and span.get("attempt") == 1
+        ]
+        assert hedge_spans
+        for span in hedge_spans:
+            assert span["queue_wait_ms"] < 50.0
+
+
+class TestShardTimeout:
+    def test_timed_out_shard_is_written_off(
+        self, sharded, query, planned_shard
+    ):
+        transport = ScriptedTransport(
+            sharded,
+            delay={(planned_shard, 0): 1.0, (planned_shard, 1): 1.0},
+        )
+        with QueryExecutor(
+            sharded,
+            pool_size=4,
+            transport=transport,
+            shard_timeout_s=0.1,
+        ) as executor:
+            start = time.perf_counter()
+            results, stats = executor.execute(query, limit=10)
+            elapsed = time.perf_counter() - start
+            assert stats.degraded
+            assert stats.failed_shards == 1
+            # The executor gave up at the timeout instead of waiting
+            # out the sleeping contacts.
+            assert elapsed < 0.8
+
+    def test_timeout_with_successful_retry_recovers(
+        self, sharded, query, planned_shard, expected
+    ):
+        transport = ScriptedTransport(
+            sharded, delay={(planned_shard, 0): 1.0}
+        )
+        with QueryExecutor(
+            sharded,
+            pool_size=4,
+            transport=transport,
+            shard_timeout_s=10.0,
+            hedge_after_s=0.05,
+        ) as executor:
+            results, stats = executor.execute(query, limit=10)
+            assert results == expected
+            assert not stats.degraded
+
+    def test_invalid_knobs_rejected(self, sharded):
+        with pytest.raises(ValueError, match="shard_timeout_s"):
+            QueryExecutor(sharded, shard_timeout_s=0.0)
+        with pytest.raises(ValueError, match="hedge_after_s"):
+            QueryExecutor(sharded, hedge_after_s=-1.0)
+
+
+class TestServiceDegradedHandling:
+    def test_degraded_results_are_served_but_never_cached(
+        self, sharded, query, planned_shard
+    ):
+        transport = ScriptedTransport(
+            sharded, fail=[(planned_shard, 0), (planned_shard, 1)]
+        )
+        executor = QueryExecutor(sharded, pool_size=4, transport=transport)
+        service = IndexService(sharded, executor=executor)
+        try:
+            first = service.query(query, limit=10)
+            assert first.degraded
+            assert not first.cached
+            # A degraded answer must not satisfy the next request from
+            # cache: the shard may be healthy again by then.
+            second = service.query(query, limit=10)
+            assert not second.cached
+            assert service.metrics.snapshot().degraded_queries == 2
+        finally:
+            service.close()
+
+    def test_healthy_results_still_cache(self, sharded, query):
+        executor = QueryExecutor(
+            sharded, pool_size=4, transport=ScriptedTransport(sharded)
+        )
+        service = IndexService(sharded, executor=executor)
+        try:
+            first = service.query(query, limit=10)
+            assert not first.degraded
+            second = service.query(query, limit=10)
+            assert second.cached
+            assert not second.degraded
+            assert service.metrics.snapshot().degraded_queries == 0
+        finally:
+            service.close()
+
+    def test_degraded_batch_not_cached(self, sharded, query, planned_shard):
+        transport = ScriptedTransport(
+            sharded, fail=[(planned_shard, 0), (planned_shard, 1)]
+        )
+        executor = QueryExecutor(sharded, pool_size=4, transport=transport)
+        service = IndexService(sharded, executor=executor)
+        try:
+            batch = service.query_many([query, query], limit=10)
+            assert len(batch) == 2
+            again = service.query_many([query], limit=10)
+            assert not again[0].cached
+        finally:
+            service.close()

@@ -670,3 +670,212 @@ class TestEndpointHistograms:
         _, stats = call(loaded_server.url, "GET", "/stats")
         assert stats["executor"] is None
         assert stats["slowlog"] is None
+
+
+class TestAdmissionControl:
+    @pytest.fixture()
+    def capped_server(self, small_dataset):
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service, max_inflight=2)
+        yield server
+        server.shutdown()
+        service.close()
+
+    def test_rejects_nonpositive_cap(self):
+        service = IndexService(GeodabIndex(CONFIG))
+        try:
+            with pytest.raises(ValueError, match="max_inflight"):
+                start_server(service, max_inflight=0)
+        finally:
+            service.close()
+
+    def test_uncapped_by_default(self, server):
+        assert server.max_inflight is None
+        assert server.inflight == 0
+
+    def test_under_cap_serves_normally(self, capped_server):
+        status, _ = call(capped_server.url, "GET", "/stats")
+        assert status == 200
+        assert capped_server.inflight == 0
+
+    def test_shed_at_capacity_with_retry_after(self, capped_server):
+        # Occupy both slots (as two slow in-flight requests would).
+        assert capped_server.begin_request()
+        assert capped_server.begin_request()
+        try:
+            request = urllib.request.Request(
+                capped_server.url + "/stats", method="GET"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "1"
+            body = json.loads(excinfo.value.read())
+            assert "capacity" in body["error"]
+        finally:
+            capped_server.end_request()
+            capped_server.end_request()
+        # Slots released: served again.
+        status, stats = call(capped_server.url, "GET", "/stats")
+        assert status == 200
+        assert stats["metrics"]["requests_shed"] == 1
+
+    def test_health_paths_never_shed(self, capped_server):
+        assert capped_server.begin_request()
+        assert capped_server.begin_request()
+        try:
+            for path in ("/healthz", "/readyz", "/metrics"):
+                request = urllib.request.Request(
+                    capped_server.url + path, method="GET"
+                )
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    assert response.status == 200
+        finally:
+            capped_server.end_request()
+            capped_server.end_request()
+
+    def test_sheds_surface_in_prometheus_metrics(self, capped_server):
+        assert capped_server.begin_request()
+        assert capped_server.begin_request()
+        try:
+            request = urllib.request.Request(
+                capped_server.url + "/stats", method="GET"
+            )
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(request, timeout=10)
+        finally:
+            capped_server.end_request()
+            capped_server.end_request()
+        request = urllib.request.Request(
+            capped_server.url + "/metrics", method="GET"
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            text = response.read().decode()
+        assert "geodabs_requests_shed_total 1" in text
+
+
+class TestGracefulShutdown:
+    """Drain and teardown ordering, driven by a fake clock."""
+
+    class FakeClock:
+        def __init__(self):
+            self.now_s = 0.0
+            self.sleeps = []
+
+        def clock(self):
+            return self.now_s
+
+        def sleep(self, seconds):
+            self.sleeps.append(seconds)
+            self.now_s += seconds
+
+    def test_drain_returns_once_requests_finish(self, server):
+        fake = self.FakeClock()
+        assert server.begin_request()
+
+        real_sleep = fake.sleep
+
+        def sleep_then_finish(seconds):
+            real_sleep(seconds)
+            if len(fake.sleeps) == 3:
+                server.end_request()
+
+        assert server.drain(
+            timeout_s=10.0, clock=fake.clock, sleep=sleep_then_finish
+        )
+        assert len(fake.sleeps) >= 3
+        assert fake.now_s < 10.0
+
+    def test_drain_times_out_on_stuck_requests(self, server):
+        fake = self.FakeClock()
+        assert server.begin_request()
+        try:
+            assert not server.drain(
+                timeout_s=1.0, clock=fake.clock, sleep=fake.sleep
+            )
+            # The fake clock crossed the deadline; no real waiting.
+            assert fake.now_s >= 1.0
+        finally:
+            server.end_request()
+
+    def test_shutdown_gracefully_ordering(self, small_dataset):
+        from repro.service import shutdown_gracefully
+
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service)
+        order = []
+
+        original_drain = server.drain
+        original_service_close = service.close
+        original_server_close = server.server_close
+
+        def recording_drain(*args, **kwargs):
+            order.append("drain")
+            return original_drain(*args, **kwargs)
+
+        def recording_service_close():
+            order.append("service_close")
+            original_service_close()
+
+        def recording_server_close():
+            order.append("server_close")
+            original_server_close()
+
+        server.drain = recording_drain
+        service.close = recording_service_close
+        server.server_close = recording_server_close
+
+        outcome = shutdown_gracefully(server, service, drain_timeout_s=5.0)
+        assert order == ["drain", "service_close", "server_close"]
+        assert outcome == {"drained": True, "inflight_abandoned": 0}
+
+    def test_shutdown_reports_abandoned_requests(self, small_dataset):
+        from repro.service import shutdown_gracefully
+
+        fake = self.FakeClock()
+        service = IndexService(GeodabIndex(CONFIG))
+        server = start_server(service)
+        assert server.begin_request()  # never finishes
+        outcome = shutdown_gracefully(
+            server, service, drain_timeout_s=1.0,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        assert outcome == {"drained": False, "inflight_abandoned": 1}
+
+    def test_shutdown_stops_maintenance_and_reaps_workers(
+        self, small_dataset, tmp_path
+    ):
+        """The full ordering against real workers: no orphan processes."""
+        from repro.cluster.cluster import ShardedGeodabIndex
+        from repro.cluster.sharding import ShardingConfig
+        from repro.core.persistence import publish_snapshot
+        from repro.service import (
+            QueryExecutor,
+            WorkerProcessTransport,
+            shutdown_gracefully,
+        )
+
+        index = ShardedGeodabIndex(
+            CONFIG, ShardingConfig(num_shards=2, num_nodes=1)
+        )
+        index.add_many(
+            [(r.trajectory_id, r.points) for r in small_dataset.records]
+        )
+        snapshot = publish_snapshot(index, tmp_path, tag="shutdown")
+        transport = WorkerProcessTransport(snapshot, num_workers=2)
+        executor = QueryExecutor(index, pool_size=2, transport=transport)
+        service = IndexService(
+            index, executor=executor, maintenance_interval_s=60.0
+        )
+        server = start_server(service, max_inflight=4)
+        procs = [handle.proc for handle in transport._workers]
+        assert service._maintenance_thread.is_alive()
+
+        status, _ = call(server.url, "GET", "/healthz")
+        assert status == 200
+
+        outcome = shutdown_gracefully(server, service, drain_timeout_s=5.0)
+        assert outcome["drained"]
+        assert service._maintenance_thread is None
+        for proc in procs:
+            assert proc.poll() is not None  # reaped, not orphaned

@@ -1,0 +1,497 @@
+"""Tests for repro.service.transport: wire format and the three transports.
+
+The worker-process transport is exercised against real spawned worker
+processes over a published snapshot; the remote-HTTP stub is mounted on
+an in-test stdlib HTTP server wrapping the same :class:`ShardWorker`
+handler, which is exactly the deployment shape it documents.
+"""
+
+import http.server
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.persistence import attach_shard_postings, publish_snapshot
+from repro.service.transport import (
+    FRAME_MAGIC,
+    InProcessTransport,
+    RemoteHttpTransport,
+    TransportError,
+    WorkerProcessTransport,
+    pack_frame,
+    recv_frame,
+    send_frame,
+    unpack_frame,
+)
+from repro.service.worker import ShardWorker
+
+CONFIG = GeodabConfig(k=3, t=5)
+# Hash placement: every query plans onto several shards, so the
+# per-shard equality sweeps below cover more than one shard id.
+SHARDING = ShardingConfig(num_shards=4, num_nodes=2, placement="hash")
+
+
+@pytest.fixture(scope="module")
+def sharded(small_dataset):
+    index = ShardedGeodabIndex(CONFIG, SHARDING)
+    index.add_many(
+        [(r.trajectory_id, r.points) for r in small_dataset.records]
+    )
+    return index
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(sharded, tmp_path_factory):
+    root = tmp_path_factory.mktemp("transport-snapshots")
+    return publish_snapshot(sharded, root, tag="test")
+
+
+@pytest.fixture(scope="module")
+def plans(sharded, small_dataset):
+    """Per-query shard plans: {shard_id: [terms]} with real postings."""
+    return [
+        sharded.prepare_query(q.points).plan for q in small_dataset.queries
+    ]
+
+
+@pytest.fixture(scope="module")
+def process_transport(snapshot_path):
+    transport = WorkerProcessTransport(snapshot_path, num_workers=2)
+    yield transport
+    transport.close()
+
+
+class TestWireFormat:
+    def test_round_trip_preserves_header_and_arrays(self):
+        header = {"op": "partial", "shard": 3, "nested": {"a": [1, 2]}}
+        arrays = [
+            np.arange(17, dtype=np.int64),
+            np.array([], dtype=np.uint32),
+            np.linspace(0.0, 1.0, 5, dtype=np.float64),
+        ]
+        out_header, out_arrays = unpack_frame(pack_frame(header, arrays))
+        assert out_header == header
+        assert len(out_arrays) == len(arrays)
+        for sent, received in zip(arrays, out_arrays):
+            assert sent.dtype == received.dtype
+            np.testing.assert_array_equal(sent, received)
+
+    def test_no_arrays(self):
+        header, arrays = unpack_frame(pack_frame({"op": "ping"}))
+        assert header == {"op": "ping"}
+        assert arrays == []
+
+    def test_sender_header_is_not_mutated(self):
+        header = {"op": "partial"}
+        pack_frame(header, [np.arange(3)])
+        assert header == {"op": "partial"}
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(pack_frame({"op": "ping"}))
+        blob[:4] = b"NOPE"
+        with pytest.raises(TransportError, match="magic"):
+            unpack_frame(bytes(blob))
+
+    def test_truncated_array_payload_rejected(self):
+        blob = pack_frame({"op": "x"}, [np.arange(100, dtype=np.int64)])
+        with pytest.raises(TransportError, match="truncated"):
+            unpack_frame(blob[:-8])
+
+    def test_oversize_header_length_rejected(self):
+        # Corrupt length prefix: must refuse before allocating.
+        blob = FRAME_MAGIC + struct.pack("<I", 1 << 31) + b"{}"
+        with pytest.raises(TransportError, match="frame limit"):
+            unpack_frame(blob)
+
+    def test_socket_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            arrays = [np.arange(1000, dtype=np.int64)]
+            send_frame(left, {"op": "partial", "shard": 1}, arrays)
+            header, received = recv_frame(right)
+            assert header == {"op": "partial", "shard": 1}
+            np.testing.assert_array_equal(received[0], arrays[0])
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_on_closed_socket_raises(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(TransportError, match="closed"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+class TestAttachShardPostings:
+    def test_round_trip_matches_live_stores(self, sharded, snapshot_path):
+        stores = attach_shard_postings(snapshot_path)
+        assert sorted(stores) == [s.shard_id for s in sharded.shards]
+        for shard in sharded.shards:
+            live = shard.postings
+            attached = stores[shard.shard_id]
+            terms = sorted(live)[:20]
+            np.testing.assert_array_equal(
+                attached.hits(terms), live.hits(terms)
+            )
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises((OSError, ValueError)):
+            attach_shard_postings(tmp_path / "nowhere")
+
+
+class TestInProcessTransport:
+    def test_partial_and_postings_delegate(self, sharded, plans):
+        transport = InProcessTransport(sharded)
+        assert transport.kind == "inprocess"
+        for plan in plans:
+            for shard_id, terms in plan.items():
+                np.testing.assert_array_equal(
+                    transport.shard_partial(shard_id, terms),
+                    sharded.shard_partial(shard_id, terms),
+                )
+                direct = sharded.shard_postings(shard_id, terms)
+                via = transport.shard_postings(shard_id, terms)
+                assert sorted(via) == sorted(direct)
+
+    def test_stats_and_maintain(self, sharded):
+        transport = InProcessTransport(sharded)
+        assert transport.stats()["kind"] == "inprocess"
+        assert transport.maintain() == {}
+        transport.close()  # no-op
+
+
+class TestShardWorkerHandler:
+    def test_unknown_op_is_an_application_error(self, snapshot_path):
+        worker = ShardWorker(snapshot_path)
+        header, arrays = worker.handle({"op": "frobnicate"}, [])
+        assert header["ok"] is False
+        assert arrays == []
+
+    def test_unknown_shard_does_not_kill_the_worker(self, snapshot_path):
+        worker = ShardWorker(snapshot_path)
+        header, _ = worker.handle(
+            {"op": "partial", "shard": 999},
+            [np.array([1], dtype=np.int64)],
+        )
+        assert header["ok"] is False
+        assert "999" in header["error"]
+        # Still serves good requests afterwards.
+        ping, _ = worker.handle({"op": "ping"}, [])
+        assert ping["ok"] is True
+
+    def test_stats_op(self, snapshot_path):
+        worker = ShardWorker(snapshot_path)
+        header, _ = worker.handle({"op": "stats"}, [])
+        assert header["ok"] is True
+        assert header["shards"] == list(range(SHARDING.num_shards))
+
+
+class TestWorkerProcessTransport:
+    def test_partials_match_the_live_index(
+        self, sharded, plans, process_transport
+    ):
+        for plan in plans:
+            for shard_id, terms in plan.items():
+                np.testing.assert_array_equal(
+                    process_transport.shard_partial(shard_id, terms),
+                    sharded.shard_partial(shard_id, terms),
+                )
+
+    def test_postings_match_the_live_index(
+        self, sharded, plans, process_transport
+    ):
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        direct = sharded.shard_postings(shard_id, terms)
+        via = process_transport.shard_postings(shard_id, terms)
+        assert sorted(via) == sorted(direct)
+        for term in direct:
+            np.testing.assert_array_equal(via[term], direct[term])
+
+    def test_meta_reports_worker_and_timing(self, plans, process_transport):
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        meta: dict = {}
+        process_transport.shard_partial(shard_id, terms, meta=meta)
+        assert meta["worker"] in (0, 1)
+        assert meta["pid"] > 0
+        assert meta["worker_us"] >= 0
+
+    def test_attempt_routes_to_a_different_worker(
+        self, plans, process_transport
+    ):
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        primary: dict = {}
+        retry: dict = {}
+        process_transport.shard_partial(shard_id, terms, meta=primary)
+        process_transport.shard_partial(
+            shard_id, terms, attempt=1, meta=retry
+        )
+        assert primary["worker"] != retry["worker"]
+
+    def test_stats_shape(self, process_transport):
+        stats = process_transport.stats()
+        assert stats["kind"] == "process"
+        assert len(stats["workers"]) == 2
+        assert all(w["alive"] for w in stats["workers"])
+        assert sum(w["requests"] for w in stats["workers"]) > 0
+
+    def test_rejects_zero_workers(self, snapshot_path):
+        with pytest.raises(ValueError, match="num_workers"):
+            WorkerProcessTransport(snapshot_path, num_workers=0)
+
+    def test_spawn_failure_surfaces_and_leaves_no_processes(self, tmp_path):
+        with pytest.raises(TransportError, match="worker"):
+            WorkerProcessTransport(
+                tmp_path / "no-such-snapshot", num_workers=1
+            )
+
+
+class TestWorkerLifecycle:
+    """Kill/respawn/refresh/close, on a private transport per test."""
+
+    @pytest.fixture()
+    def transport(self, snapshot_path):
+        transport = WorkerProcessTransport(snapshot_path, num_workers=2)
+        yield transport
+        transport.close()
+
+    @staticmethod
+    def _kill(transport, slot):
+        proc = transport._workers[slot].proc
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+
+    def test_killed_worker_fails_over_then_respawns(
+        self, sharded, plans, transport
+    ):
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        meta: dict = {}
+        transport.shard_partial(shard_id, terms, meta=meta)
+        self._kill(transport, meta["worker"])
+        # The primary still routes to the killed slot: the contact fails
+        # and marks it dead...
+        with pytest.raises(TransportError):
+            transport.shard_partial(shard_id, terms)
+        # ...then routing skips the dead slot: same answer, other worker.
+        after: dict = {}
+        np.testing.assert_array_equal(
+            transport.shard_partial(shard_id, terms, meta=after),
+            sharded.shard_partial(shard_id, terms),
+        )
+        assert after["worker"] != meta["worker"]
+        report = transport.maintain()
+        assert report == {"respawned": [meta["worker"]], "failed": []}
+        assert transport.stats()["respawns"] == 1
+        assert all(w["alive"] for w in transport.stats()["workers"])
+
+    def test_all_workers_dead_raises_no_live_workers(self, plans, transport):
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        for slot in range(2):
+            self._kill(transport, slot)
+        for _ in range(4):
+            try:
+                transport.shard_partial(shard_id, terms)
+            except TransportError:
+                pass
+        with pytest.raises(TransportError, match="no live workers"):
+            transport.shard_partial(shard_id, terms)
+        report = transport.maintain()
+        assert sorted(report["respawned"]) == [0, 1]
+
+    def test_refresh_points_workers_at_a_new_snapshot(
+        self, sharded, plans, transport, tmp_path
+    ):
+        new_path = publish_snapshot(sharded, tmp_path, tag="refreshed")
+        report = transport.refresh(new_path)
+        assert report == {"refreshed": [0, 1], "failed": []}
+        assert transport.snapshot_path == new_path
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        np.testing.assert_array_equal(
+            transport.shard_partial(shard_id, terms),
+            sharded.shard_partial(shard_id, terms),
+        )
+
+    def test_close_reaps_every_worker(self, snapshot_path):
+        transport = WorkerProcessTransport(snapshot_path, num_workers=2)
+        procs = [handle.proc for handle in transport._workers]
+        transport.close()
+        for proc in procs:
+            assert proc.poll() is not None
+        transport.close()  # idempotent
+
+    def test_maintain_after_close_is_a_no_op(self, snapshot_path):
+        transport = WorkerProcessTransport(snapshot_path, num_workers=1)
+        transport.close()
+        assert transport.maintain() == {"respawned": [], "failed": []}
+
+
+class _ShardHTTPHandler(http.server.BaseHTTPRequestHandler):
+    """Minimal HTTP front end over ShardWorker.handle (the remote shape)."""
+
+    worker: ShardWorker  # set on the subclass per server
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        # Counted before responding: the client returns as soon as the
+        # body lands, so counting afterwards would race the assertions.
+        type(self).hits = getattr(type(self), "hits", 0) + 1
+        body = self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        if self.path != "/shard":
+            self.send_error(404)
+            return
+        header, arrays = unpack_frame(body)
+        response, payload = type(self).worker.handle(header, arrays)
+        blob = pack_frame(response, payload)
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, *args):  # quiet
+        return
+
+
+@pytest.fixture()
+def shard_http_servers(snapshot_path):
+    worker = ShardWorker(snapshot_path)
+    servers = []
+    handlers = []
+    for _ in range(2):
+        handler = type("Handler", (_ShardHTTPHandler,), {"worker": worker})
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        handlers.append(handler)
+    yield servers, handlers
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+class TestRemoteHttpTransport:
+    def test_requires_an_endpoint(self):
+        with pytest.raises(ValueError):
+            RemoteHttpTransport([])
+
+    def test_partials_match_the_live_index(
+        self, sharded, plans, shard_http_servers
+    ):
+        servers, _ = shard_http_servers
+        transport = RemoteHttpTransport(
+            [f"http://127.0.0.1:{s.server_address[1]}" for s in servers]
+        )
+        assert transport.kind == "http"
+        for plan in plans:
+            for shard_id, terms in plan.items():
+                meta: dict = {}
+                np.testing.assert_array_equal(
+                    transport.shard_partial(shard_id, terms, meta=meta),
+                    sharded.shard_partial(shard_id, terms),
+                )
+                assert meta["worker_us"] >= 0
+        assert transport.stats()["requests"] > 0
+        assert transport.stats()["errors"] == 0
+
+    def test_postings_match_the_live_index(
+        self, sharded, plans, shard_http_servers
+    ):
+        servers, _ = shard_http_servers
+        transport = RemoteHttpTransport(
+            [f"http://127.0.0.1:{servers[0].server_address[1]}"]
+        )
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        direct = sharded.shard_postings(shard_id, terms)
+        via = transport.shard_postings(shard_id, terms)
+        assert sorted(via) == sorted(direct)
+
+    def test_attempt_routes_to_the_other_endpoint(
+        self, plans, shard_http_servers
+    ):
+        servers, handlers = shard_http_servers
+        transport = RemoteHttpTransport(
+            [f"http://127.0.0.1:{s.server_address[1]}" for s in servers]
+        )
+        plan = next(p for p in plans if p)
+        shard_id, terms = next(iter(plan.items()))
+        transport.shard_partial(shard_id, terms, attempt=0)
+        transport.shard_partial(shard_id, terms, attempt=1)
+        counts = sorted(getattr(h, "hits", 0) for h in handlers)
+        assert counts == [1, 1]
+
+    def test_application_error_raises_transport_error(
+        self, shard_http_servers
+    ):
+        servers, _ = shard_http_servers
+        transport = RemoteHttpTransport(
+            [f"http://127.0.0.1:{servers[0].server_address[1]}"]
+        )
+        with pytest.raises(TransportError, match="no shard"):
+            transport.shard_partial(
+                999, [1, 2, 3]
+            )
+
+    def test_unreachable_endpoint_raises_transport_error(self):
+        # Grab a port that nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        transport = RemoteHttpTransport(
+            [f"http://127.0.0.1:{port}"], timeout_s=1.0
+        )
+        with pytest.raises(TransportError):
+            transport.shard_partial(0, [1])
+        assert transport.stats()["errors"] == 1
+
+
+class TestWorkerParentWatchdog:
+    def test_worker_exits_when_parent_pid_disappears(self, snapshot_path):
+        """--parent-pid points at a process that dies: the worker follows."""
+        import subprocess
+        import sys
+
+        # A short-lived stand-in parent.
+        parent = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(30)"])
+        worker = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.service.worker import main; "
+                "sys.exit(main(sys.argv[1:]))",
+                "--snapshot",
+                str(snapshot_path),
+                "--parent-pid",
+                str(parent.pid),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            ready = worker.stdout.readline()
+            assert ready.startswith("GEODAB-WORKER READY")
+            parent.kill()
+            parent.wait(timeout=10)
+            assert worker.wait(timeout=10) == 0
+        finally:
+            for proc in (parent, worker):
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+            worker.stdout.close()

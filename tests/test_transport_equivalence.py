@@ -1,0 +1,265 @@
+"""Transport equivalence: thread and process fan-out are bit-identical.
+
+The cluster-serving contract (PR 7): whichever transport carries the
+shard partials — direct in-process calls or worker processes mmap'ing a
+published snapshot — the executor returns *exactly* the same rankings
+and query stats.  Hypothesis drives the query side; the corpus side is
+covered by two fixed environments (pristine, and with post-publish
+removals so the coordinator's tombstone masking must reconcile the
+workers' stale postings).  The degraded path — a worker killed
+mid-load — is pinned separately: results are served and flagged, never
+an error, and maintenance brings the worker back.
+"""
+
+import os
+import signal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.persistence import publish_snapshot
+from repro.geo.point import Point
+from repro.service import IndexService
+from repro.service.executor import QueryExecutor
+from repro.service.transport import WorkerProcessTransport
+
+CONFIG = GeodabConfig(k=3, t=5)
+# Hash placement: queries fan out over every shard, so the equivalence
+# actually exercises multi-shard scatter-gather on both transports.
+SHARDING = ShardingConfig(num_shards=4, num_nodes=2, placement="hash")
+
+
+@st.composite
+def query_walks(draw, min_len=4, max_len=30):
+    """Random-walk queries over the dataset's city area."""
+    n = draw(st.integers(min_value=min_len, max_value=max_len))
+    lat = draw(st.floats(min_value=51.44, max_value=51.58, allow_nan=False))
+    lon = draw(st.floats(min_value=-0.25, max_value=0.0, allow_nan=False))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-8e-4, max_value=8e-4, allow_nan=False),
+                st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    points = []
+    for dlat, dlon in steps:
+        lat += dlat
+        lon += dlon
+        points.append(Point(lat, lon))
+    return points
+
+
+class _Environment:
+    """A coordinator index plus thread- and process-backed executors."""
+
+    def __init__(self, corpus, root, remove=()):
+        self.index = ShardedGeodabIndex(CONFIG, SHARDING)
+        self.index.add_many(corpus)
+        snapshot = publish_snapshot(self.index, root, tag="equiv")
+        for trajectory_id in remove:
+            self.index.remove(trajectory_id)
+        self.removed = set(remove)
+        self.thread = QueryExecutor(self.index, pool_size=4)
+        self.process = QueryExecutor(
+            self.index,
+            pool_size=4,
+            transport=WorkerProcessTransport(snapshot, num_workers=2),
+        )
+
+    def close(self):
+        self.thread.close()
+        self.process.close()
+
+
+@pytest.fixture(scope="module")
+def pristine(small_dataset, tmp_path_factory):
+    corpus = [(r.trajectory_id, r.points) for r in small_dataset.records]
+    env = _Environment(corpus, tmp_path_factory.mktemp("equiv-pristine"))
+    yield env
+    env.close()
+
+
+@pytest.fixture(scope="module")
+def with_removals(small_dataset, tmp_path_factory):
+    """Every third trajectory removed *after* the snapshot was published.
+
+    The workers keep serving the stale postings; the coordinator must
+    mask the tombstoned internal ids so both transports agree.
+    """
+    corpus = [(r.trajectory_id, r.points) for r in small_dataset.records]
+    env = _Environment(
+        corpus,
+        tmp_path_factory.mktemp("equiv-removals"),
+        remove=[tid for position, (tid, _) in enumerate(corpus) if position % 3 == 0],
+    )
+    yield env
+    env.close()
+
+
+def assert_equivalent(env, points, limit=10):
+    prepared = env.index.prepare_query(points)
+    thread_results, thread_stats = env.thread.execute_prepared(
+        prepared, limit
+    )
+    process_results, process_stats = env.process.execute_prepared(
+        prepared, limit
+    )
+    assert process_results == thread_results
+    assert process_stats.candidates == thread_stats.candidates
+    assert process_stats.shards_contacted == thread_stats.shards_contacted
+    assert process_stats.pruned == thread_stats.pruned
+    assert process_stats.query_terms == thread_stats.query_terms
+    assert not process_stats.degraded
+    assert not thread_stats.degraded
+    return thread_results
+
+
+class TestEquivalence:
+    @settings(max_examples=30)
+    @given(points=query_walks())
+    def test_rankings_identical_on_pristine_corpus(self, pristine, points):
+        assert_equivalent(pristine, points)
+
+    @settings(max_examples=30)
+    @given(points=query_walks())
+    def test_rankings_identical_with_tombstoned_removals(
+        self, with_removals, points
+    ):
+        results = assert_equivalent(with_removals, points)
+        assert all(
+            r.trajectory_id not in with_removals.removed for r in results
+        )
+
+    def test_dataset_queries_identical(self, pristine, small_dataset):
+        for query in small_dataset.queries:
+            assert_equivalent(pristine, query.points)
+
+    def test_batched_execution_identical(self, pristine, small_dataset):
+        requests = [
+            (pristine.index.prepare_query(q.points), 10, 1.0)
+            for q in small_dataset.queries
+        ]
+        thread_out = pristine.thread.execute_prepared_many(requests)
+        process_out = pristine.process.execute_prepared_many(requests)
+        for (thread_results, _), (process_results, _) in zip(
+            thread_out, process_out
+        ):
+            assert process_results == thread_results
+
+
+class TestDegradedPath:
+    """A worker killed mid-load degrades results instead of erroring."""
+
+    def test_kill_degrade_respawn_recover(
+        self, small_dataset, tmp_path_factory
+    ):
+        corpus = [(r.trajectory_id, r.points) for r in small_dataset.records]
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(corpus)
+        root = tmp_path_factory.mktemp("equiv-degraded")
+        snapshot = publish_snapshot(index, root, tag="kill")
+        transport = WorkerProcessTransport(snapshot, num_workers=1)
+        executor = QueryExecutor(index, pool_size=4, transport=transport)
+        reference = QueryExecutor(index, pool_size=4)
+        try:
+            query = small_dataset.queries[0].points
+            expected, _ = reference.execute(query, limit=10)
+
+            os.kill(transport._workers[0].pid, signal.SIGKILL)
+            transport._workers[0].proc.wait(timeout=10)
+
+            # Served, flagged — not a 500. With the only worker gone,
+            # every planned shard fails and the ranking runs over
+            # nothing.
+            results, stats = executor.execute(query, limit=10)
+            assert stats.degraded
+            assert stats.failed_shards > 0
+            assert results == []
+
+            # One maintenance pass respawns the worker; the next query
+            # is whole again and bit-identical to the thread transport.
+            report = executor.maintain()
+            assert report["respawned"] == [0]
+            recovered, stats = executor.execute(query, limit=10)
+            assert not stats.degraded
+            assert recovered == expected
+        finally:
+            executor.close()
+            reference.close()
+
+    def test_kill_one_of_two_workers_is_invisible(
+        self, small_dataset, tmp_path_factory
+    ):
+        """With a live peer, failover hides the death entirely."""
+        corpus = [(r.trajectory_id, r.points) for r in small_dataset.records]
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(corpus)
+        root = tmp_path_factory.mktemp("equiv-failover")
+        snapshot = publish_snapshot(index, root, tag="failover")
+        transport = WorkerProcessTransport(snapshot, num_workers=2)
+        executor = QueryExecutor(index, pool_size=4, transport=transport)
+        reference = QueryExecutor(index, pool_size=4)
+        try:
+            query = small_dataset.queries[0].points
+            expected, _ = reference.execute(query, limit=10)
+
+            os.kill(transport._workers[0].pid, signal.SIGKILL)
+            transport._workers[0].proc.wait(timeout=10)
+
+            results, stats = executor.execute(query, limit=10)
+            assert results == expected
+            assert not stats.degraded
+            assert executor.fault_counts()["failovers"] >= 0
+        finally:
+            executor.close()
+            reference.close()
+
+
+class TestPublishRefreshConsistency:
+    def test_publish_refresh_invalidates_stale_window_cache(
+        self, small_dataset, tmp_path_factory
+    ):
+        """Answers cached while workers lagged die with the refresh.
+
+        Between an ingest and the next publish, process-served queries
+        are computed from the workers' previous snapshot and cached
+        under the *current* generation — so the generation check alone
+        would keep serving them after the workers catch up.  The
+        publish path must drop them along with the re-point.
+        """
+        corpus = [(r.trajectory_id, r.points) for r in small_dataset.records]
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(corpus)
+        root = tmp_path_factory.mktemp("equiv-refresh")
+        snapshot = publish_snapshot(index, root, tag="boot")
+        transport = WorkerProcessTransport(snapshot, num_workers=2)
+        executor = QueryExecutor(index, pool_size=4, transport=transport)
+        service = IndexService(index, executor=executor)
+        try:
+            # A nudged clone of an indexed trajectory: accepted by the
+            # coordinator, invisible to the workers' boot snapshot.
+            source = small_dataset.records[0]
+            clone = [
+                Point(p.lat + 1e-5, p.lon + 1e-5) for p in source.points
+            ]
+            service.add("clone", clone)
+
+            stale = service.query(clone, limit=5)
+            assert "clone" not in [
+                r.trajectory_id for r in stale.results
+            ]
+
+            service.snapshot(root)
+            fresh = service.query(clone, limit=5)
+            assert not fresh.cached
+            assert "clone" in [r.trajectory_id for r in fresh.results]
+        finally:
+            service.close()
