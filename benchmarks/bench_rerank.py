@@ -1,0 +1,218 @@
+"""Tiered exact search vs brute force: the filter/refine payoff.
+
+An exact kNN query answered brute-force pays one O(n*m) dynamic program
+per corpus trajectory.  The tiered pipeline pays fingerprint retrieval
+(vectorized Jaccard over the inverted index) plus ``limit * overfetch``
+exact distances — with cheap endpoint lower bounds pruning part of even
+those.  This benchmark measures that gap and *cross-checks exactness*:
+every tiered answer (single-node and sharded) must match the
+brute-force oracle over the full corpus — same ids, same order,
+distances within 1e-9 relative.
+
+The corpus is road-network re-recordings (the regime the paper
+evaluates): recordings of the same route share fingerprint terms after
+normalization, so the retrieval tier surfaces the true neighbours and
+the re-rank returns the exact answer.  The acceptance bar is tiered
+>= 3x brute force at a >= 2k trajectory corpus locally; CI runs a
+smaller corpus with a conservative 2x bar via ``--min-speedup``.
+
+Run with:  python benchmarks/bench_rerank.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.bench.report import print_table
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.query import QuerySpec
+from repro.core.rerank import exact_search
+from repro.normalize import standard_normalizer
+from repro.roadnet import generate_city_network
+from repro.workload import WorkloadBuilder
+
+
+def build_workload(num_trajectories: int, num_queries: int, seed: int):
+    """Road-network corpus of ``num_trajectories`` re-recordings."""
+    per_direction = 10
+    num_routes = max(1, -(-num_trajectories // (2 * per_direction)))
+    network = generate_city_network(
+        half_side_m=2_000.0, spacing_m=250.0, seed=seed
+    )
+    dataset = WorkloadBuilder(network, seed=seed + 1).build(
+        num_routes=num_routes,
+        trajectories_per_direction=per_direction,
+        num_queries=num_queries,
+    )
+    corpus = [
+        (r.trajectory_id, list(r.points))
+        for r in dataset.records[:num_trajectories]
+    ]
+    queries = [list(q.points) for q in dataset.queries]
+    return corpus, queries
+
+
+def assert_identical(name, got, want) -> None:
+    if [r.trajectory_id for r in got] != [r.trajectory_id for r in want]:
+        raise AssertionError(
+            f"{name}: tiered ids/order diverge from the brute-force oracle"
+        )
+    for ours, theirs in zip(got, want):
+        if not math.isclose(
+            ours.distance, theirs.distance, rel_tol=1e-9, abs_tol=1e-9
+        ):
+            raise AssertionError(
+                f"{name}: distance {ours.distance!r} != oracle "
+                f"{theirs.distance!r} for {ours.trajectory_id!r}"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectories",
+        type=int,
+        default=2000,
+        help="corpus size (the acceptance bar is measured at >= 2000)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=5, help="number of exact kNN queries"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=10, help="k of the exact kNN"
+    )
+    parser.add_argument(
+        "--overfetch",
+        type=int,
+        default=4,
+        help="Jaccard candidates fetched per requested result",
+    )
+    parser.add_argument(
+        "--metric", choices=["dtw", "frechet"], default="dtw"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero unless every tiered/brute speedup reaches "
+        "this factor (0 = report only)",
+    )
+    parser.add_argument(
+        "--json-out",
+        help="write the results as JSON (the CI benchmark artifact)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    corpus, queries = build_workload(
+        args.trajectories, args.queries, args.seed
+    )
+    spec = QuerySpec(
+        mode="exact_knn",
+        metric=args.metric,
+        limit=args.limit,
+        overfetch=args.overfetch,
+    )
+    print(
+        f"corpus: {len(corpus)} trajectories; {len(queries)} exact kNN "
+        f"queries, metric={args.metric}, k={args.limit}, "
+        f"overfetch={args.overfetch} (seed {args.seed})"
+    )
+
+    # Brute force once — the oracle is backend-independent.
+    brute_start = time.perf_counter()
+    oracle = [exact_search(query, corpus, spec) for query in queries]
+    brute_s = time.perf_counter() - brute_start
+
+    # Dense fingerprints (k=3, t=5): every same-route recording shares
+    # terms with the query, so the retrieval tier's candidate pool
+    # covers the true top-k and the identity cross-check below is a
+    # meaningful exactness bar, not a recall lottery.
+    config = GeodabConfig(k=3, t=5)
+    backends = (
+        ("single", lambda: GeodabIndex(
+            config, normalizer=standard_normalizer(), store_points=True
+        )),
+        ("sharded", lambda: ShardedGeodabIndex(
+            config,
+            ShardingConfig(num_shards=8, num_nodes=2, placement="hash"),
+            normalizer=standard_normalizer(),
+            store_points=True,
+        )),
+    )
+    rows = []
+    report = []
+    speedups = []
+    for name, builder in backends:
+        index = builder()
+        index.add_many(corpus)
+        index.query(queries[0], spec=spec)  # warm-up, untimed
+        tiered_start = time.perf_counter()
+        tiered = [index.query(query, spec=spec) for query in queries]
+        tiered_s = time.perf_counter() - tiered_start
+        for query_id, (got, want) in enumerate(zip(tiered, oracle)):
+            assert_identical(f"{name} q{query_id}", got, want)
+        speedup = brute_s / tiered_s if tiered_s > 0 else float("inf")
+        speedups.append(speedup)
+        rows.append(
+            [
+                name,
+                len(queries) / brute_s,
+                len(queries) / tiered_s,
+                brute_s,
+                tiered_s,
+                speedup,
+            ]
+        )
+        report.append(
+            {
+                "index": name,
+                "brute_qps": len(queries) / brute_s,
+                "tiered_qps": len(queries) / tiered_s,
+                "brute_s": brute_s,
+                "tiered_s": tiered_s,
+                "speedup": speedup,
+            }
+        )
+    print_table(
+        f"Exact kNN: brute force vs tiered retrieve+re-rank "
+        f"({len(queries)} queries, {len(corpus)}-trajectory corpus, "
+        f"metric={args.metric}, k={args.limit})",
+        ["index", "brute q/s", "tiered q/s", "brute s", "tiered s",
+         "speedup"],
+        rows,
+    )
+    print("cross-check: tiered answers identical to the oracle on both backends")
+    if args.json_out:
+        payload = {
+            "benchmark": "rerank",
+            "trajectories": len(corpus),
+            "queries": len(queries),
+            "limit": args.limit,
+            "overfetch": args.overfetch,
+            "metric": args.metric,
+            "seed": args.seed,
+            "results": report,
+            "min_speedup_bar": args.min_speedup,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.min_speedup > 0 and min(speedups) < args.min_speedup:
+        print(
+            f"FAIL: minimum speedup {min(speedups):.2f}x below the "
+            f"{args.min_speedup:.2f}x bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

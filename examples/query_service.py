@@ -44,6 +44,7 @@ def main() -> None:
         GeodabConfig(),
         ShardingConfig(num_shards=8, num_nodes=2, placement="hash"),
         normalizer=standard_normalizer(),
+        store_points=True,  # retain raw trajectories for exact re-ranking
     )
     service = IndexService(index, executor=QueryExecutor(index, pool_size=4))
     server = start_server(service)
@@ -64,10 +65,13 @@ def main() -> None:
           f"(generation {ingested['generation']})")
 
     # --- Query twice: miss then cache hit ------------------------------
+    # Requests carry a structured QuerySpec; the old flat
+    # {"limit": ..., "max_distance": ...} shape still parses but is
+    # answered with a "Deprecation: true" header.
     query = dataset.queries[0]
     payload = {
         "points": [[p.lat, p.lon] for p in query.points],
-        "limit": 5,
+        "spec": {"mode": "approx", "limit": 5},
     }
     first = call(server.url, "POST", "/query", payload)
     second = call(server.url, "POST", "/query", payload)
@@ -89,6 +93,18 @@ def main() -> None:
     third = call(server.url, "POST", "/query", payload)
     print(f"after deleting {victim}: cached={third['cached']}, "
           f"top hit is now {third['results'][0]['id']}")
+
+    # --- Tiered exact search --------------------------------------------
+    # Jaccard retrieval collects limit*overfetch candidates, then the
+    # exact metric (here banded DTW) re-ranks them on the raw points.
+    exact = call(server.url, "POST", "/query", {
+        "points": payload["points"],
+        "spec": {"mode": "exact_knn", "metric": "dtw", "limit": 3,
+                 "overfetch": 6, "band": 16},
+    })
+    print("exact_knn (DTW) top hits: " + ", ".join(
+        f"{hit['id']}@{hit['distance']:.1f}m" for hit in exact["results"]
+    ))
 
     # --- Service vitals -------------------------------------------------
     stats = call(server.url, "GET", "/stats")

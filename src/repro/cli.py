@@ -458,7 +458,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        index = GeodabIndex(config, normalizer=normalizer)
+        # Fresh serve indexes retain raw trajectories so exact_knn /
+        # exact_range queries work out of the box; warm starts stay
+        # approx-only (snapshots carry no raw points).
+        index = GeodabIndex(config, normalizer=normalizer, store_points=True)
         workers = 0
     else:
         if args.nodes is not None:
@@ -477,7 +480,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        index = ShardedGeodabIndex(config, sharding, normalizer=normalizer)
+        index = ShardedGeodabIndex(
+            config, sharding, normalizer=normalizer, store_points=True
+        )
         if process_mode:
             # Cold-start process serving: the workers serve a published
             # snapshot, so the dataset (if any) is indexed *now*, a boot

@@ -22,14 +22,22 @@ from ..core.config import GeodabConfig
 from ..core.fingerprint import Fingerprinter, FingerprintSet
 from ..core.index import Normalizer, SearchResult
 from ..core.postings import PostingsStore, merge_hits
-from ..core.query import NO_TRACE, FanoutStats, MatchCounts, PreparedQuery, TraceSink
+from ..core.query import (
+    NO_TRACE,
+    FanoutStats,
+    MatchCounts,
+    PreparedQuery,
+    QuerySpec,
+    TraceSink,
+)
+from ..core.rerank import ExactSearchUnsupported, rerank_candidates
 from ..core.scoring import (
     ScoringStats,
     live_candidates,
     rank_candidates,
     rank_candidates_scalar,
 )
-from ..geo.point import Trajectory
+from ..geo.point import Point, Trajectory
 from .sharding import ShardingConfig, ShardRouter
 
 __all__ = [
@@ -71,6 +79,7 @@ class ShardedGeodabIndex:
         config: GeodabConfig | None = None,
         sharding: ShardingConfig | None = None,
         normalizer: Normalizer | None = None,
+        store_points: bool = False,
     ) -> None:
         self.fingerprinter = Fingerprinter(config)
         cfg = self.fingerprinter.config
@@ -84,11 +93,16 @@ class ShardedGeodabIndex:
         # Slot recycling is shared with the single-node index via the
         # arena; the aliases index straight into its lists.  The arena
         # also maintains the per-slot cardinality column the vectorized
-        # scoring engine ranks with.
-        self._arena = SlotArena(num_columns=1, track_cardinality=True)
+        # scoring engine ranks with.  Column 1 holds raw points for the
+        # exact re-rank stage (``None`` per slot unless ``store_points``)
+        # — the coordinator merges/ranks/re-ranks, so points live here,
+        # never on the shards.
+        self._arena = SlotArena(num_columns=2, track_cardinality=True)
         self._ids = self._arena.ids
         self._id_to_internal = self._arena.id_to_internal
         self._bitmaps: list[RoaringBitmap | Roaring64Map] = self._arena.columns[0]
+        self._points: list[list[Point] | None] = self._arena.columns[1]
+        self._store_points = store_points
 
     @property
     def config(self) -> GeodabConfig:
@@ -111,17 +125,38 @@ class ShardedGeodabIndex:
 
     def add(self, trajectory_id: Hashable, points: Trajectory) -> None:
         """Index a trajectory, routing each term to its shard."""
-        self.add_fingerprints(trajectory_id, self._fingerprint(points))
+        self.add_fingerprints(trajectory_id, self._fingerprint(points), points)
 
     def fingerprint_query(self, points: Trajectory) -> FingerprintSet:
         """Fingerprints of a trajectory under this index's normalization."""
         return self._fingerprint(points)
 
+    @property
+    def store_points(self) -> bool:
+        """Whether raw points are retained (exact re-rank requires it)."""
+        return self._store_points
+
+    def points_of(self, trajectory_id: Hashable) -> list[Point]:
+        """Stored raw points (requires ``store_points=True``)."""
+        if not self._store_points:
+            raise RuntimeError("index was built with store_points=False")
+        points = self._points[self._id_to_internal[trajectory_id]]
+        assert points is not None
+        return points
+
     def _allocate(
-        self, trajectory_id: Hashable, bitmap: RoaringBitmap | Roaring64Map
+        self,
+        trajectory_id: Hashable,
+        bitmap: RoaringBitmap | Roaring64Map,
+        points: Trajectory | None = None,
     ) -> int:
         """Claim an internal slot, reusing ones freed by :meth:`remove`."""
-        return self._arena.allocate(trajectory_id, bitmap, cardinality=len(bitmap))
+        stored = (
+            list(points) if self._store_points and points is not None else None
+        )
+        return self._arena.allocate(
+            trajectory_id, bitmap, stored, cardinality=len(bitmap)
+        )
 
     def add_fingerprints(
         self,
@@ -132,13 +167,14 @@ class ShardedGeodabIndex:
         """Insert a document from precomputed fingerprints.
 
         Lets the serving tier fingerprint outside its write lock; only
-        the postings insertion here needs exclusivity.  ``points`` is
-        accepted for signature parity with the single-node index but
-        ignored — the sharded model never stores raw points.
+        the postings insertion here needs exclusivity.  Raw ``points``
+        are stored on the coordinator (for the exact re-rank stage) only
+        when given *and* the index was built with ``store_points=True``
+        — shards themselves never hold raw points.
         """
         if trajectory_id in self._id_to_internal:
             raise KeyError(f"trajectory {trajectory_id!r} already indexed")
-        internal = self._allocate(trajectory_id, fingerprint_set.bitmap)
+        internal = self._allocate(trajectory_id, fingerprint_set.bitmap, points)
         for term in sorted(set(fingerprint_set.values)):
             shard = self.shards[self.router.shard_of_term(term)]
             shard.postings.append(term, internal)
@@ -175,8 +211,8 @@ class ShardedGeodabIndex:
                     shard_of[term] = self.router.shard_of_term(term)
             routed.append(terms)
         grouped: dict[int, dict[int, list[int]]] = {}
-        for (trajectory_id, fingerprint_set, _), terms in zip(entries, routed):
-            internal = self._allocate(trajectory_id, fingerprint_set.bitmap)
+        for (trajectory_id, fingerprint_set, points), terms in zip(entries, routed):
+            internal = self._allocate(trajectory_id, fingerprint_set.bitmap, points)
             for term in terms:
                 bucket = grouped.setdefault(shard_of[term], {})
                 internals = bucket.get(term)
@@ -214,8 +250,8 @@ class ShardedGeodabIndex:
             points for _, points in items
         )
         self.add_fingerprints_many(
-            (trajectory_id, fingerprint_set, None)
-            for (trajectory_id, _), fingerprint_set in zip(
+            (trajectory_id, fingerprint_set, points)
+            for (trajectory_id, points), fingerprint_set in zip(
                 items, fingerprint_sets
             )
         )
@@ -229,7 +265,7 @@ class ShardedGeodabIndex:
             shard = self.shards[self.router.shard_of_term(int(term))]
             shard.postings.discard(int(term), internal)
         # Tombstone the slot and recycle it for a future add.
-        self._arena.release(trajectory_id, type(self._bitmaps[internal])())
+        self._arena.release(trajectory_id, type(self._bitmaps[internal])(), None)
 
     def __len__(self) -> int:
         return len(self._id_to_internal)
@@ -246,8 +282,15 @@ class ShardedGeodabIndex:
         points: Trajectory,
         limit: int | None = None,
         max_distance: float = 1.0,
+        *,
+        spec: QuerySpec | None = None,
     ) -> list[SearchResult]:
         """Ranked retrieval across the cluster (same contract as single-node)."""
+        if spec is not None:
+            results, _ = self.query_prepared(
+                self.prepare_query(points), spec=spec, query_points=points
+            )
+            return results
         results, _ = self.query_with_stats(points, limit, max_distance)
         return results
 
@@ -289,6 +332,9 @@ class ShardedGeodabIndex:
         limit: int | None = None,
         max_distance: float = 1.0,
         trace: TraceSink = NO_TRACE,
+        *,
+        spec: QuerySpec | None = None,
+        query_points: Trajectory | None = None,
     ) -> tuple[list[SearchResult], FanoutStats]:
         """Sequential execution of a prepared query (one shard at a time).
 
@@ -298,7 +344,21 @@ class ShardedGeodabIndex:
         results.  ``trace`` receives the ``fanout``/``merge``/``rank``
         stage timings (per-shard detail spans when the sink keeps
         detail); the default null sink makes the instrumentation free.
+
+        When ``spec`` is given it supersedes ``limit``/``max_distance``;
+        exact-mode specs re-rank the Jaccard tier's candidates with the
+        exact metric over ``query_points`` at the coordinator (raw
+        trajectories live only there, never on shards), recorded as a
+        ``rerank`` stage.
         """
+        if spec is not None:
+            limit = spec.tier1_limit
+            max_distance = spec.tier1_max_distance
+            if spec.is_exact and not self._store_points:
+                raise ExactSearchUnsupported(
+                    "exact queries need stored trajectories; this index "
+                    "was built with store_points=False"
+                )
         fanout_start = trace.now()
         # Per-shard windows only surface in detail span trees; below
         # detail the loop skips its per-shard clock reads.
@@ -332,7 +392,31 @@ class ShardedGeodabIndex:
             trace.stage("fanout", fanout_start, fanout_end)
         trace.stage("merge", fanout_end, merge_end)
         trace.stage("rank", merge_end, rank_end)
-        return returned, self.fanout_stats(prepared, matches, scoring)
+        stats = self.fanout_stats(prepared, matches, scoring)
+        if spec is not None and spec.is_exact:
+            if query_points is None:
+                raise ValueError("exact queries require query_points")
+            rerank_start = trace.now()
+            returned, rerank = rerank_candidates(
+                query_points, returned, spec, self.points_of
+            )
+            trace.stage(
+                "rerank",
+                rerank_start,
+                trace.now(),
+                candidates=rerank.candidates,
+                pruned=rerank.pruned,
+            )
+            stats = FanoutStats(
+                query_terms=stats.query_terms,
+                shards_contacted=stats.shards_contacted,
+                nodes_contacted=stats.nodes_contacted,
+                candidates=stats.candidates,
+                pruned=stats.pruned + rerank.pruned,
+                hedged=stats.hedged,
+                failed_shards=stats.failed_shards,
+            )
+        return returned, stats
 
     # ------------------------------------------------------------------
     # Per-shard partial lookups (the serving tier's fan-out unit)

@@ -26,7 +26,15 @@ from .config import GeodabConfig
 from .fingerprint import Fingerprinter, FingerprintSet
 from .geodab import GeodabScheme
 from .postings import PostingsStore, merge_hits
-from .query import NO_TRACE, FanoutStats, MatchCounts, PreparedQuery, TraceSink
+from .query import (
+    NO_TRACE,
+    FanoutStats,
+    MatchCounts,
+    PreparedQuery,
+    QuerySpec,
+    TraceSink,
+)
+from .rerank import ExactSearchUnsupported, rerank_candidates
 from .scoring import (
     ScoringStats,
     SearchResult,
@@ -238,13 +246,23 @@ class TrajectoryInvertedIndex:
         points: Trajectory,
         limit: int | None = None,
         max_distance: float = 1.0,
+        *,
+        spec: QuerySpec | None = None,
     ) -> list[SearchResult]:
         """Ranked retrieval: trajectories within ``max_distance``, sorted.
 
         Implements the problem statement of Section II-B1: results are
         ordered by increasing Jaccard distance to the query; ties break by
-        identifier for determinism.
+        identifier for determinism.  Pass ``spec`` for the structured
+        surface — an exact-mode spec routes through the tiered pipeline
+        (Jaccard retrieve, exact re-rank) of :meth:`query_prepared`.
         """
+        if spec is not None:
+            prepared = self.prepare_query(points)
+            results, _ = self.query_prepared(
+                prepared, spec=spec, query_points=points
+            )
+            return results
         results, _ = self.query_with_stats(points, limit, max_distance)
         return results
 
@@ -317,13 +335,31 @@ class TrajectoryInvertedIndex:
         limit: int | None = None,
         max_distance: float = 1.0,
         trace: TraceSink = NO_TRACE,
+        *,
+        spec: QuerySpec | None = None,
+        query_points: Trajectory | None = None,
     ) -> tuple[list[SearchResult], FanoutStats]:
         """Execute a prepared query (same contract as the sharded index).
 
         ``trace`` receives the ``fanout``/``merge``/``rank`` stage
         timings (a single-node fan-out is one shard 0 contact); the
         default null sink makes the instrumentation free.
+
+        When ``spec`` is given it supersedes ``limit``/``max_distance``:
+        the Jaccard tier runs with the spec's tier-1 parameters
+        (``limit * overfetch`` candidates, no Jaccard cutoff for exact
+        modes) and an exact-mode spec then re-ranks the candidates with
+        the exact metric over ``query_points`` (required), recorded as a
+        ``rerank`` stage.
         """
+        if spec is not None:
+            limit = spec.tier1_limit
+            max_distance = spec.tier1_max_distance
+            if spec.is_exact and not self._store_points:
+                raise ExactSearchUnsupported(
+                    "exact queries need stored trajectories; this index "
+                    "was built with store_points=False"
+                )
         fanout_start = trace.now()
         partials = [
             self.shard_partial(shard_id, shard_terms)
@@ -337,7 +373,31 @@ class TrajectoryInvertedIndex:
         trace.stage("fanout", fanout_start, fanout_end, shards=len(partials))
         trace.stage("merge", fanout_end, merge_end)
         trace.stage("rank", merge_end, rank_end)
-        return returned, self.fanout_stats(prepared, matches, scoring)
+        stats = self.fanout_stats(prepared, matches, scoring)
+        if spec is not None and spec.is_exact:
+            if query_points is None:
+                raise ValueError("exact queries require query_points")
+            rerank_start = trace.now()
+            returned, rerank = rerank_candidates(
+                query_points, returned, spec, self.points_of
+            )
+            trace.stage(
+                "rerank",
+                rerank_start,
+                trace.now(),
+                candidates=rerank.candidates,
+                pruned=rerank.pruned,
+            )
+            stats = FanoutStats(
+                query_terms=stats.query_terms,
+                shards_contacted=stats.shards_contacted,
+                nodes_contacted=stats.nodes_contacted,
+                candidates=stats.candidates,
+                pruned=stats.pruned + rerank.pruned,
+                hedged=stats.hedged,
+                failed_shards=stats.failed_shards,
+            )
+        return returned, stats
 
     def shard_partial(
         self, shard_id: int, terms: Sequence[int]
@@ -502,6 +562,11 @@ class TrajectoryInvertedIndex:
     def term_set(self, trajectory_id: Hashable) -> RoaringBitmap | Roaring64Map:
         """Stored term bitmap of an indexed trajectory."""
         return self._term_sets[self._id_to_internal[trajectory_id]]
+
+    @property
+    def store_points(self) -> bool:
+        """Whether raw trajectories are retained for exact re-ranking."""
+        return self._store_points
 
     def points_of(self, trajectory_id: Hashable) -> list[Point]:
         """Stored raw points (requires ``store_points=True``)."""

@@ -373,7 +373,9 @@ def _load_v2(
                 f"{sharding.num_shards} shards"
             )
         sharded = ShardedGeodabIndex(config, sharding, normalizer=normalizer)
-        sharded._arena.restore(slot_ids, (bitmaps,), cardinalities)
+        sharded._arena.restore(
+            slot_ids, (bitmaps, [None] * len(slot_ids)), cardinalities
+        )
         for shard, name in zip(sharded.shards, postings_files):
             shard.postings = PostingsStore.load(path / name, mmap_mode)
         return sharded

@@ -19,7 +19,210 @@ import numpy as np
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from .fingerprint import FingerprintSet
 
-__all__ = ["NO_TRACE", "FanoutStats", "MatchCounts", "PreparedQuery", "TraceSink"]
+__all__ = [
+    "NO_TRACE",
+    "FanoutStats",
+    "MatchCounts",
+    "PreparedQuery",
+    "QUERY_METRICS",
+    "QUERY_MODES",
+    "QuerySpec",
+    "TraceSink",
+]
+
+#: Valid ``QuerySpec.mode`` values: ``approx`` is the fingerprint
+#: Jaccard ranking (the paper's method); the ``exact_*`` modes add the
+#: tiered re-rank stage (:mod:`repro.core.rerank`) on top of it.
+QUERY_MODES = ("approx", "exact_knn", "exact_range")
+
+#: Valid ``QuerySpec.metric`` values.  ``jaccard`` is the only metric of
+#: ``approx`` mode; the exact modes re-rank with ``dtw`` or ``frechet``.
+QUERY_METRICS = ("jaccard", "dtw", "frechet")
+
+
+def _require_positive_int(name: str, value: object) -> None:
+    """Reject non-ints (bool included — it is an int subclass) and <= 0."""
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(f"'{name}' must be a positive integer")
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """Everything one similarity query asks for, validated once.
+
+    The structured replacement for the flat ``(limit, max_distance)``
+    kwargs that could not express mode, metric, or overfetch:
+
+    * ``mode`` — ``approx`` (fingerprint Jaccard, the default),
+      ``exact_knn`` (Jaccard retrieve, exact re-rank, top ``limit``), or
+      ``exact_range`` (exact re-rank, results within ``max_distance``
+      meters).
+    * ``metric`` — ``jaccard`` for ``approx``; ``dtw`` or ``frechet``
+      for the exact modes.
+    * ``limit`` — result cap.  Required for ``exact_knn`` (it is the
+      ``k``); optional elsewhere.
+    * ``max_distance`` — for ``approx`` a Jaccard cutoff in ``[0, 1]``
+      (default 1.0); for ``exact_range`` a radius in *meters*
+      (required); meaningless for ``exact_knn``.
+    * ``overfetch`` — exact modes collect ``limit * overfetch`` Jaccard
+      candidates before the re-rank (the filter/refine trade-off).
+    * ``band`` — optional Sakoe-Chiba half-width for ``dtw``.  The
+      effective band is widened to at least ``|len(p) - len(q)|`` so an
+      alignment always exists; ``None`` means unbanded (exact DTW).
+    """
+
+    mode: str = "approx"
+    metric: str = "jaccard"
+    limit: int | None = None
+    max_distance: float | None = None
+    overfetch: int = 4
+    band: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in QUERY_MODES:
+            raise ValueError(
+                f"'mode' must be one of {'/'.join(QUERY_MODES)}, "
+                f"got {self.mode!r}"
+            )
+        if self.metric not in QUERY_METRICS:
+            raise ValueError(
+                f"'metric' must be one of {'/'.join(QUERY_METRICS)}, "
+                f"got {self.metric!r}"
+            )
+        if self.mode == "approx":
+            if self.metric != "jaccard":
+                raise ValueError("approx mode supports only the jaccard metric")
+            if self.max_distance is None:
+                object.__setattr__(self, "max_distance", 1.0)
+        elif self.metric == "jaccard":
+            raise ValueError(f"{self.mode} mode needs 'metric' dtw or frechet")
+        if self.limit is not None:
+            _require_positive_int("limit", self.limit)
+        if self.max_distance is not None:
+            value = self.max_distance
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError("'max_distance' must be a number")
+            object.__setattr__(self, "max_distance", float(value))
+        if self.mode == "approx":
+            assert self.max_distance is not None
+            if not 0.0 <= self.max_distance <= 1.0:
+                raise ValueError(
+                    "'max_distance' must be in [0, 1] for approx mode"
+                )
+        if self.mode == "exact_knn":
+            if self.limit is None:
+                raise ValueError("exact_knn mode requires 'limit' (the k)")
+            if self.max_distance is not None:
+                raise ValueError(
+                    "exact_knn mode takes no 'max_distance'; "
+                    "use exact_range for radius queries"
+                )
+        if self.mode == "exact_range":
+            if self.max_distance is None:
+                raise ValueError(
+                    "exact_range mode requires 'max_distance' (meters)"
+                )
+            if self.max_distance < 0:
+                raise ValueError("'max_distance' must be non-negative meters")
+        _require_positive_int("overfetch", self.overfetch)
+        if self.band is not None:
+            if isinstance(self.band, bool) or not isinstance(self.band, int):
+                raise ValueError("'band' must be a non-negative integer")
+            if self.band < 0:
+                raise ValueError("'band' must be a non-negative integer")
+            if self.metric != "dtw":
+                raise ValueError("'band' applies only to the dtw metric")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether this query runs the exact re-rank stage."""
+        return self.mode != "approx"
+
+    @property
+    def tier1_limit(self) -> int | None:
+        """Candidate cap for the Jaccard retrieval tier.
+
+        Exact modes overfetch so the re-rank has slack to reorder;
+        ``exact_range`` without a ``limit`` keeps every candidate.
+        """
+        if not self.is_exact:
+            return self.limit
+        if self.limit is None:
+            return None
+        return self.limit * self.overfetch
+
+    @property
+    def tier1_max_distance(self) -> float:
+        """Jaccard cutoff for the retrieval tier (exact modes: none)."""
+        if self.is_exact:
+            return 1.0
+        assert self.max_distance is not None
+        return self.max_distance
+
+    def cache_key(self) -> tuple:
+        """Every field that changes the answer, for result-cache keys.
+
+        The serving tier's result cache must never serve one spec's
+        answer for another — mode, metric, overfetch, and band all
+        change what comes back for the same query terms.
+        """
+        return (
+            self.mode,
+            self.metric,
+            self.limit,
+            self.max_distance,
+            self.overfetch,
+            self.band,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, payload: object) -> "QuerySpec":
+        """Build a validated spec from a JSON object; raises ValueError.
+
+        Unknown keys are rejected — a typoed field name silently
+        falling back to its default would be a wrong answer, not a
+        convenience.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("'spec' must be a JSON object")
+        known = {"mode", "metric", "limit", "max_distance", "overfetch", "band"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown spec field(s) {sorted(unknown)!r}; "
+                f"valid fields: {sorted(known)!r}"
+            )
+        kwargs: dict = {}
+        for key in ("mode", "metric"):
+            if key in payload:
+                value = payload[key]
+                if not isinstance(value, str):
+                    raise ValueError(f"'{key}' must be a string")
+                kwargs[key] = value
+        for key in ("limit", "max_distance", "band", "overfetch"):
+            if key in payload and payload[key] is not None:
+                kwargs[key] = payload[key]
+        return cls(**kwargs)
+
+    def to_json(self) -> dict:
+        """JSON-ready representation (defaults elided where ``None``)."""
+        payload: dict = {"mode": self.mode, "metric": self.metric}
+        if self.limit is not None:
+            payload["limit"] = self.limit
+        if self.max_distance is not None:
+            payload["max_distance"] = self.max_distance
+        payload["overfetch"] = self.overfetch
+        if self.band is not None:
+            payload["band"] = self.band
+        return payload
 
 
 class TraceSink(Protocol):

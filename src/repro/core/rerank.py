@@ -1,0 +1,225 @@
+"""Exact re-rank stage of the tiered query pipeline.
+
+The fingerprint Jaccard tier (:mod:`repro.core.scoring`) is a cheap
+filter: it collects ``limit * overfetch`` candidates without computing a
+single trajectory distance.  This module is the refine step — the
+N-tree exact-kNN / Fréchet-proximity-index pattern from the related
+work: recompute the survivors' distances *exactly* with DTW or discrete
+Fréchet and return exact kNN / range answers.
+
+Pruning never changes the answer.  Per candidate the stage computes a
+cheap lower bound ``lb`` (endpoint couplings every alignment must pay)
+and a cheap upper bound ``ub`` (the cost of one concrete valid
+coupling: a greedy walk for Fréchet, the diagonal path for DTW).  With
+``T`` the k-th smallest upper bound (kNN) or the radius (range), any
+candidate with ``lb > T`` is skipped: its exact distance is at least
+``lb > T``, while at least ``k`` candidates have exact distances
+``<= T`` (each is bounded by its own ``ub``), so the skipped candidate
+cannot enter the top ``k`` — even under distance ties, because its
+distance is *strictly* above the threshold.  Everything not skipped
+gets the full dynamic program, so results match the brute-force oracle
+exactly (the property tests assert identity, the re-rank benchmark
+cross-checks it at corpus scale).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+from ..distance.dtw import dtw, dtw_banded
+from ..distance.frechet import discrete_frechet, greedy_frechet_upper_bound
+from ..geo.point import Point, Trajectory, haversine
+from .query import QuerySpec
+from .scoring import SearchResult
+
+__all__ = [
+    "ExactSearchUnsupported",
+    "RerankStats",
+    "exact_distance",
+    "exact_search",
+    "rerank_candidates",
+]
+
+
+class ExactSearchUnsupported(RuntimeError):
+    """The index cannot serve exact queries (no stored raw points).
+
+    Raised before any work happens — typically because the index was
+    built with ``store_points=False`` or warm-started from a snapshot
+    (snapshots persist postings and bitmaps, never raw trajectories).
+    The HTTP layer maps this to a structured 400.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class RerankStats:
+    """Work accounting for one re-rank pass.
+
+    ``candidates`` entered the stage from the Jaccard tier, ``computed``
+    paid the full O(n*m) dynamic program, ``pruned`` were eliminated by
+    the bound test alone.
+    """
+
+    candidates: int
+    computed: int
+    pruned: int
+
+
+def exact_distance(p: Trajectory, q: Trajectory, spec: QuerySpec) -> float:
+    """The spec's exact trajectory distance, in meters.
+
+    This is the *definition* of the metric the tiered pipeline answers
+    in: the re-rank stage, the brute-force oracle, and the tests all
+    call it, so they cannot disagree.  For ``dtw`` with a ``band`` the
+    Sakoe-Chiba half-width is widened to at least ``|len(p) - len(q)|``
+    so an in-band alignment always exists (the distance is then finite
+    and well-defined for every candidate pair).
+    """
+    if spec.metric == "dtw":
+        if spec.band is None:
+            return dtw(p, q)
+        return dtw_banded(p, q, max(spec.band, abs(len(p) - len(q))))
+    if spec.metric == "frechet":
+        return discrete_frechet(p, q)
+    raise ValueError(f"no exact distance for metric {spec.metric!r}")
+
+
+def _lower_bound(p: Trajectory, q: Trajectory, spec: QuerySpec) -> float:
+    """A distance every alignment must pay (O(1) haversines).
+
+    Both metrics couple the first pair and the last pair of points.
+    For DTW the costs add (unless the alignment is the single cell of
+    two length-1 trajectories, where they would double count); for the
+    discrete Fréchet distance the leash must cover the larger one.
+    Banded DTW only *restricts* alignments, so the unbanded bound holds.
+    """
+    first = haversine(p[0], q[0])
+    last = haversine(p[-1], q[-1])
+    if spec.metric == "dtw":
+        if len(p) == 1 and len(q) == 1:
+            return first
+        return first + last
+    return first if first > last else last
+
+
+def _dtw_upper_bound(p: Trajectory, q: Trajectory) -> float:
+    """Cost of the diagonal-then-edge coupling (O(n + m) haversines).
+
+    Pair ``p[i]`` with ``q[i]`` along the diagonal, then walk the longer
+    trajectory's tail against the shorter one's endpoint.  That is one
+    concrete valid warping path, so its summed cost bounds DTW from
+    above — and it deviates from the diagonal by at most
+    ``|len(p) - len(q)|`` steps, so it stays inside the widened band
+    :func:`exact_distance` uses and bounds the banded distance too.
+    """
+    n, m = len(p), len(q)
+    shared = n if n < m else m
+    total = 0.0
+    for i in range(shared):
+        total += haversine(p[i], q[i])
+    for i in range(shared, n):
+        total += haversine(p[i], q[m - 1])
+    for j in range(shared, m):
+        total += haversine(p[n - 1], q[j])
+    return total
+
+
+def _upper_bound(p: Trajectory, q: Trajectory, spec: QuerySpec) -> float:
+    if spec.metric == "dtw":
+        return _dtw_upper_bound(p, q)
+    return greedy_frechet_upper_bound(p, q)
+
+
+def _kth_smallest(values: list[float], k: int) -> float:
+    """The k-th smallest value, or +inf when there are fewer than k."""
+    if len(values) < k:
+        return math.inf
+    return sorted(values)[k - 1]
+
+
+def rerank_candidates(
+    query_points: Sequence[Point],
+    candidates: Sequence[SearchResult],
+    spec: QuerySpec,
+    points_of: Callable[[Hashable], Trajectory],
+    map_fn: Callable | None = None,
+) -> tuple[list[SearchResult], RerankStats]:
+    """Exact re-rank of the Jaccard tier's survivors.
+
+    ``points_of`` resolves a candidate's trajectory id to its stored raw
+    points (the arena column populated by ``store_points=True``).
+    ``map_fn`` runs the surviving dynamic programs — pass a worker
+    pool's ``map`` to spread them over the executor's threads, default
+    is the builtin.  Results keep each candidate's tier-1
+    ``shared_terms`` so responses stay shape-compatible; ``distance``
+    becomes the exact metric distance in meters.  Ordering is
+    ``(distance, str(id))`` — the same deterministic tie-break as the
+    Jaccard tier.
+    """
+    if not query_points:
+        raise ValueError("exact query requires a non-empty trajectory")
+    query = list(query_points)
+    fetched = [(result, points_of(result.trajectory_id)) for result in candidates]
+    bounds = [
+        (_lower_bound(query, points, spec), _upper_bound(query, points, spec))
+        for _, points in fetched
+    ]
+    if spec.mode == "exact_knn":
+        assert spec.limit is not None
+        threshold = _kth_smallest([ub for _, ub in bounds], spec.limit)
+    else:
+        assert spec.max_distance is not None
+        threshold = spec.max_distance
+    survivors = [
+        (result, points)
+        for (result, points), (lb, _) in zip(fetched, bounds)
+        if lb <= threshold
+    ]
+    mapper = map_fn if map_fn is not None else map
+    distances: Iterable[float] = mapper(
+        lambda pair: exact_distance(query, pair[1], spec), survivors
+    )
+    scored = [
+        SearchResult(result.trajectory_id, distance, result.shared_terms)
+        for (result, _), distance in zip(survivors, distances)
+    ]
+    if spec.mode == "exact_range":
+        assert spec.max_distance is not None
+        scored = [r for r in scored if r.distance <= spec.max_distance]
+    scored.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+    if spec.limit is not None:
+        scored = scored[: spec.limit]
+    stats = RerankStats(
+        candidates=len(fetched),
+        computed=len(survivors),
+        pruned=len(fetched) - len(survivors),
+    )
+    return scored, stats
+
+
+def exact_search(
+    query_points: Sequence[Point],
+    items: Iterable[tuple[Hashable, Trajectory]],
+    spec: QuerySpec,
+) -> list[SearchResult]:
+    """Brute-force exact search over ``(id, points)`` pairs (the oracle).
+
+    Computes :func:`exact_distance` against *every* item — no
+    fingerprint tier, no bounds — then applies the spec's mode.  Tests
+    and the re-rank benchmark compare the tiered pipeline against this.
+    ``shared_terms`` is reported as 0 (no fingerprint tier ran).
+    """
+    query = list(query_points)
+    scored = [
+        SearchResult(trajectory_id, exact_distance(query, list(points), spec), 0)
+        for trajectory_id, points in items
+    ]
+    if spec.mode == "exact_range":
+        assert spec.max_distance is not None
+        scored = [r for r in scored if r.distance <= spec.max_distance]
+    scored.sort(key=lambda r: (r.distance, str(r.trajectory_id)))
+    if spec.limit is not None:
+        scored = scored[: spec.limit]
+    return scored

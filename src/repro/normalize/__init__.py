@@ -8,6 +8,7 @@ from .batch import (
     BatchMovingAverageSmoother,
     BatchNormalizer,
     BatchPipeline,
+    BatchUniformResampler,
     PointBatch,
     normalize_point_batch,
     vectorize_normalizer,
@@ -31,6 +32,7 @@ __all__ = [
     "BatchMovingAverageSmoother",
     "BatchNormalizer",
     "BatchPipeline",
+    "BatchUniformResampler",
     "ComposedNormalizer",
     "Decimator",
     "GridNormalizer",

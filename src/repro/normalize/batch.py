@@ -20,9 +20,14 @@ concatenated coordinate batch:
   (e.g. HMM map matching), in which case callers fall back to the
   scalar path.
 
-Every batch stage is *bit-identical* to its scalar counterpart — same
-quantization, same sequential prefix-sum accumulation, same midpoint
-arithmetic — which the hypothesis property tests assert point by point.
+Every discrete batch stage is *bit-identical* to its scalar counterpart
+— same quantization, same sequential prefix-sum accumulation, same
+midpoint arithmetic — which the hypothesis property tests assert point
+by point.  The one exception is :class:`BatchUniformResampler`, whose
+cumulative-length formulation reassociates the scalar path's repeated
+subtraction; it is tolerance-equivalent (``math.isclose`` at 1e-9
+relative) rather than bit-identical, and the property tests assert
+exactly that regime.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import numpy as np
 
 from ..geo.batch import decode_center_batch, encode_batch
 from ..geo.point import (
+    EARTH_RADIUS_M,
     MAX_LATITUDE,
     MAX_LONGITUDE,
     MIN_LATITUDE,
@@ -43,7 +49,7 @@ from ..geo.point import (
 )
 from .grid import GridNormalizer
 from .pipeline import ComposedNormalizer, Normalizer, identity
-from .resample import Decimator
+from .resample import Decimator, UniformResampler
 from .smooth import MedianSmoother, MovingAverageSmoother
 
 __all__ = [
@@ -54,6 +60,7 @@ __all__ = [
     "BatchMovingAverageSmoother",
     "BatchNormalizer",
     "BatchPipeline",
+    "BatchUniformResampler",
     "PointBatch",
     "normalize_point_batch",
     "vectorize_normalizer",
@@ -359,6 +366,138 @@ class BatchDecimator:
         return f"BatchDecimator(factor={self.factor})"
 
 
+def _haversine_arrays(
+    lat1: np.ndarray, lon1: np.ndarray, lat2: np.ndarray, lon2: np.ndarray
+) -> np.ndarray:
+    """Vectorized haversine over parallel coordinate arrays (meters)."""
+    phi1 = np.radians(lat1)
+    phi2 = np.radians(lat2)
+    a = (
+        np.sin((phi2 - phi1) / 2.0) ** 2
+        + np.cos(phi1) * np.cos(phi2) * np.sin(np.radians(lon2 - lon1) / 2.0) ** 2
+    )
+    np.clip(a, 0.0, 1.0, out=a)
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(a))
+
+
+class BatchUniformResampler:
+    """Vectorized :class:`~repro.normalize.resample.UniformResampler`.
+
+    The scalar resampler re-walks the polyline from its head for every
+    sample (``walk`` is O(n), the whole pass O(n * samples)); here each
+    trajectory computes its segment lengths once, locates every sample
+    offset with one ``searchsorted`` over the cumulative lengths, and
+    interpolates all samples in one great-circle sweep (vectorized
+    bearing + destination, the same formulas ``interpolate`` routes
+    through).
+
+    Because cumulative sums reassociate the scalar path's repeated
+    subtraction, outputs are tolerance-equivalent to the scalar
+    resampler (``math.isclose`` at 1e-9 relative), not bit-identical.
+    """
+
+    __slots__ = ("step_m",)
+
+    def __init__(self, step_m: float) -> None:
+        if step_m <= 0:
+            raise ValueError("step_m must be positive")
+        self.step_m = step_m
+
+    def _resample_one(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = len(lats)
+        if n <= 1:
+            return lats, lons
+        seg = _haversine_arrays(lats[:-1], lons[:-1], lats[1:], lons[1:])
+        cum = np.empty(n, dtype=np.float64)
+        cum[0] = 0.0
+        np.cumsum(seg, out=cum[1:])
+        total = float(cum[-1])
+        # Sample offsets step, 2*step, ... strictly inside the polyline;
+        # cumsum over a constant vector reproduces the scalar loop's
+        # repeated-addition sequence.
+        max_samples = int(total / self.step_m) + 2
+        offsets = np.cumsum(np.full(max_samples, self.step_m))
+        offsets = offsets[: int(np.searchsorted(offsets, total, side="left"))]
+        if len(offsets) == 0:
+            out_lats = [lats[:1]]
+            out_lons = [lons[:1]]
+            tail_anchor = (float(lats[0]), float(lons[0]))
+        else:
+            # First segment index whose cumulative end reaches each
+            # offset; 'left' on the strictly-greater cum value also
+            # skips zero-length segments, like the scalar walk does.
+            ends = np.searchsorted(cum, offsets, side="left")
+            starts = ends - 1
+            fraction = (offsets - cum[starts]) / seg[starts]
+            a_lat, a_lon = lats[starts], lons[starts]
+            b_lat, b_lon = lats[ends], lons[ends]
+            # interpolate(): destination(a, bearing(a, b), dist * f).
+            phi1 = np.radians(a_lat)
+            phi2 = np.radians(b_lat)
+            d_lambda = np.radians(b_lon - a_lon)
+            theta = np.arctan2(
+                np.sin(d_lambda) * np.cos(phi2),
+                np.cos(phi1) * np.sin(phi2)
+                - np.sin(phi1) * np.cos(phi2) * np.cos(d_lambda),
+            )
+            delta = seg[starts] * fraction / EARTH_RADIUS_M
+            s_phi = np.arcsin(
+                np.sin(phi1) * np.cos(delta)
+                + np.cos(phi1) * np.sin(delta) * np.cos(theta)
+            )
+            s_lambda = np.radians(a_lon) + np.arctan2(
+                np.sin(theta) * np.sin(delta) * np.cos(phi1),
+                np.cos(delta) - np.sin(phi1) * np.sin(s_phi),
+            )
+            s_lat = np.clip(np.degrees(s_phi), MIN_LATITUDE, MAX_LATITUDE)
+            s_lon = (np.degrees(s_lambda) + 540.0) % 360.0 - 180.0
+            # Exact-endpoint samples short-circuit in scalar interpolate
+            # (fraction 0 or 1 returns the vertex itself); mirror that so
+            # vertices pass through untouched.
+            at_start = fraction == 0.0
+            at_end = fraction == 1.0
+            s_lat[at_start] = a_lat[at_start]
+            s_lon[at_start] = a_lon[at_start]
+            s_lat[at_end] = b_lat[at_end]
+            s_lon[at_end] = b_lon[at_end]
+            out_lats = [lats[:1], s_lat]
+            out_lons = [lons[:1], s_lon]
+            tail_anchor = (float(s_lat[-1]), float(s_lon[-1]))
+        tail = _haversine_arrays(
+            np.asarray([tail_anchor[0]]),
+            np.asarray([tail_anchor[1]]),
+            lats[-1:],
+            lons[-1:],
+        )
+        if float(tail[0]) > self.step_m / 2.0:
+            out_lats.append(lats[-1:])
+            out_lons.append(lons[-1:])
+        return np.concatenate(out_lats), np.concatenate(out_lons)
+
+    def __call__(self, batch: PointBatch) -> PointBatch:
+        if batch.num_points == 0:
+            return batch
+        lat_parts: list[np.ndarray] = []
+        lon_parts: list[np.ndarray] = []
+        bounds = np.zeros(len(batch) + 1, dtype=np.int64)
+        for i, (start, stop) in enumerate(zip(batch.bounds[:-1], batch.bounds[1:])):
+            lats, lons = self._resample_one(
+                batch.lats[int(start) : int(stop)],
+                batch.lons[int(start) : int(stop)],
+            )
+            lat_parts.append(lats)
+            lon_parts.append(lons)
+            bounds[i + 1] = bounds[i] + len(lats)
+        return PointBatch(
+            np.concatenate(lat_parts), np.concatenate(lon_parts), bounds
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchUniformResampler(step_m={self.step_m})"
+
+
 class BatchPipeline:
     """A left-to-right chain of batch normalization stages."""
 
@@ -399,6 +538,8 @@ def vectorize_normalizer(
         return BatchMedianSmoother(normalizer.window)
     if isinstance(normalizer, Decimator):
         return BatchDecimator(normalizer.factor)
+    if isinstance(normalizer, UniformResampler):
+        return BatchUniformResampler(normalizer.step_m)
     if isinstance(normalizer, ComposedNormalizer):
         stages = []
         for stage in normalizer.stages:

@@ -2,8 +2,13 @@
 
 The serving tier keeps two caches:
 
-* a *result cache* keyed by ``(terms digest, limit, max_distance)`` whose
-  entries are tagged with the index generation they were computed at.
+* a *result cache* keyed by ``(terms digest, points digest | None, spec
+  key)`` — the points digest is only present for exact modes, where two
+  queries with identical fingerprint terms can still have different
+  exact distances, and the spec key folds in every
+  :class:`~..core.query.QuerySpec` field that changes the answer
+  (mode, metric, limit, max_distance, overfetch, band).  Entries are
+  tagged with the index generation they were computed at.
   The service purges this cache eagerly (:meth:`LRUCache.invalidate_all`)
   whenever a write bumps the generation; the per-entry tags are
   defense-in-depth for embedders that mutate the index directly — a

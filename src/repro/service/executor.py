@@ -50,8 +50,16 @@ import numpy as np
 from ..cluster.cluster import ShardedGeodabIndex
 from ..core.index import GeodabIndex, SearchResult
 from ..core.postings import merge_hits
-from ..core.query import NO_TRACE, MatchCounts, PreparedQuery, TraceSink
+from ..core.query import (
+    NO_TRACE,
+    MatchCounts,
+    PreparedQuery,
+    QuerySpec,
+    TraceSink,
+)
+from ..core.rerank import ExactSearchUnsupported, rerank_candidates
 from ..core.scoring import ScoringStats
+from ..geo.point import Trajectory
 from .transport import InProcessTransport, ShardTransport, TransportError
 
 __all__ = ["ExecutionStats", "QueryExecutor"]
@@ -65,10 +73,13 @@ class ExecutionStats:
     """How one query was executed by the serving tier.
 
     ``pruned`` carries the scoring engine's count: candidates cut by the
-    minimum-overlap threshold before any distance was computed.
-    ``stage_ms`` is the execution's stage split — ``(("fanout", ms),
-    ("merge", ms), ("rank", ms))`` — populated whenever a real trace
-    sink timed the execution, empty under :data:`~repro.core.query.NO_TRACE`.
+    minimum-overlap threshold before any distance was computed — plus,
+    for exact queries, candidates the re-rank stage's bound test
+    eliminated before any dynamic program ran.  ``stage_ms`` is the
+    execution's stage split — ``(("fanout", ms), ("merge", ms),
+    ("rank", ms))``, with a trailing ``("rerank", ms)`` for exact
+    queries — populated whenever a real trace sink timed the execution,
+    empty under :data:`~repro.core.query.NO_TRACE`.
     ``hedged`` counts shard contacts duplicated because the primary
     straggled; ``failed_shards`` counts planned shards that contributed
     nothing (every attempt failed or timed out) — when non-zero the
@@ -107,6 +118,8 @@ class _Pending:
         "limit",
         "max_distance",
         "trace",
+        "spec",
+        "query_points",
         "event",
         "results",
         "stats",
@@ -119,11 +132,19 @@ class _Pending:
         limit: int | None,
         max_distance: float,
         trace: TraceSink = NO_TRACE,
+        spec: QuerySpec | None = None,
+        query_points: Trajectory | None = None,
     ) -> None:
         self.prepared = prepared
+        # The Jaccard tier's parameters: a spec supersedes the flat pair.
+        if spec is not None:
+            limit = spec.tier1_limit
+            max_distance = spec.tier1_max_distance
         self.limit = limit
         self.max_distance = max_distance
         self.trace = trace
+        self.spec = spec
+        self.query_points = query_points
         self.event = threading.Event()
         self.results: list[SearchResult] | None = None
         self.stats: ExecutionStats | None = None
@@ -207,12 +228,16 @@ class QueryExecutor:
         limit: int | None = None,
         max_distance: float = 1.0,
         trace: TraceSink = NO_TRACE,
+        *,
+        spec: QuerySpec | None = None,
     ) -> tuple[list[SearchResult], ExecutionStats]:
-        """Fingerprint, fan out, merge, rank."""
+        """Fingerprint, fan out, merge, rank (and re-rank when exact)."""
         prepare_start = trace.now()
         prepared = self.index.prepare_query(points)
         trace.stage("prepare", prepare_start, trace.now())
-        return self.execute_prepared(prepared, limit, max_distance, trace)
+        return self.execute_prepared(
+            prepared, limit, max_distance, trace, spec=spec, query_points=points
+        )
 
     def execute_prepared(
         self,
@@ -220,15 +245,30 @@ class QueryExecutor:
         limit: int | None = None,
         max_distance: float = 1.0,
         trace: TraceSink = NO_TRACE,
+        *,
+        spec: QuerySpec | None = None,
+        query_points: Trajectory | None = None,
     ) -> tuple[list[SearchResult], ExecutionStats]:
         """Execute an already-prepared query (cached fingerprints reuse).
 
         ``trace`` receives the stage timings (``fanout``/``merge``/
         ``rank``, plus per-shard detail spans when the sink keeps
         detail); the default null sink makes instrumentation free.
+
+        When ``spec`` is given it supersedes ``limit``/``max_distance``;
+        an exact-mode spec re-ranks the Jaccard tier's candidates with
+        the exact metric over ``query_points`` (required) at the
+        coordinator, spreading the dynamic programs over the worker
+        pool and recording a ``rerank`` stage.
         """
+        if spec is not None:
+            self._check_exact(spec)
+            limit = spec.tier1_limit
+            max_distance = spec.tier1_max_distance
         if self.batch_window_s > 0:
-            return self._execute_batched(prepared, limit, max_distance, trace)
+            return self._execute_batched(
+                prepared, limit, max_distance, trace, spec, query_points
+            )
         matches, fanout_s, merge_s, hedged, failed = self._fanout_single(
             prepared, trace
         )
@@ -238,21 +278,28 @@ class QueryExecutor:
         )
         rank_end = trace.now()
         trace.stage("rank", rank_start, rank_end)
+        rerank_s: float | None = None
+        extra_pruned = 0
+        if spec is not None and spec.is_exact:
+            results, rerank_s, extra_pruned = self._rerank(
+                results, spec, query_points, trace
+            )
         return results, self._stats(
             prepared,
             matches,
             batch_size=1,
             scoring=scoring,
             stage_ms=self._stage_ms(
-                trace, fanout_s, merge_s, rank_end - rank_start
+                trace, fanout_s, merge_s, rank_end - rank_start, rerank_s
             ),
             hedged=len(hedged),
             failed_shards=len(failed),
+            extra_pruned=extra_pruned,
         )
 
     def execute_prepared_many(
         self,
-        requests: Sequence[tuple[PreparedQuery, int | None, float]],
+        requests: Sequence[tuple],
         trace: TraceSink = NO_TRACE,
     ) -> list[tuple[list[SearchResult], ExecutionStats]]:
         """Execute a whole burst of prepared queries as one fan-out.
@@ -266,11 +313,22 @@ class QueryExecutor:
         covers the whole burst: one ``fanout`` stage for the shared
         fetch, per-item ``merge``/``rank`` durations summing into the
         stage totals.
+
+        Requests are ``(prepared, limit, max_distance)`` triples or
+        ``(prepared, limit, max_distance, spec, query_points)`` — the
+        extended form routes exact-mode specs through the per-item
+        re-rank after ranking.
         """
-        batch = [
-            _Pending(prepared, limit, max_distance, trace)
-            for prepared, limit, max_distance in requests
-        ]
+        batch: list[_Pending] = []
+        for request in requests:
+            prepared, limit, max_distance = request[:3]
+            spec = request[3] if len(request) > 3 else None
+            query_points = request[4] if len(request) > 4 else None
+            if spec is not None:
+                self._check_exact(spec)
+            batch.append(
+                _Pending(prepared, limit, max_distance, trace, spec, query_points)
+            )
         if not batch:
             return []
         self._run_batch(batch)
@@ -639,16 +697,70 @@ class QueryExecutor:
 
     @staticmethod
     def _stage_ms(
-        trace: TraceSink, fanout_s: float, merge_s: float, rank_s: float
+        trace: TraceSink,
+        fanout_s: float,
+        merge_s: float,
+        rank_s: float,
+        rerank_s: float | None = None,
     ) -> tuple[tuple[str, float], ...]:
         """The per-execution stage split, when a real sink timed it."""
         if trace is NO_TRACE:
             return ()
-        return (
+        split = (
             ("fanout", round(fanout_s * 1000.0, 4)),
             ("merge", round(merge_s * 1000.0, 4)),
             ("rank", round(rank_s * 1000.0, 4)),
         )
+        if rerank_s is None:
+            return split
+        return split + (("rerank", round(rerank_s * 1000.0, 4)),)
+
+    # ------------------------------------------------------------------
+    # Exact re-rank (tier 2 of the tiered pipeline)
+    # ------------------------------------------------------------------
+
+    def _check_exact(self, spec: QuerySpec) -> None:
+        """Fail exact specs fast when the index keeps no raw points."""
+        if spec.is_exact and not getattr(self.index, "store_points", False):
+            raise ExactSearchUnsupported(
+                "exact queries need stored trajectories; this index "
+                "was built with store_points=False"
+            )
+
+    def _rerank(
+        self,
+        candidates: list[SearchResult],
+        spec: QuerySpec,
+        query_points: Trajectory | None,
+        trace: TraceSink,
+    ) -> tuple[list[SearchResult], float, int]:
+        """Exact re-rank of one query's Jaccard candidates.
+
+        The surviving dynamic programs run on the worker pool when one
+        is configured (they are pure CPU over coordinator-local points,
+        so they parallelize exactly like shard contacts).  Returns the
+        re-ranked results, the stage's wall seconds, and the number of
+        candidates the bound test pruned.
+        """
+        if query_points is None:
+            raise ValueError("exact queries require query_points")
+        rerank_start = trace.now()
+        results, stats = rerank_candidates(
+            query_points,
+            candidates,
+            spec,
+            self.index.points_of,
+            map_fn=self._pool.map if self._pool is not None else None,
+        )
+        rerank_end = trace.now()
+        trace.stage(
+            "rerank",
+            rerank_start,
+            rerank_end,
+            candidates=stats.candidates,
+            pruned=stats.pruned,
+        )
+        return results, rerank_end - rerank_start, stats.pruned
 
     # ------------------------------------------------------------------
     # Micro-batched fan-out
@@ -660,8 +772,10 @@ class QueryExecutor:
         limit: int | None,
         max_distance: float,
         trace: TraceSink = NO_TRACE,
+        spec: QuerySpec | None = None,
+        query_points: Trajectory | None = None,
     ) -> tuple[list[SearchResult], ExecutionStats]:
-        pending = _Pending(prepared, limit, max_distance, trace)
+        pending = _Pending(prepared, limit, max_distance, trace, spec, query_points)
         with self._batch_lock:
             self._batch.append(pending)
             leader = not self._leader_active
@@ -761,6 +875,18 @@ class QueryExecutor:
                     item.prepared, matches, item.limit, item.max_distance
                 )
                 rank_end = sink.now()
+                rerank_s: float | None = None
+                extra_pruned = 0
+                if item.spec is not None and item.spec.is_exact:
+                    # Per-item exact refine; detail sinks keep its span,
+                    # non-detail sinks fold it into the stage totals
+                    # below, like merge/rank.
+                    rerank_sink = sink if sink.detail else NO_TRACE
+                    item.results, rerank_s, extra_pruned = self._rerank(
+                        item.results, item.spec, item.query_points, rerank_sink
+                    )
+                    if not sink.detail:
+                        rerank_s = sink.now() - rank_end
                 if sink.detail:
                     # Detail keeps one merge/rank span per query.
                     sink.stage("merge", merge_start, merge_end)
@@ -769,9 +895,11 @@ class QueryExecutor:
                     # Below detail only the per-sink totals matter, so
                     # fold them locally and record once after the loop
                     # instead of taking the trace lock per item.
-                    totals = split_s.setdefault(id(sink), [sink, 0.0, 0.0])
+                    totals = split_s.setdefault(id(sink), [sink, 0.0, 0.0, 0.0])
                     totals[1] += merge_end - merge_start
                     totals[2] += rank_end - merge_end
+                    if rerank_s is not None:
+                        totals[3] += rerank_s
                 item_plan = item.prepared.plan
                 item.stats = self._stats(
                     item.prepared,
@@ -783,15 +911,19 @@ class QueryExecutor:
                         fanout_s.get(id(sink), 0.0),
                         merge_end - merge_start,
                         rank_end - merge_end,
+                        rerank_s,
                     ),
                     hedged=sum(1 for s in item_plan if s in hedged_set),
                     failed_shards=sum(1 for s in item_plan if s in failed_set),
+                    extra_pruned=extra_pruned,
                 )
             except BaseException as exc:
                 item.error = exc
-        for sink, merge_s, rank_s in split_s.values():
+        for sink, merge_s, rank_s, rerank_total in split_s.values():
             sink.stage("merge", 0.0, merge_s)
             sink.stage("rank", 0.0, rank_s)
+            if rerank_total:
+                sink.stage("rerank", 0.0, rerank_total)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -824,6 +956,7 @@ class QueryExecutor:
         stage_ms: tuple[tuple[str, float], ...] = (),
         hedged: int = 0,
         failed_shards: int = 0,
+        extra_pruned: int = 0,
     ) -> ExecutionStats:
         fanout = self.index.fanout_stats(prepared, matches, scoring)
         pooled = self._pool is not None
@@ -838,7 +971,7 @@ class QueryExecutor:
             ),
             batch_size=batch_size,
             pooled=pooled,
-            pruned=fanout.pruned,
+            pruned=fanout.pruned + extra_pruned,
             stage_ms=stage_ms,
             hedged=hedged,
             failed_shards=failed_shards,

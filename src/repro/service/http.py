@@ -6,13 +6,18 @@ Endpoints (all JSON):
   "points": [[lat, lon], ...]}, ...]}`` (a single ``{"id", "points"}``
   object also works).  409 on duplicate identifiers.
 * ``DELETE /trajectories/{id}`` — remove one trajectory; 404 if absent.
-* ``POST /query`` — ``{"points": [[lat, lon], ...], "limit": 10,
-  "max_distance": 1.0}`` → ranked results with serving metadata.
+* ``POST /query`` — ``{"points": [[lat, lon], ...], "spec": {"mode":
+  "exact_knn", "metric": "dtw", "limit": 10, ...}}`` → ranked results
+  with serving metadata.  ``spec`` is the structured
+  :class:`~repro.core.query.QuerySpec` surface (mode / metric / limit /
+  max_distance / overfetch / band); the legacy flat ``{"limit",
+  "max_distance"}`` body still parses as an approx query but the
+  response carries a ``Deprecation: true`` header.
 * ``POST /query/batch`` — ``{"queries": [[[lat, lon], ...], ...],
-  "limit": 10, "max_distance": 1.0}`` (entries may also be
-  ``{"points": [...]}`` objects) → ``{"results": [...], "count": n}``;
-  the whole burst is fingerprinted in one columnar pass and fanned out
-  as one shared shard fetch.
+  "spec": {...}}`` (entries may also be ``{"points": [...]}`` objects;
+  legacy flat ``limit``/``max_distance`` as above) → ``{"results":
+  [...], "count": n}``; the whole burst is fingerprinted in one
+  columnar pass and fanned out as one shared shard fetch.
 * ``POST /admin/snapshot`` — write a durable v2 snapshot of the index
   under the server's ``--snapshot-dir`` (fixed at start; not
   client-controllable); returns the snapshot metadata.  The next
@@ -31,6 +36,12 @@ Endpoints (all JSON):
 
 ``POST /query`` and ``POST /query/batch`` accept ``?trace=1`` to get
 the request's span tree back under a ``"trace"`` key.
+
+Every error response is the structured shape ``{"error": {"code":
+"<machine-readable>", "message": "<human-readable>"}}`` — 400
+``bad_request``/``invalid_spec``/``exact_unsupported``, 404
+``not_found``, 409 ``conflict``, 413 ``payload_too_large``, 429
+``at_capacity``, 500 ``internal``, 503 ``not_ready``.
 
 Every request is timed into the per-endpoint latency histograms (with
 status-class counters); ``--access-log`` additionally emits one JSON
@@ -59,6 +70,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from urllib.parse import parse_qs, unquote, urlparse
 
+from ..core.query import QuerySpec
+from ..core.rerank import ExactSearchUnsupported
 from ..geo.point import Point
 from .service import IndexService
 
@@ -108,7 +121,16 @@ _UNLIMITED_PATHS = frozenset({"/healthz", "/readyz", "/metrics"})
 
 
 class _BadRequest(ValueError):
-    """Client payload failed validation (becomes a 400)."""
+    """Client payload failed validation (becomes a 400).
+
+    ``code`` is the machine-readable half of the structured error
+    payload — ``bad_request`` for generic validation failures,
+    ``invalid_spec`` when the ``spec`` object itself was rejected.
+    """
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class _Conflict(Exception):
@@ -117,6 +139,11 @@ class _Conflict(Exception):
 
 class _PayloadTooLarge(Exception):
     """Declared body exceeds MAX_BODY_BYTES (becomes a 413)."""
+
+
+def _error(code: str, message: str) -> dict:
+    """The structured error payload every endpoint returns."""
+    return {"error": {"code": code, "message": message}}
 
 
 def _is_number(value: object) -> bool:
@@ -209,27 +236,30 @@ class _Handler(BaseHTTPRequestHandler):
                 self.server.service.metrics.record_shed()
                 self._send(
                     429,
-                    {"error": "server at capacity, retry shortly"},
+                    _error("at_capacity", "server at capacity, retry shortly"),
                     extra_headers={"Retry-After": "1"},
                 )
                 return
             route(parsed.path)
         except _BadRequest as exc:
             self.server.service.metrics.record_error()
-            self._send(400, {"error": str(exc)})
+            self._send(400, _error(exc.code, str(exc)))
+        except ExactSearchUnsupported as exc:
+            self.server.service.metrics.record_error()
+            self._send(400, _error("exact_unsupported", str(exc)))
         except _Conflict as exc:
             self.server.service.metrics.record_error()
-            self._send(409, {"error": str(exc)})
+            self._send(409, _error("conflict", str(exc)))
         except _PayloadTooLarge as exc:
             self.server.service.metrics.record_error()
             self.close_connection = True  # body was not drained
-            self._send(413, {"error": str(exc)})
+            self._send(413, _error("payload_too_large", str(exc)))
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self.server.service.metrics.record_error()
             # After an unexpected failure (e.g. a timeout mid-body) the
             # request stream state is unknown; don't reuse the connection.
             self.close_connection = True
-            self._send(500, {"error": f"internal error: {exc}"})
+            self._send(500, _error("internal", f"internal error: {exc}"))
         finally:
             if admitted:
                 self.server.end_request()
@@ -287,7 +317,16 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
             else:
-                self._send(503, {"status": "starting"})
+                # "status" rides along for probe scripts that only look
+                # at the readiness phase; the structured error is the
+                # uniform contract.
+                self._send(
+                    503,
+                    {
+                        "status": "starting",
+                        **_error("not_ready", "service is starting"),
+                    },
+                )
         elif path == "/stats":
             self._send(200, service.stats())
         elif path == "/metrics":
@@ -302,7 +341,7 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send(200, {"enabled": True, **service.slow_log.as_dict()})
         else:
-            self._send(404, {"error": f"unknown path {path!r}"})
+            self._send(404, _error("not_found", f"unknown path {path!r}"))
 
     def _route_post(self, path: str) -> None:
         if path == "/trajectories":
@@ -314,19 +353,24 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/admin/snapshot":
             self._handle_snapshot()
         else:
-            self._send(404, {"error": f"unknown path {path!r}"})
+            self._send(404, _error("not_found", f"unknown path {path!r}"))
 
     def _route_delete(self, path: str) -> None:
         prefix = "/trajectories/"
         if not path.startswith(prefix) or path == prefix:
-            self._send(404, {"error": f"unknown path {path!r}"})
+            self._send(404, _error("not_found", f"unknown path {path!r}"))
             return
         trajectory_id = unquote(path[len(prefix):])
         try:
             generation = self.server.service.delete(trajectory_id)
         except KeyError:
             self.server.service.metrics.record_error()
-            self._send(404, {"error": f"trajectory {trajectory_id!r} not indexed"})
+            self._send(
+                404,
+                _error(
+                    "not_found", f"trajectory {trajectory_id!r} not indexed"
+                ),
+            )
             return
         self._send(200, {"deleted": trajectory_id, "generation": generation})
 
@@ -345,7 +389,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     @staticmethod
     def _query_params(payload: dict) -> tuple[int | None, float]:
-        """Validate the shared ``limit``/``max_distance`` parameters."""
+        """Validate the legacy flat ``limit``/``max_distance`` pair."""
         limit = payload.get("limit")
         if limit is not None and (
             isinstance(limit, bool) or not isinstance(limit, int) or limit < 1
@@ -356,18 +400,50 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest("'max_distance' must be in [0, 1]")
         return limit, float(max_distance)
 
+    @classmethod
+    def _parse_spec(cls, payload: dict) -> tuple[QuerySpec, bool]:
+        """The request's :class:`QuerySpec`, plus whether it was legacy.
+
+        ``{"spec": {...}}`` is the structured surface (validated by
+        :meth:`QuerySpec.from_json`; mixing it with the flat top-level
+        ``limit``/``max_distance`` keys is rejected — two sources of
+        truth would silently disagree).  A body without ``spec`` parses
+        the legacy flat shape into an approx spec; the second return
+        value tells the handler to stamp the response with a
+        ``Deprecation: true`` header when the flat keys were actually
+        used.
+        """
+        if "spec" in payload:
+            if "limit" in payload or "max_distance" in payload:
+                raise _BadRequest(
+                    "'spec' cannot be combined with the legacy top-level "
+                    "'limit'/'max_distance' keys",
+                    code="invalid_spec",
+                )
+            try:
+                return QuerySpec.from_json(payload["spec"]), False
+            except ValueError as exc:
+                raise _BadRequest(str(exc), code="invalid_spec") from exc
+        limit, max_distance = cls._query_params(payload)
+        deprecated = "limit" in payload or "max_distance" in payload
+        return QuerySpec(limit=limit, max_distance=max_distance), deprecated
+
     def _handle_query(self) -> None:
         payload = self._read_json()
         if not isinstance(payload, dict):
             raise _BadRequest("body must be a JSON object")
         points = _parse_points(payload.get("points"))
-        limit, max_distance = self._query_params(payload)
+        spec, deprecated = self._parse_spec(payload)
         response = self.server.service.query(
-            points, limit, max_distance, trace=self._flag("trace")
+            points, trace=self._flag("trace"), spec=spec
         )
         if response.trace is not None:
             self._trace_id = response.trace.get("trace_id")
-        self._send(200, response.as_dict())
+        self._send(
+            200,
+            response.as_dict(),
+            extra_headers={"Deprecation": "true"} if deprecated else None,
+        )
 
     def _handle_query_batch(self) -> None:
         payload = self._read_json()
@@ -387,9 +463,9 @@ class _Handler(BaseHTTPRequestHandler):
                 queries.append(_parse_points(entry.get("points")))
             else:
                 queries.append(_parse_points(entry))
-        limit, max_distance = self._query_params(payload)
+        spec, deprecated = self._parse_spec(payload)
         responses = self.server.service.query_many(
-            queries, limit, max_distance, trace=self._flag("trace")
+            queries, trace=self._flag("trace"), spec=spec
         )
         # One trace covers the whole burst; the service attaches it to
         # the first response — lift it to a top-level key here.
@@ -399,7 +475,11 @@ class _Handler(BaseHTTPRequestHandler):
         if trace_payload is not None:
             self._trace_id = trace_payload.get("trace_id")
             body["trace"] = trace_payload
-        self._send(200, body)
+        self._send(
+            200,
+            body,
+            extra_headers={"Deprecation": "true"} if deprecated else None,
+        )
 
     def _handle_snapshot(self) -> None:
         # The target directory is fixed at server start (--snapshot-dir)

@@ -17,7 +17,8 @@ the registry lock on every ``/stats`` call.
 
 The registry keeps one whole-request histogram (the headline
 p50/p95/p99), one histogram per HTTP endpoint, one per query pipeline
-stage (``prepare`` / ``fanout`` / ``merge`` / ``rank``), request
+stage (``prepare`` / ``fanout`` / ``merge`` / ``rank`` / ``rerank``),
+request
 counters by endpoint and status class, and the qps sliding window.
 Every recording method takes one lock for a handful of scalar updates;
 ``enabled=False`` turns each into an immediate return so benchmarks can
@@ -620,7 +621,7 @@ def prometheus_text(
     name = "geodabs_stage_latency_seconds"
     lines.append(
         f"# HELP {name} Query pipeline stage latency "
-        "(prepare/fanout/merge/rank)."
+        "(prepare/fanout/merge/rank/rerank)."
     )
     lines.append(f"# TYPE {name} histogram")
     for stage, state in export["stages"].items():

@@ -9,9 +9,10 @@ application) talks to.  It owns:
 * a monotonically increasing *generation counter*, bumped by every
   write, which tags (and therefore invalidates) cached query results;
 * an :class:`~repro.service.cache.LRUCache` of query results keyed by
-  ``(terms digest, limit, max_distance)`` plus a second cache of query
-  fingerprints keyed by the raw points, so repeated queries skip both
-  winnowing and shard fan-out;
+  the terms digest plus every :class:`~repro.core.query.QuerySpec`
+  field that changes the answer (and, for exact modes, the raw-points
+  digest), plus a second cache of query fingerprints keyed by the raw
+  points, so repeated queries skip both winnowing and shard fan-out;
 * an optional :class:`~repro.service.executor.QueryExecutor` that fans
   shard lookups out over a worker pool;
 * a :class:`~repro.service.metrics.ServiceMetrics` registry surfaced by
@@ -49,7 +50,8 @@ from ..cluster.cluster import ShardedGeodabIndex
 from ..cluster.stats import request_balance
 from ..core.index import GeodabIndex, SearchResult
 from ..core.persistence import prune_snapshots, publish_snapshot
-from ..core.query import NO_TRACE, TraceSink
+from ..core.query import NO_TRACE, QuerySpec, TraceSink
+from ..core.rerank import ExactSearchUnsupported
 from ..geo.point import Point, Trajectory
 from .cache import LRUCache, MISS, digest_points, digest_terms
 from .executor import QueryExecutor
@@ -277,8 +279,17 @@ class IndexService:
         limit: int | None = None,
         max_distance: float = 1.0,
         trace: bool = False,
+        *,
+        spec: QuerySpec | None = None,
     ) -> QueryResponse:
         """Serve one similarity query.
+
+        ``spec`` is the structured surface: an ``approx`` spec is the
+        fingerprint Jaccard ranking, an exact-mode spec routes through
+        the tiered pipeline (Jaccard retrieve, exact DTW/Fréchet
+        re-rank).  The flat ``limit``/``max_distance`` pair remains as
+        the legacy approx shorthand and is ignored when ``spec`` is
+        given.
 
         ``trace=True`` (the ``POST /query?trace=1`` contract) returns
         the request's span tree in ``QueryResponse.trace``; otherwise a
@@ -287,6 +298,9 @@ class IndexService:
         (``trace_sample``), but the response carries none.
         """
         start = perf_counter()
+        if spec is None:
+            spec = QuerySpec(limit=limit, max_distance=max_distance)
+        self._check_spec(spec)
         tracer = self._open_trace(trace)
         sink: TraceSink = tracer if tracer is not None else NO_TRACE
         # Fingerprints depend only on the pipeline configuration, never
@@ -305,8 +319,17 @@ class IndexService:
             prepared = self.index.prepare_query(points)
         sink.stage("prepare", prepare_start, sink.now())
         caching = self.result_cache.capacity > 0
+        # The key carries every spec field that changes the answer
+        # (mode/metric/overfetch/band included — an exact_knn answer
+        # must never be served for an approx probe of the same terms)
+        # and, for exact modes, the raw-points digest: two queries can
+        # share a fingerprint yet have different exact distances.
         cache_key = (
-            (digest_terms(prepared.terms), limit, max_distance)
+            (
+                digest_terms(prepared.terms),
+                digest_points(points) if spec.is_exact else None,
+                spec.cache_key(),
+            )
             if caching
             else None
         )
@@ -330,7 +353,7 @@ class IndexService:
             if hit is MISS:
                 (
                     results, candidates, shards, pruned, width, batch, degraded,
-                ) = self._execute(prepared, limit, max_distance, sink)
+                ) = self._execute(prepared, spec, points, sink)
                 # A degraded answer (a shard contributed nothing) must
                 # not be cached: the next attempt may have the shard
                 # back and would otherwise keep serving the hole until
@@ -385,6 +408,8 @@ class IndexService:
         limit: int | None = None,
         max_distance: float = 1.0,
         trace: bool = False,
+        *,
+        spec: QuerySpec | None = None,
     ) -> list[QueryResponse]:
         """Serve a burst of similarity queries as one columnar batch.
 
@@ -402,6 +427,9 @@ class IndexService:
         response.
         """
         start = perf_counter()
+        if spec is None:
+            spec = QuerySpec(limit=limit, max_distance=max_distance)
+        self._check_spec(spec)
         queries = [list(points) for points in queries]
         total = len(queries)
         if total == 0:
@@ -430,11 +458,27 @@ class IndexService:
             prepared_list = self.index.prepare_query_many(queries)
         sink.stage("prepare", prepare_start, sink.now(), queries=total)
         caching = self.result_cache.capacity > 0
+        # Same completeness rule as the single-query path: the key
+        # carries the full spec, plus per-query points digests for
+        # exact modes (reusing the fingerprint-cache digests when they
+        # were already computed).
+        if caching and spec.is_exact:
+            point_digests = (
+                keys
+                if self.fingerprint_cache.capacity > 0
+                else [digest_points(points) for points in queries]
+            )
+        else:
+            point_digests = None
         cache_keys = [
-            (digest_terms(prepared.terms), limit, max_distance)
+            (
+                digest_terms(prepared.terms),
+                point_digests[position] if point_digests is not None else None,
+                spec.cache_key(),
+            )
             if caching
             else None
-            for prepared in prepared_list
+            for position, prepared in enumerate(prepared_list)
         ]
         payloads: list = [None] * total
         cached_flags = [False] * total
@@ -470,7 +514,13 @@ class IndexService:
                 if self.executor is not None:
                     executed = self.executor.execute_prepared_many(
                         [
-                            (prepared_list[position], limit, max_distance)
+                            (
+                                prepared_list[position],
+                                limit,
+                                max_distance,
+                                spec,
+                                queries[position],
+                            )
                             for position in unique_run
                         ],
                         trace=sink,
@@ -495,7 +545,8 @@ class IndexService:
                     for position in unique_run:
                         results, fanout = self.index.query_prepared(
                             prepared_list[position], limit, max_distance,
-                            trace=sink,
+                            trace=sink, spec=spec,
+                            query_points=queries[position],
                         )
                         fresh_payloads.append(
                             (
@@ -698,11 +749,20 @@ class IndexService:
         self._last_snapshot = info
         return info
 
-    def _execute(self, prepared, limit, max_distance, trace=NO_TRACE):
+    def _check_spec(self, spec: QuerySpec) -> None:
+        """Reject exact specs the served index cannot answer, up front."""
+        if spec.is_exact and not getattr(self.index, "store_points", False):
+            raise ExactSearchUnsupported(
+                "exact queries need stored trajectories; this index was "
+                "built (or warm-started from a snapshot) with "
+                "store_points=False"
+            )
+
+    def _execute(self, prepared, spec, query_points, trace=NO_TRACE):
         """One backend-agnostic execution of a prepared query."""
         if self.executor is not None:
             results, stats = self.executor.execute_prepared(
-                prepared, limit, max_distance, trace
+                prepared, trace=trace, spec=spec, query_points=query_points
             )
             return (
                 tuple(results),
@@ -714,7 +774,7 @@ class IndexService:
                 stats.degraded,
             )
         results, fanout = self.index.query_prepared(
-            prepared, limit, max_distance, trace=trace
+            prepared, trace=trace, spec=spec, query_points=query_points
         )
         return (
             tuple(results),

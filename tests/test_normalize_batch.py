@@ -214,3 +214,70 @@ class TestPointBatch:
             PointBatch.from_arrays(
                 np.array([math.nan]), np.array([0.0]), np.array([0, 1])
             )
+
+
+class TestBatchUniformResampler:
+    """Tolerance-equivalence of the vectorized uniform resampler.
+
+    Unlike the discrete stages above, the resampler's cumulative-length
+    formulation reassociates the scalar path's repeated subtraction, so
+    the contract is ``math.isclose`` at 1e-9 — not bit identity.
+    """
+
+    @staticmethod
+    def city_trajectories():
+        # A ~2 km box keeps sample counts small enough that the O(n^2)
+        # scalar reference stays fast.
+        point = st.builds(
+            Point,
+            st.floats(min_value=51.50, max_value=51.52, allow_nan=False),
+            st.floats(min_value=-0.13, max_value=-0.11, allow_nan=False),
+        )
+        return st.lists(point, min_size=0, max_size=12)
+
+    @given(
+        st.lists(city_trajectories(), min_size=0, max_size=6),
+        st.sampled_from([100.0, 350.0, 1000.0]),
+    )
+    def test_matches_scalar_within_tolerance(self, batch, step):
+        from repro.normalize import BatchUniformResampler, UniformResampler
+
+        scalar = UniformResampler(step)
+        got = BatchUniformResampler(step)(
+            PointBatch.from_trajectories(batch)
+        ).to_trajectories()
+        assert len(got) == len(batch)
+        for trajectory, out in zip(batch, got):
+            want = scalar(trajectory)
+            assert len(out) == len(want)
+            for theirs, ours in zip(want, out):
+                assert math.isclose(
+                    theirs.lat, ours.lat, rel_tol=1e-9, abs_tol=1e-9
+                )
+                assert math.isclose(
+                    theirs.lon, ours.lon, rel_tol=1e-9, abs_tol=1e-9
+                )
+
+    def test_vectorize_maps_uniform_resampler(self):
+        from repro.normalize import BatchUniformResampler, UniformResampler
+
+        vectorized = vectorize_normalizer(UniformResampler(50.0))
+        assert isinstance(vectorized, BatchUniformResampler)
+        assert vectorized.step_m == 50.0
+        pipeline = vectorize_normalizer(
+            compose(UniformResampler(120.0), GridNormalizer(36))
+        )
+        assert isinstance(pipeline, BatchPipeline)
+
+    def test_identical_points_collapse_to_first(self):
+        from repro.normalize import BatchUniformResampler
+
+        batch = PointBatch.from_trajectories([[Point(10.0, 10.0)] * 5])
+        out = BatchUniformResampler(25.0)(batch).to_trajectories()
+        assert out == [[Point(10.0, 10.0)]]
+
+    def test_invalid_step_rejected(self):
+        from repro.normalize import BatchUniformResampler
+
+        with pytest.raises(ValueError):
+            BatchUniformResampler(0.0)

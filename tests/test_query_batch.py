@@ -303,4 +303,4 @@ class TestQueryBatchEndpoint:
             loaded_server.url, "POST", "/query/batch", {"queries": queries}
         )
         assert status == 400
-        assert "exceeds" in payload["error"]
+        assert "exceeds" in payload["error"]["message"]

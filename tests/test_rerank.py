@@ -1,0 +1,368 @@
+"""Tests for the tiered exact search: QuerySpec, re-rank, full pipeline.
+
+The load-bearing property: pruning in :func:`rerank_candidates` never
+changes the answer — over any candidate set the re-rank returns exactly
+what the brute-force oracle :func:`exact_search` returns over the same
+items (ids, order, and distances within the ``math.isclose`` 1e-9
+regime).  On top of that, the full tiered pipeline (Jaccard retrieve →
+exact re-rank) is checked for identity with the oracle over a road-
+network corpus, on both the single-node and the sharded backend.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.index import GeodabIndex
+from repro.core.query import QuerySpec
+from repro.core.rerank import (
+    ExactSearchUnsupported,
+    _lower_bound,
+    _upper_bound,
+    exact_distance,
+    exact_search,
+    rerank_candidates,
+)
+from repro.core.scoring import SearchResult
+from repro.geo.point import Point
+from repro.normalize import standard_normalizer
+
+from .conftest import city_points
+
+
+def trajectories(min_size: int = 1, max_size: int = 6):
+    return st.lists(city_points(), min_size=min_size, max_size=max_size)
+
+
+def city(seed: str) -> Point:
+    """A deterministic in-city point derived from a string seed."""
+    offset = (sum(map(ord, seed)) % 1000) / 1e5
+    return Point(51.50 + offset, -0.12 + offset)
+
+
+#: One spec per (mode, metric, band) corner the re-rank must serve.
+EXACT_SPECS = [
+    QuerySpec(mode="exact_knn", metric="dtw", limit=3),
+    QuerySpec(mode="exact_knn", metric="dtw", limit=3, band=2),
+    QuerySpec(mode="exact_knn", metric="frechet", limit=3),
+    QuerySpec(mode="exact_range", metric="dtw", max_distance=5_000.0),
+    QuerySpec(mode="exact_range", metric="frechet", max_distance=5_000.0),
+]
+
+
+def assert_same_results(got, want):
+    assert [r.trajectory_id for r in got] == [r.trajectory_id for r in want]
+    for g, w in zip(got, want):
+        assert math.isclose(g.distance, w.distance, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestQuerySpecValidation:
+    def test_defaults_are_approx_jaccard(self):
+        spec = QuerySpec()
+        assert spec.mode == "approx"
+        assert spec.metric == "jaccard"
+        assert spec.max_distance == 1.0
+        assert not spec.is_exact
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "fuzzy"},
+            {"metric": "euclid"},
+            {"metric": "dtw"},  # approx supports only jaccard
+            {"mode": "exact_knn", "limit": 3},  # needs dtw/frechet
+            {"mode": "exact_knn", "metric": "dtw"},  # needs limit
+            {"mode": "exact_knn", "metric": "dtw", "limit": 0},
+            {"mode": "exact_knn", "metric": "dtw", "limit": True},
+            {"mode": "exact_knn", "metric": "dtw", "limit": "3"},
+            # exact_knn takes no radius
+            {"mode": "exact_knn", "metric": "dtw", "limit": 3, "max_distance": 9.0},
+            {"mode": "exact_range", "metric": "dtw"},  # needs radius
+            {"mode": "exact_range", "metric": "dtw", "max_distance": -1.0},
+            {"max_distance": 1.5},  # approx cutoff is a Jaccard in [0, 1]
+            {"max_distance": "half"},
+            {"mode": "exact_knn", "metric": "dtw", "limit": 3, "overfetch": 0},
+            {"mode": "exact_knn", "metric": "dtw", "limit": 3, "band": -1},
+            {"mode": "exact_knn", "metric": "dtw", "limit": 3, "band": True},
+            # band is a dtw knob
+            {"mode": "exact_knn", "metric": "frechet", "limit": 3, "band": 2},
+        ],
+    )
+    def test_invalid_combinations(self, kwargs):
+        with pytest.raises(ValueError):
+            QuerySpec(**kwargs)
+
+    def test_tier1_overfetches_for_exact_knn(self):
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=3, overfetch=5)
+        assert spec.is_exact
+        assert spec.tier1_limit == 15
+        assert spec.tier1_max_distance == 1.0
+
+    def test_tier1_passthrough_for_approx(self):
+        spec = QuerySpec(limit=7, max_distance=0.4)
+        assert spec.tier1_limit == 7
+        assert spec.tier1_max_distance == 0.4
+
+    def test_exact_range_without_limit_keeps_every_candidate(self):
+        spec = QuerySpec(mode="exact_range", metric="frechet", max_distance=10.0)
+        assert spec.tier1_limit is None
+
+    def test_cache_key_separates_answer_changing_fields(self):
+        base = QuerySpec(mode="exact_knn", metric="dtw", limit=3)
+        variants = [
+            QuerySpec(limit=3),
+            QuerySpec(mode="exact_knn", metric="frechet", limit=3),
+            QuerySpec(mode="exact_knn", metric="dtw", limit=4),
+            QuerySpec(mode="exact_knn", metric="dtw", limit=3, overfetch=8),
+            QuerySpec(mode="exact_knn", metric="dtw", limit=3, band=2),
+            QuerySpec(mode="exact_range", metric="dtw", max_distance=3.0),
+        ]
+        keys = {spec.cache_key() for spec in variants}
+        assert len(keys) == len(variants)
+        assert base.cache_key() not in keys
+
+
+class TestQuerySpecWireFormat:
+    @pytest.mark.parametrize(
+        "spec",
+        [QuerySpec(), QuerySpec(limit=5, max_distance=0.3), *EXACT_SPECS],
+    )
+    def test_round_trip(self, spec):
+        assert QuerySpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            QuerySpec.from_json({"mode": "approx", "limti": 3})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            QuerySpec.from_json([1, 2])
+
+    def test_non_string_mode_rejected(self):
+        with pytest.raises(ValueError, match="'mode' must be a string"):
+            QuerySpec.from_json({"mode": 3})
+
+    def test_explicit_nulls_mean_defaults(self):
+        spec = QuerySpec.from_json({"limit": None, "band": None})
+        assert spec == QuerySpec()
+
+
+class TestBounds:
+    """lb/ub must bracket the exact distance — pruning soundness."""
+
+    @given(trajectories(), trajectories())
+    def test_dtw_bounds_bracket_exact(self, p, q):
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=1)
+        distance = exact_distance(p, q, spec)
+        assert _lower_bound(p, q, spec) <= distance * (1 + 1e-9) + 1e-9
+        assert distance <= _upper_bound(p, q, spec) * (1 + 1e-9) + 1e-9
+
+    @given(trajectories(), trajectories(), st.integers(min_value=0, max_value=3))
+    def test_banded_dtw_bounds_bracket_exact(self, p, q, band):
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=1, band=band)
+        distance = exact_distance(p, q, spec)
+        assert math.isfinite(distance)  # band widening guarantees a path
+        assert _lower_bound(p, q, spec) <= distance * (1 + 1e-9) + 1e-9
+        assert distance <= _upper_bound(p, q, spec) * (1 + 1e-9) + 1e-9
+
+    @given(trajectories(), trajectories())
+    def test_frechet_bounds_bracket_exact(self, p, q):
+        spec = QuerySpec(mode="exact_knn", metric="frechet", limit=1)
+        distance = exact_distance(p, q, spec)
+        assert _lower_bound(p, q, spec) <= distance * (1 + 1e-9) + 1e-9
+        assert distance <= _upper_bound(p, q, spec) * (1 + 1e-9) + 1e-9
+
+
+class TestRerankMatchesOracle:
+    """Over any candidate set, re-rank == brute force (the tentpole)."""
+
+    @given(st.data())
+    def test_identity_over_candidate_sets(self, data):
+        corpus = data.draw(
+            st.lists(trajectories(), min_size=2, max_size=10), label="corpus"
+        )
+        query = data.draw(trajectories(), label="query")
+        items = [(f"t{i}", points) for i, points in enumerate(corpus)]
+        lookup = dict(items)
+        candidates = [SearchResult(tid, 0.5, 1) for tid, _ in items]
+        for spec in EXACT_SPECS:
+            got, stats = rerank_candidates(
+                query, candidates, spec, lookup.__getitem__
+            )
+            assert_same_results(got, exact_search(query, items, spec))
+            assert stats.candidates == len(items)
+            assert stats.computed + stats.pruned == len(items)
+
+    def test_rerank_keeps_tier1_shared_terms(self):
+        items = [("a", [city("a")]), ("b", [city("b")])]
+        lookup = dict(items)
+        candidates = [SearchResult("a", 0.5, 7), SearchResult("b", 0.25, 9)]
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=2)
+        got, _ = rerank_candidates(
+            [city("q")], candidates, spec, lookup.__getitem__
+        )
+        assert {r.trajectory_id: r.shared_terms for r in got} == {"a": 7, "b": 9}
+
+    def test_empty_query_rejected(self):
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=1)
+        with pytest.raises(ValueError, match="non-empty"):
+            rerank_candidates([], [], spec, lambda _tid: [])
+
+    def test_empty_candidates(self):
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=3)
+        got, stats = rerank_candidates(
+            [city("q")], [], spec, lambda _tid: []
+        )
+        assert got == []
+        assert (stats.candidates, stats.computed, stats.pruned) == (0, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Full pipeline: Jaccard retrieve -> exact re-rank, vs the oracle
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def corpus(small_dataset):
+    return [(r.trajectory_id, list(r.points)) for r in small_dataset.records]
+
+
+@pytest.fixture(scope="module")
+def exact_single(corpus):
+    index = GeodabIndex(normalizer=standard_normalizer(), store_points=True)
+    index.add_many(corpus)
+    return index
+
+
+@pytest.fixture(scope="module")
+def exact_sharded(corpus):
+    index = ShardedGeodabIndex(
+        sharding=ShardingConfig(num_shards=4, num_nodes=2),
+        normalizer=standard_normalizer(),
+        store_points=True,
+    )
+    index.add_many(corpus)
+    return index
+
+
+class TestTieredPipeline:
+    @pytest.mark.parametrize("metric", ["dtw", "frechet"])
+    def test_single_node_exact_knn_matches_oracle(
+        self, exact_single, corpus, small_dataset, metric
+    ):
+        spec = QuerySpec(mode="exact_knn", metric=metric, limit=3)
+        for query in small_dataset.queries:
+            got = exact_single.query(list(query.points), spec=spec)
+            want = exact_search(list(query.points), corpus, spec)
+            assert_same_results(got, want)
+
+    @pytest.mark.parametrize("metric", ["dtw", "frechet"])
+    def test_sharded_exact_knn_matches_oracle(
+        self, exact_sharded, corpus, small_dataset, metric
+    ):
+        spec = QuerySpec(mode="exact_knn", metric=metric, limit=3)
+        for query in small_dataset.queries:
+            points = list(query.points)
+            got, stats = exact_sharded.query_prepared(
+                exact_sharded.prepare_query(points), spec=spec, query_points=points
+            )
+            want = exact_search(points, corpus, spec)
+            assert_same_results(got, want)
+            assert stats.candidates >= len(got)
+            assert exact_sharded.query(points, spec=spec) == got
+
+    def test_banded_dtw_pipeline(self, exact_single, corpus, small_dataset):
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=3, band=8)
+        query = list(small_dataset.queries[0].points)
+        got = exact_single.query(query, spec=spec)
+        assert_same_results(got, exact_search(query, corpus, spec))
+
+    def test_exact_range_radius_is_meters(
+        self, exact_single, corpus, small_dataset
+    ):
+        query = list(small_dataset.queries[0].points)
+        knn = QuerySpec(mode="exact_knn", metric="frechet", limit=1)
+        nearest = exact_single.query(query, spec=knn)[0]
+        radius = nearest.distance * 1.5
+        spec = QuerySpec(mode="exact_range", metric="frechet", max_distance=radius)
+        got = exact_single.query(query, spec=spec)
+        want = exact_search(query, corpus, spec)
+        assert_same_results(got, want)
+        assert all(r.distance <= radius for r in got)
+        assert nearest.trajectory_id in {r.trajectory_id for r in got}
+
+    def test_approx_spec_keeps_jaccard_distances(
+        self, exact_single, small_dataset
+    ):
+        query = list(small_dataset.queries[0].points)
+        got = exact_single.query(query, spec=QuerySpec(limit=5))
+        assert got == exact_single.query(query, 5)
+        assert all(0.0 <= r.distance <= 1.0 for r in got)
+
+    def test_exact_needs_stored_points_single(self, corpus, small_dataset):
+        index = GeodabIndex(normalizer=standard_normalizer())
+        index.add_many(corpus)
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=3)
+        with pytest.raises(ExactSearchUnsupported):
+            index.query(list(small_dataset.queries[0].points), spec=spec)
+
+    def test_exact_needs_stored_points_sharded(self, corpus, small_dataset):
+        index = ShardedGeodabIndex(normalizer=standard_normalizer())
+        index.add_many(corpus)
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=3)
+        with pytest.raises(ExactSearchUnsupported):
+            index.query(list(small_dataset.queries[0].points), spec=spec)
+
+    def test_result_cache_never_crosses_specs(self, corpus, small_dataset):
+        # Regression: the result-cache key must include every QuerySpec
+        # field that changes the answer — an exact_knn answer (meters)
+        # must never be served for an approx query (Jaccard in [0, 1]),
+        # or for an exact query under a different metric.
+        from repro.service import IndexService
+
+        index = GeodabIndex(normalizer=standard_normalizer(), store_points=True)
+        service = IndexService(index)
+        service.ingest(corpus)
+        points = list(small_dataset.queries[0].points)
+
+        exact = QuerySpec(mode="exact_knn", metric="dtw", limit=3)
+        first = service.query(points, spec=exact)
+        assert first.cached is False
+        assert all(r.distance > 1.0 for r in first.results)  # meters
+
+        approx = service.query(points, spec=QuerySpec(limit=3))
+        assert approx.cached is False  # same points, different spec
+        assert all(0.0 <= r.distance <= 1.0 for r in approx.results)
+
+        frechet = service.query(
+            points, spec=QuerySpec(mode="exact_knn", metric="frechet", limit=3)
+        )
+        assert frechet.cached is False
+        assert [r.distance for r in frechet.results] != [
+            r.distance for r in first.results
+        ]
+
+        repeat = service.query(points, spec=exact)
+        assert repeat.cached is True
+        assert repeat.results == first.results
+        service.close()
+
+    def test_removal_reflected_in_exact_results(self, corpus, small_dataset):
+        index = GeodabIndex(normalizer=standard_normalizer(), store_points=True)
+        index.add_many(corpus)
+        spec = QuerySpec(mode="exact_knn", metric="dtw", limit=3)
+        query = list(small_dataset.queries[0].points)
+        victim = index.query(query, spec=spec)[0].trajectory_id
+        index.remove(victim)
+        survivors = [(tid, pts) for tid, pts in corpus if tid != victim]
+        got = index.query(query, spec=spec)
+        assert victim not in {r.trajectory_id for r in got}
+        # The retrieval tier can only surface trajectories sharing at
+        # least one fingerprint term; after the removal only two such
+        # neighbours remain, so the tiered answer is the oracle's
+        # prefix (identical ids, order, and distances as far as it goes).
+        assert len(got) == 2
+        assert_same_results(got, exact_search(query, survivors, spec)[: len(got)])

@@ -26,6 +26,20 @@ def call(base, method, path, payload=None):
         return error.code, json.loads(error.read())
 
 
+def call_full(base, method, path, payload=None):
+    """Like :func:`call` but also returns the response headers."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
 def as_wire(points):
     return [[p.lat, p.lon] for p in points]
 
@@ -363,7 +377,7 @@ class TestAdminSnapshot:
         try:
             status, payload = call(server.url, "POST", "/admin/snapshot")
             assert status == 400
-            assert "snapshot directory" in payload["error"]
+            assert "snapshot directory" in payload["error"]["message"]
         finally:
             server.shutdown()
             service.close()
@@ -429,7 +443,8 @@ class TestReadyz:
         try:
             status, payload = call(server.url, "GET", "/readyz")
             assert status == 503
-            assert payload == {"status": "starting"}
+            assert payload["status"] == "starting"
+            assert payload["error"]["code"] == "not_ready"
             # Liveness is independent of readiness.
             assert call(server.url, "GET", "/healthz")[0] == 200
             server.mark_ready()
@@ -568,12 +583,13 @@ class TestSlowlogEndpoint:
             service.close()
 
 
-def _access_lines(caplog):
-    """Access-log lines seen so far, waiting out the server thread.
+def _access_lines(caplog, path):
+    """Access-log lines for ``path``, waiting out the server thread.
 
     The line is emitted after the response bytes are flushed, so the
     client can observe the response before the server thread logs —
-    poll briefly instead of racing it.
+    poll until the line for the request under test shows up instead of
+    racing it (earlier requests' lines may already sit in ``caplog``).
     """
     import time
 
@@ -584,8 +600,9 @@ def _access_lines(caplog):
             for record in caplog.records
             if record.name == "repro.service.access"
         ]
-        if lines:
-            return lines
+        matching = [line for line in lines if line["path"] == path]
+        if matching:
+            return matching
         time.sleep(0.01)
     return []
 
@@ -601,7 +618,7 @@ class TestAccessLog:
                 logging.INFO, logger="repro.service.access"
             ):
                 call(server.url, "GET", "/healthz")
-                lines = _access_lines(caplog)
+                lines = _access_lines(caplog, "/healthz")
             assert lines
             line = lines[-1]
             assert line["method"] == "GET"
@@ -633,7 +650,7 @@ class TestAccessLog:
                     server.url, "POST", "/query?trace=1",
                     {"points": as_wire(small_dataset.queries[0].points)},
                 )
-                lines = _access_lines(caplog)
+                lines = _access_lines(caplog, "/query?trace=1")
             assert lines
             assert lines[-1]["trace_id"] == payload["trace"]["trace_id"]
         finally:
@@ -694,8 +711,16 @@ class TestAdmissionControl:
         assert server.inflight == 0
 
     def test_under_cap_serves_normally(self, capped_server):
+        import time
+
         status, _ = call(capped_server.url, "GET", "/stats")
         assert status == 200
+        # The slot is released in the handler's ``finally`` after the
+        # response bytes are flushed, so the client can observe the
+        # response before the server thread decrements — poll briefly.
+        deadline = time.time() + 5.0
+        while capped_server.inflight != 0 and time.time() < deadline:
+            time.sleep(0.01)
         assert capped_server.inflight == 0
 
     def test_shed_at_capacity_with_retry_after(self, capped_server):
@@ -711,7 +736,8 @@ class TestAdmissionControl:
             assert excinfo.value.code == 429
             assert excinfo.value.headers["Retry-After"] == "1"
             body = json.loads(excinfo.value.read())
-            assert "capacity" in body["error"]
+            assert body["error"]["code"] == "at_capacity"
+            assert "capacity" in body["error"]["message"]
         finally:
             capped_server.end_request()
             capped_server.end_request()
@@ -879,3 +905,128 @@ class TestGracefulShutdown:
         assert service._maintenance_thread is None
         for proc in procs:
             assert proc.poll() is not None  # reaped, not orphaned
+
+
+@pytest.fixture()
+def exact_server(small_dataset):
+    """A server whose index retains raw points for exact re-ranking."""
+    from repro.normalize import standard_normalizer
+
+    index = GeodabIndex(normalizer=standard_normalizer(), store_points=True)
+    service = IndexService(index)
+    service.ingest((r.trajectory_id, r.points) for r in small_dataset.records)
+    server = start_server(service)
+    yield server
+    server.shutdown()
+    service.close()
+
+
+class TestQuerySpecAPI:
+    """The structured spec surface of /query and /query/batch."""
+
+    def test_spec_body_runs_exact_knn(self, exact_server, small_dataset):
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload, headers = call_full(
+            exact_server.url, "POST", "/query",
+            {"points": points,
+             "spec": {"mode": "exact_knn", "metric": "dtw", "limit": 3}},
+        )
+        assert status == 200
+        assert headers.get("Deprecation") is None
+        assert 0 < len(payload["results"]) <= 3
+        # Exact distances are meters, not Jaccard values in [0, 1].
+        assert all(hit["distance"] > 1.0 for hit in payload["results"])
+
+    def test_spec_body_approx_matches_legacy(self, exact_server, small_dataset):
+        points = as_wire(small_dataset.queries[0].points)
+        _, via_spec, _ = call_full(
+            exact_server.url, "POST", "/query",
+            {"points": points, "spec": {"mode": "approx", "limit": 5}},
+        )
+        _, via_flat, headers = call_full(
+            exact_server.url, "POST", "/query",
+            {"points": points, "limit": 5},
+        )
+        assert via_spec["results"] == via_flat["results"]
+        assert headers["Deprecation"] == "true"
+
+    def test_bare_points_body_is_not_deprecated(self, exact_server, small_dataset):
+        points = as_wire(small_dataset.queries[0].points)
+        status, _, headers = call_full(
+            exact_server.url, "POST", "/query", {"points": points}
+        )
+        assert status == 200
+        assert headers.get("Deprecation") is None
+
+    def test_mixing_spec_and_flat_keys_rejected(self, exact_server, small_dataset):
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload = call(
+            exact_server.url, "POST", "/query",
+            {"points": points, "limit": 5, "spec": {"mode": "approx"}},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_spec"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"mode": "exact_knn", "metric": "dtw"},  # missing limit
+            {"mode": "approx", "metric": "dtw", "limit": 3},
+            {"mode": "nope"},
+            {"limti": 3},  # unknown key
+            "exact_knn",  # not an object
+        ],
+    )
+    def test_invalid_spec_is_structured_400(self, exact_server, small_dataset, spec):
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload = call(
+            exact_server.url, "POST", "/query", {"points": points, "spec": spec}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_spec"
+        assert payload["error"]["message"]
+
+    def test_exact_without_stored_points_is_400(self, loaded_server, small_dataset):
+        # The plain server fixture indexes without store_points.
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload = call(
+            loaded_server.url, "POST", "/query",
+            {"points": points,
+             "spec": {"mode": "exact_knn", "metric": "frechet", "limit": 3}},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "exact_unsupported"
+
+    def test_batch_accepts_spec(self, exact_server, small_dataset):
+        queries = [as_wire(q.points) for q in small_dataset.queries[:2]]
+        status, payload, headers = call_full(
+            exact_server.url, "POST", "/query/batch",
+            {"queries": queries,
+             "spec": {"mode": "exact_knn", "metric": "dtw", "limit": 2}},
+        )
+        assert status == 200
+        assert headers.get("Deprecation") is None
+        assert payload["count"] == 2
+        for response in payload["results"]:
+            assert all(hit["distance"] > 1.0 for hit in response["results"])
+
+    def test_batch_legacy_flat_is_deprecated(self, exact_server, small_dataset):
+        queries = [as_wire(q.points) for q in small_dataset.queries[:2]]
+        status, _, headers = call_full(
+            exact_server.url, "POST", "/query/batch",
+            {"queries": queries, "limit": 3},
+        )
+        assert status == 200
+        assert headers["Deprecation"] == "true"
+
+    def test_unknown_route_is_structured_404(self, server):
+        status, payload = call(server.url, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_delete_missing_is_structured_404(self, loaded_server):
+        status, payload = call(
+            loaded_server.url, "DELETE", "/trajectories/ghost"
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
