@@ -1,0 +1,241 @@
+"""Fingerprint registry: per-variant ingest cost and exact-kNN recall.
+
+A registry index fingerprints every trajectory once per registered
+variant, so ingest cost scales with the registry size — this benchmark
+measures that overhead against a single-variant baseline.  The payoff
+side is retrieval quality: exact kNN re-ranks only the candidates the
+fingerprint tier surfaces, so tier-1 *recall of the true top-k* bounds
+answer quality at any fixed ``overfetch``.  The benchmark measures that
+recall through the sparse default variant (the paper's parameters) and
+through a dense registered variant on the same index, plus the exact
+query latency through each.
+
+The recall gate is a ratio: the dense variant must reach at least
+``--min-recall-ratio`` times the default variant's recall (CI pins
+>= 1.0 — a registry must never retrieve *worse* than the baseline it
+generalizes).  Latency is report-only: the dense variant reads more
+postings by design; what it buys is recall, not speed.
+
+Run with:  python benchmarks/bench_registry.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import time
+
+from repro.bench.report import print_table
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.query import QuerySpec
+from repro.core.registry import VariantSpec
+from repro.core.rerank import exact_search
+from repro.normalize import standard_normalizer
+from repro.roadnet import generate_city_network
+from repro.workload import WorkloadBuilder
+
+#: The dense registered variant: 3-grams over a winnowing window of 3.
+DENSE = VariantSpec("dense", normalization_depth=36, k=3, t=5)
+
+
+def build_workload(num_trajectories: int, num_queries: int, seed: int):
+    """Road-network corpus of re-recordings (the paper's regime)."""
+    per_direction = 10
+    num_routes = max(1, -(-num_trajectories // (2 * per_direction)))
+    network = generate_city_network(
+        half_side_m=2_000.0, spacing_m=250.0, seed=seed
+    )
+    dataset = WorkloadBuilder(network, seed=seed + 1).build(
+        num_routes=num_routes,
+        trajectories_per_direction=per_direction,
+        num_queries=num_queries,
+    )
+    corpus = [
+        (r.trajectory_id, list(r.points))
+        for r in dataset.records[:num_trajectories]
+    ]
+    queries = [list(q.points) for q in dataset.queries]
+    return corpus, queries
+
+
+def build_index(variants):
+    return GeodabIndex(
+        GeodabConfig(),  # the "default" variant: the paper's parameters
+        normalizer=standard_normalizer(),
+        store_points=True,
+        variants=variants,
+    )
+
+
+def tier1_recall(index, queries, oracle_ids, variant, tier1_limit):
+    """Mean fraction of the oracle top-k inside the tier-1 candidates."""
+    recalls = []
+    for query, want in zip(queries, oracle_ids):
+        prepared = index.prepare_query(query, variant=variant)
+        results, _ = index.query_prepared(
+            prepared, limit=tier1_limit, max_distance=1.0
+        )
+        got = {r.trajectory_id for r in results}
+        recalls.append(len(got & set(want)) / len(want) if want else 1.0)
+    return sum(recalls) / len(recalls)
+
+
+def timed_exact_queries(index, queries, spec):
+    index.query(queries[0], spec=spec)  # warm-up, untimed
+    start = time.perf_counter()
+    for query in queries:
+        index.query(query, spec=spec)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectories", type=int, default=2000, help="corpus size"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=5, help="number of exact kNN queries"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=10, help="k of the exact kNN"
+    )
+    parser.add_argument(
+        "--overfetch",
+        type=int,
+        default=4,
+        help="Jaccard candidates fetched per requested result",
+    )
+    parser.add_argument(
+        "--min-recall-ratio",
+        type=float,
+        default=0.0,
+        help="exit non-zero unless dense-variant tier-1 recall reaches "
+        "this multiple of the default variant's (0 = report only)",
+    )
+    parser.add_argument(
+        "--json-out",
+        help="write the results as JSON (the CI benchmark artifact)",
+    )
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    corpus, queries = build_workload(
+        args.trajectories, args.queries, args.seed
+    )
+    print(
+        f"corpus: {len(corpus)} trajectories; {len(queries)} exact kNN "
+        f"queries, k={args.limit}, overfetch={args.overfetch} "
+        f"(seed {args.seed})"
+    )
+
+    # Ingest cost: single-variant baseline vs two-variant registry.
+    # A throwaway warm-up ingest first, so one-time numpy/normalizer
+    # costs don't land on whichever build runs first.
+    build_index((DENSE,)).add_many(corpus[: min(64, len(corpus))])
+
+    baseline = build_index(())
+    start = time.perf_counter()
+    baseline.add_many(corpus)
+    baseline_ingest_s = time.perf_counter() - start
+
+    registry = build_index((DENSE,))
+    start = time.perf_counter()
+    registry.add_many(corpus)
+    registry_ingest_s = time.perf_counter() - start
+    ingest_ratio = (
+        registry_ingest_s / baseline_ingest_s
+        if baseline_ingest_s > 0
+        else float("inf")
+    )
+
+    # The exact oracle (backend- and variant-independent).
+    oracle_spec = QuerySpec(
+        mode="exact_knn", metric="dtw", limit=args.limit,
+        overfetch=args.overfetch,
+    )
+    oracle_ids = [
+        [r.trajectory_id for r in exact_search(query, corpus, oracle_spec)]
+        for query in queries
+    ]
+
+    tier1_limit = args.limit * args.overfetch
+    rows = []
+    report = {}
+    for variant in ("default", "dense"):
+        recall = tier1_recall(
+            registry, queries, oracle_ids, variant, tier1_limit
+        )
+        spec = QuerySpec(
+            mode="exact_knn", metric="dtw", limit=args.limit,
+            overfetch=args.overfetch, variant=variant,
+        )
+        latency_s = timed_exact_queries(registry, queries, spec)
+        rows.append(
+            [variant, recall, len(queries) / latency_s,
+             latency_s / len(queries) * 1e3]
+        )
+        report[variant] = {
+            "tier1_recall": recall,
+            "exact_qps": len(queries) / latency_s,
+            "exact_ms_per_query": latency_s / len(queries) * 1e3,
+        }
+    print_table(
+        f"Registry: tier-1 recall of the exact top-{args.limit} and "
+        f"exact-kNN latency per variant ({len(corpus)} trajectories)",
+        ["variant", "tier-1 recall", "exact q/s", "ms/query"],
+        rows,
+    )
+    recall_ratio = (
+        report["dense"]["tier1_recall"] / report["default"]["tier1_recall"]
+        if report["default"]["tier1_recall"] > 0
+        else float("inf")
+    )
+    print(
+        f"ingest: baseline {baseline_ingest_s:.3f}s, two-variant registry "
+        f"{registry_ingest_s:.3f}s ({ingest_ratio:.2f}x; one extra "
+        f"columnar sweep per variant)"
+    )
+    print(
+        f"recall ratio dense/default: {recall_ratio:.3f} "
+        f"(latency is report-only)"
+    )
+
+    if args.json_out:
+        payload = {
+            "benchmark": "registry",
+            "trajectories": len(corpus),
+            "queries": len(queries),
+            "limit": args.limit,
+            "overfetch": args.overfetch,
+            "seed": args.seed,
+            "variants": {
+                "default": dataclasses.asdict(GeodabConfig()),
+                "dense": DENSE.to_json(),
+            },
+            "ingest": {
+                "baseline_s": baseline_ingest_s,
+                "registry_s": registry_ingest_s,
+                "ratio": ingest_ratio,
+            },
+            "results": report,
+            "recall_ratio": recall_ratio,
+            "min_recall_ratio_bar": args.min_recall_ratio,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+
+    if args.min_recall_ratio > 0 and recall_ratio < args.min_recall_ratio:
+        print(
+            f"FAIL: dense/default recall ratio {recall_ratio:.3f} below "
+            f"the {args.min_recall_ratio:.2f} bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

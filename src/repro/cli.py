@@ -224,6 +224,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--depth", type=int, default=36)
     serve.add_argument("--k", type=int, default=6)
     serve.add_argument("--t", type=int, default=12)
+    serve.add_argument(
+        "--variant",
+        action="append",
+        default=None,
+        metavar="NAME=depth,k,t[,scheme]",
+        help="register an extra fingerprint variant at index "
+        "construction (repeatable); queries select it with a spec "
+        "{'variant': NAME} or 'auto' (densest registered).  Ignored on "
+        "warm start: the snapshot fixes the variant registry",
+    )
     serve.add_argument("--verbose", action="store_true")
 
     return parser
@@ -337,6 +347,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .cluster import ShardedGeodabIndex, ShardingConfig
     from .core.persistence import load_index, publish_snapshot, resolve_snapshot
+    from .core.registry import VariantSpec
     from .service import (
         IndexService,
         QueryExecutor,
@@ -370,6 +381,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.drain_timeout < 0:
         print("error: --drain-timeout must be non-negative", file=sys.stderr)
         return 2
+    try:
+        variants = tuple(
+            VariantSpec.parse(flag) for flag in (args.variant or ())
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     def make_executor(index, pool_size, transport=None):
         return QueryExecutor(
@@ -392,9 +410,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Warm start: when --snapshot-dir holds a published snapshot, load
     # the columnar state straight off disk (memory-mapped by default)
     # instead of rebuilding from raw ingest.  The snapshot fixes the
-    # config and sharding geometry, so --depth/--k/--t/--shards/--nodes/
-    # --placement are ignored in that case; the executor knobs still
-    # apply when the snapshot is sharded.
+    # config, sharding geometry and variant registry, so --depth/--k/
+    # --t/--shards/--nodes/--placement/--variant are ignored in that
+    # case; the executor knobs still apply when the snapshot is sharded.
     warm_snapshot = None
     if args.snapshot_dir:
         warm_snapshot = resolve_snapshot(args.snapshot_dir)
@@ -459,9 +477,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             return 2
         # Fresh serve indexes retain raw trajectories so exact_knn /
-        # exact_range queries work out of the box; warm starts stay
-        # approx-only (snapshots carry no raw points).
-        index = GeodabIndex(config, normalizer=normalizer, store_points=True)
+        # exact_range queries work out of the box (v3 snapshots persist
+        # them, so warm starts keep exact serving too).
+        index = GeodabIndex(
+            config,
+            normalizer=normalizer,
+            store_points=True,
+            variants=variants,
+        )
         workers = 0
     else:
         if args.nodes is not None:
@@ -481,7 +504,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         index = ShardedGeodabIndex(
-            config, sharding, normalizer=normalizer, store_points=True
+            config,
+            sharding,
+            normalizer=normalizer,
+            store_points=True,
+            variants=variants,
         )
         if process_mode:
             # Cold-start process serving: the workers serve a published
@@ -578,6 +605,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"note: --dataset {args.dataset} ignored (snapshot takes "
                 "precedence); POST /trajectories still accepts new data"
+            )
+        if args.variant:
+            print(
+                "note: --variant ignored (the snapshot fixes the "
+                "fingerprint variant registry)"
             )
     elif dataset_preingested is not None:
         print(

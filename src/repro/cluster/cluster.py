@@ -17,11 +17,17 @@ from typing import Hashable, Iterable, Sequence
 import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
-from ..core.arena import SlotArena
+from ..core.arena import CardinalityColumn, SlotArena
 from ..core.config import GeodabConfig
 from ..core.fingerprint import Fingerprinter, FingerprintSet
 from ..core.index import Normalizer, SearchResult
 from ..core.postings import PostingsStore, merge_hits
+from ..core.registry import (
+    DEFAULT_VARIANT,
+    FingerprintRegistry,
+    UnknownVariant,
+    VariantSpec,
+)
 from ..core.query import (
     NO_TRACE,
     FanoutStats,
@@ -50,20 +56,43 @@ __all__ = [
 
 @dataclass
 class ShardState:
-    """One shard: a columnar postings store plus load counters."""
+    """One shard: a columnar postings store *per variant* plus counters.
+
+    ``postings`` is the default variant's store (the pre-registry
+    surface); ``variant_postings`` maps every registered variant —
+    default included — to its own store.  :meth:`attach` keeps the two
+    views consistent when persistence swaps a loaded store in.
+    """
 
     shard_id: int
     node_id: int
     postings: PostingsStore = field(default_factory=PostingsStore)
+    variant_postings: dict[str, PostingsStore] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.variant_postings.setdefault(DEFAULT_VARIANT, self.postings)
+
+    def store(self, variant: str) -> PostingsStore:
+        """The named variant's postings store."""
+        store = self.variant_postings.get(variant)
+        if store is None:
+            raise UnknownVariant(variant, tuple(self.variant_postings))
+        return store
+
+    def attach(self, variant: str, store: PostingsStore) -> None:
+        """Swap a (loaded) store in, keeping the default alias in sync."""
+        self.variant_postings[variant] = store
+        if variant == DEFAULT_VARIANT:
+            self.postings = store
 
     @property
     def num_terms(self) -> int:
-        """Distinct terms held by this shard."""
+        """Distinct terms held by this shard (default variant)."""
         return len(self.postings)
 
     @property
     def num_postings(self) -> int:
-        """Total postings entries held by this shard."""
+        """Total postings entries held by this shard (default variant)."""
         return self.postings.num_postings
 
     def trajectories(self) -> set[int]:
@@ -80,28 +109,53 @@ class ShardedGeodabIndex:
         sharding: ShardingConfig | None = None,
         normalizer: Normalizer | None = None,
         store_points: bool = False,
+        variants: Sequence[VariantSpec] = (),
     ) -> None:
         self.fingerprinter = Fingerprinter(config)
         cfg = self.fingerprinter.config
+        self.registry = FingerprintRegistry(cfg, variants)
         self.sharding = sharding or ShardingConfig()
+        # Variants share the base config's term bit layout, so one
+        # router serves every variant's terms.
         self.router = ShardRouter(self.sharding, cfg.prefix_bits, cfg.suffix_bits)
         self.normalizer = normalizer
+        names = self.registry.names
         self.shards: list[ShardState] = [
-            ShardState(s, self.router.node_of_shard(s))
+            ShardState(
+                s,
+                self.router.node_of_shard(s),
+                variant_postings={name: PostingsStore() for name in names[1:]},
+            )
             for s in range(self.sharding.num_shards)
         ]
+        self._fingerprinters: dict[str, Fingerprinter] = {
+            DEFAULT_VARIANT: self.fingerprinter
+        }
+        for name in names[1:]:
+            self._fingerprinters[name] = Fingerprinter(self.registry.config(name))
         # Slot recycling is shared with the single-node index via the
         # arena; the aliases index straight into its lists.  The arena
-        # also maintains the per-slot cardinality column the vectorized
-        # scoring engine ranks with.  Column 1 holds raw points for the
-        # exact re-rank stage (``None`` per slot unless ``store_points``)
-        # — the coordinator merges/ranks/re-ranks, so points live here,
-        # never on the shards.
-        self._arena = SlotArena(num_columns=2, track_cardinality=True)
+        # also maintains one per-slot cardinality column per variant for
+        # the vectorized scoring engine.  Column 1 holds raw points for
+        # the exact re-rank stage (``None`` per slot unless
+        # ``store_points``) — the coordinator merges/ranks/re-ranks, so
+        # points live here, never on the shards.  Extra variants' query
+        # bitmaps occupy columns ``2 + offset``.
+        self._arena = SlotArena(
+            num_columns=2 + len(names) - 1,
+            num_cardinality_columns=len(names),
+        )
         self._ids = self._arena.ids
         self._id_to_internal = self._arena.id_to_internal
         self._bitmaps: list[RoaringBitmap | Roaring64Map] = self._arena.columns[0]
         self._points: list[list[Point] | None] = self._arena.columns[1]
+        self._variant_bitmaps: dict[str, list] = {DEFAULT_VARIANT: self._bitmaps}
+        self._variant_cards: dict[str, CardinalityColumn] = {
+            DEFAULT_VARIANT: self._arena.cardinality_columns[0]
+        }
+        for offset, name in enumerate(names[1:]):
+            self._variant_bitmaps[name] = self._arena.columns[2 + offset]
+            self._variant_cards[name] = self._arena.cardinality_columns[1 + offset]
         self._store_points = store_points
 
     @property
@@ -114,22 +168,44 @@ class ShardedGeodabIndex:
         """Shard count (the serving tier sizes its fan-out pool by it)."""
         return self.sharding.num_shards
 
+    @property
+    def variant_names(self) -> tuple[str, ...]:
+        """Registered fingerprint variant names, default first."""
+        return self.registry.names
+
+    def resolve_variant(self, name: str = DEFAULT_VARIANT) -> str:
+        """Registry resolution: ``auto`` picks the densest variant."""
+        return self.registry.resolve(name)
+
     # ------------------------------------------------------------------
     # Indexing
     # ------------------------------------------------------------------
 
-    def _fingerprint(self, points: Trajectory):
+    def _fingerprint(
+        self, points: Trajectory, variant: str = DEFAULT_VARIANT
+    ) -> FingerprintSet:
         if self.normalizer is not None:
             points = self.normalizer(points)
-        return self.fingerprinter.fingerprint(points)
+        return self._fingerprinters[variant].fingerprint(points)
+
+    def _fingerprint_all(self, points: Trajectory) -> dict[str, FingerprintSet]:
+        """One fingerprint set per registered variant (normalize once)."""
+        if self.normalizer is not None:
+            points = self.normalizer(points)
+        return {
+            name: self._fingerprinters[name].fingerprint(points)
+            for name in self.registry.names
+        }
 
     def add(self, trajectory_id: Hashable, points: Trajectory) -> None:
         """Index a trajectory, routing each term to its shard."""
-        self.add_fingerprints(trajectory_id, self._fingerprint(points), points)
+        self.add_fingerprints(trajectory_id, self._fingerprint_all(points), points)
 
-    def fingerprint_query(self, points: Trajectory) -> FingerprintSet:
+    def fingerprint_query(
+        self, points: Trajectory, variant: str = DEFAULT_VARIANT
+    ) -> FingerprintSet:
         """Fingerprints of a trajectory under this index's normalization."""
-        return self._fingerprint(points)
+        return self._fingerprint(points, self.resolve_variant(variant))
 
     @property
     def store_points(self) -> bool:
@@ -144,84 +220,123 @@ class ShardedGeodabIndex:
         assert points is not None
         return points
 
-    def _allocate(
-        self,
-        trajectory_id: Hashable,
-        bitmap: RoaringBitmap | Roaring64Map,
-        points: Trajectory | None = None,
-    ) -> int:
-        """Claim an internal slot, reusing ones freed by :meth:`remove`."""
-        stored = (
-            list(points) if self._store_points and points is not None else None
-        )
-        return self._arena.allocate(
-            trajectory_id, bitmap, stored, cardinality=len(bitmap)
-        )
+    def _coerce_variant_sets(
+        self, fingerprints: "FingerprintSet | dict[str, FingerprintSet]"
+    ) -> dict[str, FingerprintSet]:
+        """Normalize an insert's fingerprints to one set per variant.
+
+        A bare :class:`FingerprintSet` means "the default variant" —
+        valid only on a single-variant registry (a multi-variant index
+        cannot invent the missing variants from a default-only insert,
+        and silently indexing partial variants would corrupt queries).
+        """
+        names = self.registry.names
+        if isinstance(fingerprints, FingerprintSet):
+            fingerprints = {DEFAULT_VARIANT: fingerprints}
+        missing = [name for name in names if name not in fingerprints]
+        if missing:
+            raise ValueError(
+                f"missing fingerprints for variant(s) {missing!r}; this "
+                f"index registers {list(names)!r}"
+            )
+        unknown = set(fingerprints) - set(names)
+        if unknown:
+            raise UnknownVariant(sorted(unknown)[0], names)
+        return dict(fingerprints)
 
     def add_fingerprints(
         self,
         trajectory_id: Hashable,
-        fingerprint_set: FingerprintSet,
+        fingerprint_set: "FingerprintSet | dict[str, FingerprintSet]",
         points: Trajectory | None = None,
     ) -> None:
         """Insert a document from precomputed fingerprints.
 
         Lets the serving tier fingerprint outside its write lock; only
-        the postings insertion here needs exclusivity.  Raw ``points``
-        are stored on the coordinator (for the exact re-rank stage) only
-        when given *and* the index was built with ``store_points=True``
-        — shards themselves never hold raw points.
+        the postings insertion here needs exclusivity.  A multi-variant
+        index takes a ``{variant: FingerprintSet}`` mapping covering
+        every registered variant.  Raw ``points`` are stored on the
+        coordinator (for the exact re-rank stage) only when given *and*
+        the index was built with ``store_points=True`` — shards
+        themselves never hold raw points.
         """
-        if trajectory_id in self._id_to_internal:
-            raise KeyError(f"trajectory {trajectory_id!r} already indexed")
-        internal = self._allocate(trajectory_id, fingerprint_set.bitmap, points)
-        for term in sorted(set(fingerprint_set.values)):
-            shard = self.shards[self.router.shard_of_term(term)]
-            shard.postings.append(term, internal)
+        self.add_fingerprints_many([(trajectory_id, fingerprint_set, points)])
 
     def add_fingerprints_many(
         self,
         entries: Iterable[
-            tuple[Hashable, FingerprintSet, Trajectory | None]
+            tuple[
+                Hashable,
+                "FingerprintSet | dict[str, FingerprintSet]",
+                Trajectory | None,
+            ]
         ],
     ) -> None:
         """Bulk insert from precomputed fingerprints, all-or-nothing.
 
         Identifiers are validated (against the index and within the
-        batch) before any mutation; postings are then grouped by shard
-        across the whole batch and each shard is touched in one pass,
-        with term routing computed once per distinct term.
+        batch) before any mutation; postings are then grouped by
+        ``(variant, shard)`` across the whole batch and each shard store
+        is touched in one pass, with term routing computed once per
+        distinct term.
         """
         entries = list(entries)
         if not entries:
             return
+        names = self.registry.names
+        coerced = [
+            (trajectory_id, self._coerce_variant_sets(fingerprints), points)
+            for trajectory_id, fingerprints, points in entries
+        ]
         self._arena.check_new_ids(
-            trajectory_id for trajectory_id, _, _ in entries
+            trajectory_id for trajectory_id, _, _ in coerced
         )
         # Route every term before the first allocation: term extraction
         # and routing are the only steps that can raise (e.g. a prefix
         # outside the router's universe), and raising after a slot is
         # claimed would leave a posting-less ghost document behind.
         shard_of: dict[int, int] = {}
-        routed: list[list[int]] = []
-        for _, fingerprint_set, _ in entries:
-            terms = sorted(set(fingerprint_set.values))
-            for term in terms:
-                if term not in shard_of:
-                    shard_of[term] = self.router.shard_of_term(term)
-            routed.append(terms)
-        grouped: dict[int, dict[int, list[int]]] = {}
-        for (trajectory_id, fingerprint_set, points), terms in zip(entries, routed):
-            internal = self._allocate(trajectory_id, fingerprint_set.bitmap, points)
-            for term in terms:
-                bucket = grouped.setdefault(shard_of[term], {})
-                internals = bucket.get(term)
-                if internals is None:
-                    bucket[term] = [internal]
-                else:
-                    internals.append(internal)
-        for shard_id, term_map in grouped.items():
-            self.shards[shard_id].postings.extend_grouped(term_map)
+        routed: list[list[list[int]]] = []
+        for _, sets, _ in coerced:
+            per_variant_terms = []
+            for name in names:
+                terms = sorted(set(sets[name].values))
+                for term in terms:
+                    if term not in shard_of:
+                        shard_of[term] = self.router.shard_of_term(term)
+                per_variant_terms.append(terms)
+            routed.append(per_variant_terms)
+        grouped: dict[str, dict[int, dict[int, list[int]]]] = {
+            name: {} for name in names
+        }
+        for (trajectory_id, sets, points), per_variant_terms in zip(
+            coerced, routed
+        ):
+            bitmaps = [sets[name].bitmap for name in names]
+            stored = (
+                list(points)
+                if self._store_points and points is not None
+                else None
+            )
+            internal = self._arena.allocate(
+                trajectory_id,
+                bitmaps[0],
+                stored,
+                *bitmaps[1:],
+                cardinality=[len(bitmap) for bitmap in bitmaps],
+            )
+            for name, terms in zip(names, per_variant_terms):
+                variant_group = grouped[name]
+                for term in terms:
+                    bucket = variant_group.setdefault(shard_of[term], {})
+                    internals = bucket.get(term)
+                    if internals is None:
+                        bucket[term] = [internal]
+                    else:
+                        internals.append(internal)
+        for name, variant_group in grouped.items():
+            for shard_id, term_map in variant_group.items():
+                self.shards[shard_id].store(name).extend_grouped(term_map)
 
     def fingerprint_many(
         self, trajectories: Iterable[Trajectory]
@@ -237,23 +352,53 @@ class ShardedGeodabIndex:
             self.normalizer, trajectories
         )
 
+    def fingerprint_variants_many(
+        self, trajectories: Iterable[Trajectory]
+    ) -> dict[str, list[FingerprintSet]]:
+        """Fingerprints of a batch under *every* registered variant.
+
+        The batch is normalized **once** (vectorized when the
+        normalizer has a columnar counterpart), then each variant's
+        batch pipeline sweeps the same concatenated point array.
+        """
+        from ..normalize.batch import normalize_point_batch
+
+        batch = list(trajectories)
+        point_batch = normalize_point_batch(self.normalizer, batch)
+        names = self.registry.names
+        if point_batch is not None:
+            return {
+                name: self._fingerprinters[name].fingerprint_batch(point_batch)
+                for name in names
+            }
+        assert self.normalizer is not None  # None always vectorizes
+        normalized = [self.normalizer(points) for points in batch]
+        return {
+            name: self._fingerprinters[name].fingerprint_many(normalized)
+            for name in names
+        }
+
     def add_many(self, items: Iterable[tuple[Hashable, Trajectory]]) -> None:
         """Bulk-index ``(trajectory_id, points)`` pairs.
 
         The whole batch is fingerprinted by the vectorized pipeline
-        before any mutation, then routed shard-by-shard in one pass.
+        (one columnar sweep per registered variant) before any mutation,
+        then routed shard-by-shard in one pass.
         """
         items = list(items)
         if not items:
             return
-        fingerprint_sets = self.fingerprint_many(
+        names = self.registry.names
+        per_variant = self.fingerprint_variants_many(
             points for _, points in items
         )
         self.add_fingerprints_many(
-            (trajectory_id, fingerprint_set, points)
-            for (trajectory_id, points), fingerprint_set in zip(
-                items, fingerprint_sets
+            (
+                trajectory_id,
+                {name: per_variant[name][doc] for name in names},
+                points,
             )
+            for doc, (trajectory_id, points) in enumerate(items)
         )
 
     def remove(self, trajectory_id: Hashable) -> None:
@@ -261,11 +406,17 @@ class ShardedGeodabIndex:
         internal = self._id_to_internal.get(trajectory_id)
         if internal is None:
             raise KeyError(f"trajectory {trajectory_id!r} not indexed")
-        for term in self._bitmaps[internal]:
-            shard = self.shards[self.router.shard_of_term(int(term))]
-            shard.postings.discard(int(term), internal)
-        # Tombstone the slot and recycle it for a future add.
-        self._arena.release(trajectory_id, type(self._bitmaps[internal])(), None)
+        tombstones = []
+        for name in self.registry.names:
+            bitmaps = self._variant_bitmaps[name]
+            for term in bitmaps[internal]:
+                shard = self.shards[self.router.shard_of_term(int(term))]
+                shard.store(name).discard(int(term), internal)
+            tombstones.append(type(bitmaps[internal])())
+        # Tombstone the slot (every variant's column) and recycle it.
+        self._arena.release(
+            trajectory_id, tombstones[0], None, *tombstones[1:]
+        )
 
     def __len__(self) -> int:
         return len(self._id_to_internal)
@@ -288,7 +439,9 @@ class ShardedGeodabIndex:
         """Ranked retrieval across the cluster (same contract as single-node)."""
         if spec is not None:
             results, _ = self.query_prepared(
-                self.prepare_query(points), spec=spec, query_points=points
+                self.prepare_query(points, variant=spec.variant),
+                spec=spec,
+                query_points=points,
             )
             return results
         results, _ = self.query_with_stats(points, limit, max_distance)
@@ -303,17 +456,30 @@ class ShardedGeodabIndex:
         """Query and report fan-out statistics."""
         return self.query_prepared(self.prepare_query(points), limit, max_distance)
 
-    def _plan_query(self, fingerprint_set: FingerprintSet) -> PreparedQuery:
+    def _plan_query(
+        self, fingerprint_set: FingerprintSet, variant: str = DEFAULT_VARIANT
+    ) -> PreparedQuery:
         """Plan a fingerprinted query's shard contacts."""
         terms = tuple(sorted(set(fingerprint_set.values)))
-        return PreparedQuery(fingerprint_set, terms, self.router.plan(list(terms)))
+        return PreparedQuery(
+            fingerprint_set, terms, self.router.plan(list(terms)), variant
+        )
 
-    def prepare_query(self, points: Trajectory) -> PreparedQuery:
-        """Fingerprint a query and plan its shard contacts."""
-        return self._plan_query(self._fingerprint(points))
+    def prepare_query(
+        self, points: Trajectory, variant: str = DEFAULT_VARIANT
+    ) -> PreparedQuery:
+        """Fingerprint a query and plan its shard contacts.
+
+        ``variant`` selects the fingerprint pipeline (``auto`` resolves
+        to the densest registered variant); the returned prepared query
+        carries the resolved name so execution reads that variant's
+        per-shard postings.
+        """
+        variant = self.resolve_variant(variant)
+        return self._plan_query(self._fingerprint(points, variant), variant)
 
     def prepare_query_many(
-        self, queries: Sequence[Trajectory]
+        self, queries: Sequence[Trajectory], variant: str = DEFAULT_VARIANT
     ) -> list[PreparedQuery]:
         """Prepare a burst of queries in one columnar pass.
 
@@ -321,9 +487,13 @@ class ShardedGeodabIndex:
         burst, then per-query routing — interchangeable with calling
         :meth:`prepare_query` once per query (property-test asserted).
         """
+        variant = self.resolve_variant(variant)
+        fingerprint_sets = self._fingerprinters[
+            variant
+        ].fingerprint_normalized_many(self.normalizer, queries)
         return [
-            self._plan_query(fingerprint_set)
-            for fingerprint_set in self.fingerprint_many(queries)
+            self._plan_query(fingerprint_set, variant)
+            for fingerprint_set in fingerprint_sets
         ]
 
     def query_prepared(
@@ -366,7 +536,7 @@ class ShardedGeodabIndex:
         timed: list[tuple[int, int, "np.ndarray", float, float]] = []
         for shard_id, shard_terms in prepared.plan.items():
             start_s = shard_clock.now()
-            partial = self.shard_partial(shard_id, shard_terms)
+            partial = self.shard_partial(shard_id, shard_terms, prepared.variant)
             timed.append(
                 (shard_id, len(shard_terms), partial, start_s, shard_clock.now())
             )
@@ -423,20 +593,20 @@ class ShardedGeodabIndex:
     # ------------------------------------------------------------------
 
     def shard_partial(
-        self, shard_id: int, terms: Sequence[int]
+        self, shard_id: int, terms: Sequence[int], variant: str = DEFAULT_VARIANT
     ) -> np.ndarray:
         """One shard's partial result: the raw hit stream.
 
         One internal id per (query term, posting) pairing — a single
-        ``np.concatenate`` over the shard's term arrays.  The
-        coordinator merges hit streams and recovers shared-term counts
-        with :func:`repro.core.postings.merge_hits` instead of looping
-        per element.
+        ``np.concatenate`` over the shard's term arrays for the named
+        variant.  The coordinator merges hit streams and recovers
+        shared-term counts with :func:`repro.core.postings.merge_hits`
+        instead of looping per element.
         """
-        return self.shards[shard_id].postings.hits(terms)
+        return self.shards[shard_id].store(variant).hits(terms)
 
     def shard_postings(
-        self, shard_id: int, terms: Sequence[int]
+        self, shard_id: int, terms: Sequence[int], variant: str = DEFAULT_VARIANT
     ) -> dict[int, np.ndarray]:
         """One shard's raw postings for ``terms`` (term -> id array).
 
@@ -444,7 +614,7 @@ class ShardedGeodabIndex:
         union of several queries' terms is split back into per-query
         partials at the coordinator.  Arrays are read-only views.
         """
-        return self.shards[shard_id].postings.postings_map(terms)
+        return self.shards[shard_id].store(variant).postings_map(terms)
 
     def rank_matches(
         self,
@@ -457,12 +627,16 @@ class ShardedGeodabIndex:
 
         Identical to the single-node path by construction: both rank
         with :func:`repro.core.scoring.rank_candidates` over the same
-        arena cardinality column semantics.
+        arena cardinality column semantics.  Ranking reads the prepared
+        query's variant cardinality column so Jaccard denominators match
+        the variant that produced the candidates.
         """
-        assert self._arena.cardinalities is not None
+        cards = self._variant_cards.get(prepared.variant)
+        if cards is None:
+            raise UnknownVariant(prepared.variant, self.registry.names)
         return rank_candidates(
             matches,
-            self._arena.cardinalities.view(),
+            cards.view(),
             self._ids,
             len(prepared.query_bitmap),
             limit,
@@ -487,9 +661,12 @@ class ShardedGeodabIndex:
         max_distance: float = 1.0,
     ) -> list[SearchResult]:
         """The retired per-candidate bitmap loop (test/bench oracle)."""
+        bitmaps = self._variant_bitmaps.get(prepared.variant)
+        if bitmaps is None:
+            raise UnknownVariant(prepared.variant, self.registry.names)
         return rank_candidates_scalar(
             matches,
-            self._bitmaps,
+            bitmaps,
             self._ids,
             prepared.query_bitmap,
             limit,
@@ -522,18 +699,36 @@ class ShardedGeodabIndex:
     # ------------------------------------------------------------------
 
     def compact(self) -> None:
-        """Fold every shard's append buffers (reader-safe)."""
+        """Fold every shard's append buffers, all variants (reader-safe)."""
         for shard in self.shards:
-            shard.postings.compact_all()
+            for store in shard.variant_postings.values():
+                store.compact_all()
 
     @property
     def buffered_postings(self) -> int:
-        """Postings awaiting compaction across all shards."""
-        return sum(shard.postings.buffered_postings for shard in self.shards)
+        """Postings awaiting compaction across all shards and variants."""
+        return sum(
+            store.buffered_postings
+            for shard in self.shards
+            for store in shard.variant_postings.values()
+        )
 
     # ------------------------------------------------------------------
     # Load accounting (Figures 15-16 territory)
     # ------------------------------------------------------------------
+
+    def variant_shapes(self) -> dict[str, dict]:
+        """Per-variant term/postings totals across all shards."""
+        shapes: dict[str, dict] = {}
+        for name in self.registry.names:
+            terms = 0
+            postings = 0
+            for shard in self.shards:
+                store = shard.store(name)
+                terms += len(store)
+                postings += store.num_postings
+            shapes[name] = {"terms": terms, "postings": postings}
+        return shapes
 
     def describe(self) -> dict:
         """Backend-agnostic shape summary (the ``GET /stats`` payload)."""
@@ -543,6 +738,7 @@ class ShardedGeodabIndex:
             "shards": self.sharding.num_shards,
             "nodes": self.sharding.num_nodes,
             "postings": sum(self.shard_postings_counts()),
+            "variants": self.variant_shapes(),
         }
 
     def shard_postings_counts(self) -> list[int]:

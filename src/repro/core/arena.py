@@ -99,18 +99,41 @@ class SlotArena:
     are tombstoned and handed back by the next :meth:`allocate`.
     """
 
-    __slots__ = ("ids", "id_to_internal", "columns", "cardinalities", "_free_slots")
+    __slots__ = (
+        "ids",
+        "id_to_internal",
+        "columns",
+        "cardinality_columns",
+        "cardinalities",
+        "_free_slots",
+    )
 
-    def __init__(self, num_columns: int, track_cardinality: bool = False) -> None:
+    def __init__(
+        self,
+        num_columns: int,
+        track_cardinality: bool = False,
+        num_cardinality_columns: int | None = None,
+    ) -> None:
         if num_columns < 1:
             raise ValueError("arena needs at least one payload column")
+        if num_cardinality_columns is None:
+            num_cardinality_columns = 1 if track_cardinality else 0
+        if num_cardinality_columns < 0:
+            raise ValueError("num_cardinality_columns must be non-negative")
         self.ids: list[Hashable] = []
         self.id_to_internal: dict[Hashable, int] = {}
         self.columns: tuple[list, ...] = tuple([] for _ in range(num_columns))
-        #: Per-slot term-set sizes for the vectorized scoring engine
-        #: (``None`` unless ``track_cardinality`` was requested).
+        #: Per-slot term-set size columns for the vectorized scoring
+        #: engine — one per fingerprint variant on a multi-variant index;
+        #: every column is maintained through the same allocate/release/
+        #: restore cycle so the liveness invariant holds for all of them.
+        self.cardinality_columns: tuple[CardinalityColumn, ...] = tuple(
+            CardinalityColumn() for _ in range(num_cardinality_columns)
+        )
+        #: The first (default-variant) cardinality column, or ``None``
+        #: when the arena tracks none — the pre-registry surface.
         self.cardinalities: CardinalityColumn | None = (
-            CardinalityColumn() if track_cardinality else None
+            self.cardinality_columns[0] if self.cardinality_columns else None
         )
         self._free_slots: list[int] = []
 
@@ -133,18 +156,25 @@ class SlotArena:
                 raise KeyError(f"trajectory {external_id!r} already indexed")
             seen.add(external_id)
 
-    def allocate(self, external_id: Hashable, *values, cardinality: int = 0) -> int:
+    def allocate(
+        self,
+        external_id: Hashable,
+        *values,
+        cardinality: "int | Sequence[int]" = 0,
+    ) -> int:
         """Claim a slot for ``external_id`` holding one value per column.
 
         Reuses slots freed by :meth:`release`, keeping memory constant
         under delete/re-add churn instead of growing one tombstone per
-        update.  ``cardinality`` is the document's term-set size, stored
-        in :attr:`cardinalities` when the arena tracks it.
+        update.  ``cardinality`` is the document's term-set size — an
+        ``int`` for the single-column arena, or one value per tracked
+        cardinality column on a multi-variant arena.
         """
         if len(values) != len(self.columns):
             raise ValueError(
                 f"expected {len(self.columns)} column values, got {len(values)}"
             )
+        cards = self._cardinality_values(cardinality)
         if self._free_slots:
             internal = self._free_slots.pop()
             self.ids[internal] = external_id
@@ -155,10 +185,28 @@ class SlotArena:
             self.ids.append(external_id)
             for column, value in zip(self.columns, values):
                 column.append(value)
-        if self.cardinalities is not None:
-            self.cardinalities.set(internal, cardinality)
+        for column, value in zip(self.cardinality_columns, cards):
+            column.set(internal, value)
         self.id_to_internal[external_id] = internal
         return internal
+
+    def _cardinality_values(
+        self, cardinality: "int | Sequence[int]"
+    ) -> tuple[int, ...]:
+        """Normalize the ``cardinality`` argument to one value per column."""
+        if isinstance(cardinality, int):
+            if len(self.cardinality_columns) > 1:
+                raise ValueError(
+                    "multi-variant arena requires one cardinality per column"
+                )
+            return (cardinality,)
+        cards = tuple(int(value) for value in cardinality)
+        if len(cards) != len(self.cardinality_columns):
+            raise ValueError(
+                f"expected {len(self.cardinality_columns)} cardinalities, "
+                f"got {len(cards)}"
+            )
+        return cards
 
     def release(self, external_id: Hashable, *tombstone_values) -> int:
         """Free a document's slot, overwriting columns with tombstones.
@@ -178,8 +226,8 @@ class SlotArena:
         self.ids[internal] = TOMBSTONE
         for column, value in zip(self.columns, tombstone_values):
             column[internal] = value
-        if self.cardinalities is not None:
-            self.cardinalities.set(internal, TOMBSTONE_CARD)
+        for column in self.cardinality_columns:
+            column.set(internal, TOMBSTONE_CARD)
         self._free_slots.append(internal)
         return internal
 
@@ -191,7 +239,7 @@ class SlotArena:
         self,
         slot_ids: Iterable[Hashable],
         columns: "tuple[list, ...] | list[list]",
-        cardinalities: Sequence[int] | None = None,
+        cardinalities: "Sequence[int] | Sequence[Sequence[int]] | None" = None,
     ) -> None:
         """Rebuild the arena from a snapshot's exact slot layout.
 
@@ -206,7 +254,9 @@ class SlotArena:
         A cardinality-tracking arena requires ``cardinalities`` (one
         entry per slot; tombstoned slots are forced to
         :data:`TOMBSTONE_CARD` regardless of the provided value), so a
-        warm start can never silently lose the scoring fast path.
+        warm start can never silently lose the scoring fast path.  An
+        arena with several cardinality columns takes one per-slot
+        sequence *per column* instead of the flat form.
         """
         if self.ids:
             raise ValueError("restore() requires an empty arena")
@@ -218,25 +268,35 @@ class SlotArena:
         for values in columns:
             if len(values) != len(slot_ids):
                 raise ValueError("column length does not match slot count")
-        if self.cardinalities is not None:
+        card_rows: tuple[Sequence[int], ...] = ()
+        if self.cardinality_columns:
             if cardinalities is None:
                 raise ValueError(
                     "cardinality-tracking arena requires restore cardinalities"
                 )
-            if len(cardinalities) != len(slot_ids):
-                raise ValueError(
-                    "cardinality column length does not match slot count"
-                )
+            if len(self.cardinality_columns) == 1:
+                card_rows = (cardinalities,)  # type: ignore[assignment]
+            else:
+                card_rows = tuple(cardinalities)  # type: ignore[arg-type]
+                if len(card_rows) != len(self.cardinality_columns):
+                    raise ValueError(
+                        f"expected {len(self.cardinality_columns)} cardinality "
+                        f"columns, got {len(card_rows)}"
+                    )
+            for row in card_rows:
+                if len(row) != len(slot_ids):
+                    raise ValueError(
+                        "cardinality column length does not match slot count"
+                    )
         for internal, external_id in enumerate(slot_ids):
             self.ids.append(external_id)
             for column, values in zip(self.columns, columns):
                 column.append(values[internal])
             if external_id is TOMBSTONE:
-                if self.cardinalities is not None:
-                    self.cardinalities.set(internal, TOMBSTONE_CARD)
+                for column in self.cardinality_columns:
+                    column.set(internal, TOMBSTONE_CARD)
                 self._free_slots.append(internal)
             else:
-                if self.cardinalities is not None:
-                    assert cardinalities is not None
-                    self.cardinalities.set(internal, int(cardinalities[internal]))
+                for column, row in zip(self.cardinality_columns, card_rows):
+                    column.set(internal, int(row[internal]))
                 self.id_to_internal[external_id] = internal

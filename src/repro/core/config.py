@@ -12,6 +12,9 @@ from dataclasses import dataclass, field
 
 from ..geo.geohash import MAX_DEPTH, cell_dimensions
 
+#: Valid suffix-hash families (shared with the variant registry).
+SUFFIX_HASHES: tuple[str, ...] = ("chain", "polynomial")
+
 
 @dataclass(frozen=True, slots=True)
 class GeodabConfig:
@@ -58,7 +61,7 @@ class GeodabConfig:
     suffix_hash: str = "chain"
 
     def __post_init__(self) -> None:
-        if self.suffix_hash not in ("chain", "polynomial"):
+        if self.suffix_hash not in SUFFIX_HASHES:
             raise ValueError(
                 f"suffix_hash must be 'chain' or 'polynomial', "
                 f"got {self.suffix_hash!r}"

@@ -21,11 +21,18 @@ import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from ..geo.point import Point, Trajectory
-from .arena import TOMBSTONE, SlotArena
+from .arena import TOMBSTONE, CardinalityColumn, SlotArena
 from .config import GeodabConfig
 from .fingerprint import Fingerprinter, FingerprintSet
 from .geodab import GeodabScheme
 from .postings import PostingsStore, merge_hits
+from .registry import (
+    AUTO_VARIANT,
+    DEFAULT_VARIANT,
+    FingerprintRegistry,
+    UnknownVariant,
+    VariantSpec,
+)
 from .query import (
     NO_TRACE,
     FanoutStats,
@@ -104,30 +111,97 @@ class TrajectoryInvertedIndex:
     hashable identifiers and internally by dense integers.
     """
 
-    def __init__(self, store_points: bool = False) -> None:
-        # Columnar postings: term -> sorted int64 array + append buffer.
-        self._postings = PostingsStore()
+    def __init__(
+        self,
+        store_points: bool = False,
+        variant_names: Sequence[str] = (DEFAULT_VARIANT,),
+    ) -> None:
+        names = tuple(variant_names)
+        if not names or names[0] != DEFAULT_VARIANT:
+            raise ValueError("variant_names must start with 'default'")
+        if len(set(names)) != len(names):
+            raise ValueError("variant_names must be distinct")
+        #: Registered fingerprint variant names, ``default`` first.  A
+        #: single-entry tuple is exactly the pre-registry index.
+        self._variant_names = names
+        extras = names[1:]
         # The arena owns slot recycling; the aliases below share its
         # lists so the query hot paths index them directly.  It also
-        # maintains the per-slot cardinality column the vectorized
-        # scoring engine ranks with (no bitmaps touched at query time).
-        self._arena = SlotArena(num_columns=2, track_cardinality=True)
+        # maintains one per-slot cardinality column *per variant* for
+        # the vectorized scoring engine (no bitmaps touched at query
+        # time).  Columns: [default bitmaps, points, *extra bitmaps].
+        self._arena = SlotArena(
+            num_columns=2 + len(extras),
+            num_cardinality_columns=len(names),
+        )
         self._ids = self._arena.ids
         self._id_to_internal = self._arena.id_to_internal
         self._term_sets: list[RoaringBitmap | Roaring64Map] = self._arena.columns[0]
         self._points: list[list[Point] | None] = self._arena.columns[1]
         self._store_points = store_points
+        # Columnar postings: term -> sorted int64 array + append buffer,
+        # one independent store per variant.  The default variant keeps
+        # the pre-registry attribute names so existing call sites (and
+        # persistence) read the same storage they always did.
+        self._postings = PostingsStore()
+        self._variant_postings: dict[str, PostingsStore] = {
+            DEFAULT_VARIANT: self._postings
+        }
+        self._variant_bitmaps: dict[str, list] = {DEFAULT_VARIANT: self._term_sets}
+        self._variant_cards: dict[str, CardinalityColumn] = {
+            DEFAULT_VARIANT: self._arena.cardinality_columns[0]
+        }
+        for offset, name in enumerate(extras):
+            self._variant_postings[name] = PostingsStore()
+            self._variant_bitmaps[name] = self._arena.columns[2 + offset]
+            self._variant_cards[name] = self._arena.cardinality_columns[1 + offset]
 
-    def _allocate(
-        self,
-        trajectory_id: Hashable,
-        bitmap: RoaringBitmap | Roaring64Map,
-        points: list[Point] | None,
-    ) -> int:
-        """Claim an internal slot, reusing ones freed by :meth:`remove`."""
-        return self._arena.allocate(
-            trajectory_id, bitmap, points, cardinality=len(bitmap)
-        )
+    # ------------------------------------------------------------------
+    # Variant surface
+    # ------------------------------------------------------------------
+
+    @property
+    def variant_names(self) -> tuple[str, ...]:
+        """Registered fingerprint variant names (``default`` first)."""
+        return self._variant_names
+
+    def resolve_variant(self, name: str = DEFAULT_VARIANT) -> str:
+        """Concrete variant for a query's (possibly ``auto``) request.
+
+        Backends without a registry know only ``default``; the geodab
+        backends override this with the registry's densest-variant
+        policy for ``auto``.
+        """
+        if name in self._variant_names:
+            return name
+        if name == AUTO_VARIANT:
+            return self._variant_names[0]
+        raise UnknownVariant(name, self._variant_names)
+
+    def _variant_store(self, variant: str) -> PostingsStore:
+        store = self._variant_postings.get(variant)
+        if store is None:
+            raise UnknownVariant(variant, self._variant_names)
+        return store
+
+    def _attach_postings(self, variant: str, store: PostingsStore) -> None:
+        """Swap a (loaded) postings store in, keeping aliases in sync.
+
+        Persistence's warm-start hook: the default variant is reachable
+        both as ``_postings`` and through the variant map, and replacing
+        one without the other would silently split the index's storage.
+        """
+        if variant not in self._variant_postings:
+            raise UnknownVariant(variant, self._variant_names)
+        self._variant_postings[variant] = store
+        if variant == DEFAULT_VARIANT:
+            self._postings = store
+
+    def _variant_cardinalities(self, variant: str) -> CardinalityColumn:
+        column = self._variant_cards.get(variant)
+        if column is None:
+            raise UnknownVariant(variant, self._variant_names)
+        return column
 
     # ------------------------------------------------------------------
     # Term extraction (subclass responsibility)
@@ -145,6 +219,23 @@ class TrajectoryInvertedIndex:
         """Batch term extraction; subclasses may vectorize this."""
         return [self._extract(points) for points in batch]
 
+    def _extract_variants(
+        self, points: Trajectory
+    ) -> list[tuple[list[int], RoaringBitmap | Roaring64Map]]:
+        """(terms, bitmap) per registered variant, default first.
+
+        Single-variant backends reduce to one :meth:`_extract` call;
+        multi-variant subclasses override to run every registered
+        pipeline over the same normalized points.
+        """
+        return [self._extract(points)]
+
+    def _extract_variants_many(
+        self, batch: Sequence[Trajectory]
+    ) -> list[list[tuple[list[int], RoaringBitmap | Roaring64Map]]]:
+        """Batch form of :meth:`_extract_variants` (one row per doc)."""
+        return [[extracted] for extracted in self._extract_many(batch)]
+
     # ------------------------------------------------------------------
     # Indexing
     # ------------------------------------------------------------------
@@ -158,43 +249,58 @@ class TrajectoryInvertedIndex:
         """
         if trajectory_id in self._id_to_internal:
             raise KeyError(f"trajectory {trajectory_id!r} already indexed")
-        terms, bitmap = self._extract(points)
-        internal = self._allocate(
-            trajectory_id, bitmap, list(points) if self._store_points else None
+        variants = self._extract_variants(points)
+        self._bulk_insert(
+            [
+                (
+                    trajectory_id,
+                    variants,
+                    list(points) if self._store_points else None,
+                )
+            ]
         )
-        for term in terms:
-            self._postings.append(term, internal)
 
     def _bulk_insert(
         self,
         rows: Sequence[
             tuple[
                 Hashable,
-                Sequence[int],
-                RoaringBitmap | Roaring64Map,
+                Sequence[tuple[Sequence[int], RoaringBitmap | Roaring64Map]],
                 list[Point] | None,
             ]
         ],
     ) -> None:
         """Allocate slots and insert postings for pre-extracted documents.
 
-        Postings are grouped per term across the whole batch first, so a
-        term shared by many documents costs one dictionary probe instead
-        of one per document.  Callers validate identifiers beforehand
+        Each row carries one ``(terms, bitmap)`` pair per registered
+        variant, aligned with :attr:`variant_names`.  Postings are
+        grouped per term across the whole batch first, so a term shared
+        by many documents costs one dictionary probe instead of one per
+        document.  Callers validate identifiers beforehand
         (``SlotArena.check_new_ids``); insertion itself cannot fail partway.
         """
-        grouped: dict[int, list[int]] = {}
-        for trajectory_id, terms, bitmap, points in rows:
+        grouped: dict[str, dict[int, list[int]]] = {
+            name: {} for name in self._variant_names
+        }
+        for trajectory_id, variants, points in rows:
+            bitmaps = [bitmap for _, bitmap in variants]
             internal = self._arena.allocate(
-                trajectory_id, bitmap, points, cardinality=len(bitmap)
+                trajectory_id,
+                bitmaps[0],
+                points,
+                *bitmaps[1:],
+                cardinality=[len(bitmap) for bitmap in bitmaps],
             )
-            for term in terms:
-                bucket = grouped.get(term)
-                if bucket is None:
-                    grouped[term] = [internal]
-                else:
-                    bucket.append(internal)
-        self._postings.extend_grouped(grouped)
+            for name, (terms, _) in zip(self._variant_names, variants):
+                variant_group = grouped[name]
+                for term in terms:
+                    bucket = variant_group.get(term)
+                    if bucket is None:
+                        variant_group[term] = [internal]
+                    else:
+                        bucket.append(internal)
+        for name, variant_group in grouped.items():
+            self._variant_postings[name].extend_grouped(variant_group)
 
     def add_many(
         self, items: Iterable[tuple[Hashable, Trajectory]]
@@ -202,39 +308,42 @@ class TrajectoryInvertedIndex:
         """Index a batch of ``(trajectory_id, points)`` pairs.
 
         Terms are extracted for the whole batch up front (vectorized by
-        the geodab subclass), identifiers are validated against the live
-        index *and* within the batch before any mutation, and postings
-        are inserted in one grouped pass.
+        the geodab subclass, once per registered variant), identifiers
+        are validated against the live index *and* within the batch
+        before any mutation, and postings are inserted in one grouped
+        pass per variant.
         """
         items = list(items)
         if not items:
             return
         self._arena.check_new_ids(trajectory_id for trajectory_id, _ in items)
-        extracted = self._extract_many([points for _, points in items])
+        extracted = self._extract_variants_many([points for _, points in items])
         self._bulk_insert(
             [
                 (
                     trajectory_id,
-                    terms,
-                    bitmap,
+                    variants,
                     list(points) if self._store_points else None,
                 )
-                for (trajectory_id, points), (terms, bitmap) in zip(
-                    items, extracted
-                )
+                for (trajectory_id, points), variants in zip(items, extracted)
             ]
         )
 
     def remove(self, trajectory_id: Hashable) -> None:
-        """Remove a trajectory from the index."""
+        """Remove a trajectory from the index (from every variant)."""
         internal = self._id_to_internal.get(trajectory_id)
         if internal is None:
             raise KeyError(f"trajectory {trajectory_id!r} not indexed")
-        for term in self._term_sets[internal]:
-            self._postings.discard(int(term), internal)
+        tombstones = []
+        for name in self._variant_names:
+            bitmaps = self._variant_bitmaps[name]
+            store = self._variant_postings[name]
+            for term in bitmaps[internal]:
+                store.discard(int(term), internal)
+            tombstones.append(type(bitmaps[internal])())
         # Tombstone the slot and recycle it for a future add.
         self._arena.release(
-            trajectory_id, type(self._term_sets[internal])(), None
+            trajectory_id, tombstones[0], None, *tombstones[1:]
         )
 
     # ------------------------------------------------------------------
@@ -258,7 +367,7 @@ class TrajectoryInvertedIndex:
         (Jaccard retrieve, exact re-rank) of :meth:`query_prepared`.
         """
         if spec is not None:
-            prepared = self.prepare_query(points)
+            prepared = self.prepare_query(points, variant=spec.variant)
             results, _ = self.query_prepared(
                 prepared, spec=spec, query_points=points
             )
@@ -362,7 +471,7 @@ class TrajectoryInvertedIndex:
                 )
         fanout_start = trace.now()
         partials = [
-            self.shard_partial(shard_id, shard_terms)
+            self.shard_partial(shard_id, shard_terms, prepared.variant)
             for shard_id, shard_terms in prepared.plan.items()
         ]
         fanout_end = trace.now()
@@ -400,20 +509,21 @@ class TrajectoryInvertedIndex:
         return returned, stats
 
     def shard_partial(
-        self, shard_id: int, terms: Sequence[int]
+        self, shard_id: int, terms: Sequence[int], variant: str = DEFAULT_VARIANT
     ) -> np.ndarray:
         """The single shard's partial result: the raw hit stream.
 
         One internal id per (query term, posting) pairing, produced by
-        concatenating the term postings arrays; the coordinator turns
-        multiplicity into shared-term counts via :func:`merge_hits`.
+        concatenating the term postings arrays of the named variant; the
+        coordinator turns multiplicity into shared-term counts via
+        :func:`merge_hits`.
         """
         if shard_id != 0:
             raise ValueError(f"single-node index has only shard 0, got {shard_id}")
-        return self._postings.hits(terms)
+        return self._variant_store(variant).hits(terms)
 
     def shard_postings(
-        self, shard_id: int, terms: Sequence[int]
+        self, shard_id: int, terms: Sequence[int], variant: str = DEFAULT_VARIANT
     ) -> dict[int, np.ndarray]:
         """Raw postings for ``terms`` (term -> sorted internal-id array).
 
@@ -423,7 +533,7 @@ class TrajectoryInvertedIndex:
         """
         if shard_id != 0:
             raise ValueError(f"single-node index has only shard 0, got {shard_id}")
-        return self._postings.postings_map(terms)
+        return self._variant_store(variant).postings_map(terms)
 
     def rank_matches(
         self,
@@ -436,12 +546,12 @@ class TrajectoryInvertedIndex:
 
         This is the one scoring entry point every query path uses —
         sequential, pooled, and micro-batched execution all end here, so
-        they rank identically by construction.
+        they rank identically by construction.  The cardinality column
+        is the one of the variant the query was prepared under.
         """
-        assert self._arena.cardinalities is not None
         return rank_candidates(
             matches,
-            self._arena.cardinalities.view(),
+            self._variant_cardinalities(prepared.variant).view(),
             self._ids,
             len(prepared.query_bitmap),
             limit,
@@ -472,9 +582,12 @@ class TrajectoryInvertedIndex:
         engine and ``bench_scoring.py`` can measure the speedup.  Not
         called by any serving path.
         """
+        bitmaps = self._variant_bitmaps.get(prepared.variant)
+        if bitmaps is None:
+            raise UnknownVariant(prepared.variant, self._variant_names)
         return rank_candidates_scalar(
             matches,
-            self._term_sets,
+            bitmaps,
             self._ids,
             prepared.query_bitmap,
             limit,
@@ -540,14 +653,19 @@ class TrajectoryInvertedIndex:
         """Fold pending append buffers into the sorted postings arrays.
 
         Reader-safe — the serving tier's compaction policy runs this
-        under a *read* lock, off the write path.
+        under a *read* lock, off the write path.  Covers every variant's
+        store.
         """
-        self._postings.compact_all()
+        for store in self._variant_postings.values():
+            store.compact_all()
 
     @property
     def buffered_postings(self) -> int:
         """Postings awaiting compaction (the compaction-policy trigger)."""
-        return self._postings.buffered_postings
+        return sum(
+            store.buffered_postings
+            for store in self._variant_postings.values()
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -584,6 +702,16 @@ class TrajectoryInvertedIndex:
             postings=self._postings.num_postings,
         )
 
+    def variant_shapes(self) -> dict[str, dict]:
+        """Per-variant term/posting counts (``GET /stats``, ``/metrics``)."""
+        return {
+            name: {
+                "terms": len(store),
+                "postings": store.num_postings,
+            }
+            for name, store in self._variant_postings.items()
+        }
+
     def describe(self) -> dict:
         """Backend-agnostic shape summary (the ``GET /stats`` payload)."""
         shape = self.stats()
@@ -592,6 +720,7 @@ class TrajectoryInvertedIndex:
             "trajectories": shape.trajectories,
             "terms": shape.terms,
             "postings": shape.postings,
+            "variants": self.variant_shapes(),
         }
 
     def postings_for(self, term: int) -> list[Hashable]:
@@ -619,12 +748,26 @@ class GeodabIndex(TrajectoryInvertedIndex):
         config: GeodabConfig | GeodabScheme | Fingerprinter | None = None,
         normalizer: Normalizer | None = None,
         store_points: bool = False,
+        variants: Sequence[VariantSpec] = (),
     ) -> None:
-        super().__init__(store_points=store_points)
         if isinstance(config, Fingerprinter):
             self.fingerprinter = config
         else:
             self.fingerprinter = Fingerprinter(config)
+        #: The registry of fingerprint variants this index serves.  The
+        #: ``default`` entry is the base config; ``variants`` adds named
+        #: extras (each independently indexed, selected per query).
+        self.registry = FingerprintRegistry(self.fingerprinter.config, variants)
+        super().__init__(
+            store_points=store_points, variant_names=self.registry.names
+        )
+        # One fingerprint pipeline per variant; the default shares the
+        # base Fingerprinter so scalar callers see identical objects.
+        self._fingerprinters: dict[str, Fingerprinter] = {
+            DEFAULT_VARIANT: self.fingerprinter
+        }
+        for name in self.registry.extra_names:
+            self._fingerprinters[name] = Fingerprinter(self.registry.config(name))
         self.normalizer = normalizer
         self._fingerprint_sets: dict[Hashable, FingerprintSet] = {}
 
@@ -632,6 +775,10 @@ class GeodabIndex(TrajectoryInvertedIndex):
     def config(self) -> GeodabConfig:
         """The fingerprinting configuration."""
         return self.fingerprinter.config
+
+    def resolve_variant(self, name: str = DEFAULT_VARIANT) -> str:
+        """Registry resolution: ``auto`` picks the densest variant."""
+        return self.registry.resolve(name)
 
     def _extract(self, points: Trajectory) -> tuple[
         list[int], RoaringBitmap | Roaring64Map
@@ -643,10 +790,42 @@ class GeodabIndex(TrajectoryInvertedIndex):
         terms = sorted(set(fingerprint_set.values))
         return terms, fingerprint_set.bitmap
 
+    def _extract_variants(
+        self, points: Trajectory
+    ) -> list[tuple[list[int], RoaringBitmap | Roaring64Map]]:
+        if self.normalizer is not None:
+            points = self.normalizer(points)
+        out = []
+        for name in self._variant_names:
+            fingerprint_set = self._fingerprinters[name].fingerprint(points)
+            if name == DEFAULT_VARIANT:
+                self._last_fingerprint_set = fingerprint_set
+            out.append(
+                (sorted(set(fingerprint_set.values)), fingerprint_set.bitmap)
+            )
+        return out
+
+    def _extract_variants_many(
+        self, batch: Sequence[Trajectory]
+    ) -> list[list[tuple[list[int], RoaringBitmap | Roaring64Map]]]:
+        per_variant = self.fingerprint_variants_many(batch)
+        rows: list[list[tuple[list[int], RoaringBitmap | Roaring64Map]]] = []
+        for doc in range(len(batch)):
+            rows.append(
+                [
+                    (
+                        sorted(set(per_variant[name][doc].values)),
+                        per_variant[name][doc].bitmap,
+                    )
+                    for name in self._variant_names
+                ]
+            )
+        return rows
+
     def add(self, trajectory_id: Hashable, points: Trajectory) -> None:
         super().add(trajectory_id, points)
-        # _extract ran inside add; retain the full selection order for
-        # motif discovery over indexed trajectories.
+        # _extract_variants ran inside add; retain the full selection
+        # order for motif discovery over indexed trajectories.
         self._fingerprint_sets[trajectory_id] = self._last_fingerprint_set
 
     def fingerprint_many(
@@ -665,25 +844,58 @@ class GeodabIndex(TrajectoryInvertedIndex):
             self.normalizer, trajectories
         )
 
+    def fingerprint_variants_many(
+        self, trajectories: Iterable[Trajectory]
+    ) -> dict[str, list[FingerprintSet]]:
+        """Fingerprints of a batch under *every* registered variant.
+
+        The batch is normalized **once** (vectorized when the
+        normalizer has a columnar counterpart), then each variant's
+        batch pipeline sweeps the same concatenated point array — so a
+        three-variant registry costs three fingerprint passes but only
+        one normalization pass.
+        """
+        from ..normalize.batch import normalize_point_batch
+
+        batch = list(trajectories)
+        point_batch = normalize_point_batch(self.normalizer, batch)
+        if point_batch is not None:
+            return {
+                name: self._fingerprinters[name].fingerprint_batch(point_batch)
+                for name in self._variant_names
+            }
+        assert self.normalizer is not None  # None always vectorizes
+        normalized = [self.normalizer(points) for points in batch]
+        return {
+            name: self._fingerprinters[name].fingerprint_many(normalized)
+            for name in self._variant_names
+        }
+
     def add_many(
         self, items: Iterable[tuple[Hashable, Trajectory]]
     ) -> None:
         """Bulk-index ``(trajectory_id, points)`` pairs.
 
         The whole batch is fingerprinted by the vectorized pipeline
-        before any mutation, then inserted in one grouped pass.
+        (one columnar sweep per registered variant) before any mutation,
+        then inserted in one grouped pass per variant.
         """
         items = list(items)
         if not items:
             return
-        fingerprint_sets = self.fingerprint_many(
+        per_variant = self.fingerprint_variants_many(
             points for _, points in items
         )
         self.add_fingerprints_many(
-            (trajectory_id, fingerprint_set, points)
-            for (trajectory_id, points), fingerprint_set in zip(
-                items, fingerprint_sets
+            (
+                trajectory_id,
+                {
+                    name: per_variant[name][doc]
+                    for name in self._variant_names
+                },
+                points,
             )
+            for doc, (trajectory_id, points) in enumerate(items)
         )
 
     def remove(self, trajectory_id: Hashable) -> None:
@@ -694,10 +906,35 @@ class GeodabIndex(TrajectoryInvertedIndex):
         """Ordered fingerprint set of an indexed trajectory."""
         return self._fingerprint_sets[trajectory_id]
 
+    def _coerce_variant_sets(
+        self, fingerprints: "FingerprintSet | dict[str, FingerprintSet]"
+    ) -> dict[str, FingerprintSet]:
+        """Normalize an insert's fingerprints to one set per variant.
+
+        A bare :class:`FingerprintSet` means "the default variant" —
+        valid only on a single-variant registry (a multi-variant index
+        cannot invent the missing variants from a default-only insert,
+        and silently indexing partial variants would corrupt queries).
+        """
+        if isinstance(fingerprints, FingerprintSet):
+            fingerprints = {DEFAULT_VARIANT: fingerprints}
+        missing = [
+            name for name in self._variant_names if name not in fingerprints
+        ]
+        if missing:
+            raise ValueError(
+                f"missing fingerprints for variant(s) {missing!r}; this "
+                f"index registers {list(self._variant_names)!r}"
+            )
+        unknown = set(fingerprints) - set(self._variant_names)
+        if unknown:
+            raise UnknownVariant(sorted(unknown)[0], self._variant_names)
+        return dict(fingerprints)
+
     def add_fingerprints(
         self,
         trajectory_id: Hashable,
-        fingerprint_set: FingerprintSet,
+        fingerprint_set: "FingerprintSet | dict[str, FingerprintSet]",
         points: Trajectory | None = None,
     ) -> None:
         """Insert a document from precomputed fingerprints.
@@ -705,21 +942,21 @@ class GeodabIndex(TrajectoryInvertedIndex):
         Used by :mod:`repro.core.persistence` to rebuild an index without
         re-normalizing and re-winnowing, and by the serving tier to keep
         fingerprinting (pure CPU, config-only) outside its write lock.
-        Raw ``points`` are stored only when given *and* the index was
-        built with ``store_points=True``.
+        A multi-variant index takes a ``{variant: FingerprintSet}``
+        mapping covering every registered variant.  Raw ``points`` are
+        stored only when given *and* the index was built with
+        ``store_points=True``.
         """
-        if trajectory_id in self._id_to_internal:
-            raise KeyError(f"trajectory {trajectory_id!r} already indexed")
-        stored = list(points) if self._store_points and points is not None else None
-        internal = self._allocate(trajectory_id, fingerprint_set.bitmap, stored)
-        for term in sorted(set(fingerprint_set.values)):
-            self._postings.append(term, internal)
-        self._fingerprint_sets[trajectory_id] = fingerprint_set
+        self.add_fingerprints_many([(trajectory_id, fingerprint_set, points)])
 
     def add_fingerprints_many(
         self,
         entries: Iterable[
-            tuple[Hashable, FingerprintSet, Trajectory | None]
+            tuple[
+                Hashable,
+                "FingerprintSet | dict[str, FingerprintSet]",
+                Trajectory | None,
+            ]
         ],
     ) -> None:
         """Bulk insert from precomputed fingerprints, all-or-nothing.
@@ -732,46 +969,71 @@ class GeodabIndex(TrajectoryInvertedIndex):
         entries = list(entries)
         if not entries:
             return
+        coerced = [
+            (trajectory_id, self._coerce_variant_sets(fingerprints), points)
+            for trajectory_id, fingerprints, points in entries
+        ]
         self._arena.check_new_ids(
-            trajectory_id for trajectory_id, _, _ in entries
+            trajectory_id for trajectory_id, _, _ in coerced
         )
         self._bulk_insert(
             [
                 (
                     trajectory_id,
-                    sorted(set(fingerprint_set.values)),
-                    fingerprint_set.bitmap,
+                    [
+                        (
+                            sorted(set(sets[name].values)),
+                            sets[name].bitmap,
+                        )
+                        for name in self._variant_names
+                    ],
                     list(points)
                     if self._store_points and points is not None
                     else None,
                 )
-                for trajectory_id, fingerprint_set, points in entries
+                for trajectory_id, sets, points in coerced
             ]
         )
-        for trajectory_id, fingerprint_set, _ in entries:
-            self._fingerprint_sets[trajectory_id] = fingerprint_set
+        for trajectory_id, sets, _ in coerced:
+            self._fingerprint_sets[trajectory_id] = sets[DEFAULT_VARIANT]
 
     # Backwards-compatible name used by repro.core.persistence.
     _restore_document = add_fingerprints
 
-    def fingerprint_query(self, points: Trajectory) -> FingerprintSet:
+    def fingerprint_query(
+        self, points: Trajectory, variant: str = DEFAULT_VARIANT
+    ) -> FingerprintSet:
         """Fingerprints of a query under this index's normalization."""
+        variant = self.resolve_variant(variant)
         if self.normalizer is not None:
             points = self.normalizer(points)
-        return self.fingerprinter.fingerprint(points)
+        return self._fingerprinters[variant].fingerprint(points)
 
-    def _plan_query(self, fingerprint_set: FingerprintSet) -> PreparedQuery:
+    def _plan_query(
+        self, fingerprint_set: FingerprintSet, variant: str = DEFAULT_VARIANT
+    ) -> PreparedQuery:
         """Plan a fingerprinted query's (single-shard) contact."""
         terms = tuple(sorted(set(fingerprint_set.values)))
         plan = {0: list(terms)} if terms else {}
-        return PreparedQuery(fingerprint_set, terms, plan)
+        return PreparedQuery(fingerprint_set, terms, plan, variant)
 
-    def prepare_query(self, points: Trajectory) -> PreparedQuery:
-        """Fingerprint a query and plan its (single-shard) contact."""
-        return self._plan_query(self.fingerprint_query(points))
+    def prepare_query(
+        self, points: Trajectory, variant: str = DEFAULT_VARIANT
+    ) -> PreparedQuery:
+        """Fingerprint a query and plan its (single-shard) contact.
+
+        ``variant`` selects the fingerprint pipeline (``auto`` resolves
+        to the densest registered variant); the returned prepared query
+        carries the resolved name so execution reads that variant's
+        postings.
+        """
+        variant = self.resolve_variant(variant)
+        return self._plan_query(
+            self.fingerprint_query(points, variant), variant
+        )
 
     def prepare_query_many(
-        self, queries: Sequence[Trajectory]
+        self, queries: Sequence[Trajectory], variant: str = DEFAULT_VARIANT
     ) -> list[PreparedQuery]:
         """Prepare a burst of queries in one columnar pass.
 
@@ -782,7 +1044,10 @@ class GeodabIndex(TrajectoryInvertedIndex):
         interchangeable with the per-query path, which the property
         tests assert.
         """
+        variant = self.resolve_variant(variant)
         return [
-            self._plan_query(fingerprint_set)
-            for fingerprint_set in self.fingerprint_many(queries)
+            self._plan_query(fingerprint_set, variant)
+            for fingerprint_set in self._fingerprinters[
+                variant
+            ].fingerprint_normalized_many(self.normalizer, queries)
         ]

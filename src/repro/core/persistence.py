@@ -1,15 +1,15 @@
-"""Saving and loading geodab indexes (v1 JSON and v2 columnar snapshots).
+"""Saving and loading geodab indexes (v1 JSON, v2/v3 columnar snapshots).
 
-Two on-disk formats coexist:
+Three on-disk formats coexist:
 
 * **v1** (legacy, single-node only) stores the configuration and the
   winnowing selections of every indexed trajectory as one JSON file —
   postings and bitmaps are *re-derived* on load, so loading costs a full
   rebuild.
-* **v2** (the default) is a snapshot *directory* that persists the
-  columnar index state directly: a ``manifest.json``, one binary
-  postings blob per shard (the :meth:`~repro.core.postings.PostingsStore.save`
-  layout — memory-mappable, so a multi-GB postings file warms up in
+* **v2** is a snapshot *directory* that persists the columnar index
+  state directly: a ``manifest.json``, one binary postings blob per
+  shard (the :meth:`~repro.core.postings.PostingsStore.save` layout —
+  memory-mappable, so a multi-GB postings file warms up in
   milliseconds), the serialized per-slot term bitmaps, and (single-node
   only) the winnowing selections for motif discovery.  The arena slot
   layout — including tombstones and the free list — round-trips exactly,
@@ -18,11 +18,17 @@ Two on-disk formats coexist:
   :class:`~repro.core.index.GeodabIndex` and
   :class:`~repro.cluster.cluster.ShardedGeodabIndex` are supported; the
   sharding spec rides along in the manifest.
+* **v3** (the default) extends v2 with the fingerprint-variant registry
+  — one postings blob set and one bitmap section *per registered
+  variant* (the default variant keeps the v2 file names, so
+  variant-unaware readers still see a coherent snapshot) — and an
+  optional ``points.bin`` holding the raw trajectory points of a
+  ``store_points=True`` index, so exact DTW/Fréchet re-ranking survives
+  a warm start.  v2 snapshots load as a single-variant registry.
 
 Normalizers are arbitrary callables and are *not* persisted; pass the
 same normalizer to :func:`load_index` that the original index was built
-with (queries must be normalized identically).  Raw trajectory points
-are not persisted either, so ``points_of`` is unavailable after a load.
+with (queries must be normalized identically).
 """
 
 from __future__ import annotations
@@ -38,11 +44,13 @@ from typing import TYPE_CHECKING, Hashable, Iterable
 import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from ..geo.point import Point
 from .arena import TOMBSTONE, TOMBSTONE_CARD
 from .config import GeodabConfig
 from .fingerprint import FingerprintSet
 from .index import GeodabIndex, Normalizer
 from .postings import PostingsStore
+from .registry import DEFAULT_VARIANT, FingerprintRegistry
 from .winnowing import Selection
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -52,6 +60,7 @@ __all__ = [
     "save_index",
     "load_index",
     "attach_shard_postings",
+    "attach_variant_postings",
     "publish_snapshot",
     "resolve_snapshot",
     "prune_snapshots",
@@ -63,18 +72,22 @@ FORMAT = "repro-geodab-index"
 VERSION_V1 = 1
 #: Columnar snapshot directory format (loads without rebuild).
 VERSION_V2 = 2
+#: v2 plus the fingerprint-variant registry and optional raw points.
+VERSION_V3 = 3
 #: Default version written by :func:`save_index`.
-VERSION = VERSION_V2
+VERSION = VERSION_V3
 
-#: Name of the v2 manifest inside a snapshot directory.
+#: Name of the v2/v3 manifest inside a snapshot directory.
 MANIFEST_NAME = "manifest.json"
 #: Pointer file naming the live snapshot inside a snapshot directory.
 CURRENT_POINTER = "CURRENT"
 
 _BITMAPS_NAME = "bitmaps.bin"
 _SELECTIONS_NAME = "selections.bin"
+_POINTS_NAME = "points.bin"
 _BITMAPS_MAGIC = b"GDBMAP01"
 _SELECTIONS_MAGIC = b"GDSEL001"
+_POINTS_MAGIC = b"GDPTS001"
 
 
 def _check_string_ids(trajectory_ids: Iterable[Hashable]) -> None:
@@ -256,14 +269,96 @@ def _read_selections(path: Path, expected: int) -> list[list[Selection]]:
     return out
 
 
+def _write_points(
+    path: Path, slot_ids: list[Hashable], points_column: list
+) -> None:
+    """Raw trajectory points of every slot, columnar (v3 only).
+
+    Layout: magic, ``u64`` slot count, one ``i64`` per slot (the point
+    count, ``-1`` for slots without stored points — tombstones or
+    documents inserted without raw points), then all ``f64`` lat/lon
+    pairs concatenated in slot order.  Loading is two ``np.frombuffer``
+    calls, mirroring the selections blob.
+    """
+    counts = np.empty(len(slot_ids), dtype="<i8")
+    for slot, (slot_id, points) in enumerate(zip(slot_ids, points_column)):
+        if slot_id is TOMBSTONE or points is None:
+            counts[slot] = -1
+        else:
+            counts[slot] = len(points)
+    total = int(counts[counts > 0].sum()) if len(slot_ids) else 0
+    coords = np.empty((total, 2), dtype="<f8")
+    at = 0
+    for slot_id, points in zip(slot_ids, points_column):
+        if slot_id is TOMBSTONE or points is None:
+            continue
+        for point in points:
+            coords[at, 0] = point.lat
+            coords[at, 1] = point.lon
+            at += 1
+    with open(path, "wb") as handle:
+        handle.write(_POINTS_MAGIC)
+        handle.write(struct.pack("<Q", len(slot_ids)))
+        handle.write(counts.tobytes())
+        handle.write(coords.tobytes())
+
+
+def _read_points(path: Path, expected: int) -> list:
+    blob = memoryview(path.read_bytes())
+    if bytes(blob[:8]) != _POINTS_MAGIC:
+        raise ValueError(f"{path} is not a snapshot points file")
+    try:
+        (count,) = struct.unpack_from("<Q", blob, 8)
+    except struct.error as exc:
+        raise ValueError(f"{path}: truncated points file") from exc
+    if count != expected:
+        raise ValueError(f"{path}: {count} point records, expected {expected}")
+    counts = np.frombuffer(blob, dtype="<i8", count=count, offset=16)
+    coords_offset = 16 + 8 * count
+    total = int(counts[counts > 0].sum()) if count else 0
+    coords = np.frombuffer(
+        blob, dtype="<f8", count=2 * total, offset=coords_offset
+    ).reshape(total, 2)
+    out: list = []
+    start = 0
+    for n in counts.tolist():
+        if n < 0:
+            out.append(None)
+            continue
+        out.append(
+            [Point(lat, lon) for lat, lon in coords[start:start + n].tolist()]
+        )
+        start += n
+    return out
+
+
 def _postings_name(shard_id: int) -> str:
     return f"postings-{shard_id:05d}.bin"
+
+
+def _variant_bitmaps_name(variant: str) -> str:
+    """Bitmap blob name: the default variant keeps the v2 file name."""
+    if variant == DEFAULT_VARIANT:
+        return _BITMAPS_NAME
+    return f"bitmaps-{variant}.bin"
+
+
+def _variant_postings_name(variant: str, shard_id: int) -> str:
+    """Postings blob name: the default variant keeps the v2 file names."""
+    if variant == DEFAULT_VARIANT:
+        return _postings_name(shard_id)
+    return f"postings-{variant}-{shard_id:05d}.bin"
 
 
 def _save_v2(index: "GeodabIndex | ShardedGeodabIndex", path: Path) -> None:
     from ..cluster.cluster import ShardedGeodabIndex
 
     sharded = isinstance(index, ShardedGeodabIndex)
+    if len(index.registry) > 1:
+        raise ValueError(
+            "v2 snapshots cannot persist a multi-variant registry; "
+            "use version=3"
+        )
     arena = index._arena
     _check_string_ids(arena.id_to_internal)
     if path.exists() and not path.is_dir():
@@ -377,7 +472,9 @@ def _load_v2(
             slot_ids, (bitmaps, [None] * len(slot_ids)), cardinalities
         )
         for shard, name in zip(sharded.shards, postings_files):
-            shard.postings = PostingsStore.load(path / name, mmap_mode)
+            shard.attach(
+                DEFAULT_VARIANT, PostingsStore.load(path / name, mmap_mode)
+            )
         return sharded
 
     if manifest["kind"] != "single":
@@ -390,7 +487,9 @@ def _load_v2(
     index._arena.restore(
         slot_ids, (bitmaps, [None] * len(slot_ids)), cardinalities
     )
-    index._postings = PostingsStore.load(path / postings_files[0], mmap_mode)
+    index._attach_postings(
+        DEFAULT_VARIANT, PostingsStore.load(path / postings_files[0], mmap_mode)
+    )
     live = [
         (slot, slot_id)
         for slot, slot_id in enumerate(slot_ids)
@@ -407,6 +506,210 @@ def _load_v2(
 
 
 # ----------------------------------------------------------------------
+# v3: v2 plus the variant registry and optional raw points
+# ----------------------------------------------------------------------
+
+
+def _save_v3(index: "GeodabIndex | ShardedGeodabIndex", path: Path) -> None:
+    from ..cluster.cluster import ShardedGeodabIndex
+
+    sharded = isinstance(index, ShardedGeodabIndex)
+    arena = index._arena
+    names = index.registry.names
+    _check_string_ids(arena.id_to_internal)
+    if path.exists() and not path.is_dir():
+        raise ValueError(f"{path} exists and is not a snapshot directory")
+
+    # Same staging discipline as v2: everything lands in a sibling temp
+    # directory, the manifest is written last, and the final rename is
+    # the commit point.
+    stage = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    if stage.exists():
+        shutil.rmtree(stage)
+    stage.mkdir(parents=True)
+    try:
+        slot_ids = list(arena.ids)
+        store_points = bool(getattr(index, "store_points", False))
+        variant_files: dict[str, dict] = {}
+        for name in names:
+            if sharded:
+                bitmaps = index._variant_bitmaps[name]
+                postings_files = []
+                for shard in index.shards:
+                    file_name = _variant_postings_name(name, shard.shard_id)
+                    shard.store(name).save(stage / file_name)
+                    postings_files.append(file_name)
+            else:
+                bitmaps = index._variant_bitmaps[name]
+                file_name = _variant_postings_name(name, 0)
+                index._variant_store(name).save(stage / file_name)
+                postings_files = [file_name]
+            bitmaps_name = _variant_bitmaps_name(name)
+            _write_bitmaps(stage / bitmaps_name, slot_ids, bitmaps)
+            variant_files[name] = {
+                "bitmaps": bitmaps_name,
+                "postings": postings_files,
+            }
+        if not sharded:
+            live_sets = [
+                index._fingerprint_sets[slot_id]
+                for slot_id in slot_ids
+                if slot_id is not TOMBSTONE
+            ]
+            _write_selections(stage / _SELECTIONS_NAME, live_sets)
+        points_file = None
+        if store_points:
+            points_file = _POINTS_NAME
+            _write_points(stage / _POINTS_NAME, slot_ids, index._points)
+
+        manifest: dict = {
+            "format": FORMAT,
+            "version": VERSION_V3,
+            "kind": "sharded" if sharded else "single",
+            "config": asdict(index.config),
+            "slots": [
+                None if slot_id is TOMBSTONE else slot_id
+                for slot_id in slot_ids
+            ],
+            # The default variant's blobs under the v2 keys, so variant-
+            # unaware readers (worker attach on a mixed fleet) still see
+            # a coherent single-variant snapshot.
+            "postings_files": variant_files[DEFAULT_VARIANT]["postings"],
+            "variants": index.registry.describe(),
+            "variant_files": variant_files,
+            "store_points": store_points,
+            "points_file": points_file,
+        }
+        if sharded:
+            manifest["sharding"] = asdict(index.sharding)
+        (stage / MANIFEST_NAME).write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+    except BaseException:
+        shutil.rmtree(stage, ignore_errors=True)
+        raise
+    if path.exists():
+        shutil.rmtree(path)
+    os.rename(stage, path)
+
+
+def _load_v3(
+    path: Path, normalizer: Normalizer | None, mmap_mode: str | None
+) -> "GeodabIndex | ShardedGeodabIndex":
+    from ..cluster.cluster import ShardedGeodabIndex
+    from ..cluster.sharding import ShardingConfig
+
+    manifest = _read_manifest(path)
+    if manifest["version"] != VERSION_V3:
+        raise ValueError(
+            f"unsupported snapshot version {manifest.get('version')!r}"
+        )
+    config = GeodabConfig(**manifest["config"])
+    registry = FingerprintRegistry.from_manifest(
+        manifest.get("variants"), config
+    )
+    extras = [registry.spec(name) for name in registry.extra_names]
+    wide = not config.fits_in_32_bits
+    slot_ids: list[Hashable] = [
+        TOMBSTONE if slot is None else slot for slot in manifest["slots"]
+    ]
+    variant_files = manifest["variant_files"]
+    missing = [name for name in registry.names if name not in variant_files]
+    if missing:
+        raise ValueError(f"{path}: no blobs for variant(s) {missing!r}")
+    variant_bitmaps: dict[str, list] = {}
+    variant_cards: dict[str, list[int]] = {}
+    for name in registry.names:
+        bitmaps = _read_bitmaps(
+            path / variant_files[name]["bitmaps"], wide, len(slot_ids)
+        )
+        variant_bitmaps[name] = bitmaps
+        variant_cards[name] = [
+            TOMBSTONE_CARD if slot_id is TOMBSTONE else len(bitmap)
+            for slot_id, bitmap in zip(slot_ids, bitmaps)
+        ]
+    store_points = bool(manifest.get("store_points", False))
+    if store_points:
+        points_column = _read_points(
+            path / manifest["points_file"], len(slot_ids)
+        )
+    else:
+        points_column = [None] * len(slot_ids)
+    default_bitmaps = variant_bitmaps[DEFAULT_VARIANT]
+    extra_bitmap_columns = [
+        variant_bitmaps[name] for name in registry.extra_names
+    ]
+    columns = (default_bitmaps, points_column, *extra_bitmap_columns)
+    card_rows = [variant_cards[name] for name in registry.names]
+    cardinalities = card_rows[0] if len(card_rows) == 1 else tuple(card_rows)
+
+    if manifest["kind"] == "sharded":
+        sharding = ShardingConfig(**manifest["sharding"])
+        sharded = ShardedGeodabIndex(
+            config,
+            sharding,
+            normalizer=normalizer,
+            store_points=store_points,
+            variants=extras,
+        )
+        sharded._arena.restore(slot_ids, columns, cardinalities)
+        for name in registry.names:
+            postings_files = variant_files[name]["postings"]
+            if len(postings_files) != sharding.num_shards:
+                raise ValueError(
+                    f"{path}: {len(postings_files)} postings files for "
+                    f"{sharding.num_shards} shards (variant {name!r})"
+                )
+            for shard, file_name in zip(sharded.shards, postings_files):
+                shard.attach(
+                    name, PostingsStore.load(path / file_name, mmap_mode)
+                )
+        return sharded
+
+    if manifest["kind"] != "single":
+        raise ValueError(f"unknown snapshot kind {manifest['kind']!r}")
+    index = GeodabIndex(
+        config,
+        normalizer=normalizer,
+        store_points=store_points,
+        variants=extras,
+    )
+    index._arena.restore(slot_ids, columns, cardinalities)
+    for name in registry.names:
+        postings_files = variant_files[name]["postings"]
+        if len(postings_files) != 1:
+            raise ValueError(
+                f"{path}: single-node snapshot needs exactly one postings "
+                f"file (variant {name!r})"
+            )
+        index._attach_postings(
+            name, PostingsStore.load(path / postings_files[0], mmap_mode)
+        )
+    live = [
+        (slot, slot_id)
+        for slot, slot_id in enumerate(slot_ids)
+        if slot_id is not TOMBSTONE
+    ]
+    selection_lists = _read_selections(path / _SELECTIONS_NAME, len(live))
+    for (slot, slot_id), selections in zip(live, selection_lists):
+        index._fingerprint_sets[slot_id] = FingerprintSet(
+            tuple(selections), default_bitmaps[slot]
+        )
+    return index
+
+
+def _read_manifest(path: Path) -> dict:
+    """Parse and format-check a snapshot directory's manifest."""
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"{path} has no {MANIFEST_NAME}: not a snapshot")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a geodab index snapshot")
+    return manifest
+
+
+# ----------------------------------------------------------------------
 # Public surface
 # ----------------------------------------------------------------------
 
@@ -419,17 +722,23 @@ def save_index(
 ) -> None:
     """Write an index to ``path``.
 
-    ``version=2`` (default) writes a columnar snapshot *directory* and
-    accepts both :class:`GeodabIndex` and
-    :class:`~repro.cluster.cluster.ShardedGeodabIndex`.  ``version=1``
-    writes the legacy single-node JSON file.  Either way, all trajectory
-    ids are validated up front (only strings persist faithfully), so a
-    failed save never does partial work.
+    ``version=3`` (default) writes a columnar snapshot *directory* —
+    per-variant postings blobs and bitmap sections plus, when the index
+    stores raw trajectories, a ``points.bin`` so exact re-ranking
+    survives a warm start.  ``version=2`` writes the previous snapshot
+    layout (single-variant only, no raw points); ``version=1`` writes
+    the legacy single-node JSON file.  Either way, all trajectory ids
+    are validated up front (only strings persist faithfully), so a
+    failed save never does partial work.  Both accept
+    :class:`GeodabIndex` and
+    :class:`~repro.cluster.cluster.ShardedGeodabIndex`.
     """
     from ..cluster.cluster import ShardedGeodabIndex
 
     path = Path(path)
-    if version == VERSION_V2:
+    if version == VERSION_V3:
+        _save_v3(index, path)
+    elif version == VERSION_V2:
         _save_v2(index, path)
     elif version == VERSION_V1:
         if isinstance(index, ShardedGeodabIndex):
@@ -449,15 +758,22 @@ def load_index(
 ) -> "GeodabIndex | ShardedGeodabIndex":
     """Read an index written by :func:`save_index` (either version).
 
-    A directory loads as a v2 snapshot: postings come straight off disk
-    (memory-mapped when ``mmap_mode`` is e.g. ``"r"``), bitmaps
-    deserialize, and nothing is re-derived.  A file loads as v1 JSON and
-    rebuilds postings from the stored selections; ``mmap_mode`` does not
-    apply.  The returned index answers queries identically to the
-    original (given the same ``normalizer``).
+    A directory loads as a v2/v3 snapshot: postings come straight off
+    disk (memory-mapped when ``mmap_mode`` is e.g. ``"r"``), bitmaps
+    deserialize, and nothing is re-derived.  A v2 snapshot loads as a
+    single-variant registry; a v3 snapshot restores every registered
+    variant and (when saved with ``store_points=True``) the raw
+    trajectory points, so exact queries work immediately after a warm
+    start.  A file loads as v1 JSON and rebuilds postings from the
+    stored selections; ``mmap_mode`` does not apply.  The returned index
+    answers queries identically to the original (given the same
+    ``normalizer``).
     """
     path = Path(path)
     if path.is_dir():
+        manifest = _read_manifest(path)
+        if manifest.get("version") == VERSION_V3:
+            return _load_v3(path, normalizer, mmap_mode)
         return _load_v2(path, normalizer, mmap_mode)
     payload = json.loads(path.read_text(encoding="utf-8"))
     if payload.get("format") != FORMAT:
@@ -482,41 +798,63 @@ def attach_shard_postings(
     multi-GB snapshot is near-instant.
 
     Returns ``{shard_id: PostingsStore}`` — one entry per shard for a
-    sharded snapshot, ``{0: store}`` for a single-node one.  Raises
-    ``ValueError`` on a missing/torn/foreign snapshot, like
+    sharded snapshot, ``{0: store}`` for a single-node one.  A v3
+    snapshot attaches its *default* variant here (the default keeps the
+    v2 blob names); use :func:`attach_variant_postings` for all of them.
+    Raises ``ValueError`` on a missing/torn/foreign snapshot, like
     :func:`load_index`.
     """
+    return attach_variant_postings(path, mmap_mode)[DEFAULT_VARIANT]
+
+
+def attach_variant_postings(
+    path: str | Path, mmap_mode: str | None = "r"
+) -> dict[str, dict[int, PostingsStore]]:
+    """Attach every variant's per-shard postings blobs of a snapshot.
+
+    The worker-process transport's loader: a shard-serving worker needs
+    the postings arrays (to answer ``hits``/``postings_map``) but none
+    of the bitmap or arena state — ranking happens at the coordinator.
+    Skipping the bitmap deserialization makes worker attach O(shards x
+    variants) metadata work plus lazy page-ins, so respawning a worker
+    against a multi-GB snapshot is near-instant.
+
+    Returns ``{variant: {shard_id: PostingsStore}}``; a v2 snapshot
+    yields the single ``default`` entry.  Raises ``ValueError`` on a
+    missing/torn/foreign snapshot, like :func:`load_index`.
+    """
     path = Path(path)
-    manifest_path = path / MANIFEST_NAME
-    if not manifest_path.is_file():
-        raise ValueError(f"{path} has no {MANIFEST_NAME}: not a v2 snapshot")
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    if manifest.get("format") != FORMAT:
-        raise ValueError(f"{path} is not a geodab index snapshot")
-    if manifest.get("version") != VERSION_V2:
-        raise ValueError(
-            f"unsupported snapshot version {manifest.get('version')!r}"
-        )
-    postings_files = manifest["postings_files"]
+    manifest = _read_manifest(path)
+    version = manifest.get("version")
+    if version not in (VERSION_V2, VERSION_V3):
+        raise ValueError(f"unsupported snapshot version {version!r}")
+    if version == VERSION_V3:
+        variant_files = {
+            name: files["postings"]
+            for name, files in manifest["variant_files"].items()
+        }
+    else:
+        variant_files = {DEFAULT_VARIANT: manifest["postings_files"]}
     if manifest["kind"] == "sharded":
         expected = manifest["sharding"]["num_shards"]
+    elif manifest["kind"] == "single":
+        expected = 1
+    else:
+        raise ValueError(f"unknown snapshot kind {manifest['kind']!r}")
+    for name, postings_files in variant_files.items():
         if len(postings_files) != expected:
             raise ValueError(
                 f"{path}: {len(postings_files)} postings files for "
-                f"{expected} shards"
+                f"{expected} shards (variant {name!r})"
             )
-    elif manifest["kind"] == "single":
-        if len(postings_files) != 1:
-            raise ValueError(
-                f"{path}: single-node snapshot needs exactly one postings file"
-            )
-    else:
-        raise ValueError(f"unknown snapshot kind {manifest['kind']!r}")
-    # Files are written in shard order (see _save_v2), matching how
-    # _load_v2 zips them back onto shards.
+    # Files are written in shard order (see _save_v2/_save_v3), matching
+    # how the loaders zip them back onto shards.
     return {
-        shard_id: PostingsStore.load(path / name, mmap_mode)
-        for shard_id, name in enumerate(postings_files)
+        name: {
+            shard_id: PostingsStore.load(path / file_name, mmap_mode)
+            for shard_id, file_name in enumerate(postings_files)
+        }
+        for name, postings_files in variant_files.items()
     }
 
 
@@ -525,7 +863,7 @@ def publish_snapshot(
     directory: str | Path,
     tag: str,
 ) -> Path:
-    """Save a v2 snapshot under ``directory`` and mark it current.
+    """Save a snapshot under ``directory`` and mark it current.
 
     The snapshot lands in ``directory/snapshot-<tag>`` and the
     ``CURRENT`` pointer file is updated atomically (write + rename), so
@@ -537,7 +875,7 @@ def publish_snapshot(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     target = directory / f"snapshot-{tag}"
-    save_index(index, target, version=VERSION_V2)
+    save_index(index, target, version=VERSION)
     tmp = directory / (CURRENT_POINTER + ".tmp")
     tmp.write_text(target.name + "\n", encoding="utf-8")
     os.replace(tmp, directory / CURRENT_POINTER)

@@ -69,6 +69,13 @@ class QuerySpec:
     * ``band`` — optional Sakoe-Chiba half-width for ``dtw``.  The
       effective band is widened to at least ``|len(p) - len(q)|`` so an
       alignment always exists; ``None`` means unbanded (exact DTW).
+    * ``variant`` — named fingerprint variant for the retrieval tier
+      (see :mod:`repro.core.registry`).  ``default`` is the index's
+      base parameterization (so existing clients see zero change);
+      ``auto`` picks the densest registered variant — what exact modes
+      want, since tier-1 recall tracks fingerprint density.  Unregistered
+      names are rejected at execution time with
+      :exc:`~repro.core.registry.UnknownVariant`.
     """
 
     mode: str = "approx"
@@ -77,6 +84,7 @@ class QuerySpec:
     max_distance: float | None = None
     overfetch: int = 4
     band: int | None = None
+    variant: str = "default"
 
     def __post_init__(self) -> None:
         if self.mode not in QUERY_MODES:
@@ -132,6 +140,8 @@ class QuerySpec:
                 raise ValueError("'band' must be a non-negative integer")
             if self.metric != "dtw":
                 raise ValueError("'band' applies only to the dtw metric")
+        if not isinstance(self.variant, str) or not self.variant:
+            raise ValueError("'variant' must be a non-empty string")
 
     # ------------------------------------------------------------------
     # Derived views
@@ -177,6 +187,7 @@ class QuerySpec:
             self.max_distance,
             self.overfetch,
             self.band,
+            self.variant,
         )
 
     # ------------------------------------------------------------------
@@ -193,7 +204,10 @@ class QuerySpec:
         """
         if not isinstance(payload, dict):
             raise ValueError("'spec' must be a JSON object")
-        known = {"mode", "metric", "limit", "max_distance", "overfetch", "band"}
+        known = {
+            "mode", "metric", "limit", "max_distance", "overfetch",
+            "band", "variant",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ValueError(
@@ -201,7 +215,7 @@ class QuerySpec:
                 f"valid fields: {sorted(known)!r}"
             )
         kwargs: dict = {}
-        for key in ("mode", "metric"):
+        for key in ("mode", "metric", "variant"):
             if key in payload:
                 value = payload[key]
                 if not isinstance(value, str):
@@ -222,6 +236,8 @@ class QuerySpec:
         payload["overfetch"] = self.overfetch
         if self.band is not None:
             payload["band"] = self.band
+        if self.variant != "default":
+            payload["variant"] = self.variant
         return payload
 
 
@@ -321,11 +337,17 @@ class PreparedQuery:
     concurrent queries) while reusing exactly the routing and ranking of
     the sequential path.  ``plan`` maps shard id to the terms that shard
     must serve; a single-node index plans everything onto shard 0.
+
+    ``variant`` names the *resolved* fingerprint variant the query was
+    prepared under (``auto`` never reaches here): the fingerprint set,
+    terms, and plan were all produced by that variant's pipeline, and
+    execution must read that variant's postings and cardinalities.
     """
 
     fingerprint_set: FingerprintSet
     terms: tuple[int, ...]
     plan: dict[int, list[int]]
+    variant: str = "default"
 
     @property
     def query_bitmap(self) -> RoaringBitmap | Roaring64Map:

@@ -1,0 +1,304 @@
+"""Fingerprint registry: named fingerprint variants, selected per query.
+
+The paper fixes one fingerprint parameterization (geohash depth ``d``,
+k-gram size ``k``, winnowing window ``t``) for the whole index, but the
+re-rank benchmarks showed retrieval-tier recall depends directly on
+fingerprint *density*: a smaller winnowing window keeps more geodabs per
+trajectory, so the Jaccard tier surfaces more of the true exact-metric
+neighbours at the cost of a bigger index.  Exact queries therefore want
+a dense variant while approx queries keep the paper's defaults — the
+same filter/metric separation the drug-discovery fingerprint stores
+make by indexing typed fingerprint variants side by side.
+
+This module owns the naming and parameter bookkeeping:
+
+* :class:`VariantSpec` — one named parameterization.  Only the fields
+  that change fingerprint *content* are per-variant (``depth``, ``k``,
+  ``t``, ``suffix_hash``); term layout fields (prefix/suffix bits,
+  hash seed) are inherited from the index's base configuration, so one
+  shard router and one bitmap width serve every variant.
+* :class:`FingerprintRegistry` — the ordered set of variants an index
+  was constructed with.  The ``default`` variant is always first and
+  always carries the base configuration, so a registry-free index is
+  exactly a one-entry registry and existing behaviour is unchanged.
+* :exc:`UnknownVariant` — raised when a query names a variant the index
+  was not built with (the HTTP tier maps it to a structured 400).
+
+``resolve`` also implements the ``auto`` policy: pick the densest
+registered variant (smallest winnowing window ``w = t - k + 1``; ties
+break by registration order), which is what exact queries want when the
+client does not care about variant names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterator, Mapping, Sequence
+
+from .config import SUFFIX_HASHES, GeodabConfig
+
+__all__ = [
+    "AUTO_VARIANT",
+    "DEFAULT_VARIANT",
+    "FingerprintRegistry",
+    "UnknownVariant",
+    "VariantSpec",
+]
+
+#: Name of the implicit variant carrying the index's base configuration.
+DEFAULT_VARIANT = "default"
+
+#: Pseudo-name resolving to the densest registered variant.
+AUTO_VARIANT = "auto"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+class UnknownVariant(LookupError):
+    """A query named a fingerprint variant the index was not built with."""
+
+    def __init__(self, name: object, known: Sequence[str]) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown fingerprint variant {name!r}; registered variants: "
+            f"{', '.join(self.known)} (or 'auto')"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VariantSpec:
+    """One named fingerprint parameterization.
+
+    Only content-shaping fields are declared here; the derived
+    :class:`~repro.core.config.GeodabConfig` (see :meth:`config_for`)
+    inherits the base configuration's term layout (prefix/suffix bits,
+    cover depth, hash seed) so every variant's terms route through the
+    same shard placement and share one bitmap width.
+    """
+
+    name: str
+    normalization_depth: int = 36
+    k: int = 6
+    t: int = 12
+    suffix_hash: str = "chain"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_RE.match(self.name):
+            raise ValueError(
+                "variant names must be non-empty and use only letters, "
+                f"digits, '_', '.', '-' (got {self.name!r})"
+            )
+        if self.name == AUTO_VARIANT:
+            raise ValueError("'auto' is reserved for the densest-variant policy")
+        if self.suffix_hash not in SUFFIX_HASHES:
+            raise ValueError(
+                f"'suffix_hash' must be one of {'/'.join(SUFFIX_HASHES)}, "
+                f"got {self.suffix_hash!r}"
+            )
+        # Delegate numeric validation (k >= 1, t >= k, depth bounds) to
+        # the config type itself so a variant can never hold parameters
+        # the fingerprint pipeline would reject later.
+        GeodabConfig(
+            normalization_depth=self.normalization_depth,
+            k=self.k,
+            t=self.t,
+            suffix_hash=self.suffix_hash,
+        )
+
+    @property
+    def window(self) -> int:
+        """Winnowing window width ``w = t - k + 1`` (density inverse)."""
+        return self.t - self.k + 1
+
+    def config_for(self, base: GeodabConfig) -> GeodabConfig:
+        """The full pipeline config: this variant over ``base``'s layout."""
+        return dataclasses.replace(
+            base,
+            normalization_depth=self.normalization_depth,
+            k=self.k,
+            t=self.t,
+            suffix_hash=self.suffix_hash,
+        )
+
+    @classmethod
+    def from_config(cls, name: str, config: GeodabConfig) -> "VariantSpec":
+        """Variant carrying ``config``'s content-shaping fields."""
+        return cls(
+            name=name,
+            normalization_depth=config.normalization_depth,
+            k=config.k,
+            t=config.t,
+            suffix_hash=config.suffix_hash,
+        )
+
+    @classmethod
+    def parse(cls, flag: str) -> "VariantSpec":
+        """Parse a ``NAME=depth,k,t[,scheme]`` CLI flag value."""
+        name, eq, params = flag.partition("=")
+        if not eq:
+            raise ValueError(
+                f"variant flag {flag!r} must look like NAME=depth,k,t[,scheme]"
+            )
+        parts = [part.strip() for part in params.split(",")]
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"variant flag {flag!r} must give depth,k,t (and optionally "
+                "a suffix-hash scheme)"
+            )
+        try:
+            depth, k, t = (int(part) for part in parts[:3])
+        except ValueError:
+            raise ValueError(
+                f"variant flag {flag!r}: depth, k and t must be integers"
+            ) from None
+        suffix_hash = parts[3] if len(parts) == 4 else "chain"
+        return cls(
+            name=name.strip(),
+            normalization_depth=depth,
+            k=k,
+            t=t,
+            suffix_hash=suffix_hash,
+        )
+
+    def to_json(self) -> dict:
+        """JSON-ready form (snapshot manifests, ``GET /stats``)."""
+        return {
+            "name": self.name,
+            "normalization_depth": self.normalization_depth,
+            "k": self.k,
+            "t": self.t,
+            "suffix_hash": self.suffix_hash,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "VariantSpec":
+        """Inverse of :meth:`to_json`; raises ``ValueError`` on bad shape."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("variant entries must be JSON objects")
+        known = {"name", "normalization_depth", "k", "t", "suffix_hash"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown variant field(s) {sorted(unknown)!r}")
+        if "name" not in payload:
+            raise ValueError("variant entries require a 'name'")
+        return cls(**dict(payload))
+
+
+class FingerprintRegistry:
+    """The ordered fingerprint variants one index was constructed with.
+
+    The ``default`` variant is always present, always first, and always
+    carries the index's base configuration — a registry built with no
+    extras is behaviourally identical to the pre-registry single-variant
+    index.  Extra variants keep their registration order, which is the
+    tie-break of the ``auto`` (densest) policy.
+    """
+
+    __slots__ = ("base_config", "_specs")
+
+    def __init__(
+        self,
+        base_config: GeodabConfig,
+        extras: Sequence[VariantSpec] = (),
+    ) -> None:
+        self.base_config = base_config
+        specs: dict[str, VariantSpec] = {
+            DEFAULT_VARIANT: VariantSpec.from_config(DEFAULT_VARIANT, base_config)
+        }
+        for spec in extras:
+            if spec.name in specs:
+                raise ValueError(f"duplicate variant name {spec.name!r}")
+            specs[spec.name] = spec
+        self._specs = specs
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Variant names in registration order (``default`` first)."""
+        return tuple(self._specs)
+
+    @property
+    def extra_names(self) -> tuple[str, ...]:
+        """Non-default variant names in registration order."""
+        return tuple(self._specs)[1:]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[VariantSpec]:
+        return iter(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def resolve(self, name: str) -> str:
+        """Concrete variant name for a query's request.
+
+        ``auto`` resolves to the densest registered variant — smallest
+        winnowing window, registration order breaking ties — because
+        density is what the exact tier's recall depends on.  Unknown
+        names raise :exc:`UnknownVariant` (mapped to a structured 400
+        by the HTTP tier).
+        """
+        if name == AUTO_VARIANT:
+            return min(self._specs.values(), key=self._density_key).name
+        if name not in self._specs:
+            raise UnknownVariant(name, self.names)
+        return name
+
+    @staticmethod
+    def _density_key(spec: VariantSpec) -> tuple[int, int]:
+        # Smaller window => denser selection; deeper geohash refines the
+        # tie so 'auto' prefers the higher-resolution variant among
+        # equally dense windows.
+        return (spec.window, -spec.normalization_depth)
+
+    def spec(self, name: str) -> VariantSpec:
+        """The :class:`VariantSpec` behind a (resolved) name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownVariant(name, self.names) from None
+
+    def config(self, name: str) -> GeodabConfig:
+        """Full pipeline configuration of a (resolved) variant."""
+        return self.spec(name).config_for(self.base_config)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def describe(self) -> list[dict]:
+        """JSON-ready variant list (manifest ``variants`` section)."""
+        return [spec.to_json() for spec in self._specs.values()]
+
+    @classmethod
+    def from_manifest(
+        cls, payload: object, base_config: GeodabConfig
+    ) -> "FingerprintRegistry":
+        """Rebuild from a manifest ``variants`` section.
+
+        The default entry, when present, must match the manifest's own
+        base config — the two are written from the same source, so a
+        mismatch means a corrupt or hand-edited snapshot.
+        """
+        if payload is None:
+            return cls(base_config)
+        if not isinstance(payload, list):
+            raise ValueError("manifest 'variants' must be a list")
+        extras: list[VariantSpec] = []
+        for entry in payload:
+            spec = VariantSpec.from_json(entry)
+            if spec.name == DEFAULT_VARIANT:
+                if spec != VariantSpec.from_config(DEFAULT_VARIANT, base_config):
+                    raise ValueError(
+                        "manifest default variant contradicts its base config"
+                    )
+                continue
+            extras.append(spec)
+        return cls(base_config, extras)

@@ -16,7 +16,9 @@ import math
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
-from ..geo.point import Point, Trajectory, haversine
+import numpy as np
+
+from ..geo.point import EARTH_RADIUS_M, Point, Trajectory, haversine
 from ..roadnet.graph import NodeLocator, RoadNetwork
 from ..roadnet.router import bounded_dijkstra, shortest_path
 
@@ -91,6 +93,27 @@ class MapMatcher:
         hits = self._locator.nearby(point, self.radius_m)
         return hits[: self.max_candidates]
 
+    def _pairwise_haversine(
+        self, from_nodes: Sequence[Hashable], to_nodes: Sequence[Hashable]
+    ) -> np.ndarray:
+        """Great-circle distance matrix between two node sets, in meters.
+
+        One broadcasted trig sweep over all (from, to) pairs — the same
+        formula as :func:`~repro.geo.point.haversine`, which the scalar
+        lattice loop used to call once per pair.
+        """
+        from_points = [self.network.point_of(n) for n in from_nodes]
+        to_points = [self.network.point_of(n) for n in to_nodes]
+        phi_f = np.radians(np.array([p.lat for p in from_points]))[:, None]
+        lam_f = np.radians(np.array([p.lon for p in from_points]))[:, None]
+        phi_t = np.radians(np.array([p.lat for p in to_points]))[None, :]
+        lam_t = np.radians(np.array([p.lon for p in to_points]))[None, :]
+        a = (
+            np.sin((phi_t - phi_f) / 2.0) ** 2
+            + np.cos(phi_f) * np.cos(phi_t) * np.sin((lam_t - lam_f) / 2.0) ** 2
+        )
+        return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
@@ -129,29 +152,39 @@ class MapMatcher:
                 reachable[previous_node] = bounded_dijkstra(
                     self.network, previous_node, reach_bound, weight="length"
                 )
-            for node, offset in candidates:
-                emission = self._emission_logp(offset)
-                best_score = -math.inf
-                best_previous: Hashable | None = None
-                for previous_node, previous_score in scores.items():
-                    route_m = reachable[previous_node].get(node)
-                    if route_m is None:
-                        continue
-                    straight_m = haversine(
-                        self.network.point_of(previous_node),
-                        self.network.point_of(node),
-                    )
-                    score = (
-                        previous_score
-                        + self._transition_logp(route_m, straight_m)
-                        + emission
-                    )
-                    if score > best_score:
-                        best_score = score
-                        best_previous = previous_node
-                if best_previous is not None:
-                    new_scores[node] = best_score
-                    pointers[node] = best_previous
+            # Vectorized lattice step: one (previous x candidate) score
+            # matrix replaces the scalar double loop.  Rows follow the
+            # ``scores`` insertion order and ``np.argmax`` returns the
+            # first maximal row, so tie-breaking matches the scalar
+            # ``score > best_score`` scan exactly.
+            prev_nodes = list(scores)
+            prev_scores = np.fromiter(
+                scores.values(), dtype=np.float64, count=len(prev_nodes)
+            )
+            cand_nodes = [node for node, _ in candidates]
+            offsets = np.array([offset for _, offset in candidates])
+            route = np.full((len(prev_nodes), len(cand_nodes)), np.nan)
+            for i, previous_node in enumerate(prev_nodes):
+                distances = reachable[previous_node]
+                for j, node in enumerate(cand_nodes):
+                    route_m = distances.get(node)
+                    if route_m is not None:
+                        route[i, j] = route_m
+            straight = self._pairwise_haversine(prev_nodes, cand_nodes)
+            emissions = -0.5 * (offsets / self.sigma_m) ** 2
+            total = (
+                prev_scores[:, None]
+                - np.abs(route - straight) / self.beta_m
+                + emissions[None, :]
+            )
+            # Unreachable (previous, candidate) pairs drop out of the max.
+            total = np.where(np.isnan(route), -np.inf, total)
+            best_rows = np.argmax(total, axis=0)
+            best_scores = total[best_rows, np.arange(len(cand_nodes))]
+            for j, node in enumerate(cand_nodes):
+                if math.isfinite(best_scores[j]):
+                    new_scores[node] = float(best_scores[j])
+                    pointers[node] = prev_nodes[best_rows[j]]
             if not new_scores:
                 # Broken lattice (e.g. a gap in the network): restart the
                 # chain from this observation, keeping the better half.

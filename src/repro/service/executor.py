@@ -57,6 +57,7 @@ from ..core.query import (
     QuerySpec,
     TraceSink,
 )
+from ..core.registry import DEFAULT_VARIANT
 from ..core.rerank import ExactSearchUnsupported, rerank_candidates
 from ..core.scoring import ScoringStats
 from ..geo.point import Trajectory
@@ -233,7 +234,8 @@ class QueryExecutor:
     ) -> tuple[list[SearchResult], ExecutionStats]:
         """Fingerprint, fan out, merge, rank (and re-rank when exact)."""
         prepare_start = trace.now()
-        prepared = self.index.prepare_query(points)
+        variant = spec.variant if spec is not None else DEFAULT_VARIANT
+        prepared = self.index.prepare_query(points, variant)
         trace.stage("prepare", prepare_start, trace.now())
         return self.execute_prepared(
             prepared, limit, max_distance, trace, spec=spec, query_points=points
@@ -377,6 +379,7 @@ class QueryExecutor:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> np.ndarray:
         with self._contact_lock:
             self._contact_counts[shard_id] = (
@@ -384,7 +387,9 @@ class QueryExecutor:
             )
         if self.rpc_latency_s:
             time.sleep(self.rpc_latency_s)
-        return self.transport.shard_partial(shard_id, terms, attempt, meta)
+        return self.transport.shard_partial(
+            shard_id, terms, attempt, meta, variant
+        )
 
     def _fetch_shard(
         self,
@@ -392,6 +397,7 @@ class QueryExecutor:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> dict[int, np.ndarray]:
         with self._contact_lock:
             self._contact_counts[shard_id] = (
@@ -399,7 +405,9 @@ class QueryExecutor:
             )
         if self.rpc_latency_s:
             time.sleep(self.rpc_latency_s)
-        return self.transport.shard_postings(shard_id, terms, attempt, meta)
+        return self.transport.shard_postings(
+            shard_id, terms, attempt, meta, variant
+        )
 
     def _timed_call(
         self,
@@ -422,10 +430,10 @@ class QueryExecutor:
 
     def _scatter(
         self,
-        plan: list[tuple[int, Sequence[int]]],
+        plan: list[tuple],
         call: Callable,
         shard_sink: TraceSink,
-    ) -> tuple[dict[int, object], list[_Span], list[int], list[int]]:
+    ) -> tuple[dict, list, list, list]:
         """Contact every planned shard; tolerate transport failures.
 
         Returns ``(results, spans, hedged_shards, failed_shards)`` where
@@ -443,10 +451,10 @@ class QueryExecutor:
 
     def _scatter_sequential(
         self,
-        plan: list[tuple[int, Sequence[int]]],
+        plan: list[tuple],
         call: Callable,
         shard_sink: TraceSink,
-    ) -> tuple[dict[int, object], list[_Span], list[int], list[int]]:
+    ) -> tuple[dict, list, list, list]:
         results: dict[int, object] = {}
         spans: list[_Span] = []
         failed: list[int] = []
@@ -482,10 +490,10 @@ class QueryExecutor:
 
     def _scatter_pooled(
         self,
-        plan: list[tuple[int, Sequence[int]]],
+        plan: list[tuple],
         call: Callable,
         shard_sink: TraceSink,
-    ) -> tuple[dict[int, object], list[_Span], list[int], list[int]]:
+    ) -> tuple[dict, list, list, list]:
         assert self._pool is not None
         clock = time.monotonic
         results: dict[int, object] = {}
@@ -646,8 +654,13 @@ class QueryExecutor:
         # detail the workers skip their clock reads entirely.
         shard_sink = trace if trace.detail else NO_TRACE
         plan = list(prepared.plan.items())
+        variant = prepared.variant
+
+        def contact(shard_id, terms, attempt, meta):
+            return self._contact_shard(shard_id, terms, attempt, meta, variant)
+
         partials, spans, hedged, failed = self._scatter(
-            plan, self._contact_shard, shard_sink
+            plan, contact, shard_sink
         )
         fanout_end = trace.now()
         matches = merge_hits(
@@ -807,11 +820,16 @@ class QueryExecutor:
         return pending.results, pending.stats
 
     def _run_batch(self, batch: list[_Pending]) -> None:
-        # One fetch per shard over the union of the batch's terms.
-        union_plan: dict[int, set[int]] = {}
+        # One fetch per (variant, shard) over the union of the batch's
+        # terms — queries on different variants read different postings
+        # columns, so only same-variant queries can share a term union.
+        union_plan: dict[tuple[str, int], set[int]] = {}
         for item in batch:
+            variant = item.prepared.variant
             for shard_id, shard_terms in item.prepared.plan.items():
-                union_plan.setdefault(shard_id, set()).update(shard_terms)
+                union_plan.setdefault((variant, shard_id), set()).update(
+                    shard_terms
+                )
         # Distinct trace sinks across the batch: the burst API shares
         # one for the whole batch, the window path gives every query its
         # own.  Each sink gets the shared fetch as its ``fanout`` stage
@@ -827,12 +845,17 @@ class QueryExecutor:
         detail = next((t for t in traces if t.detail), None)
         shard_sink: TraceSink = detail if detail is not None else NO_TRACE
         fetch_starts = [(t, t.now()) for t in traces]
-        plan = [
-            (shard_id, sorted(terms)) for shard_id, terms in union_plan.items()
-        ]
+        # Plan keys are (variant, shard) pairs; _scatter treats them
+        # opaquely and the fetch closure unpacks them per contact.
+        plan = [(key, sorted(terms)) for key, terms in union_plan.items()]
+
+        def fetch(key, terms, attempt, meta):
+            variant, shard_id = key
+            return self._fetch_shard(shard_id, terms, attempt, meta, variant)
+
         try:
             fetched, spans, hedged, failed = self._scatter(
-                plan, self._fetch_shard, shard_sink
+                plan, fetch, shard_sink
             )
         except BaseException as exc:  # pragma: no cover - defensive
             for item in batch:
@@ -847,8 +870,13 @@ class QueryExecutor:
             fanout_ids[id(sink)] = sink.stage("fanout", start_s, end_s)
             fanout_s[id(sink)] = end_s - start_s
         if detail is not None:
+            # Trace spans carry plain shard ids; strip the variant half
+            # of the plan keys back out for the event payloads.
             self._record_shard_spans(
-                detail, fanout_ids.get(id(detail)), spans, failed
+                detail,
+                fanout_ids.get(id(detail)),
+                [(key[1], *rest) for key, *rest in spans],
+                [key[1] for key in failed],
             )
         # Split the shared fetch back into per-query partials and rank:
         # each query's hit stream is one concatenate over the postings
@@ -861,8 +889,9 @@ class QueryExecutor:
             try:
                 merge_start = sink.now()
                 chunks: list[np.ndarray] = []
+                item_variant = item.prepared.variant
                 for shard_id, shard_terms in item.prepared.plan.items():
-                    postings = fetched.get(shard_id)
+                    postings = fetched.get((item_variant, shard_id))
                     if postings is None:
                         continue
                     for term in shard_terms:
@@ -913,8 +942,14 @@ class QueryExecutor:
                         rank_end - merge_end,
                         rerank_s,
                     ),
-                    hedged=sum(1 for s in item_plan if s in hedged_set),
-                    failed_shards=sum(1 for s in item_plan if s in failed_set),
+                    hedged=sum(
+                        1 for s in item_plan
+                        if (item_variant, s) in hedged_set
+                    ),
+                    failed_shards=sum(
+                        1 for s in item_plan
+                        if (item_variant, s) in failed_set
+                    ),
                     extra_pruned=extra_pruned,
                 )
             except BaseException as exc:

@@ -10,7 +10,7 @@ Endpoints (all JSON):
   "exact_knn", "metric": "dtw", "limit": 10, ...}}`` → ranked results
   with serving metadata.  ``spec`` is the structured
   :class:`~repro.core.query.QuerySpec` surface (mode / metric / limit /
-  max_distance / overfetch / band); the legacy flat ``{"limit",
+  max_distance / overfetch / band / variant); the legacy flat ``{"limit",
   "max_distance"}`` body still parses as an approx query but the
   response carries a ``Deprecation: true`` header.
 * ``POST /query/batch`` — ``{"queries": [[[lat, lon], ...], ...],
@@ -39,7 +39,9 @@ the request's span tree back under a ``"trace"`` key.
 
 Every error response is the structured shape ``{"error": {"code":
 "<machine-readable>", "message": "<human-readable>"}}`` — 400
-``bad_request``/``invalid_spec``/``exact_unsupported``, 404
+``bad_request``/``invalid_spec``/``exact_unsupported``/
+``unknown_variant`` (the spec named a fingerprint variant the index
+never registered; the message lists the known names), 404
 ``not_found``, 409 ``conflict``, 413 ``payload_too_large``, 429
 ``at_capacity``, 500 ``internal``, 503 ``not_ready``.
 
@@ -71,6 +73,7 @@ from time import perf_counter
 from urllib.parse import parse_qs, unquote, urlparse
 
 from ..core.query import QuerySpec
+from ..core.registry import UnknownVariant
 from ..core.rerank import ExactSearchUnsupported
 from ..geo.point import Point
 from .service import IndexService
@@ -247,6 +250,9 @@ class _Handler(BaseHTTPRequestHandler):
         except ExactSearchUnsupported as exc:
             self.server.service.metrics.record_error()
             self._send(400, _error("exact_unsupported", str(exc)))
+        except UnknownVariant as exc:
+            self.server.service.metrics.record_error()
+            self._send(400, _error("unknown_variant", str(exc)))
         except _Conflict as exc:
             self.server.service.metrics.record_error()
             self._send(409, _error("conflict", str(exc)))

@@ -559,6 +559,9 @@ def prometheus_text(
     export: dict,
     gauges: dict[str, float | int] | None = None,
     extra_counters: dict[str, tuple[str, int]] | None = None,
+    labeled: (
+        dict[str, tuple[str, str, dict[str, float | int]]] | None
+    ) = None,
 ) -> str:
     """Render a registry export as Prometheus text exposition (v0.0.4).
 
@@ -567,9 +570,12 @@ def prometheus_text(
     service contributes, and ``extra_counters`` maps full metric names
     to ``(help, value)`` for counters owned outside the registry (the
     executor's hedge/failover counts, the transport's request/respawn
-    counts).  Metric names follow Prometheus conventions: base units
-    (seconds), ``_total`` on counters, one ``# HELP``/``# TYPE`` pair
-    per family.
+    counts).  ``labeled`` maps full metric names to ``(help, type,
+    {label_string: value})`` for families with one sample per label set
+    (the per-variant term/postings/query series) — one ``HELP``/``TYPE``
+    pair, then a sample per label string (e.g. ``variant="dense"``).
+    Metric names follow Prometheus conventions: base units (seconds),
+    ``_total`` on counters, one ``# HELP``/``# TYPE`` pair per family.
     """
     boundaries = export["boundaries"]
     counters = export["counters"]
@@ -633,6 +639,12 @@ def prometheus_text(
         name = f"geodabs_{key}"
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {value}")
+
+    for name, (help_text, kind, samples) in (labeled or {}).items():
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for label_string, value in samples.items():
+            lines.append(f"{name}{{{label_string}}} {value}")
 
     return "\n".join(lines) + "\n"
 

@@ -21,9 +21,9 @@ application) talks to.  It owns:
   write path — proactively after writes, and (when
   ``maintenance_interval_s`` is set) from a background maintenance
   daemon that keeps the age trigger honest even when writes go idle;
-* :meth:`IndexService.snapshot` — a durable v2 snapshot (taken under
-  the read lock) that ``geodabs serve --snapshot-dir`` warm-starts from
-  without re-deriving any postings, with optional GC of superseded
+* :meth:`IndexService.snapshot` — a durable columnar snapshot (taken
+  under the read lock) that ``geodabs serve --snapshot-dir`` warm-starts
+  from without re-deriving any postings, with optional GC of superseded
   ``snapshot-*`` directories (``keep=N``).
 
 The same facade serves a single-node :class:`~repro.core.index.GeodabIndex`
@@ -181,6 +181,11 @@ class IndexService:
         self._trace_sample = trace_sample
         self.result_cache = LRUCache(result_cache_size)
         self.fingerprint_cache = LRUCache(fingerprint_cache_size)
+        # Queries served per *resolved* fingerprint variant (``GET
+        # /stats`` and the ``/metrics`` labeled counter).  Guarded by
+        # its own lock: it is touched outside the index read lock.
+        self._variant_queries: dict[str, int] = {}
+        self._variant_queries_lock = threading.Lock()
         self._lock = ReadWriteLock()
         self._generation = 0
         self._compaction = compaction
@@ -229,15 +234,23 @@ class IndexService:
         """
         # Fingerprinting is the expensive part of an add and depends
         # only on the pipeline configuration — the whole batch runs
-        # through the vectorized pipeline before taking the write lock,
-        # so concurrent queries are stalled only for the grouped
-        # postings insertion (and malformed input fails before anything
-        # is mutated).
+        # through the vectorized pipeline (one columnar sweep per
+        # registered variant, normalization shared) before taking the
+        # write lock, so concurrent queries are stalled only for the
+        # grouped postings insertion (and malformed input fails before
+        # anything is mutated).
         items = list(items)
-        fingerprint_sets = self.index.fingerprint_many(points for _, points in items)
+        names = self.index.variant_names
+        per_variant = self.index.fingerprint_variants_many(
+            points for _, points in items
+        )
         batch = [
-            (trajectory_id, fingerprint_set, points)
-            for (trajectory_id, points), fingerprint_set in zip(items, fingerprint_sets)
+            (
+                trajectory_id,
+                {name: per_variant[name][doc] for name in names},
+                points,
+            )
+            for doc, (trajectory_id, points) in enumerate(items)
         ]
         with self._lock.write_locked():
             # add_fingerprints_many validates the whole batch (against
@@ -300,23 +313,25 @@ class IndexService:
         start = perf_counter()
         if spec is None:
             spec = QuerySpec(limit=limit, max_distance=max_distance)
-        self._check_spec(spec)
+        variant = self._check_spec(spec)
+        self._count_variant_query(variant)
         tracer = self._open_trace(trace)
         sink: TraceSink = tracer if tracer is not None else NO_TRACE
         # Fingerprints depend only on the pipeline configuration, never
         # on index contents, so this cache needs no generation tag and
-        # no lock over the index.  Skip digesting entirely when a cache
-        # is disabled (capacity 0) — hashing every point would be pure
-        # overhead.
+        # no lock over the index — but it *is* keyed by the resolved
+        # variant: each variant fingerprints the same points
+        # differently.  Skip digesting entirely when a cache is disabled
+        # (capacity 0) — hashing every point would be pure overhead.
         prepare_start = sink.now()
         if self.fingerprint_cache.capacity > 0:
-            points_key = digest_points(points)
+            points_key = (digest_points(points), variant)
             prepared = self.fingerprint_cache.get(points_key)
             if prepared is MISS:
-                prepared = self.index.prepare_query(points)
+                prepared = self.index.prepare_query(points, variant)
                 self.fingerprint_cache.put(points_key, prepared)
         else:
-            prepared = self.index.prepare_query(points)
+            prepared = self.index.prepare_query(points, variant)
         sink.stage("prepare", prepare_start, sink.now())
         caching = self.result_cache.capacity > 0
         # The key carries every spec field that changes the answer
@@ -429,17 +444,18 @@ class IndexService:
         start = perf_counter()
         if spec is None:
             spec = QuerySpec(limit=limit, max_distance=max_distance)
-        self._check_spec(spec)
+        variant = self._check_spec(spec)
         queries = [list(points) for points in queries]
         total = len(queries)
         if total == 0:
             return []
+        self._count_variant_query(variant, total)
         tracer = self._open_trace(trace)
         sink: TraceSink = tracer if tracer is not None else NO_TRACE
         prepare_start = sink.now()
         prepared_list: list = [None] * total
         if self.fingerprint_cache.capacity > 0:
-            keys = [digest_points(points) for points in queries]
+            keys = [(digest_points(points), variant) for points in queries]
             missing: list[int] = []
             for position, key in enumerate(keys):
                 cached = self.fingerprint_cache.get(key)
@@ -449,13 +465,13 @@ class IndexService:
                     prepared_list[position] = cached
             if missing:
                 fresh = self.index.prepare_query_many(
-                    [queries[position] for position in missing]
+                    [queries[position] for position in missing], variant
                 )
                 for position, prepared in zip(missing, fresh):
                     prepared_list[position] = prepared
                     self.fingerprint_cache.put(keys[position], prepared)
         else:
-            prepared_list = self.index.prepare_query_many(queries)
+            prepared_list = self.index.prepare_query_many(queries, variant)
         sink.stage("prepare", prepare_start, sink.now(), queries=total)
         caching = self.result_cache.capacity > 0
         # Same completeness rule as the single-query path: the key
@@ -680,7 +696,7 @@ class IndexService:
         return buffered
 
     def snapshot(self, directory: str | Path, keep: int | None = None) -> dict:
-        """Write a durable v2 snapshot under ``directory``.
+        """Write a durable columnar snapshot under ``directory``.
 
         Taken under the *read* lock: concurrent queries keep serving
         while writes wait, and the snapshot captures exactly one
@@ -749,13 +765,28 @@ class IndexService:
         self._last_snapshot = info
         return info
 
-    def _check_spec(self, spec: QuerySpec) -> None:
-        """Reject exact specs the served index cannot answer, up front."""
+    def _check_spec(self, spec: QuerySpec) -> str:
+        """Validate a spec against the served index, up front.
+
+        Rejects exact specs on a points-less index and unregistered
+        variant names (:class:`~repro.core.registry.UnknownVariant`,
+        mapped to a structured 400 by the HTTP layer) before any
+        fingerprinting or fan-out happens.  Returns the *resolved*
+        variant name (``auto`` becomes a concrete registered variant).
+        """
         if spec.is_exact and not getattr(self.index, "store_points", False):
             raise ExactSearchUnsupported(
                 "exact queries need stored trajectories; this index was "
                 "built (or warm-started from a snapshot) with "
                 "store_points=False"
+            )
+        return self.index.resolve_variant(spec.variant)
+
+    def _count_variant_query(self, variant: str, count: int = 1) -> None:
+        """Bump the per-variant served-query counter."""
+        with self._variant_queries_lock:
+            self._variant_queries[variant] = (
+                self._variant_queries.get(variant, 0) + count
             )
 
     def _execute(self, prepared, spec, query_points, trace=NO_TRACE):
@@ -857,9 +888,15 @@ class IndexService:
             index_stats = self.index.describe()
         result_stats = self.result_cache.stats()
         fingerprint_stats = self.fingerprint_cache.stats()
+        with self._variant_queries_lock:
+            variant_queries = dict(self._variant_queries)
         return {
             "generation": generation,
             "index": index_stats,
+            "variants": {
+                "registered": self.index.registry.describe(),
+                "queries": variant_queries,
+            },
             "snapshot": self._last_snapshot,
             "compaction": {
                 "enabled": self._compaction is not None,
@@ -923,7 +960,10 @@ class IndexService:
             generation = self._generation
             trajectories = len(self.index)
             buffered = self.index.buffered_postings
+            variant_shapes = self.index.variant_shapes()
         result_stats = self.result_cache.stats()
+        with self._variant_queries_lock:
+            variant_queries = dict(self._variant_queries)
         gauges = {
             "generation": generation,
             "trajectories": trajectories,
@@ -962,7 +1002,35 @@ class IndexService:
                     "Worker processes respawned by transport maintenance.",
                     transport["respawns"],
                 )
-        return prometheus_text(self.metrics.export(), gauges, extra_counters)
+        labeled = {
+            "geodabs_variant_terms": (
+                "Distinct terms per registered fingerprint variant.",
+                "gauge",
+                {
+                    f'variant="{name}"': shape["terms"]
+                    for name, shape in variant_shapes.items()
+                },
+            ),
+            "geodabs_variant_postings": (
+                "Postings entries per registered fingerprint variant.",
+                "gauge",
+                {
+                    f'variant="{name}"': shape["postings"]
+                    for name, shape in variant_shapes.items()
+                },
+            ),
+            "geodabs_variant_queries_total": (
+                "Queries served per resolved fingerprint variant.",
+                "counter",
+                {
+                    f'variant="{name}"': count
+                    for name, count in sorted(variant_queries.items())
+                },
+            ),
+        }
+        return prometheus_text(
+            self.metrics.export(), gauges, extra_counters, labeled
+        )
 
     def close(self) -> None:
         """Stop the maintenance daemon and release executor resources."""

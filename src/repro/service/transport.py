@@ -52,6 +52,7 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from ..core.postings import EMPTY_HITS
+from ..core.registry import DEFAULT_VARIANT
 
 __all__ = [
     "InProcessTransport",
@@ -156,6 +157,15 @@ def recv_frame(sock: socket.socket) -> tuple[dict, list[np.ndarray]]:
     return unpack_frame(_recv_exact(sock, size))
 
 
+def _shard_header(op: str, shard_id: int, variant: str) -> dict:
+    """Request header for one shard op; the default variant stays
+    implicit on the wire so pre-registry workers keep interoperating."""
+    header = {"op": op, "shard": int(shard_id)}
+    if variant != DEFAULT_VARIANT:
+        header["variant"] = variant
+    return header
+
+
 # ----------------------------------------------------------------------
 # Transport protocol
 # ----------------------------------------------------------------------
@@ -169,6 +179,9 @@ class ShardTransport(Protocol):
     use it to pick a *different* one, so a retry never re-asks the
     process that just failed.  ``meta``, when provided, is filled with
     transport detail (worker pid, server-side timing) for trace spans.
+    ``variant`` names the fingerprint variant whose postings answer the
+    lookup — the registry's default when omitted, so pre-registry
+    callers read exactly the columns they always did.
     """
 
     @property
@@ -180,6 +193,7 @@ class ShardTransport(Protocol):
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> np.ndarray: ...
 
     def shard_postings(
@@ -188,6 +202,7 @@ class ShardTransport(Protocol):
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> dict[int, np.ndarray]: ...
 
     def stats(self) -> dict: ...
@@ -211,8 +226,9 @@ class InProcessTransport:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> np.ndarray:
-        return self.index.shard_partial(shard_id, terms)
+        return self.index.shard_partial(shard_id, terms, variant)
 
     def shard_postings(
         self,
@@ -220,8 +236,9 @@ class InProcessTransport:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> dict[int, np.ndarray]:
-        return self.index.shard_postings(shard_id, terms)
+        return self.index.shard_postings(shard_id, terms, variant)
 
     def stats(self) -> dict:
         return {"kind": self.kind}
@@ -592,11 +609,12 @@ class WorkerProcessTransport:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> np.ndarray:
         handle = self._pick(shard_id, attempt)
         header, payload = self._request(
             handle,
-            {"op": "partial", "shard": int(shard_id)},
+            _shard_header("partial", shard_id, variant),
             [np.asarray(list(terms), dtype=np.int64)],
         )
         if meta is not None:
@@ -612,11 +630,12 @@ class WorkerProcessTransport:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> dict[int, np.ndarray]:
         handle = self._pick(shard_id, attempt)
         header, payload = self._request(
             handle,
-            {"op": "postings", "shard": int(shard_id)},
+            _shard_header("postings", shard_id, variant),
             [np.asarray(list(terms), dtype=np.int64)],
         )
         if meta is not None:
@@ -727,11 +746,12 @@ class RemoteHttpTransport:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> np.ndarray:
         header, payload = self._post(
             shard_id,
             attempt,
-            {"op": "partial", "shard": int(shard_id)},
+            _shard_header("partial", shard_id, variant),
             [np.asarray(list(terms), dtype=np.int64)],
         )
         if meta is not None and "elapsed_us" in header:
@@ -744,11 +764,12 @@ class RemoteHttpTransport:
         terms: Sequence[int],
         attempt: int = 0,
         meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
     ) -> dict[int, np.ndarray]:
         header, payload = self._post(
             shard_id,
             attempt,
-            {"op": "postings", "shard": int(shard_id)},
+            _shard_header("postings", shard_id, variant),
             [np.asarray(list(terms), dtype=np.int64)],
         )
         return dict(zip(header.get("terms", []), payload))

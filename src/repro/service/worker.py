@@ -1,8 +1,8 @@
 """Shard-serving worker process: ``python -m repro.service.worker``.
 
-One worker memory-maps the postings blobs of a published v2 snapshot
-(:func:`repro.core.persistence.attach_shard_postings` — no bitmaps, no
-arena: ranking stays at the coordinator) and answers shard operations
+One worker memory-maps the postings blobs of a published snapshot
+(:func:`repro.core.persistence.attach_variant_postings` — no bitmaps,
+no arena: ranking stays at the coordinator) and answers shard operations
 over the length-prefixed frame protocol of
 :mod:`repro.service.transport`.  N workers attach the same snapshot and
 share its pages through the OS page cache, which is what makes a local
@@ -15,6 +15,9 @@ Protocol (one frame in, one frame out, connections are persistent):
 * ``{"op": "partial", "shard": s}`` + terms array → hit-stream array
 * ``{"op": "postings", "shard": s}`` + terms array →
   ``{"terms": [...]}`` + one array per present term
+* Shard ops take an optional ``"variant"`` header key naming the
+  fingerprint variant to read (default: the registry's default
+  variant, which every snapshot carries)
 * ``{"op": "attach", "snapshot": path}`` — re-point at a newer snapshot
 * ``{"op": "stats"}`` → worker vitals
 * ``{"op": "shutdown"}`` — exit cleanly
@@ -39,7 +42,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.persistence import attach_shard_postings
+from ..core.persistence import attach_variant_postings
+from ..core.registry import DEFAULT_VARIANT
 from .transport import TransportError, recv_frame, send_frame
 
 __all__ = ["ShardWorker", "main"]
@@ -59,7 +63,9 @@ class ShardWorker:
         self._lock = threading.Lock()
         self._requests = 0
         self.snapshot_path = Path(snapshot_path)
-        self.stores = attach_shard_postings(self.snapshot_path, mmap_mode)
+        # variant name -> shard id -> postings store; v2 snapshots
+        # attach as the default variant only.
+        self.stores = attach_variant_postings(self.snapshot_path, mmap_mode)
 
     def handle(
         self, header: dict, arrays: list[np.ndarray]
@@ -82,7 +88,8 @@ class ShardWorker:
                     "ok": True,
                     "pid": os.getpid(),
                     "snapshot": str(self.snapshot_path),
-                    "shards": sorted(self.stores),
+                    "shards": sorted(self.stores.get(DEFAULT_VARIANT, {})),
+                    "variants": sorted(self.stores),
                     "requests": self._requests,
                 }, []
             return {"ok": False, "error": f"unknown op {op!r}"}, []
@@ -90,8 +97,12 @@ class ShardWorker:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}, []
 
     def _store(self, header: dict):
+        variant = header.get("variant", DEFAULT_VARIANT)
+        shards = self.stores.get(variant)
+        if shards is None:
+            raise ValueError(f"no variant {variant!r} in attached snapshot")
         shard_id = header.get("shard")
-        store = self.stores.get(shard_id)
+        store = shards.get(shard_id)
         if store is None:
             raise ValueError(f"no shard {shard_id!r} in attached snapshot")
         return store
@@ -114,10 +125,14 @@ class ShardWorker:
 
     def _attach(self, header):
         path = Path(header["snapshot"])
-        stores = attach_shard_postings(path, self.mmap_mode)
+        stores = attach_variant_postings(path, self.mmap_mode)
         self.snapshot_path = path
         self.stores = stores
-        return {"ok": True, "shards": sorted(stores)}, []
+        return {
+            "ok": True,
+            "shards": sorted(stores.get(DEFAULT_VARIANT, {})),
+            "variants": sorted(stores),
+        }, []
 
 
 def _serve_connection(conn: socket.socket, worker: ShardWorker) -> None:
@@ -196,7 +211,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # learn the bound port before sending any request.
     print(
         f"GEODAB-WORKER READY port={port} pid={os.getpid()} "
-        f"shards={len(worker.stores)}",
+        f"shards={len(worker.stores.get(DEFAULT_VARIANT, {}))}",
         flush=True,
     )
 

@@ -129,7 +129,7 @@ class TestV1Compat:
 
     def test_unknown_version_rejected(self, populated_index, tmp_path):
         with pytest.raises(ValueError):
-            save_index(populated_index, tmp_path / "x", version=3)
+            save_index(populated_index, tmp_path / "x", version=4)
 
 
 class TestV2SnapshotDirectory:
@@ -138,7 +138,7 @@ class TestV2SnapshotDirectory:
         save_index(populated_index, path)
         assert path.is_dir()
         manifest = json.loads((path / "manifest.json").read_text())
-        assert manifest["version"] == 2
+        assert manifest["version"] == 3
         assert manifest["kind"] == "single"
         assert sorted(manifest["slots"]) == ["diag", "east", "north"]
 

@@ -52,17 +52,23 @@ class ScriptedTransport:
             )
         return shard_id in self.blank
 
-    def shard_partial(self, shard_id, terms, attempt=0, meta=None):
+    def shard_partial(
+        self, shard_id, terms, attempt=0, meta=None, variant="default"
+    ):
         if self._faults(shard_id, attempt):
             return np.array([], dtype=np.int64)
-        return self.inner.shard_partial(shard_id, terms, attempt, meta)
+        return self.inner.shard_partial(shard_id, terms, attempt, meta, variant)
 
-    def shard_postings(self, shard_id, terms, attempt=0, meta=None):
+    def shard_postings(
+        self, shard_id, terms, attempt=0, meta=None, variant="default"
+    ):
         # The batched fan-out fetches raw postings instead of partials;
         # the same fault script applies to both shapes.
         if self._faults(shard_id, attempt):
             return {}
-        return self.inner.shard_postings(shard_id, terms, attempt, meta)
+        return self.inner.shard_postings(
+            shard_id, terms, attempt, meta, variant
+        )
 
     def stats(self):
         return {"kind": self.kind}

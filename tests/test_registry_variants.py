@@ -1,0 +1,329 @@
+"""Fingerprint-registry invariants (PR 9).
+
+Two contracts pin the registry refactor down:
+
+* **Default bit-identity** — registering extra variants must not change
+  what default-variant queries return, on either backend, through
+  removals, snapshot round-trips, and both transports.  The default
+  variant occupies exactly the pre-registry storage (postings attribute,
+  bitmap column 0, cardinality column 0), so the comparison is strict
+  equality of result lists, not approximate.
+* **Dense recall** — the point of multiple variants: a denser
+  fingerprint variant surfaces strictly more of the exact metric's true
+  neighbours at the Jaccard tier, while the exact re-rank keeps the
+  final rankings oracle-identical across variants.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.index import GeodabIndex
+from repro.core.persistence import load_index, publish_snapshot, save_index
+from repro.core.query import QuerySpec
+from repro.core.registry import UnknownVariant, VariantSpec
+from repro.distance.dtw import dtw
+from repro.geo.point import Point, destination
+from repro.service.executor import QueryExecutor
+from repro.service.transport import WorkerProcessTransport
+
+#: The paper's parameters as the base (default-variant) configuration.
+CONFIG = GeodabConfig(normalization_depth=36, k=6, t=12)
+#: A much denser parameterization: 3-grams, winnowing window 3.
+DENSE = VariantSpec("dense", normalization_depth=36, k=3, t=5)
+SHARDING = ShardingConfig(num_shards=4, num_nodes=2, placement="hash")
+
+
+@st.composite
+def random_walks(draw, min_len=5, max_len=30):
+    """A deterministic random-walk trajectory strategy."""
+    n = draw(st.integers(min_value=min_len, max_value=max_len))
+    lat = draw(st.floats(min_value=51.3, max_value=51.7, allow_nan=False))
+    lon = draw(st.floats(min_value=-0.3, max_value=0.1, allow_nan=False))
+    bearings = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=360.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    steps = draw(
+        st.lists(
+            st.floats(min_value=20.0, max_value=300.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    points = [Point(lat, lon)]
+    for bearing, step in zip(bearings, steps):
+        points.append(destination(points[-1], bearing, step))
+    return points
+
+
+def corpora():
+    return st.lists(random_walks(), min_size=1, max_size=5)
+
+
+def _pair(factory, corpus, remove=()):
+    """The same corpus in a registry-free and a multi-variant index."""
+    plain = factory(())
+    multi = factory((DENSE,))
+    items = [(f"t{i}", points) for i, points in enumerate(corpus)]
+    plain.add_many(items)
+    multi.add_many(items)
+    for trajectory_id in remove:
+        plain.remove(trajectory_id)
+        multi.remove(trajectory_id)
+    return plain, multi
+
+
+def _single_node(variants):
+    return GeodabIndex(CONFIG, store_points=True, variants=variants)
+
+
+def _sharded(variants):
+    return ShardedGeodabIndex(
+        CONFIG, SHARDING, store_points=True, variants=variants
+    )
+
+
+class TestDefaultBitIdentity:
+    """Extra variants never perturb default-variant answers."""
+
+    @settings(max_examples=20)
+    @given(corpus=corpora())
+    def test_single_node_rankings_identical(self, corpus):
+        plain, multi = _pair(_single_node, corpus)
+        for points in corpus:
+            assert multi.query(points) == plain.query(points)
+
+    @settings(max_examples=15)
+    @given(corpus=corpora())
+    def test_sharded_rankings_identical(self, corpus):
+        plain, multi = _pair(_sharded, corpus)
+        for points in corpus:
+            assert multi.query(points) == plain.query(points)
+
+    @settings(max_examples=15)
+    @given(corpus=corpora())
+    def test_identity_survives_removals(self, corpus):
+        remove = [f"t{i}" for i in range(0, len(corpus), 2)]
+        plain, multi = _pair(_single_node, corpus, remove=remove)
+        for points in corpus:
+            plain_results = plain.query(points)
+            assert multi.query(points) == plain_results
+            assert all(
+                r.trajectory_id not in set(remove) for r in plain_results
+            )
+
+    @settings(max_examples=10)
+    @given(corpus=corpora())
+    def test_identity_survives_snapshot_round_trip(self, corpus):
+        plain, multi = _pair(_sharded, corpus)
+        with tempfile.TemporaryDirectory() as tmp:
+            target = Path(tmp) / "snapshot"
+            save_index(multi, target)
+            reloaded = load_index(target)
+            self._check_round_trip(plain, multi, reloaded, corpus)
+
+    def _check_round_trip(self, plain, multi, reloaded, corpus):
+        assert reloaded.variant_names == multi.variant_names
+        for points in corpus:
+            assert reloaded.query(points) == plain.query(points)
+            # The dense variant's rankings round-trip too.
+            spec = QuerySpec(limit=10, variant="dense")
+            assert multi.query(points, spec=spec) == reloaded.query(
+                points, spec=spec
+            )
+
+    def test_default_query_is_default_variant(self):
+        index = _single_node((DENSE,))
+        index.add("t0", _cluster_base())
+        prepared = index.prepare_query(_cluster_base())
+        assert prepared.variant == "default"
+
+    def test_unknown_variant_raises_structured_lookup_error(self):
+        index = _single_node((DENSE,))
+        index.add("t0", _cluster_base())
+        with pytest.raises(UnknownVariant) as excinfo:
+            index.prepare_query(_cluster_base(), variant="nope")
+        assert excinfo.value.name == "nope"
+        assert "dense" in excinfo.value.known
+
+    def test_auto_resolves_to_densest(self):
+        index = _single_node((DENSE,))
+        assert index.resolve_variant("auto") == "dense"
+        assert _single_node(()).resolve_variant("auto") == "default"
+
+
+class TestTransportEquivalence:
+    """Thread and process transports agree on every variant's postings."""
+
+    @pytest.fixture(scope="class")
+    def env(self, tmp_path_factory):
+        index = _sharded((DENSE,))
+        corpus = [(f"t{i}", _cluster_member(i)) for i in range(8)]
+        index.add_many(corpus)
+        snapshot = publish_snapshot(
+            index, tmp_path_factory.mktemp("registry-equiv"), tag="variants"
+        )
+        thread = QueryExecutor(index, pool_size=4)
+        process = QueryExecutor(
+            index,
+            pool_size=4,
+            transport=WorkerProcessTransport(snapshot, num_workers=2),
+        )
+        yield index, thread, process
+        thread.close()
+        process.close()
+
+    @pytest.mark.parametrize("variant", ["default", "dense", "auto"])
+    def test_rankings_identical_across_transports(self, env, variant):
+        index, thread, process = env
+        prepared = index.prepare_query(_cluster_base(), variant=variant)
+        thread_results, thread_stats = thread.execute_prepared(prepared, 10)
+        process_results, process_stats = process.execute_prepared(prepared, 10)
+        assert process_results == thread_results
+        assert process_stats.candidates == thread_stats.candidates
+        assert not process_stats.degraded
+        if variant != "default":
+            # The dense variant genuinely reads denser postings.
+            assert thread_stats.query_terms > 0
+
+    def test_batched_execution_identical(self, env):
+        index, thread, process = env
+        requests = [
+            (index.prepare_query(_cluster_member(i), variant=variant), 10, 1.0)
+            for i in range(3)
+            for variant in ("default", "dense")
+        ]
+        thread_out = thread.execute_prepared_many(requests)
+        process_out = process.execute_prepared_many(requests)
+        for (thread_results, _), (process_results, _) in zip(
+            thread_out, process_out
+        ):
+            assert process_results == thread_results
+
+
+def _cluster_base():
+    """A fixed diagonal walk through the test city area."""
+    return [
+        Point(51.5 + 0.0002 * i, -0.1 + 0.0003 * i) for i in range(40)
+    ]
+
+
+def _cluster_member(j, shift=5e-5):
+    """The base walk displaced by ``j`` small lateral steps (~5 m each)."""
+    return [Point(p.lat, p.lon + j * shift) for p in _cluster_base()]
+
+
+class TestDenseRecall:
+    """The acceptance scenario: same exact-kNN answer, different tier-1.
+
+    The corpus is one tight cluster (two exact duplicates of the query
+    plus six near-duplicates a few meters out) and far-away distractors.
+    The sparse default fingerprints only re-find the exact duplicates;
+    the dense variant also surfaces the near-duplicates — so its tier-1
+    recall over the cluster is strictly higher, while the exact DTW
+    re-rank returns the oracle's top-k identically through both.
+    """
+
+    K = 2
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        items = [("dup0", _cluster_base()), ("dup1", _cluster_base())]
+        items += [(f"near{j}", _cluster_member(j + 1)) for j in range(6)]
+        items += [
+            (
+                f"far{j}",
+                [
+                    Point(52.0 + 0.001 * j + 0.0004 * i, 0.5 - 0.0002 * i)
+                    for i in range(40)
+                ],
+            )
+            for j in range(4)
+        ]
+        return items
+
+    @pytest.fixture(scope="class")
+    def index(self, corpus):
+        index = _single_node((DENSE,))
+        index.add_many(corpus)
+        return index
+
+    def _oracle_top_k(self, corpus, query):
+        ranked = sorted(
+            ((dtw(query, points), tid) for tid, points in corpus),
+            key=lambda pair: (pair[0], pair[1]),
+        )
+        return [tid for _, tid in ranked[: self.K]]
+
+    def _tier1_candidates(self, index, query, variant):
+        prepared = index.prepare_query(query, variant=variant)
+        results, _ = index.query_prepared(prepared, limit=None, max_distance=1.0)
+        return {r.trajectory_id for r in results}
+
+    def test_dense_variant_strictly_improves_tier1_recall(self, index, corpus):
+        query = _cluster_base()
+        cluster = {tid for tid, _ in corpus if not tid.startswith("far")}
+        sparse = self._tier1_candidates(index, query, "default") & cluster
+        dense = self._tier1_candidates(index, query, "dense") & cluster
+        assert sparse < dense  # strict subset: recall measurably improves
+        assert len(dense) / len(cluster) > len(sparse) / len(cluster)
+
+    def test_exact_knn_final_rankings_oracle_identical(self, index, corpus):
+        query = _cluster_base()
+        oracle = self._oracle_top_k(corpus, query)
+        rankings = {}
+        for variant in ("default", "dense", "auto"):
+            spec = QuerySpec(
+                mode="exact_knn", metric="dtw", limit=self.K, variant=variant
+            )
+            rankings[variant] = [
+                r.trajectory_id for r in index.query(query, spec=spec)
+            ]
+        assert rankings["default"] == oracle
+        assert rankings["dense"] == oracle
+        assert rankings["auto"] == oracle
+
+    def test_sharded_backend_agrees(self, corpus):
+        sharded = _sharded((DENSE,))
+        sharded.add_many(corpus)
+        query = _cluster_base()
+        oracle = self._oracle_top_k(corpus, query)
+        for variant in ("default", "dense"):
+            spec = QuerySpec(
+                mode="exact_knn", metric="dtw", limit=self.K, variant=variant
+            )
+            assert [
+                r.trajectory_id for r in sharded.query(query, spec=spec)
+            ] == oracle
+
+
+class TestVariantSpecSurface:
+    def test_parse_round_trip(self):
+        spec = VariantSpec.parse("dense=36,3,5")
+        assert spec == VariantSpec("dense", 36, 3, 5)
+        assert VariantSpec.from_json(spec.to_json()) == spec
+
+    def test_parse_with_scheme(self):
+        spec = VariantSpec.parse("poly=30,4,8,polynomial")
+        assert spec.suffix_hash == "polynomial"
+
+    @pytest.mark.parametrize(
+        "flag", ["dense", "dense=36,3", "dense=a,b,c", "auto=36,3,5"]
+    )
+    def test_parse_rejects_malformed(self, flag):
+        with pytest.raises(ValueError):
+            VariantSpec.parse(flag)
+
+    def test_duplicate_variant_names_rejected(self):
+        with pytest.raises(ValueError):
+            _single_node((DENSE, DENSE))

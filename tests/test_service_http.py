@@ -986,6 +986,32 @@ class TestQuerySpecAPI:
         assert payload["error"]["code"] == "invalid_spec"
         assert payload["error"]["message"]
 
+    def test_unknown_variant_is_structured_400(self, exact_server, small_dataset):
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload = call(
+            exact_server.url, "POST", "/query",
+            {"points": points, "spec": {"mode": "approx", "limit": 3,
+                                        "variant": "no-such-variant"}},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "unknown_variant"
+        assert "no-such-variant" in payload["error"]["message"]
+
+    def test_auto_variant_accepted(self, exact_server, small_dataset):
+        points = as_wire(small_dataset.queries[0].points)
+        status, payload = call(
+            exact_server.url, "POST", "/query",
+            {"points": points, "spec": {"mode": "approx", "limit": 3,
+                                        "variant": "auto"}},
+        )
+        assert status == 200
+        # With only the default variant registered, 'auto' resolves to it.
+        flat_status, flat_payload = call(
+            exact_server.url, "POST", "/query", {"points": points, "limit": 3}
+        )
+        assert flat_status == 200
+        assert payload["results"] == flat_payload["results"]
+
     def test_exact_without_stored_points_is_400(self, loaded_server, small_dataset):
         # The plain server fixture indexes without store_points.
         points = as_wire(small_dataset.queries[0].points)
