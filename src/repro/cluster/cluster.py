@@ -11,16 +11,18 @@ results, which the integration tests assert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
+from ..core import planner as query_planner
 from ..core.arena import CardinalityColumn, SlotArena
 from ..core.config import GeodabConfig
 from ..core.fingerprint import Fingerprinter, FingerprintSet
 from ..core.index import Normalizer, SearchResult
+from ..core.planner import PlannerStats
 from ..core.postings import PostingsStore, merge_hits
 from ..core.registry import (
     DEFAULT_VARIANT,
@@ -98,6 +100,122 @@ class ShardState:
     def trajectories(self) -> set[int]:
         """Distinct (internal) trajectory ids referenced by this shard."""
         return self.postings.distinct_internals()
+
+
+class _ClusterSource:
+    """Planner source over the router-partitioned shard stores.
+
+    Every term lives on exactly one shard, so per-shard postings and
+    dfs compose without double counting — the planner's control loop is
+    oblivious to sharding and its threshold is global by construction
+    (the cross-shard threshold sharing the executor's scatter path also
+    relies on).
+    """
+
+    __slots__ = ("index", "variant", "plan", "_store_of")
+
+    def __init__(
+        self,
+        index: "ShardedGeodabIndex",
+        variant: str,
+        plan: dict[int, list[int]] | None = None,
+    ) -> None:
+        self.index = index
+        self.variant = variant
+        # Term routing is reused from the prepared query when available
+        # (``PreparedQuery.plan`` already groups the query's terms by
+        # shard); re-hashing every term through the router costs more
+        # than the postings reads saved.
+        self.plan = plan
+        # term -> its shard's postings store, filled by the df read
+        # (the planner's first call, always over the full term set), so
+        # the open/complete hot path is one dict probe per term with no
+        # per-call shard grouping.
+        self._store_of: dict[int, PostingsStore] = {}
+
+    def _store_for(self, term: int) -> PostingsStore:
+        store = self._store_of.get(term)
+        if store is None:
+            shard = self.index.router.shard_of_term(term)
+            store = self.index.shards[shard].store(self.variant)
+            self._store_of[term] = store
+        return store
+
+    def _grouped(self, terms: Sequence[int]) -> dict[int, list[int]]:
+        grouped: dict[int, list[int]] = {}
+        router = self.index.router
+        for term in terms:
+            grouped.setdefault(router.shard_of_term(term), []).append(term)
+        return grouped
+
+    def term_counts(self, terms: Sequence[int]) -> np.ndarray:
+        # One store lookup and one batched df read per shard, not per
+        # term, reusing the prepared query's routing when it covers the
+        # requested terms (it always does on the query path).
+        count_of: dict[int, int] = {}
+        store_of = self._store_of
+        grouped = self.plan if self.plan is not None else self._grouped(terms)
+        for shard_id, shard_terms in grouped.items():
+            store = self.index.shards[shard_id].store(self.variant)
+            counts = store.term_counts(shard_terms).tolist()
+            for term, count in zip(shard_terms, counts):
+                count_of[term] = count
+                store_of[term] = store
+        try:
+            return np.fromiter(
+                (count_of[t] for t in terms), np.int64, count=len(terms)
+            )
+        except KeyError:
+            # A term outside the prepared plan: route the stragglers.
+            for shard_id, shard_terms in self._grouped(
+                [t for t in terms if t not in count_of]
+            ).items():
+                store = self.index.shards[shard_id].store(self.variant)
+                counts = store.term_counts(shard_terms).tolist()
+                for term, count in zip(shard_terms, counts):
+                    count_of[term] = count
+                    store_of[term] = store
+            return np.fromiter(
+                (count_of[t] for t in terms), np.int64, count=len(terms)
+            )
+
+    def open_terms(self, terms: Sequence[int]) -> np.ndarray:
+        store_for = self._store_for
+        chunks = [
+            postings
+            for term in terms
+            if (postings := store_for(term).get(term)) is not None
+            and len(postings)
+        ]
+        if not chunks:
+            return query_planner.EMPTY_HITS
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+    def complete(
+        self,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        hi: int | None = None,
+    ) -> tuple[np.ndarray, int]:
+        # Every term lives on exactly one shard, so per-term postings
+        # concatenate into one disjoint hit stream and a single
+        # vectorized count covers the whole cluster.
+        store_for = self._store_for
+        if not len(candidates):
+            skipped = sum(
+                store_for(term).term_count(term) for term in terms
+            )
+            return np.zeros(0, dtype=np.int64), skipped
+        chunks = [
+            postings
+            for term in terms
+            if (postings := store_for(term).get(term)) is not None
+            and len(postings)
+        ]
+        if not chunks:
+            return np.zeros(len(candidates), dtype=np.int64), 0
+        stream = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        return query_planner.count_hits(stream, candidates, hi)
 
 
 class ShardedGeodabIndex:
@@ -529,40 +647,75 @@ class ShardedGeodabIndex:
                     "exact queries need stored trajectories; this index "
                     "was built with store_points=False"
                 )
-        fanout_start = trace.now()
-        # Per-shard windows only surface in detail span trees; below
-        # detail the loop skips its per-shard clock reads.
-        shard_clock = trace if trace.detail else NO_TRACE
-        timed: list[tuple[int, int, "np.ndarray", float, float]] = []
-        for shard_id, shard_terms in prepared.plan.items():
-            start_s = shard_clock.now()
-            partial = self.shard_partial(shard_id, shard_terms, prepared.variant)
-            timed.append(
-                (shard_id, len(shard_terms), partial, start_s, shard_clock.now())
+        if (
+            spec is not None
+            and spec.plan == "auto"
+            and query_planner.plannable(limit, max_distance)
+        ):
+            collect_start = trace.now()
+            matches, planned = self.collect_planned(
+                prepared, limit, max_distance
             )
-        fanout_end = trace.now()
-        matches = merge_hits([partial for _, _, partial, _, _ in timed])
-        merge_end = trace.now()
-        returned, scoring = self.rank_matches(prepared, matches, limit, max_distance)
-        rank_end = trace.now()
-        if trace.detail:
-            fanout_id = trace.stage(
-                "fanout", fanout_start, fanout_end, shards=len(timed)
+            collect_end = trace.now()
+            returned, scoring = self.rank_matches(
+                prepared, matches, limit, max_distance
             )
-            for shard_id, n_terms, _, start_s, end_s in timed:
-                trace.event(
-                    "shard",
-                    start_s,
-                    end_s,
-                    parent=fanout_id,
-                    shard=shard_id,
-                    terms=n_terms,
-                )
+            rank_end = trace.now()
+            trace.stage(
+                "collect",
+                collect_start,
+                collect_end,
+                terms_skipped=planned.terms_skipped,
+                postings_skipped=planned.postings_skipped,
+                cut=planned.collection_cut,
+            )
+            trace.stage("rank", collect_end, rank_end)
         else:
-            trace.stage("fanout", fanout_start, fanout_end)
-        trace.stage("merge", fanout_end, merge_end)
-        trace.stage("rank", merge_end, rank_end)
-        stats = self.fanout_stats(prepared, matches, scoring)
+            planned = query_planner.EMPTY_PLAN
+            fanout_start = trace.now()
+            # Per-shard windows only surface in detail span trees; below
+            # detail the loop skips its per-shard clock reads.
+            shard_clock = trace if trace.detail else NO_TRACE
+            timed: list[tuple[int, int, "np.ndarray", float, float]] = []
+            for shard_id, shard_terms in prepared.plan.items():
+                start_s = shard_clock.now()
+                partial = self.shard_partial(
+                    shard_id, shard_terms, prepared.variant
+                )
+                timed.append(
+                    (
+                        shard_id,
+                        len(shard_terms),
+                        partial,
+                        start_s,
+                        shard_clock.now(),
+                    )
+                )
+            fanout_end = trace.now()
+            matches = merge_hits([partial for _, _, partial, _, _ in timed])
+            merge_end = trace.now()
+            returned, scoring = self.rank_matches(
+                prepared, matches, limit, max_distance
+            )
+            rank_end = trace.now()
+            if trace.detail:
+                fanout_id = trace.stage(
+                    "fanout", fanout_start, fanout_end, shards=len(timed)
+                )
+                for shard_id, n_terms, _, start_s, end_s in timed:
+                    trace.event(
+                        "shard",
+                        start_s,
+                        end_s,
+                        parent=fanout_id,
+                        shard=shard_id,
+                        terms=n_terms,
+                    )
+            else:
+                trace.stage("fanout", fanout_start, fanout_end)
+            trace.stage("merge", fanout_end, merge_end)
+            trace.stage("rank", merge_end, rank_end)
+        stats = self.fanout_stats(prepared, matches, scoring, planner=planned)
         if spec is not None and spec.is_exact:
             if query_points is None:
                 raise ValueError("exact queries require query_points")
@@ -577,16 +730,41 @@ class ShardedGeodabIndex:
                 candidates=rerank.candidates,
                 pruned=rerank.pruned,
             )
-            stats = FanoutStats(
-                query_terms=stats.query_terms,
-                shards_contacted=stats.shards_contacted,
-                nodes_contacted=stats.nodes_contacted,
-                candidates=stats.candidates,
-                pruned=stats.pruned + rerank.pruned,
-                hedged=stats.hedged,
-                failed_shards=stats.failed_shards,
-            )
+            stats = replace(stats, pruned=stats.pruned + rerank.pruned)
         return returned, stats
+
+    def collect_planned(
+        self,
+        prepared: PreparedQuery,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[MatchCounts, PlannerStats]:
+        """Bounded candidate collection across all shards.
+
+        The router partitions terms across shards, so per-shard dfs and
+        postings compose without double counting and the planner's
+        threshold is global: one control loop opens rarest-first across
+        the whole cluster regardless of term placement.
+        """
+        return query_planner.collect_planned(
+            _ClusterSource(self, prepared.variant, prepared.plan),
+            prepared.terms,
+            len(prepared.query_bitmap),
+            self.variant_cardinalities(prepared.variant),
+            limit,
+            max_distance,
+        )
+
+    def variant_cardinalities(self, variant: str) -> np.ndarray:
+        """Read-only per-slot cardinality view (negative = tombstone).
+
+        The coordinator-side input the query planner's threshold needs;
+        part of the prepared-query protocol both backends share.
+        """
+        cards = self._variant_cards.get(variant)
+        if cards is None:
+            raise UnknownVariant(variant, self.registry.names)
+        return cards.view()
 
     # ------------------------------------------------------------------
     # Per-shard partial lookups (the serving tier's fan-out unit)
@@ -615,6 +793,33 @@ class ShardedGeodabIndex:
         partials at the coordinator.  Arrays are read-only views.
         """
         return self.shards[shard_id].store(variant).postings_map(terms)
+
+    def shard_term_counts(
+        self, shard_id: int, terms: Sequence[int], variant: str = DEFAULT_VARIANT
+    ) -> np.ndarray:
+        """One shard's document frequencies for ``terms`` (fold-free).
+
+        The planner's first scatter: dfs order the terms rarest-first
+        and seed the volume accounting before any postings move.
+        """
+        return self.shards[shard_id].store(variant).term_counts(terms)
+
+    def shard_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        variant: str = DEFAULT_VARIANT,
+    ) -> tuple[np.ndarray, int]:
+        """One shard's completion counts: per-candidate hit deltas.
+
+        Backs the planner's completion phase over a transport — only
+        counts for already-materialized ``candidates`` come back, plus
+        how many postings entries pointed elsewhere and were skipped.
+        """
+        return query_planner.complete_counts(
+            self.shards[shard_id].store(variant), terms, candidates
+        )
 
     def rank_matches(
         self,
@@ -678,6 +883,7 @@ class ShardedGeodabIndex:
         prepared: PreparedQuery,
         matches: MatchCounts,
         scoring: ScoringStats | None = None,
+        planner: PlannerStats | None = None,
     ) -> FanoutStats:
         """Fan-out accounting for an executed prepared query."""
         nodes = {self.shards[s].node_id for s in prepared.plan}
@@ -686,12 +892,17 @@ class ShardedGeodabIndex:
         else:
             assert self._arena.cardinalities is not None
             live = live_candidates(self._arena.cardinalities.view(), matches[0])
+        planned = planner if planner is not None else query_planner.EMPTY_PLAN
         return FanoutStats(
             query_terms=len(prepared.terms),
             shards_contacted=len(prepared.plan),
             nodes_contacted=len(nodes),
             candidates=live,
             pruned=scoring.pruned if scoring is not None else 0,
+            terms_skipped=planned.terms_skipped,
+            postings_skipped=planned.postings_skipped,
+            postings_bytes_avoided=planned.postings_bytes_avoided,
+            collection_cut=planned.collection_cut,
         )
 
     # ------------------------------------------------------------------

@@ -14,17 +14,19 @@ Two concrete indexes share the machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
 from ..bitmap.roaring import Roaring64Map, RoaringBitmap
 from ..geo.point import Point, Trajectory
+from . import planner as query_planner
 from .arena import TOMBSTONE, CardinalityColumn, SlotArena
 from .config import GeodabConfig
 from .fingerprint import Fingerprinter, FingerprintSet
 from .geodab import GeodabScheme
+from .planner import PlannerStats
 from .postings import PostingsStore, merge_hits
 from .registry import (
     AUTO_VARIANT,
@@ -78,6 +80,12 @@ class QueryStats:
     ``scored`` counts only those whose Jaccard distance survived the
     ``max_distance`` filter (the results actually ranked); ``returned``
     is what the ``limit`` cut left over.
+
+    The planner quartet (``terms_skipped`` / ``postings_skipped`` /
+    ``postings_bytes_avoided`` / ``collection_cut``) accounts bounded
+    candidate collection (:mod:`repro.core.planner`) and stays zero
+    under exhaustive collection — see
+    :class:`~repro.core.query.FanoutStats` for the field semantics.
     """
 
     query_terms: int
@@ -85,6 +93,10 @@ class QueryStats:
     scored: int
     returned: int
     pruned: int = 0
+    terms_skipped: int = 0
+    postings_skipped: int = 0
+    postings_bytes_avoided: int = 0
+    collection_cut: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -391,6 +403,7 @@ class TrajectoryInvertedIndex:
         query_bitmap: RoaringBitmap | Roaring64Map,
         limit: int | None = None,
         max_distance: float = 1.0,
+        plan: str = "off",
     ) -> tuple[list[SearchResult], QueryStats]:
         """Ranked retrieval from already-extracted query terms.
 
@@ -408,13 +421,31 @@ class TrajectoryInvertedIndex:
         caller passing repeats would otherwise inflate the intersection
         counts past the union (the internal paths always pass distinct
         terms; this guards the public surface).
+
+        ``plan="auto"`` runs bounded candidate collection
+        (:mod:`repro.core.planner`) when a ``limit`` or a
+        ``max_distance`` below 1.0 gives the planner a threshold to
+        feed back; answers are bit-identical to the default exhaustive
+        path, which remains the oracle.
         """
         distinct = sorted(set(terms))
-        matches = merge_hits([self._postings.hits(distinct)])
         assert self._arena.cardinalities is not None
+        cards = self._arena.cardinalities.view()
+        if plan == "auto" and query_planner.plannable(limit, max_distance):
+            matches, planned = query_planner.collect_planned(
+                query_planner.StoreSource(self._postings),
+                distinct,
+                len(query_bitmap),
+                cards,
+                limit,
+                max_distance,
+            )
+        else:
+            matches = merge_hits([self._postings.hits(distinct)])
+            planned = query_planner.EMPTY_PLAN
         returned, scoring = rank_candidates(
             matches,
-            self._arena.cardinalities.view(),
+            cards,
             self._ids,
             len(query_bitmap),
             limit,
@@ -426,6 +457,10 @@ class TrajectoryInvertedIndex:
             scored=scoring.scored,
             returned=len(returned),
             pruned=scoring.pruned,
+            terms_skipped=planned.terms_skipped,
+            postings_skipped=planned.postings_skipped,
+            postings_bytes_avoided=planned.postings_bytes_avoided,
+            collection_cut=planned.collection_cut,
         )
         return returned, stats
 
@@ -460,6 +495,12 @@ class TrajectoryInvertedIndex:
         modes) and an exact-mode spec then re-ranks the candidates with
         the exact metric over ``query_points`` (required), recorded as a
         ``rerank`` stage.
+
+        With ``spec.plan == "auto"`` (the default) candidate collection
+        is bounded by the WAND-style planner whenever the tier-1
+        parameters give it a threshold; the ``fanout``/``merge`` stages
+        are then replaced by one ``collect`` stage.  ``plan="off"``
+        keeps the exhaustive path (the bit-identity oracle).
         """
         if spec is not None:
             limit = spec.tier1_limit
@@ -469,20 +510,47 @@ class TrajectoryInvertedIndex:
                     "exact queries need stored trajectories; this index "
                     "was built with store_points=False"
                 )
-        fanout_start = trace.now()
-        partials = [
-            self.shard_partial(shard_id, shard_terms, prepared.variant)
-            for shard_id, shard_terms in prepared.plan.items()
-        ]
-        fanout_end = trace.now()
-        matches = merge_hits(partials)
-        merge_end = trace.now()
-        returned, scoring = self.rank_matches(prepared, matches, limit, max_distance)
-        rank_end = trace.now()
-        trace.stage("fanout", fanout_start, fanout_end, shards=len(partials))
-        trace.stage("merge", fanout_end, merge_end)
-        trace.stage("rank", merge_end, rank_end)
-        stats = self.fanout_stats(prepared, matches, scoring)
+        if (
+            spec is not None
+            and spec.plan == "auto"
+            and query_planner.plannable(limit, max_distance)
+        ):
+            collect_start = trace.now()
+            matches, planned = self.collect_planned(
+                prepared, limit, max_distance
+            )
+            collect_end = trace.now()
+            returned, scoring = self.rank_matches(
+                prepared, matches, limit, max_distance
+            )
+            rank_end = trace.now()
+            trace.stage(
+                "collect",
+                collect_start,
+                collect_end,
+                terms_skipped=planned.terms_skipped,
+                postings_skipped=planned.postings_skipped,
+                cut=planned.collection_cut,
+            )
+            trace.stage("rank", collect_end, rank_end)
+        else:
+            planned = query_planner.EMPTY_PLAN
+            fanout_start = trace.now()
+            partials = [
+                self.shard_partial(shard_id, shard_terms, prepared.variant)
+                for shard_id, shard_terms in prepared.plan.items()
+            ]
+            fanout_end = trace.now()
+            matches = merge_hits(partials)
+            merge_end = trace.now()
+            returned, scoring = self.rank_matches(
+                prepared, matches, limit, max_distance
+            )
+            rank_end = trace.now()
+            trace.stage("fanout", fanout_start, fanout_end, shards=len(partials))
+            trace.stage("merge", fanout_end, merge_end)
+            trace.stage("rank", merge_end, rank_end)
+        stats = self.fanout_stats(prepared, matches, scoring, planner=planned)
         if spec is not None and spec.is_exact:
             if query_points is None:
                 raise ValueError("exact queries require query_points")
@@ -497,16 +565,39 @@ class TrajectoryInvertedIndex:
                 candidates=rerank.candidates,
                 pruned=rerank.pruned,
             )
-            stats = FanoutStats(
-                query_terms=stats.query_terms,
-                shards_contacted=stats.shards_contacted,
-                nodes_contacted=stats.nodes_contacted,
-                candidates=stats.candidates,
-                pruned=stats.pruned + rerank.pruned,
-                hedged=stats.hedged,
-                failed_shards=stats.failed_shards,
-            )
+            stats = replace(stats, pruned=stats.pruned + rerank.pruned)
         return returned, stats
+
+    def collect_planned(
+        self,
+        prepared: PreparedQuery,
+        limit: int | None = None,
+        max_distance: float = 1.0,
+    ) -> tuple[MatchCounts, PlannerStats]:
+        """Bounded candidate collection over this backend's postings.
+
+        Drop-in replacement for the fanout+merge pair: returns the same
+        ``(internal_ids, counts)`` table for every trajectory that can
+        appear in the final ranking (see :mod:`repro.core.planner` for
+        the proof sketch), plus the planner's work accounting.
+        """
+        store = self._variant_store(prepared.variant)
+        return query_planner.collect_planned(
+            query_planner.StoreSource(store),
+            prepared.terms,
+            len(prepared.query_bitmap),
+            self.variant_cardinalities(prepared.variant),
+            limit,
+            max_distance,
+        )
+
+    def variant_cardinalities(self, variant: str) -> np.ndarray:
+        """Read-only per-slot cardinality view (negative = tombstone).
+
+        The coordinator-side input the query planner's threshold needs;
+        part of the prepared-query protocol both backends share.
+        """
+        return self._variant_cardinalities(variant).view()
 
     def shard_partial(
         self, shard_id: int, terms: Sequence[int], variant: str = DEFAULT_VARIANT
@@ -534,6 +625,39 @@ class TrajectoryInvertedIndex:
         if shard_id != 0:
             raise ValueError(f"single-node index has only shard 0, got {shard_id}")
         return self._variant_store(variant).postings_map(terms)
+
+    def shard_term_counts(
+        self, shard_id: int, terms: Sequence[int], variant: str = DEFAULT_VARIANT
+    ) -> np.ndarray:
+        """Document frequency per term (``int64``, 0 when absent).
+
+        The query planner's first scatter: dfs decide the rarest-first
+        open order and cost nothing beyond a dictionary probe per term
+        (no fold, no postings touched).
+        """
+        if shard_id != 0:
+            raise ValueError(f"single-node index has only shard 0, got {shard_id}")
+        return self._variant_store(variant).term_counts(terms)
+
+    def shard_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        variant: str = DEFAULT_VARIANT,
+    ) -> tuple[np.ndarray, int]:
+        """Count ``terms``' postings hits against a sorted id table.
+
+        The planner's completion scatter: after the top-k cut, the
+        remaining (frequent) terms only update counts for candidates
+        already materialized — postings for anything else are skipped,
+        and the skip count is returned for the planner accounting.
+        """
+        if shard_id != 0:
+            raise ValueError(f"single-node index has only shard 0, got {shard_id}")
+        return query_planner.complete_counts(
+            self._variant_store(variant), terms, candidates
+        )
 
     def rank_matches(
         self,
@@ -610,14 +734,18 @@ class TrajectoryInvertedIndex:
         prepared: PreparedQuery,
         matches: MatchCounts,
         scoring: ScoringStats | None = None,
+        planner: PlannerStats | None = None,
     ) -> FanoutStats:
         """Fan-out accounting (one shard on one node, when contacted).
 
         Pass the :class:`ScoringStats` of the ranking pass when one was
         performed — the live-candidate count is reused instead of
-        recomputed and the ``pruned`` counter rides along.
+        recomputed and the ``pruned`` counter rides along.  Pass the
+        :class:`PlannerStats` of a planned collection so its quartet of
+        counters rides along too.
         """
         contacted = len(prepared.plan)
+        planned = planner if planner is not None else query_planner.EMPTY_PLAN
         return FanoutStats(
             query_terms=len(prepared.terms),
             shards_contacted=contacted,
@@ -628,6 +756,10 @@ class TrajectoryInvertedIndex:
                 else self._live_candidates(matches[0])
             ),
             pruned=scoring.pruned if scoring is not None else 0,
+            terms_skipped=planned.terms_skipped,
+            postings_skipped=planned.postings_skipped,
+            postings_bytes_avoided=planned.postings_bytes_avoided,
+            collection_cut=planned.collection_cut,
         )
 
     def candidates(self, points: Trajectory) -> set[Hashable]:

@@ -1,0 +1,523 @@
+"""WAND-style query planner: top-k-bounded candidate collection.
+
+Every query path before this module collected candidates exhaustively:
+``shard_partial`` concatenated the complete postings of every query term
+and :func:`~repro.core.postings.merge_hits` ran ``np.unique`` over the
+whole hit stream before a single candidate was cut.  This module feeds
+the running k-th-best Jaccard distance back into collection (the classic
+WAND / max-score discipline, applied to count-based Jaccard):
+
+1. Order the query's distinct terms **rarest-first** by document
+   frequency (fold-free ``PostingsStore.term_counts``; df ties break on
+   the term value, so the order is deterministic).
+2. Open postings lists in that order, merging them into a running
+   ``(candidate, partial_count)`` table.  With ``r`` terms still
+   unopened, a candidate not yet seen shares at most ``r`` of the
+   query's ``|Q|`` terms, so its final distance is at least
+   ``1 - r / |Q|`` (achieved only by a trajectory holding exactly those
+   ``r`` terms and nothing else).
+3. A materialized candidate's partial count only grows as further terms
+   open, and ``1 - c/(|Q| + |T| - c)`` is monotone decreasing in ``c``,
+   so partial counts give an **upper bound** on each candidate's final
+   distance.  The k-th smallest such bound over live candidates — and
+   ``max_distance`` when it is tighter — is a distance no unseen
+   candidate may merely match: collection stops opening new lists once
+   ``1 - r/|Q|`` strictly exceeds it.
+4. After the cut, the remaining (frequent) terms cannot be dropped:
+   the reported distances of already-materialized candidates must stay
+   exact.  They are *completed* instead of merged — each remaining
+   postings list is membership-probed against the sorted candidate
+   table (``searchsorted`` + ``bincount``), never concatenated into the
+   hit stream.  Postings entries for trajectories outside the table are
+   the work avoided, surfaced as ``postings_skipped``.
+
+Answer preservation is bit-exact, not approximate.  All bounds are
+evaluated with the same IEEE-754 float64 operations the scoring engine
+uses; rounding is monotone, so the float bound in step 2 is a true
+lower bound of any float distance :func:`~repro.core.scoring.rank_candidates`
+can produce, and the bounds in step 3 are true upper bounds.  The stop
+test is *strict* because ranking breaks distance ties by ``str(id)``: a
+candidate that exactly met the threshold could still displace a result.
+Hence every trajectory the exhaustive path would return is materialized
+with its exact shared-term count, and ranking the planned table yields
+bit-identical rankings, distances, and tie-breaks (property-tested in
+``tests/test_planner.py``; ``QuerySpec(plan="off")`` keeps the
+exhaustive path as the oracle).
+
+The planner is source-agnostic: :class:`PostingsSource` abstracts "read
+dfs / open postings / complete counts" so the same control loop serves
+the single-node store, the sharded backend (terms are partitioned
+across shards, so per-shard counts add), and the executor's transport
+scatter path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .postings import EMPTY_HITS, PostingsStore
+from .query import MatchCounts
+
+__all__ = [
+    "PlannerStats",
+    "PostingsSource",
+    "StoreSource",
+    "collect_planned",
+    "complete_counts",
+    "count_hits",
+    "plannable",
+    "unseen_lower_bound",
+]
+
+#: Minimum pending postings volume before a threshold re-check is worth
+#: its ``O(candidates)`` cost; below this, keep opening.
+_MIN_FLUSH = 32
+
+#: Dense count-accumulator lane: collection and completion count hits
+#: straight into a slot-indexed array (one ``bincount`` per batch, the
+#: classic term-at-a-time score accumulator) instead of sort-merging id
+#: streams.  Used whenever the slot table is small in absolute terms …
+_DENSE_SLOTS_MIN = 4096
+#: … or no bigger than this factor of the postings volume being counted
+#: (an ``O(slots)`` scan then costs no more than the sort it replaces) …
+_DENSE_VOLUME_FACTOR = 4
+#: … and never beyond this many slots (32 MB of transient ``int64``).
+_DENSE_SLOTS_CAP = 1 << 22
+
+
+def _dense_ok(num_slots: int, volume: int) -> bool:
+    """Whether the dense count-accumulator lane pays for ``num_slots``."""
+    return num_slots <= _DENSE_SLOTS_MIN or (
+        num_slots <= _DENSE_SLOTS_CAP
+        and num_slots <= _DENSE_VOLUME_FACTOR * volume
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PlannerStats:
+    """Work accounting of one planned collection.
+
+    ``terms_skipped`` counts query terms whose postings never entered
+    the merge stream: absent terms (df=0) plus every term left unopened
+    by the top-k cut.  ``postings_skipped`` counts the postings entries
+    of those unopened terms that pointed at trajectories outside the
+    materialized candidate table — the entries exhaustive collection
+    would have concatenated, uniqued, and then thrown away.
+    ``postings_bytes_avoided`` is that in ``int64`` bytes.
+    ``collection_cut`` records whether the threshold actually stopped
+    collection (False means the corpus/query offered nothing to skip
+    beyond df=0 terms).
+    """
+
+    terms_total: int = 0
+    terms_opened: int = 0
+    terms_skipped: int = 0
+    postings_skipped: int = 0
+    postings_bytes_avoided: int = 0
+    collection_cut: bool = False
+
+
+#: Accounting of the trivial (no terms / not plannable) collection.
+EMPTY_PLAN = PlannerStats()
+
+
+class PostingsSource(Protocol):
+    """What the planner needs from a postings backend."""
+
+    def term_counts(self, terms: Sequence[int]) -> np.ndarray:
+        """Document frequency per term (``int64``, 0 when absent)."""
+        ...
+
+    def open_terms(self, terms: Sequence[int]) -> np.ndarray:
+        """Concatenated postings stream of the given terms.
+
+        Multiplicity is meaningful (one entry per (term, doc) pairing);
+        absent terms contribute nothing.  Both collection lanes consume
+        a flat stream, so sources return one instead of per-term chunks.
+        """
+        ...
+
+    def complete(
+        self,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        hi: int | None = None,
+    ) -> tuple[np.ndarray, int]:
+        """Count, per sorted candidate, its hits among ``terms``.
+
+        Returns ``(delta_counts, postings_skipped)`` where
+        ``delta_counts`` aligns with ``candidates`` and
+        ``postings_skipped`` counts postings entries outside the
+        candidate table.  ``hi`` is an optional exclusive upper bound on
+        every internal id involved (the planner passes its slot-table
+        size) so local counting can skip a max-scan; remote sources may
+        ignore it.
+        """
+        ...
+
+
+class StoreSource:
+    """A single :class:`PostingsStore` as a planner source."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: PostingsStore) -> None:
+        self.store = store
+
+    def term_counts(self, terms: Sequence[int]) -> np.ndarray:
+        return self.store.term_counts(terms)
+
+    def open_terms(self, terms: Sequence[int]) -> np.ndarray:
+        return self.store.hits(list(terms))
+
+    def complete(
+        self,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        hi: int | None = None,
+    ) -> tuple[np.ndarray, int]:
+        return complete_counts(self.store, terms, candidates, hi)
+
+
+def complete_counts(
+    store: PostingsStore,
+    terms: Sequence[int],
+    candidates: np.ndarray,
+    hi: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Membership-count ``terms``' postings against a sorted id table.
+
+    The post-cut half of the planner, shared by every backend (the
+    shard worker runs it worker-side so skipped postings never cross
+    the wire).  When the id universe is dense relative to the completed
+    volume, one ``bincount`` over the concatenated stream counts every
+    slot and the candidate rows are gathered out — ``O(V + slots)``
+    with no sort at all.  Sparse universes fall back to one
+    ``searchsorted`` probe of the stream into the sorted ``candidates``
+    table — ``O(V log C)``.  Both are strictly cheaper than the
+    ``O(V log V)`` sort the exhaustive merge would spend on the same
+    postings, and one vectorized call instead of a per-term loop.
+    """
+    if len(candidates) == 0:
+        # No live candidates: nothing to count, every posting of every
+        # present term is skipped (df reads only, no postings fetch).
+        skipped = int(store.term_counts(list(terms)).sum())
+        return np.zeros(0, dtype=np.int64), skipped
+    return count_hits(store.hits(list(terms)), candidates, hi)
+
+
+def count_hits(
+    stream: np.ndarray, candidates: np.ndarray, hi: int | None = None
+) -> tuple[np.ndarray, int]:
+    """Count stream entries per sorted candidate; the rest are skipped.
+
+    The counting core of :func:`complete_counts`, exposed so backends
+    that assemble the hit stream themselves (e.g. across router-owned
+    shard stores) share one vectorized pass.  ``candidates`` must be
+    sorted and non-empty.  ``hi``, when given, is an exclusive upper
+    bound on every id in both arrays, saving the max-scan that would
+    otherwise size the dense accumulator (``np.bincount`` stays correct
+    even if the bound turns out low — it grows its output to fit).
+    """
+    num = len(candidates)
+    total = len(stream)
+    if total == 0:
+        return np.zeros(num, dtype=np.int64), 0
+    if hi is None:
+        hi = max(int(candidates[-1]), int(stream.max())) + 1
+    if _dense_ok(hi, total):
+        delta = np.bincount(stream, minlength=hi)[candidates]
+        return delta, total - int(delta.sum())
+    at = candidates.searchsorted(stream)
+    at[at == num] = 0
+    matched = stream == candidates[at]
+    hits = int(np.count_nonzero(matched))
+    delta = np.zeros(num, dtype=np.int64)
+    if hits:
+        delta += np.bincount(at[matched], minlength=num)
+    return delta, total - hits
+
+
+def plannable(limit: int | None, max_distance: float) -> bool:
+    """Whether bounded collection can ever cut for these parameters.
+
+    With no ``limit`` and ``max_distance == 1.0`` every candidate is
+    returned, so the threshold never drops below 1.0 and planning is
+    pure overhead.
+    """
+    return limit is not None or max_distance < 1.0
+
+
+def unseen_lower_bound(remaining: int, query_size: int) -> float:
+    """Best distance any not-yet-seen candidate can still reach.
+
+    With ``remaining`` terms unopened, an unseen trajectory shares at
+    most ``remaining`` terms, minimized union at ``|T| = remaining``:
+    ``1 - remaining / |Q|``.  Evaluated with the scoring engine's own
+    float64 ops; IEEE-754 rounding is monotone, so this is a true lower
+    bound of any float distance the engine can produce for such a
+    candidate.
+    """
+    if remaining >= query_size:
+        return 0.0
+    return 1.0 - remaining / query_size
+
+
+def _threshold(
+    counts: np.ndarray,
+    cand_cards: np.ndarray,
+    query_size: int,
+    limit: int | None,
+    max_distance: float,
+) -> float:
+    """Distance no unseen candidate may merely match (sound, strict).
+
+    The k-th smallest partial-count distance over live candidates is an
+    upper bound on the final k-th best (each final distance only drops
+    as counts complete), combined with ``max_distance`` when that is
+    tighter.  With fewer than ``limit`` live candidates the top-k arm
+    yields no bound and only the range bound applies.
+    """
+    if limit is None:
+        return max_distance
+    live = cand_cards >= 0
+    n_live = int(np.count_nonzero(live))
+    if n_live < limit:
+        return max_distance
+    live_counts = counts[live]
+    union = query_size + cand_cards[live] - live_counts
+    upper = 1.0 - live_counts / union
+    kth = float(np.partition(upper, limit - 1)[limit - 1])
+    return kth if kth < max_distance else max_distance
+
+
+def _merge_pending(
+    cand_ids: np.ndarray,
+    cand_counts: np.ndarray,
+    stream: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a newly opened postings stream into the candidate table."""
+    new_ids, new_counts = np.unique(stream, return_counts=True)
+    if not len(cand_ids):
+        return new_ids, new_counts
+    combined = np.union1d(cand_ids, new_ids)
+    counts = np.zeros(len(combined), dtype=np.int64)
+    counts[np.searchsorted(combined, cand_ids)] = cand_counts
+    counts[np.searchsorted(combined, new_ids)] += new_counts
+    return combined, counts
+
+
+def _collect_dynamic(
+    source: PostingsSource,
+    ordered_terms: list[int],
+    ordered_dfs: np.ndarray,
+    bounds: np.ndarray,
+    static_cut: int,
+    static_volume: int,
+    acc: np.ndarray | None,
+    cards: np.ndarray,
+    query_size: int,
+    limit: int | None,
+    max_distance: float,
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Batched collection under the running top-k threshold.
+
+    Returns ``(cut_at, cand_ids, cand_counts)``; with a dense
+    accumulator (``acc`` not None) counts land there instead and the
+    returned table stays empty for the caller to materialize.
+    """
+    m = len(ordered_terms)
+    dense = acc is not None
+    # volume[j] = postings volume of the first j terms in open order.
+    volume = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(ordered_dfs)]
+    )
+    cand_ids: np.ndarray = EMPTY_HITS
+    cand_counts: np.ndarray = EMPTY_HITS
+    flushed_volume = 0
+    threshold = max_distance
+    opened_upto = 0
+
+    while True:
+        # First position the current threshold forbids; sound because
+        # the threshold only tightens as counts complete.
+        allowed = int(np.searchsorted(bounds, threshold, side="right"))
+        if allowed <= opened_upto or opened_upto == m:
+            break
+        if static_cut < m:
+            # A range cut is coming regardless: space the remaining
+            # checkpoints over the volume left before it instead of
+            # doubling up from tiny batches.
+            target = max(
+                _MIN_FLUSH,
+                flushed_volume,
+                (static_volume - flushed_volume + 1) // 2,
+            )
+        else:
+            # Checkpoint when the pending volume has doubled the opened
+            # volume: total merge work stays a small multiple of one
+            # exhaustive merge, and the threshold refreshes *before*
+            # committing to a frequent term's postings.
+            target = max(_MIN_FLUSH, flushed_volume)
+        end = int(
+            np.searchsorted(volume, flushed_volume + target, side="left")
+        )
+        end = max(opened_upto + 1, min(end, allowed))
+        # One source round-trip per batch (a transport-backed source
+        # scatters it whole).
+        stream = source.open_terms(ordered_terms[opened_upto:end])
+        if len(stream):
+            if dense:
+                acc += np.bincount(stream, minlength=len(acc))
+            else:
+                cand_ids, cand_counts = _merge_pending(
+                    cand_ids, cand_counts, stream
+                )
+        flushed_volume = int(volume[end])
+        opened_upto = end
+        if end == m or limit is None:
+            # Only the range bound applies below ``limit``; with no
+            # top-k arm there is never a threshold to refresh.
+            continue
+        if dense:
+            cmax = int(acc.max())
+        else:
+            cmax = int(cand_counts.max()) if len(cand_counts) else 0
+        # O(1) guard: no partial-distance upper bound can fall below
+        # 1 - cmax/|Q| (the union is never smaller than |Q|), so a
+        # refresh that cannot tighten the threshold is skipped.
+        if cmax <= 0 or 1.0 - cmax / query_size >= threshold:
+            continue
+        if dense:
+            ids = np.flatnonzero(acc)
+            counts = acc[ids]
+        else:
+            ids, counts = cand_ids, cand_counts
+        threshold = _threshold(
+            counts, cards[ids], query_size, limit, max_distance
+        )
+    return opened_upto, cand_ids, cand_counts
+
+
+def collect_planned(
+    source: PostingsSource,
+    terms: Sequence[int],
+    query_size: int,
+    cards: np.ndarray,
+    limit: int | None,
+    max_distance: float = 1.0,
+) -> tuple[MatchCounts, PlannerStats]:
+    """Bounded candidate collection; drop-in for hits + ``merge_hits``.
+
+    Returns the same ``(internal_ids, shared_term_counts)`` table the
+    exhaustive path produces for every trajectory that can appear in
+    the final ranking, plus the planner's work accounting.  ``cards``
+    is the per-slot cardinality column (negative = tombstone) the
+    threshold needs for partial-distance upper bounds.
+
+    Two collection lanes share the control flow.  When the slot table
+    is dense relative to the query's postings volume (:func:`_dense_ok`
+    over ``len(cards)``), opened postings are counted straight into a
+    slot-indexed accumulator — one ``bincount`` per batch, no sorted
+    merges — and the candidate table is materialized once at the end.
+    Sparse universes keep the incremental ``np.unique``/``union1d``
+    merge.  Scheduling is adaptive: when the ``max_distance`` bound
+    alone already cuts off most of the postings volume, the allowed
+    prefix is opened in one shot with no threshold bookkeeping at all;
+    otherwise :func:`_collect_dynamic` runs checkpointed batches under
+    the running k-th-best threshold, where a refresh is only *computed*
+    when it can matter — every partial-distance upper bound is at least
+    ``1 - cmax/|Q|`` for the largest partial count ``cmax`` (the union
+    is never smaller than ``|Q|``), so when that floor already meets
+    the current threshold the ``O(candidates)`` refresh is skipped.
+    """
+    n_terms = len(terms)
+    if n_terms == 0:
+        return (EMPTY_HITS, EMPTY_HITS), EMPTY_PLAN
+    # Deterministic open order: df ascending, term value breaking ties.
+    sorted_terms = np.sort(np.asarray(list(terms), dtype=np.int64))
+    dfs = np.asarray(source.term_counts(sorted_terms.tolist()), dtype=np.int64)
+    present = dfs > 0
+    absent = n_terms - int(np.count_nonzero(present))
+    ordered_dfs = dfs[present]
+    order = np.argsort(ordered_dfs, kind="stable")
+    ordered_dfs = ordered_dfs[order]
+    ordered_terms = sorted_terms[present][order].tolist()
+    m = len(ordered_terms)
+
+    num_slots = len(cards)
+    total_volume = int(ordered_dfs.sum())
+    dense = _dense_ok(num_slots, total_volume)
+    # Unseen-candidate floor per open position, precomputed with the
+    # same float64 ops as :func:`unseen_lower_bound`.  It is
+    # non-decreasing, so "first position the current threshold forbids"
+    # is a binary search, not a per-term loop — and the latest position
+    # the range bound alone permits (``static_cut``) is known up front.
+    bounds = 1.0 - np.arange(m, 0, -1, dtype=np.int64) / query_size
+    np.maximum(bounds, 0.0, out=bounds)
+    static_cut = int(np.searchsorted(bounds, max_distance, side="right"))
+    static_volume = int(ordered_dfs[:static_cut].sum())
+
+    acc = np.zeros(num_slots, dtype=np.int64) if dense else None
+    cand_ids: np.ndarray = EMPTY_HITS
+    cand_counts: np.ndarray = EMPTY_HITS
+
+    if static_cut < m and 4 * static_volume <= total_volume:
+        # One-shot static schedule: the range bound alone already cuts
+        # off at least 3/4 of the postings volume, so the dynamic
+        # threshold machinery can only trim the cheap quarter further —
+        # its per-checkpoint cost outweighs that.  Open the whole
+        # allowed prefix in one batch and go straight to completion
+        # (opening *more* terms than a tighter threshold would is
+        # always answer-safe: the table is a superset with exact
+        # counts either way).
+        stream = source.open_terms(ordered_terms[:static_cut])
+        if len(stream):
+            if dense:
+                acc += np.bincount(stream, minlength=num_slots)
+            else:
+                cand_ids, cand_counts = _merge_pending(
+                    cand_ids, cand_counts, stream
+                )
+        cut_at = static_cut
+    else:
+        cut_at, cand_ids, cand_counts = _collect_dynamic(
+            source,
+            ordered_terms,
+            ordered_dfs,
+            bounds,
+            static_cut,
+            static_volume,
+            acc,
+            cards,
+            query_size,
+            limit,
+            max_distance,
+        )
+
+    if dense:
+        cand_ids = np.flatnonzero(acc).astype(np.int64, copy=False)
+        cand_counts = acc[cand_ids]
+
+    opened = cut_at
+    skipped_terms = absent + (m - opened)
+    postings_skipped = 0
+    if cut_at < m:
+        leftover = ordered_terms[cut_at:]
+        delta, postings_skipped = source.complete(
+            leftover, cand_ids, num_slots
+        )
+        if len(cand_counts):
+            cand_counts = cand_counts + delta
+    stats = PlannerStats(
+        terms_total=n_terms,
+        terms_opened=opened,
+        terms_skipped=skipped_terms,
+        postings_skipped=postings_skipped,
+        postings_bytes_avoided=8 * postings_skipped,
+        collection_cut=cut_at < m,
+    )
+    return (cand_ids, cand_counts), stats

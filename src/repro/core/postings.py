@@ -193,17 +193,80 @@ class PostingsStore:
         """Sorted postings of a term (read-only view), or ``None``."""
         return self._compact(term)
 
+    def term_count(self, term: int) -> int:
+        """Document frequency of one term, **without** folding.
+
+        Counts the sorted array plus any un-folded append buffer under
+        the fold lock (one consistent snapshot: folds mutate both dicts
+        under the same lock), so the query planner can read dfs off the
+        write-hot path without triggering the compaction that
+        :meth:`get` performs.
+        """
+        with self._fold_lock:
+            array = self._arrays.get(term)
+            buffer = self._buffers.get(term)
+            count = 0 if array is None else len(array)
+            if buffer is not None:
+                count += len(buffer)
+            return count
+
+    def term_counts(self, terms: Sequence[int]) -> np.ndarray:
+        """Bulk document frequencies (``int64``), fold-free.
+
+        One lock acquisition covers the whole batch, so the counts are
+        a single consistent snapshot even while concurrent readers fold
+        other terms.
+        """
+        counts = np.zeros(len(terms), dtype=np.int64)
+        with self._fold_lock:
+            arrays = self._arrays
+            buffers = self._buffers
+            if not buffers:
+                # Fully folded store (the steady serving state): one
+                # dict probe per term is the whole read.
+                for i, term in enumerate(terms):
+                    array = arrays.get(term)
+                    if array is not None:
+                        counts[i] = len(array)
+                return counts
+            for i, term in enumerate(terms):
+                array = arrays.get(term)
+                total = 0 if array is None else len(array)
+                buffer = buffers.get(term)
+                if buffer is not None:
+                    total += len(buffer)
+                counts[i] = total
+        return counts
+
     def hits(self, terms: Sequence[int]) -> np.ndarray:
         """Concatenated postings of every present term (the hit stream).
 
         One internal id per (term, document) pairing — multiplicity is
         meaningful: :func:`merge_hits` turns it into shared-term counts.
+        Terms absent from the store are pre-filtered with a membership
+        probe (safe lock-free, see ``__contains__``) before any
+        compaction machinery runs.
         """
+        arrays = self._arrays
+        buffers = self._buffers
         chunks = []
-        for term in terms:
-            postings = self._compact(term)
-            if postings is not None and len(postings):
-                chunks.append(postings)
+        if not buffers:
+            # Fully folded store (the steady serving state): one dict
+            # probe per term is the whole read.
+            for term in terms:
+                postings = arrays.get(term)
+                if postings is not None and len(postings):
+                    chunks.append(postings)
+        else:
+            for term in terms:
+                postings = arrays.get(term)
+                if term in buffers:
+                    # Only terms with a pending buffer pay the
+                    # compaction machinery (same benign staleness as
+                    # before if an append races in).
+                    postings = self._compact(term)
+                if postings is not None and len(postings):
+                    chunks.append(postings)
         if not chunks:
             return EMPTY_HITS
         if len(chunks) == 1:

@@ -76,6 +76,12 @@ class QuerySpec:
       want, since tier-1 recall tracks fingerprint density.  Unregistered
       names are rejected at execution time with
       :exc:`~repro.core.registry.UnknownVariant`.
+    * ``plan`` — candidate-collection strategy for the retrieval tier.
+      ``auto`` (default) lets the WAND-style planner
+      (:mod:`repro.core.planner`) stop materializing postings once the
+      top-k can no longer change; ``off`` forces exhaustive collection.
+      Answers are bit-identical either way — ``off`` exists as the test
+      oracle and bench baseline, and as an escape hatch.
     """
 
     mode: str = "approx"
@@ -85,6 +91,7 @@ class QuerySpec:
     overfetch: int = 4
     band: int | None = None
     variant: str = "default"
+    plan: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mode not in QUERY_MODES:
@@ -142,6 +149,10 @@ class QuerySpec:
                 raise ValueError("'band' applies only to the dtw metric")
         if not isinstance(self.variant, str) or not self.variant:
             raise ValueError("'variant' must be a non-empty string")
+        if self.plan not in ("auto", "off"):
+            raise ValueError(
+                f"'plan' must be 'auto' or 'off', got {self.plan!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -188,6 +199,11 @@ class QuerySpec:
             self.overfetch,
             self.band,
             self.variant,
+            # Planned and exhaustive collection answer identically, but
+            # keeping the key spec-complete means a plan=off oracle run
+            # can never be served a planned answer from cache (or vice
+            # versa) — which benchmarks and bit-identity tests rely on.
+            self.plan,
         )
 
     # ------------------------------------------------------------------
@@ -206,7 +222,7 @@ class QuerySpec:
             raise ValueError("'spec' must be a JSON object")
         known = {
             "mode", "metric", "limit", "max_distance", "overfetch",
-            "band", "variant",
+            "band", "variant", "plan",
         }
         unknown = set(payload) - known
         if unknown:
@@ -215,7 +231,7 @@ class QuerySpec:
                 f"valid fields: {sorted(known)!r}"
             )
         kwargs: dict = {}
-        for key in ("mode", "metric", "variant"):
+        for key in ("mode", "metric", "variant", "plan"):
             if key in payload:
                 value = payload[key]
                 if not isinstance(value, str):
@@ -238,6 +254,8 @@ class QuerySpec:
             payload["band"] = self.band
         if self.variant != "default":
             payload["variant"] = self.variant
+        if self.plan != "auto":
+            payload["plan"] = self.plan
         return payload
 
 
@@ -372,6 +390,14 @@ class FanoutStats:
     sent to a second backend because the first straggled) and how many
     shards contributed *nothing* — the query still answered from the
     surviving shards, flagged degraded rather than failing.
+
+    ``terms_skipped`` / ``postings_skipped`` / ``postings_bytes_avoided``
+    / ``collection_cut`` account the query planner's decisions
+    (:mod:`repro.core.planner`): terms never merged into the hit stream
+    (absent or cut), postings entries those terms held for trajectories
+    outside the materialized candidate table, the same in bytes, and
+    whether the top-k bound actually stopped collection.  All zero under
+    exhaustive collection (``plan="off"`` or unplannable specs).
     """
 
     query_terms: int
@@ -381,6 +407,10 @@ class FanoutStats:
     pruned: int = 0
     hedged: int = 0
     failed_shards: int = 0
+    terms_skipped: int = 0
+    postings_skipped: int = 0
+    postings_bytes_avoided: int = 0
+    collection_cut: bool = False
 
     @property
     def degraded(self) -> bool:

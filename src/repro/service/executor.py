@@ -48,8 +48,10 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..cluster.cluster import ShardedGeodabIndex
+from ..core import planner as query_planner
 from ..core.index import GeodabIndex, SearchResult
-from ..core.postings import merge_hits
+from ..core.planner import PlannerStats
+from ..core.postings import EMPTY_HITS, merge_hits
 from ..core.query import (
     NO_TRACE,
     MatchCounts,
@@ -86,6 +88,13 @@ class ExecutionStats:
     nothing (every attempt failed or timed out) — when non-zero the
     results are :attr:`degraded`, not wrong: they rank whatever the
     surviving shards returned.
+
+    The planner quartet (``terms_skipped`` / ``postings_skipped`` /
+    ``postings_bytes_avoided`` / ``collection_cut``) carries the query
+    planner's work accounting when bounded collection ran
+    (:mod:`repro.core.planner`); all zeros on the exhaustive path.  A
+    planned execution replaces the ``fanout``/``merge`` stages with one
+    ``collect`` stage in ``stage_ms``.
     """
 
     query_terms: int
@@ -99,6 +108,10 @@ class ExecutionStats:
     stage_ms: tuple[tuple[str, float], ...] = ()
     hedged: int = 0
     failed_shards: int = 0
+    terms_skipped: int = 0
+    postings_skipped: int = 0
+    postings_bytes_avoided: int = 0
+    collection_cut: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -150,6 +163,114 @@ class _Pending:
         self.results: list[SearchResult] | None = None
         self.stats: ExecutionStats | None = None
         self.error: BaseException | None = None
+
+
+class _TransportSource:
+    """Planner source that scatters df/open/complete ops per shard.
+
+    The query planner's control loop (threshold, open order, cut) runs
+    at the coordinator; this source keeps the postings where they live
+    by grouping each of the planner's round trips along the prepared
+    query's term→shard routing and scattering the per-shard calls
+    through the executor's fault-aware machinery — so the running
+    threshold is shared across shards by construction, and dfs arrive
+    in one cheap scatter before any postings move (two-phase scatter).
+
+    A shard that fails *both* attempts raises
+    :class:`~repro.service.transport.TransportError`: a planned
+    collection cannot drop a shard and stay bit-identical, so the
+    caller falls back to the exhaustive scatter, which tolerates failed
+    shards by degrading the result instead.
+    """
+
+    __slots__ = ("executor", "prepared", "shard_of", "hedged")
+
+    def __init__(
+        self, executor: "QueryExecutor", prepared: PreparedQuery
+    ) -> None:
+        self.executor = executor
+        self.prepared = prepared
+        self.shard_of = {
+            term: shard_id
+            for shard_id, shard_terms in prepared.plan.items()
+            for term in shard_terms
+        }
+        self.hedged = 0
+
+    def _scattered(
+        self, terms: Sequence[int], call: Callable
+    ) -> tuple[list[tuple[int, list[int]]], dict]:
+        grouped: dict[int, list[int]] = {}
+        for term in terms:
+            grouped.setdefault(self.shard_of[term], []).append(term)
+        plan = list(grouped.items())
+        results, _, hedged, failed = self.executor._scatter(
+            plan, call, NO_TRACE
+        )
+        if failed:
+            raise TransportError(
+                f"planned collection lost shards {sorted(failed)}"
+            )
+        self.hedged += len(hedged)
+        return plan, results
+
+    def term_counts(self, terms: Sequence[int]) -> np.ndarray:
+        executor = self.executor
+        variant = self.prepared.variant
+
+        def call(shard_id, shard_terms, attempt, meta):
+            return executor._contact_dfs(
+                shard_id, shard_terms, attempt, meta, variant
+            )
+
+        plan, results = self._scattered(terms, call)
+        count_of: dict[int, int] = {}
+        for shard_id, shard_terms in plan:
+            for term, count in zip(shard_terms, results[shard_id]):
+                count_of[term] = int(count)
+        return np.array([count_of[t] for t in terms], dtype=np.int64)
+
+    def open_terms(self, terms: Sequence[int]) -> np.ndarray:
+        executor = self.executor
+        variant = self.prepared.variant
+
+        def call(shard_id, shard_terms, attempt, meta):
+            return executor._fetch_shard(
+                shard_id, shard_terms, attempt, meta, variant
+            )
+
+        plan, results = self._scattered(terms, call)
+        chunks: list[np.ndarray] = []
+        for shard_id, _ in plan:
+            for posting in results[shard_id].values():
+                if len(posting):
+                    chunks.append(posting)
+        if not chunks:
+            return EMPTY_HITS
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+    def complete(
+        self,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        hi: int | None = None,
+    ) -> tuple[np.ndarray, int]:
+        executor = self.executor
+        variant = self.prepared.variant
+
+        def call(shard_id, shard_terms, attempt, meta):
+            return executor._contact_complete(
+                shard_id, shard_terms, candidates, attempt, meta, variant
+            )
+
+        plan, results = self._scattered(terms, call)
+        delta = np.zeros(len(candidates), dtype=np.int64)
+        skipped = 0
+        for shard_id, _ in plan:
+            part, part_skipped = results[shard_id]
+            delta += part
+            skipped += part_skipped
+        return delta, skipped
 
 
 class QueryExecutor:
@@ -271,6 +392,21 @@ class QueryExecutor:
             return self._execute_batched(
                 prepared, limit, max_distance, trace, spec, query_points
             )
+        if (
+            spec is not None
+            and spec.plan == "auto"
+            and query_planner.plannable(limit, max_distance)
+            and self._planner_capable()
+        ):
+            try:
+                return self._execute_planned(
+                    prepared, limit, max_distance, trace, spec, query_points
+                )
+            except TransportError:
+                # A shard failed both attempts mid-plan: bit-identical
+                # bounded collection is off the table, so fall through
+                # to the exhaustive scatter, which degrades instead.
+                pass
         matches, fanout_s, merge_s, hedged, failed = self._fanout_single(
             prepared, trace
         )
@@ -407,6 +543,43 @@ class QueryExecutor:
             time.sleep(self.rpc_latency_s)
         return self.transport.shard_postings(
             shard_id, terms, attempt, meta, variant
+        )
+
+    def _contact_dfs(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> np.ndarray:
+        with self._contact_lock:
+            self._contact_counts[shard_id] = (
+                self._contact_counts.get(shard_id, 0) + 1
+            )
+        if self.rpc_latency_s:
+            time.sleep(self.rpc_latency_s)
+        return self.transport.shard_term_counts(
+            shard_id, terms, attempt, meta, variant
+        )
+
+    def _contact_complete(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> tuple[np.ndarray, int]:
+        with self._contact_lock:
+            self._contact_counts[shard_id] = (
+                self._contact_counts.get(shard_id, 0) + 1
+            )
+        if self.rpc_latency_s:
+            time.sleep(self.rpc_latency_s)
+        return self.transport.shard_counts(
+            shard_id, terms, candidates, attempt, meta, variant
         )
 
     def _timed_call(
@@ -679,6 +852,91 @@ class QueryExecutor:
             failed,
         )
 
+    # ------------------------------------------------------------------
+    # Planned (top-k-bounded) collection
+    # ------------------------------------------------------------------
+
+    def _planner_capable(self) -> bool:
+        """Whether the transport speaks the planner's df/complete ops.
+
+        The :class:`ShardTransport` protocol grew ``shard_term_counts``
+        and ``shard_counts`` for bounded collection; a duck-typed
+        transport predating them simply keeps the exhaustive path
+        rather than crashing the query.
+        """
+        return hasattr(self.transport, "shard_term_counts") and hasattr(
+            self.transport, "shard_counts"
+        )
+
+    def _execute_planned(
+        self,
+        prepared: PreparedQuery,
+        limit: int | None,
+        max_distance: float,
+        trace: TraceSink = NO_TRACE,
+        spec: QuerySpec | None = None,
+        query_points: Trajectory | None = None,
+        batch_size: int = 1,
+    ) -> tuple[list[SearchResult], ExecutionStats]:
+        """One query through the planner's bounded collection.
+
+        Replaces the ``fanout``/``merge`` pair with a single ``collect``
+        stage: the planner's control loop runs here at the coordinator
+        and its df/open/complete round trips scatter per shard through
+        the transport (:class:`_TransportSource`).  Results are
+        bit-identical to the exhaustive path; raises
+        :class:`TransportError` when a shard dies mid-plan so the caller
+        can fall back.
+        """
+        collect_start = trace.now()
+        source = _TransportSource(self, prepared)
+        matches, planned = query_planner.collect_planned(
+            source,
+            prepared.terms,
+            len(prepared.query_bitmap),
+            self.index.variant_cardinalities(prepared.variant),
+            limit,
+            max_distance,
+        )
+        collect_end = trace.now()
+        results, scoring = self.index.rank_matches(
+            prepared, matches, limit, max_distance
+        )
+        rank_end = trace.now()
+        trace.stage(
+            "collect",
+            collect_start,
+            collect_end,
+            terms_skipped=planned.terms_skipped,
+            postings_skipped=planned.postings_skipped,
+            cut=planned.collection_cut,
+        )
+        trace.stage("rank", collect_end, rank_end)
+        rerank_s: float | None = None
+        extra_pruned = 0
+        if spec is not None and spec.is_exact:
+            results, rerank_s, extra_pruned = self._rerank(
+                results, spec, query_points, trace
+            )
+        stage_ms: tuple[tuple[str, float], ...] = ()
+        if trace is not NO_TRACE:
+            stage_ms = (
+                ("collect", round((collect_end - collect_start) * 1000.0, 4)),
+                ("rank", round((rank_end - collect_end) * 1000.0, 4)),
+            )
+            if rerank_s is not None:
+                stage_ms += (("rerank", round(rerank_s * 1000.0, 4)),)
+        return results, self._stats(
+            prepared,
+            matches,
+            batch_size=batch_size,
+            scoring=scoring,
+            stage_ms=stage_ms,
+            hedged=source.hedged,
+            extra_pruned=extra_pruned,
+            planner=planned,
+        )
+
     @staticmethod
     def _record_shard_spans(
         trace: TraceSink,
@@ -820,6 +1078,40 @@ class QueryExecutor:
         return pending.results, pending.stats
 
     def _run_batch(self, batch: list[_Pending]) -> None:
+        # Planner-eligible items run bounded collection individually
+        # (their per-query threshold is the whole point — a shared
+        # union fetch would read exactly the postings they can skip);
+        # everything else shares the exhaustive union fetch below.
+        full_size = len(batch)
+        remaining: list[_Pending] = []
+        for item in batch:
+            if not (
+                item.spec is not None
+                and item.spec.plan == "auto"
+                and query_planner.plannable(item.limit, item.max_distance)
+                and self._planner_capable()
+            ):
+                remaining.append(item)
+                continue
+            try:
+                item.results, item.stats = self._execute_planned(
+                    item.prepared,
+                    item.limit,
+                    item.max_distance,
+                    item.trace,
+                    item.spec,
+                    item.query_points,
+                    batch_size=full_size,
+                )
+            except TransportError:
+                # Mid-plan shard loss: rejoin the exhaustive fetch,
+                # which tolerates failed shards by degrading.
+                remaining.append(item)
+            except BaseException as exc:
+                item.error = exc
+        if not remaining:
+            return
+        batch = remaining
         # One fetch per (variant, shard) over the union of the batch's
         # terms — queries on different variants read different postings
         # columns, so only same-variant queries can share a term union.
@@ -933,7 +1225,7 @@ class QueryExecutor:
                 item.stats = self._stats(
                     item.prepared,
                     matches,
-                    batch_size=len(batch),
+                    batch_size=full_size,
                     scoring=scoring,
                     stage_ms=self._stage_ms(
                         sink,
@@ -992,8 +1284,9 @@ class QueryExecutor:
         hedged: int = 0,
         failed_shards: int = 0,
         extra_pruned: int = 0,
+        planner: PlannerStats | None = None,
     ) -> ExecutionStats:
-        fanout = self.index.fanout_stats(prepared, matches, scoring)
+        fanout = self.index.fanout_stats(prepared, matches, scoring, planner)
         pooled = self._pool is not None
         return ExecutionStats(
             query_terms=fanout.query_terms,
@@ -1010,4 +1303,8 @@ class QueryExecutor:
             stage_ms=stage_ms,
             hedged=hedged,
             failed_shards=failed_shards,
+            terms_skipped=fanout.terms_skipped,
+            postings_skipped=fanout.postings_skipped,
+            postings_bytes_avoided=fanout.postings_bytes_avoided,
+            collection_cut=fanout.collection_cut,
         )

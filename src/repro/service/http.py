@@ -10,9 +10,11 @@ Endpoints (all JSON):
   "exact_knn", "metric": "dtw", "limit": 10, ...}}`` → ranked results
   with serving metadata.  ``spec`` is the structured
   :class:`~repro.core.query.QuerySpec` surface (mode / metric / limit /
-  max_distance / overfetch / band / variant); the legacy flat ``{"limit",
-  "max_distance"}`` body still parses as an approx query but the
-  response carries a ``Deprecation: true`` header.
+  max_distance / overfetch / band / variant / plan); the legacy flat
+  ``{"limit", "max_distance"}`` body still parses as an approx query but
+  the response carries a ``Deprecation: true`` header.  Responses embed
+  a ``"planner"`` object reporting work the query planner avoided
+  (``plan: "off"`` forces exhaustive collection).
 * ``POST /query/batch`` — ``{"queries": [[[lat, lon], ...], ...],
   "spec": {...}}`` (entries may also be ``{"points": [...]}`` objects;
   legacy flat ``limit``/``max_distance`` as above) → ``{"results":

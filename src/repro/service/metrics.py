@@ -180,6 +180,7 @@ class MetricsSnapshot:
     pruned_candidates: int = 0
     degraded_queries: int = 0
     requests_shed: int = 0
+    planner: dict[str, int] = field(default_factory=dict)
     stages: dict[str, dict] = field(default_factory=dict)
     endpoints: dict[str, dict] = field(default_factory=dict)
     status_counts: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -203,6 +204,7 @@ class MetricsSnapshot:
             "pruned_candidates": self.pruned_candidates,
             "degraded_queries": self.degraded_queries,
             "requests_shed": self.requests_shed,
+            "planner": self.planner,
             "stages": self.stages,
             "endpoints": self.endpoints,
             "status_counts": self.status_counts,
@@ -255,6 +257,11 @@ class ServiceMetrics:
         self._pruned_candidates = 0
         self._degraded_queries = 0
         self._requests_shed = 0
+        # Query-planner work accounting (bounded candidate collection).
+        self._planner_terms_skipped = 0
+        self._planner_postings_skipped = 0
+        self._planner_postings_bytes_avoided = 0
+        self._planner_collection_cuts = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -268,12 +275,16 @@ class ServiceMetrics:
         batch_size: int = 1,
         pruned: int = 0,
         degraded: bool = False,
+        planner: tuple[int, int, int, bool] | None = None,
     ) -> None:
         """Account one served query.
 
         ``pruned`` is the scoring engine's candidate-prune count for the
         execution; cache hits pass 0 (no scoring work was performed).
         ``degraded`` flags answers a failed shard left incomplete.
+        ``planner`` is the query planner's ``(terms_skipped,
+        postings_skipped, postings_bytes_avoided, collection_cut)``
+        accounting when bounded collection ran; cache hits pass none.
         """
         if not self.enabled:
             return
@@ -281,7 +292,7 @@ class ServiceMetrics:
         with self._lock:
             self._record_query_locked(
                 now, latency_s, cached, fanout_width, batch_size, pruned,
-                degraded,
+                degraded, planner,
             )
 
     def record_stages(self, stage_seconds: dict[str, float]) -> None:
@@ -300,6 +311,7 @@ class ServiceMetrics:
         pruned: int = 0,
         degraded: bool = False,
         stage_seconds: dict[str, float] | None = None,
+        planner: tuple[int, int, int, bool] | None = None,
     ) -> None:
         """One query *and* its stage split under a single lock round-trip.
 
@@ -313,33 +325,36 @@ class ServiceMetrics:
         with self._lock:
             self._record_query_locked(
                 now, latency_s, cached, fanout_width, batch_size, pruned,
-                degraded,
+                degraded, planner,
             )
             if stage_seconds:
                 self._record_stages_locked(stage_seconds)
 
     def record_request_batch(
         self,
-        outcomes: list[tuple[float, bool, int, int, int, bool]],
+        outcomes: list[tuple],
         stage_seconds: dict[str, float] | None = None,
     ) -> None:
         """A burst's worth of queries under one lock round-trip.
 
         ``outcomes`` holds one ``(latency_s, cached, fanout_width,
-        batch_size, pruned, degraded)`` tuple per query;
-        ``stage_seconds`` is the burst's shared stage split, recorded
-        once.
+        batch_size, pruned, degraded)`` tuple per query — optionally
+        extended with a seventh ``planner`` quartet (see
+        :meth:`record_query`); ``stage_seconds`` is the burst's shared
+        stage split, recorded once.
         """
         if not self.enabled or not outcomes:
             return
         now = self._clock()
         with self._lock:
-            for (
-                latency_s, cached, fanout_width, batch_size, pruned, degraded,
-            ) in outcomes:
+            for outcome in outcomes:
+                latency_s, cached, fanout_width, batch_size, pruned, degraded = (
+                    outcome[:6]
+                )
+                planner = outcome[6] if len(outcome) > 6 else None
                 self._record_query_locked(
                     now, latency_s, cached, fanout_width, batch_size, pruned,
-                    degraded,
+                    degraded, planner,
                 )
             if stage_seconds:
                 self._record_stages_locked(stage_seconds)
@@ -353,6 +368,7 @@ class ServiceMetrics:
         batch_size: int,
         pruned: int,
         degraded: bool = False,
+        planner: tuple[int, int, int, bool] | None = None,
     ) -> None:
         self._queries += 1
         # Inlined LatencyHistogram.record: this runs once per query on
@@ -376,6 +392,12 @@ class ServiceMetrics:
             self._pruned_candidates += pruned
             if degraded:
                 self._degraded_queries += 1
+            if planner is not None:
+                self._planner_terms_skipped += planner[0]
+                self._planner_postings_skipped += planner[1]
+                self._planner_postings_bytes_avoided += planner[2]
+                if planner[3]:
+                    self._planner_collection_cuts += 1
 
     def _record_stages_locked(self, stage_seconds: dict[str, float]) -> None:
         hists = self._stage_hists
@@ -488,6 +510,14 @@ class ServiceMetrics:
                 pruned_candidates=self._pruned_candidates,
                 degraded_queries=self._degraded_queries,
                 requests_shed=self._requests_shed,
+                planner={
+                    "terms_skipped": self._planner_terms_skipped,
+                    "postings_skipped": self._planner_postings_skipped,
+                    "postings_bytes_avoided": (
+                        self._planner_postings_bytes_avoided
+                    ),
+                    "collection_cuts": self._planner_collection_cuts,
+                },
                 stages=stages,
                 endpoints=endpoints,
                 status_counts=status_counts,
@@ -512,6 +542,12 @@ class ServiceMetrics:
                     "pruned_candidates": self._pruned_candidates,
                     "degraded_queries": self._degraded_queries,
                     "requests_shed": self._requests_shed,
+                    "planner_terms_skipped": self._planner_terms_skipped,
+                    "planner_postings_skipped": self._planner_postings_skipped,
+                    "planner_postings_bytes_avoided": (
+                        self._planner_postings_bytes_avoided
+                    ),
+                    "planner_collection_cuts": self._planner_collection_cuts,
                 },
                 "request_latency": self._latency.state(),
                 "stages": {
@@ -591,6 +627,18 @@ def prometheus_text(
         "pruned_candidates": "Candidates pruned before scoring.",
         "degraded_queries": "Queries answered without a failed shard's partial.",
         "requests_shed": "Requests shed by admission control (HTTP 429).",
+        "planner_terms_skipped": (
+            "Query terms the planner never opened (absent or cut)."
+        ),
+        "planner_postings_skipped": (
+            "Postings entries skipped by the planner's completion phase."
+        ),
+        "planner_postings_bytes_avoided": (
+            "Bytes of postings the planner avoided reading."
+        ),
+        "planner_collection_cuts": (
+            "Queries whose candidate collection stopped early."
+        ),
     }
     for key, help_text in counter_help.items():
         name = f"geodabs_{key}_total"

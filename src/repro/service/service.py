@@ -112,6 +112,12 @@ class QueryResponse:
     failed or timed out on every attempt): the results rank what the
     surviving shards returned — correct but possibly incomplete — and
     the response says so instead of failing the request.
+
+    The planner quartet (``terms_skipped``, ``postings_skipped``,
+    ``postings_bytes_avoided``, ``collection_cut``) reports how much
+    work the WAND-style query planner avoided; all zeros when the
+    query ran exhaustively (``plan="off"``, unplannable spec, cache
+    hit, or degraded fallback).
     """
 
     results: tuple[SearchResult, ...]
@@ -123,6 +129,10 @@ class QueryResponse:
     pruned: int = 0
     trace: dict | None = None
     degraded: bool = False
+    terms_skipped: int = 0
+    postings_skipped: int = 0
+    postings_bytes_avoided: int = 0
+    collection_cut: bool = False
 
     def as_dict(self) -> dict:
         """JSON-ready representation (the ``POST /query`` payload)."""
@@ -142,6 +152,12 @@ class QueryResponse:
             "shards_contacted": self.shards_contacted,
             "latency_ms": round(self.latency_s * 1000.0, 3),
             "degraded": self.degraded,
+            "planner": {
+                "terms_skipped": self.terms_skipped,
+                "postings_skipped": self.postings_skipped,
+                "postings_bytes_avoided": self.postings_bytes_avoided,
+                "collection_cut": self.collection_cut,
+            },
         }
         if self.trace is not None:
             payload["trace"] = self.trace
@@ -368,6 +384,7 @@ class IndexService:
             if hit is MISS:
                 (
                     results, candidates, shards, pruned, width, batch, degraded,
+                    planner,
                 ) = self._execute(prepared, spec, points, sink)
                 # A degraded answer (a shard contributed nothing) must
                 # not be cached: the next attempt may have the shard
@@ -384,6 +401,9 @@ class IndexService:
         if cached:
             results, candidates, shards, pruned = hit
             degraded = False
+            # A cache hit ran no collection: the planner quartet reports
+            # zero avoided work, not the miss's numbers replayed.
+            planner = (0, 0, 0, False)
         latency = perf_counter() - start
         stages = tracer.stage_seconds() if tracer is not None else None
         if cached:
@@ -399,6 +419,7 @@ class IndexService:
                 pruned=pruned,
                 degraded=degraded,
                 stage_seconds=stages,
+                planner=planner,
             )
         trace_payload = self._finish_trace(
             tracer,
@@ -415,6 +436,10 @@ class IndexService:
         return QueryResponse(
             results, generation, cached, candidates, shards, latency, pruned,
             trace_payload, degraded,
+            terms_skipped=planner[0],
+            postings_skipped=planner[1],
+            postings_bytes_avoided=planner[2],
+            collection_cut=planner[3],
         )
 
     def query_many(
@@ -508,6 +533,7 @@ class IndexService:
                         results, candidates, shards, pruned = hit
                         payloads[position] = (
                             results, candidates, shards, pruned, 1, 1, False,
+                            (0, 0, 0, False),
                         )
                         cached_flags[position] = True
                         continue
@@ -550,6 +576,12 @@ class IndexService:
                             stats.fanout_width,
                             stats.batch_size,
                             stats.degraded,
+                            (
+                                stats.terms_skipped,
+                                stats.postings_skipped,
+                                stats.postings_bytes_avoided,
+                                stats.collection_cut,
+                            ),
                         )
                         for results, stats in executed
                     ]
@@ -573,6 +605,12 @@ class IndexService:
                                 1,
                                 1,
                                 False,
+                                (
+                                    fanout.terms_skipped,
+                                    fanout.postings_skipped,
+                                    fanout.postings_bytes_avoided,
+                                    fanout.collection_cut,
+                                ),
                             )
                         )
                 executed_at = dict(zip(unique_run, fresh_payloads))
@@ -602,22 +640,27 @@ class IndexService:
             entry={"kind": "query_many", "queries": total},
         )
         responses: list[QueryResponse] = []
-        outcomes: list[tuple[float, bool, int, int, int, bool]] = []
+        outcomes: list[tuple] = []
         for position in range(total):
             (
                 results, candidates, shards, pruned, width, batch_size, degraded,
+                planner,
             ) = payloads[position]
             cached = cached_flags[position]
             if cached:
                 outcomes.append((latency, True, 0, 1, 0, False))
             else:
                 outcomes.append(
-                    (latency, False, width, batch_size, pruned, degraded)
+                    (latency, False, width, batch_size, pruned, degraded, planner)
                 )
             responses.append(
                 QueryResponse(
                     results, generation, cached, candidates, shards, latency,
                     pruned, trace_payload if position == 0 else None, degraded,
+                    terms_skipped=planner[0],
+                    postings_skipped=planner[1],
+                    postings_bytes_avoided=planner[2],
+                    collection_cut=planner[3],
                 )
             )
         self.metrics.record_request_batch(
@@ -790,7 +833,12 @@ class IndexService:
             )
 
     def _execute(self, prepared, spec, query_points, trace=NO_TRACE):
-        """One backend-agnostic execution of a prepared query."""
+        """One backend-agnostic execution of a prepared query.
+
+        The trailing element is the planner quartet ``(terms_skipped,
+        postings_skipped, postings_bytes_avoided, collection_cut)`` —
+        all zeros when the query ran exhaustively.
+        """
         if self.executor is not None:
             results, stats = self.executor.execute_prepared(
                 prepared, trace=trace, spec=spec, query_points=query_points
@@ -803,6 +851,12 @@ class IndexService:
                 stats.fanout_width,
                 stats.batch_size,
                 stats.degraded,
+                (
+                    stats.terms_skipped,
+                    stats.postings_skipped,
+                    stats.postings_bytes_avoided,
+                    stats.collection_cut,
+                ),
             )
         results, fanout = self.index.query_prepared(
             prepared, trace=trace, spec=spec, query_points=query_points
@@ -815,6 +869,12 @@ class IndexService:
             1,
             1,
             False,
+            (
+                fanout.terms_skipped,
+                fanout.postings_skipped,
+                fanout.postings_bytes_avoided,
+                fanout.collection_cut,
+            ),
         )
 
     # ------------------------------------------------------------------

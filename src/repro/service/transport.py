@@ -205,6 +205,25 @@ class ShardTransport(Protocol):
         variant: str = DEFAULT_VARIANT,
     ) -> dict[int, np.ndarray]: ...
 
+    def shard_term_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> np.ndarray: ...
+
+    def shard_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> tuple[np.ndarray, int]: ...
+
     def stats(self) -> dict: ...
 
     def maintain(self) -> dict: ...
@@ -239,6 +258,27 @@ class InProcessTransport:
         variant: str = DEFAULT_VARIANT,
     ) -> dict[int, np.ndarray]:
         return self.index.shard_postings(shard_id, terms, variant)
+
+    def shard_term_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> np.ndarray:
+        return self.index.shard_term_counts(shard_id, terms, variant)
+
+    def shard_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> tuple[np.ndarray, int]:
+        return self.index.shard_counts(shard_id, terms, candidates, variant)
 
     def stats(self) -> dict:
         return {"kind": self.kind}
@@ -643,6 +683,55 @@ class WorkerProcessTransport:
             meta["pid"] = handle.pid
         return dict(zip(header.get("terms", []), payload))
 
+    def shard_term_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> np.ndarray:
+        handle = self._pick(shard_id, attempt)
+        header, payload = self._request(
+            handle,
+            _shard_header("dfs", shard_id, variant),
+            [np.asarray(list(terms), dtype=np.int64)],
+        )
+        if meta is not None:
+            meta["worker"] = handle.slot
+            meta["pid"] = handle.pid
+        if payload:
+            return payload[0]
+        return np.zeros(len(terms), dtype=np.int64)
+
+    def shard_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> tuple[np.ndarray, int]:
+        handle = self._pick(shard_id, attempt)
+        header, payload = self._request(
+            handle,
+            _shard_header("complete", shard_id, variant),
+            [
+                np.asarray(list(terms), dtype=np.int64),
+                np.ascontiguousarray(candidates, dtype=np.int64),
+            ],
+        )
+        if meta is not None:
+            meta["worker"] = handle.slot
+            meta["pid"] = handle.pid
+        delta = (
+            payload[0]
+            if payload
+            else np.zeros(len(candidates), dtype=np.int64)
+        )
+        return delta, int(header.get("postings_skipped", 0))
+
     # -- introspection --------------------------------------------------
 
     def stats(self) -> dict:
@@ -773,6 +862,49 @@ class RemoteHttpTransport:
             [np.asarray(list(terms), dtype=np.int64)],
         )
         return dict(zip(header.get("terms", []), payload))
+
+    def shard_term_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> np.ndarray:
+        header, payload = self._post(
+            shard_id,
+            attempt,
+            _shard_header("dfs", shard_id, variant),
+            [np.asarray(list(terms), dtype=np.int64)],
+        )
+        if payload:
+            return payload[0]
+        return np.zeros(len(terms), dtype=np.int64)
+
+    def shard_counts(
+        self,
+        shard_id: int,
+        terms: Sequence[int],
+        candidates: np.ndarray,
+        attempt: int = 0,
+        meta: dict | None = None,
+        variant: str = DEFAULT_VARIANT,
+    ) -> tuple[np.ndarray, int]:
+        header, payload = self._post(
+            shard_id,
+            attempt,
+            _shard_header("complete", shard_id, variant),
+            [
+                np.asarray(list(terms), dtype=np.int64),
+                np.ascontiguousarray(candidates, dtype=np.int64),
+            ],
+        )
+        delta = (
+            payload[0]
+            if payload
+            else np.zeros(len(candidates), dtype=np.int64)
+        )
+        return delta, int(header.get("postings_skipped", 0))
 
     def stats(self) -> dict:
         with self._lock:

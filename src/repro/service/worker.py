@@ -15,6 +15,12 @@ Protocol (one frame in, one frame out, connections are persistent):
 * ``{"op": "partial", "shard": s}`` + terms array → hit-stream array
 * ``{"op": "postings", "shard": s}`` + terms array →
   ``{"terms": [...]}`` + one array per present term
+* ``{"op": "dfs", "shard": s}`` + terms array → per-term document
+  frequencies (the query planner's rarest-first ordering pass)
+* ``{"op": "complete", "shard": s}`` + terms array + sorted candidate
+  array → per-candidate count deltas plus a ``postings_skipped``
+  header count (the planner's post-cut completion runs worker-side so
+  skipped postings never cross the wire)
 * Shard ops take an optional ``"variant"`` header key naming the
   fingerprint variant to read (default: the registry's default
   variant, which every snapshot carries)
@@ -43,6 +49,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.persistence import attach_variant_postings
+from ..core.planner import complete_counts
 from ..core.registry import DEFAULT_VARIANT
 from .transport import TransportError, recv_frame, send_frame
 
@@ -81,6 +88,10 @@ class ShardWorker:
                 return self._partial(header, arrays)
             if op == "postings":
                 return self._postings(header, arrays)
+            if op == "dfs":
+                return self._dfs(header, arrays)
+            if op == "complete":
+                return self._complete(header, arrays)
             if op == "attach":
                 return self._attach(header)
             if op == "stats":
@@ -122,6 +133,20 @@ class ShardWorker:
         postings = self._store(header).postings_map(self._terms(arrays))
         terms = sorted(postings)
         return {"ok": True, "terms": terms}, [postings[t] for t in terms]
+
+    def _dfs(self, header, arrays):
+        counts = self._store(header).term_counts(self._terms(arrays))
+        return {"ok": True}, [counts]
+
+    def _complete(self, header, arrays):
+        if len(arrays) < 2:
+            raise ValueError("complete needs terms and candidates arrays")
+        delta, skipped = complete_counts(
+            self._store(header),
+            arrays[0].tolist(),
+            np.ascontiguousarray(arrays[1], dtype=np.int64),
+        )
+        return {"ok": True, "postings_skipped": int(skipped)}, [delta]
 
     def _attach(self, header):
         path = Path(header["snapshot"])

@@ -70,6 +70,27 @@ class ScriptedTransport:
             shard_id, terms, attempt, meta, variant
         )
 
+    def shard_term_counts(
+        self, shard_id, terms, attempt=0, meta=None, variant="default"
+    ):
+        # The planner's df fetch hits the same fault script, so a
+        # scripted shard loss makes bounded collection fall back to the
+        # exhaustive scatter (which then degrades as scripted).
+        if self._faults(shard_id, attempt):
+            return np.zeros(len(terms), dtype=np.int64)
+        return self.inner.shard_term_counts(
+            shard_id, terms, attempt, meta, variant
+        )
+
+    def shard_counts(
+        self, shard_id, terms, candidates, attempt=0, meta=None, variant="default"
+    ):
+        if self._faults(shard_id, attempt):
+            return np.zeros(len(candidates), dtype=np.int64), 0
+        return self.inner.shard_counts(
+            shard_id, terms, candidates, attempt, meta, variant
+        )
+
     def stats(self):
         return {"kind": self.kind}
 

@@ -1,0 +1,420 @@
+"""Tests for repro.core.planner: bounded candidate collection.
+
+The planner's contract is *answer preservation*: ``plan="auto"`` must
+return bit-identical results (same ids, same distances, same order) to
+the exhaustive path on every backend — single-node, sharded, and the
+executor over both the thread and worker-process transports — through
+removals/tombstones and snapshot warm starts.  On a skewed corpus it
+must also demonstrably skip work (that is the point of the PR), which
+the fixed skew-corpus tests pin.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ShardedGeodabIndex
+from repro.cluster.sharding import ShardingConfig
+from repro.core.config import GeodabConfig
+from repro.core.fingerprint import FingerprintSet
+from repro.core.index import GeodabIndex
+from repro.core.persistence import load_index, publish_snapshot, save_index
+from repro.core.planner import (
+    EMPTY_PLAN,
+    StoreSource,
+    complete_counts,
+    plannable,
+    unseen_lower_bound,
+)
+from repro.core.postings import PostingsStore
+from repro.core.query import QuerySpec
+from repro.core.winnowing import Selection
+from repro.geo.point import Point
+from repro.service import IndexService
+from repro.service.executor import QueryExecutor
+from repro.service.transport import InProcessTransport, WorkerProcessTransport
+
+CONFIG = GeodabConfig(k=3, t=5)
+SHARDING = ShardingConfig(num_shards=4, num_nodes=2, placement="hash")
+
+
+def fpset(terms):
+    """A FingerprintSet over explicit term values (synthetic corpora)."""
+    distinct = sorted(set(terms))
+    return FingerprintSet.from_selections(
+        [Selection(term, i) for i, term in enumerate(distinct)], wide=False
+    )
+
+
+def skew_corpus(docs=300, dups=6):
+    """Zipf-shaped synthetic corpus: 5 common terms in every doc, 10
+    disjoint rare terms per doc, plus near-duplicates sharing doc 0's
+    rare terms so the top-k bound tightens before the common terms'
+    postings are opened."""
+    common = list(range(5))
+    batch = []
+    for doc in range(docs):
+        rare = list(range(100 + doc * 10, 100 + doc * 10 + 10))
+        batch.append((f"t{doc}", common + rare))
+    for j in range(dups):
+        batch.append((f"dup{j}", common + list(range(100, 110))))
+    query = common + list(range(100, 110))
+    return batch, query
+
+
+def build_single(batch):
+    index = GeodabIndex()
+    name = index.variant_names[0]
+    index.add_fingerprints_many(
+        [(tid, {name: fpset(terms)}, None) for tid, terms in batch]
+    )
+    return index
+
+
+def ranking(results):
+    return [(r.trajectory_id, r.distance, r.shared_terms) for r in results]
+
+
+class TestPrimitives:
+    def test_plannable(self):
+        assert plannable(10, 1.0)
+        assert plannable(None, 0.5)
+        assert plannable(1, 0.0)
+        assert not plannable(None, 1.0)
+
+    def test_unseen_lower_bound_is_true_bound(self):
+        # The bound must never exceed the best distance any unseen
+        # candidate could still achieve: 1 - r/|Q| for a candidate
+        # matching all r remaining terms with |T| = r.
+        for query_size in (1, 3, 7, 64):
+            for remaining in range(query_size + 1):
+                lb = unseen_lower_bound(remaining, query_size)
+                best = 1.0 - remaining / query_size
+                assert lb <= best + 1e-12
+                assert 0.0 <= lb <= 1.0
+
+    def test_unseen_lower_bound_monotone_in_remaining(self):
+        bounds = [unseen_lower_bound(r, 16) for r in range(17)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_empty_plan_reports_no_work(self):
+        assert EMPTY_PLAN.terms_skipped == 0
+        assert EMPTY_PLAN.postings_skipped == 0
+        assert EMPTY_PLAN.postings_bytes_avoided == 0
+        assert EMPTY_PLAN.collection_cut is False
+
+
+class TestDfAccessors:
+    def test_term_count_matches_postings_without_folding(self):
+        store = PostingsStore()
+        store.extend(7, [1, 2, 3])
+        store.compact_all()
+        store.extend(7, [4, 5])  # buffered, unfolded
+        store.extend(9, [1])
+        assert store.term_count(7) == 5
+        assert store.term_count(9) == 1
+        assert store.term_count(12345) == 0
+        # df reads must not have folded the append buffers.
+        assert store.buffered_postings == 3
+
+    def test_term_counts_bulk_matches_scalar(self):
+        store = PostingsStore()
+        store.extend(1, [10, 11])
+        store.extend(2, [10])
+        store.compact_all()
+        store.extend(2, [12, 13, 14])
+        terms = [0, 1, 2, 3]
+        bulk = store.term_counts(terms)
+        assert bulk.dtype == np.int64
+        assert bulk.tolist() == [store.term_count(t) for t in terms]
+        assert store.buffered_postings == 3
+
+    def test_complete_counts_matches_brute_force(self):
+        store = PostingsStore()
+        rng = np.random.default_rng(42)
+        for term in range(20):
+            members = rng.choice(100, size=rng.integers(1, 40), replace=False)
+            store.extend(int(term), [int(m) for m in members])
+        candidates = np.array(sorted(rng.choice(100, 30, replace=False)))
+        terms = list(range(0, 20, 3)) + [999]
+        delta, skipped = complete_counts(
+            store, terms, np.ascontiguousarray(candidates, dtype=np.int64)
+        )
+        expected = np.zeros(len(candidates), dtype=np.int64)
+        total_postings = 0
+        for term in terms:
+            postings = store.get(term)
+            if postings is None:
+                continue
+            total_postings += len(postings)
+            expected += np.isin(candidates, postings)
+        assert delta.tolist() == expected.tolist()
+        assert skipped == total_postings - int(expected.sum())
+
+
+class TestSingleNodeIdentity:
+    @given(
+        data=st.data(),
+        limit=st.one_of(st.none(), st.integers(min_value=1, max_value=12)),
+        max_distance=st.floats(
+            min_value=0.0, max_value=1.0, allow_nan=False
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_planned_equals_exhaustive(self, data, limit, max_distance):
+        docs = data.draw(st.integers(min_value=0, max_value=25))
+        universe = st.integers(min_value=0, max_value=120)
+        batch = []
+        for doc in range(docs):
+            terms = data.draw(
+                st.lists(universe, min_size=1, max_size=25, unique=True)
+            )
+            batch.append((f"t{doc}", terms))
+        query = data.draw(
+            st.lists(universe, min_size=1, max_size=25, unique=True)
+        )
+        index = build_single(batch)
+        q = fpset(query)
+        planned, _ = index.query_terms(
+            q.values, q.bitmap, limit, max_distance, plan="auto"
+        )
+        exhaustive, _ = index.query_terms(
+            q.values, q.bitmap, limit, max_distance, plan="off"
+        )
+        assert ranking(planned) == ranking(exhaustive)
+
+    def test_planned_equals_exhaustive_through_removals(self):
+        batch, query = skew_corpus(docs=120)
+        index = build_single(batch)
+        for tid in ("t0", "t50", "dup2"):
+            index.remove(tid)
+        q = fpset(query)
+        planned, stats = index.query_terms(q.values, q.bitmap, 5, plan="auto")
+        exhaustive, _ = index.query_terms(q.values, q.bitmap, 5, plan="off")
+        assert ranking(planned) == ranking(exhaustive)
+        assert all(r.trajectory_id not in ("t0", "t50", "dup2") for r in planned)
+
+    def test_skew_corpus_skips_real_work(self):
+        batch, query = skew_corpus()
+        index = build_single(batch)
+        q = fpset(query)
+        results, stats = index.query_terms(q.values, q.bitmap, 5, plan="auto")
+        assert stats.collection_cut
+        assert stats.terms_skipped > 0
+        assert stats.postings_skipped > 0
+        assert stats.postings_bytes_avoided >= 8 * stats.postings_skipped
+        exhaustive, off_stats = index.query_terms(
+            q.values, q.bitmap, 5, plan="off"
+        )
+        assert ranking(results) == ranking(exhaustive)
+        assert off_stats.postings_skipped == 0
+        assert not off_stats.collection_cut
+
+    def test_unplannable_spec_never_plans(self):
+        batch, query = skew_corpus(docs=60)
+        index = build_single(batch)
+        q = fpset(query)
+        # No limit and no distance cap: nothing to feed the threshold.
+        _, stats = index.query_terms(q.values, q.bitmap, None, 1.0, plan="auto")
+        assert not stats.collection_cut
+        assert stats.postings_skipped == 0
+
+
+def _dataset_corpus(small_dataset):
+    return [(r.trajectory_id, r.points) for r in small_dataset.records]
+
+
+class TestShardedIdentity:
+    @pytest.fixture(scope="class")
+    def sharded(self, small_dataset):
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(_dataset_corpus(small_dataset))
+        return index
+
+    def _compare(self, index, points, limit=10):
+        prepared = index.prepare_query(points)
+        planned, pstats = index.query_prepared(
+            prepared, spec=QuerySpec(limit=limit, plan="auto")
+        )
+        exhaustive, _ = index.query_prepared(
+            prepared, spec=QuerySpec(limit=limit, plan="off")
+        )
+        assert ranking(planned) == ranking(exhaustive)
+        return pstats
+
+    def test_dataset_queries_identical(self, sharded, small_dataset):
+        for query in small_dataset.queries:
+            self._compare(sharded, query.points)
+
+    def test_identity_through_removals(self, small_dataset):
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        corpus = _dataset_corpus(small_dataset)
+        index.add_many(corpus)
+        for position, (tid, _) in enumerate(corpus):
+            if position % 3 == 0:
+                index.remove(tid)
+        for query in small_dataset.queries:
+            self._compare(index, query.points)
+
+
+class TestExecutorTransports:
+    def test_thread_transport_identity(self, small_dataset):
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(_dataset_corpus(small_dataset))
+        with QueryExecutor(
+            index, pool_size=4, transport=InProcessTransport(index)
+        ) as executor:
+            for query in small_dataset.queries:
+                prepared = index.prepare_query(query.points)
+                planned, stats = executor.execute_prepared(
+                    prepared, spec=QuerySpec(limit=10, plan="auto")
+                )
+                exhaustive, _ = executor.execute_prepared(
+                    prepared, spec=QuerySpec(limit=10, plan="off")
+                )
+                assert ranking(planned) == ranking(exhaustive)
+
+    def test_process_transport_identity(self, small_dataset, tmp_path):
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(_dataset_corpus(small_dataset))
+        snapshot = publish_snapshot(index, tmp_path, tag="planner")
+        with QueryExecutor(
+            index,
+            pool_size=4,
+            transport=WorkerProcessTransport(snapshot, num_workers=2),
+        ) as executor:
+            for query in small_dataset.queries[:4]:
+                prepared = index.prepare_query(query.points)
+                planned, stats = executor.execute_prepared(
+                    prepared, spec=QuerySpec(limit=10, plan="auto")
+                )
+                exhaustive, _ = executor.execute_prepared(
+                    prepared, spec=QuerySpec(limit=10, plan="off")
+                )
+                assert ranking(planned) == ranking(exhaustive)
+
+    def test_transport_without_planner_ops_falls_back(self, small_dataset):
+        # A duck-typed transport predating shard_term_counts/shard_counts
+        # must keep answering exhaustively, not crash the planned branch.
+        index = ShardedGeodabIndex(CONFIG, SHARDING)
+        index.add_many(_dataset_corpus(small_dataset))
+        inner = InProcessTransport(index)
+
+        class LegacyTransport:
+            kind = "legacy"
+
+            def shard_partial(self, *args, **kwargs):
+                return inner.shard_partial(*args, **kwargs)
+
+            def shard_postings(self, *args, **kwargs):
+                return inner.shard_postings(*args, **kwargs)
+
+            def stats(self):
+                return {"kind": self.kind}
+
+            def maintain(self):
+                return {}
+
+            def close(self):
+                return None
+
+        with QueryExecutor(
+            index, pool_size=2, transport=LegacyTransport()
+        ) as executor:
+            prepared = index.prepare_query(small_dataset.queries[0].points)
+            planned, stats = executor.execute_prepared(
+                prepared, spec=QuerySpec(limit=10, plan="auto")
+            )
+            exhaustive, _ = executor.execute_prepared(
+                prepared, spec=QuerySpec(limit=10, plan="off")
+            )
+            assert ranking(planned) == ranking(exhaustive)
+            assert stats.postings_skipped == 0
+            assert not stats.collection_cut
+
+
+class TestSnapshotWarmStart:
+    def test_identity_after_save_load(self, tmp_path):
+        batch, query = skew_corpus(docs=80)
+        index = build_single(batch)
+        save_index(index, tmp_path / "snap")
+        warm = load_index(tmp_path / "snap")
+        q = fpset(query)
+        planned, stats = warm.query_terms(q.values, q.bitmap, 5, plan="auto")
+        exhaustive, _ = warm.query_terms(q.values, q.bitmap, 5, plan="off")
+        assert ranking(planned) == ranking(exhaustive)
+        assert stats.collection_cut
+        assert stats.postings_skipped > 0
+
+
+class TestServiceSurface:
+    @pytest.fixture()
+    def service(self):
+        batch, query = skew_corpus(docs=200)
+        index = build_single(batch)
+        service = IndexService(index)
+        # Bypass geometric fingerprinting: the synthetic corpus is term-
+        # shaped, so the service path is driven with a fixed fingerprint.
+        q = fpset(query)
+        index.fingerprint_query = lambda points, variant: q
+        yield service
+        service.close()
+
+    POINTS = [Point(0.0, 0.0), Point(0.1, 0.1), Point(0.2, 0.2)]
+
+    def test_response_reports_planner_quartet(self, service):
+        response = service.query(
+            self.POINTS, spec=QuerySpec(limit=5, mode="approx")
+        )
+        payload = response.as_dict()
+        assert payload["planner"]["collection_cut"] is True
+        assert payload["planner"]["terms_skipped"] > 0
+        assert payload["planner"]["postings_skipped"] > 0
+        assert payload["planner"]["postings_bytes_avoided"] > 0
+
+    def test_plan_off_reports_zero_quartet(self, service):
+        response = service.query(
+            self.POINTS, spec=QuerySpec(limit=5, mode="approx", plan="off")
+        )
+        assert response.as_dict()["planner"] == {
+            "terms_skipped": 0,
+            "postings_skipped": 0,
+            "postings_bytes_avoided": 0,
+            "collection_cut": False,
+        }
+
+    def test_cached_hit_reports_zero_quartet(self, service):
+        spec = QuerySpec(limit=5, mode="approx")
+        first = service.query(self.POINTS, spec=spec)
+        second = service.query(self.POINTS, spec=spec)
+        assert second.cached
+        assert not first.cached
+        assert second.postings_skipped == 0
+        assert not second.collection_cut
+        # The cached results themselves are the planned (identical) ones.
+        assert ranking(second.results) == ranking(first.results)
+
+    def test_metrics_expose_planner_counters(self, service):
+        service.query(self.POINTS, spec=QuerySpec(limit=5, mode="approx"))
+        planner = service.stats()["metrics"]["planner"]
+        assert planner["collection_cuts"] >= 1
+        assert planner["postings_skipped"] > 0
+        text = service.metrics_text()
+        lines = {
+            line.split(" ")[0]: line.split(" ")[-1]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert int(lines["geodabs_planner_postings_skipped_total"]) > 0
+        assert int(lines["geodabs_planner_collection_cuts_total"]) >= 1
+        assert "geodabs_planner_terms_skipped_total" in lines
+        assert "geodabs_planner_postings_bytes_avoided_total" in lines
+
+    def test_plan_field_round_trips_json(self):
+        spec = QuerySpec.from_json({"limit": 3, "plan": "off"})
+        assert spec.plan == "off"
+        assert QuerySpec(limit=3).plan == "auto"
+        assert QuerySpec.from_json(QuerySpec(limit=3, plan="off").to_json()).plan == "off"
+        with pytest.raises(ValueError):
+            QuerySpec(plan="sometimes")

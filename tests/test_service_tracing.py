@@ -10,7 +10,7 @@ import pytest
 from repro.cluster import ShardedGeodabIndex, ShardingConfig
 from repro.core.config import GeodabConfig
 from repro.core.index import GeodabIndex
-from repro.core.query import NO_TRACE
+from repro.core.query import NO_TRACE, QuerySpec
 from repro.service import IndexService, QueryExecutor, Trace, new_trace_id
 from repro.service.tracing import Span
 
@@ -133,8 +133,30 @@ def sharded_service(small_dataset):
 
 class TestQueryPathShapes:
     def test_single_node_span_tree(self, single_service, small_dataset):
+        # A top-k query takes the planner's bounded collection by
+        # default: one ``collect`` stage replaces ``fanout``/``merge``.
         response = single_service.query(
             small_dataset.queries[0].points, limit=5, trace=True
+        )
+        tree = response.trace
+        assert tree is not None
+        assert set(tree["stages_ms"]) == {"prepare", "collect", "rank"}
+        assert span_names(tree) == [
+            "prepare", "result_cache", "collect", "rank",
+        ]
+        assert find_span(tree, "result_cache")["hit"] is False
+        # The stage durations account for (most of) the request latency:
+        # everything outside them is cache bookkeeping and allocation.
+        assert sum(tree["stages_ms"].values()) <= response.latency_s * 1000.0
+
+    def test_single_node_span_tree_plan_off(
+        self, single_service, small_dataset
+    ):
+        # ``plan="off"`` keeps the exhaustive fan-out/merge shape.
+        response = single_service.query(
+            small_dataset.queries[1].points,
+            trace=True,
+            spec=QuerySpec(limit=5, plan="off"),
         )
         tree = response.trace
         assert tree is not None
@@ -142,16 +164,16 @@ class TestQueryPathShapes:
         assert span_names(tree) == [
             "prepare", "result_cache", "fanout", "merge", "rank",
         ]
-        assert find_span(tree, "result_cache")["hit"] is False
-        # The stage durations account for (most of) the request latency:
-        # everything outside them is cache bookkeeping and allocation.
-        assert sum(tree["stages_ms"].values()) <= response.latency_s * 1000.0
 
     def test_sharded_fanout_has_shard_children(
         self, sharded_service, small_dataset
     ):
+        # plan="off" keeps the shared scatter this test is about; the
+        # planned path scatters inside one ``collect`` span instead.
         response = sharded_service.query(
-            small_dataset.queries[0].points, limit=5, trace=True
+            small_dataset.queries[0].points,
+            trace=True,
+            spec=QuerySpec(limit=5, plan="off"),
         )
         tree = response.trace
         assert tree is not None
@@ -186,7 +208,8 @@ class TestQueryPathShapes:
         assert responses[0].trace is not None
         assert all(r.trace is None for r in responses[1:])
         tree = responses[0].trace
-        assert "fanout" in tree["stages_ms"]
+        # Top-k burst items run the planner's bounded collection.
+        assert "collect" in tree["stages_ms"]
         assert find_span(tree, "prepare")["queries"] == 3
 
     def test_untraced_response_carries_no_tree(
@@ -200,8 +223,12 @@ class TestQueryPathShapes:
         self, sharded_service, small_dataset
     ):
         sharded_service.query(small_dataset.queries[0].points, limit=5)
+        sharded_service.query(
+            small_dataset.queries[1].points,
+            spec=QuerySpec(limit=5, plan="off"),
+        )
         snapshot = sharded_service.metrics.snapshot()
-        for stage in ("prepare", "fanout", "merge", "rank"):
+        for stage in ("prepare", "collect", "fanout", "merge", "rank"):
             assert snapshot.stages[stage]["count"] >= 1
 
     def test_disabled_metrics_skip_tracing_entirely(self, small_dataset):
